@@ -1,0 +1,429 @@
+(* The foc command-line tool.
+
+     foc gen   --class random-tree --n 1000 -o tree.foc
+     foc check --structure tree.foc "exists x. prime(#(y). E(x,y))"
+     foc count --structure tree.foc "#(x,y). E(x,y)"
+     foc query --structure tree.foc --head x "#(y). E(x,y)" --body "R(x)"
+
+   Engines: direct | cover | splitter | relalg | naive. *)
+
+open Cmdliner
+
+let engine_conv =
+  Arg.enum
+    [
+      ("direct", `Direct);
+      ("cover", `Cover);
+      ("splitter", `Splitter);
+      ("hanf", `Hanf);
+      ("relalg", `Relalg);
+      ("naive", `Naive);
+    ]
+
+let structure_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "s"; "structure" ] ~docv:"FILE" ~doc:"Structure file to query.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv `Direct
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Evaluation engine: $(b,direct), $(b,cover), $(b,splitter) (the \
+           paper's algorithm with three back-ends), $(b,relalg) (baseline) \
+           or $(b,naive) (Definition 3.1 verbatim; exponential).")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.")
+
+let load_structure path =
+  match Foc.Structure_io.load path with
+  | Ok a -> a
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 2
+
+let make_engine = function
+  | `Direct -> Some (Foc.Engine.create ())
+  | `Cover ->
+      Some
+        (Foc.Engine.create
+           ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Cover }
+           ())
+  | `Splitter ->
+      Some
+        (Foc.Engine.create
+           ~config:
+             {
+               Foc.Engine.default_config with
+               backend = Foc.Engine.Splitter { max_rounds = 4; small = 32 };
+             }
+           ())
+  | `Hanf ->
+      Some
+        (Foc.Engine.create
+           ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Hanf }
+           ())
+  | `Relalg | `Naive -> None
+
+let print_stats eng =
+  let st = Foc.Engine.stats eng in
+  Printf.printf
+    "# stats: materialised=%d clterms=%d basics=%d fallbacks=%d covers=%d \
+     removals=%d\n"
+    st.materialised st.clterms_built st.basic_terms st.fallbacks
+    st.covers_built st.removals
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run structure engine stats src =
+    let a = load_structure structure in
+    let phi =
+      try Foc.parse_formula src
+      with Foc.Parser.Error (m, p) ->
+        Printf.eprintf "parse error at %d: %s\n" p m;
+        exit 2
+    in
+    let result, seconds =
+      match make_engine engine with
+      | Some eng ->
+          let r = timed (fun () -> Foc.Engine.check eng a phi) in
+          if stats then print_stats eng;
+          r
+      | None ->
+          if engine = `Naive then
+            timed (fun () -> Foc.Naive.sentence Foc.predicates a phi)
+          else timed (fun () -> Foc.Relalg.holds Foc.predicates a [] phi)
+    in
+    Printf.printf "%b\n" result;
+    Printf.printf "# %.6fs\n" seconds
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SENTENCE" ~doc:"FOC(P) sentence to model-check.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check a FOC(P) sentence on a structure.")
+    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src)
+
+(* ---------------- count ---------------- *)
+
+let count_cmd =
+  let run structure engine stats src =
+    let a = load_structure structure in
+    let term =
+      try Foc.parse_term src
+      with Foc.Parser.Error (m, p) ->
+        Printf.eprintf "parse error at %d: %s\n" p m;
+        exit 2
+    in
+    let result, seconds =
+      match make_engine engine with
+      | Some eng ->
+          let r = timed (fun () -> Foc.Engine.eval_ground eng a term) in
+          if stats then print_stats eng;
+          r
+      | None ->
+          if engine = `Naive then
+            timed (fun () -> Foc.Naive.ground_term Foc.predicates a term)
+          else timed (fun () -> Foc.Relalg.term_value Foc.predicates a [] term)
+    in
+    Printf.printf "%d\n" result;
+    Printf.printf "# %.6fs\n" seconds
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TERM" ~doc:"Ground counting term to evaluate.")
+  in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Evaluate a ground counting term on a structure.")
+    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src)
+
+(* ---------------- query ---------------- *)
+
+let query_cmd =
+  let run structure engine stats head terms body limit =
+    let a = load_structure structure in
+    let parse_t s =
+      try Foc.parse_term s
+      with Foc.Parser.Error (m, p) ->
+        Printf.eprintf "parse error in term at %d: %s\n" p m;
+        exit 2
+    in
+    let body_f =
+      try Foc.parse_formula body
+      with Foc.Parser.Error (m, p) ->
+        Printf.eprintf "parse error in body at %d: %s\n" p m;
+        exit 2
+    in
+    let q =
+      try
+        Foc.Query.make ~head_vars:head
+          ~head_terms:(List.map parse_t terms)
+          body_f
+      with Invalid_argument m ->
+        Printf.eprintf "bad query: %s\n" m;
+        exit 2
+    in
+    let rows, seconds =
+      match make_engine engine with
+      | Some eng ->
+          let r = timed (fun () -> Foc.Engine.run_query eng a q) in
+          if stats then print_stats eng;
+          r
+      | None ->
+          if engine = `Naive then
+            timed (fun () -> Foc.Naive.query Foc.predicates a q)
+          else timed (fun () -> Foc.Relalg.query Foc.predicates a q)
+    in
+    Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
+    List.iteri
+      (fun i (tuple, values) ->
+        if i < limit then begin
+          Array.iter (Printf.printf "%d ") tuple;
+          print_string "| ";
+          Array.iter (Printf.printf "%d ") values;
+          print_newline ()
+        end)
+      rows
+  in
+  let head =
+    Arg.(
+      value & opt_all string []
+      & info [ "head" ] ~docv:"VAR" ~doc:"Head variable (repeatable).")
+  in
+  let terms =
+    Arg.(
+      value & opt_all string []
+      & info [ "term" ] ~docv:"TERM" ~doc:"Head counting term (repeatable).")
+  in
+  let body =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "body" ] ~docv:"FORMULA" ~doc:"Query body.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most N rows.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
+    Term.(
+      const run $ structure_arg $ engine_arg $ stats_arg $ head $ terms $ body
+      $ limit)
+
+(* ---------------- gen ---------------- *)
+
+let gen_cmd =
+  let class_conv =
+    Arg.enum
+      (List.map (fun (c : Foc.Classes.t) -> (c.name, c)) Foc.Classes.standard)
+  in
+  let run cls n seed colours output =
+    let g = cls.Foc.Classes.generate ~seed ~n in
+    let a =
+      if colours then begin
+        let rng = Random.State.make [| seed; 17 |] in
+        Foc.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+          ~p_blue:0.4 ~p_green:0.3
+      end
+      else Foc.Structure.of_graph g
+    in
+    match output with
+    | Some path ->
+        Foc.Structure_io.save path a;
+        Printf.printf "wrote %s (order %d, size %d)\n" path
+          (Foc.Structure.order a) (Foc.Structure.size a)
+    | None -> print_string (Foc.Structure_io.to_string a)
+  in
+  let cls =
+    Arg.(
+      required
+      & opt (some class_conv) None
+      & info [ "class" ] ~docv:"CLASS"
+          ~doc:"Workload class (random-tree, grid, clique, ...).")
+  in
+  let n =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Target order.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let colours =
+    Arg.(
+      value & flag
+      & info [ "colours" ]
+          ~doc:"Add random R/B/G unary relations (Example 5.4 style).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a workload structure.")
+    Term.(const run $ cls $ n $ seed $ colours $ output)
+
+(* ---------------- explain ---------------- *)
+
+let explain_cmd =
+  let run kind src =
+    match kind with
+    | `Term -> begin
+        match Foc.Parser.term_result Foc.predicates src with
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            exit 2
+        | Ok t ->
+            Format.printf "%a@." Foc.Plan.pp (Foc.Plan.term_plan t)
+      end
+    | `Formula -> begin
+        match Foc.Parser.formula_result Foc.predicates src with
+        | Error e ->
+            Printf.eprintf "%s\n" e;
+            exit 2
+        | Ok f ->
+            Format.printf "%a@." Foc.Plan.pp (Foc.Plan.formula_plan f)
+      end
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("term", `Term); ("formula", `Formula) ]) `Formula
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Parse as $(b,term) or $(b,formula).")
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"Expression to explain.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the evaluation plan: kernels, certified radii, decomposition \
+          sizes, fallbacks.")
+    Term.(const run $ kind $ src)
+
+(* ---------------- gendb / sql ---------------- *)
+
+let gendb_cmd =
+  let run customers orders countries cities seed output =
+    let rng = Random.State.make [| seed |] in
+    let d =
+      Foc.Db_gen.customer_order rng ~customers ~orders ~countries ~cities
+    in
+    match output with
+    | Some path ->
+        Foc.Structure_io.save path d.Foc.Db_gen.db;
+        Printf.printf "wrote %s (order %d, size %d)\n" path
+          (Foc.Structure.order d.Foc.Db_gen.db)
+          (Foc.Structure.size d.Foc.Db_gen.db)
+    | None -> print_string (Foc.Structure_io.to_string d.Foc.Db_gen.db)
+  in
+  let customers =
+    Arg.(value & opt int 100 & info [ "customers" ] ~docv:"N" ~doc:"Customers.")
+  in
+  let orders =
+    Arg.(value & opt int 400 & info [ "orders" ] ~docv:"N" ~doc:"Orders.")
+  in
+  let countries =
+    Arg.(value & opt int 10 & info [ "countries" ] ~docv:"N" ~doc:"Countries.")
+  in
+  let cities =
+    Arg.(value & opt int 20 & info [ "cities" ] ~docv:"N" ~doc:"Cities.")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  Cmd.v
+    (Cmd.info "gendb"
+       ~doc:"Generate a Customer/Order database (Example 5.3 schema).")
+    Term.(const run $ customers $ orders $ countries $ cities $ seed $ output)
+
+let sql_cmd =
+  let run structure engine stats src limit =
+    let a = load_structure structure in
+    let q =
+      try
+        Foc.Sql_compile.parse_to_query Foc.Sql_schema.customer_order
+          ~consts:[ ("Berlin", Foc.Db_gen.berlin_rel) ]
+          src
+      with Foc.Sql_compile.Error m ->
+        Printf.eprintf "SQL error: %s\n" m;
+        exit 2
+    in
+    Printf.printf "FOC1> %s\n" (Format.asprintf "%a" Foc.Query.pp q);
+    let rows, seconds =
+      match make_engine engine with
+      | Some eng ->
+          let r = timed (fun () -> Foc.Engine.run_query eng a q) in
+          if stats then print_stats eng;
+          r
+      | None ->
+          if engine = `Naive then
+            timed (fun () -> Foc.Naive.query Foc.predicates a q)
+          else timed (fun () -> Foc.Relalg.query Foc.predicates a q)
+    in
+    Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
+    List.iteri
+      (fun i (tuple, values) ->
+        if i < limit then begin
+          Array.iter (Printf.printf "%d ") tuple;
+          print_string "| ";
+          Array.iter (Printf.printf "%d ") values;
+          print_newline ()
+        end)
+      rows
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SQL"
+          ~doc:
+            "SQL COUNT statement over the Customer/Order schema (Example \
+             5.3); the literal 'Berlin' is bound to the generated marker.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N" ~doc:"Print at most N rows.")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run an SQL COUNT statement compiled to FOC1.")
+    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src $ limit)
+
+let () =
+  let info =
+    Cmd.info "foc" ~version:"1.0.0"
+      ~doc:
+        "First-order query evaluation with cardinality conditions (Grohe & \
+         Schweikardt, PODS 2018)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; count_cmd; query_cmd; gen_cmd; gendb_cmd; sql_cmd; explain_cmd ]))

@@ -1,0 +1,44 @@
+(* The bounded-degree route (the paper's predecessor [16]): group elements
+   by the isomorphism type of their r-ball and evaluate once per type.
+   Regular structures have very few types; hub-heavy ones degenerate.
+
+   Run with:  dune exec examples/hanf_demo.exe *)
+
+let () =
+  let show name a r =
+    let n = Foc.Structure.order a in
+    let types = Foc.Hanf.type_count a ~r in
+    Printf.printf "%-22s n=%-6d r=%d  ball types: %d\n" name n r types
+  in
+  let rng = Random.State.make [| 3 |] in
+  show "cycle (transitive)" (Foc.Structure.of_graph (Foc.Gen.cycle 500)) 2;
+  show "grid" (Foc.Structure.of_graph (Foc.Gen.grid 20 20)) 1;
+  show "grid" (Foc.Structure.of_graph (Foc.Gen.grid 20 20)) 2;
+  show "binary tree" (Foc.Structure.of_graph (Foc.Gen.binary_tree 500)) 2;
+  show "random tree (hubs)"
+    (Foc.Structure.of_graph (Foc.Gen.random_tree rng 500))
+    2;
+
+  (* the Hanf back-end evaluates once per type *)
+  let graph = Foc.Gen.grid 30 30 in
+  let db =
+    Foc.Db_gen.colored_digraph
+      (Random.State.make [| 9 |])
+      ~graph ~orient:`Both ~p_red:1.0 ~p_blue:1.0 ~p_green:0.0
+  in
+  (* fully coloured grid: highly regular, few types *)
+  let term = Foc.parse_term "#(y). (E(x,y) & B(y))" in
+  let hanf =
+    Foc.Engine.create
+      ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Hanf }
+      ()
+  in
+  let direct = Foc.Engine.create () in
+  let v1 = Foc.Engine.eval_unary direct db "x" term in
+  let v2 = Foc.Engine.eval_unary hanf db "x" term in
+  Printf.printf "hanf backend agrees with direct on a 900-node grid: %b\n"
+    (v1 = v2);
+  Printf.printf "degree histogram by type: interior=%d, edge=%d, corner=%d\n"
+    v1.(31 + 31) (* interior *)
+    v1.(1) (* border *)
+    v1.(0) (* corner *)

@@ -1,0 +1,36 @@
+(** Canonical forms of rooted r-neighbourhoods — the "sphere types" behind
+    Hanf normal forms.
+
+    The paper's predecessor result (Kuske & Schweikardt, LICS'17 — reference
+    [16], whose algorithm the paper generalises away from bounded degree)
+    evaluates FOC(P) on bounded-degree structures by counting realisations
+    of neighbourhood types. The substrate for that is an exact isomorphism
+    test for rooted balls: two elements have interchangeable local
+    behaviour iff their r-neighbourhoods are isomorphic as rooted
+    structures.
+
+    Keys are sound unconditionally — equal keys certify an isomorphism of
+    the rooted balls (the key is a serialisation of an explicit
+    relabelling). Completeness (isomorphic ⟹ equal keys) holds whenever
+    colour refinement identifies automorphism orbits, which includes every
+    forest (1-WL is complete on trees) and hence the tree-like balls of
+    sparse structures; on refinement-blind inputs the bounded
+    individualization search may split one type into several keys — harmless
+    for Hanf grouping, which then merely evaluates a few extra
+    representatives. Canonicalization runs colour refinement seeded with
+    the BFS layer, then individualizes ambiguous classes under a fixed work
+    budget (unbounded backtracking is exponential on large orbits such as a
+    hub's leaves). *)
+
+(** [extract a ~centre ~r] — the induced substructure on [N_r(centre)]
+    together with the centre's id in it. *)
+val extract :
+  Foc_data.Structure.t -> centre:int -> r:int -> Foc_data.Structure.t * int
+
+(** [canonical_key a ~centre] — canonical serialisation of the rooted
+    structure [(a, centre)]. Intended for small (ball-sized) structures;
+    cost grows with automorphism ambiguity. *)
+val canonical_key : Foc_data.Structure.t -> centre:int -> string
+
+(** [ball_key a ~centre ~r] = [canonical_key (extract a ~centre ~r)]. *)
+val ball_key : Foc_data.Structure.t -> centre:int -> r:int -> string

@@ -1,0 +1,31 @@
+module Structure = Foc_data.Structure
+
+let classes ?(max_ball = 48) a ~r =
+  let g = Structure.gaifman a in
+  let tbl = Hashtbl.create 64 in
+  for v = 0 to Structure.order a - 1 do
+    let ball = Foc_graph.Bfs.ball_tbl g ~centres:[ v ] ~radius:r in
+    let key =
+      if Hashtbl.length ball > max_ball then
+        (* too big to canonicalize cheaply: singleton class *)
+        Printf.sprintf "!uniq%d" v
+      else Ball_type.ball_key a ~centre:v ~r
+    in
+    Hashtbl.replace tbl key
+      (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  done;
+  Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) tbl []
+
+let eval_by_type ?max_ball a ~r f =
+  let out = Array.make (Structure.order a) 0 in
+  List.iter
+    (fun (_, members) ->
+      match members with
+      | [] -> ()
+      | rep :: _ ->
+          let value = f rep in
+          List.iter (fun v -> out.(v) <- value) members)
+    (classes ?max_ball a ~r);
+  out
+
+let type_count ?max_ball a ~r = List.length (classes ?max_ball a ~r)

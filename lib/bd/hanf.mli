@@ -1,0 +1,35 @@
+(** Hanf-type evaluation for bounded-degree structures — the strategy of
+    the paper's predecessor [16] (Kuske & Schweikardt): on structures of
+    bounded degree, the value of any r-local unary expression at an element
+    depends only on the isomorphism type of its r-neighbourhood, and the
+    number of realised types is bounded by a function of (degree, r, σ).
+    Grouping elements by type and evaluating once per class turns a
+    per-element sweep into [n·(type hashing) + #types·(local work)] —
+    fixed-parameter linear on bounded-degree classes.
+
+    This module supplies the grouping and a type-grouped evaluator for
+    per-element functions that are certified local; the [Foc_nd] engine
+    uses it as a fourth back-end for basic cl-terms. On structures with
+    many distinct local types (random trees with hubs, databases) the
+    grouping degenerates gracefully to the direct sweep plus hashing
+    overhead. *)
+
+(** [classes a ~r] — the partition of the universe into r-ball isomorphism
+    classes: a list of (canonical key, members). Cost: one ball extraction
+    and canonicalization per element. Balls larger than [max_ball] (default
+    48) are not canonicalized: their element gets a singleton class — a
+    sound degradation that keeps the back-end total on structures outside
+    the bounded-degree sweet spot. *)
+val classes :
+  ?max_ball:int -> Foc_data.Structure.t -> r:int -> (string * int list) list
+
+(** [eval_by_type a ~r f] — the vector [v] with [v.(e) = f rep] where [rep]
+    is [e]'s class representative; sound whenever [f] is invariant under
+    r-ball isomorphism (e.g. any r-local unary term value — Section 6.1).
+    [f] is called once per class. *)
+val eval_by_type :
+  ?max_ball:int -> Foc_data.Structure.t -> r:int -> (int -> int) -> int array
+
+(** Number of distinct r-ball types (diagnostic; bounded in terms of degree
+    and r on bounded-degree classes). *)
+val type_count : ?max_ball:int -> Foc_data.Structure.t -> r:int -> int

@@ -1,0 +1,112 @@
+type customer_db = {
+  db : Structure.t;
+  customer_ids : int list;
+  order_ids : int list;
+  country_pool : int list;
+  city_pool : int list;
+  berlin : int;
+}
+
+let customer_rel = "Customer"
+let order_rel = "Order"
+let berlin_rel = "Berlin"
+
+let customer_order rng ~customers ~orders ~countries ~cities =
+  if countries < 1 || cities < 1 then
+    invalid_arg "Db_gen.customer_order: need at least one country and city";
+  (* Universe layout: [customer ids][order ids][countries][cities][name pool]
+     [phone pool][date pool][amount pool]. Pool sizes are kept small so that
+     GROUP BY columns have interesting collision rates. *)
+  let name_pool = max 4 (customers / 4)
+  and phone_pool = max 4 customers
+  and date_pool = 32
+  and amount_pool = 64 in
+  let base_orders = customers in
+  let base_countries = base_orders + orders in
+  let base_cities = base_countries + countries in
+  let base_names = base_cities + cities in
+  let base_phones = base_names + name_pool in
+  let base_dates = base_phones + phone_pool in
+  let base_amounts = base_dates + date_pool in
+  let order_univ = base_amounts + amount_pool in
+  let pick base count = base + Random.State.int rng count in
+  let customer_tuples =
+    List.init customers (fun i ->
+        [|
+          i;
+          pick base_names name_pool;
+          pick base_names name_pool;
+          pick base_cities cities;
+          pick base_countries countries;
+          pick base_phones phone_pool;
+        |])
+  in
+  let order_tuples =
+    List.init orders (fun i ->
+        [|
+          base_orders + i;
+          pick base_dates date_pool;
+          pick base_dates date_pool;
+          (if customers > 0 then Random.State.int rng customers else 0);
+          pick base_amounts amount_pool;
+        |])
+  in
+  let berlin = base_cities in
+  let sign =
+    Signature.of_list
+      [ (customer_rel, 6); (order_rel, 5); (berlin_rel, 1) ]
+  in
+  let db =
+    Structure.create sign ~order:order_univ
+      [
+        (customer_rel, customer_tuples);
+        (order_rel, order_tuples);
+        (berlin_rel, [ [| berlin |] ]);
+      ]
+  in
+  {
+    db;
+    customer_ids = List.init customers (fun i -> i);
+    order_ids = List.init orders (fun i -> base_orders + i);
+    country_pool = List.init countries (fun i -> base_countries + i);
+    city_pool = List.init cities (fun i -> base_cities + i);
+    berlin;
+  }
+
+let colored_signature =
+  Signature.of_list [ ("E", 2); ("R", 1); ("B", 1); ("G", 1) ]
+
+let colored_digraph rng ~graph ~orient ~p_red ~p_blue ~p_green =
+  let edges =
+    List.concat_map
+      (fun (u, v) ->
+        match orient with
+        | `Both -> [ [| u; v |]; [| v; u |] ]
+        | `Random ->
+            if Random.State.bool rng then [ [| u; v |] ] else [ [| v; u |] ])
+      (Foc_graph.Graph.edges graph)
+  in
+  let colour p =
+    List.filter_map
+      (fun v -> if Random.State.float rng 1.0 < p then Some [| v |] else None)
+      (List.init (Foc_graph.Graph.order graph) (fun i -> i))
+  in
+  Structure.create colored_signature ~order:(Foc_graph.Graph.order graph)
+    [
+      ("E", edges);
+      ("R", colour p_red);
+      ("B", colour p_blue);
+      ("G", colour p_green);
+    ]
+
+let random_structure rng sign ~order ~tuples =
+  if order <= 0 then invalid_arg "Db_gen.random_structure: order must be > 0";
+  let contents =
+    List.map
+      (fun (name, arity) ->
+        ( name,
+          List.init tuples (fun _ ->
+              Array.init arity (fun _ -> Random.State.int rng order)) ))
+      (Signature.to_list sign)
+  in
+  Structure.create sign ~order contents

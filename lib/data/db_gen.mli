@@ -1,0 +1,59 @@
+(** Workload generators: the example databases of the paper and random
+    structures for property tests.
+
+    All generators are deterministic in the supplied [Random.State.t]. *)
+
+(** The Customer/Order database of Example 5.3.
+
+    Schema: [Customer(Id, FirstName, LastName, City, Country, Phone)] and
+    [Order(Id, OrderDate, OrderNumber, CustomerId, TotalAmount)], plus the
+    unary marker [Berlin] for the distinguished city (standing for the
+    constant "Berlin" in the example's WHERE clause). Attribute values are
+    drawn from per-attribute element pools inside the single universe. *)
+type customer_db = {
+  db : Structure.t;
+  customer_ids : int list;
+  order_ids : int list;
+  country_pool : int list;
+  city_pool : int list;
+  berlin : int;  (** one distinguished city element *)
+}
+
+(** Relation/attribute names of the schema. *)
+val customer_rel : string
+
+val order_rel : string
+val berlin_rel : string
+
+(** [customer_order rng ~customers ~orders ~countries ~cities] builds a
+    random instance: each customer gets a uniform country/city/name/phone;
+    each order a uniform customer, date and amount. *)
+val customer_order :
+  Random.State.t ->
+  customers:int ->
+  orders:int ->
+  countries:int ->
+  cities:int ->
+  customer_db
+
+(** Coloured directed graphs of Example 5.4: signature
+    [{E/2, R/1, B/1, G/1}]. [orient] controls whether each undirected edge
+    yields one random orientation ([`Random]) or both ([`Both]). Every node
+    receives each colour independently with the given probability. *)
+val colored_digraph :
+  Random.State.t ->
+  graph:Foc_graph.Graph.t ->
+  orient:[ `Random | `Both ] ->
+  p_red:float ->
+  p_blue:float ->
+  p_green:float ->
+  Structure.t
+
+(** The signature of Example 5.4. *)
+val colored_signature : Signature.t
+
+(** [random_structure rng sign ~order ~tuples] draws [tuples] random tuples
+    for every relation symbol (duplicates collapse). For fuzzing the
+    evaluators. *)
+val random_structure :
+  Random.State.t -> Signature.t -> order:int -> tuples:int -> Structure.t

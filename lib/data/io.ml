@@ -1,0 +1,104 @@
+let to_string a =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "order %d\n" (Structure.order a));
+  let sign = Structure.signature a in
+  List.iter
+    (fun (name, arity) ->
+      Buffer.add_string buf (Printf.sprintf "rel %s %d\n" name arity))
+    (Signature.to_list sign);
+  List.iter
+    (fun (name, _) ->
+      Tuple.Set.iter
+        (fun tup ->
+          Buffer.add_string buf name;
+          Array.iter (fun v -> Buffer.add_string buf (" " ^ string_of_int v)) tup;
+          Buffer.add_char buf '\n')
+        (Structure.rel a name))
+    (Signature.to_list sign);
+  Buffer.contents buf
+
+let of_string src =
+  let lines = String.split_on_char '\n' src in
+  let order = ref (-1) in
+  let sign = ref Signature.empty in
+  let tuples = Hashtbl.create 16 in
+  let error = ref None in
+  let fail lineno msg =
+    if !error = None then
+      error := Some (Printf.sprintf "line %d: %s" lineno msg)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ "order"; n ] -> begin
+          match int_of_string_opt n with
+          | Some v when v >= 0 -> order := v
+          | _ -> fail lineno "bad order"
+        end
+      | [ "rel"; name; ar ] -> begin
+          match int_of_string_opt ar with
+          | Some v when v >= 0 -> begin
+              match Signature.add !sign name v with
+              | s -> sign := s
+              | exception Invalid_argument m -> fail lineno m
+            end
+          | _ -> fail lineno "bad arity"
+        end
+      | name :: args -> begin
+          match Signature.arity_opt !sign name with
+          | None -> fail lineno ("undeclared relation " ^ name)
+          | Some arity ->
+              if List.length args <> arity then
+                fail lineno ("arity mismatch for " ^ name)
+              else begin
+                match List.map int_of_string_opt args with
+                | entries when List.for_all Option.is_some entries ->
+                    let tup =
+                      Array.of_list (List.map Option.get entries)
+                    in
+                    Hashtbl.replace tuples name
+                      (tup
+                      :: Option.value ~default:[]
+                           (Hashtbl.find_opt tuples name))
+                | _ -> fail lineno "bad tuple entry"
+              end
+        end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !order < 0 then Error "missing 'order' line"
+      else begin
+        let contents =
+          Hashtbl.fold (fun name tups acc -> (name, tups) :: acc) tuples []
+        in
+        match Structure.create !sign ~order:!order contents with
+        | a -> Ok a
+        | exception Invalid_argument m -> Error m
+      end
+
+let save path a =
+  let oc = open_out path in
+  output_string oc (to_string a);
+  close_out oc
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      of_string content

@@ -1,0 +1,22 @@
+(** Plain-text serialization of structures, for the CLI and for shipping
+    test fixtures.
+
+    Format (one item per line, ['#'] comments, blank lines ignored):
+    {v
+      order 6
+      rel E 2
+      rel P 1
+      E 0 1
+      E 1 2
+      P 3
+    v}
+    Every relation must be declared with [rel] before its tuples appear. *)
+
+val to_string : Structure.t -> string
+val of_string : string -> (Structure.t, string) result
+
+(** [save path a] / [load path] — file variants. [load] returns [Error] on
+    unreadable files as well as parse errors. *)
+val save : string -> Structure.t -> unit
+
+val load : string -> (Structure.t, string) result

@@ -1,0 +1,82 @@
+let tilde_name r positions =
+  r ^ "~" ^ String.concat "," (List.map string_of_int positions)
+
+let sphere_name i = "$S" ^ string_of_int i
+
+let subsets_of_positions k =
+  Foc_util.Combi.subsets (Foc_util.Combi.range 1 (k + 1))
+  |> List.map (List.sort compare)
+  |> List.sort compare
+
+let tilde_signature sign =
+  List.fold_left
+    (fun acc (name, k) ->
+      List.fold_left
+        (fun acc positions ->
+          Signature.add acc (tilde_name name positions)
+            (k - List.length positions))
+        acc (subsets_of_positions k))
+    Signature.empty (Signature.to_list sign)
+
+let signature_r sign r =
+  let base = tilde_signature sign in
+  List.fold_left
+    (fun acc i -> Signature.add acc (sphere_name i) 1)
+    base
+    (Foc_util.Combi.range 1 (r + 1))
+
+let rename ~d x =
+  if x = d then invalid_arg "Removal_op.rename: the removed element"
+  else if x < d then x
+  else x - 1
+
+let unrename ~d x' = if x' < d then x' else x' + 1
+
+let apply a ~r ~d =
+  let n = Structure.order a in
+  if n < 2 then invalid_arg "Removal_op.apply: order must be >= 2";
+  if d < 0 || d >= n then invalid_arg "Removal_op.apply: element out of range";
+  (* Bucket the projected tuples by their target symbol. *)
+  let buckets = Hashtbl.create 64 in
+  let push name tup =
+    let old = Option.value ~default:[] (Hashtbl.find_opt buckets name) in
+    Hashtbl.replace buckets name (tup :: old)
+  in
+  List.iter
+    (fun (name, k) ->
+      Tuple.Set.iter
+        (fun tup ->
+          let positions = ref [] in
+          for i = k downto 1 do
+            if tup.(i - 1) = d then positions := i :: !positions
+          done;
+          let keep =
+            Array.of_list
+              (List.filteri (fun i _ -> tup.(i) <> d) (Array.to_list tup))
+          in
+          push (tilde_name name !positions)
+            (Array.map (fun x -> rename ~d x) keep))
+        (Structure.rel a name))
+    (Signature.to_list (Structure.signature a));
+  (* Distance spheres around d, up to radius r, in the original structure. *)
+  let dist_tbl =
+    Foc_graph.Bfs.ball_tbl (Structure.gaifman a) ~centres:[ d ] ~radius:r
+  in
+  List.iter
+    (fun i ->
+      let members =
+        Hashtbl.fold
+          (fun v dv acc ->
+            if v <> d && dv <= i then [| rename ~d v |] :: acc else acc)
+          dist_tbl []
+      in
+      Hashtbl.replace buckets (sphere_name i) members)
+    (Foc_util.Combi.range 1 (r + 1));
+  let sign = signature_r (Structure.signature a) r in
+  let contents =
+    List.map
+      (fun (name, _) ->
+        (name, Option.value ~default:[] (Hashtbl.find_opt buckets name)))
+      (Signature.to_list sign)
+  in
+  Structure.create sign ~order:(n - 1) contents

@@ -1,0 +1,41 @@
+(** The removal operator [A *_r d] of Section 7.3.
+
+    Removing an element [d] from a structure must remember how [d]
+    participated in relations and how close remaining elements were to [d];
+    this is what lets the Removal Lemmas (7.8/7.9) rewrite formulas and
+    terms over the smaller structure. For every relation symbol [R] of arity
+    [k] and every subset [I ⊆ \[k\]] there is a fresh symbol [R̃_I] of arity
+    [k − |I|] holding the projections of the R-tuples whose d-positions are
+    exactly [I]; fresh unary symbols [S_i] ([i ∈ \[r\]]) hold the elements at
+    Gaifman distance ≤ i from [d] in the original structure. *)
+
+(** [tilde_name r positions] is the symbol name for [R̃_I]; [positions] is
+    the sorted 1-based list I. The generated names use characters outside
+    the query parser's identifier alphabet, so they can never clash with
+    user symbols. *)
+val tilde_name : string -> int list -> string
+
+(** [sphere_name i] is the name of the distance-sphere predicate [S_i]. *)
+val sphere_name : int -> string
+
+(** [subsets_of_positions k] enumerates all subsets [I ⊆ \[k\]] as sorted
+    1-based lists. *)
+val subsets_of_positions : int -> int list list
+
+(** [tilde_signature sign] is σ̃: all the [R̃_I] symbols. *)
+val tilde_signature : Signature.t -> Signature.t
+
+(** [signature_r sign r] is σ̃_r = σ̃ ∪ {S_1, …, S_r}. *)
+val signature_r : Signature.t -> int -> Signature.t
+
+(** [rename ~d x] maps an element of [A \ {d}] to its id in [A *_r d]
+    (elements above [d] shift down by one). Raises [Invalid_argument] on
+    [x = d]. *)
+val rename : d:int -> int -> int
+
+(** [unrename ~d x'] is the inverse of {!rename}. *)
+val unrename : d:int -> int -> int
+
+(** [apply a ~r ~d] computes [A *_r d]. The structure must have order ≥ 2
+    (the paper's requirement |A| ≥ 2). *)
+val apply : Structure.t -> r:int -> d:int -> Structure.t

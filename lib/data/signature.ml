@@ -1,0 +1,34 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+
+let add sg name arity =
+  if arity < 0 then invalid_arg "Signature.add: negative arity";
+  match M.find_opt name sg with
+  | None -> M.add name arity sg
+  | Some a when a = arity -> sg
+  | Some _ -> invalid_arg ("Signature.add: conflicting arity for " ^ name)
+
+let of_list l = List.fold_left (fun sg (n, a) -> add sg n a) empty l
+let arity sg name = M.find name sg
+let arity_opt sg name = M.find_opt name sg
+let mem sg name = M.mem name sg
+let to_list sg = M.bindings sg
+let cardinal sg = M.cardinal sg
+let size sg = M.fold (fun _ a acc -> acc + a) sg 0
+let union a b = M.fold (fun n ar sg -> add sg n ar) b a
+
+let subset a b =
+  M.for_all (fun n ar -> match M.find_opt n b with Some ar' -> ar = ar' | None -> false) a
+
+let equal = M.equal Int.equal
+let graph = of_list [ ("E", 2) ]
+
+let pp ppf sg =
+  Format.fprintf ppf "@[<h>{%a}@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (n, a) -> Format.fprintf ppf "%s/%d" n a))
+    (to_list sg)

@@ -1,0 +1,45 @@
+(** Relational signatures (Section 2 of the paper): a finite set of relation
+    symbols, each with an arity ≥ 0. Signatures are purely relational — no
+    constants or function symbols — and may contain 0-ary symbols (used by
+    the decomposition of Theorem 6.10 to record truth values of
+    sentences). *)
+
+type t
+
+val empty : t
+
+(** [add sg name arity] adds a symbol. Raises [Invalid_argument] if the name
+    is already present with a different arity or [arity < 0]; adding an
+    identical symbol twice is a no-op. *)
+val add : t -> string -> int -> t
+
+(** [of_list l] builds a signature from (name, arity) pairs. *)
+val of_list : (string * int) list -> t
+
+(** [arity sg name] — raises [Not_found] for unknown symbols. *)
+val arity : t -> string -> int
+
+val arity_opt : t -> string -> int option
+val mem : t -> string -> bool
+
+(** Symbols with arities, sorted by name. *)
+val to_list : t -> (string * int) list
+
+(** Number of symbols. *)
+val cardinal : t -> int
+
+(** ‖σ‖: the sum of the arities (the paper's size measure). *)
+val size : t -> int
+
+(** [union a b] — raises [Invalid_argument] on conflicting arities. *)
+val union : t -> t -> t
+
+(** [subset a b] — is every symbol of [a] in [b] with the same arity? *)
+val subset : t -> t -> bool
+
+val equal : t -> t -> bool
+
+(** The signature of graphs: a single binary symbol ["E"]. *)
+val graph : t
+
+val pp : Format.formatter -> t -> unit

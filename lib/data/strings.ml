@@ -1,0 +1,52 @@
+let le_name = "<="
+let letter_name c = Printf.sprintf "P_%c" c
+
+let signature alphabet =
+  Signature.of_list
+    ((le_name, 2) :: List.map (fun c -> (letter_name c, 1)) alphabet)
+
+let of_string ~alphabet s =
+  let n = String.length s in
+  String.iter
+    (fun c ->
+      if not (List.mem c alphabet) then
+        invalid_arg "Strings.of_string: letter outside alphabet")
+    s;
+  let le = ref [] in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      le := [| i; j |] :: !le
+    done
+  done;
+  let letters =
+    List.map
+      (fun c ->
+        let positions = ref [] in
+        String.iteri (fun i c' -> if c = c' then positions := [| i |] :: !positions) s;
+        (letter_name c, !positions))
+      alphabet
+  in
+  Structure.create (signature alphabet) ~order:n ((le_name, !le) :: letters)
+
+let to_string ~alphabet a =
+  let n = Structure.order a in
+  (* Recover each position's rank from the order relation, then its letter. *)
+  let rank = Array.make n 0 in
+  for v = 0 to n - 1 do
+    (* rank = number of strict predecessors *)
+    let count = ref 0 in
+    Tuple.Set.iter
+      (fun t -> if t.(1) = v && t.(0) <> v then incr count)
+      (Structure.rel a le_name);
+    rank.(v) <- !count
+  done;
+  let buf = Bytes.make n '?' in
+  for v = 0 to n - 1 do
+    let letters =
+      List.filter (fun c -> Structure.mem a (letter_name c) [| v |]) alphabet
+    in
+    match letters with
+    | [ c ] -> Bytes.set buf rank.(v) c
+    | _ -> invalid_arg "Strings.to_string: position without unique letter"
+  done;
+  Bytes.to_string buf

@@ -1,0 +1,29 @@
+(** Strings as relational structures (Section 4, Theorem 4.3).
+
+    A string over Σ becomes a structure of signature
+    [{≤} ∪ {P_a : a ∈ Σ}]: the binary relation [≤] is the linear order on
+    positions and [P_a] holds the positions carrying letter [a].
+
+    Note that the linear order makes the Gaifman graph a clique — exactly
+    why strings with ≤ fall outside every sparse class and why the paper
+    proves hardness on them. The ≤ relation has Θ(n²) tuples; the encoding
+    is therefore meant for the hardness experiments (moderate n), not for
+    the scaling ones. *)
+
+(** The name of the order relation. *)
+val le_name : string
+
+(** [letter_name c] is the name of the unary predicate [P_c]. *)
+val letter_name : char -> string
+
+(** [signature alphabet] is {≤/2} ∪ {P_a/1 : a ∈ alphabet}. *)
+val signature : char list -> Signature.t
+
+(** [of_string ~alphabet s] encodes [s]; every character of [s] must occur in
+    [alphabet]. Position [i] of the string is element [i]. *)
+val of_string : alphabet:char list -> string -> Structure.t
+
+(** [to_string ~alphabet a] decodes a structure back into a string; raises
+    [Invalid_argument] if some position carries no or several letters. For
+    round-trip tests. *)
+val to_string : alphabet:char list -> Structure.t -> string

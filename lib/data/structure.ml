@@ -1,0 +1,255 @@
+module M = Map.Make (String)
+
+type t = {
+  sign : Signature.t;
+  order : int;
+  rels : Tuple.Set.t M.t;
+  mutable gaifman : Foc_graph.Graph.t option;
+  mutable indexes : (string * int, (int, int array list) Hashtbl.t) Hashtbl.t;
+}
+
+let check_tuple order arity name tup =
+  if Array.length tup <> arity then
+    invalid_arg
+      (Printf.sprintf "Structure: tuple of arity %d for %s/%d"
+         (Array.length tup) name arity);
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= order then
+        invalid_arg ("Structure: element out of universe in relation " ^ name))
+    tup
+
+let create sign ~order rels =
+  if order < 0 then invalid_arg "Structure.create: negative order";
+  let add_rel m (name, tuples) =
+    let arity =
+      match Signature.arity_opt sign name with
+      | Some a -> a
+      | None -> invalid_arg ("Structure.create: unknown symbol " ^ name)
+    in
+    List.iter (check_tuple order arity name) tuples;
+    let existing = Option.value ~default:Tuple.Set.empty (M.find_opt name m) in
+    M.add name (Tuple.Set.add_seq (List.to_seq tuples) existing) m
+  in
+  let rels = List.fold_left add_rel M.empty rels in
+  { sign; order; rels; gaifman = None; indexes = Hashtbl.create 8 }
+
+let signature a = a.sign
+let order a = a.order
+
+let rel a name =
+  if not (Signature.mem a.sign name) then
+    invalid_arg ("Structure.rel: unknown symbol " ^ name);
+  Option.value ~default:Tuple.Set.empty (M.find_opt name a.rels)
+
+let size a =
+  a.order + M.fold (fun _ s acc -> acc + Tuple.Set.cardinal s) a.rels 0
+
+let mem a name tup = Tuple.Set.mem tup (rel a name)
+
+let tuples_with a name ~pos ~value =
+  let arity = Signature.arity a.sign name in
+  if pos < 0 || pos >= arity then
+    invalid_arg "Structure.tuples_with: position out of range";
+  let key = (name, pos) in
+  let index =
+    match Hashtbl.find_opt a.indexes key with
+    | Some idx -> idx
+    | None ->
+        let idx = Hashtbl.create 64 in
+        Tuple.Set.iter
+          (fun tup ->
+            let v = tup.(pos) in
+            Hashtbl.replace idx v
+              (tup :: Option.value ~default:[] (Hashtbl.find_opt idx v)))
+          (rel a name);
+        Hashtbl.replace a.indexes key idx;
+        idx
+  in
+  Option.value ~default:[] (Hashtbl.find_opt index value)
+
+let add_tuples a name tuples =
+  let arity = Signature.arity a.sign name in
+  List.iter (check_tuple a.order arity name) tuples;
+  let existing = Option.value ~default:Tuple.Set.empty (M.find_opt name a.rels) in
+  {
+    a with
+    rels = M.add name (Tuple.Set.add_seq (List.to_seq tuples) existing) a.rels;
+    gaifman = None;
+    indexes = Hashtbl.create 8;
+  }
+
+let remove_tuples a name tuples =
+  let arity = Signature.arity a.sign name in
+  List.iter (check_tuple a.order arity name) tuples;
+  let existing = Option.value ~default:Tuple.Set.empty (M.find_opt name a.rels) in
+  let pruned =
+    List.fold_left (fun s t -> Tuple.Set.remove t s) existing tuples
+  in
+  {
+    a with
+    rels = M.add name pruned a.rels;
+    gaifman = None;
+    indexes = Hashtbl.create 8;
+  }
+
+let gaifman a =
+  match a.gaifman with
+  | Some g -> g
+  | None ->
+      let es = ref [] in
+      M.iter
+        (fun _ tuples ->
+          Tuple.Set.iter
+            (fun tup ->
+              let k = Array.length tup in
+              for i = 0 to k - 1 do
+                for j = i + 1 to k - 1 do
+                  if tup.(i) <> tup.(j) then es := (tup.(i), tup.(j)) :: !es
+                done
+              done)
+            tuples)
+        a.rels;
+      let g = Foc_graph.Graph.create a.order !es in
+      a.gaifman <- Some g;
+      g
+
+let dist a u v = Foc_graph.Bfs.dist (gaifman a) u v
+let dist_le a u v r = Foc_graph.Bfs.dist_le (gaifman a) u v r
+let ball a ~centres ~radius = Foc_graph.Bfs.ball (gaifman a) ~centres ~radius
+
+let induced a vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= a.order then
+        invalid_arg "Structure.induced: element out of range")
+    vs;
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Array.make a.order (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let translate tup =
+    let ok = Array.for_all (fun x -> new_of_old.(x) >= 0) tup in
+    if ok then Some (Array.map (fun x -> new_of_old.(x)) tup) else None
+  in
+  let rels =
+    M.map
+      (fun tuples ->
+        Tuple.Set.fold
+          (fun tup acc ->
+            match translate tup with
+            | Some t -> Tuple.Set.add t acc
+            | None -> acc)
+          tuples Tuple.Set.empty)
+      a.rels
+  in
+  ( {
+      sign = a.sign;
+      order = Array.length old_of_new;
+      rels;
+      gaifman = None;
+      indexes = Hashtbl.create 8;
+    },
+    old_of_new )
+
+let disjoint_union a b =
+  if not (Signature.equal a.sign b.sign) then
+    invalid_arg "Structure.disjoint_union: signatures differ";
+  let shift = a.order in
+  let shifted =
+    M.map
+      (fun tuples ->
+        Tuple.Set.map (fun tup -> Array.map (fun x -> x + shift) tup) tuples)
+      b.rels
+  in
+  let rels =
+    M.union
+      (fun _ s1 s2 -> Some (Tuple.Set.union s1 s2))
+      a.rels shifted
+  in
+  { sign = a.sign; order = a.order + b.order; rels; gaifman = None; indexes = Hashtbl.create 8 }
+
+let expand a extra =
+  let sign =
+    List.fold_left (fun sg (n, ar, _) -> Signature.add sg n ar) a.sign extra
+  in
+  let rels =
+    List.fold_left
+      (fun m (n, ar, tuples) ->
+        List.iter (check_tuple a.order ar n) tuples;
+        let existing = Option.value ~default:Tuple.Set.empty (M.find_opt n m) in
+        M.add n (Tuple.Set.add_seq (List.to_seq tuples) existing) m)
+      a.rels extra
+  in
+  { sign; order = a.order; rels; gaifman = None; indexes = Hashtbl.create 8 }
+
+let reduct a sign =
+  if not (Signature.subset sign a.sign) then
+    invalid_arg "Structure.reduct: not a subsignature";
+  let rels = M.filter (fun n _ -> Signature.mem sign n) a.rels in
+  { sign; order = a.order; rels; gaifman = None; indexes = Hashtbl.create 8 }
+
+let of_graph g =
+  let es = Foc_graph.Graph.edges g in
+  let tuples =
+    List.concat_map (fun (u, v) -> [ [| u; v |]; [| v; u |] ]) es
+  in
+  create Signature.graph ~order:(Foc_graph.Graph.order g) [ ("E", tuples) ]
+
+let equal a b =
+  a.order = b.order
+  && Signature.equal a.sign b.sign
+  && M.equal Tuple.Set.equal
+       (M.filter (fun _ s -> not (Tuple.Set.is_empty s)) a.rels)
+       (M.filter (fun _ s -> not (Tuple.Set.is_empty s)) b.rels)
+
+let isomorphic a b =
+  a.order = b.order
+  && Signature.equal a.sign b.sign
+  &&
+  (* try all permutations of the (small) universe *)
+  let n = a.order in
+  let perm = Array.init n (fun i -> i) in
+  let applies () =
+    Signature.to_list a.sign
+    |> List.for_all (fun (name, _) ->
+           let image =
+             Tuple.Set.map (fun t -> Array.map (fun x -> perm.(x)) t)
+               (rel a name)
+           in
+           Tuple.Set.equal image (rel b name))
+  in
+  let rec permute i =
+    if i = n then applies ()
+    else begin
+      let found = ref false in
+      let j = ref i in
+      while (not !found) && !j < n do
+        let tmp = perm.(i) in
+        perm.(i) <- perm.(!j);
+        perm.(!j) <- tmp;
+        if permute (i + 1) then found := true
+        else begin
+          let tmp = perm.(i) in
+          perm.(i) <- perm.(!j);
+          perm.(!j) <- tmp
+        end;
+        incr j
+      done;
+      !found
+    end
+  in
+  permute 0
+
+let pp ppf a =
+  Format.fprintf ppf "@[<v>structure order=%d sig=%a" a.order Signature.pp
+    a.sign;
+  M.iter
+    (fun name tuples ->
+      Format.fprintf ppf "@,  %s = {%a}" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Tuple.pp)
+        (Tuple.Set.elements tuples))
+    a.rels;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,87 @@
+(** Finite relational σ-structures (Section 2 of the paper) — the databases
+    being queried.
+
+    The universe is always [0 .. order-1]; relations are sets of tuples of
+    the right arity. Structures are immutable; the Gaifman graph is computed
+    on demand and cached. *)
+
+type t
+
+(** [create sign ~order rels] builds a structure. Every listed relation name
+    must be in [sign] with matching tuple arities; unlisted symbols get the
+    empty relation. Tuple entries must lie in [0..order-1]. The paper
+    requires non-empty universes; we allow [order = 0] for convenience but
+    the evaluators treat it like the paper treats order 1 structures where
+    relevant. *)
+val create : Signature.t -> order:int -> (string * int array list) list -> t
+
+val signature : t -> Signature.t
+
+(** |A|: number of elements. *)
+val order : t -> int
+
+(** ‖A‖ = |A| + Σ_R |R^A| (the paper's size measure). *)
+val size : t -> int
+
+(** [rel a name] is the tuple set of [name]; raises [Invalid_argument] for a
+    symbol outside the signature. *)
+val rel : t -> string -> Tuple.Set.t
+
+(** [mem a name tup] — tuple membership. *)
+val mem : t -> string -> int array -> bool
+
+(** [tuples_with a name ~pos ~value] — the tuples of relation [name] whose
+    [pos]-th entry (0-based) is [value]. Backed by a lazily built hash
+    index, so repeated lookups are O(answer); this is what makes guarded
+    quantification over relational atoms run in time proportional to the
+    matching tuples rather than to neighbourhood balls. *)
+val tuples_with : t -> string -> pos:int -> value:int -> int array list
+
+(** [add_tuples a name tups] is [a] with the tuples added (functional). *)
+val add_tuples : t -> string -> int array list -> t
+
+(** [remove_tuples a name tups] is [a] with the tuples removed (absent
+    tuples are ignored). *)
+val remove_tuples : t -> string -> int array list -> t
+
+(** The Gaifman graph G_A (cached). *)
+val gaifman : t -> Foc_graph.Graph.t
+
+(** [dist a u v] is the Gaifman distance, [Foc_graph.Bfs.infinity] when unreachable. *)
+val dist : t -> int -> int -> int
+
+(** [dist_le a u v r] decides [dist ≤ r] exploring only an r-ball. *)
+val dist_le : t -> int -> int -> int -> bool
+
+(** [ball a ~centres ~radius] — the r-ball N_r(ā) as a sorted list. *)
+val ball : t -> centres:int list -> radius:int -> int list
+
+(** [induced a vs] is A[vs] (tuples entirely inside [vs]), with elements
+    renumbered in sorted order, plus the [old_of_new] injection. *)
+val induced : t -> int list -> t * int array
+
+(** [disjoint_union a b] shifts [b]'s elements by [order a]; signatures must
+    be equal. *)
+val disjoint_union : t -> t -> t
+
+(** [expand a extra] adds fresh relation symbols with contents — the
+    σ'-expansions used throughout Sections 5–8. Raises on clashes with
+    existing symbols of different arity or on arity mismatches. *)
+val expand : t -> (string * int * int array list) list -> t
+
+(** [reduct a sign] keeps only the symbols of [sign] (which must all be
+    present in [a]'s signature). *)
+val reduct : t -> Signature.t -> t
+
+(** [of_graph g] is the {E/2} structure with both orientations of each
+    edge. *)
+val of_graph : Foc_graph.Graph.t -> t
+
+(** Structural equality (same signature, order and relations). *)
+val equal : t -> t -> bool
+
+(** Brute-force isomorphism test; intended for test assertions on structures
+    of order ≤ 8. *)
+val isomorphic : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+type t = int array
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let equal a b = compare a b = 0
+
+let hash (a : t) =
+  Array.fold_left (fun acc x -> (acc * 1000003) lxor x) (Array.length a) a
+
+let pp ppf a =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list a)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,15 @@
+(** Tuples of structure elements: immutable-by-convention [int array]s with a
+    total order, hashing and a set implementation. Relations of σ-structures
+    are sets of tuples. *)
+
+type t = int array
+
+(** Lexicographic order; shorter tuples first on length mismatch. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Tuple sets, used as relation contents. *)
+module Set : Set.S with type elt = t

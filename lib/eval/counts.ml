@@ -1,0 +1,29 @@
+open Foc_logic
+
+type t = { vars : Var.Set.t; get : int Var.Map.t -> int }
+
+let vars v = v.vars
+let get v env = v.get env
+let const i = { vars = Var.Set.empty; get = (fun _ -> i) }
+
+let combine op a b =
+  { vars = Var.Set.union a.vars b.vars; get = (fun env -> op (a.get env) (b.get env)) }
+
+let add = combine ( + )
+let mul = combine ( * )
+
+let of_groups ~vars:vs ~multiplier tbl =
+  {
+    vars = Var.Set.of_list (Array.to_list vs);
+    get =
+      (fun env ->
+        let key =
+          Array.map
+            (fun x ->
+              match Var.Map.find_opt x env with
+              | Some v -> v
+              | None -> raise (Naive.Unbound x))
+            vs
+        in
+        multiplier * Option.value ~default:0 (Hashtbl.find_opt tbl key));
+  }

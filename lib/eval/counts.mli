@@ -1,0 +1,29 @@
+(** Valuations of counting terms with free variables: a term [t(x̄)] denotes
+    the function [ā ↦ t^A(ā)]; this module represents such functions
+    extensionally-on-demand (a variable list plus an evaluation closure over
+    assignments). Used by {!Relalg} to evaluate [Pred] formulas. *)
+
+open Foc_logic
+
+type t
+
+(** The variables the valuation depends on. *)
+val vars : t -> Var.Set.t
+
+(** [get v env] — the value under an assignment binding at least
+    [vars v]; raises [Naive.Unbound] otherwise. *)
+val get : t -> int Var.Map.t -> int
+
+(** Constant valuation. *)
+val const : int -> t
+
+(** Pointwise combination; depends on the union of the variables. *)
+val add : t -> t -> t
+
+val mul : t -> t -> t
+
+(** [of_groups ~vars ~multiplier tbl] — valuation reading the hash table
+    keyed by the projection of the assignment onto [vars] (in order),
+    defaulting to 0, times [multiplier]. *)
+val of_groups :
+  vars:Var.t array -> multiplier:int -> (int array, int) Hashtbl.t -> t

@@ -1,0 +1,81 @@
+open Foc_logic
+
+type env = int Var.Map.t
+
+let env_of_list l =
+  List.fold_left (fun m (x, v) -> Var.Map.add x v m) Var.Map.empty l
+
+exception Unbound of Var.t
+
+let lookup env x =
+  match Var.Map.find_opt x env with Some v -> v | None -> raise (Unbound x)
+
+let lookup_exn = lookup
+
+let rec formula preds a env (phi : Ast.formula) =
+  let n = Foc_data.Structure.order a in
+  if n = 0 then invalid_arg "Naive.formula: empty universe";
+  match phi with
+  | True -> true
+  | False -> false
+  | Eq (x, y) -> lookup env x = lookup env y
+  | Rel (r, xs) ->
+      Foc_data.Structure.mem a r (Array.map (lookup env) xs)
+  | Dist (x, y, d) ->
+      Foc_data.Structure.dist_le a (lookup env x) (lookup env y) d
+  | Neg f -> not (formula preds a env f)
+  | Or (f, g) -> formula preds a env f || formula preds a env g
+  | And (f, g) -> formula preds a env f && formula preds a env g
+  | Exists (y, f) ->
+      let rec try_from v =
+        v < n
+        && (formula preds a (Var.Map.add y v env) f || try_from (v + 1))
+      in
+      try_from 0
+  | Forall (y, f) ->
+      let rec all_from v =
+        v >= n
+        || (formula preds a (Var.Map.add y v env) f && all_from (v + 1))
+      in
+      all_from 0
+  | Pred (p, ts) ->
+      Pred.holds preds p
+        (Array.of_list (List.map (term preds a env) ts))
+
+and term preds a env (t : Ast.term) =
+  let n = Foc_data.Structure.order a in
+  match t with
+  | Int i -> i
+  | Add (s, t') -> term preds a env s + term preds a env t'
+  | Mul (s, t') -> term preds a env s * term preds a env t'
+  | Count (ys, f) ->
+      let ys = Array.of_list ys in
+      let count = ref 0 in
+      Foc_util.Combi.iter_tuples n (Array.length ys) (fun tup ->
+          let env' =
+            ref env
+          in
+          Array.iteri (fun i y -> env' := Var.Map.add y tup.(i) !env') ys;
+          if formula preds a !env' f then incr count);
+      !count
+
+let sentence preds a phi = formula preds a Var.Map.empty phi
+let ground_term preds a t = term preds a Var.Map.empty t
+
+let query preds a (q : Query.t) =
+  let n = Foc_data.Structure.order a in
+  let head = Array.of_list q.head_vars in
+  let k = Array.length head in
+  let results = ref [] in
+  Foc_util.Combi.iter_tuples n k (fun tup ->
+      let env =
+        Array.to_list (Array.mapi (fun i x -> (x, tup.(i))) head)
+        |> env_of_list
+      in
+      if formula preds a env q.body then begin
+        let values =
+          Array.of_list (List.map (term preds a env) q.head_terms)
+        in
+        results := (Array.copy tup, values) :: !results
+      end);
+  List.rev !results

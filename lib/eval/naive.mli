@@ -1,0 +1,44 @@
+(** The reference evaluator: a verbatim transcription of the semantics of
+    Definition 3.1.
+
+    Quantifiers range over the whole universe, counting terms enumerate all
+    [|A|^k] tuples — running time is exponential in the quantifier/#-nesting
+    of the expression. This evaluator exists to be obviously correct; every
+    other engine in the library is tested against it on small inputs. *)
+
+open Foc_logic
+
+(** An assignment β, partial: only the variables relevant to the expression
+    need to be bound. *)
+type env = int Var.Map.t
+
+val env_of_list : (Var.t * int) list -> env
+
+exception Unbound of Var.t
+(** Raised when the expression reads a variable the assignment misses. *)
+
+(** [lookup_exn env x] — the value of [x], raising {!Unbound}. *)
+val lookup_exn : env -> Var.t -> int
+
+(** [formula preds a env φ] is ⟦φ⟧^(A,β) = 1. Raises [Invalid_argument] on an
+    empty universe (the paper requires |A| ≥ 1), {!Unbound}, or unknown
+    predicate names. *)
+val formula :
+  Pred.collection -> Foc_data.Structure.t -> env -> Ast.formula -> bool
+
+(** [term preds a env t] is ⟦t⟧^(A,β). *)
+val term : Pred.collection -> Foc_data.Structure.t -> env -> Ast.term -> int
+
+(** [sentence preds a φ] — convenience for closed formulas. *)
+val sentence : Pred.collection -> Foc_data.Structure.t -> Ast.formula -> bool
+
+(** [ground_term preds a t] — convenience for ground terms. *)
+val ground_term : Pred.collection -> Foc_data.Structure.t -> Ast.term -> int
+
+(** [query preds a q] evaluates a query per Definition 5.2, returning the
+    list of result tuples [(ā, n̄)] in lexicographic order of [ā]. *)
+val query :
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Query.t ->
+  (int array * int array) list

@@ -1,0 +1,207 @@
+open Foc_logic
+module TS = Foc_data.Tuple.Set
+
+let check_universe a =
+  if Foc_data.Structure.order a = 0 then
+    invalid_arg "Relalg: empty universe"
+
+let all_elements_table a x =
+  let n = Foc_data.Structure.order a in
+  Table.full n [| x |]
+
+(* Relation atoms may repeat variables, e.g. E(x,x): keep the tuples that
+   are constant on the repeated positions and project to the distinct
+   variables in first-occurrence order. *)
+let rel_table a name xs =
+  let distinct =
+    Array.to_list xs
+    |> List.fold_left
+         (fun acc x -> if List.mem x acc then acc else x :: acc)
+         []
+    |> List.rev |> Array.of_list
+  in
+  let positions =
+    Array.map
+      (fun x ->
+        let rec first i = if Var.equal xs.(i) x then i else first (i + 1) in
+        first 0)
+      distinct
+  in
+  let consistent tup =
+    let ok = ref true in
+    Array.iteri
+      (fun i x ->
+        let rep =
+          let rec first j = if Var.equal xs.(j) x then j else first (j + 1) in
+          first 0
+        in
+        if tup.(i) <> tup.(rep) then ok := false)
+      xs;
+    !ok
+  in
+  let rows =
+    TS.fold
+      (fun tup acc ->
+        if consistent tup then
+          TS.add (Array.map (fun p -> tup.(p)) positions) acc
+        else acc)
+      (Foc_data.Structure.rel a name)
+      TS.empty
+  in
+  Table.create distinct rows
+
+let dist_table a x y d =
+  let n = Foc_data.Structure.order a in
+  if Var.equal x y then all_elements_table a x
+  else begin
+    let g = Foc_data.Structure.gaifman a in
+    let rows = ref TS.empty in
+    for u = 0 to n - 1 do
+      let ball = Foc_graph.Bfs.ball_tbl g ~centres:[ u ] ~radius:d in
+      Hashtbl.iter (fun v _ -> rows := TS.add [| u; v |] !rows) ball
+    done;
+    Table.create [| x; y |] !rows
+  end
+
+let rec formula_table preds a (phi : Ast.formula) =
+  check_universe a;
+  let n = Foc_data.Structure.order a in
+  match phi with
+  | True -> Table.unit
+  | False -> Table.zero
+  | Eq (x, y) ->
+      if Var.equal x y then all_elements_table a x
+      else begin
+        let rows = ref TS.empty in
+        for v = 0 to n - 1 do
+          rows := TS.add [| v; v |] !rows
+        done;
+        Table.create [| x; y |] !rows
+      end
+  | Rel (r, xs) -> rel_table a r xs
+  | Dist (x, y, d) -> dist_table a x y d
+  | Neg f -> Table.complement (formula_table preds a f) n
+  | Or (f, g) ->
+      let tf = formula_table preds a f and tg = formula_table preds a g in
+      let missing_of t other =
+        Array.to_list (Table.vars other)
+        |> List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars t)))
+        |> Array.of_list
+      in
+      let tf = Table.extend_full tf n (missing_of tf tg) in
+      let tg = Table.extend_full tg n (missing_of tg tf) in
+      Table.union tf tg
+  | And (f, g) -> Table.join (formula_table preds a f) (formula_table preds a g)
+  | Exists (y, f) ->
+      let t = formula_table preds a f in
+      if Array.exists (Var.equal y) (Table.vars t) then begin
+        let target =
+          Array.to_list (Table.vars t)
+          |> List.filter (fun x -> not (Var.equal x y))
+          |> Array.of_list
+        in
+        Table.project t target
+      end
+      else t
+  | Forall (y, f) ->
+      formula_table preds a (Ast.Neg (Exists (y, Ast.Neg f)))
+  | Pred (p, ts) ->
+      let counts = List.map (term_counts preds a) ts in
+      let free =
+        List.fold_left
+          (fun acc c -> Var.Set.union acc (Counts.vars c))
+          Var.Set.empty counts
+      in
+      let vars = Array.of_list (Var.Set.elements free) in
+      let rows = ref TS.empty in
+      Foc_util.Combi.iter_tuples n (Array.length vars) (fun tup ->
+          let env =
+            ref Var.Map.empty
+          in
+          Array.iteri (fun i x -> env := Var.Map.add x tup.(i) !env) vars;
+          let values =
+            Array.of_list (List.map (fun c -> Counts.get c !env) counts)
+          in
+          if Pred.holds preds p values then rows := TS.add (Array.copy tup) !rows);
+      Table.create vars !rows
+
+and term_counts preds a (t : Ast.term) =
+  check_universe a;
+  let n = Foc_data.Structure.order a in
+  match t with
+  | Int i -> Counts.const i
+  | Add (s, t') -> Counts.add (term_counts preds a s) (term_counts preds a t')
+  | Mul (s, t') -> Counts.mul (term_counts preds a s) (term_counts preds a t')
+  | Count (ys, f) ->
+      let tf = formula_table preds a f in
+      let ctx =
+        Array.to_list (Table.vars tf)
+        |> List.filter (fun x -> not (List.mem x ys))
+        |> Array.of_list
+      in
+      let counted =
+        Array.to_list (Table.vars tf) |> List.filter (fun x -> List.mem x ys)
+      in
+      (* bound variables that f does not mention multiply the count by n *)
+      let silent = List.length ys - List.length counted in
+      let multiplier =
+        let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+        pow 1 silent
+      in
+      let ctx_idx = Array.map (fun x -> Table.column_index tf x) ctx in
+      let tbl = Hashtbl.create 64 in
+      TS.iter
+        (fun row ->
+          let key = Array.map (fun i -> row.(i)) ctx_idx in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+        (Table.rows tf);
+      Counts.of_groups ~vars:ctx ~multiplier tbl
+
+let holds preds a binding phi =
+  let t = formula_table preds a phi in
+  not (Table.is_empty (Table.bind t binding))
+
+let term_value preds a binding t =
+  let c = term_counts preds a t in
+  Counts.get c (Naive.env_of_list binding)
+
+let count preds a vars phi =
+  let t = formula_table preds a phi in
+  Array.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg "Relalg.count: free variable not listed")
+    (Table.vars t);
+  let n = Foc_data.Structure.order a in
+  let missing =
+    List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars t))) vars
+  in
+  let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+  Table.cardinal t * pow 1 (List.length missing)
+
+let query preds a (q : Query.t) =
+  check_universe a;
+  let n = Foc_data.Structure.order a in
+  let body = formula_table preds a q.body in
+  let head = Array.of_list q.head_vars in
+  let missing =
+    Array.to_list head
+    |> List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars body)))
+    |> Array.of_list
+  in
+  let body = Table.extend_full body n missing in
+  let body = Table.align body head in
+  let term_vals = List.map (term_counts preds a) q.head_terms in
+  TS.fold
+    (fun row acc ->
+      let env =
+        ref Var.Map.empty
+      in
+      Array.iteri (fun i x -> env := Var.Map.add x row.(i) !env) head;
+      let values =
+        Array.of_list (List.map (fun c -> Counts.get c !env) term_vals)
+      in
+      (row, values) :: acc)
+    (Table.rows body) []
+  |> List.sort (fun (r1, _) (r2, _) -> Foc_data.Tuple.compare r1 r2)

@@ -1,0 +1,51 @@
+(** The relational-algebra evaluator: the polynomial-time baseline engine.
+
+    Formulas are evaluated bottom-up into {!Table}s of satisfying
+    assignments (the classical FO evaluation algorithm, [n^O(width)] time and
+    space); counting terms into {!Counts} valuations by grouping. This is
+    the engine a "textbook database system" would use; the paper's
+    contribution (implemented in [foc_nd.Engine]) beats it on sparse
+    structures, which experiment E3 demonstrates.
+
+    All functions raise [Invalid_argument] on an empty universe. *)
+
+open Foc_logic
+
+(** [formula_table preds a φ] — the table of satisfying assignments over
+    exactly [free φ] (column order unspecified). *)
+val formula_table :
+  Pred.collection -> Foc_data.Structure.t -> Ast.formula -> Table.t
+
+(** [term_counts preds a t] — the valuation of a counting term. *)
+val term_counts :
+  Pred.collection -> Foc_data.Structure.t -> Ast.term -> Counts.t
+
+(** [holds preds a binding φ] — truth under the given assignment (which must
+    cover [free φ]). *)
+val holds :
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  (Var.t * int) list ->
+  Ast.formula ->
+  bool
+
+(** [term_value preds a binding t]. *)
+val term_value :
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  (Var.t * int) list ->
+  Ast.term ->
+  int
+
+(** [count preds a vars φ] is [|{ā ∈ A^|vars| : A ⊨ φ(ā)}|] — the counting
+    problem of Corollary 5.6. [vars] must contain [free φ]. *)
+val count :
+  Pred.collection -> Foc_data.Structure.t -> Var.t list -> Ast.formula -> int
+
+(** [query preds a q] evaluates a Definition 5.2 query; rows in lexicographic
+    order of the head tuple. *)
+val query :
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Query.t ->
+  (int array * int array) list

@@ -1,0 +1,148 @@
+open Foc_logic
+module TS = Foc_data.Tuple.Set
+
+type t = { vars : Var.t array; rows : TS.t }
+
+let vars t = t.vars
+let rows t = t.rows
+
+let create vars rows =
+  let k = Array.length vars in
+  if
+    List.length (List.sort_uniq Var.compare (Array.to_list vars)) <> k
+  then invalid_arg "Table.create: repeated column";
+  TS.iter
+    (fun r ->
+      if Array.length r <> k then invalid_arg "Table.create: row arity")
+    rows;
+  { vars; rows }
+
+let of_rows vars row_list = create vars (TS.of_list row_list)
+let unit = { vars = [||]; rows = TS.singleton [||] }
+let zero = { vars = [||]; rows = TS.empty }
+let cardinal t = TS.cardinal t.rows
+let is_empty t = TS.is_empty t.rows
+
+let full n vars =
+  let k = Array.length vars in
+  let acc = ref TS.empty in
+  Foc_util.Combi.iter_tuples n k (fun tup -> acc := TS.add (Array.copy tup) !acc);
+  create vars !acc
+
+let column_index t x =
+  let rec go i =
+    if i = Array.length t.vars then raise Not_found
+    else if Var.equal t.vars.(i) x then i
+    else go (i + 1)
+  in
+  go 0
+
+let project t target =
+  let idx = Array.map (fun x -> column_index t x) target in
+  let rows =
+    TS.fold
+      (fun r acc -> TS.add (Array.map (fun i -> r.(i)) idx) acc)
+      t.rows TS.empty
+  in
+  create target rows
+
+let align t target =
+  if Array.length target <> Array.length t.vars then
+    invalid_arg "Table.align: not a permutation";
+  project t target
+
+let join t1 t2 =
+  let shared =
+    Array.to_list t2.vars
+    |> List.filter (fun x -> Array.exists (Var.equal x) t1.vars)
+  in
+  let fresh =
+    Array.of_list
+      (Array.to_list t2.vars
+      |> List.filter (fun x -> not (Array.exists (Var.equal x) t1.vars)))
+  in
+  let out_vars = Array.append t1.vars fresh in
+  let key1 = List.map (fun x -> column_index t1 x) shared in
+  let key2 = List.map (fun x -> column_index t2 x) shared in
+  let fresh_idx = Array.map (fun x -> column_index t2 x) fresh in
+  (* hash join: index t2 by its key *)
+  let index = Hashtbl.create (max 16 (TS.cardinal t2.rows)) in
+  TS.iter
+    (fun r ->
+      let key = Array.of_list (List.map (fun i -> r.(i)) key2) in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt index key) in
+      Hashtbl.replace index key (r :: prev))
+    t2.rows;
+  let out = ref TS.empty in
+  TS.iter
+    (fun r1 ->
+      let key = Array.of_list (List.map (fun i -> r1.(i)) key1) in
+      match Hashtbl.find_opt index key with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun r2 ->
+              let row =
+                Array.append r1 (Array.map (fun i -> r2.(i)) fresh_idx)
+              in
+              out := TS.add row !out)
+            matches)
+    t1.rows;
+  create out_vars !out
+
+let extend_full t n extra =
+  Array.iter
+    (fun x ->
+      if Array.exists (Var.equal x) t.vars then
+        invalid_arg "Table.extend_full: column exists")
+    extra;
+  let k = Array.length extra in
+  if k = 0 then t
+  else begin
+    let out = ref TS.empty in
+    TS.iter
+      (fun r ->
+        Foc_util.Combi.iter_tuples n k (fun tup ->
+            out := TS.add (Array.append r tup) !out))
+      t.rows;
+    create (Array.append t.vars extra) !out
+  end
+
+let union t1 t2 =
+  let t2 = align t2 t1.vars in
+  create t1.vars (TS.union t1.rows t2.rows)
+
+let diff t1 t2 =
+  let t2 = align t2 t1.vars in
+  create t1.vars (TS.diff t1.rows t2.rows)
+
+let complement t n = diff (full n t.vars) t
+
+let filter t f = { t with rows = TS.filter f t.rows }
+
+let bind t binding =
+  let bound, rest =
+    Array.to_list t.vars
+    |> List.partition (fun x -> List.mem_assoc x binding)
+  in
+  let checks =
+    List.map (fun x -> (column_index t x, List.assoc x binding)) bound
+  in
+  let keep =
+    TS.filter (fun r -> List.for_all (fun (i, v) -> r.(i) = v) checks) t.rows
+  in
+  project { t with rows = keep } (Array.of_list rest)
+
+let equal t1 t2 =
+  let s1 = List.sort Var.compare (Array.to_list t1.vars) in
+  let s2 = List.sort Var.compare (Array.to_list t2.vars) in
+  s1 = s2
+  &&
+  let t2 = align t2 t1.vars in
+  TS.equal t1.rows t2.rows
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cols: %s@,%a@]"
+    (String.concat ", " (Array.to_list t.vars))
+    (Format.pp_print_list Foc_data.Tuple.pp)
+    (TS.elements t.rows)

@@ -1,0 +1,78 @@
+(** Tables of satisfying assignments: the substrate of the relational-algebra
+    baseline evaluator {!Relalg}.
+
+    A table has a column list (distinct variables) and a set of rows; row
+    [i] holds the value of column [i]. The algebra is the classical one —
+    natural join, projection, union/difference after column alignment,
+    complement against the full product — with no query optimisation: this
+    engine is the "textbook" poly-time baseline the paper's almost-linear
+    algorithm is compared against in experiment E3. *)
+
+open Foc_logic
+
+type t
+
+(** Columns, in order. *)
+val vars : t -> Var.t array
+
+(** Rows (arity = number of columns). *)
+val rows : t -> Foc_data.Tuple.Set.t
+
+(** [create vars rows] — columns must be distinct, rows of matching arity. *)
+val create : Var.t array -> Foc_data.Tuple.Set.t -> t
+
+(** [of_rows vars row_list]. *)
+val of_rows : Var.t array -> int array list -> t
+
+(** The 0-column table with one (empty) row — "true". *)
+val unit : t
+
+(** The 0-column table with no rows — "false". *)
+val zero : t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** [full n vars] is the [n^k]-row product table over [vars]. *)
+val full : int -> Var.t array -> t
+
+(** [project t target] keeps the [target] columns (a subset of [vars t],
+    any order), deduplicating rows. *)
+val project : t -> Var.t array -> t
+
+(** [join t1 t2] — natural join on the shared columns; result columns are
+    [vars t1] followed by the fresh columns of [t2]. *)
+val join : t -> t -> t
+
+(** [align t target] reorders columns to [target]; [target] must be a
+    permutation of [vars t]. *)
+val align : t -> Var.t array -> t
+
+(** [extend_full t n extra] adds the [extra] columns (disjoint from
+    [vars t]) carrying all values [0..n-1] (cross product). *)
+val extend_full : t -> int -> Var.t array -> t
+
+(** [union t1 t2] / [diff t1 t2] — same column sets, aligned
+    automatically. *)
+val union : t -> t -> t
+
+val diff : t -> t -> t
+
+(** [complement t n] is [full n (vars t)] minus [t]. *)
+val complement : t -> int -> t
+
+(** [filter t f] keeps rows satisfying [f]; the callback receives the row. *)
+val filter : t -> (int array -> bool) -> t
+
+(** [bind t binding] selects the rows matching the (variable, value) pairs
+    (variables not among the columns are ignored) and then projects those
+    columns away. *)
+val bind : t -> (Var.t * int) list -> t
+
+(** [column_index t x] — position of column [x], or raises [Not_found]. *)
+val column_index : t -> Var.t -> int
+
+val equal : t -> t -> bool
+(** Same column set and same rows (after alignment). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+(** Breadth-first search: distances, balls and neighbourhoods.
+
+    Implements the metric notions of Section 2 of the paper:
+    [dist^A(a, b)], the r-ball [N_r^A(ā)] of a tuple, and eccentricities
+    (used to compute cluster radii in Section 8.1). Distances are lengths of
+    shortest paths in the (Gaifman) graph; unreachable pairs have distance
+    [infinity], represented as [max_int]. *)
+
+(** The distance value standing for ∞. *)
+val infinity : int
+
+(** [dist g u v] is the shortest-path distance, [infinity] if disconnected.
+    O(‖G‖). *)
+val dist : Graph.t -> int -> int -> int
+
+(** [dist_le g u v r] decides [dist g u v <= r] exploring only the r-ball of
+    [u]; the workhorse of the distance atoms of FO⁺ (§7). *)
+val dist_le : Graph.t -> int -> int -> int -> bool
+
+(** [distances_from g ~sources ~radius] is the array of distances from the
+    closest source, capped exploration at [radius] (pass [max_int] for a full
+    sweep); entries beyond the cap are [infinity]. This realises
+    [dist^A(ā, b) = min_i dist(a_i, b)]. *)
+val distances_from : Graph.t -> sources:int list -> radius:int -> int array
+
+(** [ball g ~centres ~radius] is the sorted list of vertices at distance at
+    most [radius] from some centre — the ball [N_r(ā)] of Section 2. *)
+val ball : Graph.t -> centres:int list -> radius:int -> int list
+
+(** [ball_tbl g ~centres ~radius] maps each vertex of the ball to its
+    distance from the closest centre. Unlike {!distances_from} this touches
+    only the ball, never the whole graph — the localized evaluation engine
+    depends on this for its near-linear running time. *)
+val ball_tbl : Graph.t -> centres:int list -> radius:int -> (int, int) Hashtbl.t
+
+(** [eccentricity_within g vs c] is [max_{v in vs} dist_{G[vs]}(c, v)]
+    computed inside the induced subgraph on [vs]; [infinity] if some vertex
+    of [vs] is unreachable from [c] within [vs]. Used for cover radii. *)
+val eccentricity_within : Graph.t -> int list -> int -> int
+
+(** [tuple_connected g r vs] decides whether the "pattern graph" on the
+    vertex list [vs] with edges between vertices at distance ≤ [r] is
+    connected (the r-connectedness of tuples, §7.1). *)
+val tuple_connected : Graph.t -> int -> int list -> bool

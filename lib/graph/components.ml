@@ -1,0 +1,38 @@
+let labels g =
+  let n = Graph.order g in
+  let lab = Array.make n (-1) in
+  let count = ref 0 in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if lab.(v) < 0 then begin
+      let c = !count in
+      incr count;
+      lab.(v) <- c;
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let u = Queue.take q in
+        Array.iter
+          (fun w ->
+            if lab.(w) < 0 then begin
+              lab.(w) <- c;
+              Queue.add w q
+            end)
+          (Graph.neighbours g u)
+      done
+    end
+  done;
+  (lab, !count)
+
+let components g =
+  let lab, count = labels g in
+  let buckets = Array.make count [] in
+  for v = Graph.order g - 1 downto 0 do
+    buckets.(lab.(v)) <- v :: buckets.(lab.(v))
+  done;
+  Array.to_list buckets
+
+let is_connected g =
+  let _, count = labels g in
+  count <= 1
+
+let same_component g u v = Bfs.dist g u v <> Bfs.infinity

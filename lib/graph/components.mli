@@ -1,0 +1,15 @@
+(** Connected components (Section 2: a structure is connected iff its
+    Gaifman graph is). *)
+
+(** [labels g] assigns to each vertex a component id in [0 .. count-1];
+    returns [(labels, count)]. Ids are in order of smallest member. *)
+val labels : Graph.t -> int array * int
+
+(** The components as sorted vertex lists, ordered by smallest member. *)
+val components : Graph.t -> int list list
+
+(** [is_connected g] — the empty graph counts as connected. *)
+val is_connected : Graph.t -> bool
+
+(** [same_component g u v] without materialising all labels. *)
+val same_component : Graph.t -> int -> int -> bool

@@ -1,0 +1,83 @@
+type t = {
+  r : int;
+  clusters : int array array;
+  assign : int array;
+  centres : int array;
+  containing : int list array;
+}
+
+let make g ~r =
+  if r < 0 then invalid_arg "Cover.make: negative radius";
+  let n = Graph.order g in
+  let assign = Array.make n (-1) in
+  let clusters = ref [] and centres = ref [] in
+  let count = ref 0 in
+  for c = 0 to n - 1 do
+    if assign.(c) < 0 then begin
+      let tbl = Bfs.ball_tbl g ~centres:[ c ] ~radius:(2 * r) in
+      let members =
+        List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) tbl [])
+      in
+      let id = !count in
+      incr count;
+      clusters := Array.of_list members :: !clusters;
+      centres := c :: !centres;
+      (* every still-unassigned vertex within distance r of the centre can
+         use this cluster: its r-ball sits inside N_2r(c). *)
+      Hashtbl.iter
+        (fun v d -> if d <= r && assign.(v) < 0 then assign.(v) <- id)
+        tbl
+    end
+  done;
+  let clusters = Array.of_list (List.rev !clusters) in
+  let centres = Array.of_list (List.rev !centres) in
+  let containing = Array.make n [] in
+  Array.iteri
+    (fun id members ->
+      Array.iter (fun v -> containing.(v) <- id :: containing.(v)) members)
+    clusters;
+  { r; clusters; assign; centres; containing }
+
+let radius_param t = t.r
+let cluster_count t = Array.length t.clusters
+let cluster t i = t.clusters.(i)
+let assigned t a = t.assign.(a)
+let centre t i = t.centres.(i)
+
+let kernel t i =
+  let acc = ref [] in
+  Array.iter
+    (fun v -> if t.assign.(v) = i then acc := v :: !acc)
+    t.clusters.(i);
+  Array.of_list (List.rev !acc)
+
+let clusters_containing t a = t.containing.(a)
+
+let max_degree t =
+  Array.fold_left (fun acc l -> max acc (List.length l)) 0 t.containing
+
+let max_cluster_radius t g =
+  Array.to_list t.clusters
+  |> List.mapi (fun i members ->
+         Bfs.eccentricity_within g (Array.to_list members) t.centres.(i))
+  |> List.fold_left max 0
+
+let covers_tuple t g ~s i vs =
+  let members = t.clusters.(i) in
+  let inside v =
+    (* binary search in the sorted member array *)
+    let lo = ref 0 and hi = ref (Array.length members) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if members.(mid) = v then found := true
+      else if members.(mid) < v then lo := mid + 1
+      else hi := mid
+    done;
+    !found
+  in
+  let ball = Bfs.ball g ~centres:vs ~radius:s in
+  List.for_all inside ball
+
+let total_weight t =
+  Array.fold_left (fun acc c -> acc + Array.length c) 0 t.clusters

@@ -1,0 +1,123 @@
+let path n = Graph.create n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.create n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let clique n =
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      es := (i, j) :: !es
+    done
+  done;
+  Graph.create n !es
+
+let star n =
+  Graph.create n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+let grid rows cols =
+  let idx i j = (i * cols) + j in
+  let es = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      if j + 1 < cols then es := (idx i j, idx i (j + 1)) :: !es;
+      if i + 1 < rows then es := (idx i j, idx (i + 1) j) :: !es
+    done
+  done;
+  Graph.create (rows * cols) !es
+
+let binary_tree n =
+  let es = ref [] in
+  for i = 1 to n - 1 do
+    es := ((i - 1) / 2, i) :: !es
+  done;
+  Graph.create n !es
+
+let random_tree st n =
+  let es = ref [] in
+  for i = 1 to n - 1 do
+    es := (Random.State.int st i, i) :: !es
+  done;
+  Graph.create n !es
+
+let random_bounded_degree st n d =
+  if d < 0 then invalid_arg "Gen.random_bounded_degree";
+  let deg = Array.make n 0 in
+  let seen = Hashtbl.create (n * d) in
+  let es = ref [] in
+  (* Sample n*d/2 candidate edges; keep those respecting the cap. *)
+  let attempts = if n < 2 then 0 else n * d in
+  for _ = 1 to attempts do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && deg.(u) < d && deg.(v) < d && not (Hashtbl.mem seen (u, v))
+    then begin
+      Hashtbl.replace seen (u, v) ();
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      es := (u, v) :: !es
+    end
+  done;
+  Graph.create n !es
+
+let erdos_renyi st n p =
+  let es = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float st 1.0 < p then es := (i, j) :: !es
+    done
+  done;
+  Graph.create n !es
+
+let caterpillar n legs =
+  let es = ref [] in
+  for i = 0 to n - 2 do
+    es := (i, i + 1) :: !es
+  done;
+  for i = 0 to n - 1 do
+    for l = 0 to legs - 1 do
+      es := (i, n + (i * legs) + l) :: !es
+    done
+  done;
+  Graph.create (n + (n * legs)) !es
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need sides >= 3";
+  let idx i j = (i * cols) + j in
+  let es = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      es := (idx i j, idx i ((j + 1) mod cols)) :: !es;
+      es := (idx i j, idx ((i + 1) mod rows) j) :: !es
+    done
+  done;
+  Graph.create (rows * cols) !es
+
+let power_law st n m =
+  if m < 1 then invalid_arg "Gen.power_law";
+  (* endpoint pool: each vertex appears once per incident edge, so uniform
+     sampling from the pool is degree-proportional *)
+  let pool = ref [ 0 ] in
+  let pool_size = ref 1 in
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    let targets = ref [] in
+    for _ = 1 to min m v do
+      let pick =
+        List.nth !pool (Random.State.int st !pool_size)
+      in
+      if not (List.mem pick !targets) then targets := pick :: !targets
+    done;
+    List.iter
+      (fun w ->
+        es := (v, w) :: !es;
+        pool := v :: w :: !pool;
+        pool_size := !pool_size + 2)
+      !targets;
+    if !targets = [] then begin
+      pool := v :: !pool;
+      incr pool_size
+    end
+  done;
+  Graph.create n !es

@@ -1,0 +1,55 @@
+(** Graph generators for the workload classes used across tests, examples and
+    the benchmark harness.
+
+    The nowhere dense classes of the paper's main theorem are represented by
+    trees, grids (planar, hence nowhere dense) and bounded-degree random
+    graphs; cliques and dense Erdős–Rényi graphs provide the contrasting
+    somewhere-dense workloads for experiments E5/E6. All random generators
+    take an explicit [Random.State.t] so workloads are reproducible. *)
+
+(** Path with [n] vertices [0 - 1 - ... - n-1]. *)
+val path : int -> Graph.t
+
+(** Cycle with [n ≥ 3] vertices. *)
+val cycle : int -> Graph.t
+
+(** Complete graph on [n] vertices. *)
+val clique : int -> Graph.t
+
+(** Star: centre [0], leaves [1..n-1]. *)
+val star : int -> Graph.t
+
+(** [grid rows cols] — the rows×cols king-free grid (4-neighbourhood);
+    vertex [(i, j)] is [i*cols + j]. *)
+val grid : int -> int -> Graph.t
+
+(** Complete binary tree with [n] vertices (heap numbering: children of [i]
+    are [2i+1], [2i+2]). *)
+val binary_tree : int -> Graph.t
+
+(** [random_tree st n] — uniform random recursive tree: vertex [i > 0] gets a
+    parent chosen uniformly from [0..i-1]. *)
+val random_tree : Random.State.t -> int -> Graph.t
+
+(** [random_bounded_degree st n d] — random graph in which every vertex ends
+    with degree at most [d] (edges are sampled and rejected when a degree cap
+    would be exceeded; expected degree close to [d] for small [d]). *)
+val random_bounded_degree : Random.State.t -> int -> int -> Graph.t
+
+(** [erdos_renyi st n p] — each pair independently an edge with
+    probability [p]. *)
+val erdos_renyi : Random.State.t -> int -> float -> Graph.t
+
+(** [caterpillar n legs] — a path of [n] spine vertices, each with [legs]
+    pendant leaves; an unbounded-degree but very sparse tree family. *)
+val caterpillar : int -> int -> Graph.t
+
+(** [torus rows cols] — the grid with wrap-around edges: 4-regular and
+    vertex-transitive (a single r-ball type for every r below the girth),
+    ideal for the Hanf back-end. Needs [rows, cols ≥ 3]. *)
+val torus : int -> int -> Graph.t
+
+(** [power_law st n m] — preferential attachment: each new vertex attaches
+    to [m] existing vertices chosen proportionally to degree. Sparse
+    (m·n edges) but with heavy hubs — degenerate yet not bounded-degree. *)
+val power_law : Random.State.t -> int -> int -> Graph.t

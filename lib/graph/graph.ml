@@ -1,0 +1,102 @@
+type t = { n : int; adj : int array array; m : int }
+
+let create n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative order";
+  let buckets = Array.make n [] in
+  let check v =
+    if v < 0 || v >= n then invalid_arg "Graph.create: vertex out of range"
+  in
+  List.iter
+    (fun (u, v) ->
+      check u;
+      check v;
+      if u <> v then begin
+        buckets.(u) <- v :: buckets.(u);
+        buckets.(v) <- u :: buckets.(v)
+      end)
+    edge_list;
+  let adj =
+    Array.map
+      (fun l -> Array.of_list (List.sort_uniq compare l))
+      buckets
+  in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { n; adj; m }
+
+let order g = g.n
+let edge_count g = g.m
+let size g = g.n + g.m
+let neighbours g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let mem_edge g u v =
+  u <> v
+  &&
+  let a = g.adj.(u) in
+  (* binary search in the sorted adjacency list *)
+  let lo = ref 0 and hi = ref (Array.length a) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) = v then found := true
+    else if a.(mid) < v then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    let a = g.adj.(u) in
+    for i = Array.length a - 1 downto 0 do
+      if u < a.(i) then acc := (u, a.(i)) :: !acc
+    done
+  done;
+  !acc
+
+let induced g vs =
+  let vs = List.sort_uniq compare vs in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= g.n then invalid_arg "Graph.induced: vertex out of range")
+    vs;
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Array.make g.n (-1) in
+  Array.iteri (fun i v -> new_of_old.(v) <- i) old_of_new;
+  let es = ref [] in
+  Array.iteri
+    (fun i v ->
+      Array.iter
+        (fun w ->
+          if new_of_old.(w) >= 0 && v < w then
+            es := (i, new_of_old.(w)) :: !es)
+        g.adj.(v))
+    old_of_new;
+  (create (Array.length old_of_new) !es, old_of_new)
+
+let remove_vertex g v =
+  let vs = ref [] in
+  for u = g.n - 1 downto 0 do
+    if u <> v then vs := u :: !vs
+  done;
+  induced g !vs
+
+let union g1 g2 =
+  let shift = g1.n in
+  let es =
+    edges g1 @ List.map (fun (u, v) -> (u + shift, v + shift)) (edges g2)
+  in
+  create (g1.n + g2.n) es
+
+let equal g1 g2 =
+  g1.n = g2.n && g1.m = g2.m && g1.adj = g2.adj
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>n=%d, edges=[%a]@]" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d-%d" u v))
+    (edges g)

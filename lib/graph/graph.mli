@@ -1,0 +1,56 @@
+(** Finite undirected graphs on the vertex set [0 .. n-1].
+
+    This is the substrate for Gaifman graphs (Section 2 of the paper) and all
+    of the sparsity machinery of Sections 7–8: balls, neighbourhood covers
+    and the splitter game. Graphs are immutable after construction;
+    adjacency lists are sorted and duplicate- and loop-free. *)
+
+type t
+
+(** [create n edges] builds the graph with vertices [0..n-1] and the given
+    undirected edges; self-loops are dropped, duplicates merged. Raises
+    [Invalid_argument] on out-of-range endpoints or negative [n]. *)
+val create : int -> (int * int) list -> t
+
+(** Number of vertices. *)
+val order : t -> int
+
+(** Number of (undirected) edges. *)
+val edge_count : t -> int
+
+(** [size g] is [order g + edge_count g], written ‖G‖ in the paper. *)
+val size : t -> int
+
+(** Sorted array of neighbours of a vertex. The caller must not mutate it. *)
+val neighbours : t -> int -> int array
+
+(** Degree of a vertex. *)
+val degree : t -> int -> int
+
+(** Maximum degree, 0 for the empty graph. *)
+val max_degree : t -> int
+
+(** [mem_edge g u v] tests adjacency (false for [u = v]). *)
+val mem_edge : t -> int -> int -> bool
+
+(** All edges [(u, v)] with [u < v], sorted. *)
+val edges : t -> (int * int) list
+
+(** [induced g vs] is the subgraph induced on the vertex list [vs] together
+    with the injection [old_of_new] mapping new vertex ids (positions in the
+    deduplicated, sorted [vs]) back to the original ids. *)
+val induced : t -> int list -> t * int array
+
+(** [remove_vertex g v] is the induced subgraph on [V \ {v}] plus the
+    [old_of_new] injection; used by the splitter-game recursion (§8). *)
+val remove_vertex : t -> int -> t * int array
+
+(** [union g1 g2] is the disjoint union; vertices of [g2] are shifted by
+    [order g1]. *)
+val union : t -> t -> t
+
+(** [equal g1 g2] is structural equality (same order, same edge set). *)
+val equal : t -> t -> bool
+
+(** Pretty-printer: [n=..., edges=[...]]. *)
+val pp : Format.formatter -> t -> unit

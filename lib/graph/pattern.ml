@@ -1,0 +1,135 @@
+(* A pattern on k positions is stored as a bitmask over the k(k-1)/2
+   unordered pairs, ordered lexicographically: pair (i, j) with i < j has
+   index  i*k - i*(i+1)/2 + (j - i - 1). k stays tiny (≤ 6 or so), so an
+   OCaml int is plenty. *)
+
+type t = { k : int; mask : int }
+
+let pair_index k i j =
+  let i, j = if i < j then (i, j) else (j, i) in
+  (i * k) - (i * (i + 1) / 2) + (j - i - 1)
+
+let k t = t.k
+
+let mem_edge t i j =
+  i <> j
+  && (let check x =
+        if x < 0 || x >= t.k then invalid_arg "Pattern.mem_edge: out of range"
+      in
+      check i;
+      check j;
+      true)
+  && t.mask land (1 lsl pair_index t.k i j) <> 0
+
+let edges t =
+  let acc = ref [] in
+  for i = t.k - 1 downto 0 do
+    for j = t.k - 1 downto i + 1 do
+      if t.mask land (1 lsl pair_index t.k i j) <> 0 then
+        acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let make k es =
+  if k < 0 then invalid_arg "Pattern.make";
+  let mask =
+    List.fold_left
+      (fun m (i, j) ->
+        if i < 0 || j < 0 || i >= k || j >= k || i = j then
+          invalid_arg "Pattern.make: bad edge";
+        m lor (1 lsl pair_index k i j))
+      0 es
+  in
+  { k; mask }
+
+let enumerate k =
+  let bits = k * (k - 1) / 2 in
+  if bits > 30 then invalid_arg "Pattern.enumerate: k too large";
+  List.init (1 lsl bits) (fun mask -> { k; mask })
+
+let of_tuple dist_le vs =
+  let kk = Array.length vs in
+  let mask = ref 0 in
+  for i = 0 to kk - 1 do
+    for j = i + 1 to kk - 1 do
+      if vs.(i) = vs.(j) || dist_le vs.(i) vs.(j) then
+        mask := !mask lor (1 lsl pair_index kk i j)
+    done
+  done;
+  { k = kk; mask = !mask }
+
+let components t =
+  let seen = Array.make t.k false in
+  let comps = ref [] in
+  for start = 0 to t.k - 1 do
+    if not seen.(start) then begin
+      let comp = ref [] in
+      let rec visit i =
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          comp := i :: !comp;
+          for j = 0 to t.k - 1 do
+            if (not seen.(j)) && i <> j && t.mask land (1 lsl pair_index t.k i j) <> 0
+            then visit j
+          done
+        end
+      in
+      visit start;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let connected t = List.length (components t) <= 1
+
+let component_of t i =
+  match List.find_opt (List.mem i) (components t) with
+  | Some c -> c
+  | None -> invalid_arg "Pattern.component_of: position out of range"
+
+let induced t positions =
+  let positions = List.sort_uniq compare positions in
+  let arr = Array.of_list positions in
+  let kk = Array.length arr in
+  let es = ref [] in
+  for i = 0 to kk - 1 do
+    for j = i + 1 to kk - 1 do
+      if mem_edge t arr.(i) arr.(j) then es := (i, j) :: !es
+    done
+  done;
+  make kk !es
+
+let merges t (v', v'') =
+  (* Patterns H on the same k positions agreeing with t inside v' and inside
+     v'' but different from t overall. Since δ-patterns fix every pair, H
+     differs from t only on cross pairs (one end in v', the other in v''), and
+     in t all cross pairs are absent (v', v'' is a union of components). So 𝓗
+     = nonempty subsets of cross pairs added to t. *)
+  let cross =
+    List.concat_map (fun i -> List.map (fun j -> (i, j)) v'') v'
+  in
+  let subsets = Foc_util.Combi.subsets cross in
+  List.filter_map
+    (fun s ->
+      if s = [] then None
+      else
+        Some
+          {
+            t with
+            mask =
+              List.fold_left
+                (fun m (i, j) -> m lor (1 lsl pair_index t.k i j))
+                t.mask s;
+          })
+    subsets
+
+let compare a b = Stdlib.compare (a.k, a.mask) (b.k, b.mask)
+let equal a b = a.k = b.k && a.mask = b.mask
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>pattern(k=%d; %a)@]" t.k
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       (fun ppf (i, j) -> Format.fprintf ppf "%d~%d" i j))
+    (edges t)

@@ -1,0 +1,59 @@
+(** Connectivity patterns: the set [G_k] of all undirected graphs with vertex
+    set [\[k\]] (Section 6.1 of the paper).
+
+    A pattern records, for a k-tuple ā of structure elements, which pairs are
+    "close" (distance ≤ 2r+1) and which are "far"; the formula δ_{G,2r+1}
+    (Section 6.1) states exactly that ā realises pattern [G]. The
+    decomposition of Lemma 6.4 enumerates patterns, splits off the connected
+    component of position 1, and performs inclusion–exclusion over the merge
+    patterns 𝓗. Positions here are 0-based: pattern vertex [i] stands for
+    tuple position [i+1] of the paper. *)
+
+type t
+
+(** [k t] is the number of positions. *)
+val k : t -> int
+
+(** [mem_edge t i j] — are positions [i] and [j] joined? *)
+val mem_edge : t -> int -> int -> bool
+
+(** Edges [(i, j)], [i < j], sorted. *)
+val edges : t -> (int * int) list
+
+(** [make k edges] builds a pattern. *)
+val make : int -> (int * int) list -> t
+
+(** [enumerate k] is all [2^(k(k-1)/2)] patterns on [k] positions. For the
+    empty tuple ([k = 0]) this is the single empty pattern. *)
+val enumerate : int -> t list
+
+(** [of_tuple dist_le vs] computes the pattern realised by the tuple [vs]
+    where [dist_le u v] decides closeness; element positions holding equal
+    vertices are always joined. *)
+val of_tuple : (int -> int -> bool) -> int array -> t
+
+(** Is the pattern connected? ([k = 0] counts as connected.) *)
+val connected : t -> bool
+
+(** Connected components as sorted 0-based position lists, ordered by
+    smallest member. *)
+val components : t -> int list list
+
+(** [component_of t i] is the component containing position [i]. *)
+val component_of : t -> int -> int list
+
+(** [induced t positions] restricts the pattern to the given positions
+    (which are renumbered in sorted order). *)
+val induced : t -> int list -> t
+
+(** [merges t split] where [split = (v', v'')] partitions the positions:
+    all patterns [H ≠ t] on the same positions with [H[v'] = t[v']] and
+    [H[v''] = t[v'']] — the set 𝓗 of Lemma 6.4 (they add at least one edge
+    across the split). *)
+val merges : t -> int list * int list -> t list
+
+(** Total order (for use as map keys). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type state = { graph : Graph.t; orig : int array }
+type connector = state -> int
+
+type splitter =
+  state -> radius:int -> ball:int array -> connector_move:int -> int
+
+let start g = { graph = g; orig = Array.init (Graph.order g) (fun i -> i) }
+
+let step st ~r ~connector_move ~splitter_move =
+  let n = Graph.order st.graph in
+  if connector_move < 0 || connector_move >= n then
+    invalid_arg "Splitter.step: connector move out of range";
+  let ball = Bfs.ball st.graph ~centres:[ connector_move ] ~radius:r in
+  if not (List.mem splitter_move ball) then
+    invalid_arg "Splitter.step: splitter move outside the ball";
+  let remaining = List.filter (fun v -> v <> splitter_move) ball in
+  if remaining = [] then None
+  else begin
+    let sub, old_of_new = Graph.induced st.graph remaining in
+    Some { graph = sub; orig = Array.map (fun v -> st.orig.(v)) old_of_new }
+  end
+
+let rounds_to_win g ~r ~max_rounds ~connector ~splitter =
+  let rec go st round =
+    if Graph.order st.graph = 0 then Some round
+    else if round >= max_rounds then None
+    else begin
+      let a = connector st in
+      let ball =
+        Array.of_list (Bfs.ball st.graph ~centres:[ a ] ~radius:r)
+      in
+      let b = splitter st ~radius:r ~ball ~connector_move:a in
+      match step st ~r ~connector_move:a ~splitter_move:b with
+      | None -> Some (round + 1)
+      | Some st' -> go st' (round + 1)
+    end
+  in
+  go (start g) 0
+
+let connector_greedy ?(sample = 32) ~r rng st =
+  let n = Graph.order st.graph in
+  let candidates =
+    if n <= sample then List.init n (fun i -> i)
+    else List.init sample (fun _ -> Random.State.int rng n)
+  in
+  let ball_size v =
+    Hashtbl.length (Bfs.ball_tbl st.graph ~centres:[ v ] ~radius:r)
+  in
+  List.fold_left
+    (fun best v -> if ball_size v > ball_size best then v else best)
+    (List.hd candidates) (List.tl candidates @ [ List.hd candidates ])
+
+let splitter_tree ~depth st ~radius:_ ~ball ~connector_move:_ =
+  Array.fold_left
+    (fun best v -> if depth.(st.orig.(v)) < depth.(st.orig.(best)) then v else best)
+    ball.(0) ball
+
+let splitter_greedy ~r st ~radius:_ ~ball ~connector_move:_ =
+  let in_ball = Hashtbl.create (Array.length ball) in
+  Array.iter (fun v -> Hashtbl.replace in_ball v ()) ball;
+  let coverage b =
+    let tbl = Bfs.ball_tbl st.graph ~centres:[ b ] ~radius:r in
+    Hashtbl.fold
+      (fun v _ acc -> if Hashtbl.mem in_ball v then acc + 1 else acc)
+      tbl 0
+  in
+  Array.fold_left
+    (fun best v -> if coverage v > coverage best then v else best)
+    ball.(0) ball
+
+let splitter_centre _st ~radius:_ ~ball:_ ~connector_move = connector_move
+
+let depths_from g ~root =
+  Bfs.distances_from g ~sources:[ root ] ~radius:max_int

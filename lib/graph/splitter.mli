@@ -1,0 +1,60 @@
+(** The splitter game (Section 8 of the paper).
+
+    The (ρ, r)-splitter game on a graph G: in each round Connector picks a
+    vertex [a] of the current graph, Splitter answers with a vertex [b] of
+    the ball [N_r(a)]; the game continues on the induced subgraph
+    [G\[N_r(a) \ {b}\]]. Splitter wins once the ball minus her pick is
+    empty. A class is nowhere dense iff Splitter wins in a bounded number of
+    rounds λ(r) on every member; this game characterisation is the paper's
+    working definition.
+
+    This module simulates the game with pluggable strategies. Experiment E6
+    uses it to measure, per workload class, how many rounds Splitter needs —
+    constant on the nowhere dense classes, Θ(n) on cliques. *)
+
+(** A game state: the current arena plus the map back to original vertex
+    ids ([orig.(v)] is the original name of current vertex [v]). *)
+type state = { graph : Graph.t; orig : int array }
+
+(** Connector strategies pick a vertex of the current graph. *)
+type connector = state -> int
+
+(** Splitter strategies pick a vertex out of [ball] (current ids, sorted),
+    the ball [N_r(a)] around Connector's move [a]. *)
+type splitter = state -> radius:int -> ball:int array -> connector_move:int -> int
+
+(** Initial state for a graph. *)
+val start : Graph.t -> state
+
+(** [step st ~r ~connector_move ~splitter_move] plays one round: checks move
+    legality, returns [None] if Splitter has won (the shrunken arena is
+    empty) or [Some st'] with the next state. *)
+val step : state -> r:int -> connector_move:int -> splitter_move:int -> state option
+
+(** [rounds_to_win g ~r ~max_rounds ~connector ~splitter] simulates and
+    returns [Some k] if Splitter wins in round [k ≤ max_rounds], else
+    [None]. An empty graph is an immediate win ([Some 0]). *)
+val rounds_to_win :
+  Graph.t -> r:int -> max_rounds:int -> connector:connector -> splitter:splitter -> int option
+
+(** Connector heuristic: picks (a sampled approximation of) the vertex with
+    the largest r-ball, trying to keep the arena big. [sample] caps the
+    number of candidate vertices inspected per move. *)
+val connector_greedy : ?sample:int -> r:int -> Random.State.t -> connector
+
+(** Splitter strategy for rooted trees: picks the ball vertex closest to the
+    root, measured by a depth array precomputed on the original graph (the
+    textbook winning strategy; wins in ≤ r+2 rounds on trees). The [depth]
+    array is indexed by original vertex ids. *)
+val splitter_tree : depth:int array -> splitter
+
+(** Generic Splitter heuristic: picks the ball vertex minimising (an upper
+    bound on) the radius of the largest remaining piece — implemented as the
+    ball vertex with maximal coverage [|N_r(b) ∩ ball|]. *)
+val splitter_greedy : r:int -> splitter
+
+(** Splitter strategy that always answers with Connector's own vertex. *)
+val splitter_centre : splitter
+
+(** BFS depths from a root in a graph, for {!splitter_tree}. *)
+val depths_from : Graph.t -> root:int -> int array

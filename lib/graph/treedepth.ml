@@ -1,0 +1,145 @@
+(* Exact treedepth by recursion over vertex subsets (bitmask-memoized):
+     td(∅) = 0
+     td(G) = max over components when disconnected
+     td(G) = 1 + min_v td(G − v) when connected. *)
+
+let exact g =
+  let n = Graph.order g in
+  if n > 16 then invalid_arg "Treedepth.exact: order > 16";
+  let memo = Hashtbl.create 1024 in
+  let neighbours_mask =
+    Array.init n (fun v ->
+        Array.fold_left
+          (fun m w -> m lor (1 lsl w))
+          0 (Graph.neighbours g v))
+  in
+  (* connected components of the sub-universe [mask] *)
+  let components mask =
+    let seen = ref 0 in
+    let comps = ref [] in
+    for s = 0 to n - 1 do
+      if mask land (1 lsl s) <> 0 && !seen land (1 lsl s) = 0 then begin
+        (* BFS within mask *)
+        let comp = ref 0 in
+        let queue = Queue.create () in
+        Queue.add s queue;
+        comp := 1 lsl s;
+        seen := !seen lor (1 lsl s);
+        while not (Queue.is_empty queue) do
+          let u = Queue.take queue in
+          let nbrs = neighbours_mask.(u) land mask in
+          for w = 0 to n - 1 do
+            if nbrs land (1 lsl w) <> 0 && !comp land (1 lsl w) = 0 then begin
+              comp := !comp lor (1 lsl w);
+              seen := !seen lor (1 lsl w);
+              Queue.add w queue
+            end
+          done
+        done;
+        comps := !comp :: !comps
+      end
+    done;
+    !comps
+  in
+  let rec td mask =
+    if mask = 0 then 0
+    else begin
+      match Hashtbl.find_opt memo mask with
+      | Some v -> v
+      | None ->
+          let result =
+            match components mask with
+            | [] -> 0
+            | [ single ] when single = mask ->
+                (* connected: remove the best vertex *)
+                let best = ref max_int in
+                for v = 0 to n - 1 do
+                  if mask land (1 lsl v) <> 0 && !best > 1 then
+                    best := min !best (1 + td (mask land lnot (1 lsl v)))
+                done;
+                !best
+            | comps -> List.fold_left (fun acc c -> max acc (td c)) 0 comps
+          in
+          Hashtbl.replace memo mask result;
+          result
+    end
+  in
+  td ((1 lsl n) - 1)
+
+type forest = { parent : int array; depth : int array }
+
+(* approximate centre of a connected vertex list: endpoint of a BFS farthest
+   sweep, then the middle of the farthest path *)
+let approx_centre g vs =
+  match vs with
+  | [] -> invalid_arg "Treedepth: empty component"
+  | v0 :: _ ->
+      let sub, old_of_new = Graph.induced g vs in
+      let pos v =
+        (* index of v in old_of_new *)
+        let rec go i = if old_of_new.(i) = v then i else go (i + 1) in
+        go 0
+      in
+      let far from =
+        let d = Bfs.distances_from sub ~sources:[ from ] ~radius:max_int in
+        let best = ref from in
+        Array.iteri (fun i di -> if di > d.(!best) && di < Bfs.infinity then best := i) d;
+        (!best, d)
+      in
+      let a, _ = far (pos v0) in
+      let b, da = far a in
+      (* walk back from b towards a for half the distance *)
+      let target = da.(b) / 2 in
+      let rec walk v =
+        if da.(v) <= target then v
+        else begin
+          let next =
+            Array.fold_left
+              (fun acc w -> if da.(w) = da.(v) - 1 then w else acc)
+              v (Graph.neighbours sub v)
+          in
+          if next = v then v else walk next
+        end
+      in
+      old_of_new.(walk b)
+
+let heuristic g =
+  let n = Graph.order g in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let rec go vs parent_vertex d =
+    if vs <> [] then begin
+      let sub, old_of_new = Graph.induced g vs in
+      List.iter
+        (fun comp ->
+          let comp_old = List.map (fun i -> old_of_new.(i)) comp in
+          let centre = approx_centre g comp_old in
+          parent.(centre) <- parent_vertex;
+          depth.(centre) <- d;
+          let rest = List.filter (fun v -> v <> centre) comp_old in
+          go rest centre (d + 1))
+        (Components.components sub)
+    end
+  in
+  go (List.init n (fun i -> i)) (-1) 0;
+  { parent; depth }
+
+let forest_depth f =
+  if Array.length f.depth = 0 then 0
+  else 1 + Array.fold_left max 0 f.depth
+
+let upper_bound g = forest_depth (heuristic g)
+
+let is_elimination_forest g f =
+  let rec ancestors v acc =
+    if v < 0 then acc else ancestors f.parent.(v) (v :: acc)
+  in
+  List.for_all
+    (fun (u, v) ->
+      let au = ancestors u [] and av = ancestors v [] in
+      List.mem u av || List.mem v au)
+    (Graph.edges g)
+
+let splitter g =
+  let f = heuristic g in
+  Splitter.splitter_tree ~depth:f.depth

@@ -1,0 +1,36 @@
+(** Treedepth: elimination forests and the Splitter strategies they induce.
+
+    Treedepth-d graphs are the simplest nowhere dense classes beyond
+    bounded degree: Splitter wins every (d, r)-splitter game by always
+    answering with the root of the elimination subtree containing
+    Connector's ball. This module provides an exact exponential computation
+    for small graphs (used in tests), a centre-picking heuristic producing
+    an elimination forest with its depth bound, and the induced Splitter
+    strategy (via {!Splitter.splitter_tree} over elimination depths). *)
+
+(** [exact g] — the treedepth, by memoized search over vertex subsets.
+    Raises [Invalid_argument] when [order g > 16]. *)
+val exact : Graph.t -> int
+
+(** An elimination forest: parents (-1 at roots) and 0-based depths. The
+    defining property: every edge of [g] joins an ancestor/descendant pair
+    of the forest. *)
+type forest = { parent : int array; depth : int array }
+
+(** [heuristic g] — an elimination forest built by recursively removing an
+    (approximate) centre vertex of each component; depth ≈ O(td · log n) in
+    the worst case, tight on paths and balanced structures. *)
+val heuristic : Graph.t -> forest
+
+(** 1 + max depth of the forest (an upper bound on the treedepth). *)
+val forest_depth : forest -> int
+
+(** [upper_bound g] = [forest_depth (heuristic g)]. *)
+val upper_bound : Graph.t -> int
+
+(** [is_elimination_forest g f] — checks the defining edge property. *)
+val is_elimination_forest : Graph.t -> forest -> bool
+
+(** Splitter strategy induced by the heuristic forest of [g]: always pick
+    the ball vertex of least elimination depth. *)
+val splitter : Graph.t -> Splitter.splitter

@@ -1,0 +1,84 @@
+open Foc_logic
+open Ast
+
+let alphabet = [ 'a'; 'b'; 'c' ]
+
+(* Graph vertex v (0-based) plays the paper's i = v+1: its block starts with
+   [a c^{v+1}], and each neighbour w contributes [b c^{w+1}]. *)
+let string_of_graph g =
+  let buf = Buffer.create 64 in
+  for v = 0 to Foc_graph.Graph.order g - 1 do
+    Buffer.add_char buf 'a';
+    Buffer.add_string buf (String.make (v + 1) 'c');
+    Array.iter
+      (fun w ->
+        Buffer.add_char buf 'b';
+        Buffer.add_string buf (String.make (w + 1) 'c'))
+      (Foc_graph.Graph.neighbours g v)
+  done;
+  Buffer.contents buf
+
+let encode_graph g =
+  Foc_data.Strings.of_string ~alphabet (string_of_graph g)
+
+let a_positions g =
+  let s = string_of_graph g in
+  let out = ref [] in
+  String.iteri (fun i c -> if c = 'a' then out := i :: !out) s;
+  Array.of_list (List.rev !out)
+
+let le x y = Rel (Foc_data.Strings.le_name, [| x; y |])
+let lt x y = Ast.and_ (le x y) (Ast.neg (Eq (x, y)))
+let is_a x = Rel (Foc_data.Strings.letter_name 'a', [| x |])
+let is_b x = Rel (Foc_data.Strings.letter_name 'b', [| x |])
+let is_c x = Rel (Foc_data.Strings.letter_name 'c', [| x |])
+
+(* z lies in the maximal c-run immediately after y: y < z, z is a c, and
+   every position strictly between y and z (inclusive of z) is a c. *)
+let in_run_after y z =
+  let w = Var.fresh () in
+  Ast.and_ (lt y z)
+    (Ast.forall [ w ]
+       (Ast.implies (Ast.and_ (lt y w) (le w z)) (is_c w)))
+
+let run_count y =
+  let z = Var.fresh () in
+  Count ([ z ], in_run_after y z)
+
+(* x and y lie in the same block: x ≤ y with no a-position in (x, y] *)
+let same_block x y =
+  let w = Var.fresh () in
+  Ast.and_ (le x y)
+    (Ast.neg
+       (Ast.exists [ w ] (Ast.and_ (Ast.and_ (lt x w) (le w y)) (is_a w))))
+
+(* ψ_E(x,x'): x's block contains a b whose c-run has the same length as the
+   c-run after the a-position x' *)
+let psi_edge x x' =
+  let y = Var.fresh () in
+  Ast.exists [ y ]
+    (Ast.big_and
+       [
+         is_b y;
+         same_block x y;
+         Pred ("eq", [ run_count y; run_count x' ]);
+       ])
+
+let rec relativize (phi : Ast.formula) : Ast.formula =
+  match phi with
+  | True | False | Eq _ -> phi
+  | Rel ("E", [| x; y |]) -> psi_edge x y
+  | Rel _ ->
+      invalid_arg "String_encoding.encode_sentence: not a graph formula"
+  | Dist _ | Pred _ ->
+      invalid_arg "String_encoding.encode_sentence: input must be plain FO"
+  | Neg f -> Ast.neg (relativize f)
+  | Or (f, g) -> Ast.or_ (relativize f) (relativize g)
+  | And (f, g) -> Ast.and_ (relativize f) (relativize g)
+  | Exists (y, f) -> Exists (y, Ast.and_ (is_a y) (relativize f))
+  | Forall (y, f) -> Forall (y, Ast.implies (is_a y) (relativize f))
+
+let encode_sentence phi =
+  if not (Var.Set.is_empty (Ast.free_formula phi)) then
+    invalid_arg "String_encoding.encode_sentence: not a sentence";
+  relativize phi

@@ -1,0 +1,33 @@
+(** The hardness reduction of Theorem 4.3: FO on graphs reduces to
+    FOC({P=}) on strings over Σ = {a, b, c} with a linear order.
+
+    A vertex i with neighbours {j₁, …, j_m} becomes the block
+    [a cⁱ b c^{j₁} b c^{j₂} … b c^{j_m}]; the string S_G is the
+    concatenation of the blocks for i = 1, …, n. A vertex is represented by
+    its block's [a]-position; its number is the length of the c-run after
+    the [a], and each [b] inside the block carries a neighbour's number as
+    the following c-run. The edge atom becomes a P=-comparison of two
+    c-run counting terms. *)
+
+open Foc_logic
+
+(** [encode_graph g] — S_G as a string structure over {≤, P_a, P_b, P_c}
+    (quadratically many ≤-tuples). *)
+val encode_graph : Foc_graph.Graph.t -> Foc_data.Structure.t
+
+(** [string_of_graph g] — the raw string, for inspection/tests. *)
+val string_of_graph : Foc_graph.Graph.t -> string
+
+(** [a_positions g] — position of the [a] beginning vertex [v]'s block. *)
+val a_positions : Foc_graph.Graph.t -> int array
+
+(** The c-run counting term: the number of positions in the maximal c-run
+    immediately after position [y] (a fresh counted variable is used
+    internally). *)
+val run_count : Var.t -> Ast.term
+
+(** ψ_E(x, x′) — edge simulation by comparing c-runs with P=. *)
+val psi_edge : Var.t -> Var.t -> Ast.formula
+
+(** [encode_sentence ϕ] is ϕ̂ (quantifiers relativized to a-positions). *)
+val encode_sentence : Ast.formula -> Ast.formula

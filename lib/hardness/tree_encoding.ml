@@ -1,0 +1,137 @@
+open Foc_logic
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* The tree T_G. Paper vertices are 1-based: graph vertex v (0-based here)
+   plays the role of i = v+1, so its a-vertex carries i+1 = v+2 b-children
+   and each neighbour gadget d(i,j) carries j+1 = w+2 e-leaves for the
+   0-based neighbour w. *)
+
+type layout = {
+  order : int;
+  edges : (int * int) list;
+  a_of : int array;  (* graph vertex -> a-vertex id *)
+}
+
+let build_layout g =
+  let n = Foc_graph.Graph.order g in
+  let next = ref 0 in
+  let alloc () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let root = alloc () in
+  let a_of = Array.init n (fun _ -> alloc ()) in
+  let edges = ref [] in
+  let edge u v = edges := (u, v) :: !edges in
+  Array.iter (fun a -> edge root a) a_of;
+  for v = 0 to n - 1 do
+    (* b/c counter paths: v+2 of them *)
+    for _ = 1 to v + 2 do
+      let b = alloc () in
+      let c = alloc () in
+      edge a_of.(v) b;
+      edge b c
+    done;
+    (* one d-gadget per neighbour, with w+2 e-leaves *)
+    Array.iter
+      (fun w ->
+        let d = alloc () in
+        edge a_of.(v) d;
+        for _ = 1 to w + 2 do
+          let e = alloc () in
+          edge d e
+        done)
+      (Foc_graph.Graph.neighbours g v)
+  done;
+  { order = !next; edges = !edges; a_of }
+
+let encode_graph g =
+  let { order; edges; _ } = build_layout g in
+  let tuples =
+    List.concat_map (fun (u, v) -> [ [| u; v |]; [| v; u |] ]) edges
+  in
+  Foc_data.Structure.create Foc_data.Signature.graph ~order
+    [ ("E", tuples) ]
+
+let a_vertices g = (build_layout g).a_of
+
+(* ------------------------------------------------------------------ *)
+(* Auxiliary defining formulas. All are FO over {E/2}. Degree tests use
+   fresh variables to avoid capture. *)
+
+let adj x y = Rel ("E", [| x; y |])
+
+let deg_ge x k =
+  (* ∃y1…yk pairwise distinct, all adjacent to x *)
+  let ys = List.init k (fun _ -> Var.fresh ()) in
+  let distinct =
+    List.concat_map
+      (fun (a, b) -> [ Ast.neg (Eq (a, b)) ])
+      (Foc_util.Combi.pairs ys)
+  in
+  Ast.exists ys (Ast.big_and (List.map (adj x) ys @ distinct))
+
+let deg_exactly x k = Ast.and_ (deg_ge x k) (Ast.neg (deg_ge x (k + 1)))
+
+(* c-vertices: degree 1, whose unique neighbour has degree 2 *)
+let psi_c x =
+  let y = Var.fresh () in
+  Ast.and_ (deg_exactly x 1)
+    (Ast.forall [ y ] (Ast.implies (adj x y) (deg_exactly y 2)))
+
+(* b-vertices: neighbours of c-vertices *)
+let psi_b x =
+  let y = Var.fresh () in
+  Ast.exists [ y ] (Ast.and_ (adj x y) (psi_c y))
+
+(* a-vertices: neighbours of b-vertices that are not c-vertices *)
+let psi_a x =
+  let y = Var.fresh () in
+  Ast.and_
+    (Ast.exists [ y ] (Ast.and_ (adj x y) (psi_b y)))
+    (Ast.neg (psi_c x))
+
+(* e-vertices: degree-1 vertices that are not c-vertices *)
+let psi_e x = Ast.and_ (deg_exactly x 1) (Ast.neg (psi_c x))
+
+(* d-vertices: neighbours of e-vertices *)
+let psi_d x =
+  let y = Var.fresh () in
+  Ast.exists [ y ] (Ast.and_ (adj x y) (psi_e y))
+
+(* ψ_E(x,x'): some d-child y of x has as many e-children as x' has
+   b-children *)
+let psi_edge x x' =
+  let y = Var.fresh () and z1 = Var.fresh () and z2 = Var.fresh () in
+  Ast.exists [ y ]
+    (Ast.and_ (adj x y)
+       (Pred
+          ( "eq",
+            [
+              Count ([ z1 ], Ast.and_ (adj y z1) (psi_e z1));
+              Count ([ z2 ], Ast.and_ (adj x' z2) (psi_b z2));
+            ] )))
+
+(* ------------------------------------------------------------------ *)
+
+let rec relativize (phi : Ast.formula) : Ast.formula =
+  match phi with
+  | True | False -> phi
+  | Eq _ -> phi
+  | Rel ("E", [| x; y |]) -> psi_edge x y
+  | Rel _ ->
+      invalid_arg "Tree_encoding.encode_sentence: not a graph formula"
+  | Dist _ | Pred _ ->
+      invalid_arg "Tree_encoding.encode_sentence: input must be plain FO"
+  | Neg f -> Ast.neg (relativize f)
+  | Or (f, g) -> Ast.or_ (relativize f) (relativize g)
+  | And (f, g) -> Ast.and_ (relativize f) (relativize g)
+  | Exists (y, f) -> Exists (y, Ast.and_ (psi_a y) (relativize f))
+  | Forall (y, f) -> Forall (y, Ast.implies (psi_a y) (relativize f))
+
+let encode_sentence phi =
+  if not (Var.Set.is_empty (Ast.free_formula phi)) then
+    invalid_arg "Tree_encoding.encode_sentence: not a sentence";
+  relativize phi

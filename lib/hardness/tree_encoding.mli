@@ -1,0 +1,45 @@
+(** The hardness reduction of Theorem 4.1: a polynomial fpt-reduction from
+    FO model-checking on arbitrary graphs to FOC({P=}) model-checking on
+    trees.
+
+    A graph G with vertices \[n\] becomes a tree T_G of height 3: below a
+    root sit vertex gadgets a(i), each with i+1 "counter" paths b_j(i)–c_j(i)
+    (encoding the vertex number as a degree) and one d(i,j) child per
+    neighbour j, carrying j+1 leaves e_k(i,j) (encoding the neighbour's
+    number). An FO sentence ϕ over graphs becomes ϕ̂ by relativizing all
+    quantifiers to a-vertices and replacing each edge atom E(x, x′) by the
+    FOC({P=}) formula ψ_E comparing, with the P= predicate on counting
+    terms, the number of e-children of some d-child of x with the number of
+    b-children of x′.
+
+    This is executable evidence for the paper's negative result: full
+    FOC(P) stays AW[*]-hard even on trees, which is exactly why the FOC1
+    fragment exists. *)
+
+open Foc_logic
+
+(** [encode_graph g] is T_G as an {E/2} structure (undirected: both
+    orientations). Vertex numbering is internal; use {!a_vertices} to
+    recover the correspondence. *)
+val encode_graph : Foc_graph.Graph.t -> Foc_data.Structure.t
+
+(** [a_vertices g] — the element of T_G representing each vertex of [g]:
+    [.(v)] is the a-vertex of graph vertex [v]. *)
+val a_vertices : Foc_graph.Graph.t -> int array
+
+(** The auxiliary defining formulas (exposed for tests): ψ_a … ψ_e of the
+    proof, each with one free variable. *)
+val psi_a : Var.t -> Ast.formula
+
+val psi_b : Var.t -> Ast.formula
+val psi_c : Var.t -> Ast.formula
+val psi_d : Var.t -> Ast.formula
+val psi_e : Var.t -> Ast.formula
+
+(** ψ_E(x, x′) — the FOC({P=}) edge simulation. Note its predicate has two
+    free variables: it is deliberately outside FOC1 (Definition 5.1). *)
+val psi_edge : Var.t -> Var.t -> Ast.formula
+
+(** [encode_sentence ϕ] is ϕ̂. [ϕ] must be an FO sentence over the graph
+    signature {E/2}; raises [Invalid_argument] otherwise. *)
+val encode_sentence : Ast.formula -> Ast.formula

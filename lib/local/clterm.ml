@@ -1,0 +1,73 @@
+open Foc_logic
+
+type basic = {
+  pattern : Foc_graph.Pattern.t;
+  radius : int;
+  vars : Var.t list;
+  body : Ast.formula;
+}
+
+let basic ~pattern ~radius ~vars ~body =
+  if not (Foc_graph.Pattern.connected pattern) then
+    invalid_arg "Clterm.basic: pattern not connected";
+  if Foc_graph.Pattern.k pattern <> List.length vars then
+    invalid_arg "Clterm.basic: variable/pattern arity mismatch";
+  if radius < 0 then invalid_arg "Clterm.basic: negative radius";
+  let var_set = Var.Set.of_list vars in
+  if not (Var.Set.subset (Ast.free_formula body) var_set) then
+    invalid_arg "Clterm.basic: body with stray free variable";
+  { pattern; radius; vars; body }
+
+type t =
+  | Const of int
+  | Ground of basic
+  | Unary of basic
+  | Add of t * t
+  | Mul of t * t
+
+let rec is_ground = function
+  | Const _ | Ground _ -> true
+  | Unary _ -> false
+  | Add (s, t) | Mul (s, t) -> is_ground s && is_ground t
+
+let rec basic_count = function
+  | Const _ -> 0
+  | Ground _ | Unary _ -> 1
+  | Add (s, t) | Mul (s, t) -> basic_count s + basic_count t
+
+let rec width = function
+  | Const _ -> 0
+  | Ground b | Unary b -> Foc_graph.Pattern.k b.pattern
+  | Add (s, t) | Mul (s, t) -> max (width s) (width t)
+
+let eval_basic_ground ctx (b : basic) =
+  Pattern_count.ground ctx ~pattern:b.pattern ~vars:b.vars ~body:b.body
+
+let rec eval_ground ctx = function
+  | Const i -> i
+  | Ground b -> eval_basic_ground ctx b
+  | Unary _ -> invalid_arg "Clterm.eval_ground: unary leaf"
+  | Add (s, t) -> eval_ground ctx s + eval_ground ctx t
+  | Mul (s, t) -> eval_ground ctx s * eval_ground ctx t
+
+let rec eval_unary ctx t =
+  match t with
+  | Const _ | Ground _ ->
+      let v = eval_ground ctx t in
+      Array.make (Pattern_count.order ctx) v
+  | Unary b ->
+      Pattern_count.per_anchor ctx ~pattern:b.pattern ~vars:b.vars ~body:b.body
+  | Add (s, t') -> Array.map2 ( + ) (eval_unary ctx s) (eval_unary ctx t')
+  | Mul (s, t') -> Array.map2 ( * ) (eval_unary ctx s) (eval_unary ctx t')
+
+let rec pp ppf = function
+  | Const i -> Format.pp_print_int ppf i
+  | Ground b ->
+      Format.fprintf ppf "g[%a; r=%d; %a]" Foc_graph.Pattern.pp b.pattern
+        b.radius Pp.formula b.body
+  | Unary b ->
+      Format.fprintf ppf "u(%s)[%a; r=%d; %a]"
+        (match b.vars with v :: _ -> v | [] -> "?")
+        Foc_graph.Pattern.pp b.pattern b.radius Pp.formula b.body
+  | Add (s, t) -> Format.fprintf ppf "(%a + %a)" pp s pp t
+  | Mul (s, t) -> Format.fprintf ppf "(%a * %a)" pp s pp t

@@ -1,0 +1,53 @@
+(** Connected local terms — cl-terms (Definition 6.2 of the paper).
+
+    A basic cl-term is a counting term
+    [#ȳ.(ψ(ȳ) ∧ δ_{G,2r+1}(ȳ))] for a *connected* pattern G and an r-local
+    body ψ; it is either ground (all positions counted) or unary (position 0
+    free). A cl-term is a polynomial over basic cl-terms — exactly the shape
+    produced by the decomposition of Lemma 6.4, and exactly what the engine
+    can evaluate by neighbourhood exploration (Remark 6.3). *)
+
+open Foc_logic
+
+type basic = private {
+  pattern : Foc_graph.Pattern.t;  (** connected *)
+  radius : int;  (** r; the pattern threshold is 2r+1 *)
+  vars : Var.t list;  (** one per pattern position; position 0 first *)
+  body : Ast.formula;  (** r-local around [vars] *)
+}
+
+(** [basic ~pattern ~radius ~vars ~body] — checks connectivity, arity and
+    that [free body ⊆ vars]. *)
+val basic :
+  pattern:Foc_graph.Pattern.t ->
+  radius:int ->
+  vars:Var.t list ->
+  body:Ast.formula ->
+  basic
+
+type t =
+  | Const of int
+  | Ground of basic  (** all positions counted: a ground cl-term *)
+  | Unary of basic  (** position 0 free: a unary cl-term *)
+  | Add of t * t
+  | Mul of t * t
+
+(** Is the term ground (no [Unary] leaf)? *)
+val is_ground : t -> bool
+
+(** Number of basic cl-terms in the polynomial. *)
+val basic_count : t -> int
+
+(** Largest pattern width. *)
+val width : t -> int
+
+(** [eval_ground ctx t] evaluates a ground cl-term. Raises
+    [Invalid_argument] on [Unary] leaves. The context must have been created
+    with the same radius as the basic terms (checked). *)
+val eval_ground : Pattern_count.ctx -> t -> int
+
+(** [eval_unary ctx t] evaluates a (possibly mixed ground/unary) cl-term at
+    every element simultaneously, returning the vector of values. *)
+val eval_unary : Pattern_count.ctx -> t -> int array
+
+val pp : Format.formatter -> t -> unit

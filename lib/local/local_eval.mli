@@ -1,0 +1,54 @@
+(** Ball-restricted evaluation of guarded formulas and counting terms.
+
+    Semantically identical to {!Foc_eval.Naive} — it implements the same
+    Definition 3.1 semantics — but quantified and counted variables whose
+    guard the {!Locality} calculus can certify range over the δ-ball around
+    their anchors instead of the whole universe. On certified-local
+    expressions every quantifier is guarded, making the cost per evaluation
+    proportional to ball sizes (the "evaluate inside the cluster" step of
+    Remark 6.3 and Section 8.2), not to ‖A‖.
+
+    Unguarded positions fall back to a full scan — still correct, and
+    counted in {!stats} so the engine can report when an input left the
+    certified fragment. *)
+
+open Foc_logic
+
+type stats = {
+  mutable unguarded_scans : int;
+      (** quantifier/count positions that scanned the whole universe *)
+  mutable candidates_tried : int;  (** total candidate values examined *)
+}
+
+val create_stats : unit -> stats
+
+(** [candidate_values a env φ y] — a sound candidate set for [y]: every
+    value of [y] that can satisfy [φ] under [env] is included. Derived from
+    positive relational atoms through the structure's position indexes;
+    [None] when no indexed atom constrains [y]. Exposed for the pattern
+    counting sweep, which combines it with the δ-pattern balls. *)
+val candidate_values :
+  Foc_data.Structure.t ->
+  int Var.Map.t ->
+  Ast.formula ->
+  Var.t ->
+  int list option
+
+(** [holds ?stats preds a env φ] — truth under [env] (which must bind
+    [free φ]). *)
+val holds :
+  ?stats:stats ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  int Var.Map.t ->
+  Ast.formula ->
+  bool
+
+(** [term ?stats preds a env t] — value of a counting term. *)
+val term :
+  ?stats:stats ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  int Var.Map.t ->
+  Ast.term ->
+  int

@@ -1,0 +1,266 @@
+open Foc_logic
+open Ast
+
+type verdict = Local of int | Nonlocal of string
+
+let rec nnf = function
+  | Neg f -> nnf_neg f
+  | Or (f, g) -> Or (nnf f, nnf g)
+  | And (f, g) -> And (nnf f, nnf g)
+  | Exists (y, f) -> Exists (y, nnf f)
+  | Forall (y, f) -> Forall (y, nnf f)
+  | (True | False | Eq _ | Rel _ | Dist _ | Pred _) as a -> a
+
+and nnf_neg = function
+  | True -> False
+  | False -> True
+  | Neg f -> nnf f
+  | Or (f, g) -> And (nnf_neg f, nnf_neg g)
+  | And (f, g) -> Or (nnf_neg f, nnf_neg g)
+  | Exists (y, f) -> Forall (y, nnf_neg f)
+  | Forall (y, f) -> Exists (y, nnf_neg f)
+  | (Eq _ | Rel _ | Dist _ | Pred _) as a -> Neg a
+
+(* ------------------------------------------------------------------ *)
+(* Guard edges: pairs (u, v, d) such that the formula semantically entails
+   dist(u, v) <= d. Collected from an NNF formula. *)
+
+let rec ensure_edges f : (Var.t * Var.t * int) list =
+  match f with
+  | Eq (u, v) -> if Var.equal u v then [] else [ (u, v, 0) ]
+  | Rel (_, args) ->
+      let vars =
+        Array.to_list args |> List.sort_uniq Var.compare
+      in
+      List.map (fun (u, v) -> (u, v, 1)) (Foc_util.Combi.pairs vars)
+  | Dist (u, v, d) -> if Var.equal u v then [] else [ (u, v, d) ]
+  | And (g, h) -> ensure_edges g @ ensure_edges h
+  | Or (g, h) ->
+      (* only what BOTH branches ensure, at the weaker bound *)
+      let eg = ensure_edges g and eh = ensure_edges h in
+      let norm (u, v, d) = if Var.compare u v <= 0 then (u, v, d) else (v, u, d) in
+      let eg = List.map norm eg and eh = List.map norm eh in
+      List.filter_map
+        (fun (u, v, d) ->
+          let matching =
+            List.filter_map
+              (fun (u', v', d') ->
+                if Var.equal u u' && Var.equal v v' then Some d' else None)
+              eh
+          in
+          match matching with
+          | [] -> None
+          | ds -> Some (u, v, max d (List.fold_left min max_int ds)))
+        eg
+  | Exists (y, g) | Forall (y, g) ->
+      (* close the edge set transitively before dropping y, so chains
+         through the bound variable survive (x–y–z gives x–z) *)
+      let edges = ensure_edges g in
+      let via_y =
+        List.filter (fun (u, v, _) -> Var.equal u y || Var.equal v y) edges
+      in
+      let chained =
+        List.concat_map
+          (fun (u1, v1, d1) ->
+            let other1 = if Var.equal u1 y then v1 else u1 in
+            List.filter_map
+              (fun (u2, v2, d2) ->
+                let other2 = if Var.equal u2 y then v2 else u2 in
+                if Var.equal other1 other2 || Var.equal other2 y then None
+                else Some (other1, other2, d1 + d2))
+              via_y)
+          via_y
+      in
+      let kept =
+        List.filter
+          (fun (u, v, _) -> (not (Var.equal u y)) && not (Var.equal v y))
+          (edges @ chained)
+      in
+      (* dedupe, keeping the best bound per pair, to stop nested binders
+         from blowing the edge list up *)
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (u, v, d) ->
+          let key = if Var.compare u v <= 0 then (u, v) else (v, u) in
+          match Hashtbl.find_opt tbl key with
+          | Some d' when d' <= d -> ()
+          | _ -> Hashtbl.replace tbl key d)
+        kept;
+      Hashtbl.fold (fun (u, v) d acc -> (u, v, d) :: acc) tbl []
+  | True | False | Neg _ | Pred _ -> []
+
+(* Shortest-path fixpoint: distance from the anchor set along guard edges. *)
+let guard_fixpoint edges anchors =
+  let dist : int Var.Map.t ref =
+    ref (Var.Set.fold (fun x m -> Var.Map.add x 0 m) anchors Var.Map.empty)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (u, v, d) ->
+        let relax a b =
+          match Var.Map.find_opt a !dist with
+          | None -> ()
+          | Some da ->
+              let candidate = da + d in
+              let better =
+                match Var.Map.find_opt b !dist with
+                | None -> true
+                | Some db -> candidate < db
+              in
+              if better then begin
+                dist := Var.Map.add b candidate !dist;
+                changed := true
+              end
+        in
+        relax u v;
+        relax v u)
+      edges
+  done;
+  !dist
+
+let guard_bounds phi ~targets ~anchors =
+  let edges = ensure_edges (nnf phi) in
+  let dist = guard_fixpoint edges anchors in
+  List.fold_left
+    (fun m y -> Var.Map.add y (Var.Map.find_opt y dist) m)
+    Var.Map.empty targets
+
+let quantifier_guard phi y ~anchors =
+  match Var.Map.find_opt y (guard_bounds phi ~targets:[ y ] ~anchors) with
+  | Some b -> b
+  | None -> None
+
+let pairwise_bounds phi vars =
+  let n = List.length vars in
+  let arr = Array.of_list vars in
+  let index x =
+    let rec go i = if i >= n then None else if Var.equal arr.(i) x then Some i else go (i + 1) in
+    go 0
+  in
+  let m = Array.make_matrix n n None in
+  for i = 0 to n - 1 do
+    m.(i).(i) <- Some 0
+  done;
+  List.iter
+    (fun (u, v, d) ->
+      match (index u, index v) with
+      | Some i, Some j ->
+          let better =
+            match m.(i).(j) with None -> true | Some d' -> d < d'
+          in
+          if better then begin
+            m.(i).(j) <- Some d;
+            m.(j).(i) <- Some d
+          end
+      | _ -> ())
+    (ensure_edges (nnf phi));
+  (* Floyd–Warshall over the option distances *)
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        match (m.(i).(k), m.(k).(j)) with
+        | Some a, Some b ->
+            let via = a + b in
+            let better =
+              match m.(i).(j) with None -> true | Some c -> via < c
+            in
+            if better then m.(i).(j) <- Some via
+        | _ -> ()
+      done
+    done
+  done;
+  m
+
+(* ------------------------------------------------------------------ *)
+
+let max_verdict a b =
+  match (a, b) with
+  | Local r1, Local r2 -> Local (max r1 r2)
+  | (Nonlocal _ as n), _ | _, (Nonlocal _ as n) -> n
+
+let rec formula_radius (phi : Ast.formula) : verdict =
+  match phi with
+  | True | False | Eq _ | Rel _ -> Local 0
+  | Dist (_, _, d) -> Local d
+  | Neg f -> formula_radius f
+  | Or (f, g) | And (f, g) -> max_verdict (formula_radius f) (formula_radius g)
+  | Exists (y, f) -> quantified_radius y f ~under:(fun h -> h)
+  | Forall (y, f) -> quantified_radius y f ~under:(fun h -> Neg h)
+  | Pred (_, ts) -> begin
+      let free =
+        List.fold_left
+          (fun acc t -> Var.Set.union acc (free_term t))
+          Var.Set.empty ts
+      in
+      match Var.Set.elements free with
+      | [] ->
+          Nonlocal
+            "closed numerical condition (global; handled by stratification)"
+      | [ x ] ->
+          List.fold_left
+            (fun acc t -> max_verdict acc (term_radius_at x t))
+            (Local 0) ts
+      | _ -> Nonlocal "predicate with more than one free variable (not FOC1)"
+    end
+
+(* ∃y f (or ∀y f via the negation wrapper [under]): the quantified variable
+   must be guarded — for ∃ by f itself, for ∀ by ¬f ("far values satisfy f
+   vacuously"). The radius grows by the guard offset. *)
+and quantified_radius y f ~under =
+  match formula_radius f with
+  | Nonlocal _ as n -> n
+  | Local rf -> begin
+      let anchors = Var.Set.remove y (free_formula f) in
+      if not (Var.Set.mem y (free_formula f)) then Local rf
+      else if Var.Set.is_empty anchors then
+        Nonlocal "quantifier over a variable with no anchor (global)"
+      else begin
+        match quantifier_guard (under f) y ~anchors with
+        | Some delta -> Local (delta + rf)
+        | None ->
+            Nonlocal
+              (Printf.sprintf "unguarded quantified variable %s" y)
+      end
+    end
+
+and term_radius_at x (t : Ast.term) : verdict =
+  match t with
+  | Int _ -> Local 0
+  | Add (s, t') | Mul (s, t') ->
+      max_verdict (term_radius_at x s) (term_radius_at x t')
+  | Count (ys, theta) ->
+      if not (Var.Set.mem x (free_formula theta)) then
+        (* the count does not depend on x at all: it is a global quantity *)
+        Nonlocal "ground counting term inside a predicate (global count)"
+      else begin
+        match formula_radius theta with
+        | Nonlocal _ as n -> n
+        | Local rt ->
+            let bounds =
+              guard_bounds theta ~targets:ys ~anchors:(Var.Set.singleton x)
+            in
+            let worst =
+              List.fold_left
+                (fun acc y ->
+                  match (acc, Var.Map.find y bounds) with
+                  | Some m, Some d -> Some (max m d)
+                  | _ -> None)
+                (Some 0) ys
+            in
+            begin
+              match worst with
+              | Some delta -> Local (delta + rt)
+              | None ->
+                  Nonlocal
+                    "counting term with a counted variable not guarded by \
+                     the free variable"
+            end
+      end
+
+let term_radius (t : Ast.term) : verdict =
+  match Var.Set.elements (free_term t) with
+  | [] -> Nonlocal "ground term (global count; use the decomposition)"
+  | [ x ] -> term_radius_at x t
+  | _ -> Nonlocal "term with more than one free variable (not FOC1)"

@@ -1,0 +1,62 @@
+(** The locality calculus: syntactic certification that a formula is r-local
+    around its free variables (Section 6.1 of the paper), together with
+    guard inference for quantified and counted variables.
+
+    Design note (see DESIGN.md §2.2). The paper converts arbitrary FO
+    formulas to Gaifman/cl-normal form, an operation with non-elementary
+    cost and no implementable general algorithm; the *output* of that
+    conversion is always a Boolean combination of formulas whose quantifiers
+    are distance-guarded. This module works directly with that target
+    fragment: it computes a radius [r] such that the formula is certifiably
+    r-local around its free variables, or reports why it cannot.
+
+    Guards are inferred from explicit distance atoms ([dist(x,y) ≤ d] gives
+    a guard of length [d]) and implicitly from relational atoms (an atom
+    [R(…x…y…)] forces [dist(x,y) ≤ 1] in the Gaifman graph). Guard chains
+    through intermediate variables are followed by a shortest-path fixpoint
+    over each conjunction. *)
+
+open Foc_logic
+
+(** Result of certification. *)
+type verdict =
+  | Local of int  (** r-local around the free variables *)
+  | Nonlocal of string  (** human-readable reason *)
+
+(** [formula_radius φ] certifies a locality radius for [φ] around
+    [free φ]. Sentences are trivially [Local 0]. Formulas containing
+    ground counting terms (global counts) or unguarded quantifiers are
+    [Nonlocal]. *)
+val formula_radius : Ast.formula -> verdict
+
+(** [term_radius t] — for a counting term with at most one free variable
+    [x]: a radius [R] such that [t^A(a)] is determined by [N_R(a)]. Ground
+    terms (no free variable) are [Nonlocal] — their value is a global count,
+    handled by the decomposition of Lemma 6.4 instead. *)
+val term_radius : Ast.term -> verdict
+
+(** [guard_bounds φ ~targets ~anchors] runs the guard fixpoint on [φ]
+    (treated as a conjunctive context): for every variable in [targets],
+    the least certified [δ] with [φ ⊨ dist(target, anchors) ≤ δ], if any.
+    Guard chains may pass through other target variables. *)
+val guard_bounds :
+  Ast.formula ->
+  targets:Var.t list ->
+  anchors:Var.Set.t ->
+  int option Var.Map.t
+
+(** [quantifier_guard φ y ~anchors] — the δ for a single existential:
+    satisfying values of [y] in [φ] lie within [δ] of [anchors]. *)
+val quantifier_guard : Ast.formula -> Var.t -> anchors:Var.Set.t -> int option
+
+(** [pairwise_bounds φ vars] — matrix of entailed distances: entry (i, j) is
+    [Some d] when every assignment satisfying [φ] puts [vars_i] and [vars_j]
+    at Gaifman distance ≤ d (via the guard-edge closure). Used by the
+    pattern-counting sweep to skip δ-checks that the body already decides —
+    crucial on low-diameter (hub-heavy) structures where distance balls are
+    the whole universe. *)
+val pairwise_bounds : Ast.formula -> Var.t list -> int option array array
+
+(** Negation normal form over the extended grammar ([True]/[False]/[And]/
+    [Forall] kept, negations pushed to atoms; [Pred] treated as an atom). *)
+val nnf : Ast.formula -> Ast.formula

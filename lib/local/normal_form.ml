@@ -1,0 +1,60 @@
+open Foc_logic
+
+let basic_to_count (b : Clterm.basic) =
+  let delta =
+    Dist_formula.delta
+      ~r:((2 * b.Clterm.radius) + 1)
+      b.Clterm.pattern b.Clterm.vars
+  in
+  Ast.and_ b.Clterm.body delta
+
+let rec to_ast = function
+  | Clterm.Const i -> Ast.Int i
+  | Clterm.Ground b -> Ast.Count (b.Clterm.vars, basic_to_count b)
+  | Clterm.Unary b -> begin
+      match b.Clterm.vars with
+      | [] -> assert false
+      | _ :: counted -> Ast.Count (counted, basic_to_count b)
+    end
+  | Clterm.Add (s, t) -> Ast.Add (to_ast s, to_ast t)
+  | Clterm.Mul (s, t) -> Ast.Mul (to_ast s, to_ast t)
+
+let rec sentence ?(max_width = 4) (phi : Ast.formula) : Ast.formula option =
+  let open Ast in
+  match phi with
+  | True | False -> Some phi
+  | Rel (_, [||]) -> Some phi
+  | Neg f -> Option.map Ast.neg (sentence ~max_width f)
+  | And (f, g) -> begin
+      match (sentence ~max_width f, sentence ~max_width g) with
+      | Some f', Some g' -> Some (Ast.and_ f' g')
+      | _ -> None
+    end
+  | Or (f, g) -> begin
+      match (sentence ~max_width f, sentence ~max_width g) with
+      | Some f', Some g' -> Some (Ast.or_ f' g')
+      | _ -> None
+    end
+  | Forall (y, f) ->
+      Option.map Ast.neg
+        (sentence ~max_width (Exists (y, Ast.neg f)))
+  | Exists _ ->
+      let rec peel acc = function
+        | Exists (y, f) -> peel (y :: acc) f
+        | f -> (List.rev acc, f)
+      in
+      let ys, body = peel [] phi in
+      if List.length ys > max_width then None
+      else begin
+        match Locality.formula_radius body with
+        | Locality.Nonlocal _ -> None
+        | Locality.Local r -> begin
+            match Decompose.ground_count ~r ~vars:ys body with
+            | None -> None
+            | Some cl -> Some (Ast.ge1_ (Simplify.term (to_ast cl)))
+          end
+      end
+  | Eq _ | Rel _ | Dist _ | Pred _ ->
+      (* an open atom cannot occur in a sentence; a Pred sentence is kept
+         verbatim (it is already a statement about ground terms) *)
+      if Var.Set.is_empty (Ast.free_formula phi) then Some phi else None

@@ -1,0 +1,32 @@
+(** Syntactic cl-normal form — Theorem 6.8 of the paper, for the supported
+    fragment.
+
+    Theorem 6.8: every FO formula is equivalent to a Boolean combination of
+    local formulas and statements ["g ≥ 1"] for ground cl-terms [g]; such
+    normal forms live in FOC1({P≥1}) rather than FO. The paper derives them
+    from Gaifman normal form; here they are produced for the guarded
+    fragment by running the Lemma 6.4 decomposition on the quantifier
+    prefix and converting the resulting cl-term back into ordinary syntax
+    (the δ-pattern becomes a conjunction of FO⁺ distance atoms).
+
+    [to_ast] is the cl-term → counting-term embedding: a basic cl-term
+    [#ȳ.(ψ ∧ δ_{G,2r+1})] becomes exactly the counting term Definition 6.2
+    says it abbreviates; products and sums map to [Mul]/[Add].
+
+    [sentence] converts a sentence of the form [Q₁x₁…Qₖxₖ θ] (after
+    ∀-to-¬∃ rewriting, with θ certified local) into the statement
+    ["ĝ ≥ 1"] for the decomposed ground cl-term ĝ — the normal form of a
+    basic local sentence. [None] when outside the fragment. *)
+
+open Foc_logic
+
+(** Embed a cl-term back into FOC(P) syntax. The result is semantically
+    equal under the standard semantics: for ground cl-terms,
+    [⟦to_ast t⟧^A = eval_ground ctx t] (tested). *)
+val to_ast : Clterm.t -> Ast.term
+
+(** [sentence φ] — an equivalent FOC1({P≥1}) sentence in cl-normal form
+    (Boolean combination over ["g ≥ 1"] statements), or [None] if some
+    quantifier kernel falls outside the guarded fragment. Boolean structure
+    is preserved; each maximal ∃-prefix is decomposed. *)
+val sentence : ?max_width:int -> Ast.formula -> Ast.formula option

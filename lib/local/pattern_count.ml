@@ -1,0 +1,208 @@
+open Foc_logic
+
+type ctx = {
+  preds : Pred.collection;
+  structure : Foc_data.Structure.t;
+  r : int;
+  threshold : int;  (* 2r+1 *)
+  balls : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* element -> its ball *)
+  mutable computed : int;
+}
+
+let make_ctx preds structure ~r =
+  if r < 0 then invalid_arg "Pattern_count.make_ctx: negative radius";
+  {
+    preds;
+    structure;
+    r;
+    threshold = (2 * r) + 1;
+    balls = Hashtbl.create 1024;
+    computed = 0;
+  }
+
+let balls_computed ctx = ctx.computed
+let order ctx = Foc_data.Structure.order ctx.structure
+
+let ball_of ctx v =
+  match Hashtbl.find_opt ctx.balls v with
+  | Some tbl -> tbl
+  | None ->
+      let tbl =
+        Foc_graph.Bfs.ball_tbl
+          (Foc_data.Structure.gaifman ctx.structure)
+          ~centres:[ v ] ~radius:ctx.threshold
+      in
+      ctx.computed <- ctx.computed + 1;
+      Hashtbl.replace ctx.balls v tbl;
+      tbl
+
+let close ctx u v = u = v || Hashtbl.mem (ball_of ctx u) v
+
+(* BFS enumeration order over the pattern's positions starting at 0: each
+   later position comes with a previously-placed pattern-neighbour whose
+   (2r+1)-ball supplies its candidates. *)
+let bfs_order pattern =
+  let k = Foc_graph.Pattern.k pattern in
+  let order = ref [ (0, -1) ] in
+  let seen = Array.make k false in
+  seen.(0) <- true;
+  let queue = Queue.create () in
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let i = Queue.take queue in
+    for j = 0 to k - 1 do
+      if (not seen.(j)) && Foc_graph.Pattern.mem_edge pattern i j then begin
+        seen.(j) <- true;
+        order := (j, i) :: !order;
+        Queue.add j queue
+      end
+    done
+  done;
+  if Array.exists not seen then
+    invalid_arg "Pattern_count: pattern not connected";
+  List.rev !order
+
+(* Pairwise closeness entailed by the body (guard-edge closure): when the
+   body itself forces dist(v_i, v_j) ≤ 2r+1, the δ-pattern edge-check is
+   free — no ball is ever computed. On low-diameter structures (hub-heavy
+   databases) this is the difference between linear and quadratic sweeps. *)
+type plan = {
+  impossible : bool;
+      (* the body entails closeness across a pattern non-edge: count is 0 *)
+  implied_close : bool array array;
+      (* (i,j) true: skip the ball check for this pattern edge *)
+}
+
+let make_plan ctx ~pattern ~vars ~body =
+  let k = Foc_graph.Pattern.k pattern in
+  let bounds = Locality.pairwise_bounds body vars in
+  let implied_close = Array.make_matrix k k false in
+  let impossible = ref false in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      match bounds.(i).(j) with
+      | Some d when d <= ctx.threshold ->
+          if Foc_graph.Pattern.mem_edge pattern i j then begin
+            implied_close.(i).(j) <- true;
+            implied_close.(j).(i) <- true
+          end
+          else impossible := true
+      | _ -> ()
+    done
+  done;
+  { impossible = !impossible; implied_close }
+
+let count_at ?plan ctx ~pattern ~vars ~body anchor =
+  let k = Foc_graph.Pattern.k pattern in
+  let plan =
+    match plan with Some p -> p | None -> make_plan ctx ~pattern ~vars ~body
+  in
+  let vars = Array.of_list vars in
+  if Array.length vars <> k then
+    invalid_arg "Pattern_count: variable/pattern arity mismatch";
+  let order = bfs_order pattern in
+  let placed = Array.make k (-1) in
+  let count = ref 0 in
+  let realises_exactly () =
+    let ok = ref true in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        if !ok && not plan.implied_close.(i).(j) then begin
+          let is_close = close ctx placed.(i) placed.(j) in
+          if is_close <> Foc_graph.Pattern.mem_edge pattern i j then ok := false
+        end
+      done
+    done;
+    !ok
+  in
+  let current_env () =
+    (* environment of the already-placed positions *)
+    let env = ref Var.Map.empty in
+    Array.iteri
+      (fun i x -> if placed.(i) >= 0 then env := Var.Map.add x placed.(i) !env)
+      vars;
+    !env
+  in
+  let rec place = function
+    | [] ->
+        if realises_exactly () then begin
+          let env =
+            Array.to_seq (Array.mapi (fun i x -> (x, placed.(i))) vars)
+            |> Var.Map.of_seq
+          in
+          if Local_eval.holds ctx.preds ctx.structure env body then incr count
+        end
+    | (j, parent) :: rest ->
+        assert (parent >= 0);
+        (* candidates: indexed body atoms when available; the parent's
+           (2r+1)-ball (required by δ) otherwise. When the body already
+           entails closeness to the parent, indexed candidates need no ball
+           filtering — and no ball is ever computed. *)
+        let indexed =
+          Local_eval.candidate_values ctx.structure (current_env ()) body
+            vars.(j)
+        in
+        let implied = plan.implied_close.(parent).(j) in
+        (match indexed with
+        | Some l when implied ->
+            List.iter
+              (fun v ->
+                placed.(j) <- v;
+                place rest)
+              (List.sort_uniq compare l)
+        | Some l
+          when List.length l
+               < Hashtbl.length (ball_of ctx placed.(parent)) ->
+            let parent_ball = ball_of ctx placed.(parent) in
+            List.iter
+              (fun v ->
+                if Hashtbl.mem parent_ball v then begin
+                  placed.(j) <- v;
+                  place rest
+                end)
+              (List.sort_uniq compare l)
+        | _ ->
+            Hashtbl.iter
+              (fun v _ ->
+                placed.(j) <- v;
+                place rest)
+              (ball_of ctx placed.(parent)));
+        placed.(j) <- -1
+  in
+  if plan.impossible then 0
+  else begin
+    placed.(0) <- anchor;
+    (match order with
+    | (0, -1) :: rest -> place rest
+    | _ -> assert false);
+    !count
+  end
+
+let at ctx ~pattern ~vars ~body ~anchor =
+  if Foc_graph.Pattern.k pattern = 0 then
+    invalid_arg "Pattern_count.at: empty pattern has no anchor";
+  count_at ctx ~pattern ~vars ~body anchor
+
+let per_anchor ctx ~pattern ~vars ~body =
+  let k = Foc_graph.Pattern.k pattern in
+  if k = 0 then
+    invalid_arg "Pattern_count.per_anchor: empty pattern has no anchor";
+  let n = Foc_data.Structure.order ctx.structure in
+  let plan = make_plan ctx ~pattern ~vars ~body in
+  Array.init n (fun a -> count_at ~plan ctx ~pattern ~vars ~body a)
+
+let ground ctx ~pattern ~vars ~body =
+  let k = Foc_graph.Pattern.k pattern in
+  if k = 0 then begin
+    if Local_eval.holds ctx.preds ctx.structure Var.Map.empty body then 1
+    else 0
+  end
+  else begin
+    let n = Foc_data.Structure.order ctx.structure in
+    let plan = make_plan ctx ~pattern ~vars ~body in
+    let total = ref 0 in
+    for a = 0 to n - 1 do
+      total := !total + count_at ~plan ctx ~pattern ~vars ~body a
+    done;
+    !total
+  end

@@ -1,0 +1,58 @@
+(** Counting tuples that realise a fixed connectivity pattern — the
+    evaluation primitive for basic cl-terms (Remark 6.3 of the paper).
+
+    A tuple ā realises pattern [G] (at closeness threshold [2r+1]) if
+    [dist(a_i, a_j) ≤ 2r+1] exactly for the pattern's edges; this is the
+    semantics of the formula δ_{G,2r+1}. For a *connected* pattern the whole
+    tuple lives in the ball of radius [(k−1)(2r+1)] around its first
+    element, so the count can be computed by per-element neighbourhood
+    exploration — the source of the engine's near-linear behaviour on
+    sparse structures.
+
+    [body] is evaluated with {!Local_eval}, so its guarded quantifiers also
+    stay inside balls. *)
+
+open Foc_logic
+
+(** A reusable context caching the (2r+1)-balls computed while sweeping a
+    structure. *)
+type ctx
+
+val make_ctx : Pred.collection -> Foc_data.Structure.t -> r:int -> ctx
+
+(** Cache/statistics: number of ball computations performed. *)
+val balls_computed : ctx -> int
+
+(** Order of the underlying structure. *)
+val order : ctx -> int
+
+(** [per_anchor ctx ~pattern ~vars ~body] — for each element [a], the number
+    of tuples [(a, a_2, …, a_k)] that realise [pattern] exactly (position 0
+    = anchor) and satisfy [body] under [vars ↦ tuple]. [pattern] must be
+    connected and non-empty; [free body ⊆ vars]. *)
+val per_anchor :
+  ctx ->
+  pattern:Foc_graph.Pattern.t ->
+  vars:Var.t list ->
+  body:Ast.formula ->
+  int array
+
+(** [ground ctx ~pattern ~vars ~body] — the total count over all tuples; for
+    [k = 0] this is the 0/1 value of the sentence [body]. *)
+val ground :
+  ctx ->
+  pattern:Foc_graph.Pattern.t ->
+  vars:Var.t list ->
+  body:Ast.formula ->
+  int
+
+(** [at ctx ~pattern ~vars ~body ~anchor] — the count for a single anchor
+    element (used by the cluster sweep of Section 8.2, which only needs the
+    kernel elements of each cluster). *)
+val at :
+  ctx ->
+  pattern:Foc_graph.Pattern.t ->
+  vars:Var.t list ->
+  body:Ast.formula ->
+  anchor:int ->
+  int

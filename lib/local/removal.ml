@@ -1,0 +1,103 @@
+open Foc_logic
+open Ast
+module Rop = Foc_data.Removal_op
+
+exception Unsupported of string
+
+let rec formula ~r ~pinned (phi : Ast.formula) : Ast.formula =
+  match phi with
+  | True | False -> phi
+  | Eq (x, y) -> begin
+      match (Var.Set.mem x pinned, Var.Set.mem y pinned) with
+      | true, true -> True
+      | false, false -> Eq (x, y)
+      | _ -> False (* a surviving element is never the removed one *)
+    end
+  | Rel (name, xs) ->
+      let positions = ref [] and kept = ref [] in
+      Array.iteri
+        (fun i x ->
+          if Var.Set.mem x pinned then positions := (i + 1) :: !positions
+          else kept := x :: !kept)
+        xs;
+      Rel
+        ( Rop.tilde_name name (List.rev !positions),
+          Array.of_list (List.rev !kept) )
+  | Dist (x, y, i) -> begin
+      if i > r then
+        raise
+          (Unsupported
+             (Printf.sprintf "distance atom with bound %d > removal radius %d"
+                i r));
+      match (Var.Set.mem x pinned, Var.Set.mem y pinned) with
+      | true, true -> True
+      | true, false -> if i >= 1 then Rel (Rop.sphere_name i, [| y |]) else False
+      | false, true -> if i >= 1 then Rel (Rop.sphere_name i, [| x |]) else False
+      | false, false ->
+          (* either a surviving path, or a detour through the removed
+             element of length i1 + i2 = i with i1, i2 ≥ 1 *)
+          let detours =
+            List.filter_map
+              (fun i1 ->
+                let i2 = i - i1 in
+                if i2 >= 1 then
+                  Some
+                    (Ast.and_
+                       (Rel (Rop.sphere_name i1, [| x |]))
+                       (Rel (Rop.sphere_name i2, [| y |])))
+                else None)
+              (Foc_util.Combi.range 1 i)
+          in
+          Ast.big_or (Dist (x, y, i) :: detours)
+    end
+  | Neg f -> Ast.neg (formula ~r ~pinned f)
+  | Or (f, g) -> Ast.or_ (formula ~r ~pinned f) (formula ~r ~pinned g)
+  | And (f, g) -> Ast.and_ (formula ~r ~pinned f) (formula ~r ~pinned g)
+  | Exists (y, f) ->
+      (* the witness is either the removed element or a survivor *)
+      Ast.or_
+        (formula ~r ~pinned:(Var.Set.add y pinned) f)
+        (Exists (y, formula ~r ~pinned:(Var.Set.remove y pinned) f))
+  | Forall (y, f) ->
+      Ast.and_
+        (formula ~r ~pinned:(Var.Set.add y pinned) f)
+        (Forall (y, formula ~r ~pinned:(Var.Set.remove y pinned) f))
+  | Pred _ -> raise (Unsupported "numerical predicate under removal")
+
+type parts = (Var.t list * Ast.formula) list
+
+let ground_parts ~r ~vars phi : parts =
+  List.map
+    (fun pinned_vars ->
+      let pinned = Var.Set.of_list pinned_vars in
+      let kept = List.filter (fun x -> not (Var.Set.mem x pinned)) vars in
+      (kept, formula ~r ~pinned phi))
+    (Foc_util.Combi.subsets vars)
+
+let unary_parts ~r ~vars phi =
+  match vars with
+  | [] -> invalid_arg "Removal.unary_parts: no variables"
+  | x1 :: rest ->
+      (* u(d): x1 is pinned; counted positions split arbitrarily *)
+      let at_removed =
+        List.map
+          (fun pinned_vars ->
+            let pinned = Var.Set.of_list (x1 :: pinned_vars) in
+            let kept =
+              List.filter (fun x -> not (Var.Set.mem x pinned)) rest
+            in
+            (kept, formula ~r ~pinned phi))
+          (Foc_util.Combi.subsets rest)
+      in
+      (* u(a), a ≠ d: x1 survives; counted positions split arbitrarily *)
+      let elsewhere =
+        List.map
+          (fun pinned_vars ->
+            let pinned = Var.Set.of_list pinned_vars in
+            let kept =
+              List.filter (fun x -> not (Var.Set.mem x pinned)) rest
+            in
+            (x1 :: kept, formula ~r ~pinned phi))
+          (Foc_util.Combi.subsets rest)
+      in
+      (`At_removed at_removed, `Elsewhere elsewhere)

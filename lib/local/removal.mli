@@ -1,0 +1,45 @@
+(** The Removal Lemmas (Lemmas 7.8 and 7.9 of the paper): rewriting FO⁺
+    formulas and basic counting terms so that they can be evaluated on the
+    reduced structure [A *_r d] (see {!Foc_data.Removal_op}).
+
+    [formula ~r ~pinned φ] computes φ̃_V: the formula equivalent to φ on
+    structures of order ≥ 2 when the variables of [pinned] denote the
+    removed element [d] and all others denote surviving elements —
+    relation atoms become [R̃_I] atoms, equalities with pinned variables
+    resolve statically, and distance atoms are re-routed through the sphere
+    predicates [S_i] (a path may pass through the removed element).
+
+    The term lemmas decompose a counting term over [A] into sums of counting
+    terms over [A *_r d], according to which counted positions hit [d].
+
+    Supported bodies are FO⁺ (no numerical predicates): the engine applies
+    these rewritings after stratification has already materialised all inner
+    predicate conditions as relation symbols. *)
+
+open Foc_logic
+
+exception Unsupported of string
+
+(** [formula ~r ~pinned φ] — φ̃_V over σ̃_r. Every [Dist] atom must have
+    bound ≤ [r] (otherwise the sphere predicates cannot express the detour
+    through [d]); [Pred] raises {!Unsupported}. *)
+val formula : r:int -> pinned:Var.Set.t -> Ast.formula -> Ast.formula
+
+(** A sum of counting kernels: pairs (counted variables, body). *)
+type parts = (Var.t list * Ast.formula) list
+
+(** Lemma 7.9(a): [ground ~r ~vars φ] — kernels over σ̃_r such that
+    [#vars.φ]^A = Σ over the kernels evaluated on [A *_r d]. One kernel per
+    subset of positions mapped to [d]. *)
+val ground_parts : r:int -> vars:Var.t list -> Ast.formula -> parts
+
+(** Lemma 7.9(b): [unary ~r ~vars φ] for [vars = x₁ :: rest] — the value of
+    [u(x₁) = #rest.φ]:
+    - [at_removed]: ground kernels summing to [u^A(d)];
+    - [elsewhere]: unary kernels (first variable = x₁) summing to [u^A(a)]
+      for [a ≠ d], evaluated at [a]'s new name in [A *_r d]. *)
+val unary_parts :
+  r:int ->
+  vars:Var.t list ->
+  Ast.formula ->
+  [ `At_removed of parts ] * [ `Elsewhere of parts ]

@@ -1,0 +1,320 @@
+open Foc_logic
+open Ast
+
+type side = L | R
+
+exception Bail of string
+
+(* ------------------------------------------------------------------ *)
+(* α-rename so every bound variable is globally unique: side assignment
+   then works with one flat variable→side map. *)
+
+let rec freshen_formula ren = function
+  | (True | False) as f -> f
+  | Eq (x, y) -> Eq (look ren x, look ren y)
+  | Rel (r, xs) -> Rel (r, Array.map (look ren) xs)
+  | Dist (x, y, d) -> Dist (look ren x, look ren y, d)
+  | Neg f -> Neg (freshen_formula ren f)
+  | Or (f, g) -> Or (freshen_formula ren f, freshen_formula ren g)
+  | And (f, g) -> And (freshen_formula ren f, freshen_formula ren g)
+  | Exists (y, f) ->
+      let y' = Var.fresh_like y in
+      Exists (y', freshen_formula (Var.Map.add y y' ren) f)
+  | Forall (y, f) ->
+      let y' = Var.fresh_like y in
+      Forall (y', freshen_formula (Var.Map.add y y' ren) f)
+  | Pred (p, ts) -> Pred (p, List.map (freshen_term ren) ts)
+
+and freshen_term ren = function
+  | Int i -> Int i
+  | Add (s, t) -> Add (freshen_term ren s, freshen_term ren t)
+  | Mul (s, t) -> Mul (freshen_term ren s, freshen_term ren t)
+  | Count (ys, f) ->
+      let ys' = List.map Var.fresh_like ys in
+      let ren' =
+        List.fold_left2 (fun m y y' -> Var.Map.add y y' m) ren ys ys'
+      in
+      Count (ys', freshen_formula ren' f)
+
+and look ren x = Option.value ~default:x (Var.Map.find_opt x ren)
+
+(* all variable occurrences, free and bound *)
+let rec all_vars = function
+  | True | False -> Var.Set.empty
+  | Eq (x, y) -> Var.Set.of_list [ x; y ]
+  | Rel (_, xs) -> Var.Set.of_list (Array.to_list xs)
+  | Dist (x, y, _) -> Var.Set.of_list [ x; y ]
+  | Neg f -> all_vars f
+  | Or (f, g) | And (f, g) -> Var.Set.union (all_vars f) (all_vars g)
+  | Exists (y, f) | Forall (y, f) -> Var.Set.add y (all_vars f)
+  | Pred (_, ts) ->
+      List.fold_left
+        (fun acc t -> Var.Set.union acc (all_vars_term t))
+        Var.Set.empty ts
+
+and all_vars_term = function
+  | Int _ -> Var.Set.empty
+  | Count (ys, f) -> Var.Set.union (Var.Set.of_list ys) (all_vars f)
+  | Add (s, t) | Mul (s, t) ->
+      Var.Set.union (all_vars_term s) (all_vars_term t)
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: kill cross atoms, choose a side for every quantified variable.
+   The traversal threads an accumulating global side map (bound variables
+   are globally unique after freshening). *)
+
+let side_partition sides =
+  Var.Map.fold
+    (fun x s (l, r) ->
+      match s with
+      | L -> (Var.Set.add x l, r)
+      | R -> (l, Var.Set.add x r))
+    sides
+    (Var.Set.empty, Var.Set.empty)
+
+let promise r = (2 * r) + 1
+
+let rec assign ~r sides acc (phi : Ast.formula) : Ast.formula * side Var.Map.t =
+  match phi with
+  | True | False -> (phi, acc)
+  | Eq (x, y) -> (fix_atom ~r sides phi [ x; y ], acc)
+  | Dist (x, y, _) -> (fix_atom ~r sides phi [ x; y ], acc)
+  | Rel (_, xs) -> (fix_atom ~r sides phi (Array.to_list xs), acc)
+  | Neg f ->
+      let f', acc = assign ~r sides acc f in
+      (Ast.neg f', acc)
+  | Or (f, g) ->
+      let f', acc = assign ~r sides acc f in
+      let g', acc = assign ~r sides acc g in
+      (Ast.or_ f' g', acc)
+  | And (f, g) ->
+      let f', acc = assign ~r sides acc f in
+      let g', acc = assign ~r sides acc g in
+      (Ast.and_ f' g', acc)
+  | Exists (y, f) ->
+      assign_quant ~r sides acc y f ~guard_src:f ~kill:False
+        ~rebuild:(fun f' -> Exists (y, f'))
+  | Forall (y, f) ->
+      assign_quant ~r sides acc y f ~guard_src:(Ast.Neg f) ~kill:True
+        ~rebuild:(fun f' -> Forall (y, f'))
+  | Pred (_, ts) ->
+      (* FOC1 predicates have at most one free variable, so they are never
+         mixed; their counted variables are internal to the leaf. *)
+      let tvars =
+        List.fold_left
+          (fun a t -> Var.Set.union a (free_term t))
+          Var.Set.empty ts
+      in
+      if Var.Set.cardinal tvars > 1 then
+        raise (Bail "predicate with two or more free variables");
+      (phi, acc)
+
+and fix_atom ~r sides atom vars =
+  let ss = List.filter_map (fun x -> Var.Map.find_opt x sides) vars in
+  if List.mem L ss && List.mem R ss then begin
+    let entailed = match atom with Dist (_, _, d) -> d | _ -> 1 in
+    if entailed <= promise r then False
+    else raise (Bail "cross distance atom wider than the promise")
+  end
+  else atom
+
+and assign_quant ~r sides acc y f ~guard_src ~kill ~rebuild =
+  let lefts, rights = side_partition sides in
+  let guard anchors =
+    if Var.Set.is_empty anchors then None
+    else Locality.quantifier_guard guard_src y ~anchors
+  in
+  match (guard lefts, guard rights) with
+  | Some a, Some b ->
+      if a + b <= promise r then (kill, acc)
+      else raise (Bail "variable guarded to both sides beyond the promise")
+  | Some _, None ->
+      let f', acc = assign ~r (Var.Map.add y L sides) (Var.Map.add y L acc) f in
+      (rebuild f', acc)
+  | None, Some _ ->
+      let f', acc = assign ~r (Var.Map.add y R sides) (Var.Map.add y R acc) f in
+      (rebuild f', acc)
+  | None, None -> raise (Bail ("unguarded quantified variable " ^ y))
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: Boolean skeleton over side-pure leaves; mixed quantifier bodies
+   are Shannon-expanded over their opposite-side leaves (constant w.r.t.
+   the quantified variable). *)
+
+type skel =
+  | SLeaf of int
+  | STrue
+  | SFalse
+  | SNeg of skel
+  | SAnd of skel * skel
+  | SOr of skel * skel
+
+type store = { mutable items : (side * Ast.formula) array; mutable used : int }
+
+let new_store () = { items = Array.make 8 (L, Ast.True); used = 0 }
+
+let add_leaf store side f =
+  let rec find i =
+    if i >= store.used then None
+    else begin
+      let s, g = store.items.(i) in
+      if s = side && Ast.equal_formula f g then Some i else find (i + 1)
+    end
+  in
+  match find 0 with
+  | Some id -> SLeaf id
+  | None ->
+      if store.used = Array.length store.items then begin
+        let bigger = Array.make (2 * store.used) (L, Ast.True) in
+        Array.blit store.items 0 bigger 0 store.used;
+        store.items <- bigger
+      end;
+      store.items.(store.used) <- (side, f);
+      store.used <- store.used + 1;
+      SLeaf (store.used - 1)
+
+let leaf_ids store pred =
+  List.filter
+    (fun id -> pred (fst store.items.(id)))
+    (List.init store.used (fun i -> i))
+
+let purity sides f =
+  let l = ref false and r = ref false in
+  Var.Set.iter
+    (fun x ->
+      match Var.Map.find_opt x sides with
+      | Some L -> l := true
+      | Some R -> r := true
+      | None -> ())
+    (all_vars f);
+  match (!l, !r) with
+  | true, true -> `Mixed
+  | false, true -> `Pure R
+  | _ -> `Pure L
+
+let rec realize sk resolve : Ast.formula =
+  match sk with
+  | STrue -> Ast.True
+  | SFalse -> Ast.False
+  | SLeaf id -> resolve id
+  | SNeg s -> Ast.neg (realize s resolve)
+  | SAnd (s1, s2) -> Ast.and_ (realize s1 resolve) (realize s2 resolve)
+  | SOr (s1, s2) -> Ast.or_ (realize s1 resolve) (realize s2 resolve)
+
+let check_budget ~budget m =
+  if m > 16 || 1 lsl m > budget then raise (Bail "expansion budget exceeded")
+
+let rec build ~budget store sides (phi : Ast.formula) : skel =
+  match phi with
+  | True -> STrue
+  | False -> SFalse
+  | _ -> begin
+      match purity sides phi with
+      | `Pure s -> add_leaf store s phi
+      | `Mixed -> begin
+          match phi with
+          | Neg f -> SNeg (build ~budget store sides f)
+          | Or (f, g) ->
+              SOr (build ~budget store sides f, build ~budget store sides g)
+          | And (f, g) ->
+              SAnd (build ~budget store sides f, build ~budget store sides g)
+          | Exists (z, f) -> build_quant ~budget store sides z f ~exists:true
+          | Forall (z, f) -> build_quant ~budget store sides z f ~exists:false
+          | True | False | Eq _ | Rel _ | Dist _ | Pred _ ->
+              raise (Bail "mixed atom survived phase 1")
+        end
+    end
+
+and build_quant ~budget store sides z f ~exists =
+  let zside =
+    match Var.Map.find_opt z sides with
+    | Some s -> s
+    | None -> raise (Bail "quantified variable without a side")
+  in
+  let opp = if zside = L then R else L in
+  (* build the body against its own store, then expand over the body's
+     opposite-side leaves *)
+  let sub = new_store () in
+  let sk = build ~budget sub sides f in
+  let opp_ids = leaf_ids sub (fun s -> s = opp) in
+  check_budget ~budget (List.length opp_ids);
+  let branches =
+    List.map
+      (fun true_set ->
+        let value id = List.mem id true_set in
+        let body =
+          realize sk (fun id ->
+              let side, g = sub.items.(id) in
+              if side = opp then if value id then Ast.True else Ast.False
+              else g)
+        in
+        let quantified =
+          match (exists, body) with
+          | _, False -> Ast.False
+          | _, True -> Ast.True (* non-empty universes: ∃/∀ z True ≡ True *)
+          | true, b -> Ast.Exists (z, b)
+          | false, b -> Ast.Forall (z, b)
+        in
+        let q_sk =
+          match quantified with
+          | True -> STrue
+          | False -> SFalse
+          | q -> add_leaf store zside q
+        in
+        (* the conjunction of opposite-side literals selecting this branch *)
+        let lits =
+          List.fold_left
+            (fun acc id ->
+              let _, g = sub.items.(id) in
+              let lit = add_leaf store opp g in
+              SAnd (acc, if value id then lit else SNeg lit))
+            STrue opp_ids
+        in
+        SAnd (lits, q_sk))
+      (Foc_util.Combi.subsets opp_ids)
+  in
+  List.fold_left (fun acc b -> SOr (acc, b)) SFalse branches
+
+(* Note: ∃z False ≡ False and ∃z True ≡ True (non-empty universes, as the
+   paper assumes); same for ∀. *)
+
+(* ------------------------------------------------------------------ *)
+
+let split ?(max_blocks = 4096) ~r ~side_of (theta : Ast.formula) =
+  try
+    let theta = freshen_formula Var.Map.empty theta in
+    let free_sides =
+      Var.Set.fold
+        (fun x m -> Var.Map.add x (side_of x) m)
+        (free_formula theta) Var.Map.empty
+    in
+    let theta, sides = assign ~r free_sides free_sides theta in
+    let store = new_store () in
+    let sk = build ~budget:max_blocks store sides theta in
+    let r_ids = leaf_ids store (fun s -> s = R) in
+    check_budget ~budget:max_blocks (List.length r_ids);
+    let blocks =
+      List.filter_map
+        (fun true_set ->
+          let value id = List.mem id true_set in
+          let lambda =
+            realize sk (fun id ->
+                let side, g = store.items.(id) in
+                if side = R then if value id then Ast.True else Ast.False
+                else g)
+          in
+          if Ast.equal_formula lambda Ast.False then None
+          else begin
+            let rho =
+              List.fold_left
+                (fun acc id ->
+                  let _, g = store.items.(id) in
+                  Ast.and_ acc (if value id then g else Ast.neg g))
+                Ast.True r_ids
+            in
+            Some (lambda, rho)
+          end)
+        (Foc_util.Combi.subsets r_ids)
+    in
+    Some blocks
+  with Bail _ -> None

@@ -1,0 +1,40 @@
+(** Component splitting of guarded-local formulas: the computational content
+    of the Feferman–Vaught step in Lemma 6.4 of the paper.
+
+    Given a formula θ that is r-local around its free variables and a
+    partition of those variables into a left part ȳ′ and a right part ȳ″,
+    Lemma 6.4 uses the Feferman–Vaught theorem to decompose θ — *under the
+    promise that every left/right pair is at distance > 2r+1* — into a
+    disjoint disjunction [⋁_i (ψ′_i(ȳ′) ∧ ψ″_i(ȳ″))].
+
+    For the guarded fragment this decomposition is effective:
+
+    - every quantified variable is guarded, hence belongs to a determined
+      side (guards to both sides contradict the distance promise and kill
+      the subformula);
+    - atoms spanning both sides entail closeness ≤ 2r+1 and become [False];
+    - what remains is a Boolean skeleton over side-pure subformulas; mixed
+      quantifier bodies are resolved by Shannon expansion over the
+      opposite-side leaves (which are constant with respect to the
+      quantified variable).
+
+    [split] returns [None] when the formula leaves the supported fragment
+    (an unguarded quantifier, an over-wide distance atom) or when the
+    Shannon expansion would exceed the budget; callers fall back to the
+    baseline engine in that case. *)
+
+open Foc_logic
+
+type side = L | R
+
+(** [split ~r ~side_of θ] — [side_of] must cover [free θ]. Returns disjoint
+    blocks [(λ_i, ρ_i)] with [free λ_i] ⊆ left variables, [free ρ_i] ⊆ right
+    variables, such that for all structures and tuples satisfying the
+    distance promise, [θ ⟺ ⋁_i (λ_i ∧ ρ_i)], and at most one block holds.
+    [max_blocks] caps the Shannon expansion (default 4096). *)
+val split :
+  ?max_blocks:int ->
+  r:int ->
+  side_of:(Var.t -> side) ->
+  Ast.formula ->
+  (Ast.formula * Ast.formula) list option

@@ -1,0 +1,202 @@
+type formula =
+  | True
+  | False
+  | Eq of Var.t * Var.t
+  | Rel of string * Var.t array
+  | Dist of Var.t * Var.t * int
+  | Neg of formula
+  | Or of formula * formula
+  | And of formula * formula
+  | Exists of Var.t * formula
+  | Forall of Var.t * formula
+  | Pred of string * term list
+
+and term =
+  | Int of int
+  | Count of Var.t list * formula
+  | Add of term * term
+  | Mul of term * term
+
+let neg = function
+  | True -> False
+  | False -> True
+  | Neg f -> f
+  | f -> Neg f
+
+let and_ f g =
+  match (f, g) with
+  | True, h | h, True -> h
+  | False, _ | _, False -> False
+  | _ -> And (f, g)
+
+let or_ f g =
+  match (f, g) with
+  | False, h | h, False -> h
+  | True, _ | _, True -> True
+  | _ -> Or (f, g)
+
+let implies f g = or_ (neg f) g
+let iff f g = and_ (implies f g) (implies g f)
+let big_and fs = List.fold_left and_ True fs
+let big_or fs = List.fold_left or_ False fs
+let exists vs f = List.fold_right (fun v acc -> Exists (v, acc)) vs f
+let forall vs f = List.fold_right (fun v acc -> Forall (v, acc)) vs f
+
+let count vs f =
+  let sorted = List.sort_uniq Var.compare vs in
+  if List.length sorted <> List.length vs then
+    invalid_arg "Ast.count: repeated bound variable";
+  Count (vs, f)
+
+let sub s t = Add (s, Mul (Int (-1), t))
+let ge1_ t = Pred ("ge1", [ t ])
+let eq_ s t = Pred ("eq", [ s; t ])
+let le_ s t = Pred ("le", [ s; t ])
+let lt_ s t = Pred ("lt", [ s; t ])
+
+let rec free_formula = function
+  | True | False -> Var.Set.empty
+  | Eq (x, y) -> Var.Set.of_list [ x; y ]
+  | Rel (_, xs) -> Var.Set.of_list (Array.to_list xs)
+  | Dist (x, y, _) -> Var.Set.of_list [ x; y ]
+  | Neg f -> free_formula f
+  | Or (f, g) | And (f, g) -> Var.Set.union (free_formula f) (free_formula g)
+  | Exists (y, f) | Forall (y, f) -> Var.Set.remove y (free_formula f)
+  | Pred (_, ts) ->
+      List.fold_left
+        (fun acc t -> Var.Set.union acc (free_term t))
+        Var.Set.empty ts
+
+and free_term = function
+  | Int _ -> Var.Set.empty
+  | Count (ys, f) -> Var.Set.diff (free_formula f) (Var.Set.of_list ys)
+  | Add (s, t) | Mul (s, t) -> Var.Set.union (free_term s) (free_term t)
+
+(* Capture-avoiding simultaneous renaming. When a binder's variable clashes
+   with the range of the substitution (restricted to the body's free
+   variables), the binder is α-renamed first. *)
+let rec rename_formula subst f =
+  let lookup x = Option.value ~default:x (Var.Map.find_opt x subst) in
+  match f with
+  | True | False -> f
+  | Eq (x, y) -> Eq (lookup x, lookup y)
+  | Rel (r, xs) -> Rel (r, Array.map lookup xs)
+  | Dist (x, y, d) -> Dist (lookup x, lookup y, d)
+  | Neg g -> Neg (rename_formula subst g)
+  | Or (g, h) -> Or (rename_formula subst g, rename_formula subst h)
+  | And (g, h) -> And (rename_formula subst g, rename_formula subst h)
+  | Exists (y, g) ->
+      let y', g' = rename_under subst [ y ] g in
+      Exists (List.hd y', g')
+  | Forall (y, g) ->
+      let y', g' = rename_under subst [ y ] g in
+      Forall (List.hd y', g')
+  | Pred (p, ts) -> Pred (p, List.map (rename_term subst) ts)
+
+and rename_under subst bound body =
+  (* Drop bound variables from the substitution; α-rename those that would
+     capture an incoming variable. *)
+  let subst = List.fold_left (fun s y -> Var.Map.remove y s) subst bound in
+  let incoming =
+    Var.Map.fold
+      (fun x y acc ->
+        if Var.Set.mem x (free_formula body) then Var.Set.add y acc else acc)
+      subst Var.Set.empty
+  in
+  let renaming =
+    List.filter_map
+      (fun y ->
+        if Var.Set.mem y incoming then Some (y, Var.fresh_like y) else None)
+      bound
+  in
+  let bound' =
+    List.map
+      (fun y ->
+        match List.assoc_opt y renaming with Some y' -> y' | None -> y)
+      bound
+  in
+  let subst' =
+    List.fold_left (fun s (y, y') -> Var.Map.add y y' s) subst renaming
+  in
+  (bound', rename_formula subst' body)
+
+and rename_term subst = function
+  | Int i -> Int i
+  | Count (ys, f) ->
+      let ys', f' = rename_under subst ys f in
+      Count (ys', f')
+  | Add (s, t) -> Add (rename_term subst s, rename_term subst t)
+  | Mul (s, t) -> Mul (rename_term subst s, rename_term subst t)
+
+let equal_formula (a : formula) (b : formula) = a = b
+let equal_term (a : term) (b : term) = a = b
+
+let rec strictify expand_dist f =
+  let s = strictify expand_dist in
+  match f with
+  | True ->
+      (* ¬∃z ¬ z=z, the paper's canonical tautology (Example 5.3) *)
+      let z = Var.fresh () in
+      Neg (Exists (z, Neg (Eq (z, z))))
+  | False ->
+      let z = Var.fresh () in
+      Exists (z, Neg (Eq (z, z)))
+  | Eq _ | Rel _ -> f
+  | Dist (x, y, d) -> strictify expand_dist (expand_dist x y d)
+  | Neg g -> Neg (s g)
+  | Or (g, h) -> Or (s g, s h)
+  | And (g, h) -> Neg (Or (Neg (s g), Neg (s h)))
+  | Exists (y, g) -> Exists (y, s g)
+  | Forall (y, g) -> Neg (Exists (y, Neg (s g)))
+  | Pred (p, ts) -> Pred (p, List.map (strictify_term expand_dist) ts)
+
+and strictify_term expand_dist = function
+  | Int i -> Int i
+  | Count (ys, f) -> Count (ys, strictify expand_dist f)
+  | Add (s, t) ->
+      Add (strictify_term expand_dist s, strictify_term expand_dist t)
+  | Mul (s, t) ->
+      Mul (strictify_term expand_dist s, strictify_term expand_dist t)
+
+let rec map_subformulas rewrite f =
+  let go = map_subformulas rewrite in
+  let f' =
+    match f with
+    | True | False | Eq _ | Rel _ | Dist _ -> f
+    | Neg g -> Neg (go g)
+    | Or (g, h) -> Or (go g, go h)
+    | And (g, h) -> And (go g, go h)
+    | Exists (y, g) -> Exists (y, go g)
+    | Forall (y, g) -> Forall (y, go g)
+    | Pred (p, ts) -> Pred (p, List.map (map_term rewrite) ts)
+  in
+  match rewrite f' with Some g -> g | None -> f'
+
+and map_term rewrite = function
+  | Int i -> Int i
+  | Count (ys, f) -> Count (ys, map_subformulas rewrite f)
+  | Add (s, t) -> Add (map_term rewrite s, map_term rewrite t)
+  | Mul (s, t) -> Mul (map_term rewrite s, map_term rewrite t)
+
+let rec exists_subformula p f =
+  p f
+  ||
+  match f with
+  | True | False | Eq _ | Rel _ | Dist _ -> false
+  | Neg g | Exists (_, g) | Forall (_, g) -> exists_subformula p g
+  | Or (g, h) | And (g, h) -> exists_subformula p g || exists_subformula p h
+  | Pred (_, ts) -> List.exists (exists_in_term p) ts
+
+and exists_in_term p = function
+  | Int _ -> false
+  | Count (_, f) -> exists_subformula p f
+  | Add (s, t) | Mul (s, t) -> exists_in_term p s || exists_in_term p t
+
+let atoms f =
+  let rec go acc = function
+    | (Eq _ | Rel _ | Dist _) as a -> a :: acc
+    | True | False | Pred _ -> acc
+    | Neg g | Exists (_, g) | Forall (_, g) -> go acc g
+    | Or (g, h) | And (g, h) -> go (go acc h) g
+  in
+  go [] f

@@ -1,0 +1,101 @@
+(** Abstract syntax of FOC(P) formulas and counting terms (Definition 3.1),
+    extended with the FO⁺ distance atoms of Section 7.
+
+    Constructors beyond the paper's strict rules (1)–(7) — [True], [False],
+    [And], [Forall], [Dist] — are definable conveniences; {!strictify}
+    rewrites a formula into the strict grammar (distance atoms need a
+    signature to expand, see {!Dist_formula}). First-order logic FO is the
+    fragment without [Pred] (and hence without counting terms); see
+    {!Fragment}. *)
+
+type formula =
+  | True
+  | False
+  | Eq of Var.t * Var.t  (** [x1 = x2] *)
+  | Rel of string * Var.t array  (** [R(x1, …, x_ar(R))] *)
+  | Dist of Var.t * Var.t * int  (** FO⁺ atom [dist(x, y) ≤ d], [d ≥ 0] *)
+  | Neg of formula
+  | Or of formula * formula
+  | And of formula * formula
+  | Exists of Var.t * formula
+  | Forall of Var.t * formula
+  | Pred of string * term list  (** numerical predicate on counting terms *)
+
+and term =
+  | Int of int
+  | Count of Var.t list * formula
+      (** [#(y1, …, yk).φ] — the [yi] must be pairwise distinct; [k = 0]
+          counts the empty tuple, so the value is 1 or 0 as [φ] holds. *)
+  | Add of term * term
+  | Mul of term * term
+
+(** {1 Smart constructors} *)
+
+val neg : formula -> formula
+(** One-step simplifying negation ([neg True = False], double negations
+    collapse). *)
+
+val and_ : formula -> formula -> formula
+val or_ : formula -> formula -> formula
+val implies : formula -> formula -> formula
+val iff : formula -> formula -> formula
+
+val big_and : formula list -> formula
+(** [big_and [] = True]; drops [True] conjuncts, absorbs [False]. *)
+
+val big_or : formula list -> formula
+val exists : Var.t list -> formula -> formula
+val forall : Var.t list -> formula -> formula
+
+val count : Var.t list -> formula -> term
+(** Raises [Invalid_argument] if the bound variables repeat. *)
+
+val sub : term -> term -> term
+(** [sub s t] is [s − t = s + (−1)·t], the paper's derived operator. *)
+
+(** Predicate-application sugar (using the {!Pred.standard} names). *)
+
+val ge1_ : term -> formula
+(** [t ≥ 1]. *)
+
+val eq_ : term -> term -> formula
+val le_ : term -> term -> formula
+val lt_ : term -> term -> formula
+
+(** {1 Variables and substitution} *)
+
+val free_formula : formula -> Var.Set.t
+(** The free variables, per the inductive definition in Section 3. *)
+
+val free_term : term -> Var.Set.t
+
+val rename_formula : Var.t Var.Map.t -> formula -> formula
+(** Capture-avoiding renaming of free variable occurrences; bound variables
+    clashing with the substitution's range are α-renamed to fresh names. *)
+
+val rename_term : Var.t Var.Map.t -> term -> term
+
+(** {1 Structure } *)
+
+val equal_formula : formula -> formula -> bool
+(** Structural (not α-) equality. *)
+
+val equal_term : term -> term -> bool
+
+val strictify : (Var.t -> Var.t -> int -> formula) -> formula -> formula
+(** [strictify expand_dist φ] rewrites into the strict grammar of
+    Definition 3.1: [True]/[False]/[And]/[Forall] are expressed with
+    ¬, ∨, ∃ and [Dist] atoms are replaced via [expand_dist x y d]. *)
+
+val map_subformulas : (formula -> formula option) -> formula -> formula
+(** Bottom-up rewriting: at every subformula the callback may replace the
+    (already rewritten) node; [None] keeps it. Descends into counting
+    terms. *)
+
+val exists_subformula : (formula -> bool) -> formula -> bool
+(** Does some subformula (including inside counting terms) satisfy the
+    predicate? *)
+
+val atoms : formula -> formula list
+(** All atomic subformulas ([Eq], [Rel], [Dist]) outside counting terms,
+    with duplicates; order unspecified. *)

@@ -1,0 +1,65 @@
+open Ast
+
+let adjacent sign x y =
+  let per_relation (name, arity) =
+    if arity < 2 then []
+    else begin
+      (* choose positions i ≠ j for x and y; quantify the rest *)
+      let positions = Foc_util.Combi.range 0 arity in
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j ->
+              if i = j then None
+              else begin
+                let args =
+                  Array.init arity (fun p ->
+                      if p = i then x
+                      else if p = j then y
+                      else Var.fresh ())
+                in
+                let others =
+                  Array.to_list args
+                  |> List.filter (fun v -> v <> x && v <> y)
+                in
+                Some (exists others (Rel (name, args)))
+              end)
+            positions)
+        positions
+    end
+  in
+  and_
+    (neg (Eq (x, y)))
+    (big_or
+       (List.concat_map per_relation (Foc_data.Signature.to_list sign)))
+
+let rec dist_le_fo sign r x y =
+  if r <= 0 then Eq (x, y)
+  else begin
+    let z = Var.fresh () in
+    or_ (Eq (x, y))
+      (exists [ z ]
+         (and_ (adjacent sign x z) (dist_le_fo sign (r - 1) z y)))
+  end
+
+let delta ~r pat ys =
+  let k = Foc_graph.Pattern.k pat in
+  if List.length ys <> k then invalid_arg "Dist_formula.delta: arity mismatch";
+  let arr = Array.of_list ys in
+  let conjuncts = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let atom = Dist (arr.(i), arr.(j), r) in
+      conjuncts :=
+        (if Foc_graph.Pattern.mem_edge pat i j then atom else neg atom)
+        :: !conjuncts
+    done
+  done;
+  big_and (List.rev !conjuncts)
+
+let eliminate_dist sign phi =
+  Ast.map_subformulas
+    (function
+      | Dist (x, y, d) -> Some (dist_le_fo sign d x y)
+      | _ -> None)
+    phi

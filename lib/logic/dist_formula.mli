@@ -1,0 +1,25 @@
+(** Distance formulas: [dist_σ(x,y) ≤ r] as pure FO (Section 6.1) and the
+    connectivity-pattern formulas δ_{G,r} (Sections 6.1 and 7.2).
+
+    The FO⁺ atom [Ast.Dist] is only a syntactic extension (Section 7); this
+    module provides its elimination into genuine first-order formulas —
+    exponentially larger, as the paper notes, which is precisely why FO⁺
+    and the q-rank bookkeeping exist. *)
+
+(** [adjacent sign x y] holds iff [x ≠ y] and some tuple of some relation
+    contains both — i.e. [xy] is a Gaifman edge. *)
+val adjacent : Foc_data.Signature.t -> Var.t -> Var.t -> Ast.formula
+
+(** [dist_le_fo sign r x y] is the FO formula for [dist(x,y) ≤ r]. Its size
+    grows linearly in [r] (one ∃ per step), with the [adjacent] disjunction
+    at each step. *)
+val dist_le_fo : Foc_data.Signature.t -> int -> Var.t -> Var.t -> Ast.formula
+
+(** [delta ~r pat ys] is δ_{G,r}(ȳ) in FO⁺: close pairs of the pattern get
+    [dist ≤ r], far pairs get [¬(dist ≤ r)]. [ys] must have length
+    [Pattern.k pat]. *)
+val delta : r:int -> Foc_graph.Pattern.t -> Var.t list -> Ast.formula
+
+(** [eliminate_dist sign φ] replaces every FO⁺ distance atom by its FO
+    expansion. *)
+val eliminate_dist : Foc_data.Signature.t -> Ast.formula -> Ast.formula

@@ -1,0 +1,89 @@
+open Ast
+
+let is_fo phi =
+  not
+    (exists_subformula
+       (function Pred _ | Dist _ -> true | _ -> false)
+       phi)
+
+let is_fo_plus phi =
+  not (exists_subformula (function Pred _ -> true | _ -> false) phi)
+
+let pred_ok = function
+  | Pred (_, ts) ->
+      let free =
+        List.fold_left
+          (fun acc t -> Var.Set.union acc (free_term t))
+          Var.Set.empty ts
+      in
+      Var.Set.cardinal free <= 1
+  | _ -> true
+
+let is_foc1 phi =
+  not (exists_subformula (fun f -> not (pred_ok f)) phi)
+
+let is_foc1_term t =
+  match t with
+  | Int _ -> true
+  | Add _ | Mul _ | Count _ ->
+      (* check every Pred inside the term's formulas *)
+      let rec go_term = function
+        | Int _ -> true
+        | Count (_, f) -> is_foc1 f
+        | Add (s, t') | Mul (s, t') -> go_term s && go_term t'
+      in
+      go_term t
+
+let is_existential phi =
+  (* positive: under an even number of negations, no Forall and no Exists
+     under an odd number of negations *)
+  let rec go positive = function
+    | True | False | Eq _ | Rel _ | Dist _ -> true
+    | Neg f -> go (not positive) f
+    | Or (f, g) | And (f, g) -> go positive f && go positive g
+    | Exists (_, f) -> positive && go positive f
+    | Forall (_, f) -> (not positive) && go positive f
+    | Pred _ -> false
+  in
+  go true phi
+
+let rec well_formed sign preds phi =
+  let ( let* ) r f = Result.bind r f in
+  match phi with
+  | True | False | Eq _ | Dist _ -> Ok ()
+  | Rel (r, xs) -> begin
+      match Foc_data.Signature.arity_opt sign r with
+      | None -> Error ("unknown relation symbol " ^ r)
+      | Some a when a <> Array.length xs ->
+          Error
+            (Printf.sprintf "relation %s expects %d arguments, got %d" r a
+               (Array.length xs))
+      | Some _ -> Ok ()
+    end
+  | Neg f | Exists (_, f) | Forall (_, f) -> well_formed sign preds f
+  | Or (f, g) | And (f, g) ->
+      let* () = well_formed sign preds f in
+      well_formed sign preds g
+  | Pred (p, ts) -> begin
+      match Pred.find preds p with
+      | None -> Error ("unknown numerical predicate " ^ p)
+      | Some { arity; _ } when arity <> List.length ts ->
+          Error
+            (Printf.sprintf "predicate %s expects %d terms, got %d" p arity
+               (List.length ts))
+      | Some _ ->
+          List.fold_left
+            (fun acc t ->
+              let* () = acc in
+              well_formed_term sign preds t)
+            (Ok ()) ts
+    end
+
+and well_formed_term sign preds t =
+  let ( let* ) r f = Result.bind r f in
+  match t with
+  | Int _ -> Ok ()
+  | Count (_, f) -> well_formed sign preds f
+  | Add (s, t') | Mul (s, t') ->
+      let* () = well_formed_term sign preds s in
+      well_formed_term sign preds t'

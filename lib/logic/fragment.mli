@@ -1,0 +1,32 @@
+(** Fragment recognizers: FO, FO⁺, FOC1(P) (Definition 5.1), existential
+    formulas, and well-formedness with respect to a signature and a
+    predicate collection. *)
+
+(** Pure first-order: no numerical predicates (hence no counting terms) and
+    no FO⁺ distance atoms. *)
+val is_fo : Ast.formula -> bool
+
+(** First-order with distance atoms (FO⁺ of Section 7). *)
+val is_fo_plus : Ast.formula -> bool
+
+(** The FOC1(P) restriction (Definition 5.1): every predicate application
+    [P(t1, …, tm)] — anywhere, including inside counting terms — satisfies
+    [|free(t1) ∪ … ∪ free(tm)| ≤ 1]. *)
+val is_foc1 : Ast.formula -> bool
+
+val is_foc1_term : Ast.term -> bool
+
+(** Existential FO: in negation normal form, no universal quantifiers and no
+    negated quantified subformulas (the fragment for which counting on
+    nowhere dense classes was known before this paper, [20] in the paper's
+    references). *)
+val is_existential : Ast.formula -> bool
+
+(** [well_formed sign preds φ] checks that every relation atom matches the
+    signature's arities and every predicate application matches the
+    collection's arities. Returns [Error msg] on the first offence. *)
+val well_formed :
+  Foc_data.Signature.t -> Pred.collection -> Ast.formula -> (unit, string) result
+
+val well_formed_term :
+  Foc_data.Signature.t -> Pred.collection -> Ast.term -> (unit, string) result

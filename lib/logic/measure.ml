@@ -1,0 +1,92 @@
+open Ast
+
+(* ‖ξ‖ counts the symbols of the strict rendering: variables, relation and
+   predicate names, integers, connectives, quantifiers, parentheses are all
+   single alphabet letters in the paper's definition; we charge 1 per AST
+   token, which agrees with the paper's measure up to a constant factor
+   (all that the complexity statements need). *)
+let rec size_formula = function
+  | True | False -> 1
+  | Eq _ -> 3
+  | Rel (_, xs) -> 1 + Array.length xs
+  | Dist _ -> 4
+  | Neg f -> 1 + size_formula f
+  | Or (f, g) | And (f, g) -> 1 + size_formula f + size_formula g
+  | Exists (_, f) | Forall (_, f) -> 2 + size_formula f
+  | Pred (_, ts) -> 1 + Foc_util.Combi.sum size_term ts
+
+and size_term = function
+  | Int _ -> 1
+  | Count (ys, f) -> 1 + List.length ys + size_formula f
+  | Add (s, t) | Mul (s, t) -> 1 + size_term s + size_term t
+
+let rec sharp_depth_formula = function
+  | True | False | Eq _ | Rel _ | Dist _ -> 0
+  | Neg f | Exists (_, f) | Forall (_, f) -> sharp_depth_formula f
+  | Or (f, g) | And (f, g) ->
+      max (sharp_depth_formula f) (sharp_depth_formula g)
+  | Pred (_, ts) ->
+      List.fold_left (fun acc t -> max acc (sharp_depth_term t)) 0 ts
+
+and sharp_depth_term = function
+  | Int _ -> 0
+  | Count (_, f) -> 1 + sharp_depth_formula f
+  | Add (s, t) | Mul (s, t) -> max (sharp_depth_term s) (sharp_depth_term t)
+
+let rec quantifier_rank = function
+  | True | False | Eq _ | Rel _ | Dist _ -> 0
+  | Neg f -> quantifier_rank f
+  | Or (f, g) | And (f, g) -> max (quantifier_rank f) (quantifier_rank g)
+  | Exists (_, f) | Forall (_, f) -> 1 + quantifier_rank f
+  | Pred (_, ts) ->
+      List.fold_left (fun acc t -> max acc (qr_term t)) 0 ts
+
+and qr_term = function
+  | Int _ -> 0
+  | Count (ys, f) -> List.length ys + quantifier_rank f
+  | Add (s, t) | Mul (s, t) -> max (qr_term s) (qr_term t)
+
+let f_q q l =
+  let base = 4 * q in
+  let e = q + l in
+  if base <= 1 then base
+  else begin
+    let rec go acc i =
+      if i = 0 then acc
+      else if acc > max_int / base then max_int
+      else go (acc * base) (i - 1)
+    in
+    go 1 e
+  end
+
+let has_q_rank ~q ~l phi =
+  let rec go depth_left = function
+    | True | False | Eq _ | Rel _ -> true
+    | Dist (_, _, d) ->
+        (* with i quantifiers consumed, depth_left = l − i, so the bound
+           (4q)^(q+l−i) is exactly f_q q depth_left *)
+        d <= f_q q depth_left
+    | Neg f -> go depth_left f
+    | Or (f, g) | And (f, g) -> go depth_left f && go depth_left g
+    | Exists (_, f) | Forall (_, f) -> depth_left > 0 && go (depth_left - 1) f
+    | Pred (_, ts) -> List.for_all (go_term depth_left) ts
+  and go_term depth_left = function
+    | Int _ -> true
+    | Count (ys, f) ->
+        let k = List.length ys in
+        depth_left >= k && go (depth_left - k) f
+    | Add (s, t) | Mul (s, t) -> go_term depth_left s && go_term depth_left t
+  in
+  quantifier_rank phi <= l && go l phi
+
+let max_dist_atom phi =
+  let m = ref 0 in
+  ignore
+    (Ast.exists_subformula
+       (function
+         | Dist (_, _, d) ->
+             if d > !m then m := d;
+             false
+         | _ -> false)
+       phi);
+  !m

@@ -1,0 +1,31 @@
+(** Syntactic measures on FOC(P) expressions.
+
+    [size] is the paper's ‖ξ‖ (length as a word over the logical alphabet,
+    Section 3); [sharp_depth] is the #-depth of Section 6.3 driving the
+    decomposition of Theorem 6.10; [quantifier_rank] and the two-parameter
+    q-rank discipline come from Section 7, where distance atoms under [i]
+    quantifiers must satisfy [d ≤ (4q)^(q+ℓ−i)]. *)
+
+val size_formula : Ast.formula -> int
+val size_term : Ast.term -> int
+
+(** #-depth: maximal nesting of [#ȳ] constructs (Section 6.3). *)
+val sharp_depth_formula : Ast.formula -> int
+
+val sharp_depth_term : Ast.term -> int
+
+(** Ordinary quantifier rank; [Count]-bound variables each count as one
+    quantifier, matching the EF-game treatment of Section 7. *)
+val quantifier_rank : Ast.formula -> int
+
+(** [f_q q l] is the threshold function [(4q)^(q+l)] of Section 7, saturating
+    at [max_int] instead of overflowing. *)
+val f_q : int -> int -> int
+
+(** [has_q_rank ~q ~l φ] — does [φ] have q-rank at most [l]: quantifier rank
+    ≤ [l], and every distance atom [dist ≤ d] in the scope of [i ≤ l]
+    quantifiers satisfies [d ≤ (4q)^(q+l−i)]? *)
+val has_q_rank : q:int -> l:int -> Ast.formula -> bool
+
+(** Largest [d] of any [Dist] atom, 0 if none. *)
+val max_dist_atom : Ast.formula -> int

@@ -1,0 +1,48 @@
+(** Concrete-syntax parser for FOC(P) formulas and counting terms.
+
+    Grammar (ASCII, precedence loosest first):
+    {v
+      formula  ::= 'exists' var+ '.' formula
+                 | 'forall' var+ '.' formula
+                 | iff
+      iff      ::= imp ('<->' imp)*
+      imp      ::= or ('->' imp)?                      (right assoc)
+      or       ::= and ('|' and)*
+      and      ::= unary ('&' unary)*
+      unary    ::= '!' unary | atom
+      atom     ::= 'true' | 'false' | '(' formula ')'
+                 | 'dist' '(' var ',' var ')' '<=' int
+                 | var '=' var
+                 | name '(' var,* ')'                  (relation atom)
+                 | pred-name '(' term,* ')'            (numerical predicate)
+                 | term '==' term | term '<=' term | term '>=' term
+                 | term '<' term | term '>' term | term '!=' term
+      term     ::= factor (('+'|'-') factor)*
+      factor   ::= tatom ('*' tatom)*
+      tatom    ::= int | '(' term ')' | '#' '(' var,* ')' '.' unary
+    v}
+
+    Whether [name(...)] is a relation atom or a predicate application is
+    resolved against the supplied {!Pred.collection}: known predicate names
+    parse as predicates (their arguments as terms), everything else as
+    relation atoms (arguments must be variables). Variables and names are
+    [\[A-Za-z\]\[A-Za-z0-9_\]*]; names starting with ['_'] or ['$'] are
+    reserved for generated symbols and rejected.
+
+    Comparison sugar between terms desugars to the standard predicates
+    ([==] → [eq], [<=] → [le], …); [t >= 1] in particular is the paper's
+    [P≥1(t)]. A comparison with plain variables on both sides of [=] is the
+    equality atom. *)
+
+exception Error of string * int
+(** Parse error message and byte position. *)
+
+val formula : Pred.collection -> string -> Ast.formula
+(** Raises {!Error}. *)
+
+val term : Pred.collection -> string -> Ast.term
+
+(** Like {!formula}/{!term} but returning [Result]. *)
+val formula_result : Pred.collection -> string -> (Ast.formula, string) result
+
+val term_result : Pred.collection -> string -> (Ast.term, string) result

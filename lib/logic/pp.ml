@@ -1,0 +1,85 @@
+open Ast
+
+(* Precedence levels, loosest to tightest:
+   0 quantifier body / top, 1 '|', 2 '&', 3 '!'/atoms.
+   Terms: 0 '+', 1 '*', 2 atoms. *)
+
+let rec formula_prec prec ppf f =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match f with
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Eq (x, y) -> Format.fprintf ppf "%s = %s" x y
+  | Rel (r, xs) ->
+      Format.fprintf ppf "%s(%a)" r
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           Var.pp)
+        (Array.to_list xs)
+  | Dist (x, y, d) -> Format.fprintf ppf "dist(%s, %s) <= %d" x y d
+  | Neg g ->
+      paren (prec > 3) (fun ppf -> Format.fprintf ppf "!%a" (formula_prec 3) g)
+  | Or (g, h) ->
+      paren (prec > 1) (fun ppf ->
+          Format.fprintf ppf "%a | %a" (formula_prec 1) g (formula_prec 2) h)
+  | And (g, h) ->
+      paren (prec > 2) (fun ppf ->
+          Format.fprintf ppf "%a & %a" (formula_prec 2) g (formula_prec 3) h)
+  | Exists _ | Forall _ ->
+      (* coalesce runs of like quantifiers: exists x y z. ... *)
+      let rec collect kind vs f =
+        match (kind, f) with
+        | `E, Exists (y, g) -> collect `E (y :: vs) g
+        | `A, Forall (y, g) -> collect `A (y :: vs) g
+        | _ -> (List.rev vs, f)
+      in
+      let kind = match f with Exists _ -> `E | _ -> `A in
+      let vs, body = collect kind [] f in
+      paren (prec > 0) (fun ppf ->
+          Format.fprintf ppf "%s %a. %a"
+            (match kind with `E -> "exists" | `A -> "forall")
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+               Var.pp)
+            vs (formula_prec 0) body)
+  | Pred ("ge1", [ t ]) ->
+      paren (prec > 3) (fun ppf ->
+          Format.fprintf ppf "%a >= 1" (term_prec 1) t)
+  | Pred ("eq", [ s; t ]) ->
+      paren (prec > 3) (fun ppf ->
+          Format.fprintf ppf "%a == %a" (term_prec 1) s (term_prec 1) t)
+  | Pred (p, ts) ->
+      Format.fprintf ppf "%s(%a)" p
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (term_prec 0))
+        ts
+
+and term_prec prec ppf t =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match t with
+  | Int i ->
+      if i < 0 then paren (prec > 1) (fun ppf -> Format.fprintf ppf "%d" i)
+      else Format.pp_print_int ppf i
+  | Count (ys, f) ->
+      paren (prec > 1) (fun ppf ->
+          Format.fprintf ppf "#(%a). %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               Var.pp)
+            ys (formula_prec 3) f)
+  | Add (s, t') ->
+      paren (prec > 0) (fun ppf ->
+          Format.fprintf ppf "%a + %a" (term_prec 0) s (term_prec 1) t')
+  | Mul (s, t') ->
+      paren (prec > 1) (fun ppf ->
+          Format.fprintf ppf "%a * %a" (term_prec 1) s (term_prec 2) t')
+
+let formula ppf f = formula_prec 0 ppf f
+let term ppf t = term_prec 0 ppf t
+let formula_to_string f = Format.asprintf "%a" formula f
+let term_to_string t = Format.asprintf "%a" term t

@@ -1,0 +1,15 @@
+(** Pretty-printing of FOC(P) expressions in the library's concrete syntax,
+    parseable back by {!Parser} (round-trip tested).
+
+    Grammar summary (ASCII):
+    {v
+      forall x. exists y z. !(E(x,y) | x = y) & prime(#(u).E(x,u))
+      dist(x,y) <= 3        FO+ distance atom
+      #(y,z). phi           counting term
+      eq(t1, t2), ge1(t)    numerical predicates; sugar: t >= 1, t1 == t2
+    v} *)
+
+val formula : Format.formatter -> Ast.formula -> unit
+val term : Format.formatter -> Ast.term -> unit
+val formula_to_string : Ast.formula -> string
+val term_to_string : Ast.term -> string

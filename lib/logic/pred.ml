@@ -1,0 +1,45 @@
+type t = { name : string; arity : int; sem : int array -> bool }
+
+module M = Map.Make (String)
+
+type collection = t M.t
+
+let empty_collection = M.empty
+
+let add coll p =
+  if M.mem p.name coll then
+    invalid_arg ("Pred.add: duplicate predicate " ^ p.name);
+  M.add p.name p coll
+
+let of_list l = List.fold_left add empty_collection l
+let find coll name = M.find_opt name coll
+let mem coll name = M.mem name coll
+let names coll = List.map fst (M.bindings coll)
+
+let holds coll name args =
+  match M.find_opt name coll with
+  | None -> invalid_arg ("Pred.holds: unknown predicate " ^ name)
+  | Some p ->
+      if Array.length args <> p.arity then
+        invalid_arg ("Pred.holds: arity mismatch for " ^ name);
+      p.sem args
+
+let unary name sem = { name; arity = 1; sem = (fun a -> sem a.(0)) }
+let binary name sem = { name; arity = 2; sem = (fun a -> sem a.(0) a.(1)) }
+let ge1 = unary "ge1" (fun n -> n >= 1)
+let eq = binary "eq" ( = )
+let le = binary "le" ( <= )
+let lt = binary "lt" ( < )
+let ge = binary "ge" ( >= )
+let gt = binary "gt" ( > )
+let ne = binary "ne" ( <> )
+let prime = unary "prime" Foc_util.Prime.is_prime
+let even = unary "even" (fun n -> n mod 2 = 0)
+let odd = unary "odd" (fun n -> n mod 2 <> 0)
+let divides = binary "divides" (fun m n -> m <> 0 && n mod m = 0)
+
+let standard =
+  of_list [ ge1; eq; le; lt; ge; gt; ne; prime; even; odd; divides ]
+
+let minimal = of_list [ ge1 ]
+let hardness = of_list [ ge1; eq ]

@@ -1,0 +1,64 @@
+(** Numerical predicate collections [(P, ar, ⟦.⟧)] (Section 3 of the paper).
+
+    A predicate name comes with an arity and a semantics
+    [⟦P⟧ ⊆ Z^ar(P)], given as a decision procedure — the "P-oracle" of the
+    paper, at unit cost per call. Every collection is required by the paper
+    to contain [P≥1]; {!standard} additionally provides the usual comparison
+    predicates and [Prime] (Example 3.2). *)
+
+type t = {
+  name : string;
+  arity : int;
+  sem : int array -> bool;  (** total on tuples of the right arity *)
+}
+
+(** An immutable name-indexed collection. *)
+type collection
+
+val empty_collection : collection
+
+(** [add coll p] — raises [Invalid_argument] on duplicate names. *)
+val add : collection -> t -> collection
+
+val of_list : t list -> collection
+val find : collection -> string -> t option
+val mem : collection -> string -> bool
+val names : collection -> string list
+
+(** [holds coll name args] applies the oracle; raises [Invalid_argument] for
+    unknown names or arity mismatches. *)
+val holds : collection -> string -> int array -> bool
+
+(** The individual standard predicates. *)
+
+val ge1 : t
+(** ["ge1"]/1 — the paper's P≥1: holds on n iff n ≥ 1. *)
+
+val eq : t
+(** ["eq"]/2 — the paper's P=: equality of two integers. *)
+
+val le : t
+(** ["le"]/2 — the paper's P≤. *)
+
+val lt : t
+val ge : t
+val gt : t
+val ne : t
+
+val prime : t
+(** ["prime"]/1 — primality (Example 3.2). *)
+
+val even : t
+val odd : t
+
+val divides : t
+(** ["divides"]/2 — holds on (m, n) iff m ≠ 0 and m | n. *)
+
+(** The full standard collection (all of the above). *)
+val standard : collection
+
+(** The minimal collection {P≥1} the paper fixes as always present. *)
+val minimal : collection
+
+(** {P≥1, P=}: the collection of the hardness results of Section 4. *)
+val hardness : collection

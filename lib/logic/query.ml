@@ -1,0 +1,87 @@
+open Ast
+
+type t = {
+  head_vars : Var.t list;
+  head_terms : Ast.term list;
+  body : Ast.formula;
+}
+
+let make ~head_vars ~head_terms body =
+  let distinct =
+    List.length (List.sort_uniq Var.compare head_vars)
+    = List.length head_vars
+  in
+  if not distinct then invalid_arg "Query.make: repeated head variable";
+  let head_set = Var.Set.of_list head_vars in
+  List.iter
+    (fun t ->
+      if not (Var.Set.subset (free_term t) head_set) then
+        invalid_arg "Query.make: head term with non-head free variable")
+    head_terms;
+  if not (Var.Set.subset (free_formula body) head_set) then
+    invalid_arg "Query.make: body with non-head free variable";
+  { head_vars; head_terms; body }
+
+let is_foc1 q =
+  Fragment.is_foc1 q.body && List.for_all Fragment.is_foc1_term q.head_terms
+
+let marker_name i = "$X" ^ string_of_int i
+
+type eliminated = {
+  markers : string list;
+  sentence : Ast.formula;
+  ground_terms : Ast.term list;
+}
+
+let eliminate q =
+  let k = List.length q.head_vars in
+  let markers = List.init k (fun i -> marker_name (i + 1)) in
+  let marked =
+    List.map2 (fun m x -> Rel (m, [| x |])) markers q.head_vars
+  in
+  let guard phi = exists q.head_vars (and_ (big_and marked) phi) in
+  let sentence = guard q.body in
+  (* Every top-level counting kernel #ȳ.θ(x̄, ȳ) inside a head term becomes
+     #ȳ.∃x̄(∧X_i(x_i) ∧ θ); bound-variable clashes with head variables are
+     ruled out by α-renaming the kernel first. *)
+  let rec ground_term t =
+    match t with
+    | Int i -> Int i
+    | Add (s, t') -> Add (ground_term s, ground_term t')
+    | Mul (s, t') -> Mul (ground_term s, ground_term t')
+    | Count (ys, theta) ->
+        let clash = List.filter (fun y -> List.mem y q.head_vars) ys in
+        let renaming =
+          List.fold_left
+            (fun m y -> Var.Map.add y (Var.fresh_like y) m)
+            Var.Map.empty clash
+        in
+        let ys' =
+          List.map
+            (fun y -> Option.value ~default:y (Var.Map.find_opt y renaming))
+            ys
+        in
+        let theta' =
+          if Var.Map.is_empty renaming then theta
+          else rename_formula renaming theta
+        in
+        Count (ys', guard theta')
+  in
+  { markers; sentence; ground_terms = List.map ground_term q.head_terms }
+
+let bind_structure a elim tuple =
+  if List.length elim.markers <> Array.length tuple then
+    invalid_arg "Query.bind_structure: tuple arity mismatch";
+  let extra =
+    List.mapi (fun i m -> (m, 1, [ [| tuple.(i) |] ])) elim.markers
+  in
+  Foc_data.Structure.expand a extra
+
+let pp ppf q =
+  Format.fprintf ppf "@[<h>{ (%s%s%a) : %a }@]"
+    (String.concat ", " q.head_vars)
+    (if q.head_vars <> [] && q.head_terms <> [] then ", " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       Pp.term)
+    q.head_terms Pp.formula q.body

@@ -1,0 +1,45 @@
+(** FOC1(P)-queries [{(x1, …, xk, t1, …, tℓ) : ϕ}] (Definition 5.2) and the
+    free-variable elimination of Section 5.
+
+    A query returns, on a structure A, all tuples
+    [(ā, n̄)] with [A ⊨ ϕ(ā)] and [n_j = t_j^A(ā)]. The elimination step
+    turns the body into a sentence and the head terms into ground terms over
+    the signature extended with singleton markers [X_i], which is how the
+    main algorithm (Theorem 5.5) reduces to Lemma 5.7. *)
+
+type t = private {
+  head_vars : Var.t list;
+  head_terms : Ast.term list;
+  body : Ast.formula;
+}
+
+(** [make ~head_vars ~head_terms body] checks Definition 5.2: head variables
+    pairwise distinct, [free(t_j) ⊆ head_vars], [free(body) ⊆ head_vars].
+    (The paper demands equality for the body; a body not using some head
+    variable is implicitly padded with [x = x], which is the paper's own
+    idiom in Example 5.3.) *)
+val make :
+  head_vars:Var.t list -> head_terms:Ast.term list -> Ast.formula -> t
+
+(** Is every head term and the body in FOC1(P)? *)
+val is_foc1 : t -> bool
+
+(** The name of the i-th singleton marker relation (1-based); contains a
+    character the parser rejects, so it cannot clash with user symbols. *)
+val marker_name : int -> string
+
+(** Result of free-variable elimination. *)
+type eliminated = {
+  markers : string list;  (** X_1 … X_k, in head-variable order *)
+  sentence : Ast.formula;  (** ϕ̃ = ∃x̄ (∧ X_i(x_i) ∧ ϕ) *)
+  ground_terms : Ast.term list;  (** t̃_j, ground *)
+}
+
+(** The syntactic half of the Section 5 construction. *)
+val eliminate : t -> eliminated
+
+(** [bind_structure a elim tuple] is the σ̃-expansion Ã with
+    [X_i = {tuple.(i-1)}]. *)
+val bind_structure : Foc_data.Structure.t -> eliminated -> int array -> Foc_data.Structure.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+open Ast
+
+let rec formula (phi : formula) : formula =
+  match phi with
+  | True | False | Rel _ | Dist _ -> begin
+      match phi with
+      | Dist (x, y, d) when Var.equal x y && d >= 0 -> True
+      | _ -> phi
+    end
+  | Eq (x, y) -> if Var.equal x y then True else Eq (x, y)
+  | Neg f -> begin
+      match formula f with
+      | True -> False
+      | False -> True
+      | Neg g -> g
+      | g -> Neg g
+    end
+  | Or (f, g) -> begin
+      match (formula f, formula g) with
+      | True, _ | _, True -> True
+      | False, h | h, False -> h
+      | f', g' when equal_formula f' g' -> f'
+      | f', Neg g' when equal_formula f' g' -> True
+      | Neg f', g' when equal_formula f' g' -> True
+      | f', g' -> Or (f', g')
+    end
+  | And (f, g) -> begin
+      match (formula f, formula g) with
+      | False, _ | _, False -> False
+      | True, h | h, True -> h
+      | f', g' when equal_formula f' g' -> f'
+      | f', Neg g' when equal_formula f' g' -> False
+      | Neg f', g' when equal_formula f' g' -> False
+      | f', g' -> And (f', g')
+    end
+  | Exists (y, f) -> begin
+      match formula f with
+      | True -> True (* non-empty universe *)
+      | False -> False
+      | f' when not (Var.Set.mem y (free_formula f')) -> f'
+      | f' -> Exists (y, f')
+    end
+  | Forall (y, f) -> begin
+      match formula f with
+      | True -> True
+      | False -> False (* non-empty universe *)
+      | f' when not (Var.Set.mem y (free_formula f')) -> f'
+      | f' -> Forall (y, f')
+    end
+  | Pred (p, ts) -> Pred (p, List.map term ts)
+
+and term (t : term) : term =
+  match t with
+  | Int i -> Int i
+  | Count (ys, f) -> begin
+      match formula f with
+      | False -> Int 0
+      | f' -> Count (ys, f')
+    end
+  | Add (s, u) -> begin
+      match (term s, term u) with
+      | Int a, Int b -> Int (a + b)
+      | Int 0, v | v, Int 0 -> v
+      | s', u' -> Add (s', u')
+    end
+  | Mul (s, u) -> begin
+      match (term s, term u) with
+      | Int a, Int b -> Int (a * b)
+      | Int 0, _ | _, Int 0 -> Int 0
+      | Int 1, v | v, Int 1 -> v
+      | s', u' -> Mul (s', u')
+    end

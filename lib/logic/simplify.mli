@@ -1,0 +1,14 @@
+(** Semantics-preserving simplification of FOC(P) expressions.
+
+    Used to keep the formulas produced by the decomposition machinery
+    (Feferman–Vaught blocks, removal rewritings) small: constant folding,
+    double-negation elimination, idempotent/absorbing Boolean laws,
+    quantifier pruning for unused variables, flattening of trivial
+    equalities, and arithmetic folding inside counting terms.
+
+    Guaranteed: [formula φ ≡ φ] and [term t ≡ t] over every σ-interpretation
+    with a non-empty universe (the paper's standing assumption; pruning
+    [∃y φ] to [φ] when [y ∉ free φ] needs it). *)
+
+val formula : Ast.formula -> Ast.formula
+val term : Ast.term -> Ast.term

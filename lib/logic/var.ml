@@ -1,0 +1,23 @@
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Format.pp_print_string
+let counter = ref 0
+
+let fresh () =
+  incr counter;
+  "_g" ^ string_of_int !counter
+
+let fresh_like x =
+  incr counter;
+  let base =
+    match String.index_opt x '\'' with
+    | Some i -> String.sub x 0 i
+    | None -> x
+  in
+  let base = if base = "" || base.[0] = '_' then base else "_" ^ base in
+  base ^ "'" ^ string_of_int !counter
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)

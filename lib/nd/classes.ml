@@ -1,0 +1,93 @@
+type t = {
+  name : string;
+  nowhere_dense : bool;
+  generate : seed:int -> n:int -> Foc_graph.Graph.t;
+  splitter : Foc_graph.Graph.t -> Foc_graph.Splitter.splitter;
+}
+
+let tree_splitter g =
+  let depth = Foc_graph.Splitter.depths_from g ~root:0 in
+  Foc_graph.Splitter.splitter_tree ~depth
+
+let greedy_splitter r _g = Foc_graph.Splitter.splitter_greedy ~r
+
+let random_trees =
+  {
+    name = "random-tree";
+    nowhere_dense = true;
+    generate =
+      (fun ~seed ~n ->
+        Foc_graph.Gen.random_tree (Random.State.make [| seed; n |]) n);
+    splitter = tree_splitter;
+  }
+
+let binary_trees =
+  {
+    name = "binary-tree";
+    nowhere_dense = true;
+    generate = (fun ~seed:_ ~n -> Foc_graph.Gen.binary_tree n);
+    splitter = tree_splitter;
+  }
+
+let grids =
+  {
+    name = "grid";
+    nowhere_dense = true;
+    generate =
+      (fun ~seed:_ ~n ->
+        let side = max 1 (int_of_float (sqrt (float_of_int n))) in
+        Foc_graph.Gen.grid side side);
+    splitter = greedy_splitter 2;
+  }
+
+let bounded_degree d =
+  {
+    name = Printf.sprintf "bounded-degree-%d" d;
+    nowhere_dense = true;
+    generate =
+      (fun ~seed ~n ->
+        Foc_graph.Gen.random_bounded_degree
+          (Random.State.make [| seed; n; d |])
+          n d);
+    splitter = greedy_splitter 2;
+  }
+
+let caterpillars =
+  {
+    name = "caterpillar";
+    nowhere_dense = true;
+    generate =
+      (fun ~seed:_ ~n ->
+        let legs = 3 in
+        Foc_graph.Gen.caterpillar (max 1 (n / (legs + 1))) legs);
+    splitter = tree_splitter;
+  }
+
+let cliques =
+  {
+    name = "clique";
+    nowhere_dense = false;
+    generate = (fun ~seed:_ ~n -> Foc_graph.Gen.clique n);
+    splitter = greedy_splitter 1;
+  }
+
+let dense_er =
+  {
+    name = "dense-er";
+    nowhere_dense = false;
+    generate =
+      (fun ~seed ~n ->
+        Foc_graph.Gen.erdos_renyi (Random.State.make [| seed; n |]) n 0.5);
+    splitter = greedy_splitter 1;
+  }
+
+let standard =
+  [
+    random_trees;
+    binary_trees;
+    grids;
+    bounded_degree 3;
+    caterpillars;
+    cliques;
+    dense_er;
+  ]

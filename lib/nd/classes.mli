@@ -1,0 +1,33 @@
+(** Workload class descriptors: families of graphs with known position
+    relative to the nowhere-dense frontier, used by the tests and the
+    benchmark harness (experiments E3, E5, E6, E8).
+
+    Each class provides a deterministic generator (by seed), a Splitter
+    strategy appropriate for the class (the "effectively nowhere dense"
+    hypothesis of the main theorem asks exactly for such a computable
+    strategy), and the ground truth of whether the class is nowhere
+    dense. *)
+
+type t = {
+  name : string;
+  nowhere_dense : bool;
+  generate : seed:int -> n:int -> Foc_graph.Graph.t;
+      (** a member with ≈ n vertices *)
+  splitter : Foc_graph.Graph.t -> Foc_graph.Splitter.splitter;
+      (** a Splitter strategy for members *)
+}
+
+val random_trees : t
+val binary_trees : t
+val grids : t
+val bounded_degree : int -> t
+val caterpillars : t
+
+val cliques : t
+(** somewhere dense — the negative control *)
+
+val dense_er : t
+(** Erdős–Rényi with p = 0.5 — the other negative control *)
+
+(** The classes used by the benchmark harness, sparse first. *)
+val standard : t list

@@ -1,0 +1,397 @@
+open Foc_logic
+open Foc_local
+module Structure = Foc_data.Structure
+
+type backend =
+  | Direct
+  | Cover
+  | Splitter of { max_rounds : int; small : int }
+  | Hanf
+
+type config = {
+  preds : Pred.collection;
+  backend : backend;
+  max_width : int;
+  max_blocks : int;
+  allow_fallback : bool;
+}
+
+let default_config =
+  {
+    preds = Pred.standard;
+    backend = Direct;
+    max_width = 4;
+    max_blocks = 4096;
+    allow_fallback = true;
+  }
+
+type stats = {
+  mutable materialised : int;
+  mutable clterms_built : int;
+  mutable basic_terms : int;
+  mutable fallbacks : int;
+  mutable covers_built : int;
+  mutable removals : int;
+}
+
+exception Outside_fragment of string
+
+type t = { cfg : config; st : stats; mutable fresh : int }
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    st =
+      {
+        materialised = 0;
+        clterms_built = 0;
+        basic_terms = 0;
+        fallbacks = 0;
+        covers_built = 0;
+        removals = 0;
+      };
+    fresh = 0;
+  }
+
+let stats t = t.st
+let config t = t.cfg
+
+let fresh_rel t prefix =
+  t.fresh <- t.fresh + 1;
+  Printf.sprintf "$%s%d" prefix t.fresh
+
+let fallback t what =
+  if not t.cfg.allow_fallback then raise (Outside_fragment what);
+  t.st.fallbacks <- t.st.fallbacks + 1
+
+(* ---------------- cl-term evaluation back-ends ---------------- *)
+
+(* the context radius only matters through the 2r+1 threshold of basic
+   terms; all basics produced by one decomposition share it *)
+let cl_radius cl =
+  let rec go = function
+    | Clterm.Const _ -> 0
+    | Clterm.Ground b | Clterm.Unary b -> b.Clterm.radius
+    | Clterm.Add (s, u) | Clterm.Mul (s, u) -> max (go s) (go u)
+  in
+  go cl
+
+let eval_cl_ground t a cl =
+  t.st.clterms_built <- t.st.clterms_built + 1;
+  t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  match t.cfg.backend with
+  | Direct ->
+      let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
+      Clterm.eval_ground ctx cl
+  | Cover ->
+      let rc = Cover_term.required_cover_radius cl in
+      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+      t.st.covers_built <- t.st.covers_built + 1;
+      Cover_term.eval_ground t.cfg.preds a cover cl
+  | Splitter { max_rounds; small } ->
+      Splitter_backend.eval_ground
+        ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
+        t.cfg.preds a ~max_rounds ~small cl
+  | Hanf -> Hanf_backend.eval_ground t.cfg.preds a cl
+
+let eval_cl_unary t a cl =
+  t.st.clterms_built <- t.st.clterms_built + 1;
+  t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  match t.cfg.backend with
+  | Direct ->
+      let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
+      Clterm.eval_unary ctx cl
+  | Cover ->
+      let rc = Cover_term.required_cover_radius cl in
+      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+      t.st.covers_built <- t.st.covers_built + 1;
+      Cover_term.eval_unary t.cfg.preds a cover cl
+  | Splitter { max_rounds; small } ->
+      Splitter_backend.eval_unary
+        ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
+        t.cfg.preds a ~max_rounds ~small cl
+  | Hanf -> Hanf_backend.eval_unary t.cfg.preds a cl
+
+(* ---------------- stratification (Theorem 6.10) ---------------- *)
+
+(* Replace every numerical condition P(t̄) with ≤ 1 free variable by a fresh
+   unary/0-ary relation atom whose extension is computed recursively — the
+   interpretations ι_i(R) of the decomposition sequence, evaluated innermost
+   first. *)
+let rec elim_preds t a (phi : Ast.formula) : Structure.t * Ast.formula =
+  match phi with
+  | Ast.True | Ast.False | Ast.Eq _ | Ast.Rel _ | Ast.Dist _ -> (a, phi)
+  | Ast.Neg f ->
+      let a, f = elim_preds t a f in
+      (a, Ast.Neg f)
+  | Ast.Or (f, g) ->
+      let a, f = elim_preds t a f in
+      let a, g = elim_preds t a g in
+      (a, Ast.Or (f, g))
+  | Ast.And (f, g) ->
+      let a, f = elim_preds t a f in
+      let a, g = elim_preds t a g in
+      (a, Ast.And (f, g))
+  | Ast.Exists (y, f) ->
+      let a, f = elim_preds t a f in
+      (a, Ast.Exists (y, f))
+  | Ast.Forall (y, f) ->
+      let a, f = elim_preds t a f in
+      (a, Ast.Forall (y, f))
+  | Ast.Pred (p, ts) -> begin
+      let free =
+        List.fold_left
+          (fun acc u -> Var.Set.union acc (Ast.free_term u))
+          Var.Set.empty ts
+      in
+      match Var.Set.elements free with
+      | [] ->
+          let values =
+            Array.of_list (List.map (fun u -> eval_ground_term t a u) ts)
+          in
+          let truth = Pred.holds t.cfg.preds p values in
+          let name = fresh_rel t "P" in
+          t.st.materialised <- t.st.materialised + 1;
+          let a' =
+            Structure.expand a [ (name, 0, if truth then [ [||] ] else []) ]
+          in
+          (a', Ast.Rel (name, [||]))
+      | [ x ] ->
+          let vectors = List.map (fun u -> eval_unary_term t a x u) ts in
+          let n = Structure.order a in
+          let members = ref [] in
+          for v = n - 1 downto 0 do
+            let values =
+              Array.of_list (List.map (fun vec -> vec.(v)) vectors)
+            in
+            if Pred.holds t.cfg.preds p values then members := [| v |] :: !members
+          done;
+          let name = fresh_rel t "P" in
+          t.st.materialised <- t.st.materialised + 1;
+          let a' = Structure.expand a [ (name, 1, !members) ] in
+          (a', Ast.Rel (name, [| x |]))
+      | _ ->
+          raise
+            (Outside_fragment
+               "numerical predicate with two or more free variables (not \
+                FOC1)")
+    end
+
+(* ---------------- counting terms ---------------- *)
+
+and eval_ground_term t a (term : Ast.term) : int =
+  match term with
+  | Ast.Int i -> i
+  | Ast.Add (s, u) -> eval_ground_term t a s + eval_ground_term t a u
+  | Ast.Mul (s, u) -> eval_ground_term t a s * eval_ground_term t a u
+  | Ast.Count (ys, theta) ->
+      let a', theta' = elim_preds t a theta in
+      eval_ground_count t a' ys theta'
+
+and eval_ground_count t a ys theta =
+  (* theta is Pred-free *)
+  let localized =
+    if List.length ys > t.cfg.max_width then None
+    else
+      match Locality.formula_radius theta with
+      | Locality.Local r ->
+          Decompose.ground_count ~max_blocks:t.cfg.max_blocks ~r ~vars:ys
+            theta
+      | Locality.Nonlocal _ -> None
+  in
+  match localized with
+  | Some cl -> eval_cl_ground t a cl
+  | None ->
+      fallback t "ground counting kernel outside the guarded fragment";
+      Foc_eval.Relalg.count t.cfg.preds a ys theta
+
+and eval_unary_term t a x (term : Ast.term) : int array =
+  let n = Structure.order a in
+  match term with
+  | Ast.Int i -> Array.make n i
+  | Ast.Add (s, u) ->
+      Array.map2 ( + ) (eval_unary_term t a x s) (eval_unary_term t a x u)
+  | Ast.Mul (s, u) ->
+      Array.map2 ( * ) (eval_unary_term t a x s) (eval_unary_term t a x u)
+  | Ast.Count (ys, theta) ->
+      let a', theta' = elim_preds t a theta in
+      if not (Var.Set.mem x (Ast.free_formula theta')) then
+        Array.make n (eval_ground_count t a' ys theta')
+      else begin
+        let localized =
+          if 1 + List.length ys > t.cfg.max_width then None
+          else
+            match Locality.formula_radius theta' with
+            | Locality.Local r ->
+                Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r
+                  ~vars:(x :: ys) theta'
+            | Locality.Nonlocal _ -> None
+        in
+        match localized with
+        | Some cl -> eval_cl_unary t a' cl
+        | None ->
+            fallback t "unary counting kernel outside the guarded fragment";
+            let counts =
+              Foc_eval.Relalg.term_counts t.cfg.preds a'
+                (Ast.Count (ys, theta'))
+            in
+            Array.init n (fun v ->
+                Foc_eval.Counts.get counts (Var.Map.singleton x v))
+      end
+
+(* ---------------- sentences ---------------- *)
+
+let rec model_check t a (phi : Ast.formula) : bool =
+  match phi with
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Rel (r, [||]) -> Structure.mem a r [||]
+  | Ast.Neg f -> not (model_check t a f)
+  | Ast.And (f, g) -> model_check t a f && model_check t a g
+  | Ast.Or (f, g) -> model_check t a f || model_check t a g
+  | Ast.Forall (y, f) ->
+      not (model_check t a (Ast.Exists (y, Ast.neg f)))
+  | Ast.Exists _ ->
+      let rec peel acc = function
+        | Ast.Exists (y, f) -> peel (y :: acc) f
+        | f -> (List.rev acc, f)
+      in
+      let ys, body = peel [] phi in
+      (* ∃ȳ body ⟺ #ȳ.body ≥ 1, decided through the decomposition — the
+         route the paper takes for basic local sentences (Theorem 6.8) *)
+      eval_ground_count t a ys body >= 1
+  | Ast.Eq _ | Ast.Rel _ | Ast.Dist _ ->
+      invalid_arg "Engine.model_check: open formula"
+  | Ast.Pred _ -> assert false (* eliminated by stratification *)
+
+let check t a phi =
+  if not (Var.Set.is_empty (Ast.free_formula phi)) then
+    invalid_arg "Engine.check: not a sentence";
+  let a', phi' = elim_preds t a phi in
+  model_check t a' phi'
+
+let eval_ground t a term =
+  if not (Var.Set.is_empty (Ast.free_term term)) then
+    invalid_arg "Engine.eval_ground: not a ground term";
+  eval_ground_term t a term
+
+let eval_unary t a x term =
+  if not (Var.Set.subset (Ast.free_term term) (Var.Set.singleton x)) then
+    invalid_arg "Engine.eval_unary: stray free variable";
+  eval_unary_term t a x term
+
+let holds_unary t a x phi =
+  if not (Var.Set.subset (Ast.free_formula phi) (Var.Set.singleton x)) then
+    invalid_arg "Engine.holds_unary: stray free variable";
+  let a', phi' = elim_preds t a phi in
+  let localized =
+    match Locality.formula_radius phi' with
+    | Locality.Local r ->
+        (* a unary cl-term with an empty counted tuple: the 0/1 indicator *)
+        Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r ~vars:[ x ]
+          phi'
+    | Locality.Nonlocal _ -> None
+  in
+  match localized with
+  | Some cl -> Array.map (fun v -> v >= 1) (eval_cl_unary t a' cl)
+  | None ->
+      fallback t "unary formula outside the guarded fragment";
+      let n = Structure.order a' in
+      let table = Foc_eval.Relalg.formula_table t.cfg.preds a' phi' in
+      let out = Array.make n false in
+      if Array.length (Foc_eval.Table.vars table) = 0 then begin
+        let v = not (Foc_eval.Table.is_empty table) in
+        Array.fill out 0 n v
+      end
+      else
+        Foc_data.Tuple.Set.iter
+          (fun row -> out.(row.(0)) <- true)
+          (Foc_eval.Table.rows (Foc_eval.Table.align table [| x |]));
+      out
+
+let check_tuple t a (q : Query.t) tuple =
+  if Array.length tuple <> List.length q.head_vars then None
+  else begin
+    let elim = Query.eliminate q in
+    let bound = Query.bind_structure a elim tuple in
+    let truth = check t bound elim.sentence in
+    if not truth then Some (false, [||])
+    else begin
+      let values =
+        Array.of_list
+          (List.map (fun g -> eval_ground t bound g) elim.ground_terms)
+      in
+      Some (true, values)
+    end
+  end
+
+let run_query t a (q : Query.t) =
+  let n = Structure.order a in
+  match q.head_vars with
+  | [] ->
+      let truth = check t a q.body in
+      if not truth then []
+      else
+        [ ([||], Array.of_list (List.map (eval_ground t a) q.head_terms)) ]
+  | [ x ] ->
+      let truths = holds_unary t a x q.body in
+      let vectors = List.map (eval_unary t a x) q.head_terms in
+      let rows = ref [] in
+      for v = n - 1 downto 0 do
+        if truths.(v) then
+          rows :=
+            ([| v |], Array.of_list (List.map (fun vec -> vec.(v)) vectors))
+            :: !rows
+      done;
+      !rows
+  | head_vars ->
+      (* the paper's algorithm answers per-tuple queries (Theorem 5.5);
+         enumerating all satisfying head tuples in general is its open
+         problem (3) — candidates come from the baseline body table, term
+         values from the localized per-variable vectors *)
+      fallback t "query head with two or more variables";
+      let table = Foc_eval.Relalg.formula_table t.cfg.preds a q.body in
+      let head = Array.of_list head_vars in
+      let missing =
+        Array.to_list head
+        |> List.filter (fun v ->
+               not (Array.exists (Var.equal v) (Foc_eval.Table.vars table)))
+        |> Array.of_list
+      in
+      let table = Foc_eval.Table.extend_full table n missing in
+      let table = Foc_eval.Table.align table head in
+      let term_vector term =
+        match Var.Set.elements (Ast.free_term term) with
+        | [] -> `Const (eval_ground t a term)
+        | [ x ] -> `Vec (x, eval_unary t a x term)
+        | _ ->
+            (* FOC1 allows head terms over several head variables (only
+               predicate applications are restricted); evaluate them with
+               the baseline counts *)
+            `Counts (Foc_eval.Relalg.term_counts t.cfg.preds a term)
+      in
+      let vectors = List.map term_vector q.head_terms in
+      let index_of x =
+        let rec go i = if Var.equal head.(i) x then i else go (i + 1) in
+        go 0
+      in
+      Foc_data.Tuple.Set.fold
+        (fun row acc ->
+          let values =
+            Array.of_list
+              (List.map
+                 (function
+                   | `Const c -> c
+                   | `Vec (x, vec) -> vec.(row.(index_of x))
+                   | `Counts counts ->
+                       let env =
+                         Array.to_seq
+                           (Array.mapi (fun i x -> (x, row.(i))) head)
+                         |> Var.Map.of_seq
+                       in
+                       Foc_eval.Counts.get counts env)
+                 vectors)
+          in
+          (row, values) :: acc)
+        (Foc_eval.Table.rows table) []
+      |> List.sort (fun (r1, _) (r2, _) -> Foc_data.Tuple.compare r1 r2)

@@ -1,0 +1,100 @@
+(** The main evaluation engine — the algorithm of Theorem 5.5 / Lemma 5.7
+    (Section 8.2 of the paper), assembled from the pieces of Sections 6–8:
+
+    + {b stratification} by #-depth (Theorem 6.10): innermost numerical
+      conditions [P(t̄)] with at most one free variable are evaluated for
+      all elements simultaneously and materialised as fresh unary/0-ary
+      relation symbols, exactly like the interpretations [ι_i(R)] of the
+      decomposition sequence;
+    + {b locality certification} ({!Foc_local.Locality}) of the remaining
+      FO⁺ kernels;
+    + {b cl-decomposition} (Lemma 6.4, {!Foc_local.Decompose}) of counting
+      kernels into polynomials of connected local terms;
+    + {b basic-term evaluation} through a selectable back-end:
+      - [Direct] — per-element neighbourhood exploration (Remark 6.3);
+      - [Cover] — cluster sweep over an [(s, 2s)]-neighbourhood cover
+        (Section 8.2, step 5);
+      - [Splitter] — cover sweep plus the removal-lemma recursion driven by
+        the splitter game (Section 8.2 steps 5a–e), see
+        {!Splitter_backend}.
+
+    Inputs outside the supported fragment (see DESIGN.md §2.2) fall back to
+    the {!Foc_eval.Relalg} baseline; every fallback is counted in
+    {!stats}, so experiments can verify that the benchmark workloads are
+    really exercised by the localized code path.
+
+    Sentences with a quantifier prefix are decided through counting:
+    [∃x̄ θ] holds iff the ground cl-term for [#x̄.θ] evaluates ≥ 1 — the
+    same reduction the paper uses for basic local sentences (Theorem 6.8). *)
+
+open Foc_logic
+
+type backend =
+  | Direct
+  | Cover
+  | Splitter of { max_rounds : int; small : int }
+      (** recursion depth of the splitter game and the order below which
+          clusters are evaluated directly *)
+  | Hanf
+      (** group elements by r-ball isomorphism type and evaluate once per
+          class — the bounded-degree strategy of the paper's predecessor
+          \[16\] (see {!Foc_bd.Hanf}) *)
+
+type config = {
+  preds : Pred.collection;
+  backend : backend;
+  max_width : int;  (** counting-arity cap for pattern enumeration *)
+  max_blocks : int;  (** Shannon-expansion budget of the FV split *)
+  allow_fallback : bool;
+      (** when false, out-of-fragment inputs raise {!Outside_fragment}
+          instead of silently using the baseline *)
+}
+
+val default_config : config
+(** standard predicates, [Direct] back-end, width 4, fallback allowed. *)
+
+type stats = {
+  mutable materialised : int;  (** fresh relations created (Theorem 6.10) *)
+  mutable clterms_built : int;
+  mutable basic_terms : int;
+  mutable fallbacks : int;  (** kernels evaluated by the baseline *)
+  mutable covers_built : int;
+  mutable removals : int;  (** removal-lemma recursion steps *)
+}
+
+exception Outside_fragment of string
+
+type t
+
+val create : ?config:config -> unit -> t
+val stats : t -> stats
+val config : t -> config
+
+(** [check t a φ] — model-checking for sentences ([free φ = ∅]). *)
+val check : t -> Foc_data.Structure.t -> Ast.formula -> bool
+
+(** [eval_ground t a term] — value of a ground counting term. *)
+val eval_ground : t -> Foc_data.Structure.t -> Ast.term -> int
+
+(** [eval_unary t a x term] — values of a term with single free variable [x]
+    at every element simultaneously (the strengthened form of Lemma 5.7 the
+    paper proves). *)
+val eval_unary : t -> Foc_data.Structure.t -> Var.t -> Ast.term -> int array
+
+(** [holds_unary t a x φ] — truth of a formula with single free variable [x]
+    at every element. *)
+val holds_unary : t -> Foc_data.Structure.t -> Var.t -> Ast.formula -> bool array
+
+(** [check_tuple t a q ā] — Theorem 5.5: decide [A ⊨ ϕ(ā)] and compute the
+    head-term values. Uses the free-variable elimination of Section 5. *)
+val check_tuple :
+  t -> Foc_data.Structure.t -> Query.t -> int array -> (bool * int array) option
+
+(** [run_query t a q] — full query results (Definition 5.2). Heads with at
+    most one variable run on the localized engine; wider heads enumerate
+    candidate tuples from the baseline body table and run {!check_tuple} on
+    each (the paper's algorithm is per-tuple; constant-delay enumeration on
+    nowhere dense classes is its open problem (3)). Results sorted by head
+    tuple. *)
+val run_query :
+  t -> Foc_data.Structure.t -> Query.t -> (int array * int array) list

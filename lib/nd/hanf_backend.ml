@@ -1,0 +1,52 @@
+open Foc_local
+module Structure = Foc_data.Structure
+
+let type_radius (b : Clterm.basic) =
+  let k = Foc_graph.Pattern.k b.Clterm.pattern in
+  max 1 (k * ((2 * b.Clterm.radius) + 1))
+
+let basic_vector preds a (b : Clterm.basic) =
+  let k = Foc_graph.Pattern.k b.Clterm.pattern in
+  if k = 0 then begin
+    let v =
+      if Local_eval.holds preds a Foc_logic.Var.Map.empty b.Clterm.body then 1
+      else 0
+    in
+    Array.make (Structure.order a) v
+  end
+  else begin
+    let ctx = Pattern_count.make_ctx preds a ~r:b.Clterm.radius in
+    Foc_bd.Hanf.eval_by_type a ~r:(type_radius b) (fun rep ->
+        Pattern_count.at ctx ~pattern:b.Clterm.pattern ~vars:b.Clterm.vars
+          ~body:b.Clterm.body ~anchor:rep)
+  end
+
+let rec eval_unary preds a = function
+  | Clterm.Const i -> Array.make (Structure.order a) i
+  | Clterm.Unary b -> basic_vector preds a b
+  | Clterm.Ground b ->
+      let per = basic_vector preds a b in
+      let total =
+        if Foc_graph.Pattern.k b.Clterm.pattern = 0 then
+          if Structure.order a > 0 && per.(0) > 0 then 1 else 0
+        else Array.fold_left ( + ) 0 per
+      in
+      Array.make (Structure.order a) total
+  | Clterm.Add (s, t) ->
+      Array.map2 ( + ) (eval_unary preds a s) (eval_unary preds a t)
+  | Clterm.Mul (s, t) ->
+      Array.map2 ( * ) (eval_unary preds a s) (eval_unary preds a t)
+
+let rec eval_ground preds a = function
+  | Clterm.Const i -> i
+  | Clterm.Unary _ -> invalid_arg "Hanf_backend.eval_ground: unary leaf"
+  | Clterm.Ground b ->
+      if Foc_graph.Pattern.k b.Clterm.pattern = 0 then
+        if
+          Structure.order a > 0
+          && Local_eval.holds preds a Foc_logic.Var.Map.empty b.Clterm.body
+        then 1
+        else 0
+      else Array.fold_left ( + ) 0 (basic_vector preds a b)
+  | Clterm.Add (s, t) -> eval_ground preds a s + eval_ground preds a t
+  | Clterm.Mul (s, t) -> eval_ground preds a s * eval_ground preds a t

@@ -1,0 +1,18 @@
+(** The Hanf back-end: basic cl-terms evaluated once per r-ball isomorphism
+    class ({!Foc_bd.Hanf}) instead of once per element — the bounded-degree
+    strategy of the paper's predecessor [16].
+
+    Soundness: the value of a basic cl-term of radius r and width k at an
+    anchor [a] is determined by the isomorphism type of the rooted ball
+    [N_{k(2r+1)}(a)] (the tuple lives within [(k−1)(2r+1)] of the anchor and
+    the r-local body within r more, and pattern closeness at threshold 2r+1
+    is decided inside the same ball) — so elements with isomorphic balls
+    get equal values. *)
+
+open Foc_logic
+
+val eval_ground :
+  Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int
+
+val eval_unary :
+  Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int array

@@ -1,0 +1,124 @@
+open Foc_logic
+open Foc_local
+module Structure = Foc_data.Structure
+
+(* Cached state per basic leaf: its per-anchor vector (for ground leaves the
+   vector of per-anchor contributions whose sum is the leaf's value). *)
+type leaf = {
+  basic : Clterm.basic;
+  unary : bool;
+  mutable per_anchor : int array;
+}
+
+type node =
+  | NConst of int
+  | NLeaf of int  (* index into leaves *)
+  | NAdd of node * node
+  | NMul of node * node
+
+type t = {
+  preds : Pred.collection;
+  mutable a : Structure.t;
+  leaves : leaf array;
+  skeleton : node;
+  mutable values : int array;
+}
+
+let compile term =
+  let leaves = ref [] in
+  let count = ref 0 in
+  let rec go = function
+    | Clterm.Const i -> NConst i
+    | Clterm.Ground b ->
+        leaves := { basic = b; unary = false; per_anchor = [||] } :: !leaves;
+        incr count;
+        NLeaf (!count - 1)
+    | Clterm.Unary b ->
+        leaves := { basic = b; unary = true; per_anchor = [||] } :: !leaves;
+        incr count;
+        NLeaf (!count - 1)
+    | Clterm.Add (s, u) -> NAdd (go s, go u)
+    | Clterm.Mul (s, u) -> NMul (go s, go u)
+  in
+  let skeleton = go term in
+  (Array.of_list (List.rev !leaves), skeleton)
+
+let leaf_radius (l : leaf) =
+  let k = Foc_graph.Pattern.k l.basic.Clterm.pattern in
+  max 1 (k * ((2 * l.basic.Clterm.radius) + 1))
+
+let eval_leaf_at ctx (l : leaf) anchor =
+  if Foc_graph.Pattern.k l.basic.Clterm.pattern = 0 then
+    invalid_arg "Incremental: 0-width basic leaves are not maintained"
+  else
+    Pattern_count.at ctx ~pattern:l.basic.Clterm.pattern
+      ~vars:l.basic.Clterm.vars ~body:l.basic.Clterm.body ~anchor
+
+let full_leaf ctx (l : leaf) n =
+  l.per_anchor <- Array.init n (fun a -> eval_leaf_at ctx l a)
+
+(* recombine the polynomial into the value vector *)
+let recombine t =
+  let n = Structure.order t.a in
+  let totals =
+    Array.map
+      (fun l ->
+        if l.unary then 0 else Array.fold_left ( + ) 0 l.per_anchor)
+      t.leaves
+  in
+  let rec value_at node a =
+    match node with
+    | NConst i -> i
+    | NLeaf i ->
+        if t.leaves.(i).unary then t.leaves.(i).per_anchor.(a)
+        else totals.(i)
+    | NAdd (s, u) -> value_at s a + value_at u a
+    | NMul (s, u) -> value_at s a * value_at u a
+  in
+  t.values <- Array.init n (fun a -> value_at t.skeleton a)
+
+let create preds a term =
+  let leaves, skeleton = compile term in
+  let t = { preds; a; leaves; skeleton; values = [||] } in
+  let n = Structure.order a in
+  Array.iter
+    (fun l ->
+      let ctx = Pattern_count.make_ctx preds a ~r:l.basic.Clterm.radius in
+      full_leaf ctx l n)
+    leaves;
+  recombine t;
+  t
+
+let values t = t.values
+let structure t = t.a
+
+let apply t name tup ~insert =
+  let before = t.a in
+  let after =
+    if insert then Structure.add_tuples before name [ tup ]
+    else Structure.remove_tuples before name [ tup ]
+  in
+  let centres = List.sort_uniq compare (Array.to_list tup) in
+  let affected = Hashtbl.create 64 in
+  let radius =
+    Array.fold_left (fun acc l -> max acc (leaf_radius l)) 1 t.leaves
+  in
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun v -> Hashtbl.replace affected v ())
+        (Structure.ball structure ~centres ~radius))
+    [ before; after ];
+  t.a <- after;
+  Array.iter
+    (fun l ->
+      let ctx = Pattern_count.make_ctx t.preds after ~r:l.basic.Clterm.radius in
+      Hashtbl.iter
+        (fun anchor () -> l.per_anchor.(anchor) <- eval_leaf_at ctx l anchor)
+        affected)
+    t.leaves;
+  recombine t;
+  Hashtbl.length affected
+
+let insert t name tup = apply t name tup ~insert:true
+let delete t name tup = apply t name tup ~insert:false

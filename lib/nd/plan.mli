@@ -1,0 +1,52 @@
+(** Query plans: a static, inspectable account of how the engine will
+    evaluate an expression — the EXPLAIN of this system.
+
+    Planning is purely syntactic (no structure needed): it mirrors the
+    engine's pipeline — stratification of numerical conditions
+    (Theorem 6.10), locality certification of each counting kernel, and the
+    Lemma 6.4 decomposition — and records for every kernel whether it runs
+    on the localized path (with which radius, how many patterns and basic
+    cl-terms) or must fall back to the baseline, and why.
+
+    Use it to understand performance before running, and in tests to pin
+    down which inputs are inside the guarded fragment. *)
+
+open Foc_logic
+
+(** How one counting kernel will be evaluated. *)
+type kernel = {
+  description : string;  (** rendered [#ȳ.θ] *)
+  anchored : bool;  (** unary (per-element) vs ground *)
+  width : int;  (** number of tuple positions incl. anchor *)
+  route : route;
+}
+
+and route =
+  | Localized of {
+      radius : int;  (** certified locality radius of the body *)
+      patterns : int;  (** |G_k| enumerated *)
+      basic_terms : int;  (** basic cl-terms in the polynomial *)
+    }
+  | Fallback of string  (** reason the kernel leaves the fragment *)
+
+(** A plan: the kernels in evaluation (innermost-first) order, plus counts
+    of materialisation steps. *)
+type t = {
+  kernels : kernel list;
+  materialisations : int;
+      (** fresh unary/0-ary relations Theorem 6.10 will introduce *)
+  strictly_localized : bool;  (** no kernel falls back *)
+}
+
+(** [term_plan ?config t] — plan for evaluating a counting term (ground or
+    unary). *)
+val term_plan : ?config:Engine.config -> Ast.term -> t
+
+(** [formula_plan ?config φ] — plan for a sentence or unary formula. *)
+val formula_plan : ?config:Engine.config -> Ast.formula -> t
+
+(** [query_plan ?config q] — plan covering the body and every head term of
+    a Definition 5.2 query. *)
+val query_plan : ?config:Engine.config -> Query.t -> t
+
+val pp : Format.formatter -> t -> unit

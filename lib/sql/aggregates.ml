@@ -1,0 +1,56 @@
+open Foc_logic
+
+type weights = int array
+
+let counter = ref 0
+
+let bucketize a w =
+  if Array.length w <> Foc_data.Structure.order a then
+    invalid_arg "Aggregates.bucketize: weight vector length mismatch";
+  let buckets = Hashtbl.create 16 in
+  Array.iteri
+    (fun e c ->
+      Hashtbl.replace buckets c
+        ([| e |] :: Option.value ~default:[] (Hashtbl.find_opt buckets c)))
+    w;
+  let assoc =
+    Hashtbl.fold
+      (fun c members acc ->
+        incr counter;
+        let name = Printf.sprintf "$W%d_%d" !counter c in
+        ((c, name), members) :: acc)
+      buckets []
+  in
+  let expanded =
+    Foc_data.Structure.expand a
+      (List.map (fun ((_, name), members) -> (name, 1, members)) assoc)
+  in
+  (expanded, List.map fst assoc)
+
+let sum_term buckets ~counted ~body =
+  match counted with
+  | [] -> invalid_arg "Aggregates.sum_term: nothing to sum over"
+  | y :: _ ->
+      List.fold_left
+        (fun acc (c, name) ->
+          if c = 0 then acc
+          else
+            let bucketed =
+              Ast.Count (counted, Ast.and_ body (Ast.Rel (name, [| y |])))
+            in
+            Ast.Add (acc, Ast.Mul (Ast.Int c, bucketed)))
+        (Ast.Int 0) buckets
+
+let sum engine a w ~x ~counted ~body =
+  let expanded, buckets = bucketize a w in
+  let t = sum_term buckets ~counted ~body in
+  Foc_nd.Engine.eval_unary engine expanded x t
+
+let avg engine a w ~x ~counted ~body =
+  let expanded, buckets = bucketize a w in
+  let t = sum_term buckets ~counted ~body in
+  let sums = Foc_nd.Engine.eval_unary engine expanded x t in
+  let counts =
+    Foc_nd.Engine.eval_unary engine expanded x (Ast.Count (counted, body))
+  in
+  Array.map2 (fun s c -> (s, c)) sums counts

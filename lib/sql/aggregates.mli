@@ -1,0 +1,56 @@
+(** SUM and AVG on top of counting — a prototype answer to the paper's open
+    question (1) in Section 9 ("can the approach support further aggregate
+    operations of SQL, such as SUM and AVG?").
+
+    Our structures carry no numeric attributes, so an aggregate input is a
+    *weight vector* [w : element → int] (in SQL terms: the attribute being
+    summed). The reduction to FOC1 counting is value-bucketing:
+
+      SUM_{y : φ(x,y)} w(y)  =  Σ_{c ∈ range(w)} c · #(y).(φ(x,y) ∧ W_c(y))
+
+    where [W_c] is a fresh unary relation holding the elements of weight
+    [c]. The sum has one counting term per *distinct* weight, so the
+    translation is fixed-parameter in the weight-domain size — which is the
+    honest limitation of this approach, and presumably part of why the
+    question is open for unbounded value domains.
+
+    AVG is SUM/COUNT, reported as a rational pair. *)
+
+open Foc_logic
+
+(** A weight assignment: one integer per element of the structure. *)
+type weights = int array
+
+(** [bucketize a w] — the structure expanded with one fresh unary relation
+    per distinct weight, plus the list of (weight, relation name). Fresh
+    names use the reserved ['$'] prefix. *)
+val bucketize :
+  Foc_data.Structure.t -> weights -> Foc_data.Structure.t * (int * string) list
+
+(** [sum_term buckets ~counted ~body] — the FOC1 counting-term combination
+    [Σ_c c·#counted.(body ∧ W_c(y))] where [y] is the first counted
+    variable (the summed attribute's variable). *)
+val sum_term :
+  (int * string) list -> counted:Var.t list -> body:Ast.formula -> Ast.term
+
+(** [sum engine a w ~x ~counted ~body] — for every element [e],
+    [SUM of w over the counted tuples satisfying body with x := e]. *)
+val sum :
+  Foc_nd.Engine.t ->
+  Foc_data.Structure.t ->
+  weights ->
+  x:Var.t ->
+  counted:Var.t list ->
+  body:Ast.formula ->
+  int array
+
+(** [avg engine a w ~x ~counted ~body] — per element, the pair
+    (sum, count); the average is their quotient (kept exact). *)
+val avg :
+  Foc_nd.Engine.t ->
+  Foc_data.Structure.t ->
+  weights ->
+  x:Var.t ->
+  counted:Var.t list ->
+  body:Ast.formula ->
+  (int * int) array

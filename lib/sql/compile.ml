@@ -1,0 +1,144 @@
+open Foc_logic
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* union-find over variable names, used to realise equi-joins *)
+let rec repr uf x =
+  match Hashtbl.find_opt uf x with
+  | None | Some "" -> x
+  | Some p ->
+      let r = repr uf p in
+      Hashtbl.replace uf x r;
+      r
+
+let unite uf x y =
+  let rx = repr uf x and ry = repr uf y in
+  if rx <> ry then Hashtbl.replace uf ry rx
+
+let var_of alias column = alias ^ "_" ^ column
+
+let to_query schema ~consts (q : Sql_query.t) =
+  let resolve c =
+    match
+      Schema.resolve schema ~from:q.Sql_query.from
+        ?qualifier:c.Sql_query.qualifier c.Sql_query.column
+    with
+    | Ok (ref_, _) -> ref_
+    | Error e -> fail "%s" e
+  in
+  let uf = Hashtbl.create 16 in
+  (* one atom per FROM entry *)
+  let atoms =
+    List.map
+      (fun (alias, table_name) ->
+        match Schema.find_table schema table_name with
+        | None -> fail "unknown table %s" table_name
+        | Some tbl ->
+            ( alias,
+              tbl,
+              Array.of_list
+                (List.map (fun col -> var_of alias col) tbl.Schema.columns) ))
+      q.from
+  in
+  let all_vars =
+    List.concat_map (fun (_, _, vars) -> Array.to_list vars) atoms
+  in
+  (* conditions *)
+  let const_atoms =
+    List.filter_map
+      (fun cond ->
+        match cond with
+        | Sql_query.Join (c1, c2) ->
+            let a1, col1 = resolve c1 and a2, col2 = resolve c2 in
+            unite uf (var_of a1 col1) (var_of a2 col2);
+            None
+        | Sql_query.Const (c, literal) -> begin
+            let a, col = resolve c in
+            match List.assoc_opt literal consts with
+            | None -> fail "no marker relation for literal '%s'" literal
+            | Some marker -> Some (Ast.Rel (marker, [| var_of a col |]))
+          end)
+      q.where
+  in
+  let rep x = repr uf x in
+  let rel_atoms =
+    List.map
+      (fun (_, tbl, vars) -> Ast.Rel (tbl.Schema.name, Array.map rep vars))
+      atoms
+  in
+  let conj =
+    Ast.big_and
+      (rel_atoms
+      @ List.map
+          (function
+            | Ast.Rel (m, vs) -> Ast.Rel (m, Array.map rep vs)
+            | f -> f)
+          const_atoms)
+  in
+  let head_vars =
+    List.map
+      (fun c ->
+        let a, col = resolve c in
+        rep (var_of a col))
+      q.group_by
+  in
+  let head_set = Var.Set.of_list head_vars in
+  if List.length (List.sort_uniq compare head_vars) <> List.length head_vars
+  then fail "GROUP BY columns collapse to the same variable";
+  let others ~excluding =
+    List.sort_uniq compare (List.map rep all_vars)
+    |> List.filter (fun v ->
+           (not (Var.Set.mem v head_set)) && not (List.mem v excluding))
+  in
+  (* selected plain columns must be grouped; counts become counting terms *)
+  let head_terms =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Sql_query.Column c ->
+            let a, col = resolve c in
+            let v = rep (var_of a col) in
+            if not (Var.Set.mem v head_set) then
+              fail "selected column %s is not grouped" col;
+            None
+        | Sql_query.Count (Some c) ->
+            let a, col = resolve c in
+            let v = rep (var_of a col) in
+            if Var.Set.mem v head_set then
+              fail "COUNT over a grouping column %s" col;
+            Some (Ast.Count ([ v ], Ast.exists (others ~excluding:[ v ]) conj))
+        | Sql_query.Count None ->
+            let counted = others ~excluding:[] in
+            Some (Ast.Count (counted, conj)))
+      q.select
+  in
+  let body =
+    if head_vars = [] then
+      if head_terms = [] then fail "nothing selected" else Ast.True
+    else Ast.exists (others ~excluding:[]) conj
+  in
+  Query.make ~head_vars ~head_terms body
+
+let scalar_counts schema tables =
+  let terms =
+    List.map
+      (fun table_name ->
+        match Schema.find_table schema table_name with
+        | None -> fail "unknown table %s" table_name
+        | Some tbl ->
+            let vars =
+              List.map (fun col -> var_of table_name col) tbl.Schema.columns
+            in
+            Ast.Count
+              (vars, Ast.Rel (tbl.Schema.name, Array.of_list vars)))
+      tables
+  in
+  (* the paper's ϕ := ¬∃z ¬z=z, a tautology *)
+  Query.make ~head_vars:[] ~head_terms:terms Ast.True
+
+let parse_to_query schema ~consts src =
+  match Sql_query.parse src with
+  | Ok q -> to_query schema ~consts q
+  | Error e -> raise (Error e)

@@ -1,0 +1,29 @@
+(** Compilation of the SQL COUNT dialect into FOC1(P)-queries
+    (Definition 5.2) — the translation Example 5.3 performs by hand.
+
+    Each FROM entry contributes a relation atom over one fresh variable per
+    column; equi-joins unify variables; constant tests become unary marker
+    atoms (the example's R_Berlin); GROUP BY columns become the head
+    variables; each COUNT becomes a counting term that counts its column's
+    variable with all remaining variables existentially projected. *)
+
+exception Error of string
+
+(** [to_query schema ~consts q] — [consts] maps string literals to the unary
+    marker relation that interprets them (e.g. [("Berlin", "Berlin")]).
+    Raises {!Error} on unknown tables/columns, non-grouped selected columns,
+    or a COUNT over a grouping column. *)
+val to_query :
+  Schema.t ->
+  consts:(string * string) list ->
+  Sql_query.t ->
+  Foc_logic.Query.t
+
+(** [scalar_counts schema tables] — the paper's double-scalar statement
+    [SELECT (SELECT COUNT( * ) FROM A), (SELECT COUNT( * ) FROM B)]: a query
+    with empty head and one ground counting term per table. *)
+val scalar_counts : Schema.t -> string list -> Foc_logic.Query.t
+
+(** [parse_to_query schema ~consts src] — parse and compile. *)
+val parse_to_query :
+  Schema.t -> consts:(string * string) list -> string -> Foc_logic.Query.t

@@ -1,0 +1,73 @@
+type table = { name : string; columns : string list }
+type t = table list
+
+let make tables =
+  let names = List.map (fun t -> t.name) tables in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Schema.make: duplicate table name";
+  List.iter
+    (fun t ->
+      if
+        List.length (List.sort_uniq compare t.columns)
+        <> List.length t.columns
+      then invalid_arg ("Schema.make: duplicate column in " ^ t.name))
+    tables;
+  tables
+
+let tables t = t
+let find_table t name = List.find_opt (fun tb -> tb.name = name) t
+
+let column_index tbl col =
+  let rec go i = function
+    | [] -> None
+    | c :: _ when c = col -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 tbl.columns
+
+let resolve t ~from ?qualifier col =
+  match qualifier with
+  | Some q -> begin
+      match List.assoc_opt q from with
+      | None -> Error (Printf.sprintf "unknown table alias %s" q)
+      | Some table_name -> begin
+          match find_table t table_name with
+          | None -> Error (Printf.sprintf "unknown table %s" table_name)
+          | Some tbl ->
+              if column_index tbl col = None then
+                Error (Printf.sprintf "no column %s in %s" col table_name)
+              else Ok ((q, col), tbl)
+        end
+    end
+  | None -> begin
+      let hits =
+        List.filter_map
+          (fun (alias, table_name) ->
+            match find_table t table_name with
+            | Some tbl when column_index tbl col <> None ->
+                Some ((alias, col), tbl)
+            | _ -> None)
+          from
+      in
+      match hits with
+      | [ hit ] -> Ok hit
+      | [] -> Error (Printf.sprintf "unknown column %s" col)
+      | _ -> Error (Printf.sprintf "ambiguous column %s" col)
+    end
+
+let signature t =
+  Foc_data.Signature.of_list
+    (List.map (fun tb -> (tb.name, List.length tb.columns)) t)
+
+let customer_order =
+  make
+    [
+      {
+        name = "Customer";
+        columns = [ "Id"; "FirstName"; "LastName"; "City"; "Country"; "Phone" ];
+      };
+      {
+        name = "Order";
+        columns = [ "Id"; "OrderDate"; "OrderNumber"; "CustomerId"; "TotalAmount" ];
+      };
+    ]

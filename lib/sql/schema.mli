@@ -1,0 +1,33 @@
+(** Relational schemas for the SQL COUNT frontend (Example 5.3 of the
+    paper): tables with named columns, mapped onto relation symbols whose
+    arity is the column count. *)
+
+type table = { name : string; columns : string list }
+type t
+
+(** [make tables] — raises [Invalid_argument] on duplicate table names or
+    duplicate columns within a table. *)
+val make : table list -> t
+
+val tables : t -> table list
+val find_table : t -> string -> table option
+
+(** [column_index tbl col] — 0-based position, or [None]. *)
+val column_index : table -> string -> int option
+
+(** [resolve t ?alias col] — the unique table (by alias/table name when
+    given) containing the column; [Error] when missing or ambiguous. The
+    alias map is supplied by the query's FROM clause. *)
+val resolve :
+  t ->
+  from:(string * string) list ->
+  ?qualifier:string ->
+  string ->
+  ((string * string) * table, string) result
+(** returns ((alias, column), table). *)
+
+(** The signature induced by the schema (one relation symbol per table). *)
+val signature : t -> Foc_data.Signature.t
+
+(** The Customer/Order schema of Example 5.3. *)
+val customer_order : t

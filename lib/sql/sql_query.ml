@@ -1,0 +1,205 @@
+type col_ref = { qualifier : string option; column : string }
+type select_item = Column of col_ref | Count of col_ref option
+type cond = Join of col_ref * col_ref | Const of col_ref * string
+
+type t = {
+  select : select_item list;
+  from : (string * string) list;
+  where : cond list;
+  group_by : col_ref list;
+}
+
+(* ------------------------------- lexer ------------------------------- *)
+
+type token = ID of string | LIT of string | COMMA | DOT | LP | RP | EQUAL | STAR
+
+exception Err of string
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_word c then begin
+      let j = ref !i in
+      while !j < n && is_word src.[!j] do
+        incr j
+      done;
+      toks := ID (String.sub src !i (!j - !i)) :: !toks;
+      i := !j
+    end
+    else if c = '\'' then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '\'' do
+        incr j
+      done;
+      if !j >= n then raise (Err "unterminated string literal");
+      toks := LIT (String.sub src (!i + 1) (!j - !i - 1)) :: !toks;
+      i := !j + 1
+    end
+    else begin
+      (match c with
+      | ',' -> toks := COMMA :: !toks
+      | '.' -> toks := DOT :: !toks
+      | '(' -> toks := LP :: !toks
+      | ')' -> toks := RP :: !toks
+      | '=' -> toks := EQUAL :: !toks
+      | '*' -> toks := STAR :: !toks
+      | _ -> raise (Err (Printf.sprintf "unexpected character %C" c)));
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------ parser ------------------------------- *)
+
+let keyword s = String.uppercase_ascii s
+
+let parse src =
+  try
+    let toks = ref (tokenize src) in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+    let expect_kw kw =
+      match peek () with
+      | Some (ID s) when keyword s = kw -> advance ()
+      | _ -> raise (Err ("expected " ^ kw))
+    in
+    let accept_kw kw =
+      match peek () with
+      | Some (ID s) when keyword s = kw ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ident what =
+      match peek () with
+      | Some (ID s) ->
+          advance ();
+          s
+      | _ -> raise (Err ("expected " ^ what))
+    in
+    let col_ref () =
+      let first = ident "column" in
+      match peek () with
+      | Some DOT ->
+          advance ();
+          let column = ident "column" in
+          { qualifier = Some first; column }
+      | _ -> { qualifier = None; column = first }
+    in
+    let select_item () =
+      match peek () with
+      | Some (ID s) when keyword s = "COUNT" ->
+          advance ();
+          (match peek () with
+          | Some LP -> advance ()
+          | _ -> raise (Err "expected ( after COUNT"));
+          let inner =
+            match peek () with
+            | Some STAR ->
+                advance ();
+                None
+            | _ -> Some (col_ref ())
+          in
+          (match peek () with
+          | Some RP -> advance ()
+          | _ -> raise (Err "expected ) after COUNT argument"));
+          Count inner
+      | _ -> Column (col_ref ())
+    in
+    let rec comma_list f =
+      let x = f () in
+      match peek () with
+      | Some COMMA ->
+          advance ();
+          x :: comma_list f
+      | _ -> [ x ]
+    in
+    expect_kw "SELECT";
+    let select = comma_list select_item in
+    expect_kw "FROM";
+    let source () =
+      let table = ident "table" in
+      match peek () with
+      | Some (ID s)
+        when keyword s <> "WHERE" && keyword s <> "GROUP" ->
+          advance ();
+          (s, table)
+      | _ -> (table, table)
+    in
+    let from = comma_list source in
+    let where =
+      if accept_kw "WHERE" then begin
+        let cond () =
+          let lhs = col_ref () in
+          (match peek () with
+          | Some EQUAL -> advance ()
+          | _ -> raise (Err "expected = in condition"));
+          match peek () with
+          | Some (LIT l) ->
+              advance ();
+              Const (lhs, l)
+          | _ -> Join (lhs, col_ref ())
+        in
+        let rec and_list () =
+          let c = cond () in
+          if accept_kw "AND" then c :: and_list () else [ c ]
+        in
+        and_list ()
+      end
+      else []
+    in
+    let group_by =
+      if accept_kw "GROUP" then begin
+        expect_kw "BY";
+        comma_list col_ref
+      end
+      else []
+    in
+    if !toks <> [] then raise (Err "trailing input");
+    Ok { select; from; where; group_by }
+  with Err msg -> Error msg
+
+let pp_col ppf c =
+  match c.qualifier with
+  | Some q -> Format.fprintf ppf "%s.%s" q c.column
+  | None -> Format.pp_print_string ppf c.column
+
+let pp ppf q =
+  let item ppf = function
+    | Column c -> pp_col ppf c
+    | Count None -> Format.fprintf ppf "COUNT(*)"
+    | Count (Some c) -> Format.fprintf ppf "COUNT(%a)" pp_col c
+  in
+  Format.fprintf ppf "SELECT %a FROM %a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       item)
+    q.select
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (alias, table) ->
+         if alias = table then Format.pp_print_string ppf table
+         else Format.fprintf ppf "%s %s" table alias))
+    q.from;
+  if q.where <> [] then
+    Format.fprintf ppf " WHERE %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+         (fun ppf -> function
+           | Join (a, b) -> Format.fprintf ppf "%a = %a" pp_col a pp_col b
+           | Const (a, l) -> Format.fprintf ppf "%a = '%s'" pp_col a l))
+      q.where;
+  if q.group_by <> [] then
+    Format.fprintf ppf " GROUP BY %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_col)
+      q.group_by

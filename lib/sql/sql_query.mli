@@ -1,0 +1,34 @@
+(** A miniature SQL dialect covering the COUNT idioms of Example 5.3:
+
+    {v
+      SELECT Country, COUNT(Id) FROM Customer GROUP BY Country
+      SELECT C.FirstName, C.LastName, COUNT(O.Id)
+      FROM Customer C, Order O
+      WHERE C.City = 'Berlin' AND O.CustomerId = C.Id
+      GROUP BY C.FirstName, C.LastName
+      SELECT COUNT( * ) FROM Customer
+    v}
+
+    Keywords are case-insensitive; aliases optional (a table is its own
+    alias); conditions are equi-joins and column-vs-'literal' tests. As
+    discussed in DESIGN.md, counting follows the logic's set semantics
+    (COUNT DISTINCT); on key columns — the paper's examples — this
+    coincides with SQL's bag COUNT. *)
+
+type col_ref = { qualifier : string option; column : string }
+
+type select_item =
+  | Column of col_ref
+  | Count of col_ref option  (** [None] is COUNT( * ) *)
+
+type cond = Join of col_ref * col_ref | Const of col_ref * string
+
+type t = {
+  select : select_item list;
+  from : (string * string) list;  (** (alias, table) *)
+  where : cond list;
+  group_by : col_ref list;
+}
+
+val parse : string -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+let subsets xs =
+  List.fold_right (fun x acc -> List.map (fun s -> x :: s) acc @ acc) xs [ [] ]
+
+let rec subsets_of_size k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+        @ subsets_of_size k rest
+
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let rec tuples dom k =
+  if k = 0 then [ [] ]
+  else
+    let rest = tuples dom (k - 1) in
+    List.concat_map (fun x -> List.map (fun t -> x :: t) rest) dom
+
+let iter_tuples_over dom k f =
+  let m = Array.length dom in
+  if k = 0 then f [||]
+  else if m > 0 then begin
+    let t = Array.make k dom.(0) in
+    let rec go i =
+      if i = k then f t
+      else
+        for j = 0 to m - 1 do
+          t.(i) <- dom.(j);
+          go (i + 1)
+        done
+    in
+    go 0
+  end
+
+let iter_tuples n k f = iter_tuples_over (Array.init n (fun i -> i)) k f
+
+let rec partitions = function
+  | [] -> [ [] ]
+  | x :: rest ->
+      let ps = partitions rest in
+      List.concat_map
+        (fun p ->
+          (* either x forms its own block, or joins an existing one *)
+          let rec insert seen = function
+            | [] -> []
+            | b :: bs ->
+                ((x :: b) :: List.rev_append seen bs) :: insert (b :: seen) bs
+          in
+          ([ x ] :: p) :: insert [] p)
+        ps
+
+let cartesian xss =
+  List.fold_right
+    (fun xs acc -> List.concat_map (fun x -> List.map (fun t -> x :: t) acc) xs)
+    xss [ [] ]
+
+let range a b =
+  let rec go i acc = if i < a then acc else go (i - 1) (i :: acc) in
+  go (b - 1) []
+
+let sum f xs = List.fold_left (fun acc x -> acc + f x) 0 xs
+
+let rec fixpoint ~equal f x =
+  let y = f x in
+  if equal x y then y else fixpoint ~equal f y

@@ -1,0 +1,45 @@
+(** Small combinatorics toolkit used by the decomposition machinery.
+
+    Connectivity patterns (Section 6.1 of the paper) range over all graphs on
+    [\[k\]]; the inclusion–exclusion of Lemma 6.4 enumerates subsets, set
+    partitions and tuples over finite domains. These enumerators are the
+    shared substrate. *)
+
+(** [subsets xs] is the list of all subsets of [xs] (as lists preserving the
+    original order), [2^|xs|] of them. *)
+val subsets : 'a list -> 'a list list
+
+(** [subsets_of_size k xs] is all subsets of [xs] of size exactly [k]. *)
+val subsets_of_size : int -> 'a list -> 'a list list
+
+(** [pairs xs] is all unordered pairs [(x, y)] with [x] before [y] in [xs]. *)
+val pairs : 'a list -> ('a * 'a) list
+
+(** [tuples dom k] is all [k]-tuples (as lists) over [dom], in lexicographic
+    order; [|dom|^k] of them. *)
+val tuples : 'a list -> int -> 'a list list
+
+(** [iter_tuples n k f] calls [f] on every [k]-tuple over [0..n-1], reusing a
+    single scratch array: the callback must not retain the array. *)
+val iter_tuples : int -> int -> (int array -> unit) -> unit
+
+(** [iter_tuples_over dom k f] is [iter_tuples] with an explicit domain
+    array; the scratch array holds elements of [dom]. *)
+val iter_tuples_over : int array -> int -> (int array -> unit) -> unit
+
+(** [partitions xs] is all set partitions of [xs], each a list of non-empty
+    blocks. [partitions []] is [[[]]]. *)
+val partitions : 'a list -> 'a list list list
+
+(** [cartesian xss] is the cartesian product of the lists in [xss]. *)
+val cartesian : 'a list list -> 'a list list
+
+(** [range a b] is [[a; a+1; ...; b-1]] ([[]] when [a >= b]). *)
+val range : int -> int -> int list
+
+(** [sum f xs] folds [f] over [xs] summing the results. *)
+val sum : ('a -> int) -> 'a list -> int
+
+(** [fixpoint ~equal f x] iterates [f] from [x] until [equal] holds between
+    successive values. *)
+val fixpoint : equal:('a -> 'a -> bool) -> ('a -> 'a) -> 'a -> 'a

@@ -1,0 +1,65 @@
+(* Deterministic Miller-Rabin. The witness set {2, 3, 5, 7, 11, 13, 17, 19,
+   23, 29, 31, 37} is exact for all n < 3.3 * 10^24, which covers OCaml's
+   63-bit native integers. Modular multiplication goes through arithmetic
+   that avoids overflow by splitting into halves when operands are large. *)
+
+let mul_mod a b m =
+  (* a, b in [0, m); m < 2^62. *)
+  if m < 1 lsl 31 then a * b mod m
+  else begin
+    (* Russian-peasant multiplication: O(log b) additions, each < 2m. *)
+    let a = ref a and b = ref b and acc = ref 0 in
+    while !b > 0 do
+      if !b land 1 = 1 then acc := (!acc + !a) mod m;
+      a := (!a + !a) mod m;
+      b := !b lsr 1
+    done;
+    !acc
+  end
+
+let pow_mod b e m =
+  let b = ref (b mod m) and e = ref e and acc = ref 1 in
+  while !e > 0 do
+    if !e land 1 = 1 then acc := mul_mod !acc !b m;
+    b := mul_mod !b !b m;
+    e := !e lsr 1
+  done;
+  !acc
+
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    let d = ref (n - 1) and s = ref 0 in
+    while !d land 1 = 0 do
+      d := !d lsr 1;
+      incr s
+    done;
+    let composite_witness a =
+      let a = a mod n in
+      if a = 0 then false
+      else begin
+        let x = ref (pow_mod a !d n) in
+        if !x = 1 || !x = n - 1 then false
+        else begin
+          let witness = ref true in
+          (try
+             for _ = 1 to !s - 1 do
+               x := mul_mod !x !x n;
+               if !x = n - 1 then begin
+                 witness := false;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          !witness
+        end
+      end
+    in
+    not (List.exists composite_witness witnesses)
+  end
+
+let rec next_prime n = if is_prime (n + 1) then n + 1 else next_prime (n + 1)

@@ -1,0 +1,13 @@
+(** Primality testing for the numerical predicate [Prime] of the paper's
+    running examples (Example 3.2).
+
+    The paper treats numerical predicates as unit-cost oracles; here the
+    oracle is a deterministic Miller–Rabin test, exact for all native OCaml
+    integers (63-bit). *)
+
+(** [is_prime n] is [true] iff [n] is a prime number. Negative numbers, 0 and
+    1 are not prime. *)
+val is_prime : int -> bool
+
+(** [next_prime n] is the least prime strictly greater than [n]. *)
+val next_prime : int -> int

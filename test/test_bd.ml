@@ -1,0 +1,185 @@
+(* The bounded-degree Hanf substrate: canonical ball types, type grouping,
+   and the Hanf engine back-end (predecessor strategy [16]). *)
+
+open Foc_logic
+module Structure = Foc_data.Structure
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+let parse_t s = Parser.term preds s
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc_data.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+(* ---------------- canonical keys ---------------- *)
+
+let test_key_distinguishes () =
+  let a = Structure.of_graph (Foc_graph.Gen.path 7) in
+  (* the endpoint's 1-ball (2 nodes) differs from the midpoint's (3 nodes) *)
+  let k_end = Foc_bd.Ball_type.ball_key a ~centre:0 ~r:1 in
+  let k_mid = Foc_bd.Ball_type.ball_key a ~centre:3 ~r:1 in
+  Alcotest.(check bool) "end vs mid differ" true (k_end <> k_mid);
+  (* two interior vertices of a long path share their type *)
+  let k_mid2 = Foc_bd.Ball_type.ball_key a ~centre:2 ~r:1 in
+  Alcotest.(check string) "interior types equal" k_mid k_mid2
+
+let test_key_root_matters () =
+  (* same underlying ball, different root: a path of 3 rooted at the end vs
+     rooted in the middle *)
+  let a = Structure.of_graph (Foc_graph.Gen.path 3) in
+  let k0 = Foc_bd.Ball_type.canonical_key a ~centre:0 in
+  let k1 = Foc_bd.Ball_type.canonical_key a ~centre:1 in
+  let k2 = Foc_bd.Ball_type.canonical_key a ~centre:2 in
+  Alcotest.(check bool) "root position matters" true (k0 <> k1);
+  Alcotest.(check string) "symmetric roots agree" k0 k2
+
+let test_key_iso_invariant () =
+  (* permuting a structure leaves the multiset of ball keys unchanged *)
+  let rng = Random.State.make [| 31 |] in
+  for _ = 1 to 10 do
+    let g = Foc_graph.Gen.random_bounded_degree rng 14 3 in
+    let a = coloured (Random.State.int rng 1000) g in
+    let n = Structure.order a in
+    let perm = Array.init n (fun i -> i) in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- t
+    done;
+    let b =
+      Structure.create (Structure.signature a) ~order:n
+        (List.map
+           (fun (name, _) ->
+             ( name,
+               Foc_data.Tuple.Set.elements (Structure.rel a name)
+               |> List.map (Array.map (fun v -> perm.(v))) ))
+           (Foc_data.Signature.to_list (Structure.signature a)))
+    in
+    for v = 0 to n - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "key of %d = key of image %d" v perm.(v))
+        (Foc_bd.Ball_type.ball_key a ~centre:v ~r:2)
+        (Foc_bd.Ball_type.ball_key b ~centre:perm.(v) ~r:2)
+    done
+  done
+
+let test_key_colours_matter () =
+  let g = Foc_graph.Gen.path 3 in
+  let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1) ] in
+  let edges =
+    List.concat_map
+      (fun (u, v) -> [ [| u; v |]; [| v; u |] ])
+      (Foc_graph.Graph.edges g)
+  in
+  let plain = Structure.create sign ~order:3 [ ("E", edges) ] in
+  let marked =
+    Structure.create sign ~order:3 [ ("E", edges); ("B", [ [| 0 |] ]) ]
+  in
+  Alcotest.(check bool) "unary relations distinguish" true
+    (Foc_bd.Ball_type.ball_key plain ~centre:0 ~r:1
+    <> Foc_bd.Ball_type.ball_key marked ~centre:0 ~r:1)
+
+(* ---------------- type grouping ---------------- *)
+
+let test_grid_has_few_types () =
+  let a = Structure.of_graph (Foc_graph.Gen.grid 12 12) in
+  let count = Foc_bd.Hanf.type_count a ~r:1 in
+  (* corners, edges, interior — 3 positions, plus near-border variants *)
+  Alcotest.(check bool)
+    (Printf.sprintf "grid r=1 types small (%d)" count)
+    true (count <= 9);
+  Alcotest.(check int) "classes partition" 144
+    (List.fold_left
+       (fun acc (_, members) -> acc + List.length members)
+       0
+       (Foc_bd.Hanf.classes a ~r:1))
+
+let test_cycle_single_type () =
+  let a = Structure.of_graph (Foc_graph.Gen.cycle 20) in
+  Alcotest.(check int) "vertex-transitive" 1 (Foc_bd.Hanf.type_count a ~r:2)
+
+(* ---------------- Hanf engine back-end ---------------- *)
+
+let hanf_engine () =
+  Foc_nd.Engine.create
+    ~config:{ Foc_nd.Engine.default_config with backend = Foc_nd.Engine.Hanf }
+    ()
+
+let test_backend_agreement () =
+  let rng = Random.State.make [| 33 |] in
+  let structures =
+    [
+      ("grid", coloured 1 (Foc_graph.Gen.grid 8 8));
+      ("tree", coloured 2 (Foc_graph.Gen.random_tree rng 80));
+      ("bounded", coloured 3 (Foc_graph.Gen.random_bounded_degree rng 80 3));
+    ]
+  in
+  let terms =
+    [
+      "#(y). (E(x,y) & B(y))";
+      "#(x,y). (R(x) & !E(x,y) & B(y))";
+      "#(x). prime(#(y). E(x,y))";
+    ]
+  in
+  List.iter
+    (fun (name, a) ->
+      let direct = Foc_nd.Engine.create () in
+      List.iter
+        (fun src ->
+          let t = parse_t src in
+          if Var.Set.is_empty (Ast.free_term t) then
+            Alcotest.(check int)
+              (name ^ " ground: " ^ src)
+              (Foc_nd.Engine.eval_ground direct a t)
+              (Foc_nd.Engine.eval_ground (hanf_engine ()) a t)
+          else
+            Alcotest.(check (array int))
+              (name ^ " unary: " ^ src)
+              (Foc_nd.Engine.eval_unary direct a "x" t)
+              (Foc_nd.Engine.eval_unary (hanf_engine ()) a "x" t))
+        terms)
+    structures
+
+let test_backend_sentence () =
+  let a = coloured 4 (Foc_graph.Gen.grid 6 6) in
+  let f = parse "exists x. (#(y). (E(x,y) & B(y))) >= 1" in
+  Alcotest.(check bool) "sentence agreement"
+    (Foc_nd.Engine.check (Foc_nd.Engine.create ()) a f)
+    (Foc_nd.Engine.check (hanf_engine ()) a f)
+
+let prop_hanf_agrees =
+  QCheck.Test.make ~name:"hanf backend = direct on random structures"
+    ~count:20
+    QCheck.(pair (int_range 8 50) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.random_bounded_degree rng n 3) in
+      let t = parse_t "#(y). (E(x,y) & B(y))" in
+      Foc_nd.Engine.eval_unary (Foc_nd.Engine.create ()) a "x" t
+      = Foc_nd.Engine.eval_unary (hanf_engine ()) a "x" t)
+
+let () =
+  Alcotest.run "foc_bd"
+    [
+      ( "ball types",
+        [
+          Alcotest.test_case "distinguishes" `Quick test_key_distinguishes;
+          Alcotest.test_case "root matters" `Quick test_key_root_matters;
+          Alcotest.test_case "iso invariant" `Quick test_key_iso_invariant;
+          Alcotest.test_case "colours matter" `Quick test_key_colours_matter;
+        ] );
+      ( "grouping",
+        [
+          Alcotest.test_case "grid has few types" `Quick test_grid_has_few_types;
+          Alcotest.test_case "cycle single type" `Quick test_cycle_single_type;
+        ] );
+      ( "backend",
+        [
+          Alcotest.test_case "agreement" `Quick test_backend_agreement;
+          Alcotest.test_case "sentence" `Quick test_backend_sentence;
+          QCheck_alcotest.to_alcotest prop_hanf_agrees;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+(* Cover-based cl-term evaluation (Definitions 7.4/7.5 operationally):
+   agreement with the direct neighbourhood sweep, cover-radius requirements,
+   and the soundness of evaluating inside clusters. *)
+
+open Foc_logic
+open Foc_local
+module Structure = Foc_data.Structure
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc_data.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+let decompose_unary vars src =
+  let body = parse src in
+  let r =
+    match Locality.formula_radius body with
+    | Locality.Local r -> r
+    | Locality.Nonlocal w -> Alcotest.fail w
+  in
+  match Decompose.unary_count ~r ~vars body with
+  | Some cl -> cl
+  | None -> Alcotest.fail ("decomposition failed: " ^ src)
+
+let check_agreement name a cl =
+  let rc = Cover_term.required_cover_radius cl in
+  let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+  let direct =
+    let ctx = Pattern_count.make_ctx preds a ~r:(max 1 rc) in
+    ignore ctx;
+    (* re-derive the basic radius through the clterm itself *)
+    let rec basic_r = function
+      | Clterm.Const _ -> 0
+      | Clterm.Ground b | Clterm.Unary b -> b.Clterm.radius
+      | Clterm.Add (s, t) | Clterm.Mul (s, t) -> max (basic_r s) (basic_r t)
+    in
+    let ctx = Pattern_count.make_ctx preds a ~r:(basic_r cl) in
+    Clterm.eval_unary ctx cl
+  in
+  let covered = Cover_term.eval_unary preds a cover cl in
+  Alcotest.(check (array int)) name direct covered
+
+let test_agreement_tree () =
+  let rng = Random.State.make [| 7 |] in
+  let a = coloured 7 (Foc_graph.Gen.random_tree rng 120) in
+  check_agreement "degree term" a
+    (decompose_unary [ "x"; "y" ] "E(x,y) & B(y)");
+  check_agreement "scattered term" a
+    (decompose_unary [ "x"; "y" ] "B(y) & R(x)");
+  check_agreement "two counted" a
+    (decompose_unary [ "x"; "y"; "z" ] "E(x,y) & E(y,z)")
+
+let test_agreement_grid () =
+  let a = coloured 8 (Foc_graph.Gen.grid 9 10) in
+  check_agreement "grid degree" a
+    (decompose_unary [ "x"; "y" ] "E(x,y) & !B(y)")
+
+let test_ground_agreement () =
+  let rng = Random.State.make [| 9 |] in
+  let a = coloured 9 (Foc_graph.Gen.random_bounded_degree rng 90 3) in
+  let body = parse "E(u,v) | (R(u) & B(v))" in
+  let r =
+    match Locality.formula_radius body with
+    | Locality.Local r -> r
+    | Locality.Nonlocal w -> Alcotest.fail w
+  in
+  match Decompose.ground_count ~r ~vars:[ "u"; "v" ] body with
+  | None -> Alcotest.fail "decomposition failed"
+  | Some cl ->
+      let rc = Cover_term.required_cover_radius cl in
+      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+      let expected = Foc_eval.Relalg.count preds a [ "u"; "v" ] body in
+      Alcotest.(check int) "ground count" expected
+        (Cover_term.eval_ground preds a cover cl)
+
+let test_radius_requirement () =
+  let a = coloured 10 (Foc_graph.Gen.path 30) in
+  let cl = decompose_unary [ "x"; "y" ] "E(x,y) & B(y)" in
+  let needed = Cover_term.required_cover_radius cl in
+  Alcotest.(check bool) "positive requirement" true (needed >= 1);
+  let small_cover =
+    Foc_graph.Cover.make (Structure.gaifman a) ~r:(needed - 1)
+  in
+  Alcotest.check_raises "undersized cover rejected"
+    (Invalid_argument
+       (Printf.sprintf
+          "Cover_term: cover parameter %d smaller than required %d"
+          (needed - 1) needed))
+    (fun () -> ignore (Cover_term.eval_unary preds a small_cover cl))
+
+let test_sentence_leaf () =
+  let a = coloured 11 (Foc_graph.Gen.path 10) in
+  (* a 0-width ground leaf (sentence) inside a polynomial *)
+  let sentence_basic =
+    Clterm.basic
+      ~pattern:(Foc_graph.Pattern.make 0 [])
+      ~radius:0 ~vars:[] ~body:Ast.True
+  in
+  let cl = Clterm.Mul (Clterm.Const 5, Clterm.Ground sentence_basic) in
+  let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:0 in
+  Alcotest.(check int) "5 * [true]" 5 (Cover_term.eval_ground preds a cover cl)
+
+let prop_cover_vs_direct =
+  QCheck.Test.make ~name:"cover sweep = direct sweep on random graphs"
+    ~count:25
+    QCheck.(pair (int_range 10 60) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.random_bounded_degree rng n 3) in
+      let cl = decompose_unary [ "x"; "y" ] "E(x,y) & B(y)" in
+      let ctx = Pattern_count.make_ctx preds a ~r:1 in
+      let direct = Clterm.eval_unary ctx cl in
+      let rc = Cover_term.required_cover_radius cl in
+      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+      direct = Cover_term.eval_unary preds a cover cl)
+
+let () =
+  Alcotest.run "foc_local cover_term"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "tree" `Quick test_agreement_tree;
+          Alcotest.test_case "grid" `Quick test_agreement_grid;
+          Alcotest.test_case "ground" `Quick test_ground_agreement;
+          QCheck_alcotest.to_alcotest prop_cover_vs_direct;
+        ] );
+      ( "contracts",
+        [
+          Alcotest.test_case "radius requirement" `Quick test_radius_requirement;
+          Alcotest.test_case "sentence leaf" `Quick test_sentence_leaf;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for foc_data: signatures, structures, removal operator, string
+   encodings, generators. *)
+
+open Foc_data
+
+let sig_ab = Signature.of_list [ ("E", 2); ("P", 1); ("Z", 0) ]
+
+let test_signature () =
+  Alcotest.(check int) "arity E" 2 (Signature.arity sig_ab "E");
+  Alcotest.(check int) "cardinal" 3 (Signature.cardinal sig_ab);
+  Alcotest.(check int) "size = sum of arities" 3 (Signature.size sig_ab);
+  Alcotest.(check bool) "mem" true (Signature.mem sig_ab "P");
+  Alcotest.(check (option int)) "unknown" None (Signature.arity_opt sig_ab "Q");
+  Alcotest.check_raises "conflicting arity"
+    (Invalid_argument "Signature.add: conflicting arity for E") (fun () ->
+      ignore (Signature.add sig_ab "E" 3));
+  Alcotest.(check bool) "subset" true
+    (Signature.subset (Signature.of_list [ ("E", 2) ]) sig_ab);
+  Alcotest.(check bool) "union" true
+    (Signature.equal
+       (Signature.union (Signature.of_list [ ("E", 2) ]) (Signature.of_list [ ("P", 1); ("Z", 0) ]))
+       sig_ab)
+
+let test_tuple () =
+  Alcotest.(check bool) "lex order" true (Tuple.compare [| 1; 2 |] [| 1; 3 |] < 0);
+  Alcotest.(check bool) "length first" true (Tuple.compare [| 9 |] [| 0; 0 |] < 0);
+  Alcotest.(check bool) "equal" true (Tuple.equal [| 4; 5 |] [| 4; 5 |])
+
+let mk_struct () =
+  Structure.create sig_ab ~order:4
+    [ ("E", [ [| 0; 1 |]; [| 1; 2 |] ]); ("P", [ [| 3 |] ]); ("Z", [ [||] ]) ]
+
+let test_structure_basics () =
+  let a = mk_struct () in
+  Alcotest.(check int) "order" 4 (Structure.order a);
+  Alcotest.(check int) "size" 8 (Structure.size a);
+  Alcotest.(check bool) "mem E(0,1)" true (Structure.mem a "E" [| 0; 1 |]);
+  Alcotest.(check bool) "not E(1,0)" false (Structure.mem a "E" [| 1; 0 |]);
+  Alcotest.(check bool) "0-ary holds" true (Structure.mem a "Z" [||]);
+  Alcotest.check_raises "unknown symbol"
+    (Invalid_argument "Structure.rel: unknown symbol Q") (fun () ->
+      ignore (Structure.rel a "Q"));
+  Alcotest.check_raises "tuple out of range"
+    (Invalid_argument "Structure: element out of universe in relation E")
+    (fun () ->
+      ignore (Structure.create sig_ab ~order:2 [ ("E", [ [| 0; 5 |] ]) ]))
+
+let test_gaifman () =
+  let a = mk_struct () in
+  let g = Structure.gaifman a in
+  Alcotest.(check int) "gaifman edges" 2 (Foc_graph.Graph.edge_count g);
+  Alcotest.(check int) "dist 0-2" 2 (Structure.dist a 0 2);
+  Alcotest.(check int) "3 isolated" Foc_graph.Bfs.infinity (Structure.dist a 0 3);
+  Alcotest.(check bool) "dist_le" true (Structure.dist_le a 0 2 2);
+  (* a ternary tuple creates a triangle *)
+  let sg = Signature.of_list [ ("T", 3) ] in
+  let b = Structure.create sg ~order:3 [ ("T", [ [| 0; 1; 2 |] ]) ] in
+  Alcotest.(check int) "triangle" 3 (Foc_graph.Graph.edge_count (Structure.gaifman b))
+
+let test_induced () =
+  let a = mk_struct () in
+  let sub, old_of_new = Structure.induced a [ 0; 1; 3 ] in
+  Alcotest.(check int) "order" 3 (Structure.order sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 3 |] old_of_new;
+  Alcotest.(check bool) "kept E(0,1)" true (Structure.mem sub "E" [| 0; 1 |]);
+  Alcotest.(check int) "dropped E(1,2)" 1 (Tuple.Set.cardinal (Structure.rel sub "E"));
+  Alcotest.(check bool) "P on renumbered 3" true (Structure.mem sub "P" [| 2 |]);
+  Alcotest.(check bool) "0-ary survives" true (Structure.mem sub "Z" [||])
+
+let test_disjoint_union () =
+  let a = mk_struct () in
+  let u = Structure.disjoint_union a a in
+  Alcotest.(check int) "order doubles" 8 (Structure.order u);
+  Alcotest.(check int) "E doubles" 4 (Tuple.Set.cardinal (Structure.rel u "E"));
+  Alcotest.(check bool) "shifted tuple" true (Structure.mem u "E" [| 4; 5 |])
+
+let test_expand_reduct () =
+  let a = mk_struct () in
+  let b = Structure.expand a [ ("Q", 1, [ [| 0 |]; [| 2 |] ]) ] in
+  Alcotest.(check bool) "new rel" true (Structure.mem b "Q" [| 2 |]);
+  Alcotest.(check bool) "old rel kept" true (Structure.mem b "E" [| 0; 1 |]);
+  let c = Structure.reduct b sig_ab in
+  Alcotest.(check bool) "reduct drops Q" false (Signature.mem (Structure.signature c) "Q");
+  Alcotest.(check bool) "reduct equals original" true (Structure.equal c a)
+
+let test_isomorphic () =
+  let p3 = Structure.of_graph (Foc_graph.Gen.path 3) in
+  (* path 0-1-2 vs path with middle renamed: 1-0-2 *)
+  let q =
+    Structure.create Signature.graph ~order:3
+      [ ("E", [ [| 1; 0 |]; [| 0; 1 |]; [| 0; 2 |]; [| 2; 0 |] ]) ]
+  in
+  Alcotest.(check bool) "isomorphic paths" true (Structure.isomorphic p3 q);
+  let tri = Structure.of_graph (Foc_graph.Gen.cycle 3) in
+  Alcotest.(check bool) "path vs triangle" false (Structure.isomorphic p3 tri)
+
+let test_removal_shapes () =
+  let a = mk_struct () in
+  let b = Removal_op.apply a ~r:2 ~d:1 in
+  Alcotest.(check int) "order shrinks" 3 (Structure.order b);
+  (* E(0,1) with d=1 at position 2: goes to E~2 as unary (0) *)
+  Alcotest.(check bool) "E~2 holds 0" true
+    (Structure.mem b (Removal_op.tilde_name "E" [ 2 ]) [| 0 |]);
+  (* E(1,2): position 1 held d, element 2 renames to 1 *)
+  Alcotest.(check bool) "E~1 holds renamed 2" true
+    (Structure.mem b (Removal_op.tilde_name "E" [ 1 ]) [| 1 |]);
+  (* no surviving full-arity E tuples *)
+  Alcotest.(check int) "E~ empty" 0
+    (Tuple.Set.cardinal (Structure.rel b (Removal_op.tilde_name "E" [])));
+  (* P(3) has no d: P~ keeps it, renamed to 2 *)
+  Alcotest.(check bool) "P~ keeps 3 as 2" true
+    (Structure.mem b (Removal_op.tilde_name "P" []) [| 2 |]);
+  (* spheres: dist(1,0)=1 and dist(1,2)=1, element 3 unreachable *)
+  Alcotest.(check bool) "S1 holds 0" true
+    (Structure.mem b (Removal_op.sphere_name 1) [| 0 |]);
+  Alcotest.(check bool) "S1 holds old-2" true
+    (Structure.mem b (Removal_op.sphere_name 1) [| 1 |]);
+  Alcotest.(check bool) "S2 misses old-3" false
+    (Structure.mem b (Removal_op.sphere_name 2) [| 2 |])
+
+let test_removal_rename_roundtrip () =
+  for d = 0 to 4 do
+    for x = 0 to 4 do
+      if x <> d then
+        Alcotest.(check int) "rename roundtrip" x
+          (Removal_op.unrename ~d (Removal_op.rename ~d x))
+    done
+  done
+
+let test_strings_roundtrip () =
+  let alphabet = [ 'a'; 'b'; 'c' ] in
+  let s = "abcabba" in
+  let a = Strings.of_string ~alphabet s in
+  Alcotest.(check int) "order" (String.length s) (Structure.order a);
+  Alcotest.(check string) "roundtrip" s (Strings.to_string ~alphabet a);
+  (* the order relation is reflexive-transitive: n(n+1)/2 tuples *)
+  Alcotest.(check int) "order tuples" 28
+    (Tuple.Set.cardinal (Structure.rel a Strings.le_name))
+
+let test_customer_db () =
+  let rng = Random.State.make [| 5 |] in
+  let db = Db_gen.customer_order rng ~customers:20 ~orders:50 ~countries:3 ~cities:5 in
+  Alcotest.(check int) "20 customers" 20
+    (Tuple.Set.cardinal (Structure.rel db.db Db_gen.customer_rel));
+  Alcotest.(check int) "50 orders" 50
+    (Tuple.Set.cardinal (Structure.rel db.db Db_gen.order_rel));
+  Alcotest.(check bool) "berlin marked" true
+    (Structure.mem db.db Db_gen.berlin_rel [| db.berlin |]);
+  (* order customer-ids reference customers *)
+  Tuple.Set.iter
+    (fun t -> Alcotest.(check bool) "fk valid" true (List.mem t.(3) db.customer_ids))
+    (Structure.rel db.db Db_gen.order_rel)
+
+let test_colored_digraph () =
+  let rng = Random.State.make [| 9 |] in
+  let g = Foc_graph.Gen.cycle 10 in
+  let a = Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:1.0 ~p_blue:0.0 ~p_green:0.5 in
+  Alcotest.(check int) "both orientations" 20 (Tuple.Set.cardinal (Structure.rel a "E"));
+  Alcotest.(check int) "all red" 10 (Tuple.Set.cardinal (Structure.rel a "R"));
+  Alcotest.(check int) "no blue" 0 (Tuple.Set.cardinal (Structure.rel a "B"))
+
+let prop_removal_size =
+  QCheck.Test.make ~name:"removal keeps tuple counts" ~count:50
+    QCheck.(pair (int_range 2 12) (int_range 0 2))
+    (fun (n, r) ->
+      let rng = Random.State.make [| n; r; 77 |] in
+      let sign = Signature.of_list [ ("E", 2); ("P", 1) ] in
+      let a = Db_gen.random_structure rng sign ~order:n ~tuples:(2 * n) in
+      let d = Random.State.int rng n in
+      let b = Removal_op.apply a ~r ~d in
+      (* every original E tuple lands in exactly one E~I bucket *)
+      let total =
+        List.fold_left
+          (fun acc positions ->
+            acc
+            + Tuple.Set.cardinal
+                (Structure.rel b (Removal_op.tilde_name "E" positions)))
+          0
+          [ []; [ 1 ]; [ 2 ]; [ 1; 2 ] ]
+      in
+      total = Tuple.Set.cardinal (Structure.rel a "E"))
+
+let () =
+  Alcotest.run "foc_data"
+    [
+      ( "signature",
+        [
+          Alcotest.test_case "basics" `Quick test_signature;
+          Alcotest.test_case "tuples" `Quick test_tuple;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "basics" `Quick test_structure_basics;
+          Alcotest.test_case "gaifman" `Quick test_gaifman;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+          Alcotest.test_case "expand/reduct" `Quick test_expand_reduct;
+          Alcotest.test_case "isomorphic" `Quick test_isomorphic;
+        ] );
+      ( "removal",
+        [
+          Alcotest.test_case "shapes" `Quick test_removal_shapes;
+          Alcotest.test_case "rename roundtrip" `Quick test_removal_rename_roundtrip;
+          QCheck_alcotest.to_alcotest prop_removal_size;
+        ] );
+      ("strings", [ Alcotest.test_case "roundtrip" `Quick test_strings_roundtrip ]);
+      ( "db_gen",
+        [
+          Alcotest.test_case "customer/order" `Quick test_customer_db;
+          Alcotest.test_case "colored digraph" `Quick test_colored_digraph;
+        ] );
+    ]

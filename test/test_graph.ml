@@ -1,0 +1,190 @@
+(* Tests for foc_graph: graphs, BFS/balls, components, generators and
+   connectivity patterns. *)
+
+open Foc_graph
+
+let test_create_dedup () =
+  let g = Graph.create 4 [ (0, 1); (1, 0); (0, 0); (2, 3); (2, 3) ] in
+  Alcotest.(check int) "order" 4 (Graph.order g);
+  Alcotest.(check int) "edges deduped, loop dropped" 2 (Graph.edge_count g);
+  Alcotest.(check int) "size" 6 (Graph.size g);
+  Alcotest.(check bool) "mem 0-1" true (Graph.mem_edge g 0 1);
+  Alcotest.(check bool) "mem 1-0" true (Graph.mem_edge g 1 0);
+  Alcotest.(check bool) "no loop" false (Graph.mem_edge g 0 0);
+  Alcotest.(check bool) "no 0-2" false (Graph.mem_edge g 0 2)
+
+let test_degrees () =
+  let g = Gen.star 5 in
+  Alcotest.(check int) "centre degree" 4 (Graph.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (Graph.degree g 1);
+  Alcotest.(check int) "max degree" 4 (Graph.max_degree g)
+
+let test_induced () =
+  let g = Gen.cycle 6 in
+  let sub, old_of_new = Graph.induced g [ 0; 1; 2; 4 ] in
+  Alcotest.(check int) "order" 4 (Graph.order sub);
+  Alcotest.(check int) "edges 0-1,1-2" 2 (Graph.edge_count sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 2; 4 |] old_of_new
+
+let test_remove_vertex () =
+  let g = Gen.path 5 in
+  let g', _ = Graph.remove_vertex g 2 in
+  Alcotest.(check int) "order" 4 (Graph.order g');
+  Alcotest.(check int) "two edges left" 2 (Graph.edge_count g')
+
+let test_union () =
+  let g = Graph.union (Gen.path 3) (Gen.path 2) in
+  Alcotest.(check int) "order" 5 (Graph.order g);
+  Alcotest.(check bool) "shifted edge" true (Graph.mem_edge g 3 4);
+  Alcotest.(check bool) "no cross edge" false (Graph.mem_edge g 2 3)
+
+let test_bfs_path () =
+  let g = Gen.path 10 in
+  Alcotest.(check int) "dist endpoints" 9 (Bfs.dist g 0 9);
+  Alcotest.(check int) "dist self" 0 (Bfs.dist g 4 4);
+  Alcotest.(check bool) "dist_le true" true (Bfs.dist_le g 0 5 5);
+  Alcotest.(check bool) "dist_le false" false (Bfs.dist_le g 0 5 4);
+  Alcotest.(check (list int)) "ball radius 2 around 5" [ 3; 4; 5; 6; 7 ]
+    (Bfs.ball g ~centres:[ 5 ] ~radius:2);
+  Alcotest.(check (list int)) "multi-source ball" [ 0; 1; 8; 9 ]
+    (Bfs.ball g ~centres:[ 0; 9 ] ~radius:1)
+
+let test_bfs_disconnected () =
+  let g = Graph.create 4 [ (0, 1) ] in
+  Alcotest.(check int) "infinite dist" Bfs.infinity (Bfs.dist g 0 3);
+  Alcotest.(check bool) "dist_le across" false (Bfs.dist_le g 0 3 100);
+  Alcotest.(check (list int)) "ball stays in component" [ 0; 1 ]
+    (Bfs.ball g ~centres:[ 0 ] ~radius:100)
+
+let test_ball_tbl_matches_distances () =
+  let rng = Random.State.make [| 42 |] in
+  let g = Gen.random_bounded_degree rng 60 3 in
+  let d = Bfs.distances_from g ~sources:[ 7 ] ~radius:4 in
+  let tbl = Bfs.ball_tbl g ~centres:[ 7 ] ~radius:4 in
+  for v = 0 to 59 do
+    let expected = if d.(v) = Bfs.infinity then None else Some d.(v) in
+    Alcotest.(check (option int))
+      (Printf.sprintf "vertex %d" v)
+      expected
+      (Hashtbl.find_opt tbl v)
+  done
+
+let test_tuple_connected () =
+  let g = Gen.path 10 in
+  Alcotest.(check bool) "adjacent pair" true (Bfs.tuple_connected g 1 [ 3; 4 ]);
+  Alcotest.(check bool) "far pair" false (Bfs.tuple_connected g 1 [ 0; 9 ]);
+  Alcotest.(check bool) "chain through middle" true
+    (Bfs.tuple_connected g 3 [ 0; 3; 6 ]);
+  Alcotest.(check bool) "empty tuple" true (Bfs.tuple_connected g 1 [])
+
+let test_components () =
+  let g = Graph.create 6 [ (0, 1); (1, 2); (4, 5) ] in
+  let comps = Components.components g in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1; 2 ]; [ 3 ]; [ 4; 5 ] ] comps;
+  Alcotest.(check bool) "not connected" false (Components.is_connected g);
+  Alcotest.(check bool) "same comp" true (Components.same_component g 0 2);
+  Alcotest.(check bool) "diff comp" false (Components.same_component g 0 3);
+  Alcotest.(check bool) "path connected" true
+    (Components.is_connected (Gen.path 4))
+
+let test_gen_shapes () =
+  let check_graph name g n m =
+    Alcotest.(check (pair int int)) name (n, m) (Graph.order g, Graph.edge_count g)
+  in
+  check_graph "path" (Gen.path 5) 5 4;
+  check_graph "cycle" (Gen.cycle 5) 5 5;
+  check_graph "clique" (Gen.clique 5) 5 10;
+  check_graph "star" (Gen.star 5) 5 4;
+  check_graph "grid 3x4" (Gen.grid 3 4) 12 17;
+  check_graph "binary tree" (Gen.binary_tree 7) 7 6;
+  check_graph "caterpillar" (Gen.caterpillar 4 2) 12 11
+
+let test_gen_random () =
+  let rng = Random.State.make [| 7 |] in
+  let t = Gen.random_tree rng 50 in
+  Alcotest.(check int) "tree edges" 49 (Graph.edge_count t);
+  Alcotest.(check bool) "tree connected" true (Components.is_connected t);
+  let b = Gen.random_bounded_degree rng 100 3 in
+  Alcotest.(check bool) "degree bound" true (Graph.max_degree b <= 3)
+
+let test_pattern_enumerate () =
+  Alcotest.(check int) "|G_3| = 8" 8 (List.length (Pattern.enumerate 3));
+  Alcotest.(check int) "|G_4| = 64" 64 (List.length (Pattern.enumerate 4));
+  Alcotest.(check int) "|G_0| = 1" 1 (List.length (Pattern.enumerate 0));
+  let connected3 =
+    List.filter Pattern.connected (Pattern.enumerate 3)
+  in
+  Alcotest.(check int) "connected patterns on 3" 4 (List.length connected3)
+
+let test_pattern_components () =
+  let p = Pattern.make 5 [ (0, 1); (3, 4) ] in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (Pattern.components p);
+  Alcotest.(check bool) "not connected" false (Pattern.connected p);
+  Alcotest.(check (list int)) "component_of 4" [ 3; 4 ] (Pattern.component_of p 4);
+  let ind = Pattern.induced p [ 0; 1; 3 ] in
+  Alcotest.(check (list (pair int int))) "induced edges" [ (0, 1) ] (Pattern.edges ind)
+
+let test_pattern_of_tuple () =
+  let g = Gen.path 10 in
+  let close u v = Bfs.dist_le g u v 2 in
+  let p = Pattern.of_tuple close [| 0; 1; 8 |] in
+  Alcotest.(check bool) "0~1" true (Pattern.mem_edge p 0 1);
+  Alcotest.(check bool) "0~8 far" false (Pattern.mem_edge p 0 2);
+  (* equal elements are always joined *)
+  let p2 = Pattern.of_tuple (fun _ _ -> false) [| 3; 3 |] in
+  Alcotest.(check bool) "equal joined" true (Pattern.mem_edge p2 0 1)
+
+let test_pattern_merges () =
+  let p = Pattern.make 3 [ (0, 1) ] in
+  (* split {0,1} vs {2}: cross pairs (0,2),(1,2); nonempty subsets: 3 *)
+  let hs = Pattern.merges p ([ 0; 1 ], [ 2 ]) in
+  Alcotest.(check int) "3 merge patterns" 3 (List.length hs);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "keeps inner edge" true (Pattern.mem_edge h 0 1);
+      Alcotest.(check bool) "differs from p" false (Pattern.equal h p))
+    hs
+
+let prop_pattern_components_partition =
+  QCheck.Test.make ~name:"pattern components partition positions" ~count:200
+    QCheck.(pair (int_range 1 5) (int_range 0 1023))
+    (fun (k, seed) ->
+      let all = Pattern.enumerate k in
+      let p = List.nth all (seed mod List.length all) in
+      let flat = List.sort compare (List.concat (Pattern.components p)) in
+      flat = List.init k (fun i -> i))
+
+let () =
+  Alcotest.run "foc_graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "create/dedup" `Quick test_create_dedup;
+          Alcotest.test_case "degrees" `Quick test_degrees;
+          Alcotest.test_case "induced" `Quick test_induced;
+          Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+          Alcotest.test_case "union" `Quick test_union;
+        ] );
+      ( "bfs",
+        [
+          Alcotest.test_case "path distances" `Quick test_bfs_path;
+          Alcotest.test_case "disconnected" `Quick test_bfs_disconnected;
+          Alcotest.test_case "ball_tbl = distances" `Quick test_ball_tbl_matches_distances;
+          Alcotest.test_case "tuple_connected" `Quick test_tuple_connected;
+        ] );
+      ("components", [ Alcotest.test_case "basics" `Quick test_components ]);
+      ( "gen",
+        [
+          Alcotest.test_case "shapes" `Quick test_gen_shapes;
+          Alcotest.test_case "random" `Quick test_gen_random;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "enumerate" `Quick test_pattern_enumerate;
+          Alcotest.test_case "components" `Quick test_pattern_components;
+          Alcotest.test_case "of_tuple" `Quick test_pattern_of_tuple;
+          Alcotest.test_case "merges" `Quick test_pattern_merges;
+          QCheck_alcotest.to_alcotest prop_pattern_components_partition;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+(* End-to-end checks of the Section 4 hardness reductions:
+   G ⊨ ϕ  ⟺  T_G ⊨ ϕ̂  ⟺  S_G ⊨ ϕ̂_str, verified with the baseline
+   engines on small graphs. *)
+
+open Foc_logic
+open Foc_hardness
+
+let preds = Pred.hardness
+let parse s = Parser.formula Pred.standard s
+
+(* FO test sentences over the graph signature *)
+let sentences =
+  [
+    ("some edge", "exists x y. E(x,y)");
+    ("isolated vertex", "exists x. forall y. !E(x,y)");
+    ("triangle", "exists x y z. E(x,y) & E(y,z) & E(z,x)");
+    ("no triangle", "!(exists x y z. E(x,y) & E(y,z) & E(z,x))");
+    ("dominating vertex", "exists x. forall y. x = y | E(x,y)");
+    ("everyone has a neighbour", "forall x. exists y. E(x,y)");
+  ]
+
+let graphs () =
+  let rng = Random.State.make [| 103 |] in
+  [
+    ("path4", Foc_graph.Gen.path 4);
+    ("cycle3", Foc_graph.Gen.cycle 3);
+    ("clique4", Foc_graph.Gen.clique 4);
+    ("star4", Foc_graph.Gen.star 4);
+    ("empty3", Foc_graph.Graph.create 3 []);
+    ("random5", Foc_graph.Gen.erdos_renyi rng 5 0.4);
+  ]
+
+let holds_on_graph g phi =
+  Foc_eval.Naive.sentence Pred.standard (Foc_data.Structure.of_graph g) phi
+
+let test_tree_gadget_shapes () =
+  let g = Foc_graph.Gen.path 3 in
+  let t = Tree_encoding.encode_graph g in
+  let a_of = Tree_encoding.a_vertices g in
+  (* T_G is a tree: connected, |E| = |V| - 1 *)
+  let gg = Foc_data.Structure.gaifman t in
+  Alcotest.(check bool) "connected" true (Foc_graph.Components.is_connected gg);
+  Alcotest.(check int) "tree edge count"
+    (Foc_graph.Graph.order gg - 1)
+    (Foc_graph.Graph.edge_count gg);
+  (* the classifier formulas pick out the right vertices *)
+  List.iteri
+    (fun v a ->
+      let env = Foc_eval.Naive.env_of_list [ ("x", a) ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "ψ_a recognises a(%d)" v)
+        true
+        (Foc_eval.Relalg.holds Pred.standard t [ ("x", a) ]
+           (Tree_encoding.psi_a "x"));
+      ignore env)
+    (Array.to_list a_of);
+  (* count of ψ_a-vertices is exactly |V(G)| *)
+  let count_a =
+    Foc_eval.Relalg.count Pred.standard t [ "x" ] (Tree_encoding.psi_a "x")
+  in
+  Alcotest.(check int) "exactly n a-vertices" 3 count_a
+
+let test_tree_edge_simulation () =
+  let g = Foc_graph.Gen.path 3 in
+  let t = Tree_encoding.encode_graph g in
+  let a_of = Tree_encoding.a_vertices g in
+  for u = 0 to 2 do
+    for v = 0 to 2 do
+      if u <> v then
+        Alcotest.(check bool)
+          (Printf.sprintf "edge %d-%d simulated" u v)
+          (Foc_graph.Graph.mem_edge g u v)
+          (Foc_eval.Relalg.holds Pred.standard t
+             [ ("x", a_of.(u)); ("y", a_of.(v)) ]
+             (Tree_encoding.psi_edge "x" "y"))
+    done
+  done
+
+let test_tree_reduction_correct () =
+  List.iter
+    (fun (gname, g) ->
+      let t = Tree_encoding.encode_graph g in
+      List.iter
+        (fun (sname, s) ->
+          let phi = parse s in
+          let phi_hat = Tree_encoding.encode_sentence phi in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" gname sname)
+            (holds_on_graph g phi)
+            (Foc_eval.Relalg.holds Pred.standard t [] phi_hat))
+        sentences)
+    (graphs ())
+
+let test_tree_uses_hardness_preds_only () =
+  (* ϕ̂ only needs P= — the collection of Theorem 4.1 *)
+  let phi_hat = Tree_encoding.encode_sentence (parse "exists x y. E(x,y)") in
+  let sign = Foc_data.Signature.graph in
+  match Fragment.well_formed sign preds phi_hat with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_tree_not_foc1 () =
+  (* the edge simulation is deliberately outside FOC1 *)
+  Alcotest.(check bool) "ψ_E not FOC1" false
+    (Fragment.is_foc1 (Tree_encoding.psi_edge "x" "y"))
+
+let test_string_shape () =
+  let g = Foc_graph.Gen.path 3 in
+  (* vertex 0 (paper 1): neighbours {1}; vertex 1: {0,2}; vertex 2: {1} *)
+  Alcotest.(check string) "string layout" "acbccaccbcbcccacccbcc"
+    (String_encoding.string_of_graph g);
+  let s = String_encoding.encode_graph g in
+  Alcotest.(check int) "order = length" 21 (Foc_data.Structure.order s);
+  let a_pos = String_encoding.a_positions g in
+  Alcotest.(check (array int)) "a positions" [| 0; 5; 14 |] a_pos
+
+let test_string_edge_simulation () =
+  let g = Foc_graph.Gen.path 3 in
+  let s = String_encoding.encode_graph g in
+  let a_pos = String_encoding.a_positions g in
+  for u = 0 to 2 do
+    for v = 0 to 2 do
+      if u <> v then
+        Alcotest.(check bool)
+          (Printf.sprintf "string edge %d-%d" u v)
+          (Foc_graph.Graph.mem_edge g u v)
+          (Foc_eval.Relalg.holds Pred.standard s
+             [ ("x", a_pos.(u)); ("y", a_pos.(v)) ]
+             (String_encoding.psi_edge "x" "y"))
+    done
+  done
+
+let small_sentences =
+  [
+    ("some edge", "exists x y. E(x,y)");
+    ("isolated vertex", "exists x. forall y. !E(x,y)");
+    ("everyone has a neighbour", "forall x. exists y. E(x,y)");
+  ]
+
+let test_string_reduction_correct () =
+  (* strings blow up quadratically: use the smaller graphs *)
+  let small =
+    List.filter
+      (fun (_, g) -> Foc_graph.Graph.order g <= 4)
+      (graphs ())
+  in
+  List.iter
+    (fun (gname, g) ->
+      let s = String_encoding.encode_graph g in
+      List.iter
+        (fun (sname, src) ->
+          let phi = parse src in
+          let phi_hat = String_encoding.encode_sentence phi in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s / %s" gname sname)
+            (holds_on_graph g phi)
+            (Foc_eval.Relalg.holds Pred.standard s [] phi_hat))
+        small_sentences)
+    small
+
+let prop_tree_reduction_random =
+  QCheck.Test.make ~name:"tree reduction on random graphs" ~count:20
+    QCheck.(pair (int_range 2 5) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let g = Foc_graph.Gen.erdos_renyi rng n 0.5 in
+      let t = Tree_encoding.encode_graph g in
+      List.for_all
+        (fun (_, s) ->
+          let phi = parse s in
+          let phi_hat = Tree_encoding.encode_sentence phi in
+          holds_on_graph g phi
+          = Foc_eval.Relalg.holds Pred.standard t [] phi_hat)
+        [ List.nth sentences 0; List.nth sentences 2; List.nth sentences 5 ])
+
+let () =
+  Alcotest.run "foc_hardness"
+    [
+      ( "tree (Thm 4.1)",
+        [
+          Alcotest.test_case "gadget shapes" `Quick test_tree_gadget_shapes;
+          Alcotest.test_case "edge simulation" `Quick test_tree_edge_simulation;
+          Alcotest.test_case "reduction correct" `Quick test_tree_reduction_correct;
+          Alcotest.test_case "uses only P=" `Quick test_tree_uses_hardness_preds_only;
+          Alcotest.test_case "outside FOC1" `Quick test_tree_not_foc1;
+          QCheck_alcotest.to_alcotest prop_tree_reduction_random;
+        ] );
+      ( "string (Thm 4.3)",
+        [
+          Alcotest.test_case "layout" `Quick test_string_shape;
+          Alcotest.test_case "edge simulation" `Quick test_string_edge_simulation;
+          Alcotest.test_case "reduction correct" `Quick test_string_reduction_correct;
+        ] );
+    ]

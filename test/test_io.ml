@@ -1,0 +1,93 @@
+(* Structure file I/O: round-trips, error reporting, and a CLI-format
+   golden file. *)
+
+open Foc_data
+
+let sign = Signature.of_list [ ("E", 2); ("P", 1); ("Z", 0) ]
+
+let sample =
+  Structure.create sign ~order:5
+    [
+      ("E", [ [| 0; 1 |]; [| 1; 2 |]; [| 4; 0 |] ]);
+      ("P", [ [| 3 |] ]);
+      ("Z", [ [||] ]);
+    ]
+
+let test_roundtrip () =
+  let text = Io.to_string sample in
+  match Io.of_string text with
+  | Ok back -> Alcotest.(check bool) "roundtrip" true (Structure.equal sample back)
+  | Error e -> Alcotest.fail e
+
+let test_golden_parse () =
+  let src =
+    "# a small structure\n\
+     order 4\n\
+     rel E 2\n\
+     rel P 1\n\
+     E 0 1   # an edge\n\
+     E 1 2\n\
+     P 3\n\n"
+  in
+  match Io.of_string src with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+      Alcotest.(check int) "order" 4 (Structure.order a);
+      Alcotest.(check bool) "edge" true (Structure.mem a "E" [| 0; 1 |]);
+      Alcotest.(check bool) "colour" true (Structure.mem a "P" [| 3 |])
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i =
+    i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1))
+  in
+  go 0
+
+let expect_error src fragment =
+  match Io.of_string src with
+  | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions %S (got %S)" fragment e)
+        true (contains e fragment)
+
+let test_errors () =
+  expect_error "rel E 2\nE 0 1\n" "order";
+  expect_error "order 3\nE 0 1\n" "undeclared";
+  expect_error "order 3\nrel E 2\nE 0\n" "arity";
+  expect_error "order 3\nrel E 2\nE 0 9\n" "universe";
+  expect_error "order 3\nrel E 2\nE a b\n" "tuple"
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"io roundtrip on random structures" ~count:50
+    QCheck.(pair (int_range 1 15) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let a = Db_gen.random_structure rng sign ~order:n ~tuples:(2 * n) in
+      match Io.of_string (Io.to_string a) with
+      | Ok back -> Structure.equal a back
+      | Error _ -> false)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "foc_io" ".foc" in
+  Io.save path sample;
+  (match Io.load path with
+  | Ok back -> Alcotest.(check bool) "file roundtrip" true (Structure.equal sample back)
+  | Error e -> Alcotest.fail e);
+  Sys.remove path;
+  match Io.load "/nonexistent/foc/file" with
+  | Ok _ -> Alcotest.fail "should not load"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "foc_data io"
+    [
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "golden parse" `Quick test_golden_parse;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+        ] );
+    ]

@@ -1,0 +1,360 @@
+(* Tests for the locality machinery: radius certification, ball-restricted
+   evaluation, the Feferman-Vaught split, and — crucially — the Lemma 6.4
+   decomposition checked against the relational-algebra engine. *)
+
+open Foc_logic
+open Foc_local
+open Ast
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+let parse_t s = Parser.term preds s
+
+let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1); ("C", 1) ]
+
+let structure_of_graph_coloured rng g =
+  let base = Foc_data.Structure.of_graph g in
+  let n = Foc_data.Structure.order base in
+  let colour p =
+    List.filter_map
+      (fun v -> if Random.State.float rng 1.0 < p then Some [| v |] else None)
+      (List.init n (fun i -> i))
+  in
+  Foc_data.Structure.create sign ~order:n
+    [
+      ( "E",
+        Foc_data.Tuple.Set.elements (Foc_data.Structure.rel base "E")
+        |> List.map (fun t -> t) );
+      ("B", colour 0.4);
+      ("C", colour 0.3);
+    ]
+
+(* ---------------- locality radius ---------------- *)
+
+let check_local name expected phi =
+  match Locality.formula_radius phi with
+  | Locality.Local r -> Alcotest.(check int) name expected r
+  | Locality.Nonlocal why -> Alcotest.fail (name ^ ": unexpectedly nonlocal: " ^ why)
+
+let check_nonlocal name phi =
+  match Locality.formula_radius phi with
+  | Locality.Local r ->
+      Alcotest.fail (Printf.sprintf "%s: unexpectedly local (r=%d)" name r)
+  | Locality.Nonlocal _ -> ()
+
+let test_radius_atoms () =
+  check_local "atom" 0 (parse "E(x,y)");
+  check_local "dist" 3 (parse "dist(x,y) <= 3");
+  check_local "bool" 2 (parse "E(x,y) | dist(x,y) <= 2")
+
+let test_radius_quantifiers () =
+  (* ∃y (E(x,y) ∧ B(y)): y guarded at distance 1 *)
+  check_local "guarded exists" 1 (parse "exists y. E(x,y) & B(y)");
+  (* chain: ∃y∃z (E(x,y) ∧ E(y,z) ∧ B(z)) *)
+  check_local "guard chain" 2 (parse "exists y z. E(x,y) & E(y,z) & B(z)");
+  (* guarded forall: ∀y (dist(x,y) ≤ 2 → B(y)) *)
+  check_local "guarded forall" 4 (parse "forall y. dist(x,y) <= 2 -> B(y)");
+  check_nonlocal "unguarded exists" (parse "exists y. B(y) & B(x)");
+  check_nonlocal "unguarded forall" (parse "forall y. B(y)")
+
+let test_radius_terms () =
+  (* t_B(x) = #(y).(E(x,y) ∧ B(y)) — Example 5.4 *)
+  (match Locality.term_radius (parse_t "#(y). (E(x,y) & B(y))") with
+  | Locality.Local r -> Alcotest.(check int) "t_B radius" 1 r
+  | Locality.Nonlocal w -> Alcotest.fail w);
+  (* t_Δ(x): triangles through x — chained guards *)
+  (match Locality.term_radius (parse_t "#(y,z). (E(x,y) & E(y,z) & E(z,x))") with
+  | Locality.Local r -> Alcotest.(check bool) "t_Δ local" true (r >= 1)
+  | Locality.Nonlocal w -> Alcotest.fail w);
+  (* ground term: global count *)
+  (match Locality.term_radius (parse_t "#(x). B(x)") with
+  | Locality.Local _ -> Alcotest.fail "ground term cannot be local"
+  | Locality.Nonlocal _ -> ());
+  (* unguarded counted variable *)
+  match Locality.term_radius (parse_t "#(y). (B(y) | E(x,x))") with
+  | Locality.Local _ -> Alcotest.fail "unguarded count cannot be local"
+  | Locality.Nonlocal _ -> ()
+
+let test_radius_pred_formula () =
+  (* Prime(t_B(x)) is local around x *)
+  check_local "pred of local term" 1 (parse "prime(#(y). (E(x,y) & B(y)))");
+  (* Prime of a ground count is global *)
+  check_nonlocal "pred of ground term" (parse "prime(#(y). B(y))")
+
+(* ---------------- local evaluation agreement ---------------- *)
+
+let test_local_eval_agreement () =
+  let rng = Random.State.make [| 23 |] in
+  let g = Foc_graph.Gen.random_tree rng 40 in
+  let a = structure_of_graph_coloured rng g in
+  let formulas =
+    [
+      "exists y. E(x,y) & B(y)";
+      "forall y. dist(x,y) <= 2 -> (B(y) | C(y))";
+      "prime(#(y). E(x,y))";
+      "B(x) & (exists y z. E(x,y) & E(y,z) & C(z))";
+      "(#(y). (E(x,y) & B(y))) >= 1";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let f = parse s in
+      for v = 0 to Foc_data.Structure.order a - 1 do
+        let env = Foc_eval.Naive.env_of_list [ ("x", v) ] in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s @ %d" s v)
+          (Foc_eval.Naive.formula preds a env f)
+          (Local_eval.holds preds a env f)
+      done)
+    formulas
+
+let test_local_eval_uses_balls () =
+  let rng = Random.State.make [| 29 |] in
+  let g = Foc_graph.Gen.path 200 in
+  let a = structure_of_graph_coloured rng g in
+  let stats = Local_eval.create_stats () in
+  let f = parse "exists y. E(x,y) & B(y)" in
+  let env = Foc_eval.Naive.env_of_list [ ("x", 100) ] in
+  ignore (Local_eval.holds ~stats preds a env f);
+  Alcotest.(check int) "no unguarded scans" 0 stats.unguarded_scans;
+  Alcotest.(check bool) "few candidates" true (stats.candidates_tried <= 5)
+
+(* ---------------- split ---------------- *)
+
+let eval_blocks a blocks envl envr =
+  (* value of ⋁ λ∧ρ under combined env, plus disjointness check *)
+  let holding =
+    List.filter
+      (fun (l, rho) ->
+        Foc_eval.Naive.formula preds a envl l
+        && Foc_eval.Naive.formula preds a envr rho)
+      blocks
+  in
+  (List.length holding > 0, List.length holding <= 1)
+
+let test_split_product () =
+  let theta = parse "B(x) & C(y)" in
+  let side_of v = if v = "x" then Split.L else Split.R in
+  match Split.split ~r:0 ~side_of theta with
+  | None -> Alcotest.fail "split failed"
+  | Some blocks ->
+      Alcotest.(check bool) "nonempty" true (List.length blocks >= 1);
+      List.iter
+        (fun (l, rho) ->
+          Alcotest.(check bool) "lambda left-pure" true
+            (Var.Set.subset (free_formula l) (Var.Set.singleton "x"));
+          Alcotest.(check bool) "rho right-pure" true
+            (Var.Set.subset (free_formula rho) (Var.Set.singleton "y")))
+        blocks
+
+let test_split_semantics () =
+  let rng = Random.State.make [| 31 |] in
+  (* two far-apart paths glued in one structure: x on one, y on the other *)
+  let g = Foc_graph.Graph.union (Foc_graph.Gen.path 6) (Foc_graph.Gen.path 6) in
+  let a = structure_of_graph_coloured rng g in
+  let side_of v = if v = "x" then Split.L else Split.R in
+  let cases =
+    [ "B(x) & C(y)"; "B(x) | C(y)"; "!(B(x) & C(y))";
+      "(exists u. E(x,u) & B(u)) & (C(y) | B(y))";
+      "E(x,y)" (* cross atom: always false under the promise *) ]
+  in
+  List.iter
+    (fun s ->
+      let theta = parse s in
+      match Split.split ~r:1 ~side_of theta with
+      | None -> Alcotest.fail ("split failed on " ^ s)
+      | Some blocks ->
+          (* x ranges over the left path (0..5), y over the right (6..11):
+             all cross distances are infinite, promise holds *)
+          for vx = 0 to 5 do
+            for vy = 6 to 11 do
+              let env =
+                Foc_eval.Naive.env_of_list [ ("x", vx); ("y", vy) ]
+              in
+              let expected = Foc_eval.Naive.formula preds a env theta in
+              let got, disjoint = eval_blocks a blocks env env in
+              Alcotest.(check bool) (s ^ " equivalent") expected got;
+              Alcotest.(check bool) (s ^ " disjoint") true disjoint
+            done
+          done)
+    cases
+
+(* ---------------- pattern counting ---------------- *)
+
+let test_pattern_count_edges () =
+  let rng = Random.State.make [| 37 |] in
+  let g = Foc_graph.Gen.cycle 8 in
+  let a = structure_of_graph_coloured rng g in
+  let ctx = Pattern_count.make_ctx preds a ~r:0 in
+  (* ordered pairs at distance <= 1 satisfying E: exactly the directed edges *)
+  let edge_pattern = Foc_graph.Pattern.make 2 [ (0, 1) ] in
+  let count =
+    Pattern_count.ground ctx ~pattern:edge_pattern ~vars:[ "u"; "v" ]
+      ~body:(parse "E(u,v)")
+  in
+  Alcotest.(check int) "close E-pairs = 16" 16 count;
+  (* per-anchor: each cycle vertex sees 2 outgoing close E-edges *)
+  let per =
+    Pattern_count.per_anchor ctx ~pattern:edge_pattern ~vars:[ "u"; "v" ]
+      ~body:(parse "E(u,v)")
+  in
+  Array.iter (fun c -> Alcotest.(check int) "deg 2" 2 c) per;
+  (* far pattern is not connected: ground on it must be rejected *)
+  Alcotest.check_raises "disconnected rejected"
+    (Invalid_argument "Pattern_count: pattern not connected") (fun () ->
+      ignore
+        (Pattern_count.ground ctx
+           ~pattern:(Foc_graph.Pattern.make 2 [])
+           ~vars:[ "u"; "v" ] ~body:Ast.True))
+
+let test_pattern_count_sentence () =
+  let rng = Random.State.make [| 41 |] in
+  let a = structure_of_graph_coloured rng (Foc_graph.Gen.path 5) in
+  let ctx = Pattern_count.make_ctx preds a ~r:0 in
+  let empty = Foc_graph.Pattern.make 0 [] in
+  Alcotest.(check int) "true sentence" 1
+    (Pattern_count.ground ctx ~pattern:empty ~vars:[] ~body:Ast.True);
+  Alcotest.(check int) "false sentence" 0
+    (Pattern_count.ground ctx ~pattern:empty ~vars:[] ~body:Ast.False)
+
+(* ---------------- decomposition vs relalg ---------------- *)
+
+let check_ground_decomposition ?(max_width = 3) a name vars body =
+  ignore max_width;
+  let r =
+    match Locality.formula_radius body with
+    | Locality.Local r -> r
+    | Locality.Nonlocal w -> Alcotest.fail (name ^ " body nonlocal: " ^ w)
+  in
+  match Decompose.ground_count ~r ~vars body with
+  | None -> Alcotest.fail (name ^ ": decomposition failed")
+  | Some cl ->
+      let ctx = Pattern_count.make_ctx preds a ~r in
+      let got = Clterm.eval_ground ctx cl in
+      let expected = Foc_eval.Relalg.count preds a vars body in
+      Alcotest.(check int) name expected got
+
+let test_decompose_ground_fixed () =
+  let rng = Random.State.make [| 43 |] in
+  let g = Foc_graph.Gen.random_tree rng 14 in
+  let a = structure_of_graph_coloured rng g in
+  check_ground_decomposition a "all pairs" [ "u"; "v" ] (parse "u = u");
+  check_ground_decomposition a "edges" [ "u"; "v" ] (parse "E(u,v)");
+  check_ground_decomposition a "colour product" [ "u"; "v" ]
+    (parse "B(u) & C(v)");
+  check_ground_decomposition a "non-edges" [ "u"; "v" ] (parse "!E(u,v)");
+  check_ground_decomposition a "mixed or" [ "u"; "v" ]
+    (parse "B(u) | C(v)");
+  check_ground_decomposition a "single var" [ "u" ] (parse "B(u)");
+  check_ground_decomposition a "guarded exists" [ "u"; "v" ]
+    (parse "(exists w. E(u,w) & E(w,v)) | (B(u) & C(v))")
+
+let test_decompose_ground_triples () =
+  let rng = Random.State.make [| 47 |] in
+  let g = Foc_graph.Gen.grid 3 4 in
+  let a = structure_of_graph_coloured rng g in
+  check_ground_decomposition a "triple colours" [ "u"; "v"; "w" ]
+    (parse "B(u) & B(v) & C(w)");
+  check_ground_decomposition a "path of length 2" [ "u"; "v"; "w" ]
+    (parse "E(u,v) & E(v,w)");
+  check_ground_decomposition a "edge plus isolated colour" [ "u"; "v"; "w" ]
+    (parse "E(u,v) & C(w)")
+
+let test_decompose_unary_fixed () =
+  let rng = Random.State.make [| 53 |] in
+  let g = Foc_graph.Gen.random_tree rng 12 in
+  let a = structure_of_graph_coloured rng g in
+  let check name vars body =
+    let counted = List.tl vars in
+    let r =
+      match Locality.formula_radius body with
+      | Locality.Local r -> r
+      | Locality.Nonlocal w -> Alcotest.fail (name ^ ": " ^ w)
+    in
+    match Decompose.unary_count ~r ~vars body with
+    | None -> Alcotest.fail (name ^ ": decomposition failed")
+    | Some cl ->
+        let ctx = Pattern_count.make_ctx preds a ~r in
+        let got = Clterm.eval_unary ctx cl in
+        for v = 0 to Foc_data.Structure.order a - 1 do
+          let expected =
+            Foc_eval.Relalg.term_value preds a
+              [ (List.hd vars, v) ]
+              (Ast.Count (counted, body))
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s @ %d" name v)
+            expected got.(v)
+        done
+  in
+  check "degree" [ "x"; "y" ] (parse "E(x,y)");
+  check "non-neighbours" [ "x"; "y" ] (parse "!E(x,y) & B(y)");
+  check "global colour count per x" [ "x"; "y" ] (parse "B(y) & B(x)");
+  check "two scattered" [ "x"; "y"; "z" ] (parse "B(x) & C(y) & C(z)")
+
+(* the headline property: decomposition = relalg on random structures *)
+let prop_decompose_random =
+  QCheck.Test.make ~name:"Lemma 6.4 decomposition agrees with relalg"
+    ~count:60
+    QCheck.(pair (int_range 4 16) (int_range 0 10000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let g = Foc_graph.Gen.random_bounded_degree rng n 3 in
+      let a = structure_of_graph_coloured rng g in
+      let bodies =
+        [
+          ([ "u"; "v" ], "E(u,v) | (B(u) & C(v))");
+          ([ "u"; "v" ], "(B(u) & !E(u,v)) | (C(u) & E(v,u))");
+          ([ "u"; "v"; "w" ], "E(u,v) & B(w)");
+          ([ "u"; "v" ], "(exists s. E(u,s) & E(s,v)) & B(u)");
+        ]
+      in
+      List.for_all
+        (fun (vars, src) ->
+          let body = parse src in
+          let r =
+            match Locality.formula_radius body with
+            | Locality.Local r -> r
+            | Locality.Nonlocal _ -> QCheck.assume_fail ()
+          in
+          match Decompose.ground_count ~r ~vars body with
+          | None -> QCheck.assume_fail ()
+          | Some cl ->
+              let ctx = Pattern_count.make_ctx preds a ~r in
+              Clterm.eval_ground ctx cl
+              = Foc_eval.Relalg.count preds a vars body)
+        bodies)
+
+let () =
+  Alcotest.run "foc_local"
+    [
+      ( "locality",
+        [
+          Alcotest.test_case "atoms" `Quick test_radius_atoms;
+          Alcotest.test_case "quantifiers" `Quick test_radius_quantifiers;
+          Alcotest.test_case "terms" `Quick test_radius_terms;
+          Alcotest.test_case "pred formulas" `Quick test_radius_pred_formula;
+        ] );
+      ( "local_eval",
+        [
+          Alcotest.test_case "agreement" `Quick test_local_eval_agreement;
+          Alcotest.test_case "ball restriction" `Quick test_local_eval_uses_balls;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "product shape" `Quick test_split_product;
+          Alcotest.test_case "semantics on far pairs" `Quick test_split_semantics;
+        ] );
+      ( "pattern_count",
+        [
+          Alcotest.test_case "edges" `Quick test_pattern_count_edges;
+          Alcotest.test_case "sentences" `Quick test_pattern_count_sentence;
+        ] );
+      ( "decompose",
+        [
+          Alcotest.test_case "ground fixed" `Quick test_decompose_ground_fixed;
+          Alcotest.test_case "ground triples" `Quick test_decompose_ground_triples;
+          Alcotest.test_case "unary fixed" `Quick test_decompose_unary_fixed;
+          QCheck_alcotest.to_alcotest prop_decompose_random;
+        ] );
+    ]

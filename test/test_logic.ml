@@ -1,0 +1,212 @@
+(* Tests for foc_logic: AST operations, measures, fragments, queries,
+   distance formulas, predicates. *)
+
+open Foc_logic
+open Ast
+
+let fml = Alcotest.testable (fun ppf f -> Pp.formula ppf f) equal_formula
+
+let test_smart_constructors () =
+  Alcotest.check fml "neg true" False (neg True);
+  Alcotest.check fml "double neg" (Eq ("x", "y")) (neg (neg (Eq ("x", "y"))));
+  Alcotest.check fml "and true" (Eq ("x", "y")) (and_ True (Eq ("x", "y")));
+  Alcotest.check fml "and false" False (and_ (Eq ("x", "y")) False);
+  Alcotest.check fml "or false" (Eq ("x", "y")) (or_ False (Eq ("x", "y")));
+  Alcotest.check fml "big_and []" True (big_and []);
+  Alcotest.check fml "big_or []" False (big_or []);
+  Alcotest.check_raises "count repeated var"
+    (Invalid_argument "Ast.count: repeated bound variable") (fun () ->
+      ignore (count [ "y"; "y" ] True))
+
+let test_free_vars () =
+  let f =
+    Exists ("z", And (Rel ("E", [| "x"; "z" |]), Eq ("z", "y")))
+  in
+  Alcotest.(check (list string)) "free" [ "x"; "y" ]
+    (Var.Set.elements (free_formula f));
+  let t = Count ([ "y" ], Rel ("E", [| "x"; "y" |])) in
+  Alcotest.(check (list string)) "term free" [ "x" ] (Var.Set.elements (free_term t));
+  (* Pred free vars flow through terms *)
+  let p = Pred ("eq", [ t; Int 3 ]) in
+  Alcotest.(check (list string)) "pred free" [ "x" ] (Var.Set.elements (free_formula p))
+
+let test_rename_capture () =
+  (* rename x -> y inside exists y: the binder must be α-renamed *)
+  let f = Exists ("y", Rel ("E", [| "x"; "y" |])) in
+  let g = rename_formula (Var.Map.singleton "x" "y") f in
+  (match g with
+  | Exists (y', Rel ("E", [| "y"; y'' |])) ->
+      Alcotest.(check bool) "fresh binder" true (y' <> "y" && y' = y'')
+  | _ -> Alcotest.fail "unexpected shape");
+  (* no clash: binder kept *)
+  let h = rename_formula (Var.Map.singleton "x" "w") f in
+  Alcotest.check fml "no capture" (Exists ("y", Rel ("E", [| "w"; "y" |]))) h
+
+let test_rename_count () =
+  let t = Count ([ "y" ], Rel ("E", [| "x"; "y" |])) in
+  match rename_term (Var.Map.singleton "x" "y") t with
+  | Count ([ y' ], Rel ("E", [| "y"; y'' |])) ->
+      Alcotest.(check bool) "fresh count binder" true (y' <> "y" && y' = y'')
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_strictify () =
+  let expand x y d = Dist (x, y, d) in
+  (* And/Forall/True disappear *)
+  let f = Forall ("x", And (True, Rel ("P", [| "x" |]))) in
+  let s = Ast.strictify expand f in
+  let uses_sugar =
+    Ast.exists_subformula
+      (function True | False | And _ | Forall _ -> true | _ -> false)
+      s
+  in
+  Alcotest.(check bool) "strict grammar" false uses_sugar
+
+let test_measures () =
+  let t_deg = Count ([ "z" ], Rel ("E", [| "y"; "z" |])) in
+  let f = Pred ("ge1", [ t_deg ]) in
+  Alcotest.(check int) "#-depth 1" 1 (Measure.sharp_depth_formula f);
+  let nested = Pred ("eq", [ Count ([ "y" ], f); Int 2 ]) in
+  Alcotest.(check int) "#-depth 2" 2 (Measure.sharp_depth_formula nested);
+  Alcotest.(check int) "qr counts count-binders" 2 (Measure.quantifier_rank nested);
+  Alcotest.(check int) "plain qr" 1 (Measure.quantifier_rank (Exists ("x", True)));
+  Alcotest.(check bool) "size positive" true (Measure.size_formula nested > 5)
+
+let test_q_rank () =
+  (* f_q saturates instead of overflowing *)
+  Alcotest.(check int) "f_q 1 0 = 4" 4 (Measure.f_q 1 0);
+  Alcotest.(check int) "f_q 2 1 = 8^3" 512 (Measure.f_q 2 1);
+  Alcotest.(check bool) "saturates" true (Measure.f_q 20 40 = max_int);
+  let phi = Exists ("x", Dist ("x", "y", 4)) in
+  (* q=1, l=1: the atom sits under 1 quantifier; bound (4q)^(q+l-1) = 4 *)
+  Alcotest.(check bool) "q-rank ok" true (Measure.has_q_rank ~q:1 ~l:1 phi);
+  let phi_bad = Exists ("x", Dist ("x", "y", 5)) in
+  Alcotest.(check bool) "q-rank violated" false (Measure.has_q_rank ~q:1 ~l:1 phi_bad);
+  Alcotest.(check bool) "qr too high" false
+    (Measure.has_q_rank ~q:2 ~l:0 (Exists ("x", True)))
+
+let test_fragments () =
+  let fo = Exists ("x", Rel ("E", [| "x"; "y" |])) in
+  Alcotest.(check bool) "fo" true (Fragment.is_fo fo);
+  Alcotest.(check bool) "fo_plus" true (Fragment.is_fo_plus (Dist ("x", "y", 2)));
+  Alcotest.(check bool) "dist not fo" false (Fragment.is_fo (Dist ("x", "y", 2)));
+  (* FOC1: Example 3.2's prime-degree formula is in FOC1 *)
+  let deg v = Count ([ "z" ], Rel ("E", [| v; "z" |])) in
+  let f1 = Pred ("prime", [ Add (Count ([ "x" ], Eq ("x", "x")), deg "y") ]) in
+  Alcotest.(check bool) "foc1 yes" true (Fragment.is_foc1 f1);
+  (* ψ_E of Theorem 4.1 uses two free variables in one predicate: not FOC1 *)
+  let psi_e = Pred ("eq", [ deg "x"; deg "x'" ]) in
+  Alcotest.(check bool) "foc1 no" false (Fragment.is_foc1 psi_e);
+  (* nested violation inside a counting term is caught *)
+  let hidden = Pred ("ge1", [ Count ([ "u" ], psi_e) ]) in
+  Alcotest.(check bool) "nested violation" false (Fragment.is_foc1 hidden);
+  Alcotest.(check bool) "existential" true
+    (Fragment.is_existential (Exists ("x", And (Rel ("P", [| "x" |]), Neg (Eq ("x", "x"))))));
+  Alcotest.(check bool) "not existential" false
+    (Fragment.is_existential (Forall ("x", Rel ("P", [| "x" |]))))
+
+let test_well_formed () =
+  let sign = Foc_data.Signature.of_list [ ("E", 2) ] in
+  let ok = Fragment.well_formed sign Pred.standard (Rel ("E", [| "x"; "y" |])) in
+  Alcotest.(check bool) "ok" true (Result.is_ok ok);
+  let bad_arity = Fragment.well_formed sign Pred.standard (Rel ("E", [| "x" |])) in
+  Alcotest.(check bool) "bad arity" true (Result.is_error bad_arity);
+  let bad_pred =
+    Fragment.well_formed sign Pred.standard (Pred ("nope", [ Int 1 ]))
+  in
+  Alcotest.(check bool) "unknown pred" true (Result.is_error bad_pred);
+  let bad_nested =
+    Fragment.well_formed sign Pred.standard
+      (Pred ("ge1", [ Count ([ "x" ], Rel ("Q", [| "x" |])) ]))
+  in
+  Alcotest.(check bool) "nested unknown rel" true (Result.is_error bad_nested)
+
+let test_pred_collection () =
+  Alcotest.(check bool) "ge1" true (Pred.holds Pred.standard "ge1" [| 3 |]);
+  Alcotest.(check bool) "ge1 false" false (Pred.holds Pred.standard "ge1" [| 0 |]);
+  Alcotest.(check bool) "eq" true (Pred.holds Pred.standard "eq" [| -2; -2 |]);
+  Alcotest.(check bool) "prime" true (Pred.holds Pred.standard "prime" [| 13 |]);
+  Alcotest.(check bool) "divides" true (Pred.holds Pred.standard "divides" [| 3; 9 |]);
+  Alcotest.(check bool) "divides 0" false (Pred.holds Pred.standard "divides" [| 0; 9 |]);
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Pred.holds: arity mismatch for eq") (fun () ->
+      ignore (Pred.holds Pred.standard "eq" [| 1 |]));
+  Alcotest.(check bool) "minimal has ge1" true (Pred.mem Pred.minimal "ge1");
+  Alcotest.(check bool) "minimal lacks eq" false (Pred.mem Pred.minimal "eq")
+
+let test_delta () =
+  let p = Foc_graph.Pattern.make 3 [ (0, 1) ] in
+  let f = Dist_formula.delta ~r:5 p [ "a"; "b"; "c" ] in
+  (* one positive atom, two negated *)
+  let rec count_pos = function
+    | Dist (_, _, 5) -> (1, 0)
+    | Neg (Dist (_, _, 5)) -> (0, 1)
+    | And (f, g) ->
+        let p1, n1 = count_pos f and p2, n2 = count_pos g in
+        (p1 + p2, n1 + n2)
+    | _ -> (0, 0)
+  in
+  Alcotest.(check (pair int int)) "atoms" (1, 2) (count_pos f)
+
+let test_query_construction () =
+  let body = Rel ("P", [| "x" |]) in
+  let t = Count ([ "y" ], Rel ("E", [| "x"; "y" |])) in
+  let q = Query.make ~head_vars:[ "x" ] ~head_terms:[ t ] body in
+  Alcotest.(check bool) "foc1 query" true (Query.is_foc1 q);
+  Alcotest.check_raises "repeated head var"
+    (Invalid_argument "Query.make: repeated head variable") (fun () ->
+      ignore (Query.make ~head_vars:[ "x"; "x" ] ~head_terms:[] body));
+  Alcotest.check_raises "stray free var in term"
+    (Invalid_argument "Query.make: head term with non-head free variable")
+    (fun () -> ignore (Query.make ~head_vars:[] ~head_terms:[ t ] True))
+
+let test_query_eliminate () =
+  let t = Count ([ "y" ], Rel ("E", [| "x"; "y" |])) in
+  let q =
+    Query.make ~head_vars:[ "x" ] ~head_terms:[ t ] (Rel ("P", [| "x" |]))
+  in
+  let e = Query.eliminate q in
+  Alcotest.(check (list string)) "markers" [ "$X1" ] e.markers;
+  Alcotest.(check bool) "sentence closed" true
+    (Var.Set.is_empty (free_formula e.sentence));
+  List.iter
+    (fun gt ->
+      Alcotest.(check bool) "terms ground" true (Var.Set.is_empty (free_term gt)))
+    e.ground_terms;
+  (* binder clash: counting over the head variable itself *)
+  let t2 = Count ([ "x" ], Rel ("P", [| "x" |])) in
+  let q2 = Query.make ~head_vars:[ "x" ] ~head_terms:[ t2 ] (Eq ("x", "x")) in
+  let e2 = Query.eliminate q2 in
+  List.iter
+    (fun gt ->
+      Alcotest.(check bool) "clash handled" true (Var.Set.is_empty (free_term gt)))
+    e2.ground_terms
+
+let () =
+  Alcotest.run "foc_logic"
+    [
+      ( "ast",
+        [
+          Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+          Alcotest.test_case "free vars" `Quick test_free_vars;
+          Alcotest.test_case "rename capture" `Quick test_rename_capture;
+          Alcotest.test_case "rename count" `Quick test_rename_count;
+          Alcotest.test_case "strictify" `Quick test_strictify;
+        ] );
+      ( "measure",
+        [
+          Alcotest.test_case "sizes/depths" `Quick test_measures;
+          Alcotest.test_case "q-rank" `Quick test_q_rank;
+        ] );
+      ( "fragment",
+        [
+          Alcotest.test_case "recognizers" `Quick test_fragments;
+          Alcotest.test_case "well-formed" `Quick test_well_formed;
+        ] );
+      ("pred", [ Alcotest.test_case "collection" `Quick test_pred_collection ]);
+      ("dist", [ Alcotest.test_case "delta" `Quick test_delta ]);
+      ( "query",
+        [
+          Alcotest.test_case "construction" `Quick test_query_construction;
+          Alcotest.test_case "eliminate" `Quick test_query_eliminate;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Metamorphic properties tying the whole system together:
+
+   - locality soundness: if the calculus certifies radius r for φ(x̄), then
+     evaluating φ inside the induced r-neighbourhood N_r(ā) agrees with
+     evaluating it in the full structure (the *definition* of r-locality,
+     Section 6.1);
+   - strictification: rewriting into the paper's strict grammar
+     (Definition 3.1 rules (1)–(7)) preserves semantics;
+   - isomorphism invariance of engine answers;
+   - counting over disjoint unions: ground counts of connected-pattern
+     cl-terms add up. *)
+
+open Foc_logic
+open Foc_local
+module Structure = Foc_data.Structure
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+
+let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1); ("C", 1) ]
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  let n = Foc_graph.Graph.order g in
+  let colour p =
+    List.filter_map
+      (fun v -> if Random.State.float rng 1.0 < p then Some [| v |] else None)
+      (List.init n (fun i -> i))
+  in
+  let edges =
+    List.concat_map
+      (fun (u, v) -> [ [| u; v |]; [| v; u |] ])
+      (Foc_graph.Graph.edges g)
+  in
+  Structure.create sign ~order:n
+    [ ("E", edges); ("B", colour 0.4); ("C", colour 0.3) ]
+
+(* ---------------- locality soundness ---------------- *)
+
+let local_formulas =
+  [
+    "E(x,y) | (B(x) & C(y))";
+    "exists z. E(x,z) & E(z,y)";
+    "forall z. dist(x,z) <= 1 -> B(z)";
+    "prime(#(z). (E(x,z) & B(z)))";
+    "dist(x,y) <= 2 & !(exists z. E(x,z) & C(z))";
+  ]
+
+let prop_locality_soundness =
+  QCheck.Test.make ~name:"certified radius really is a locality radius"
+    ~count:40
+    QCheck.(pair (int_range 6 25) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.random_bounded_degree rng n 3) in
+      List.for_all
+        (fun src ->
+          let phi = parse src in
+          match Locality.formula_radius phi with
+          | Locality.Nonlocal _ -> QCheck.assume_fail ()
+          | Locality.Local r ->
+              let ok = ref true in
+              for x = 0 to n - 1 do
+                for y = 0 to n - 1 do
+                  let global =
+                    Foc_eval.Naive.formula preds a
+                      (Foc_eval.Naive.env_of_list [ ("x", x); ("y", y) ])
+                      phi
+                  in
+                  let ball = Structure.ball a ~centres:[ x; y ] ~radius:r in
+                  let sub, old_of_new = Structure.induced a ball in
+                  let new_of_old = Hashtbl.create 16 in
+                  Array.iteri
+                    (fun nw od -> Hashtbl.replace new_of_old od nw)
+                    old_of_new;
+                  let local =
+                    Foc_eval.Naive.formula preds sub
+                      (Foc_eval.Naive.env_of_list
+                         [
+                           ("x", Hashtbl.find new_of_old x);
+                           ("y", Hashtbl.find new_of_old y);
+                         ])
+                      phi
+                  in
+                  if global <> local then ok := false
+                done
+              done;
+              !ok)
+        local_formulas)
+
+(* ---------------- strictification ---------------- *)
+
+let strict_formulas =
+  [
+    "forall x. B(x) -> (exists y. E(x,y))";
+    "true & (false | !(exists x. C(x)))";
+    "exists x. eq(#(y). E(x,y), 2)";
+    "forall x y. E(x,y) <-> E(y,x)";
+  ]
+
+let prop_strictify_preserves =
+  QCheck.Test.make ~name:"strictify preserves semantics" ~count:40
+    QCheck.(pair (int_range 2 8) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.erdos_renyi rng n 0.4) in
+      let expand x y d =
+        Dist_formula.dist_le_fo sign d x y
+      in
+      List.for_all
+        (fun src ->
+          let phi = parse src in
+          let strict = Ast.strictify expand phi in
+          Foc_eval.Naive.sentence preds a phi
+          = Foc_eval.Naive.sentence preds a strict)
+        strict_formulas)
+
+(* ---------------- dist atoms eliminate to pure FO ---------------- *)
+
+let prop_dist_elimination =
+  QCheck.Test.make ~name:"dist(x,y)<=r matches its FO expansion" ~count:30
+    QCheck.(triple (int_range 2 9) (int_range 0 3) (int_range 0 10000))
+    (fun (n, r, seed) ->
+      let rng = Random.State.make [| n; r; seed |] in
+      let a = coloured seed (Foc_graph.Gen.erdos_renyi rng n 0.3) in
+      let fo = Dist_formula.dist_le_fo sign r "x" "y" in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          let env = Foc_eval.Naive.env_of_list [ ("x", x); ("y", y) ] in
+          let direct =
+            Foc_eval.Naive.formula preds a env (Ast.Dist ("x", "y", r))
+          in
+          let expanded = Foc_eval.Naive.formula preds a env fo in
+          if direct <> expanded then ok := false
+        done
+      done;
+      !ok)
+
+(* ---------------- isomorphism invariance ---------------- *)
+
+let prop_iso_invariance =
+  QCheck.Test.make ~name:"engine answers are isomorphism-invariant"
+    ~count:30
+    QCheck.(pair (int_range 3 10) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.erdos_renyi rng n 0.35) in
+      (* apply a random permutation *)
+      let perm = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let permuted =
+        Structure.create sign ~order:n
+          (List.map
+             (fun (name, _) ->
+               ( name,
+                 Foc_data.Tuple.Set.elements (Structure.rel a name)
+                 |> List.map (Array.map (fun v -> perm.(v))) ))
+             (Foc_data.Signature.to_list sign))
+      in
+      let terms =
+        [ "#(x,y). E(x,y)"; "#(x). (B(x) & (exists y. E(x,y) & C(y)))" ]
+      in
+      let eng = Foc_nd.Engine.create () in
+      List.for_all
+        (fun src ->
+          let t = Parser.term preds src in
+          Foc_nd.Engine.eval_ground eng a t
+          = Foc_nd.Engine.eval_ground eng permuted t)
+        terms)
+
+(* ---------------- disjoint unions ---------------- *)
+
+let prop_disjoint_union_counts =
+  QCheck.Test.make ~name:"connected counts add over disjoint unions"
+    ~count:30
+    QCheck.(pair (int_range 3 12) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc_graph.Gen.random_bounded_degree rng n 3) in
+      let b =
+        coloured (seed + 1) (Foc_graph.Gen.random_bounded_degree rng (n + 2) 3)
+      in
+      let u = Structure.disjoint_union a b in
+      let eng () = Foc_nd.Engine.create () in
+      (* a connected kernel: counts must be additive *)
+      let t = Parser.term preds "#(x,y). (E(x,y) & B(y))" in
+      Foc_nd.Engine.eval_ground (eng ()) u t
+      = Foc_nd.Engine.eval_ground (eng ()) a t
+        + Foc_nd.Engine.eval_ground (eng ()) b t)
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_locality_soundness;
+          QCheck_alcotest.to_alcotest prop_strictify_preserves;
+          QCheck_alcotest.to_alcotest prop_dist_elimination;
+          QCheck_alcotest.to_alcotest prop_iso_invariance;
+          QCheck_alcotest.to_alcotest prop_disjoint_union_counts;
+        ] );
+    ]

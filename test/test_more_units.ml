@@ -1,0 +1,237 @@
+(* A batch of targeted unit tests for corners not covered by the larger
+   suites: table algebra edge cases, counts valuations, pattern
+   enumeration invariants, splitter game sequencing, measures, string
+   encodings, variable freshness, and removal-operator naming. *)
+
+open Foc_logic
+module G = Foc_graph
+module D = Foc_data
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+let parse_t s = Parser.term preds s
+
+(* ---------------- tables ---------------- *)
+
+let test_table_corner_cases () =
+  let t = Foc_eval.Table.of_rows [| "x" |] [ [| 0 |]; [| 1 |] ] in
+  (* joining with unit/zero *)
+  Alcotest.(check int) "join unit" 2
+    (Foc_eval.Table.cardinal (Foc_eval.Table.join t Foc_eval.Table.unit));
+  Alcotest.(check int) "join zero" 0
+    (Foc_eval.Table.cardinal (Foc_eval.Table.join t Foc_eval.Table.zero));
+  (* self join is idempotent *)
+  Alcotest.(check bool) "self join" true
+    (Foc_eval.Table.equal t (Foc_eval.Table.join t t));
+  (* projection to the empty column list: nonempty table -> unit *)
+  let p = Foc_eval.Table.project t [||] in
+  Alcotest.(check bool) "project to unit" false (Foc_eval.Table.is_empty p);
+  (* align rejects non-permutations *)
+  Alcotest.check_raises "align arity"
+    (Invalid_argument "Table.align: not a permutation") (fun () ->
+      ignore (Foc_eval.Table.align t [| "x"; "y" |]));
+  (* create rejects duplicate columns and ragged rows *)
+  Alcotest.check_raises "dup columns"
+    (Invalid_argument "Table.create: repeated column") (fun () ->
+      ignore (Foc_eval.Table.of_rows [| "x"; "x" |] []));
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Table.create: row arity") (fun () ->
+      ignore (Foc_eval.Table.of_rows [| "x" |] [ [| 1; 2 |] ]))
+
+let test_table_bind_semantics () =
+  let t =
+    Foc_eval.Table.of_rows [| "x"; "y" |]
+      [ [| 0; 1 |]; [| 0; 2 |]; [| 1; 2 |] ]
+  in
+  let b = Foc_eval.Table.bind t [ ("x", 0) ] in
+  Alcotest.(check int) "two matches" 2 (Foc_eval.Table.cardinal b);
+  Alcotest.(check (list string)) "remaining column" [ "y" ]
+    (Array.to_list (Foc_eval.Table.vars b));
+  (* binding an absent variable is a no-op filter *)
+  let b2 = Foc_eval.Table.bind t [ ("z", 5) ] in
+  Alcotest.(check int) "absent var ignored" 3 (Foc_eval.Table.cardinal b2)
+
+(* ---------------- counts valuations ---------------- *)
+
+let test_counts () =
+  let open Foc_eval.Counts in
+  let tbl = Hashtbl.create 4 in
+  Hashtbl.replace tbl [| 3 |] 7;
+  let v = of_groups ~vars:[| "x" |] ~multiplier:2 tbl in
+  Alcotest.(check int) "hit" 14 (get v (Var.Map.singleton "x" 3));
+  Alcotest.(check int) "miss -> 0" 0 (get v (Var.Map.singleton "x" 9));
+  let w = add (const 5) v in
+  Alcotest.(check int) "add" 19 (get w (Var.Map.singleton "x" 3));
+  let m = mul v v in
+  Alcotest.(check int) "mul" 196 (get m (Var.Map.singleton "x" 3));
+  Alcotest.check_raises "unbound" (Foc_eval.Naive.Unbound "x") (fun () ->
+      ignore (get v Var.Map.empty))
+
+(* ---------------- patterns ---------------- *)
+
+let test_pattern_invariants () =
+  (* every pattern equals make of its own edges *)
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "edges roundtrip" true
+        (G.Pattern.equal p (G.Pattern.make 4 (G.Pattern.edges p))))
+    (G.Pattern.enumerate 4);
+  (* merges produce patterns strictly above G with same induced halves *)
+  let g = G.Pattern.make 4 [ (0, 1); (2, 3) ] in
+  let hs = G.Pattern.merges g ([ 0; 1 ], [ 2; 3 ]) in
+  Alcotest.(check int) "2^4 - 1 merges" 15 (List.length hs);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "left half kept" true
+        (G.Pattern.equal (G.Pattern.induced h [ 0; 1 ]) (G.Pattern.induced g [ 0; 1 ]));
+      Alcotest.(check bool) "right half kept" true
+        (G.Pattern.equal (G.Pattern.induced h [ 2; 3 ]) (G.Pattern.induced g [ 2; 3 ])))
+    hs
+
+(* ---------------- splitter game sequencing ---------------- *)
+
+let test_splitter_step_sequence () =
+  let g = G.Gen.path 9 in
+  let st = G.Splitter.start g in
+  (* connector plays the middle; splitter removes it *)
+  match G.Splitter.step st ~r:1 ~connector_move:4 ~splitter_move:4 with
+  | None -> Alcotest.fail "arena should not be empty yet"
+  | Some st2 ->
+      (* remaining arena: {3, 5} (the ball minus centre) *)
+      Alcotest.(check int) "two vertices left" 2 (G.Graph.order st2.graph);
+      let origs = List.sort compare (Array.to_list st2.orig) in
+      Alcotest.(check (list int)) "original ids" [ 3; 5 ] origs;
+      (* next round ends the game *)
+      (match G.Splitter.step st2 ~r:1 ~connector_move:0 ~splitter_move:0 with
+      | None -> ()
+      | Some st3 ->
+          Alcotest.(check int) "at most one vertex" 1 (G.Graph.order st3.graph))
+
+(* ---------------- measures ---------------- *)
+
+let test_measures_more () =
+  let f = parse "exists x. E(x,x) & prime(#(y,z). (E(y,z) & E(z,y)))" in
+  Alcotest.(check int) "quantifier rank counts # binders" 3
+    (Measure.quantifier_rank f);
+  Alcotest.(check int) "sharp depth" 1 (Measure.sharp_depth_formula f);
+  Alcotest.(check bool) "size grows with subterms" true
+    (Measure.size_formula f > Measure.size_formula (parse "exists x. E(x,x)"));
+  Alcotest.(check int) "max dist atom" 7
+    (Measure.max_dist_atom (parse "dist(x,y) <= 7 | dist(x,y) <= 3"))
+
+(* ---------------- strings ---------------- *)
+
+let test_strings_more () =
+  let alphabet = [ 'a'; 'b' ] in
+  let s = D.Strings.of_string ~alphabet "ab" in
+  Alcotest.(check int) "order 2" 2 (D.Structure.order s);
+  (* the order relation is total: a sentence check *)
+  Alcotest.(check bool) "totality" true
+    (Foc_eval.Naive.sentence preds s
+       (Parser.formula preds "forall x y. P_a(x) & P_b(y) -> !(x = y)"));
+  (* single letter string *)
+  let one = D.Strings.of_string ~alphabet "a" in
+  Alcotest.(check string) "roundtrip single" "a"
+    (D.Strings.to_string ~alphabet one);
+  Alcotest.check_raises "letter outside alphabet"
+    (Invalid_argument "Strings.of_string: letter outside alphabet") (fun () ->
+      ignore (D.Strings.of_string ~alphabet "abc"))
+
+(* ---------------- variables & parser odds ---------------- *)
+
+let test_fresh_vars () =
+  let a = Var.fresh () and b = Var.fresh () in
+  Alcotest.(check bool) "distinct" true (not (Var.equal a b));
+  Alcotest.(check bool) "reserved prefix" true (a.[0] = '_');
+  let c = Var.fresh_like "x" in
+  Alcotest.(check bool) "like-named starts with _x" true
+    (String.length c > 2 && String.sub c 0 2 = "_x");
+  (* generated names are unparseable as user variables *)
+  match Parser.formula_result preds (Printf.sprintf "B(%s)" a) with
+  | Ok _ -> Alcotest.fail "generated variable should not parse"
+  | Error _ -> ()
+
+let test_parser_whitespace_and_keywords () =
+  let f1 = parse "exists   x\t.\n  E(x,x)" in
+  Alcotest.(check bool) "whitespace tolerated" true
+    (Ast.equal_formula f1 (Ast.Exists ("x", Ast.Rel ("E", [| "x"; "x" |]))));
+  (* keywords cannot be variables *)
+  match Parser.formula_result preds "exists exists. B(exists)" with
+  | Ok _ -> Alcotest.fail "keyword as variable should fail"
+  | Error _ -> ()
+
+(* ---------------- removal-operator naming ---------------- *)
+
+let test_removal_names () =
+  Alcotest.(check string) "tilde empty" "R~" (D.Removal_op.tilde_name "R" []);
+  Alcotest.(check string) "tilde positions" "R~1,3"
+    (D.Removal_op.tilde_name "R" [ 1; 3 ]);
+  Alcotest.(check string) "sphere" "$S4" (D.Removal_op.sphere_name 4);
+  (* subsets of positions for arity 2: 4 of them, sorted *)
+  Alcotest.(check (list (list int))) "subsets"
+    [ []; [ 1 ]; [ 1; 2 ]; [ 2 ] ]
+    (D.Removal_op.subsets_of_positions 2);
+  (* σ̃_r has the right symbol count: Σ_R 2^ar(R) plus r spheres *)
+  let sign = D.Signature.of_list [ ("E", 2); ("P", 1) ] in
+  Alcotest.(check int) "tilde signature size" (4 + 2)
+    (D.Signature.cardinal (D.Removal_op.tilde_signature sign));
+  Alcotest.(check int) "sigma_r adds spheres" (4 + 2 + 3)
+    (D.Signature.cardinal (D.Removal_op.signature_r sign 3))
+
+(* ---------------- engine configuration corners ---------------- *)
+
+let test_engine_corners () =
+  let rng = Random.State.make [| 91 |] in
+  let a =
+    D.Db_gen.colored_digraph rng
+      ~graph:(G.Gen.random_tree rng 20)
+      ~orient:`Both ~p_red:0.3 ~p_blue:0.4 ~p_green:0.3
+  in
+  let eng = Foc_nd.Engine.create () in
+  (* check rejects open formulas *)
+  Alcotest.check_raises "open formula"
+    (Invalid_argument "Engine.check: not a sentence") (fun () ->
+      ignore (Foc_nd.Engine.check eng a (parse "B(x)")));
+  Alcotest.check_raises "non-ground term"
+    (Invalid_argument "Engine.eval_ground: not a ground term") (fun () ->
+      ignore (Foc_nd.Engine.eval_ground eng a (parse_t "#(y). E(x,y)")));
+  Alcotest.check_raises "stray variable"
+    (Invalid_argument "Engine.eval_unary: stray free variable") (fun () ->
+      ignore (Foc_nd.Engine.eval_unary eng a "z" (parse_t "#(y). E(x,y)")));
+  (* check_tuple arity mismatch -> None *)
+  let q =
+    Query.make ~head_vars:[ "x" ] ~head_terms:[] (parse "R(x)")
+  in
+  Alcotest.(check bool) "tuple arity mismatch" true
+    (Foc_nd.Engine.check_tuple eng a q [| 1; 2 |] = None)
+
+let () =
+  Alcotest.run "more units"
+    [
+      ( "tables & counts",
+        [
+          Alcotest.test_case "table corners" `Quick test_table_corner_cases;
+          Alcotest.test_case "bind" `Quick test_table_bind_semantics;
+          Alcotest.test_case "counts" `Quick test_counts;
+        ] );
+      ( "patterns & splitter",
+        [
+          Alcotest.test_case "pattern invariants" `Quick test_pattern_invariants;
+          Alcotest.test_case "splitter sequencing" `Quick test_splitter_step_sequence;
+        ] );
+      ( "measures & strings",
+        [
+          Alcotest.test_case "measures" `Quick test_measures_more;
+          Alcotest.test_case "strings" `Quick test_strings_more;
+        ] );
+      ( "vars & parser",
+        [
+          Alcotest.test_case "fresh vars" `Quick test_fresh_vars;
+          Alcotest.test_case "whitespace/keywords" `Quick test_parser_whitespace_and_keywords;
+        ] );
+      ( "removal & engine",
+        [
+          Alcotest.test_case "removal names" `Quick test_removal_names;
+          Alcotest.test_case "engine corners" `Quick test_engine_corners;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Dedicated suite for the Removal Lemmas (7.8 and 7.9): formula rewriting
+   φ → φ̃_V, ground- and unary-term decompositions, over random structures
+   and the gamut of pinning patterns. *)
+
+open Foc_logic
+open Foc_local
+module Structure = Foc_data.Structure
+module Rop = Foc_data.Removal_op
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+
+let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1); ("C", 1); ("T", 3) ]
+
+let random_structure seed n =
+  let rng = Random.State.make [| seed |] in
+  let pairs k =
+    List.init k (fun _ ->
+        [| Random.State.int rng n; Random.State.int rng n |])
+  in
+  let triples k =
+    List.init k (fun _ ->
+        [|
+          Random.State.int rng n; Random.State.int rng n; Random.State.int rng n;
+        |])
+  in
+  let unary p =
+    List.filter_map
+      (fun v -> if Random.State.float rng 1.0 < p then Some [| v |] else None)
+      (List.init n (fun i -> i))
+  in
+  Structure.create sign ~order:n
+    [ ("E", pairs (2 * n)); ("B", unary 0.4); ("C", unary 0.3); ("T", triples n) ]
+
+let formulas =
+  [
+    "E(x,y)";
+    "B(x) & C(y)";
+    "E(x,y) | E(y,x)";
+    "!E(x,x)";
+    "dist(x,y) <= 1";
+    "dist(x,y) <= 3";
+    "exists z. E(x,z) & E(z,y)";
+    "forall z. dist(x,z) <= 1 -> (B(z) | C(y))";
+    "exists z. T(x,z,y)";
+  ]
+
+(* exhaustive Lemma 7.8 check over one structure *)
+let check_formula_equivalence a r d =
+  let b = Rop.apply a ~r ~d in
+  List.iter
+    (fun src ->
+      let phi = parse src in
+      for x = 0 to Structure.order a - 1 do
+        for y = 0 to Structure.order a - 1 do
+          let pinned =
+            Var.Set.of_list
+              (List.filter_map
+                 (fun (v, e) -> if e = d then Some v else None)
+                 [ ("x", x); ("y", y) ])
+          in
+          let phi' = Removal.formula ~r ~pinned phi in
+          let env' =
+            Foc_eval.Naive.env_of_list
+              (List.filter_map
+                 (fun (v, e) ->
+                   if e = d then None else Some (v, Rop.rename ~d e))
+                 [ ("x", x); ("y", y) ])
+          in
+          let lhs =
+            Foc_eval.Naive.formula preds a (Foc_eval.Naive.env_of_list [ ("x", x); ("y", y) ]) phi
+          in
+          let rhs = Foc_eval.Naive.formula preds b env' phi' in
+          if lhs <> rhs then
+            Alcotest.failf "%s at (x=%d, y=%d), d=%d: %b vs %b" src x y d lhs
+              rhs
+        done
+      done)
+    formulas
+
+let test_lemma_7_8 () =
+  let a = random_structure 1 9 in
+  check_formula_equivalence a 3 0;
+  check_formula_equivalence a 3 4;
+  check_formula_equivalence a 3 8
+
+let test_pinned_shapes () =
+  (* static resolution of equalities and relation atoms *)
+  let pinned = Var.Set.singleton "x" in
+  Alcotest.(check bool) "Eq both pinned" true
+    (Removal.formula ~r:1 ~pinned:(Var.Set.of_list [ "x"; "y" ])
+       (Ast.Eq ("x", "y"))
+    = Ast.True);
+  Alcotest.(check bool) "Eq one pinned" true
+    (Removal.formula ~r:1 ~pinned (Ast.Eq ("x", "y")) = Ast.False);
+  (match Removal.formula ~r:1 ~pinned (parse "E(x,y)") with
+  | Ast.Rel (name, [| "y" |]) ->
+      Alcotest.(check string) "tilde symbol" (Rop.tilde_name "E" [ 1 ]) name
+  | f -> Alcotest.failf "unexpected shape %s" (Pp.formula_to_string f));
+  (* dist with one side pinned becomes a sphere atom *)
+  match Removal.formula ~r:2 ~pinned (Ast.Dist ("x", "y", 2)) with
+  | Ast.Rel (name, [| "y" |]) ->
+      Alcotest.(check string) "sphere symbol" (Rop.sphere_name 2) name
+  | f -> Alcotest.failf "unexpected dist shape %s" (Pp.formula_to_string f)
+
+let test_unsupported () =
+  Alcotest.check_raises "dist beyond radius"
+    (Removal.Unsupported "distance atom with bound 5 > removal radius 2")
+    (fun () ->
+      ignore (Removal.formula ~r:2 ~pinned:Var.Set.empty (Ast.Dist ("x", "y", 5))));
+  match
+    Removal.formula ~r:2 ~pinned:Var.Set.empty (parse "prime(#(y). E(x,y))")
+  with
+  | exception Removal.Unsupported _ -> ()
+  | _ -> Alcotest.fail "numerical predicate should be unsupported"
+
+let test_lemma_7_9_ground () =
+  let rng = Random.State.make [| 5 |] in
+  for _ = 1 to 15 do
+    let n = 5 + Random.State.int rng 8 in
+    let a = random_structure (Random.State.int rng 10000) n in
+    let d = Random.State.int rng n in
+    let b = Rop.apply a ~r:2 ~d in
+    List.iter
+      (fun (vars, src) ->
+        let body = parse src in
+        let parts = Removal.ground_parts ~r:2 ~vars body in
+        Alcotest.(check int)
+          "2^k parts"
+          (1 lsl List.length vars)
+          (List.length parts);
+        let lhs = Foc_eval.Relalg.count preds a vars body in
+        let rhs =
+          List.fold_left
+            (fun acc (vs, phi) -> acc + Foc_eval.Relalg.count preds b vs phi)
+            0 parts
+        in
+        Alcotest.(check int) (src ^ " ground total") lhs rhs)
+      [
+        ([ "x"; "y" ], "E(x,y)");
+        ([ "x"; "y" ], "B(x) & C(y)");
+        ([ "x" ], "exists z. E(x,z) & B(z)");
+        ([ "x"; "y" ], "dist(x,y) <= 2");
+      ]
+  done
+
+let test_lemma_7_9_unary () =
+  let rng = Random.State.make [| 6 |] in
+  for _ = 1 to 10 do
+    let n = 5 + Random.State.int rng 6 in
+    let a = random_structure (Random.State.int rng 10000) n in
+    let d = Random.State.int rng n in
+    let b = Rop.apply a ~r:2 ~d in
+    let vars = [ "x"; "y" ] in
+    let body = parse "E(x,y) | (B(x) & C(y))" in
+    let `At_removed gparts, `Elsewhere uparts =
+      Removal.unary_parts ~r:2 ~vars body
+    in
+    (* value at the removed element *)
+    let expected_at_d =
+      Foc_eval.Relalg.term_value preds a
+        [ ("x", d) ]
+        (Ast.Count ([ "y" ], body))
+    in
+    let got_at_d =
+      List.fold_left
+        (fun acc (vs, phi) -> acc + Foc_eval.Relalg.count preds b vs phi)
+        0 gparts
+    in
+    Alcotest.(check int) "u(d)" expected_at_d got_at_d;
+    (* values at survivors *)
+    for e = 0 to n - 1 do
+      if e <> d then begin
+        let e' = Rop.rename ~d e in
+        let expected =
+          Foc_eval.Relalg.term_value preds a
+            [ ("x", e) ]
+            (Ast.Count ([ "y" ], body))
+        in
+        let got =
+          List.fold_left
+            (fun acc (vs, phi) ->
+              match vs with
+              | x1 :: counted ->
+                  Foc_eval.Relalg.term_value preds b
+                    [ (x1, e') ]
+                    (Ast.Count (counted, phi))
+                  + acc
+              | [] -> acc)
+            0 uparts
+        in
+        Alcotest.(check int) (Printf.sprintf "u(%d)" e) expected got
+      end
+    done
+  done
+
+let prop_removal_formula_random =
+  QCheck.Test.make ~name:"Lemma 7.8 on random structures" ~count:25
+    QCheck.(pair (int_range 4 10) (int_range 0 100000))
+    (fun (n, seed) ->
+      let a = random_structure seed n in
+      let rng = Random.State.make [| seed; 1 |] in
+      let d = Random.State.int rng n in
+      let b = Rop.apply a ~r:2 ~d in
+      let phi = parse "exists z. (E(x,z) & dist(z,y) <= 1) | B(x)" in
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          let pinned =
+            Var.Set.of_list
+              (List.filter_map
+                 (fun (v, e) -> if e = d then Some v else None)
+                 [ ("x", x); ("y", y) ])
+          in
+          let phi' = Removal.formula ~r:2 ~pinned phi in
+          let env' =
+            Foc_eval.Naive.env_of_list
+              (List.filter_map
+                 (fun (v, e) ->
+                   if e = d then None else Some (v, Rop.rename ~d e))
+                 [ ("x", x); ("y", y) ])
+          in
+          let lhs =
+            Foc_eval.Naive.formula preds a
+              (Foc_eval.Naive.env_of_list [ ("x", x); ("y", y) ])
+              phi
+          in
+          if lhs <> Foc_eval.Naive.formula preds b env' phi' then ok := false
+        done
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "foc_local removal"
+    [
+      ( "lemma 7.8",
+        [
+          Alcotest.test_case "exhaustive small" `Quick test_lemma_7_8;
+          Alcotest.test_case "pinned shapes" `Quick test_pinned_shapes;
+          Alcotest.test_case "unsupported inputs" `Quick test_unsupported;
+          QCheck_alcotest.to_alcotest prop_removal_formula_random;
+        ] );
+      ( "lemma 7.9",
+        [
+          Alcotest.test_case "ground decomposition" `Quick test_lemma_7_9_ground;
+          Alcotest.test_case "unary decomposition" `Quick test_lemma_7_9_unary;
+        ] );
+    ]

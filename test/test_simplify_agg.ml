@@ -1,0 +1,150 @@
+(* Tests for the formula simplifier (semantics preservation) and the
+   SUM/AVG aggregate extension (Section 9 question (1) prototype). *)
+
+open Foc_logic
+open Ast
+
+let preds = Pred.standard
+let parse s = Parser.formula preds s
+let parse_t s = Parser.term preds s
+let fml = Alcotest.testable (fun ppf f -> Pp.formula ppf f) equal_formula
+let trm = Alcotest.testable (fun ppf t -> Pp.term ppf t) equal_term
+
+let test_simplify_shapes () =
+  Alcotest.check fml "double negation" (parse "E(x,y)") (Simplify.formula (parse "!!E(x,y)"));
+  Alcotest.check fml "x=x" True (Simplify.formula (Eq ("x", "x")));
+  Alcotest.check fml "idempotent or" (parse "B(x)")
+    (Simplify.formula (parse "B(x) | B(x)"));
+  Alcotest.check fml "excluded middle" True
+    (Simplify.formula (parse "B(x) | !B(x)"));
+  Alcotest.check fml "contradiction" False
+    (Simplify.formula (parse "B(x) & !B(x)"));
+  Alcotest.check fml "unused exists" (parse "B(x)")
+    (Simplify.formula (Exists ("z", parse "B(x)")));
+  Alcotest.check fml "exists true" True (Simplify.formula (Exists ("z", True)));
+  Alcotest.check fml "forall false" False (Simplify.formula (Forall ("z", False)));
+  Alcotest.check fml "dist self" True (Simplify.formula (Dist ("x", "x", 0)));
+  Alcotest.check trm "count false" (Int 0)
+    (Simplify.term (Count ([ "y" ], False)));
+  Alcotest.check trm "arith folding" (Int 7)
+    (Simplify.term (parse_t "1 + 2 * 3"));
+  Alcotest.check trm "mul zero" (Int 0)
+    (Simplify.term (Mul (Int 0, parse_t "#(y). E(x,y)")))
+
+let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1) ]
+
+let gen_structure seed n =
+  let rng = Random.State.make [| seed |] in
+  Foc_data.Db_gen.random_structure rng sign ~order:n ~tuples:(2 * n)
+
+let gen_var = QCheck.Gen.oneofl [ "x"; "y"; "z" ]
+
+let gen_formula =
+  QCheck.Gen.(
+    sized (fun size ->
+        fix
+          (fun self size ->
+            let atom =
+              oneof
+                [
+                  map2 (fun a b -> Eq (a, b)) gen_var gen_var;
+                  map2 (fun a b -> Rel ("E", [| a; b |])) gen_var gen_var;
+                  map (fun a -> Rel ("B", [| a |])) gen_var;
+                  return True;
+                  return False;
+                ]
+            in
+            if size <= 1 then atom
+            else
+              oneof
+                [
+                  atom;
+                  map (fun f -> Neg f) (self (size - 1));
+                  map2 (fun f g -> Or (f, g)) (self (size / 2)) (self (size / 2));
+                  map2 (fun f g -> And (f, g)) (self (size / 2)) (self (size / 2));
+                  map2 (fun v f -> Exists (v, f)) gen_var (self (size - 1));
+                  map2 (fun v f -> Forall (v, f)) gen_var (self (size - 1));
+                ])
+          size))
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~name:"simplify preserves semantics" ~count:300
+    (QCheck.make ~print:Pp.formula_to_string gen_formula)
+    (fun f ->
+      let closed = Ast.forall (Var.Set.elements (free_formula f)) f in
+      let simplified = Simplify.formula closed in
+      let a = gen_structure 3 4 in
+      Foc_eval.Naive.sentence preds a closed
+      = Foc_eval.Naive.sentence preds a simplified)
+
+(* ---------------- aggregates ---------------- *)
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc_data.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+let test_sum_matches_reference () =
+  let rng = Random.State.make [| 12 |] in
+  let a = coloured 12 (Foc_graph.Gen.random_tree rng 50) in
+  let n = Foc_data.Structure.order a in
+  let w = Array.init n (fun i -> (i mod 5) - 1) in
+  let body = parse "E(x,y) & B(y)" in
+  let eng = Foc_nd.Engine.create () in
+  let sums = Foc_sql.Aggregates.sum eng a w ~x:"x" ~counted:[ "y" ] ~body in
+  (* reference: direct summation over the naive satisfying set *)
+  for x = 0 to n - 1 do
+    let expected = ref 0 in
+    for y = 0 to n - 1 do
+      if
+        Foc_eval.Naive.formula preds a
+          (Foc_eval.Naive.env_of_list [ ("x", x); ("y", y) ])
+          body
+      then expected := !expected + w.(y)
+    done;
+    Alcotest.(check int) (Printf.sprintf "sum @%d" x) !expected sums.(x)
+  done
+
+let test_avg () =
+  let a = coloured 13 (Foc_graph.Gen.cycle 12) in
+  let n = Foc_data.Structure.order a in
+  let w = Array.init n (fun i -> i) in
+  let body = parse "E(x,y)" in
+  let eng = Foc_nd.Engine.create () in
+  let avgs = Foc_sql.Aggregates.avg eng a w ~x:"x" ~counted:[ "y" ] ~body in
+  Array.iteri
+    (fun x (s, c) ->
+      Alcotest.(check int) (Printf.sprintf "count @%d" x) 2 c;
+      (* neighbours of x on the cycle are x±1 mod 12; their weights sum *)
+      let expected = ((x + 1) mod n) + ((x + n - 1) mod n) in
+      Alcotest.(check int) (Printf.sprintf "sum @%d" x) expected s)
+    avgs
+
+let test_bucketize () =
+  let a = coloured 14 (Foc_graph.Gen.path 6) in
+  let w = [| 5; 5; 0; 7; 5; 0 |] in
+  let expanded, buckets = Foc_sql.Aggregates.bucketize a w in
+  Alcotest.(check int) "three buckets" 3 (List.length buckets);
+  List.iter
+    (fun (c, name) ->
+      let members = Foc_data.Structure.rel expanded name in
+      Foc_data.Tuple.Set.iter
+        (fun t -> Alcotest.(check int) "bucket weight" c w.(t.(0)))
+        members)
+    buckets
+
+let () =
+  Alcotest.run "simplify & aggregates"
+    [
+      ( "simplify",
+        [
+          Alcotest.test_case "shapes" `Quick test_simplify_shapes;
+          QCheck_alcotest.to_alcotest prop_simplify_preserves;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "bucketize" `Quick test_bucketize;
+          Alcotest.test_case "SUM vs reference" `Quick test_sum_matches_reference;
+          Alcotest.test_case "AVG on a cycle" `Quick test_avg;
+        ] );
+    ]
