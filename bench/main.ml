@@ -7,18 +7,68 @@
      dune exec bench/main.exe                 -- all experiments, default sizes
      dune exec bench/main.exe -- --quick      -- smaller sweeps
      dune exec bench/main.exe -- --only E3    -- a single experiment
-     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- --json BENCH.json
+                                              -- also write per-experiment
+                                                 timings as JSON *)
 
 let quick = ref false
 let only : string option ref = ref None
 let micro = ref false
+let json_file : string option ref = ref None
 
+(* Wall-clock, not [Sys.time]: CPU time sums over domains, which would make
+   a perfect jobs=4 speedup look like no speedup at all. *)
 let time f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Unix.gettimeofday () -. t0)
 
 let time_only f = snd (time f)
+
+(* ---- machine-readable timings (--json FILE) ---- *)
+
+type jfield = S of string | I of int | F of float | B of bool
+
+let records : (string * jfield) list list ref = ref []
+
+let record experiment fields =
+  if !json_file <> None then
+    records := (("experiment", S experiment) :: fields) :: !records
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let field (k, v) =
+    Printf.sprintf "\"%s\": %s" (escape k)
+      (match v with
+      | S s -> Printf.sprintf "\"%s\"" (escape s)
+      | I i -> string_of_int i
+      | F f -> Printf.sprintf "%.6f" f
+      | B b -> string_of_bool b)
+  in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i fields ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "  { ";
+      Buffer.add_string buf (String.concat ", " (List.map field fields));
+      Buffer.add_string buf " }")
+    (List.rev !records);
+  Buffer.add_string buf "\n]\n";
+  match open_out path with
+  | oc ->
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %d timing records to %s\n" (List.length !records)
+        path
+  | exception Sys_error msg -> Printf.eprintf "error: --json: %s\n" msg
 let preds = Foc.predicates
 let parse = Foc.parse_formula
 let parse_t = Foc.parse_term
@@ -55,6 +105,16 @@ let hanf_engine () =
   Foc.Engine.create
     ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Hanf }
     ()
+
+let jobs_engine backend jobs =
+  Foc.Engine.create
+    ~config:{ Foc.Engine.default_config with backend; jobs }
+    ()
+
+(* jobs values for the parallel sweeps: 1 (the exact sequential path), the
+   machine's recommendation, and 4 (the acceptance point) — deduplicated. *)
+let jobs_sweep () =
+  List.sort_uniq compare [ 1; Foc.Par.recommended_jobs (); 4 ]
 
 (* ================= E1: Theorem 4.1 — tree reduction ================= *)
 
@@ -203,12 +263,52 @@ let e3 () =
                   ignore (Foc.Counts.get c (Foc.Var.Map.singleton "x" v))
                 done)
           in
+          record "E3"
+            [ ("class", S cls.name); ("n", I n); ("engine", S "direct");
+              ("query", S "QA"); ("seconds", F t_local) ];
+          record "E3"
+            [ ("class", S cls.name); ("n", I n); ("engine", S "direct");
+              ("query", S "QB"); ("seconds", F tb_local) ];
+          record "E3"
+            [ ("class", S cls.name); ("n", I n); ("engine", S "relalg");
+              ("query", S "QB"); ("seconds", F tb_relalg) ];
           Printf.printf "%-16s %8d | %9.3fs %10s %10s | %9.3fs %9.3fs\n"
             cls.name n t_local t_relalg t_naive tb_local tb_relalg)
         sizes)
     classes;
   Printf.printf
-    "(QA-local should grow ~linearly with n; QA-relalg ~quadratically)\n"
+    "(QA-local should grow ~linearly with n; QA-relalg ~quadratically)\n";
+  (* -- jobs sweep: the same counts from every jobs setting, wall-clock -- *)
+  let n = if !quick then 2000 else 32000 in
+  let cls = Foc.Classes.bounded_degree 3 in
+  let a = coloured_structure 11 (cls.generate ~seed:11 ~n) in
+  let ta = parse_t q_a in
+  let tb = parse_t q_b in
+  Printf.printf
+    "\n-- jobs sweep (direct back-end, %s, n=%d; counts must be identical)\n"
+    cls.name n;
+  Printf.printf "%6s | %10s %10s %8s\n" "jobs" "QA-ground" "QB-unary" "agree";
+  let base_a = ref 0 and base_b = ref [||] in
+  List.iter
+    (fun jobs ->
+      let eng = jobs_engine Foc.Engine.Direct jobs in
+      let va, t_a = time (fun () -> Foc.Engine.eval_ground eng a ta) in
+      let vb, t_b = time (fun () -> Foc.Engine.eval_unary eng a "x" tb) in
+      if jobs = 1 then begin
+        base_a := va;
+        base_b := vb
+      end;
+      let agree = va = !base_a && vb = !base_b in
+      record "E3"
+        [ ("class", S cls.name); ("n", I n); ("engine", S "direct");
+          ("query", S "QA"); ("jobs", I jobs); ("seconds", F t_a);
+          ("agree", B agree) ];
+      record "E3"
+        [ ("class", S cls.name); ("n", I n); ("engine", S "direct");
+          ("query", S "QB"); ("jobs", I jobs); ("seconds", F t_b);
+          ("agree", B agree) ];
+      Printf.printf "%6d | %9.3fs %9.3fs %8b\n" jobs t_a t_b agree)
+    (jobs_sweep ())
 
 (* ================= E4: Lemma 6.4 — decomposition ================= *)
 
@@ -270,6 +370,10 @@ let e5 () =
       List.iter
         (fun r ->
           let cover, seconds = time (fun () -> Foc.Cover.make g ~r) in
+          record "E5"
+            [ ("class", S cls.name); ("n", I (Foc.Graph.order g)); ("r", I r);
+              ("clusters", I (Foc.Cover.cluster_count cover));
+              ("seconds", F seconds) ];
           Printf.printf "%-18s %8d %4d %9d %8d %8d %8.3fs\n" cls.name
             (Foc.Graph.order g) r
             (Foc.Cover.cluster_count cover)
@@ -364,12 +468,47 @@ let e8 () =
           let v3, t3 = time (fun () -> run (splitter_engine ())) in
           let v4, t4 = time (fun () -> run (hanf_engine ())) in
           let types = Foc.Hanf.type_count a ~r:2 in
+          List.iter
+            (fun (engine, t) ->
+              record "E8"
+                [ ("class", S cls.name); ("n", I n); ("engine", S engine);
+                  ("seconds", F t) ])
+            [ ("direct", t1); ("cover", t2); ("splitter", t3); ("hanf", t4) ];
           Printf.printf
             "%-16s %8d | %9.3fs %9.3fs %9.3fs %9.3fs %8d %8b\n" cls.name n
             t1 t2 t3 t4 types
             (v1 = v2 && v2 = v3 && v3 = v4))
         sizes)
-    [ Foc.Classes.random_trees; Foc.Classes.grids ]
+    [ Foc.Classes.random_trees; Foc.Classes.grids ];
+  (* -- jobs sweep over the three parallel back-ends -- *)
+  let n = if !quick then 2000 else 16000 in
+  let cls = Foc.Classes.bounded_degree 3 in
+  let a = coloured_structure 51 (cls.generate ~seed:51 ~n) in
+  Printf.printf
+    "\n-- jobs sweep (%s, n=%d; values must be identical per back-end)\n"
+    cls.name n;
+  Printf.printf "%6s | %10s %10s %10s %8s\n" "jobs" "direct" "cover" "hanf"
+    "agree";
+  let baseline = ref [||] in
+  List.iter
+    (fun jobs ->
+      let run backend =
+        time (fun () ->
+            Foc.Engine.eval_unary (jobs_engine backend jobs) a "x" term)
+      in
+      let v1, t1 = run Foc.Engine.Direct in
+      let v2, t2 = run Foc.Engine.Cover in
+      let v4, t4 = run Foc.Engine.Hanf in
+      if jobs = 1 then baseline := v1;
+      let agree = v1 = !baseline && v2 = !baseline && v4 = !baseline in
+      List.iter
+        (fun (engine, t) ->
+          record "E8"
+            [ ("class", S cls.name); ("n", I n); ("engine", S engine);
+              ("jobs", I jobs); ("seconds", F t); ("agree", B agree) ])
+        [ ("direct", t1); ("cover", t2); ("hanf", t4) ];
+      Printf.printf "%6d | %9.3fs %9.3fs %9.3fs %8b\n" jobs t1 t2 t4 agree)
+    (jobs_sweep ())
 
 (* ================= E9: removal lemma ================= *)
 
@@ -486,6 +625,12 @@ let e10 () =
             Foc.Engine.run_query (direct_engine ()) d.Foc.Db_gen.db q)
       in
       let r2, t2 = time (fun () -> Foc.Relalg.query preds d.Foc.Db_gen.db q) in
+      record "E10"
+        [ ("customers", I customers); ("orders", I orders);
+          ("engine", S "direct"); ("seconds", F t1); ("agree", B (r1 = r2)) ];
+      record "E10"
+        [ ("customers", I customers); ("orders", I orders);
+          ("engine", S "relalg"); ("seconds", F t2); ("agree", B (r1 = r2)) ];
       Printf.printf "%10d %8d | %11.3fs %11.3fs %8b\n" customers orders t1 t2
         (r1 = r2))
     sizes;
@@ -568,6 +713,8 @@ let () =
       | "--micro" -> micro := true
       | "--only" when i + 1 < Array.length Sys.argv ->
           only := Some Sys.argv.(i + 1)
+      | "--json" when i + 1 < Array.length Sys.argv ->
+          json_file := Some Sys.argv.(i + 1)
       | _ -> ())
     Sys.argv;
   Printf.printf
@@ -590,4 +737,5 @@ let () =
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments
-  end
+  end;
+  match !json_file with None -> () | Some path -> write_json path

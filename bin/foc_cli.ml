@@ -39,6 +39,16 @@ let engine_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print engine statistics.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used by the direct/cover/hanf back-ends. $(b,1) forces \
+           the sequential path; $(b,0) (default) uses \
+           Domain.recommended_domain_count (or \\$FOC_JOBS). All settings \
+           return identical counts.")
+
 let load_structure path =
   match Foc.Structure_io.load path with
   | Ok a -> a
@@ -46,27 +56,20 @@ let load_structure path =
       Printf.eprintf "error: %s\n" e;
       exit 2
 
-let make_engine = function
-  | `Direct -> Some (Foc.Engine.create ())
-  | `Cover ->
-      Some
-        (Foc.Engine.create
-           ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Cover }
-           ())
+let make_engine ?(jobs = 0) engine =
+  let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
+  let with_backend backend =
+    Some
+      (Foc.Engine.create
+         ~config:{ Foc.Engine.default_config with backend; jobs }
+         ())
+  in
+  match engine with
+  | `Direct -> with_backend Foc.Engine.Direct
+  | `Cover -> with_backend Foc.Engine.Cover
   | `Splitter ->
-      Some
-        (Foc.Engine.create
-           ~config:
-             {
-               Foc.Engine.default_config with
-               backend = Foc.Engine.Splitter { max_rounds = 4; small = 32 };
-             }
-           ())
-  | `Hanf ->
-      Some
-        (Foc.Engine.create
-           ~config:{ Foc.Engine.default_config with backend = Foc.Engine.Hanf }
-           ())
+      with_backend (Foc.Engine.Splitter { max_rounds = 4; small = 32 })
+  | `Hanf -> with_backend Foc.Engine.Hanf
   | `Relalg | `Naive -> None
 
 let print_stats eng =
@@ -77,15 +80,16 @@ let print_stats eng =
     st.materialised st.clterms_built st.basic_terms st.fallbacks
     st.covers_built st.removals
 
+(* wall clock: with --jobs > 1, CPU time would sum across domains *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Unix.gettimeofday () -. t0)
 
 (* ---------------- check ---------------- *)
 
 let check_cmd =
-  let run structure engine stats src =
+  let run structure engine jobs stats src =
     let a = load_structure structure in
     let phi =
       try Foc.parse_formula src
@@ -94,7 +98,7 @@ let check_cmd =
         exit 2
     in
     let result, seconds =
-      match make_engine engine with
+      match make_engine ~jobs engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.check eng a phi) in
           if stats then print_stats eng;
@@ -115,12 +119,12 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check a FOC(P) sentence on a structure.")
-    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src)
+    Term.(const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src)
 
 (* ---------------- count ---------------- *)
 
 let count_cmd =
-  let run structure engine stats src =
+  let run structure engine jobs stats src =
     let a = load_structure structure in
     let term =
       try Foc.parse_term src
@@ -129,7 +133,7 @@ let count_cmd =
         exit 2
     in
     let result, seconds =
-      match make_engine engine with
+      match make_engine ~jobs engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.eval_ground eng a term) in
           if stats then print_stats eng;
@@ -150,12 +154,12 @@ let count_cmd =
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Evaluate a ground counting term on a structure.")
-    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src)
+    Term.(const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src)
 
 (* ---------------- query ---------------- *)
 
 let query_cmd =
-  let run structure engine stats head terms body limit =
+  let run structure engine jobs stats head terms body limit =
     let a = load_structure structure in
     let parse_t s =
       try Foc.parse_term s
@@ -179,7 +183,7 @@ let query_cmd =
         exit 2
     in
     let rows, seconds =
-      match make_engine engine with
+      match make_engine ~jobs engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
@@ -224,8 +228,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
     Term.(
-      const run $ structure_arg $ engine_arg $ stats_arg $ head $ terms $ body
-      $ limit)
+      const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ head
+      $ terms $ body $ limit)
 
 (* ---------------- gen ---------------- *)
 
@@ -364,7 +368,7 @@ let gendb_cmd =
     Term.(const run $ customers $ orders $ countries $ cities $ seed $ output)
 
 let sql_cmd =
-  let run structure engine stats src limit =
+  let run structure engine jobs stats src limit =
     let a = load_structure structure in
     let q =
       try
@@ -377,7 +381,7 @@ let sql_cmd =
     in
     Printf.printf "FOC1> %s\n" (Format.asprintf "%a" Foc.Query.pp q);
     let rows, seconds =
-      match make_engine engine with
+      match make_engine ~jobs engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
@@ -414,7 +418,9 @@ let sql_cmd =
   in
   Cmd.v
     (Cmd.info "sql" ~doc:"Run an SQL COUNT statement compiled to FOC1.")
-    Term.(const run $ structure_arg $ engine_arg $ stats_arg $ src $ limit)
+    Term.(
+      const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src
+      $ limit)
 
 let () =
   let info =

@@ -1,22 +1,34 @@
 module Structure = Foc_data.Structure
 
-let classes ?(max_ball = 48) a ~r =
+let ball_key ?(max_ball = 48) a g ~r v =
+  let ball = Foc_graph.Bfs.ball_tbl g ~centres:[ v ] ~radius:r in
+  if Hashtbl.length ball > max_ball then
+    (* too big to canonicalize cheaply: singleton class *)
+    Printf.sprintf "!uniq%d" v
+  else Ball_type.ball_key a ~centre:v ~r
+
+let classes ?(max_ball = 48) ?(jobs = 1) a ~r =
   let g = Structure.gaifman a in
+  let n = Structure.order a in
+  (* canonicalising one r-ball per element is the expensive, embarrassingly
+     parallel part; grouping is a cheap sequential pass in element order, so
+     the class list is identical for every jobs setting *)
+  let keys =
+    if jobs <= 1 then Array.init n (ball_key ~max_ball a g ~r)
+    else begin
+      Structure.prepare a;
+      Foc_par.tabulate ~jobs n (ball_key ~max_ball a g ~r)
+    end
+  in
   let tbl = Hashtbl.create 64 in
-  for v = 0 to Structure.order a - 1 do
-    let ball = Foc_graph.Bfs.ball_tbl g ~centres:[ v ] ~radius:r in
-    let key =
-      if Hashtbl.length ball > max_ball then
-        (* too big to canonicalize cheaply: singleton class *)
-        Printf.sprintf "!uniq%d" v
-      else Ball_type.ball_key a ~centre:v ~r
-    in
+  for v = 0 to n - 1 do
+    let key = keys.(v) in
     Hashtbl.replace tbl key
       (v :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
   done;
   Hashtbl.fold (fun key members acc -> (key, List.rev members) :: acc) tbl []
 
-let eval_by_type ?max_ball a ~r f =
+let eval_by_type ?max_ball ?jobs a ~r f =
   let out = Array.make (Structure.order a) 0 in
   List.iter
     (fun (_, members) ->
@@ -25,7 +37,7 @@ let eval_by_type ?max_ball a ~r f =
       | rep :: _ ->
           let value = f rep in
           List.iter (fun v -> out.(v) <- value) members)
-    (classes ?max_ball a ~r);
+    (classes ?max_ball ?jobs a ~r);
   out
 
-let type_count ?max_ball a ~r = List.length (classes ?max_ball a ~r)
+let type_count ?max_ball ?jobs a ~r = List.length (classes ?max_ball ?jobs a ~r)

@@ -19,17 +19,34 @@
     and canonicalization per element. Balls larger than [max_ball] (default
     48) are not canonicalized: their element gets a singleton class — a
     sound degradation that keeps the back-end total on structures outside
-    the bounded-degree sweet spot. *)
+    the bounded-degree sweet spot.
+
+    [jobs > 1] canonicalises the r-balls on that many domains
+    ({!Foc_par}); the grouping pass stays sequential in element order, so
+    the class list is identical for every [jobs] setting. *)
 val classes :
-  ?max_ball:int -> Foc_data.Structure.t -> r:int -> (string * int list) list
+  ?max_ball:int ->
+  ?jobs:int ->
+  Foc_data.Structure.t ->
+  r:int ->
+  (string * int list) list
 
 (** [eval_by_type a ~r f] — the vector [v] with [v.(e) = f rep] where [rep]
     is [e]'s class representative; sound whenever [f] is invariant under
     r-ball isomorphism (e.g. any r-local unary term value — Section 6.1).
-    [f] is called once per class. *)
+    [f] is called once per class, in the calling domain ([jobs] only
+    parallelises the class computation — see {!classes}); callers that
+    want parallel per-class evaluation should iterate over {!classes}
+    with a per-domain context (as {!Foc_nd.Hanf_backend} does). *)
 val eval_by_type :
-  ?max_ball:int -> Foc_data.Structure.t -> r:int -> (int -> int) -> int array
+  ?max_ball:int ->
+  ?jobs:int ->
+  Foc_data.Structure.t ->
+  r:int ->
+  (int -> int) ->
+  int array
 
 (** Number of distinct r-ball types (diagnostic; bounded in terms of degree
     and r on bounded-degree classes). *)
-val type_count : ?max_ball:int -> Foc_data.Structure.t -> r:int -> int
+val type_count :
+  ?max_ball:int -> ?jobs:int -> Foc_data.Structure.t -> r:int -> int

@@ -21,6 +21,7 @@
 module Bitset = Foc_util.Bitset
 module Combi = Foc_util.Combi
 module Prime = Foc_util.Prime
+module Par = Foc_par
 
 (* graphs *)
 module Graph = Foc_graph.Graph

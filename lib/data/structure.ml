@@ -47,26 +47,26 @@ let size a =
 
 let mem a name tup = Tuple.Set.mem tup (rel a name)
 
+let position_index a name pos =
+  let key = (name, pos) in
+  match Hashtbl.find_opt a.indexes key with
+  | Some idx -> idx
+  | None ->
+      let idx = Hashtbl.create 64 in
+      Tuple.Set.iter
+        (fun tup ->
+          let v = tup.(pos) in
+          Hashtbl.replace idx v
+            (tup :: Option.value ~default:[] (Hashtbl.find_opt idx v)))
+        (rel a name);
+      Hashtbl.replace a.indexes key idx;
+      idx
+
 let tuples_with a name ~pos ~value =
   let arity = Signature.arity a.sign name in
   if pos < 0 || pos >= arity then
     invalid_arg "Structure.tuples_with: position out of range";
-  let key = (name, pos) in
-  let index =
-    match Hashtbl.find_opt a.indexes key with
-    | Some idx -> idx
-    | None ->
-        let idx = Hashtbl.create 64 in
-        Tuple.Set.iter
-          (fun tup ->
-            let v = tup.(pos) in
-            Hashtbl.replace idx v
-              (tup :: Option.value ~default:[] (Hashtbl.find_opt idx v)))
-          (rel a name);
-        Hashtbl.replace a.indexes key idx;
-        idx
-  in
-  Option.value ~default:[] (Hashtbl.find_opt index value)
+  Option.value ~default:[] (Hashtbl.find_opt (position_index a name pos) value)
 
 let add_tuples a name tuples =
   let arity = Signature.arity a.sign name in
@@ -113,6 +113,18 @@ let gaifman a =
       let g = Foc_graph.Graph.create a.order !es in
       a.gaifman <- Some g;
       g
+
+(* Force every lazily-built cache (Gaifman graph, position indexes) so the
+   structure can be read concurrently from several domains: after [prepare],
+   [gaifman] and [tuples_with] only perform read-only lookups. *)
+let prepare a =
+  ignore (gaifman a);
+  List.iter
+    (fun (name, arity) ->
+      for pos = 0 to arity - 1 do
+        ignore (position_index a name pos)
+      done)
+    (Signature.to_list a.sign)
 
 let dist a u v = Foc_graph.Bfs.dist (gaifman a) u v
 let dist_le a u v r = Foc_graph.Bfs.dist_le (gaifman a) u v r

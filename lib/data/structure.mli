@@ -47,6 +47,12 @@ val remove_tuples : t -> string -> int array list -> t
 (** The Gaifman graph G_A (cached). *)
 val gaifman : t -> Foc_graph.Graph.t
 
+(** Force every lazily-built cache (the Gaifman graph and all position
+    indexes). Afterwards the structure is safe to read concurrently from
+    several domains — required before handing [t] to parallel sweeps
+    ({!Foc_par}), since the lazy caches are not thread-safe. *)
+val prepare : t -> unit
+
 (** [dist a u v] is the Gaifman distance, [Foc_graph.Bfs.infinity] when unreachable. *)
 val dist : t -> int -> int -> int
 

@@ -40,25 +40,28 @@ let rec width = function
   | Ground b | Unary b -> Foc_graph.Pattern.k b.pattern
   | Add (s, t) | Mul (s, t) -> max (width s) (width t)
 
-let eval_basic_ground ctx (b : basic) =
-  Pattern_count.ground ctx ~pattern:b.pattern ~vars:b.vars ~body:b.body
+let eval_basic_ground ?jobs ctx (b : basic) =
+  Pattern_count.ground ?jobs ctx ~pattern:b.pattern ~vars:b.vars ~body:b.body
 
-let rec eval_ground ctx = function
+let rec eval_ground ?jobs ctx = function
   | Const i -> i
-  | Ground b -> eval_basic_ground ctx b
+  | Ground b -> eval_basic_ground ?jobs ctx b
   | Unary _ -> invalid_arg "Clterm.eval_ground: unary leaf"
-  | Add (s, t) -> eval_ground ctx s + eval_ground ctx t
-  | Mul (s, t) -> eval_ground ctx s * eval_ground ctx t
+  | Add (s, t) -> eval_ground ?jobs ctx s + eval_ground ?jobs ctx t
+  | Mul (s, t) -> eval_ground ?jobs ctx s * eval_ground ?jobs ctx t
 
-let rec eval_unary ctx t =
+let rec eval_unary ?jobs ctx t =
   match t with
   | Const _ | Ground _ ->
-      let v = eval_ground ctx t in
+      let v = eval_ground ?jobs ctx t in
       Array.make (Pattern_count.order ctx) v
   | Unary b ->
-      Pattern_count.per_anchor ctx ~pattern:b.pattern ~vars:b.vars ~body:b.body
-  | Add (s, t') -> Array.map2 ( + ) (eval_unary ctx s) (eval_unary ctx t')
-  | Mul (s, t') -> Array.map2 ( * ) (eval_unary ctx s) (eval_unary ctx t')
+      Pattern_count.per_anchor ?jobs ctx ~pattern:b.pattern ~vars:b.vars
+        ~body:b.body
+  | Add (s, t') ->
+      Array.map2 ( + ) (eval_unary ?jobs ctx s) (eval_unary ?jobs ctx t')
+  | Mul (s, t') ->
+      Array.map2 ( * ) (eval_unary ?jobs ctx s) (eval_unary ?jobs ctx t')
 
 let rec pp ppf = function
   | Const i -> Format.pp_print_int ppf i

@@ -43,11 +43,14 @@ val width : t -> int
 
 (** [eval_ground ctx t] evaluates a ground cl-term. Raises
     [Invalid_argument] on [Unary] leaves. The context must have been created
-    with the same radius as the basic terms (checked). *)
-val eval_ground : Pattern_count.ctx -> t -> int
+    with the same radius as the basic terms (checked). [jobs > 1]
+    parallelises every basic-term sweep ({!Pattern_count.ground}); results
+    are bit-identical to [jobs = 1]. *)
+val eval_ground : ?jobs:int -> Pattern_count.ctx -> t -> int
 
 (** [eval_unary ctx t] evaluates a (possibly mixed ground/unary) cl-term at
-    every element simultaneously, returning the vector of values. *)
-val eval_unary : Pattern_count.ctx -> t -> int array
+    every element simultaneously, returning the vector of values. [jobs] as
+    in {!eval_ground}. *)
+val eval_unary : ?jobs:int -> Pattern_count.ctx -> t -> int array
 
 val pp : Format.formatter -> t -> unit

@@ -14,7 +14,7 @@ let rec required_cover_radius = function
    is evaluated exactly once, inside the cluster its kernel assignment points
    to; ball arguments above show the count computed in A[X] equals the count
    in A. *)
-let basic_vector preds a cover (b : Clterm.basic) =
+let basic_vector ?(jobs = 1) preds a cover (b : Clterm.basic) =
   let n = Foc_data.Structure.order a in
   let out = Array.make n 0 in
   let k = Foc_graph.Pattern.k b.pattern in
@@ -27,7 +27,10 @@ let basic_vector preds a cover (b : Clterm.basic) =
     out
   end
   else begin
-    for i = 0 to Foc_graph.Cover.cluster_count cover - 1 do
+    (* clusters are independent: each sweep builds its own induced
+       substructure and context, and the kernels partition the universe, so
+       parallel cluster tasks write disjoint slots of [out] *)
+    let eval_cluster i =
       let kernel = Foc_graph.Cover.kernel cover i in
       if Array.length kernel > 0 then begin
         let members = Array.to_list (Foc_graph.Cover.cluster cover i) in
@@ -43,7 +46,9 @@ let basic_vector preds a cover (b : Clterm.basic) =
                 ~body:b.body ~anchor)
           kernel
       end
-    done;
+    in
+    Foc_par.parallel_for ~jobs (Foc_graph.Cover.cluster_count cover)
+      eval_cluster;
     out
   end
 
@@ -56,41 +61,47 @@ let check_radius cover t =
          (Foc_graph.Cover.radius_param cover)
          needed)
 
-let rec eval_vector preds a cover = function
+let rec eval_vector ?jobs preds a cover = function
   | Clterm.Const i -> Array.make (Foc_data.Structure.order a) i
-  | Clterm.Unary b -> basic_vector preds a cover b
+  | Clterm.Unary b -> basic_vector ?jobs preds a cover b
   | Clterm.Ground b ->
-      let per = basic_vector preds a cover b in
+      let per = basic_vector ?jobs preds a cover b in
       let total =
         if Foc_graph.Pattern.k b.pattern = 0 then if per.(0) > 0 then 1 else 0
         else Array.fold_left ( + ) 0 per
       in
       Array.make (Foc_data.Structure.order a) total
   | Clterm.Add (s, t) ->
-      Array.map2 ( + ) (eval_vector preds a cover s) (eval_vector preds a cover t)
+      Array.map2 ( + )
+        (eval_vector ?jobs preds a cover s)
+        (eval_vector ?jobs preds a cover t)
   | Clterm.Mul (s, t) ->
-      Array.map2 ( * ) (eval_vector preds a cover s) (eval_vector preds a cover t)
+      Array.map2 ( * )
+        (eval_vector ?jobs preds a cover s)
+        (eval_vector ?jobs preds a cover t)
 
-let eval_unary preds a cover t =
+let eval_unary ?jobs preds a cover t =
   check_radius cover t;
   if Foc_data.Structure.order a = 0 then [||]
-  else eval_vector preds a cover t
+  else eval_vector ?jobs preds a cover t
 
-let rec eval_ground_aux preds a cover = function
+let rec eval_ground_aux ?jobs preds a cover = function
   | Clterm.Const i -> i
   | Clterm.Unary _ -> invalid_arg "Cover_term.eval_ground: unary leaf"
   | Clterm.Ground b ->
       if Foc_graph.Pattern.k b.pattern = 0 then
         if Local_eval.holds preds a Var.Map.empty b.body then 1 else 0
       else begin
-        let per = basic_vector preds a cover b in
+        let per = basic_vector ?jobs preds a cover b in
         Array.fold_left ( + ) 0 per
       end
   | Clterm.Add (s, t) ->
-      eval_ground_aux preds a cover s + eval_ground_aux preds a cover t
+      eval_ground_aux ?jobs preds a cover s
+      + eval_ground_aux ?jobs preds a cover t
   | Clterm.Mul (s, t) ->
-      eval_ground_aux preds a cover s * eval_ground_aux preds a cover t
+      eval_ground_aux ?jobs preds a cover s
+      * eval_ground_aux ?jobs preds a cover t
 
-let eval_ground preds a cover t =
+let eval_ground ?jobs preds a cover t =
   check_radius cover t;
-  eval_ground_aux preds a cover t
+  eval_ground_aux ?jobs preds a cover t

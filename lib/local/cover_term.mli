@@ -21,16 +21,24 @@ val required_cover_radius : Clterm.t -> int
 
 (** [eval_unary preds a cover t] — the per-element value vector of a cl-term
     (mixing unary and ground leaves). Raises [Invalid_argument] if the
-    cover's parameter is smaller than {!required_cover_radius}. *)
+    cover's parameter is smaller than {!required_cover_radius}.
+
+    [jobs > 1] evaluates clusters in parallel ({!Foc_par}): each cluster
+    task owns its induced substructure and context, and the kernels
+    partition the universe, so the sweep is race-free and bit-identical to
+    [jobs = 1]. *)
 val eval_unary :
+  ?jobs:int ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Foc_graph.Cover.t ->
   Clterm.t ->
   int array
 
-(** [eval_ground preds a cover t] — ground cl-terms only. *)
+(** [eval_ground preds a cover t] — ground cl-terms only. [jobs] as in
+    {!eval_unary}. *)
 val eval_ground :
+  ?jobs:int ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Foc_graph.Cover.t ->

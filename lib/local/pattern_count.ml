@@ -23,6 +23,14 @@ let make_ctx preds structure ~r =
 let balls_computed ctx = ctx.computed
 let order ctx = Foc_data.Structure.order ctx.structure
 
+(* A fresh ball cache over the same structure — one per worker domain, so
+   parallel sweeps never share the mutable tables. Counter merges at join
+   keep [balls_computed] meaningful. *)
+let clone_ctx ctx = { ctx with balls = Hashtbl.create 1024; computed = 0 }
+
+let merge_ctx_stats ~into clones =
+  List.iter (fun c -> into.computed <- into.computed + c.computed) clones
+
 let ball_of ctx v =
   match Hashtbl.find_opt ctx.balls v with
   | Some tbl -> tbl
@@ -183,15 +191,29 @@ let at ctx ~pattern ~vars ~body ~anchor =
     invalid_arg "Pattern_count.at: empty pattern has no anchor";
   count_at ctx ~pattern ~vars ~body anchor
 
-let per_anchor ctx ~pattern ~vars ~body =
+let per_anchor ?(jobs = 1) ctx ~pattern ~vars ~body =
   let k = Foc_graph.Pattern.k pattern in
   if k = 0 then
     invalid_arg "Pattern_count.per_anchor: empty pattern has no anchor";
   let n = Foc_data.Structure.order ctx.structure in
   let plan = make_plan ctx ~pattern ~vars ~body in
-  Array.init n (fun a -> count_at ~plan ctx ~pattern ~vars ~body a)
+  if jobs <= 1 then
+    Array.init n (fun a -> count_at ~plan ctx ~pattern ~vars ~body a)
+  else begin
+    (* the anchors are independent; the plan is immutable and shared, the
+       ball caches are per-domain clones merged at join *)
+    Foc_data.Structure.prepare ctx.structure;
+    let out, clones =
+      Foc_par.tabulate_ctx ~jobs
+        ~make_ctx:(fun () -> clone_ctx ctx)
+        n
+        (fun c a -> count_at ~plan c ~pattern ~vars ~body a)
+    in
+    merge_ctx_stats ~into:ctx clones;
+    out
+  end
 
-let ground ctx ~pattern ~vars ~body =
+let ground ?(jobs = 1) ctx ~pattern ~vars ~body =
   let k = Foc_graph.Pattern.k pattern in
   if k = 0 then begin
     if Local_eval.holds ctx.preds ctx.structure Var.Map.empty body then 1
@@ -200,9 +222,23 @@ let ground ctx ~pattern ~vars ~body =
   else begin
     let n = Foc_data.Structure.order ctx.structure in
     let plan = make_plan ctx ~pattern ~vars ~body in
-    let total = ref 0 in
-    for a = 0 to n - 1 do
-      total := !total + count_at ~plan ctx ~pattern ~vars ~body a
-    done;
-    !total
+    if jobs <= 1 then begin
+      let total = ref 0 in
+      for a = 0 to n - 1 do
+        total := !total + count_at ~plan ctx ~pattern ~vars ~body a
+      done;
+      !total
+    end
+    else begin
+      Foc_data.Structure.prepare ctx.structure;
+      let total, clones =
+        Foc_par.map_reduce_ctx ~jobs
+          ~make_ctx:(fun () -> clone_ctx ctx)
+          ~n
+          ~map:(fun c a -> count_at ~plan c ~pattern ~vars ~body a)
+          ~reduce:( + ) 0
+      in
+      merge_ctx_stats ~into:ctx clones;
+      total
+    end
   end

@@ -29,8 +29,13 @@ val order : ctx -> int
 (** [per_anchor ctx ~pattern ~vars ~body] — for each element [a], the number
     of tuples [(a, a_2, …, a_k)] that realise [pattern] exactly (position 0
     = anchor) and satisfy [body] under [vars ↦ tuple]. [pattern] must be
-    connected and non-empty; [free body ⊆ vars]. *)
+    connected and non-empty; [free body ⊆ vars].
+
+    [jobs > 1] sweeps the anchors on that many domains ({!Foc_par}); each
+    domain uses a private ball-cache clone of [ctx] (merged into [ctx]'s
+    statistics at join) and the result is bit-identical to [jobs = 1]. *)
 val per_anchor :
+  ?jobs:int ->
   ctx ->
   pattern:Foc_graph.Pattern.t ->
   vars:Var.t list ->
@@ -38,8 +43,11 @@ val per_anchor :
   int array
 
 (** [ground ctx ~pattern ~vars ~body] — the total count over all tuples; for
-    [k = 0] this is the 0/1 value of the sentence [body]. *)
+    [k = 0] this is the 0/1 value of the sentence [body]. [jobs] as in
+    {!per_anchor} (the per-anchor partial sums reduce in fixed chunk
+    order). *)
 val ground :
+  ?jobs:int ->
   ctx ->
   pattern:Foc_graph.Pattern.t ->
   vars:Var.t list ->

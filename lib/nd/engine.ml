@@ -14,6 +14,7 @@ type config = {
   max_width : int;
   max_blocks : int;
   allow_fallback : bool;
+  jobs : int;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     max_width = 4;
     max_blocks = 4096;
     allow_fallback = true;
+    jobs = Foc_par.default_jobs ();
   }
 
 type stats = {
@@ -79,38 +81,41 @@ let cl_radius cl =
 let eval_cl_ground t a cl =
   t.st.clterms_built <- t.st.clterms_built + 1;
   t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
       let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
-      Clterm.eval_ground ctx cl
+      Clterm.eval_ground ~jobs ctx cl
   | Cover ->
       let rc = Cover_term.required_cover_radius cl in
       let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
       t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_ground t.cfg.preds a cover cl
+      Cover_term.eval_ground ~jobs t.cfg.preds a cover cl
   | Splitter { max_rounds; small } ->
+      (* the removal recursion mutates shared state; it stays sequential *)
       Splitter_backend.eval_ground
         ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
         t.cfg.preds a ~max_rounds ~small cl
-  | Hanf -> Hanf_backend.eval_ground t.cfg.preds a cl
+  | Hanf -> Hanf_backend.eval_ground ~jobs t.cfg.preds a cl
 
 let eval_cl_unary t a cl =
   t.st.clterms_built <- t.st.clterms_built + 1;
   t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
       let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
-      Clterm.eval_unary ctx cl
+      Clterm.eval_unary ~jobs ctx cl
   | Cover ->
       let rc = Cover_term.required_cover_radius cl in
       let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
       t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_unary t.cfg.preds a cover cl
+      Cover_term.eval_unary ~jobs t.cfg.preds a cover cl
   | Splitter { max_rounds; small } ->
       Splitter_backend.eval_unary
         ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
         t.cfg.preds a ~max_rounds ~small cl
-  | Hanf -> Hanf_backend.eval_unary t.cfg.preds a cl
+  | Hanf -> Hanf_backend.eval_unary ~jobs t.cfg.preds a cl
 
 (* ---------------- stratification (Theorem 6.10) ---------------- *)
 

@@ -48,10 +48,16 @@ type config = {
   allow_fallback : bool;
       (** when false, out-of-fragment inputs raise {!Outside_fragment}
           instead of silently using the baseline *)
+  jobs : int;
+      (** number of domains used for the independent sweeps of the
+          [Direct], [Cover] and [Hanf] back-ends ({!Foc_par}); [1] is the
+          exact sequential path, and every setting returns bit-identical
+          counts *)
 }
 
 val default_config : config
-(** standard predicates, [Direct] back-end, width 4, fallback allowed. *)
+(** standard predicates, [Direct] back-end, width 4, fallback allowed,
+    [jobs = Foc_par.default_jobs ()]. *)
 
 type stats = {
   mutable materialised : int;  (** fresh relations created (Theorem 6.10) *)

@@ -7,12 +7,21 @@
     [N_{k(2r+1)}(a)] (the tuple lives within [(k−1)(2r+1)] of the anchor and
     the r-local body within r more, and pattern closeness at threshold 2r+1
     is decided inside the same ball) — so elements with isomorphic balls
-    get equal values. *)
+    get equal values.
+
+    [jobs > 1] parallelises both stages on that many domains ({!Foc_par}):
+    the per-ball canonicalisation and the one-evaluation-per-class sweep
+    (with a per-domain {!Foc_local.Pattern_count} context). Results are
+    bit-identical to [jobs = 1]. *)
 
 open Foc_logic
 
 val eval_ground :
-  Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int
+  ?jobs:int -> Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int
 
 val eval_unary :
-  Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int array
+  ?jobs:int ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Foc_local.Clterm.t ->
+  int array

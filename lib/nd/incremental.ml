@@ -10,9 +10,17 @@ type leaf = {
   mutable per_anchor : int array;
 }
 
+(* A width-0 ground basic is a sentence: it has no anchor, so there is no
+   per-anchor vector to repair — its truth is just re-checked against the
+   current structure on every update (the body is r-local, so this stays
+   cheap). Keeping it out of [leaves] is what fixes the
+   [Invalid_argument] crash that [eval_leaf_at] used to raise on k = 0. *)
+type sentence = { body : Ast.formula; mutable value : int }
+
 type node =
   | NConst of int
   | NLeaf of int  (* index into leaves *)
+  | NSentence of int  (* index into sentences: a width-0 ground basic *)
   | NAdd of node * node
   | NMul of node * node
 
@@ -20,6 +28,7 @@ type t = {
   preds : Pred.collection;
   mutable a : Structure.t;
   leaves : leaf array;
+  sentences : sentence array;
   skeleton : node;
   mutable values : int array;
 }
@@ -27,8 +36,14 @@ type t = {
 let compile term =
   let leaves = ref [] in
   let count = ref 0 in
+  let sentences = ref [] in
+  let scount = ref 0 in
   let rec go = function
     | Clterm.Const i -> NConst i
+    | Clterm.Ground b when Foc_graph.Pattern.k b.Clterm.pattern = 0 ->
+        sentences := { body = b.Clterm.body; value = 0 } :: !sentences;
+        incr scount;
+        NSentence (!scount - 1)
     | Clterm.Ground b ->
         leaves := { basic = b; unary = false; per_anchor = [||] } :: !leaves;
         incr count;
@@ -41,21 +56,40 @@ let compile term =
     | Clterm.Mul (s, u) -> NMul (go s, go u)
   in
   let skeleton = go term in
-  (Array.of_list (List.rev !leaves), skeleton)
+  ( Array.of_list (List.rev !leaves),
+    Array.of_list (List.rev !sentences),
+    skeleton )
 
 let leaf_radius (l : leaf) =
   let k = Foc_graph.Pattern.k l.basic.Clterm.pattern in
   max 1 (k * ((2 * l.basic.Clterm.radius) + 1))
 
 let eval_leaf_at ctx (l : leaf) anchor =
-  if Foc_graph.Pattern.k l.basic.Clterm.pattern = 0 then
-    invalid_arg "Incremental: 0-width basic leaves are not maintained"
-  else
-    Pattern_count.at ctx ~pattern:l.basic.Clterm.pattern
-      ~vars:l.basic.Clterm.vars ~body:l.basic.Clterm.body ~anchor
+  Pattern_count.at ctx ~pattern:l.basic.Clterm.pattern
+    ~vars:l.basic.Clterm.vars ~body:l.basic.Clterm.body ~anchor
 
 let full_leaf ctx (l : leaf) n =
   l.per_anchor <- Array.init n (fun a -> eval_leaf_at ctx l a)
+
+let eval_sentences t =
+  Array.iter
+    (fun s ->
+      s.value <-
+        (if Local_eval.holds t.preds t.a Var.Map.empty s.body then 1 else 0))
+    t.sentences
+
+(* One Pattern_count context per distinct radius, shared by every leaf of
+   that radius within a single create/apply pass — the ball caches then
+   amortise across leaves instead of being rebuilt per leaf. *)
+let ctx_by_radius preds a =
+  let tbl = Hashtbl.create 4 in
+  fun r ->
+    match Hashtbl.find_opt tbl r with
+    | Some ctx -> ctx
+    | None ->
+        let ctx = Pattern_count.make_ctx preds a ~r in
+        Hashtbl.replace tbl r ctx;
+        ctx
 
 (* recombine the polynomial into the value vector *)
 let recombine t =
@@ -72,20 +106,21 @@ let recombine t =
     | NLeaf i ->
         if t.leaves.(i).unary then t.leaves.(i).per_anchor.(a)
         else totals.(i)
+    | NSentence i -> t.sentences.(i).value
     | NAdd (s, u) -> value_at s a + value_at u a
     | NMul (s, u) -> value_at s a * value_at u a
   in
   t.values <- Array.init n (fun a -> value_at t.skeleton a)
 
 let create preds a term =
-  let leaves, skeleton = compile term in
-  let t = { preds; a; leaves; skeleton; values = [||] } in
+  let leaves, sentences, skeleton = compile term in
+  let t = { preds; a; leaves; sentences; skeleton; values = [||] } in
   let n = Structure.order a in
+  let ctx_for = ctx_by_radius preds a in
   Array.iter
-    (fun l ->
-      let ctx = Pattern_count.make_ctx preds a ~r:l.basic.Clterm.radius in
-      full_leaf ctx l n)
+    (fun l -> full_leaf (ctx_for l.basic.Clterm.radius) l n)
     leaves;
+  eval_sentences t;
   recombine t;
   t
 
@@ -110,13 +145,15 @@ let apply t name tup ~insert =
         (Structure.ball structure ~centres ~radius))
     [ before; after ];
   t.a <- after;
+  let ctx_for = ctx_by_radius t.preds after in
   Array.iter
     (fun l ->
-      let ctx = Pattern_count.make_ctx t.preds after ~r:l.basic.Clterm.radius in
+      let ctx = ctx_for l.basic.Clterm.radius in
       Hashtbl.iter
         (fun anchor () -> l.per_anchor.(anchor) <- eval_leaf_at ctx l anchor)
         affected)
     t.leaves;
+  eval_sentences t;
   recombine t;
   Hashtbl.length affected
 

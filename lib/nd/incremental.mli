@@ -23,7 +23,9 @@ type t
 
 (** [create preds a term] — [term] must be a cl-term polynomial whose
     leaves are unary/ground basics (as produced by
-    {!Foc_local.Decompose}). Evaluates it fully once. *)
+    {!Foc_local.Decompose}). Evaluates it fully once. Width-0 ground
+    basics (sentences) are maintained by re-checking their r-local body
+    after each update rather than through a per-anchor vector. *)
 val create : Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> t
 
 (** Current per-element values. Do not mutate. *)

@@ -116,6 +116,44 @@ let test_incremental_inserts () =
       (Foc_nd.Incremental.values inc)
   done
 
+(* A polynomial with a width-0 ground basic: the sentence factor
+   [#(). exists y. B(y)] multiplying the degree term. *)
+let width0_clterm () =
+  let sentence = parse "exists y. B(y)" in
+  let b0 =
+    Foc_local.Clterm.basic
+      ~pattern:(Foc_graph.Pattern.make 0 [])
+      ~radius:1 ~vars:[] ~body:sentence
+  in
+  Foc_local.Clterm.(Add (Mul (Ground b0, degree_clterm ()), Const 1))
+
+let test_incremental_width0 () =
+  (* regression: a width-0 ground basic used to make [Incremental.create]
+     raise [Invalid_argument] from [eval_leaf_at]; it must instead be
+     maintained as a sentence whose truth tracks the updates *)
+  let a = coloured 59 (Foc_graph.Gen.path 12) in
+  let cl = width0_clterm () in
+  let inc = Foc_nd.Incremental.create preds a cl in
+  Alcotest.(check (array int))
+    "initial" (recompute preds a cl)
+    (Foc_nd.Incremental.values inc);
+  (* drain B completely: "exists y. B(y)" flips to false along the way, and
+     the maintained values must track every step *)
+  for u = 0 to 11 do
+    ignore (Foc_nd.Incremental.delete inc "B" [| u |]);
+    let a' = Foc_nd.Incremental.structure inc in
+    Alcotest.(check (array int))
+      (Printf.sprintf "after deleting B(%d)" u)
+      (recompute preds a' cl)
+      (Foc_nd.Incremental.values inc)
+  done;
+  ignore (Foc_nd.Incremental.insert inc "B" [| 3 |]);
+  let a' = Foc_nd.Incremental.structure inc in
+  Alcotest.(check (array int))
+    "after re-inserting B(3)"
+    (recompute preds a' cl)
+    (Foc_nd.Incremental.values inc)
+
 let test_incremental_locality () =
   (* an update at one end of a long path must not touch anchors at the
      other end *)
@@ -162,6 +200,8 @@ let () =
       ( "incremental (§9.2)",
         [
           Alcotest.test_case "inserts/deletes" `Quick test_incremental_inserts;
+          Alcotest.test_case "width-0 ground basic" `Quick
+            test_incremental_width0;
           Alcotest.test_case "update locality" `Quick test_incremental_locality;
           QCheck_alcotest.to_alcotest prop_incremental_random;
         ] );
