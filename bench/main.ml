@@ -6,13 +6,16 @@
    Usage:
      dune exec bench/main.exe                 -- all experiments, default sizes
      dune exec bench/main.exe -- --quick      -- smaller sweeps
-     dune exec bench/main.exe -- --only E3    -- a single experiment
+     dune exec bench/main.exe -- --smoke      -- tiny sweeps (CI gate)
+     dune exec bench/main.exe -- --only E3,E11
+                                              -- a subset of experiments
      dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- --json BENCH.json
                                               -- also write per-experiment
                                                  timings as JSON *)
 
 let quick = ref false
+let smoke = ref false
 let only : string option ref = ref None
 let micro = ref false
 let json_file : string option ref = ref None
@@ -78,7 +81,11 @@ let header title claim =
   Printf.printf "-- %s\n" claim
 
 let should_run id =
-  match !only with None -> true | Some o -> String.uppercase_ascii o = id
+  match !only with
+  | None -> true
+  | Some o ->
+      String.split_on_char ',' o
+      |> List.exists (fun s -> String.uppercase_ascii (String.trim s) = id)
 
 let coloured_structure seed graph =
   let rng = Random.State.make [| seed |] in
@@ -649,6 +656,85 @@ let e10 () =
   Printf.printf "statement 3 (2000 customers): %d Berlin rows in %.3fs\n"
     (List.length r3) t3
 
+(* ================= E11: compact ball engine ================= *)
+
+let e11 () =
+  header "E11  Compact ball engine: size x radius sweep, bounded cache"
+    "claim: compact balls (sorted arrays / bitsets) behind a \
+     capacity-bounded cache keep the sweep near-linear while peak cached \
+     memory stays below the cap; a one-entry cache (0 MiB) forces \
+     evictions on hub-heavy graphs and still returns identical counts";
+  let families =
+    [
+      ( "bounded-degree-3",
+        fun n ->
+          Foc.Gen.random_bounded_degree (Random.State.make [| 91; n |]) n 3 );
+      ( "power-law-2",
+        fun n -> Foc.Gen.power_law (Random.State.make [| 92; n |]) n 2 );
+    ]
+  in
+  let sizes =
+    if !smoke then [ 1000 ]
+    else if !quick then [ 2000; 8000 ]
+    else [ 2000; 8000; 32000 ]
+  in
+  let dists = if !smoke then [ 1; 2 ] else [ 1; 2; 3 ] in
+  let run a src ball_cache_mb =
+    let eng =
+      Foc.Engine.create
+        ~config:{ Foc.Engine.default_config with ball_cache_mb }
+        ()
+    in
+    let v, seconds =
+      time (fun () -> Foc.Engine.eval_ground eng a (parse_t src))
+    in
+    (v, seconds, Foc.Engine.stats eng)
+  in
+  let emit family n d cache_mb seconds (st : Foc.Engine.stats) agree =
+    record "E11"
+      [
+        ("class", S family); ("n", I n); ("d", I d); ("cache_mb", I cache_mb);
+        ("seconds", F seconds); ("balls", I st.balls_computed);
+        ("hits", I st.ball_cache_hits);
+        ("evictions", I st.ball_cache_evictions);
+        ("peak_entries", I st.ball_cache_peak_entries);
+        ("peak_bytes", I st.ball_cache_peak_bytes);
+        ("bfs_visited", I st.bfs_visited); ("agree", B agree);
+      ];
+    Printf.printf
+      "%-16s %7d %3d %6d | %8.3fs %8d %8d %8d %7d %9d %10d %6b\n" family n d
+      cache_mb seconds st.balls_computed st.ball_cache_hits
+      st.ball_cache_evictions st.ball_cache_peak_entries
+      st.ball_cache_peak_bytes st.bfs_visited agree
+  in
+  Printf.printf "%-16s %7s %3s %6s | %9s %8s %8s %8s %7s %9s %10s %6s\n"
+    "class" "n" "d" "cache" "seconds" "balls" "hits" "evict" "peak#"
+    "peakB" "bfs" "agree";
+  List.iter
+    (fun (family, generate) ->
+      List.iter
+        (fun n ->
+          (* hubs make d>=2 balls cover most of the graph, so the sweep
+             goes quadratic there; cap the hub-heavy family to keep the
+             full run in minutes *)
+          if not (family = "power-law-2" && n > 2000) then begin
+            let a = Foc.Structure.of_graph (generate n) in
+            List.iter
+              (fun d ->
+                let src = Printf.sprintf "#(x,y). dist(x,y) <= %d" d in
+                let v, seconds, st = run a src 64 in
+                emit family n d 64 seconds st true;
+                (* the eviction-heavy configuration: keep only the most
+                   recent ball; counts must not change *)
+                if family = "power-law-2" then begin
+                  let v0, seconds0, st0 = run a src 0 in
+                  emit family n d 0 seconds0 st0 (v0 = v)
+                end)
+              dists
+          end)
+        sizes)
+    families
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -710,6 +796,9 @@ let () =
     (fun i arg ->
       match arg with
       | "--quick" -> quick := true
+      | "--smoke" ->
+          smoke := true;
+          quick := true
       | "--micro" -> micro := true
       | "--only" when i + 1 < Array.length Sys.argv ->
           only := Some Sys.argv.(i + 1)
@@ -734,6 +823,7 @@ let () =
         ("E8", e8);
         ("E9", e9);
         ("E10", e10);
+        ("E11", e11);
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments

@@ -49,6 +49,15 @@ let jobs_arg =
            Domain.recommended_domain_count (or \\$FOC_JOBS). All settings \
            return identical counts.")
 
+let ball_cache_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "ball-cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Memory bound (MiB) for each ball cache of the direct/cover/hanf \
+           back-ends. $(b,0) keeps only the most recent ball. All settings \
+           return identical counts; only memory and time change.")
+
 let load_structure path =
   match Foc.Structure_io.load path with
   | Ok a -> a
@@ -56,12 +65,13 @@ let load_structure path =
       Printf.eprintf "error: %s\n" e;
       exit 2
 
-let make_engine ?(jobs = 0) engine =
+let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) engine =
   let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
   let with_backend backend =
     Some
       (Foc.Engine.create
-         ~config:{ Foc.Engine.default_config with backend; jobs }
+         ~config:
+           { Foc.Engine.default_config with backend; jobs; ball_cache_mb }
          ())
   in
   match engine with
@@ -78,7 +88,12 @@ let print_stats eng =
     "# stats: materialised=%d clterms=%d basics=%d fallbacks=%d covers=%d \
      removals=%d\n"
     st.materialised st.clterms_built st.basic_terms st.fallbacks
-    st.covers_built st.removals
+    st.covers_built st.removals;
+  Printf.printf
+    "# balls: computed=%d hits=%d evictions=%d peak_entries=%d \
+     peak_bytes=%d bfs_visited=%d\n"
+    st.balls_computed st.ball_cache_hits st.ball_cache_evictions
+    st.ball_cache_peak_entries st.ball_cache_peak_bytes st.bfs_visited
 
 (* wall clock: with --jobs > 1, CPU time would sum across domains *)
 let timed f =
@@ -89,7 +104,7 @@ let timed f =
 (* ---------------- check ---------------- *)
 
 let check_cmd =
-  let run structure engine jobs stats src =
+  let run structure engine jobs ball_cache_mb stats src =
     let a = load_structure structure in
     let phi =
       try Foc.parse_formula src
@@ -98,7 +113,7 @@ let check_cmd =
         exit 2
     in
     let result, seconds =
-      match make_engine ~jobs engine with
+      match make_engine ~jobs ~ball_cache_mb engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.check eng a phi) in
           if stats then print_stats eng;
@@ -119,12 +134,14 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Model-check a FOC(P) sentence on a structure.")
-    Term.(const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src)
+    Term.(
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ stats_arg $ src)
 
 (* ---------------- count ---------------- *)
 
 let count_cmd =
-  let run structure engine jobs stats src =
+  let run structure engine jobs ball_cache_mb stats src =
     let a = load_structure structure in
     let term =
       try Foc.parse_term src
@@ -133,7 +150,7 @@ let count_cmd =
         exit 2
     in
     let result, seconds =
-      match make_engine ~jobs engine with
+      match make_engine ~jobs ~ball_cache_mb engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.eval_ground eng a term) in
           if stats then print_stats eng;
@@ -154,12 +171,14 @@ let count_cmd =
   in
   Cmd.v
     (Cmd.info "count" ~doc:"Evaluate a ground counting term on a structure.")
-    Term.(const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src)
+    Term.(
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ stats_arg $ src)
 
 (* ---------------- query ---------------- *)
 
 let query_cmd =
-  let run structure engine jobs stats head terms body limit =
+  let run structure engine jobs ball_cache_mb stats head terms body limit =
     let a = load_structure structure in
     let parse_t s =
       try Foc.parse_term s
@@ -183,7 +202,7 @@ let query_cmd =
         exit 2
     in
     let rows, seconds =
-      match make_engine ~jobs engine with
+      match make_engine ~jobs ~ball_cache_mb engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
@@ -228,8 +247,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
     Term.(
-      const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ head
-      $ terms $ body $ limit)
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ stats_arg $ head $ terms $ body $ limit)
 
 (* ---------------- gen ---------------- *)
 
@@ -368,7 +387,7 @@ let gendb_cmd =
     Term.(const run $ customers $ orders $ countries $ cities $ seed $ output)
 
 let sql_cmd =
-  let run structure engine jobs stats src limit =
+  let run structure engine jobs ball_cache_mb stats src limit =
     let a = load_structure structure in
     let q =
       try
@@ -381,7 +400,7 @@ let sql_cmd =
     in
     Printf.printf "FOC1> %s\n" (Format.asprintf "%a" Foc.Query.pp q);
     let rows, seconds =
-      match make_engine ~jobs engine with
+      match make_engine ~jobs ~ball_cache_mb engine with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
@@ -419,8 +438,8 @@ let sql_cmd =
   Cmd.v
     (Cmd.info "sql" ~doc:"Run an SQL COUNT statement compiled to FOC1.")
     Term.(
-      const run $ structure_arg $ engine_arg $ jobs_arg $ stats_arg $ src
-      $ limit)
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ stats_arg $ src $ limit)
 
 let () =
   let info =

@@ -1,0 +1,9 @@
+#!/bin/sh
+# CI gate: build, run the test suite, and smoke the compact-ball-engine
+# benchmark (E11) so the ball-cache counters and eviction path stay
+# exercised on every change.
+set -e
+cd "$(dirname "$0")"
+dune build
+dune runtest
+dune exec bench/main.exe -- --only E11 --smoke

@@ -16,7 +16,19 @@ let extract a ~centre ~r =
 
 type sig_item = string * int * int list
 
-let refine a (colors : int array) : int array =
+(* Reusable canonicalization scratch. A Hanf sweep canonicalises one ball
+   per element; the serialization buffer and colour-ranking table keep
+   their backing storage across calls ([Buffer.clear] / [Hashtbl.reset] do
+   not shrink), so the sweep stops re-growing them n times. One scratch
+   per domain — never share across concurrent canonicalizations. *)
+type scratch = {
+  buf : Buffer.t;
+  rank : (int * sig_item list, int) Hashtbl.t;
+}
+
+let scratch () = { buf = Buffer.create 1024; rank = Hashtbl.create 64 }
+
+let refine ?scratch a (colors : int array) : int array =
   let n = Array.length colors in
   let sigs : (int * sig_item list) array =
     Array.init n (fun v -> (colors.(v), []))
@@ -43,22 +55,31 @@ let refine a (colors : int array) : int array =
   in
   let distinct = List.sort_uniq compare (Array.to_list keys) in
   let rank =
-    let tbl = Hashtbl.create 16 in
-    List.iteri (fun i k -> Hashtbl.replace tbl k i) distinct;
-    tbl
+    match scratch with
+    | Some s ->
+        Hashtbl.reset s.rank;
+        s.rank
+    | None -> Hashtbl.create 16
   in
+  List.iteri (fun i k -> Hashtbl.replace rank k i) distinct;
   Array.map (fun k -> Hashtbl.find rank k) keys
 
-let rec refine_fix a colors =
-  let colors' = refine a colors in
-  if colors' = colors then colors else refine_fix a colors'
+let rec refine_fix ?scratch a colors =
+  let colors' = refine ?scratch a colors in
+  if colors' = colors then colors else refine_fix ?scratch a colors'
 
 (* ------------------------------------------------------------------ *)
 
-let serialize a order_of =
+let serialize ?scratch a order_of =
   (* order_of.(v) = canonical index of element v; serialization of the
      relabelled structure, total once order_of is a bijection *)
-  let buf = Buffer.create 256 in
+  let buf =
+    match scratch with
+    | Some s ->
+        Buffer.clear s.buf;
+        s.buf
+    | None -> Buffer.create 256
+  in
   Buffer.add_string buf (Printf.sprintf "n=%d;" (Structure.order a));
   List.iter
     (fun (name, _) ->
@@ -126,7 +147,7 @@ let smallest_ambiguous_class colors =
    grouping merely costs extra evaluations; it never merges distinct types
    (equal keys always certify an isomorphism via the serialisation). An
    uncapped search is exponential on large orbits (a hub's leaves). *)
-let canonical_key a ~centre =
+let canonical_key ?scratch a ~centre =
   let n = Structure.order a in
   if n = 0 then "empty"
   else begin
@@ -141,8 +162,8 @@ let canonical_key a ~centre =
     let budget = ref 60 in
     let rec canon colors =
       decr budget;
-      let colors = refine_fix a colors in
-      if all_distinct colors then serialize a (order_from_colors colors)
+      let colors = refine_fix ?scratch a colors in
+      if all_distinct colors then serialize ?scratch a (order_from_colors colors)
       else begin
         match smallest_ambiguous_class colors with
         | None -> assert false
@@ -164,6 +185,28 @@ let canonical_key a ~centre =
     canon init
   end
 
-let ball_key a ~centre ~r =
+let ball_key ?scratch a ~centre ~r =
   let sub, c = extract a ~centre ~r in
-  canonical_key sub ~centre:c
+  canonical_key ?scratch sub ~centre:c
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consing of canonical keys. A sweep over a large structure produces
+   n key strings but only few distinct ones (that is the point of Hanf
+   grouping); interning maps each string to a small int id so that all
+   downstream grouping and deduplication compares ints. Ids are assigned
+   in first-intern order, so grouping by id is deterministic. *)
+
+type interner = { ids : (string, int) Hashtbl.t; mutable next : int }
+
+let interner () = { ids = Hashtbl.create 256; next = 0 }
+
+let intern it key =
+  match Hashtbl.find_opt it.ids key with
+  | Some id -> id
+  | None ->
+      let id = it.next in
+      it.next <- id + 1;
+      Hashtbl.replace it.ids key id;
+      id
+
+let interned_count it = it.next

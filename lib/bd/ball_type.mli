@@ -27,10 +27,30 @@
 val extract :
   Foc_data.Structure.t -> centre:int -> r:int -> Foc_data.Structure.t * int
 
+(** Reusable canonicalization scratch (serialization buffer + colour-rank
+    table). Optional; passing one to repeated key computations avoids
+    re-growing the buffers per call. One scratch per domain — do not share
+    across concurrent canonicalizations. *)
+type scratch
+
+val scratch : unit -> scratch
+
 (** [canonical_key a ~centre] — canonical serialisation of the rooted
     structure [(a, centre)]. Intended for small (ball-sized) structures;
     cost grows with automorphism ambiguity. *)
-val canonical_key : Foc_data.Structure.t -> centre:int -> string
+val canonical_key : ?scratch:scratch -> Foc_data.Structure.t -> centre:int -> string
 
 (** [ball_key a ~centre ~r] = [canonical_key (extract a ~centre ~r)]. *)
-val ball_key : Foc_data.Structure.t -> centre:int -> r:int -> string
+val ball_key :
+  ?scratch:scratch -> Foc_data.Structure.t -> centre:int -> r:int -> string
+
+(** Hash-consing of canonical keys to dense int ids (first-intern order).
+    Interning each key string once lets all downstream grouping compare
+    ints instead of re-hashing strings. *)
+type interner
+
+val interner : unit -> interner
+val intern : interner -> string -> int
+
+(** Number of distinct keys interned so far; ids are [0 .. count-1]. *)
+val interned_count : interner -> int

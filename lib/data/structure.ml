@@ -97,20 +97,25 @@ let gaifman a =
   match a.gaifman with
   | Some g -> g
   | None ->
-      let es = ref [] in
-      M.iter
-        (fun _ tuples ->
-          Tuple.Set.iter
-            (fun tup ->
-              let k = Array.length tup in
-              for i = 0 to k - 1 do
-                for j = i + 1 to k - 1 do
-                  if tup.(i) <> tup.(j) then es := (tup.(i), tup.(j)) :: !es
-                done
-              done)
-            tuples)
-        a.rels;
-      let g = Foc_graph.Graph.create a.order !es in
+      (* CSR count-then-fill: the tuple sets are iterated twice (once to
+         count half-edges, once to place them) and no intermediate edge
+         list is ever built — on large databases the old (u,v) list plus
+         its sort dominated construction time and memory. *)
+      let g =
+        Foc_graph.Graph.build a.order (fun emit ->
+            M.iter
+              (fun _ tuples ->
+                Tuple.Set.iter
+                  (fun tup ->
+                    let k = Array.length tup in
+                    for i = 0 to k - 1 do
+                      for j = i + 1 to k - 1 do
+                        if tup.(i) <> tup.(j) then emit tup.(i) tup.(j)
+                      done
+                    done)
+                  tuples)
+              a.rels)
+      in
       a.gaifman <- Some g;
       g
 
@@ -131,7 +136,7 @@ let dist_le a u v r = Foc_graph.Bfs.dist_le (gaifman a) u v r
 let ball a ~centres ~radius = Foc_graph.Bfs.ball (gaifman a) ~centres ~radius
 
 let induced a vs =
-  let vs = List.sort_uniq compare vs in
+  let vs = List.sort_uniq Int.compare vs in
   List.iter
     (fun v ->
       if v < 0 || v >= a.order then
@@ -215,9 +220,44 @@ let equal a b =
        (M.filter (fun _ s -> not (Tuple.Set.is_empty s)) a.rels)
        (M.filter (fun _ s -> not (Tuple.Set.is_empty s)) b.rels)
 
+(* Cheap isomorphism invariants, checked before the factorial permutation
+   search: per-relation cardinalities, and for each relation/position the
+   sorted multiset of per-element occurrence counts (which subsumes the
+   Gaifman degree multiset for binary relations). O(size) total, so
+   trivially non-isomorphic pairs never reach the n! search. *)
+let occurrence_profile a name pos =
+  let counts = Array.make a.order 0 in
+  Tuple.Set.iter
+    (fun tup -> counts.(tup.(pos)) <- counts.(tup.(pos)) + 1)
+    (rel a name);
+  Array.sort Int.compare counts;
+  counts
+
+let isomorphism_plausible a b =
+  Signature.to_list a.sign
+  |> List.for_all (fun (name, arity) ->
+         Tuple.Set.cardinal (rel a name) = Tuple.Set.cardinal (rel b name)
+         &&
+         let ok = ref true in
+         for pos = 0 to arity - 1 do
+           if
+             !ok
+             && occurrence_profile a name pos <> occurrence_profile b name pos
+           then ok := false
+         done;
+         !ok)
+  && begin
+       let deg g = Array.init a.order (Foc_graph.Graph.degree g) in
+       let da = deg (gaifman a) and db = deg (gaifman b) in
+       Array.sort Int.compare da;
+       Array.sort Int.compare db;
+       da = db
+     end
+
 let isomorphic a b =
   a.order = b.order
   && Signature.equal a.sign b.sign
+  && isomorphism_plausible a b
   &&
   (* try all permutations of the (small) universe *)
   let n = a.order in

@@ -2,11 +2,11 @@ type t = int array
 
 let compare (a : t) (b : t) =
   let la = Array.length a and lb = Array.length b in
-  if la <> lb then Stdlib.compare la lb
+  if la <> lb then Int.compare la lb
   else begin
     let rec go i =
       if i = la then 0
-      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else if a.(i) <> b.(i) then Int.compare a.(i) b.(i)
       else go (i + 1)
     in
     go 0

@@ -18,13 +18,11 @@ let distances_from g ~sources ~radius =
     let u = Queue.take q in
     let du = dist.(u) in
     if du < radius then
-      Array.iter
-        (fun v ->
+      Graph.iter_neighbours g u (fun v ->
           if dist.(v) = infinity then begin
             dist.(v) <- du + 1;
             Queue.add v q
           end)
-        (Graph.neighbours g u)
   done;
   dist
 
@@ -47,15 +45,88 @@ let ball_tbl g ~centres ~radius =
     let u = Queue.take q in
     let du = Hashtbl.find dist u in
     if du < radius then
-      Array.iter
-        (fun v ->
+      Graph.iter_neighbours g u (fun v ->
           if not (Hashtbl.mem dist v) then begin
             Hashtbl.replace dist v (du + 1);
             Queue.add v q
           end)
-        (Graph.neighbours g u)
   done;
   dist
+
+(* ------------------------------------------------------------------ *)
+(* The reusable BFS arena. A persistent distance array is validated by an
+   epoch stamp — bumping [epoch] invalidates every entry at once, so a
+   query costs O(ball) with zero allocation and no O(n) reset. The explicit
+   int queue doubles as the visited list (in BFS order), which is exactly
+   what the compact-ball extraction needs. One arena per worker domain:
+   the searcher is single-owner mutable state, never shared. *)
+
+type searcher = {
+  g : Graph.t;
+  dist : int array;  (* valid iff stamp.(v) = epoch *)
+  stamp : int array;
+  mutable epoch : int;
+  queue : int array;  (* visited vertices of the current epoch, BFS order *)
+  mutable count : int;  (* number of visited vertices *)
+  mutable total_visited : int;  (* lifetime counter, for engine stats *)
+}
+
+let searcher g =
+  let n = Graph.order g in
+  {
+    g;
+    dist = Array.make (max n 1) 0;
+    stamp = Array.make (max n 1) 0;
+    epoch = 0;
+    queue = Array.make (max n 1) 0;
+    count = 0;
+    total_visited = 0;
+  }
+
+let searcher_graph s = s.g
+let visited_count s = s.count
+let visited s i = s.queue.(i)
+let total_visited s = s.total_visited
+
+let mem s v = v >= 0 && v < Array.length s.stamp && s.stamp.(v) = s.epoch
+let dist_of s v = if mem s v then s.dist.(v) else infinity
+
+let run s ~centres ~radius =
+  let n = Graph.order s.g in
+  s.epoch <- s.epoch + 1;
+  s.count <- 0;
+  let enqueue v d =
+    s.stamp.(v) <- s.epoch;
+    s.dist.(v) <- d;
+    s.queue.(s.count) <- v;
+    s.count <- s.count + 1
+  in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then invalid_arg "Bfs: source out of range";
+      if s.stamp.(v) <> s.epoch then enqueue v 0)
+    centres;
+  let head = ref 0 in
+  while !head < s.count do
+    let u = s.queue.(!head) in
+    incr head;
+    let du = s.dist.(u) in
+    if du < radius then
+      for i = Graph.adj_start s.g u to Graph.adj_stop s.g u - 1 do
+        let v = Graph.adj_target s.g i in
+        if s.stamp.(v) <> s.epoch then enqueue v (du + 1)
+      done
+  done;
+  s.total_visited <- s.total_visited + s.count;
+  s.count
+
+let ball_sorted s ~centres ~radius =
+  let count = run s ~centres ~radius in
+  let out = Array.sub s.queue 0 count in
+  Foc_util.Int_sort.sort out;
+  out
+
+(* ------------------------------------------------------------------ *)
 
 let dist g u v =
   if u = v then 0
@@ -75,7 +146,7 @@ let dist_le g u v r =
 let ball g ~centres ~radius =
   let d = ball_tbl g ~centres ~radius in
   let acc = Hashtbl.fold (fun v _ acc -> v :: acc) d [] in
-  List.sort compare acc
+  List.sort Int.compare acc
 
 let eccentricity_within g vs c =
   let sub, old_of_new = Graph.induced g vs in

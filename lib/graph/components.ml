@@ -11,13 +11,11 @@ let labels g =
       Queue.add v q;
       while not (Queue.is_empty q) do
         let u = Queue.take q in
-        Array.iter
-          (fun w ->
+        Graph.iter_neighbours g u (fun w ->
             if lab.(w) < 0 then begin
               lab.(w) <- c;
               Queue.add w q
             end)
-          (Graph.neighbours g u)
       done
     end
   done;

@@ -2,8 +2,9 @@
 
     This is the substrate for Gaifman graphs (Section 2 of the paper) and all
     of the sparsity machinery of Sections 7–8: balls, neighbourhood covers
-    and the splitter game. Graphs are immutable after construction;
-    adjacency lists are sorted and duplicate- and loop-free. *)
+    and the splitter game. Graphs are immutable after construction and
+    stored in compressed sparse row form (one flat offsets/targets pair);
+    adjacency segments are sorted and duplicate- and loop-free. *)
 
 type t
 
@@ -11,6 +12,13 @@ type t
     undirected edges; self-loops are dropped, duplicates merged. Raises
     [Invalid_argument] on out-of-range endpoints or negative [n]. *)
 val create : int -> (int * int) list -> t
+
+(** [build n iter] — count-then-fill CSR construction without an
+    intermediate edge list: [iter emit] must call [emit u v] once per
+    (undirected) edge occurrence and enumerate the {e same} multiset of
+    edges each time it is invoked (it runs twice — a counting pass and a
+    filling pass). Self-loops dropped, duplicates merged. *)
+val build : int -> ((int -> int -> unit) -> unit) -> t
 
 (** Number of vertices. *)
 val order : t -> int
@@ -21,8 +29,23 @@ val edge_count : t -> int
 (** [size g] is [order g + edge_count g], written ‖G‖ in the paper. *)
 val size : t -> int
 
-(** Sorted array of neighbours of a vertex. The caller must not mutate it. *)
+(** Sorted array of neighbours of a vertex. Allocates a fresh copy of the
+    CSR segment; hot loops should use {!iter_neighbours} or the raw
+    [adj_*] accessors instead. *)
 val neighbours : t -> int -> int array
+
+(** [iter_neighbours g v f] applies [f] to each neighbour of [v] in
+    ascending order, without allocating. *)
+val iter_neighbours : t -> int -> (int -> unit) -> unit
+
+(** Raw CSR cursor access for allocation-free inner loops: vertex [v]'s
+    neighbours are [adj_target g i] for
+    [adj_start g v <= i < adj_stop g v], sorted ascending. [adj_target]
+    performs no bounds check. *)
+val adj_start : t -> int -> int
+
+val adj_stop : t -> int -> int
+val adj_target : t -> int -> int
 
 (** Degree of a vertex. *)
 val degree : t -> int -> int

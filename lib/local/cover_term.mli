@@ -26,19 +26,29 @@ val required_cover_radius : Clterm.t -> int
     [jobs > 1] evaluates clusters in parallel ({!Foc_par}): each cluster
     task owns its induced substructure and context, and the kernels
     partition the universe, so the sweep is race-free and bit-identical to
-    [jobs = 1]. *)
+    [jobs = 1].
+
+    [cache_bytes] bounds each cluster context's ball cache (see
+    {!Pattern_count.make_ctx}). [stats_sink], when given, is called (on the
+    calling domain, after each parallel sweep joins) with the summed
+    {!Pattern_count.snapshot} of the sweep's cluster contexts — once per
+    basic leaf evaluated. *)
 val eval_unary :
   ?jobs:int ->
+  ?cache_bytes:int ->
+  ?stats_sink:(Pattern_count.snapshot -> unit) ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Foc_graph.Cover.t ->
   Clterm.t ->
   int array
 
-(** [eval_ground preds a cover t] — ground cl-terms only. [jobs] as in
-    {!eval_unary}. *)
+(** [eval_ground preds a cover t] — ground cl-terms only. [jobs],
+    [cache_bytes], [stats_sink] as in {!eval_unary}. *)
 val eval_ground :
   ?jobs:int ->
+  ?cache_bytes:int ->
+  ?stats_sink:(Pattern_count.snapshot -> unit) ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Foc_graph.Cover.t ->

@@ -1,50 +1,277 @@
 open Foc_logic
 
+(* ------------------------------------------------------------------ *)
+(* Compact balls. A (2r+1)-ball is stored either as a sorted int array
+   (binary-search membership, 1 word per element) or — when it covers a
+   large fraction of the universe — as a bitset (n/64 words regardless of
+   cardinality). Balls are immutable once built, so cache eviction can
+   never invalidate a ball a sweep is still iterating. *)
+
+type ball =
+  | Sorted of int array
+  | Bits of { bits : Foc_util.Bitset.t; card : int }
+
+let ball_card = function Sorted a -> Array.length a | Bits b -> b.card
+
+let ball_mem b v =
+  match b with
+  | Bits b -> v >= 0 && v < Foc_util.Bitset.capacity b.bits && Foc_util.Bitset.mem b.bits v
+  | Sorted a ->
+      let lo = ref 0 and hi = ref (Array.length a) in
+      let found = ref false in
+      while (not !found) && !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        let x = Array.unsafe_get a mid in
+        if x = v then found := true
+        else if x < v then lo := mid + 1
+        else hi := mid
+      done;
+      !found
+
+let ball_iter f = function
+  | Sorted a -> Array.iter f a
+  | Bits b -> Foc_util.Bitset.iter f b.bits
+
+(* approximate heap footprint in bytes, for the cache budget *)
+let ball_bytes = function
+  | Sorted a -> (Array.length a + 2) * (Sys.word_size / 8)
+  | Bits b -> (Foc_util.Bitset.capacity b.bits / 8) + 3 * (Sys.word_size / 8)
+
+(* ------------------------------------------------------------------ *)
+(* Capacity-bounded ball cache with second-chance ("LRU-ish") eviction:
+   entries queue up in insertion order; a hit sets a reference bit; the
+   evictor pops the oldest entry, re-queueing it once if the bit is set.
+   The most recently inserted ball is never evicted, so a capacity of 0
+   degenerates to a one-entry cache (the eviction-heavy path the tests
+   pin down) instead of thrashing to nothing. *)
+
+type entry = { ball : ball; bytes : int; mutable referenced : bool }
+
+type cache = {
+  tbl : (int, entry) Hashtbl.t;
+  fifo : int Queue.t;
+  capacity : int;  (* bytes *)
+  mutable bytes_used : int;
+}
+
+type stats = {
+  mutable computed : int;  (* balls computed (BFS runs) *)
+  mutable hits : int;
+  mutable evictions : int;
+  mutable peak_entries : int;
+  mutable peak_bytes : int;
+  mutable merged_bfs_visited : int;
+      (* BFS vertices from merged clone contexts; the live searcher's own
+         counter is added in [snapshot] *)
+}
+
+let fresh_stats () =
+  {
+    computed = 0;
+    hits = 0;
+    evictions = 0;
+    peak_entries = 0;
+    peak_bytes = 0;
+    merged_bfs_visited = 0;
+  }
+
+type snapshot = {
+  balls_computed : int;
+  cache_hits : int;
+  cache_evictions : int;
+  cache_peak_entries : int;
+  cache_peak_bytes : int;
+  bfs_visited : int;
+}
+
+let empty_snapshot =
+  {
+    balls_computed = 0;
+    cache_hits = 0;
+    cache_evictions = 0;
+    cache_peak_entries = 0;
+    cache_peak_bytes = 0;
+    bfs_visited = 0;
+  }
+
+(* counters add; peaks combine as max (each context's residency was
+   separate in time or in a separate domain) *)
+let add_snapshot a b =
+  {
+    balls_computed = a.balls_computed + b.balls_computed;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_evictions = a.cache_evictions + b.cache_evictions;
+    cache_peak_entries = max a.cache_peak_entries b.cache_peak_entries;
+    cache_peak_bytes = max a.cache_peak_bytes b.cache_peak_bytes;
+    bfs_visited = a.bfs_visited + b.bfs_visited;
+  }
+
+let default_cache_bytes = 64 * 1024 * 1024
+
 type ctx = {
   preds : Pred.collection;
   structure : Foc_data.Structure.t;
   r : int;
   threshold : int;  (* 2r+1 *)
-  balls : (int, (int, int) Hashtbl.t) Hashtbl.t;  (* element -> its ball *)
-  mutable computed : int;
+  cache : cache;
+  mutable searcher : Foc_graph.Bfs.searcher option;  (* lazy: forces gaifman *)
+  seen : int array;  (* epoch-stamped candidate-dedup scratch *)
+  mutable seen_epoch : int;
+  st : stats;
 }
 
-let make_ctx preds structure ~r =
+let make_ctx ?(cache_bytes = default_cache_bytes) preds structure ~r =
   if r < 0 then invalid_arg "Pattern_count.make_ctx: negative radius";
   {
     preds;
     structure;
     r;
     threshold = (2 * r) + 1;
-    balls = Hashtbl.create 1024;
-    computed = 0;
+    cache =
+      {
+        tbl = Hashtbl.create 1024;
+        fifo = Queue.create ();
+        capacity = max cache_bytes 0;
+        bytes_used = 0;
+      };
+    searcher = None;
+    seen = Array.make (max (Foc_data.Structure.order structure) 1) 0;
+    seen_epoch = 0;
+    st = fresh_stats ();
   }
 
-let balls_computed ctx = ctx.computed
 let order ctx = Foc_data.Structure.order ctx.structure
+let balls_computed ctx = ctx.st.computed
 
-(* A fresh ball cache over the same structure — one per worker domain, so
-   parallel sweeps never share the mutable tables. Counter merges at join
-   keep [balls_computed] meaningful. *)
-let clone_ctx ctx = { ctx with balls = Hashtbl.create 1024; computed = 0 }
+let snapshot ctx =
+  let live =
+    match ctx.searcher with
+    | Some s -> Foc_graph.Bfs.total_visited s
+    | None -> 0
+  in
+  {
+    balls_computed = ctx.st.computed;
+    cache_hits = ctx.st.hits;
+    cache_evictions = ctx.st.evictions;
+    cache_peak_entries = ctx.st.peak_entries;
+    cache_peak_bytes = ctx.st.peak_bytes;
+    bfs_visited = ctx.st.merged_bfs_visited + live;
+  }
+
+(* A fresh ball cache and BFS arena over the same structure — one per worker
+   domain, so parallel sweeps never share mutable state. Counter merges at
+   join keep the statistics meaningful. *)
+let clone_ctx ctx =
+  {
+    ctx with
+    cache =
+      {
+        tbl = Hashtbl.create 1024;
+        fifo = Queue.create ();
+        capacity = ctx.cache.capacity;
+        bytes_used = 0;
+      };
+    searcher = None;
+    seen = Array.make (Array.length ctx.seen) 0;
+    seen_epoch = 0;
+    st = fresh_stats ();
+  }
 
 let merge_ctx_stats ~into clones =
-  List.iter (fun c -> into.computed <- into.computed + c.computed) clones
+  List.iter
+    (fun c ->
+      let s = snapshot c in
+      into.st.computed <- into.st.computed + s.balls_computed;
+      into.st.hits <- into.st.hits + s.cache_hits;
+      into.st.evictions <- into.st.evictions + s.cache_evictions;
+      into.st.peak_entries <- max into.st.peak_entries s.cache_peak_entries;
+      into.st.peak_bytes <- max into.st.peak_bytes s.cache_peak_bytes;
+      into.st.merged_bfs_visited <-
+        into.st.merged_bfs_visited + s.bfs_visited)
+    clones
+
+let searcher ctx =
+  match ctx.searcher with
+  | Some s -> s
+  | None ->
+      let s =
+        Foc_graph.Bfs.searcher (Foc_data.Structure.gaifman ctx.structure)
+      in
+      ctx.searcher <- Some s;
+      s
+
+let cache_evict ctx =
+  let c = ctx.cache in
+  let continue = ref true in
+  while !continue && c.bytes_used > c.capacity && Hashtbl.length c.tbl > 1 do
+    match Queue.take_opt c.fifo with
+    | None -> continue := false
+    | Some key -> (
+        match Hashtbl.find_opt c.tbl key with
+        | None -> ()
+        | Some e when e.referenced && not (Queue.is_empty c.fifo) ->
+            (* second chance: clear the bit, requeue *)
+            e.referenced <- false;
+            Queue.add key c.fifo
+        | Some e ->
+            Hashtbl.remove c.tbl key;
+            c.bytes_used <- c.bytes_used - e.bytes;
+            ctx.st.evictions <- ctx.st.evictions + 1)
+  done
 
 let ball_of ctx v =
-  match Hashtbl.find_opt ctx.balls v with
-  | Some tbl -> tbl
+  match Hashtbl.find_opt ctx.cache.tbl v with
+  | Some e ->
+      e.referenced <- true;
+      ctx.st.hits <- ctx.st.hits + 1;
+      e.ball
   | None ->
-      let tbl =
-        Foc_graph.Bfs.ball_tbl
-          (Foc_data.Structure.gaifman ctx.structure)
-          ~centres:[ v ] ~radius:ctx.threshold
+      let s = searcher ctx in
+      let count =
+        Foc_graph.Bfs.run s ~centres:[ v ] ~radius:ctx.threshold
       in
-      ctx.computed <- ctx.computed + 1;
-      Hashtbl.replace ctx.balls v tbl;
-      tbl
+      let n = order ctx in
+      let b =
+        if count * 64 >= n && n > 0 then begin
+          let bits = Foc_util.Bitset.create n in
+          for i = 0 to count - 1 do
+            Foc_util.Bitset.add bits (Foc_graph.Bfs.visited s i)
+          done;
+          Bits { bits; card = count }
+        end
+        else begin
+          let a = Array.init count (Foc_graph.Bfs.visited s) in
+          Foc_util.Int_sort.sort a;
+          Sorted a
+        end
+      in
+      ctx.st.computed <- ctx.st.computed + 1;
+      let bytes = ball_bytes b in
+      Hashtbl.replace ctx.cache.tbl v { ball = b; bytes; referenced = false };
+      Queue.add v ctx.cache.fifo;
+      ctx.cache.bytes_used <- ctx.cache.bytes_used + bytes;
+      ctx.st.peak_entries <-
+        max ctx.st.peak_entries (Hashtbl.length ctx.cache.tbl);
+      ctx.st.peak_bytes <- max ctx.st.peak_bytes ctx.cache.bytes_used;
+      cache_evict ctx;
+      b
 
-let close ctx u v = u = v || Hashtbl.mem (ball_of ctx u) v
+let close ctx u v = u = v || ball_mem (ball_of ctx u) v
+
+(* Epoch-stamped dedup of an indexed candidate list: O(length), no sorting,
+   no polymorphic compare. Collected eagerly (before any recursion) because
+   the scratch array is shared across placement levels. *)
+let dedup_candidates ctx l =
+  ctx.seen_epoch <- ctx.seen_epoch + 1;
+  let e = ctx.seen_epoch in
+  List.filter
+    (fun v ->
+      if ctx.seen.(v) = e then false
+      else begin
+        ctx.seen.(v) <- e;
+        true
+      end)
+    l
 
 (* BFS enumeration order over the pattern's positions starting at 0: each
    later position comes with a previously-placed pattern-neighbour whose
@@ -73,12 +300,15 @@ let bfs_order pattern =
 (* Pairwise closeness entailed by the body (guard-edge closure): when the
    body itself forces dist(v_i, v_j) ≤ 2r+1, the δ-pattern edge-check is
    free — no ball is ever computed. On low-diameter structures (hub-heavy
-   databases) this is the difference between linear and quadratic sweeps. *)
+   databases) this is the difference between linear and quadratic sweeps.
+   The plan also carries the BFS placement order of the pattern positions,
+   computed once per sweep rather than once per anchor. *)
 type plan = {
   impossible : bool;
       (* the body entails closeness across a pattern non-edge: count is 0 *)
   implied_close : bool array array;
       (* (i,j) true: skip the ball check for this pattern edge *)
+  order : (int * int) list;  (* bfs_order of the pattern, minus the root *)
 }
 
 let make_plan ctx ~pattern ~vars ~body =
@@ -98,7 +328,12 @@ let make_plan ctx ~pattern ~vars ~body =
       | _ -> ()
     done
   done;
-  { impossible = !impossible; implied_close }
+  let order =
+    match bfs_order pattern with
+    | (0, -1) :: rest -> rest
+    | _ -> assert false
+  in
+  { impossible = !impossible; implied_close; order }
 
 let count_at ?plan ctx ~pattern ~vars ~body anchor =
   let k = Foc_graph.Pattern.k pattern in
@@ -108,7 +343,6 @@ let count_at ?plan ctx ~pattern ~vars ~body anchor =
   let vars = Array.of_list vars in
   if Array.length vars <> k then
     invalid_arg "Pattern_count: variable/pattern arity mismatch";
-  let order = bfs_order pattern in
   let placed = Array.make k (-1) in
   let count = ref 0 in
   let realises_exactly () =
@@ -157,21 +391,20 @@ let count_at ?plan ctx ~pattern ~vars ~body anchor =
               (fun v ->
                 placed.(j) <- v;
                 place rest)
-              (List.sort_uniq compare l)
+              (dedup_candidates ctx l)
         | Some l
-          when List.length l
-               < Hashtbl.length (ball_of ctx placed.(parent)) ->
+          when List.length l < ball_card (ball_of ctx placed.(parent)) ->
             let parent_ball = ball_of ctx placed.(parent) in
             List.iter
               (fun v ->
-                if Hashtbl.mem parent_ball v then begin
+                if ball_mem parent_ball v then begin
                   placed.(j) <- v;
                   place rest
                 end)
-              (List.sort_uniq compare l)
+              (dedup_candidates ctx l)
         | _ ->
-            Hashtbl.iter
-              (fun v _ ->
+            ball_iter
+              (fun v ->
                 placed.(j) <- v;
                 place rest)
               (ball_of ctx placed.(parent)));
@@ -180,16 +413,14 @@ let count_at ?plan ctx ~pattern ~vars ~body anchor =
   if plan.impossible then 0
   else begin
     placed.(0) <- anchor;
-    (match order with
-    | (0, -1) :: rest -> place rest
-    | _ -> assert false);
+    place plan.order;
     !count
   end
 
-let at ctx ~pattern ~vars ~body ~anchor =
+let at ?plan ctx ~pattern ~vars ~body ~anchor =
   if Foc_graph.Pattern.k pattern = 0 then
     invalid_arg "Pattern_count.at: empty pattern has no anchor";
-  count_at ctx ~pattern ~vars ~body anchor
+  count_at ?plan ctx ~pattern ~vars ~body anchor
 
 let per_anchor ?(jobs = 1) ctx ~pattern ~vars ~body =
   let k = Foc_graph.Pattern.k pattern in

@@ -9,22 +9,66 @@
     exploration — the source of the engine's near-linear behaviour on
     sparse structures.
 
+    Balls are computed by a reusable allocation-free BFS arena
+    ({!Foc_graph.Bfs.searcher}) and stored {e compactly} — a sorted
+    [int array] with binary-search membership, or a bitset when the ball
+    covers a large fraction of the universe — behind a capacity-bounded
+    cache with second-chance eviction, so huge structures no longer retain
+    O(n·ball) memory. Counts are bit-identical for every cache capacity.
+
     [body] is evaluated with {!Local_eval}, so its guarded quantifiers also
     stay inside balls. *)
 
 open Foc_logic
 
-(** A reusable context caching the (2r+1)-balls computed while sweeping a
-    structure. *)
+(** A reusable context holding the BFS arena and the bounded cache of
+    (2r+1)-balls computed while sweeping a structure. *)
 type ctx
 
-val make_ctx : Pred.collection -> Foc_data.Structure.t -> r:int -> ctx
+(** [make_ctx ?cache_bytes preds a ~r] — [cache_bytes] bounds the memory
+    retained by cached balls (approximate heap bytes; default 64 MiB).
+    Values [<= 0] degenerate to a one-entry cache: the most recently
+    computed ball is always retained, everything else is evicted. *)
+val make_ctx :
+  ?cache_bytes:int -> Pred.collection -> Foc_data.Structure.t -> r:int -> ctx
 
 (** Cache/statistics: number of ball computations performed. *)
 val balls_computed : ctx -> int
 
+(** Aggregated observability counters for one context (including everything
+    merged from per-domain clones). *)
+type snapshot = {
+  balls_computed : int;  (** BFS ball computations (cache misses) *)
+  cache_hits : int;
+  cache_evictions : int;
+  cache_peak_entries : int;  (** max balls resident at once *)
+  cache_peak_bytes : int;  (** max approximate bytes resident at once *)
+  bfs_visited : int;  (** total vertices visited by ball BFS runs *)
+}
+
+val snapshot : ctx -> snapshot
+
+val empty_snapshot : snapshot
+
+(** [add_snapshot a b] — counters add, peaks combine as [max] (the two
+    contexts' residencies were separate in time or in separate domains). *)
+val add_snapshot : snapshot -> snapshot -> snapshot
+
 (** Order of the underlying structure. *)
 val order : ctx -> int
+
+(** A per-sweep evaluation plan: the pattern's BFS placement order plus the
+    pairwise-closeness facts entailed by the body. Computing it once per
+    sweep (instead of once per anchor) is significant on large
+    structures. *)
+type plan
+
+val make_plan :
+  ctx ->
+  pattern:Foc_graph.Pattern.t ->
+  vars:Var.t list ->
+  body:Ast.formula ->
+  plan
 
 (** [per_anchor ctx ~pattern ~vars ~body] — for each element [a], the number
     of tuples [(a, a_2, …, a_k)] that realise [pattern] exactly (position 0
@@ -32,8 +76,9 @@ val order : ctx -> int
     connected and non-empty; [free body ⊆ vars].
 
     [jobs > 1] sweeps the anchors on that many domains ({!Foc_par}); each
-    domain uses a private ball-cache clone of [ctx] (merged into [ctx]'s
-    statistics at join) and the result is bit-identical to [jobs = 1]. *)
+    domain uses a private ball-cache/arena clone of [ctx] (merged into
+    [ctx]'s statistics at join) and the result is bit-identical to
+    [jobs = 1]. *)
 val per_anchor :
   ?jobs:int ->
   ctx ->
@@ -56,8 +101,10 @@ val ground :
 
 (** [at ctx ~pattern ~vars ~body ~anchor] — the count for a single anchor
     element (used by the cluster sweep of Section 8.2, which only needs the
-    kernel elements of each cluster). *)
+    kernel elements of each cluster). Pass [?plan] when calling repeatedly
+    with the same pattern/body to share the per-sweep plan. *)
 val at :
+  ?plan:plan ->
   ctx ->
   pattern:Foc_graph.Pattern.t ->
   vars:Var.t list ->

@@ -15,6 +15,7 @@ type config = {
   max_blocks : int;
   allow_fallback : bool;
   jobs : int;
+  ball_cache_mb : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     max_blocks = 4096;
     allow_fallback = true;
     jobs = Foc_par.default_jobs ();
+    ball_cache_mb = 64;
   }
 
 type stats = {
@@ -34,6 +36,12 @@ type stats = {
   mutable fallbacks : int;
   mutable covers_built : int;
   mutable removals : int;
+  mutable balls_computed : int;
+  mutable ball_cache_hits : int;
+  mutable ball_cache_evictions : int;
+  mutable ball_cache_peak_entries : int;
+  mutable ball_cache_peak_bytes : int;
+  mutable bfs_visited : int;
 }
 
 exception Outside_fragment of string
@@ -51,6 +59,12 @@ let create ?(config = default_config) () =
         fallbacks = 0;
         covers_built = 0;
         removals = 0;
+        balls_computed = 0;
+        ball_cache_hits = 0;
+        ball_cache_evictions = 0;
+        ball_cache_peak_entries = 0;
+        ball_cache_peak_bytes = 0;
+        bfs_visited = 0;
       };
     fresh = 0;
   }
@@ -65,6 +79,23 @@ let fresh_rel t prefix =
 let fallback t what =
   if not t.cfg.allow_fallback then raise (Outside_fragment what);
   t.st.fallbacks <- t.st.fallbacks + 1
+
+(* Ball-cache observability: every back-end evaluation folds its contexts'
+   counters into the engine stats here, on the calling domain, after any
+   parallel sweep has joined — the stats record is never touched
+   concurrently. Counters add across evaluations; peaks are maxima of
+   per-evaluation residency (the caches do not persist between calls). *)
+let absorb t (s : Pattern_count.snapshot) =
+  t.st.balls_computed <- t.st.balls_computed + s.balls_computed;
+  t.st.ball_cache_hits <- t.st.ball_cache_hits + s.cache_hits;
+  t.st.ball_cache_evictions <- t.st.ball_cache_evictions + s.cache_evictions;
+  t.st.ball_cache_peak_entries <-
+    max t.st.ball_cache_peak_entries s.cache_peak_entries;
+  t.st.ball_cache_peak_bytes <-
+    max t.st.ball_cache_peak_bytes s.cache_peak_bytes;
+  t.st.bfs_visited <- t.st.bfs_visited + s.bfs_visited
+
+let cache_bytes t = t.cfg.ball_cache_mb * 1024 * 1024
 
 (* ---------------- cl-term evaluation back-ends ---------------- *)
 
@@ -84,19 +115,27 @@ let eval_cl_ground t a cl =
   let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
-      let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
-      Clterm.eval_ground ~jobs ctx cl
+      let ctx =
+        Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
+          ~r:(cl_radius cl)
+      in
+      let v = Clterm.eval_ground ~jobs ctx cl in
+      absorb t (Pattern_count.snapshot ctx);
+      v
   | Cover ->
       let rc = Cover_term.required_cover_radius cl in
       let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
       t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_ground ~jobs t.cfg.preds a cover cl
+      Cover_term.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
+        ~stats_sink:(absorb t) t.cfg.preds a cover cl
   | Splitter { max_rounds; small } ->
       (* the removal recursion mutates shared state; it stays sequential *)
       Splitter_backend.eval_ground
         ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
         t.cfg.preds a ~max_rounds ~small cl
-  | Hanf -> Hanf_backend.eval_ground ~jobs t.cfg.preds a cl
+  | Hanf ->
+      Hanf_backend.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
+        ~stats_sink:(absorb t) t.cfg.preds a cl
 
 let eval_cl_unary t a cl =
   t.st.clterms_built <- t.st.clterms_built + 1;
@@ -104,18 +143,26 @@ let eval_cl_unary t a cl =
   let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
-      let ctx = Pattern_count.make_ctx t.cfg.preds a ~r:(cl_radius cl) in
-      Clterm.eval_unary ~jobs ctx cl
+      let ctx =
+        Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
+          ~r:(cl_radius cl)
+      in
+      let v = Clterm.eval_unary ~jobs ctx cl in
+      absorb t (Pattern_count.snapshot ctx);
+      v
   | Cover ->
       let rc = Cover_term.required_cover_radius cl in
       let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
       t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_unary ~jobs t.cfg.preds a cover cl
+      Cover_term.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
+        ~stats_sink:(absorb t) t.cfg.preds a cover cl
   | Splitter { max_rounds; small } ->
       Splitter_backend.eval_unary
         ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
         t.cfg.preds a ~max_rounds ~small cl
-  | Hanf -> Hanf_backend.eval_unary ~jobs t.cfg.preds a cl
+  | Hanf ->
+      Hanf_backend.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
+        ~stats_sink:(absorb t) t.cfg.preds a cl
 
 (* ---------------- stratification (Theorem 6.10) ---------------- *)
 

@@ -53,11 +53,16 @@ type config = {
           [Direct], [Cover] and [Hanf] back-ends ({!Foc_par}); [1] is the
           exact sequential path, and every setting returns bit-identical
           counts *)
+  ball_cache_mb : int;
+      (** memory bound (MiB) of each ball cache
+          ({!Foc_local.Pattern_count.make_ctx}); [<= 0] degenerates to a
+          one-entry cache. Counts are bit-identical for every setting —
+          only memory and time change *)
 }
 
 val default_config : config
 (** standard predicates, [Direct] back-end, width 4, fallback allowed,
-    [jobs = Foc_par.default_jobs ()]. *)
+    [jobs = Foc_par.default_jobs ()], [ball_cache_mb = 64]. *)
 
 type stats = {
   mutable materialised : int;  (** fresh relations created (Theorem 6.10) *)
@@ -66,6 +71,15 @@ type stats = {
   mutable fallbacks : int;  (** kernels evaluated by the baseline *)
   mutable covers_built : int;
   mutable removals : int;  (** removal-lemma recursion steps *)
+  mutable balls_computed : int;
+      (** ball BFS computations (cache misses), summed over all contexts *)
+  mutable ball_cache_hits : int;
+  mutable ball_cache_evictions : int;
+  mutable ball_cache_peak_entries : int;
+      (** max balls resident in any one evaluation's caches *)
+  mutable ball_cache_peak_bytes : int;
+      (** max approximate bytes resident in any one evaluation's caches *)
+  mutable bfs_visited : int;  (** total vertices visited by ball BFS runs *)
 }
 
 exception Outside_fragment of string

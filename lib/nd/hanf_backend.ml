@@ -5,8 +5,17 @@ let type_radius (b : Clterm.basic) =
   let k = Foc_graph.Pattern.k b.Clterm.pattern in
   max 1 (k * ((2 * b.Clterm.radius) + 1))
 
-let basic_vector ?(jobs = 1) preds a (b : Clterm.basic) =
+let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
+    (b : Clterm.basic) =
   let k = Foc_graph.Pattern.k b.Clterm.pattern in
+  let deliver snaps =
+    match stats_sink with
+    | None -> ()
+    | Some sink ->
+        sink
+          (List.fold_left Pattern_count.add_snapshot
+             Pattern_count.empty_snapshot snaps)
+  in
   if k = 0 then begin
     let v =
       if Local_eval.holds preds a Foc_logic.Var.Map.empty b.Clterm.body then 1
@@ -15,29 +24,47 @@ let basic_vector ?(jobs = 1) preds a (b : Clterm.basic) =
     Array.make (Structure.order a) v
   end
   else if jobs <= 1 then begin
-    let ctx = Pattern_count.make_ctx preds a ~r:b.Clterm.radius in
-    Foc_bd.Hanf.eval_by_type a ~r:(type_radius b) (fun rep ->
-        Pattern_count.at ctx ~pattern:b.Clterm.pattern ~vars:b.Clterm.vars
-          ~body:b.Clterm.body ~anchor:rep)
+    let ctx = Pattern_count.make_ctx ?cache_bytes preds a ~r:b.Clterm.radius in
+    let plan =
+      Pattern_count.make_plan ctx ~pattern:b.Clterm.pattern
+        ~vars:b.Clterm.vars ~body:b.Clterm.body
+    in
+    let out =
+      Foc_bd.Hanf.eval_by_type a ~r:(type_radius b) (fun rep ->
+          Pattern_count.at ~plan ctx ~pattern:b.Clterm.pattern
+            ~vars:b.Clterm.vars ~body:b.Clterm.body ~anchor:rep)
+    in
+    deliver [ Pattern_count.snapshot ctx ];
+    out
   end
   else begin
     (* both stages in parallel: canonicalise the r-balls, then evaluate one
-       representative per class with a per-domain context *)
+       representative per class with a per-domain context (and a per-domain
+       evaluation plan, hoisted out of the per-class calls) *)
     Structure.prepare a;
     let cls =
       Array.of_list (Foc_bd.Hanf.classes ~jobs a ~r:(type_radius b))
     in
-    let values, _ctxs =
+    let values, ctxs =
       Foc_par.tabulate_ctx ~jobs
-        ~make_ctx:(fun () -> Pattern_count.make_ctx preds a ~r:b.Clterm.radius)
+        ~make_ctx:(fun () ->
+          let ctx =
+            Pattern_count.make_ctx ?cache_bytes preds a ~r:b.Clterm.radius
+          in
+          let plan =
+            Pattern_count.make_plan ctx ~pattern:b.Clterm.pattern
+              ~vars:b.Clterm.vars ~body:b.Clterm.body
+          in
+          (ctx, plan))
         (Array.length cls)
-        (fun ctx i ->
+        (fun (ctx, plan) i ->
           match snd cls.(i) with
           | [] -> 0
           | rep :: _ ->
-              Pattern_count.at ctx ~pattern:b.Clterm.pattern
+              Pattern_count.at ~plan ctx ~pattern:b.Clterm.pattern
                 ~vars:b.Clterm.vars ~body:b.Clterm.body ~anchor:rep)
     in
+    deliver (List.map (fun (ctx, _) -> Pattern_count.snapshot ctx) ctxs);
     let out = Array.make (Structure.order a) 0 in
     Array.iteri
       (fun i (_, members) -> List.iter (fun v -> out.(v) <- values.(i)) members)
@@ -45,11 +72,11 @@ let basic_vector ?(jobs = 1) preds a (b : Clterm.basic) =
     out
   end
 
-let rec eval_unary ?jobs preds a = function
+let rec eval_unary ?jobs ?cache_bytes ?stats_sink preds a = function
   | Clterm.Const i -> Array.make (Structure.order a) i
-  | Clterm.Unary b -> basic_vector ?jobs preds a b
+  | Clterm.Unary b -> basic_vector ?jobs ?cache_bytes ?stats_sink preds a b
   | Clterm.Ground b ->
-      let per = basic_vector ?jobs preds a b in
+      let per = basic_vector ?jobs ?cache_bytes ?stats_sink preds a b in
       let total =
         if Foc_graph.Pattern.k b.Clterm.pattern = 0 then
           if Structure.order a > 0 && per.(0) > 0 then 1 else 0
@@ -57,11 +84,15 @@ let rec eval_unary ?jobs preds a = function
       in
       Array.make (Structure.order a) total
   | Clterm.Add (s, t) ->
-      Array.map2 ( + ) (eval_unary ?jobs preds a s) (eval_unary ?jobs preds a t)
+      Array.map2 ( + )
+        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a s)
+        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a t)
   | Clterm.Mul (s, t) ->
-      Array.map2 ( * ) (eval_unary ?jobs preds a s) (eval_unary ?jobs preds a t)
+      Array.map2 ( * )
+        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a s)
+        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a t)
 
-let rec eval_ground ?jobs preds a = function
+let rec eval_ground ?jobs ?cache_bytes ?stats_sink preds a = function
   | Clterm.Const i -> i
   | Clterm.Unary _ -> invalid_arg "Hanf_backend.eval_ground: unary leaf"
   | Clterm.Ground b ->
@@ -71,8 +102,12 @@ let rec eval_ground ?jobs preds a = function
           && Local_eval.holds preds a Foc_logic.Var.Map.empty b.Clterm.body
         then 1
         else 0
-      else Array.fold_left ( + ) 0 (basic_vector ?jobs preds a b)
+      else
+        Array.fold_left ( + ) 0
+          (basic_vector ?jobs ?cache_bytes ?stats_sink preds a b)
   | Clterm.Add (s, t) ->
-      eval_ground ?jobs preds a s + eval_ground ?jobs preds a t
+      eval_ground ?jobs ?cache_bytes ?stats_sink preds a s
+      + eval_ground ?jobs ?cache_bytes ?stats_sink preds a t
   | Clterm.Mul (s, t) ->
-      eval_ground ?jobs preds a s * eval_ground ?jobs preds a t
+      eval_ground ?jobs ?cache_bytes ?stats_sink preds a s
+      * eval_ground ?jobs ?cache_bytes ?stats_sink preds a t

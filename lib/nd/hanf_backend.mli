@@ -11,16 +11,29 @@
 
     [jobs > 1] parallelises both stages on that many domains ({!Foc_par}):
     the per-ball canonicalisation and the one-evaluation-per-class sweep
-    (with a per-domain {!Foc_local.Pattern_count} context). Results are
-    bit-identical to [jobs = 1]. *)
+    (with a per-domain {!Foc_local.Pattern_count} context and a per-domain
+    evaluation plan). Results are bit-identical to [jobs = 1].
+
+    [cache_bytes] bounds each context's ball cache
+    ({!Foc_local.Pattern_count.make_ctx}); [stats_sink] receives the summed
+    ball-cache snapshot of each basic leaf's contexts, delivered on the
+    calling domain after the parallel sweeps join. *)
 
 open Foc_logic
 
 val eval_ground :
-  ?jobs:int -> Pred.collection -> Foc_data.Structure.t -> Foc_local.Clterm.t -> int
+  ?jobs:int ->
+  ?cache_bytes:int ->
+  ?stats_sink:(Foc_local.Pattern_count.snapshot -> unit) ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Foc_local.Clterm.t ->
+  int
 
 val eval_unary :
   ?jobs:int ->
+  ?cache_bytes:int ->
+  ?stats_sink:(Foc_local.Pattern_count.snapshot -> unit) ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Foc_local.Clterm.t ->

@@ -64,12 +64,17 @@ let leaf_radius (l : leaf) =
   let k = Foc_graph.Pattern.k l.basic.Clterm.pattern in
   max 1 (k * ((2 * l.basic.Clterm.radius) + 1))
 
-let eval_leaf_at ctx (l : leaf) anchor =
-  Pattern_count.at ctx ~pattern:l.basic.Clterm.pattern
+let leaf_plan ctx (l : leaf) =
+  Pattern_count.make_plan ctx ~pattern:l.basic.Clterm.pattern
+    ~vars:l.basic.Clterm.vars ~body:l.basic.Clterm.body
+
+let eval_leaf_at ?plan ctx (l : leaf) anchor =
+  Pattern_count.at ?plan ctx ~pattern:l.basic.Clterm.pattern
     ~vars:l.basic.Clterm.vars ~body:l.basic.Clterm.body ~anchor
 
 let full_leaf ctx (l : leaf) n =
-  l.per_anchor <- Array.init n (fun a -> eval_leaf_at ctx l a)
+  let plan = leaf_plan ctx l in
+  l.per_anchor <- Array.init n (fun a -> eval_leaf_at ~plan ctx l a)
 
 let eval_sentences t =
   Array.iter
@@ -149,8 +154,10 @@ let apply t name tup ~insert =
   Array.iter
     (fun l ->
       let ctx = ctx_for l.basic.Clterm.radius in
+      let plan = leaf_plan ctx l in
       Hashtbl.iter
-        (fun anchor () -> l.per_anchor.(anchor) <- eval_leaf_at ctx l anchor)
+        (fun anchor () ->
+          l.per_anchor.(anchor) <- eval_leaf_at ~plan ctx l anchor)
         affected)
     t.leaves;
   eval_sentences t;

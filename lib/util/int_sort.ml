@@ -1,0 +1,65 @@
+(* Monomorphic in-place sorting of int-array segments. [Array.sort compare]
+   goes through the polymorphic comparison runtime on every element pair —
+   a measurable tax in the CSR construction and ball-extraction loops, which
+   sort millions of small segments. *)
+
+let swap (a : int array) i j =
+  let t = a.(i) in
+  a.(i) <- a.(j);
+  a.(j) <- t
+
+(* insertion sort: the workhorse for the short runs (adjacency segments of
+   bounded-degree graphs, small balls) *)
+let insertion (a : int array) lo hi =
+  for i = lo + 1 to hi do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let rec quick (a : int array) lo hi =
+  if hi - lo < 16 then insertion a lo hi
+  else begin
+    (* median-of-three pivot, stored at [hi] *)
+    let mid = lo + ((hi - lo) / 2) in
+    if a.(mid) < a.(lo) then swap a mid lo;
+    if a.(hi) < a.(lo) then swap a hi lo;
+    if a.(hi) < a.(mid) then swap a hi mid;
+    swap a mid hi;
+    let pivot = a.(hi) in
+    let i = ref lo in
+    for j = lo to hi - 1 do
+      if a.(j) < pivot then begin
+        swap a !i j;
+        incr i
+      end
+    done;
+    swap a !i hi;
+    quick a lo (!i - 1);
+    quick a (!i + 1) hi
+  end
+
+let sort_range a ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Array.length a then
+    invalid_arg "Int_sort.sort_range";
+  if len > 1 then quick a pos (pos + len - 1)
+
+let sort a = if Array.length a > 1 then quick a 0 (Array.length a - 1)
+
+(* remove duplicates from a sorted segment in place; returns the new length *)
+let dedup_sorted_range (a : int array) ~pos ~len =
+  if len <= 1 then len
+  else begin
+    let w = ref pos in
+    for r = pos + 1 to pos + len - 1 do
+      if a.(r) <> a.(!w) then begin
+        incr w;
+        a.(!w) <- a.(r)
+      end
+    done;
+    !w - pos + 1
+  end

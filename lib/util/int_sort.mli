@@ -1,0 +1,15 @@
+(** In-place monomorphic sorting of [int array] segments — avoids the
+    polymorphic-compare runtime in the hot construction loops (CSR adjacency
+    segments, ball extraction). *)
+
+(** [sort a] sorts the whole array ascending, in place. *)
+val sort : int array -> unit
+
+(** [sort_range a ~pos ~len] sorts the segment [a.(pos .. pos+len-1)]
+    ascending, in place. Raises [Invalid_argument] on a bad range. *)
+val sort_range : int array -> pos:int -> len:int -> unit
+
+(** [dedup_sorted_range a ~pos ~len] compacts consecutive duplicates of the
+    {e sorted} segment towards [pos] and returns the deduplicated length;
+    entries past the new length are unspecified. *)
+val dedup_sorted_range : int array -> pos:int -> len:int -> int
