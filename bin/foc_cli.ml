@@ -58,6 +58,33 @@ let ball_cache_arg =
            back-ends. $(b,0) keeps only the most recent ball. All settings \
            return identical counts; only memory and time change.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record phase spans and write them to $(docv) as Chrome \
+           trace_event JSON (load in chrome://tracing or \
+           https://ui.perfetto.dev). Never changes results.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the full metrics report (one line per metric, histograms \
+           with buckets) and enable sweep-duration timing.")
+
+let log_level_arg =
+  Arg.(
+    value & opt string "error"
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Diagnostic verbosity on stderr: $(b,quiet), $(b,error), \
+           $(b,info) (e.g. fallback decisions) or $(b,debug) (also echoes \
+           each completed span as a logfmt line).")
+
 let load_structure path =
   match Foc.Structure_io.load path with
   | Ok a -> a
@@ -65,13 +92,46 @@ let load_structure path =
       Printf.eprintf "error: %s\n" e;
       exit 2
 
-let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) engine =
+(* applies --log-level / --metrics / --trace before evaluation runs *)
+let setup_obs ~trace ~metrics ~log_level =
+  (match Foc.Obs.Log.level_of_string log_level with
+  | Some l ->
+      Foc.Obs.Log.set_level l;
+      if l = Foc.Obs.Log.Debug then
+        Foc.Obs.Trace.set_logfmt_sink (Some prerr_endline)
+  | None ->
+      Printf.eprintf
+        "error: bad --log-level %S (quiet|error|info|debug)\n" log_level;
+      exit 2);
+  if metrics || trace <> None then Foc.Obs.set_timing true;
+  if trace <> None then Foc.Obs.Trace.enable ()
+
+(* report + export at command end; the export here also covers the
+   baseline engines, which have no Engine.t to export for them *)
+let finish_obs ~trace ~metrics eng =
+  (match eng with
+  | Some e when metrics ->
+      List.iter
+        (Printf.printf "# metric: %s\n")
+        (Foc.Obs.Metrics.report (Foc.Engine.metrics e))
+  | _ -> ());
+  match trace with
+  | Some path -> Foc.Obs.Trace.export_chrome path
+  | None -> ()
+
+let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) ?trace_file engine =
   let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
   let with_backend backend =
     Some
       (Foc.Engine.create
          ~config:
-           { Foc.Engine.default_config with backend; jobs; ball_cache_mb }
+           {
+             Foc.Engine.default_config with
+             backend;
+             jobs;
+             ball_cache_mb;
+             trace_file;
+           }
          ())
   in
   match engine with
@@ -82,29 +142,20 @@ let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) engine =
   | `Hanf -> with_backend Foc.Engine.Hanf
   | `Relalg | `Naive -> None
 
+(* one shared logfmt emitter behind "# stats:", so a newly added counter
+   can never drift out of the printout (same line the bench prints) *)
 let print_stats eng =
-  let st = Foc.Engine.stats eng in
-  Printf.printf
-    "# stats: materialised=%d clterms=%d basics=%d fallbacks=%d covers=%d \
-     removals=%d\n"
-    st.materialised st.clterms_built st.basic_terms st.fallbacks
-    st.covers_built st.removals;
-  Printf.printf
-    "# balls: computed=%d hits=%d evictions=%d peak_entries=%d \
-     peak_bytes=%d bfs_visited=%d\n"
-    st.balls_computed st.ball_cache_hits st.ball_cache_evictions
-    st.ball_cache_peak_entries st.ball_cache_peak_bytes st.bfs_visited
+  Printf.printf "# stats: %s\n" (Foc.Engine.stats_line eng)
 
 (* wall clock: with --jobs > 1, CPU time would sum across domains *)
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+let timed = Foc.Obs.Clock.timed
 
 (* ---------------- check ---------------- *)
 
 let check_cmd =
-  let run structure engine jobs ball_cache_mb stats src =
+  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+      src =
+    setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
     let phi =
       try Foc.parse_formula src
@@ -112,17 +163,24 @@ let check_cmd =
         Printf.eprintf "parse error at %d: %s\n" p m;
         exit 2
     in
+    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
     let result, seconds =
-      match make_engine ~jobs ~ball_cache_mb engine with
+      match eng with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.check eng a phi) in
           if stats then print_stats eng;
           r
       | None ->
           if engine = `Naive then
-            timed (fun () -> Foc.Naive.sentence Foc.predicates a phi)
-          else timed (fun () -> Foc.Relalg.holds Foc.predicates a [] phi)
+            timed (fun () ->
+                Foc.Obs.span ~name:"naive" (fun () ->
+                    Foc.Naive.sentence Foc.predicates a phi))
+          else
+            timed (fun () ->
+                Foc.Obs.span ~name:"fallback" (fun () ->
+                    Foc.Relalg.holds Foc.predicates a [] phi))
     in
+    finish_obs ~trace ~metrics eng;
     Printf.printf "%b\n" result;
     Printf.printf "# %.6fs\n" seconds
   in
@@ -136,12 +194,14 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check a FOC(P) sentence on a structure.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ src)
+      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
 
 (* ---------------- count ---------------- *)
 
 let count_cmd =
-  let run structure engine jobs ball_cache_mb stats src =
+  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+      src =
+    setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
     let term =
       try Foc.parse_term src
@@ -149,17 +209,24 @@ let count_cmd =
         Printf.eprintf "parse error at %d: %s\n" p m;
         exit 2
     in
+    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
     let result, seconds =
-      match make_engine ~jobs ~ball_cache_mb engine with
+      match eng with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.eval_ground eng a term) in
           if stats then print_stats eng;
           r
       | None ->
           if engine = `Naive then
-            timed (fun () -> Foc.Naive.ground_term Foc.predicates a term)
-          else timed (fun () -> Foc.Relalg.term_value Foc.predicates a [] term)
+            timed (fun () ->
+                Foc.Obs.span ~name:"naive" (fun () ->
+                    Foc.Naive.ground_term Foc.predicates a term))
+          else
+            timed (fun () ->
+                Foc.Obs.span ~name:"fallback" (fun () ->
+                    Foc.Relalg.term_value Foc.predicates a [] term))
     in
+    finish_obs ~trace ~metrics eng;
     Printf.printf "%d\n" result;
     Printf.printf "# %.6fs\n" seconds
   in
@@ -173,12 +240,14 @@ let count_cmd =
     (Cmd.info "count" ~doc:"Evaluate a ground counting term on a structure.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ src)
+      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
 
 (* ---------------- query ---------------- *)
 
 let query_cmd =
-  let run structure engine jobs ball_cache_mb stats head terms body limit =
+  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+      head terms body limit =
+    setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
     let parse_t s =
       try Foc.parse_term s
@@ -201,17 +270,24 @@ let query_cmd =
         Printf.eprintf "bad query: %s\n" m;
         exit 2
     in
+    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
     let rows, seconds =
-      match make_engine ~jobs ~ball_cache_mb engine with
+      match eng with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
           r
       | None ->
           if engine = `Naive then
-            timed (fun () -> Foc.Naive.query Foc.predicates a q)
-          else timed (fun () -> Foc.Relalg.query Foc.predicates a q)
+            timed (fun () ->
+                Foc.Obs.span ~name:"naive" (fun () ->
+                    Foc.Naive.query Foc.predicates a q))
+          else
+            timed (fun () ->
+                Foc.Obs.span ~name:"fallback" (fun () ->
+                    Foc.Relalg.query Foc.predicates a q))
     in
+    finish_obs ~trace ~metrics eng;
     Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
     List.iteri
       (fun i (tuple, values) ->
@@ -248,7 +324,8 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ head $ terms $ body $ limit)
+      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ head $ terms
+      $ body $ limit)
 
 (* ---------------- gen ---------------- *)
 
@@ -344,6 +421,71 @@ let explain_cmd =
           sizes, fallbacks.")
     Term.(const run $ kind $ src)
 
+(* ---------------- trace-check ---------------- *)
+
+(* Validate a --trace output: parseable JSON, an array of complete
+   ("ph":"X") events each carrying name/ts/dur/pid/tid. Used by ci.sh to
+   fail the build on malformed exports; no external JSON tool needed. *)
+let trace_check_cmd =
+  let run path =
+    let contents =
+      try
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      with Sys_error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    in
+    match Foc.Obs.Json.parse contents with
+    | Error e ->
+        Printf.eprintf "trace-check: %s: invalid JSON: %s\n" path e;
+        exit 1
+    | Ok (Foc.Obs.Json.List events) ->
+        let bad = ref 0 in
+        List.iteri
+          (fun i ev ->
+            let field k = Foc.Obs.Json.member k ev in
+            let ok =
+              match
+                (field "name", field "ph", field "ts", field "dur",
+                 field "pid", field "tid")
+              with
+              | ( Some (Foc.Obs.Json.Str _),
+                  Some (Foc.Obs.Json.Str "X"),
+                  Some (Foc.Obs.Json.Num ts),
+                  Some (Foc.Obs.Json.Num dur),
+                  Some (Foc.Obs.Json.Num _),
+                  Some (Foc.Obs.Json.Num _) ) ->
+                  ts >= 0. && dur >= 0.
+              | _ -> false
+            in
+            if not ok then begin
+              incr bad;
+              Printf.eprintf "trace-check: %s: bad event %d\n" path i
+            end)
+          events;
+        if !bad > 0 then exit 1;
+        Printf.printf "trace-check: %s: ok (%d events)\n" path
+          (List.length events)
+    | Ok _ ->
+        Printf.eprintf "trace-check: %s: top level is not an array\n" path;
+        exit 1
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,--trace).")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:
+         "Validate a Chrome trace_event JSON file produced by $(b,--trace).")
+    Term.(const run $ path)
+
 (* ---------------- gendb / sql ---------------- *)
 
 let gendb_cmd =
@@ -387,7 +529,9 @@ let gendb_cmd =
     Term.(const run $ customers $ orders $ countries $ cities $ seed $ output)
 
 let sql_cmd =
-  let run structure engine jobs ball_cache_mb stats src limit =
+  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+      src limit =
+    setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
     let q =
       try
@@ -399,17 +543,24 @@ let sql_cmd =
         exit 2
     in
     Printf.printf "FOC1> %s\n" (Format.asprintf "%a" Foc.Query.pp q);
+    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
     let rows, seconds =
-      match make_engine ~jobs ~ball_cache_mb engine with
+      match eng with
       | Some eng ->
           let r = timed (fun () -> Foc.Engine.run_query eng a q) in
           if stats then print_stats eng;
           r
       | None ->
           if engine = `Naive then
-            timed (fun () -> Foc.Naive.query Foc.predicates a q)
-          else timed (fun () -> Foc.Relalg.query Foc.predicates a q)
+            timed (fun () ->
+                Foc.Obs.span ~name:"naive" (fun () ->
+                    Foc.Naive.query Foc.predicates a q))
+          else
+            timed (fun () ->
+                Foc.Obs.span ~name:"fallback" (fun () ->
+                    Foc.Relalg.query Foc.predicates a q))
     in
+    finish_obs ~trace ~metrics eng;
     Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
     List.iteri
       (fun i (tuple, values) ->
@@ -439,7 +590,7 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Run an SQL COUNT statement compiled to FOC1.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ src $ limit)
+      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src $ limit)
 
 let () =
   let info =
@@ -451,4 +602,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ check_cmd; count_cmd; query_cmd; gen_cmd; gendb_cmd; sql_cmd; explain_cmd ]))
+          [
+            check_cmd;
+            count_cmd;
+            query_cmd;
+            gen_cmd;
+            gendb_cmd;
+            sql_cmd;
+            explain_cmd;
+            trace_check_cmd;
+          ]))

@@ -1,9 +1,17 @@
 #!/bin/sh
 # CI gate: build, run the test suite, and smoke the compact-ball-engine
 # benchmark (E11) so the ball-cache counters and eviction path stay
-# exercised on every change.
+# exercised on every change, plus the observability pipeline (E12 and a
+# traced CLI run whose trace file must be parseable Chrome JSON).
 set -e
 cd "$(dirname "$0")"
 dune build
 dune runtest
 dune exec bench/main.exe -- --only E11 --smoke
+dune exec bench/main.exe -- --only E12 --smoke
+dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
+  -o /tmp/ci_tree.foc
+dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
+  "#(x,y). (R(x) & E(x,y))" -e cover --jobs 2 \
+  --trace /tmp/ci_trace.json --stats --metrics
+dune exec bin/foc_cli.exe -- trace-check /tmp/ci_trace.json

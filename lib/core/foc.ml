@@ -23,6 +23,9 @@ module Combi = Foc_util.Combi
 module Prime = Foc_util.Prime
 module Par = Foc_par
 
+(* observability: clock, spans, metrics, exporters *)
+module Obs = Foc_obs
+
 (* graphs *)
 module Graph = Foc_graph.Graph
 module Bfs = Foc_graph.Bfs

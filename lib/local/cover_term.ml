@@ -58,7 +58,8 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a cover
         cluster_stats.(i) <- Some (Pattern_count.snapshot ctx)
       end
     in
-    Foc_par.parallel_for ~jobs (Foc_graph.Cover.cluster_count cover)
+    Foc_par.parallel_for ~jobs ~label:"sweep.clusters"
+      (Foc_graph.Cover.cluster_count cover)
       eval_cluster;
     (match stats_sink with
     | None -> ()

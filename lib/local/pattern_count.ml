@@ -435,7 +435,7 @@ let per_anchor ?(jobs = 1) ctx ~pattern ~vars ~body =
        ball caches are per-domain clones merged at join *)
     Foc_data.Structure.prepare ctx.structure;
     let out, clones =
-      Foc_par.tabulate_ctx ~jobs
+      Foc_par.tabulate_ctx ~jobs ~label:"sweep.anchors"
         ~make_ctx:(fun () -> clone_ctx ctx)
         n
         (fun c a -> count_at ~plan c ~pattern ~vars ~body a)
@@ -463,7 +463,7 @@ let ground ?(jobs = 1) ctx ~pattern ~vars ~body =
     else begin
       Foc_data.Structure.prepare ctx.structure;
       let total, clones =
-        Foc_par.map_reduce_ctx ~jobs
+        Foc_par.map_reduce_ctx ~jobs ~label:"sweep.anchors"
           ~make_ctx:(fun () -> clone_ctx ctx)
           ~n
           ~map:(fun c a -> count_at ~plan c ~pattern ~vars ~body a)

@@ -16,6 +16,7 @@ type config = {
   allow_fallback : bool;
   jobs : int;
   ball_cache_mb : int;
+  trace_file : string option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     allow_fallback = true;
     jobs = Foc_par.default_jobs ();
     ball_cache_mb = 64;
+    trace_file = None;
   }
 
 type stats = {
@@ -46,30 +48,77 @@ type stats = {
 
 exception Outside_fragment of string
 
-type t = { cfg : config; st : stats; mutable fresh : int }
+(* The engine's counters live in a {!Foc_obs.Metrics} registry (one per
+   engine); the [stats] record above is kept as a read-only view built on
+   demand, so existing callers keep working while new counters (and the
+   sweep-duration histogram) are picked up by [Metrics.line]/[report]
+   automatically. Handles are resolved once here — the increment path is a
+   plain int store, same cost as the old mutable record fields. *)
+type handles = {
+  registry : Foc_obs.Metrics.t;
+  materialised : Foc_obs.Metrics.Counter.t;
+  clterms_built : Foc_obs.Metrics.Counter.t;
+  basic_terms : Foc_obs.Metrics.Counter.t;
+  fallbacks : Foc_obs.Metrics.Counter.t;
+  covers_built : Foc_obs.Metrics.Counter.t;
+  removals : Foc_obs.Metrics.Counter.t;
+  balls_computed : Foc_obs.Metrics.Counter.t;
+  ball_cache_hits : Foc_obs.Metrics.Counter.t;
+  ball_cache_evictions : Foc_obs.Metrics.Counter.t;
+  ball_cache_peak_entries : Foc_obs.Metrics.Gauge.t;
+  ball_cache_peak_bytes : Foc_obs.Metrics.Gauge.t;
+  bfs_visited : Foc_obs.Metrics.Counter.t;
+  sweep_ns : Foc_obs.Metrics.Histogram.t;
+}
 
-let create ?(config = default_config) () =
+let make_handles () =
+  let r = Foc_obs.Metrics.create () in
+  let c = Foc_obs.Metrics.counter r and g = Foc_obs.Metrics.gauge r in
   {
-    cfg = config;
-    st =
-      {
-        materialised = 0;
-        clterms_built = 0;
-        basic_terms = 0;
-        fallbacks = 0;
-        covers_built = 0;
-        removals = 0;
-        balls_computed = 0;
-        ball_cache_hits = 0;
-        ball_cache_evictions = 0;
-        ball_cache_peak_entries = 0;
-        ball_cache_peak_bytes = 0;
-        bfs_visited = 0;
-      };
-    fresh = 0;
+    registry = r;
+    materialised = c "engine.materialised";
+    clterms_built = c "engine.clterms_built";
+    basic_terms = c "engine.basic_terms";
+    fallbacks = c "engine.fallbacks";
+    covers_built = c "engine.covers_built";
+    removals = c "engine.removals";
+    balls_computed = c "ball.computed";
+    ball_cache_hits = c "ball.cache_hits";
+    ball_cache_evictions = c "ball.cache_evictions";
+    ball_cache_peak_entries = g "ball.cache_peak_entries";
+    ball_cache_peak_bytes = g "ball.cache_peak_bytes";
+    bfs_visited = c "bfs.visited";
+    sweep_ns = Foc_obs.Metrics.histogram r "sweep.ns";
   }
 
-let stats t = t.st
+type t = { cfg : config; m : handles; mutable fresh : int }
+
+let create ?(config = default_config) () =
+  (match config.trace_file with
+  | Some _ -> Foc_obs.Trace.enable ()
+  | None -> ());
+  { cfg = config; m = make_handles (); fresh = 0 }
+
+let stats t =
+  let cv = Foc_obs.Metrics.Counter.value
+  and gv = Foc_obs.Metrics.Gauge.value in
+  {
+    materialised = cv t.m.materialised;
+    clterms_built = cv t.m.clterms_built;
+    basic_terms = cv t.m.basic_terms;
+    fallbacks = cv t.m.fallbacks;
+    covers_built = cv t.m.covers_built;
+    removals = cv t.m.removals;
+    balls_computed = cv t.m.balls_computed;
+    ball_cache_hits = cv t.m.ball_cache_hits;
+    ball_cache_evictions = cv t.m.ball_cache_evictions;
+    ball_cache_peak_entries = gv t.m.ball_cache_peak_entries;
+    ball_cache_peak_bytes = gv t.m.ball_cache_peak_bytes;
+    bfs_visited = cv t.m.bfs_visited;
+  }
+
+let metrics t = t.m.registry
+let stats_line t = Foc_obs.Metrics.line t.m.registry
 let config t = t.cfg
 
 let fresh_rel t prefix =
@@ -78,24 +127,42 @@ let fresh_rel t prefix =
 
 let fallback t what =
   if not t.cfg.allow_fallback then raise (Outside_fragment what);
-  t.st.fallbacks <- t.st.fallbacks + 1
+  Foc_obs.Log.info (fun () -> "engine: fallback to baseline: " ^ what);
+  Foc_obs.Metrics.Counter.inc t.m.fallbacks
 
 (* Ball-cache observability: every back-end evaluation folds its contexts'
-   counters into the engine stats here, on the calling domain, after any
-   parallel sweep has joined — the stats record is never touched
-   concurrently. Counters add across evaluations; peaks are maxima of
-   per-evaluation residency (the caches do not persist between calls). *)
+   counters into the engine registry here, on the calling domain, after any
+   parallel sweep has joined — the registry is never touched concurrently.
+   Counters add across evaluations; peaks are maxima of per-evaluation
+   residency (the caches do not persist between calls). *)
 let absorb t (s : Pattern_count.snapshot) =
-  t.st.balls_computed <- t.st.balls_computed + s.balls_computed;
-  t.st.ball_cache_hits <- t.st.ball_cache_hits + s.cache_hits;
-  t.st.ball_cache_evictions <- t.st.ball_cache_evictions + s.cache_evictions;
-  t.st.ball_cache_peak_entries <-
-    max t.st.ball_cache_peak_entries s.cache_peak_entries;
-  t.st.ball_cache_peak_bytes <-
-    max t.st.ball_cache_peak_bytes s.cache_peak_bytes;
-  t.st.bfs_visited <- t.st.bfs_visited + s.bfs_visited
+  let open Foc_obs.Metrics in
+  Counter.add t.m.balls_computed s.balls_computed;
+  Counter.add t.m.ball_cache_hits s.cache_hits;
+  Counter.add t.m.ball_cache_evictions s.cache_evictions;
+  Gauge.set_max t.m.ball_cache_peak_entries s.cache_peak_entries;
+  Gauge.set_max t.m.ball_cache_peak_bytes s.cache_peak_bytes;
+  Counter.add t.m.bfs_visited s.bfs_visited
 
 let cache_bytes t = t.cfg.ball_cache_mb * 1024 * 1024
+
+(* Basic-term sweep: span + duration histogram. The clock is read only when
+   a sink wants it; otherwise this is just [f ()]. *)
+let sweep t f =
+  if Foc_obs.timing_enabled () then begin
+    let t0 = Foc_obs.Clock.now_ns () in
+    let v = Foc_obs.span ~name:"sweep" f in
+    Foc_obs.Metrics.Histogram.observe t.m.sweep_ns
+      (Foc_obs.Clock.now_ns () - t0);
+    v
+  end
+  else f ()
+
+let maybe_export t =
+  match t.cfg.trace_file with
+  | Some path when Foc_obs.Trace.enabled () ->
+      Foc_obs.Trace.export_chrome path
+  | _ -> ()
 
 (* ---------------- cl-term evaluation back-ends ---------------- *)
 
@@ -109,60 +176,74 @@ let cl_radius cl =
   in
   go cl
 
+let count_cl t cl =
+  Foc_obs.Metrics.Counter.inc t.m.clterms_built;
+  Foc_obs.Metrics.Counter.add t.m.basic_terms (Clterm.basic_count cl)
+
+let build_cover t a ~rc =
+  let cover =
+    Foc_obs.span ~name:"cover" (fun () ->
+        Foc_graph.Cover.make (Structure.gaifman a) ~r:rc)
+  in
+  Foc_obs.Metrics.Counter.inc t.m.covers_built;
+  cover
+
 let eval_cl_ground t a cl =
-  t.st.clterms_built <- t.st.clterms_built + 1;
-  t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  count_cl t cl;
   let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
-      let ctx =
-        Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
-          ~r:(cl_radius cl)
-      in
-      let v = Clterm.eval_ground ~jobs ctx cl in
-      absorb t (Pattern_count.snapshot ctx);
-      v
+      sweep t (fun () ->
+          let ctx =
+            Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
+              ~r:(cl_radius cl)
+          in
+          let v = Clterm.eval_ground ~jobs ctx cl in
+          absorb t (Pattern_count.snapshot ctx);
+          v)
   | Cover ->
-      let rc = Cover_term.required_cover_radius cl in
-      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
-      t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
-        ~stats_sink:(absorb t) t.cfg.preds a cover cl
+      let cover = build_cover t a ~rc:(Cover_term.required_cover_radius cl) in
+      sweep t (fun () ->
+          Cover_term.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
+            ~stats_sink:(absorb t) t.cfg.preds a cover cl)
   | Splitter { max_rounds; small } ->
       (* the removal recursion mutates shared state; it stays sequential *)
-      Splitter_backend.eval_ground
-        ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
-        t.cfg.preds a ~max_rounds ~small cl
+      sweep t (fun () ->
+          Splitter_backend.eval_ground
+            ~stats_removals:(Foc_obs.Metrics.Counter.add t.m.removals)
+            t.cfg.preds a ~max_rounds ~small cl)
   | Hanf ->
-      Hanf_backend.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
-        ~stats_sink:(absorb t) t.cfg.preds a cl
+      sweep t (fun () ->
+          Hanf_backend.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
+            ~stats_sink:(absorb t) t.cfg.preds a cl)
 
 let eval_cl_unary t a cl =
-  t.st.clterms_built <- t.st.clterms_built + 1;
-  t.st.basic_terms <- t.st.basic_terms + Clterm.basic_count cl;
+  count_cl t cl;
   let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
-      let ctx =
-        Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
-          ~r:(cl_radius cl)
-      in
-      let v = Clterm.eval_unary ~jobs ctx cl in
-      absorb t (Pattern_count.snapshot ctx);
-      v
+      sweep t (fun () ->
+          let ctx =
+            Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
+              ~r:(cl_radius cl)
+          in
+          let v = Clterm.eval_unary ~jobs ctx cl in
+          absorb t (Pattern_count.snapshot ctx);
+          v)
   | Cover ->
-      let rc = Cover_term.required_cover_radius cl in
-      let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
-      t.st.covers_built <- t.st.covers_built + 1;
-      Cover_term.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
-        ~stats_sink:(absorb t) t.cfg.preds a cover cl
+      let cover = build_cover t a ~rc:(Cover_term.required_cover_radius cl) in
+      sweep t (fun () ->
+          Cover_term.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
+            ~stats_sink:(absorb t) t.cfg.preds a cover cl)
   | Splitter { max_rounds; small } ->
-      Splitter_backend.eval_unary
-        ~stats_removals:(fun k -> t.st.removals <- t.st.removals + k)
-        t.cfg.preds a ~max_rounds ~small cl
+      sweep t (fun () ->
+          Splitter_backend.eval_unary
+            ~stats_removals:(Foc_obs.Metrics.Counter.add t.m.removals)
+            t.cfg.preds a ~max_rounds ~small cl)
   | Hanf ->
-      Hanf_backend.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
-        ~stats_sink:(absorb t) t.cfg.preds a cl
+      sweep t (fun () ->
+          Hanf_backend.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
+            ~stats_sink:(absorb t) t.cfg.preds a cl)
 
 (* ---------------- stratification (Theorem 6.10) ---------------- *)
 
@@ -203,7 +284,7 @@ let rec elim_preds t a (phi : Ast.formula) : Structure.t * Ast.formula =
           in
           let truth = Pred.holds t.cfg.preds p values in
           let name = fresh_rel t "P" in
-          t.st.materialised <- t.st.materialised + 1;
+          Foc_obs.Metrics.Counter.inc t.m.materialised;
           let a' =
             Structure.expand a [ (name, 0, if truth then [ [||] ] else []) ]
           in
@@ -219,7 +300,7 @@ let rec elim_preds t a (phi : Ast.formula) : Structure.t * Ast.formula =
             if Pred.holds t.cfg.preds p values then members := [| v |] :: !members
           done;
           let name = fresh_rel t "P" in
-          t.st.materialised <- t.st.materialised + 1;
+          Foc_obs.Metrics.Counter.inc t.m.materialised;
           let a' = Structure.expand a [ (name, 1, !members) ] in
           (a', Ast.Rel (name, [| x |]))
       | _ ->
@@ -237,7 +318,9 @@ and eval_ground_term t a (term : Ast.term) : int =
   | Ast.Add (s, u) -> eval_ground_term t a s + eval_ground_term t a u
   | Ast.Mul (s, u) -> eval_ground_term t a s * eval_ground_term t a u
   | Ast.Count (ys, theta) ->
-      let a', theta' = elim_preds t a theta in
+      let a', theta' =
+        Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a theta)
+      in
       eval_ground_count t a' ys theta'
 
 and eval_ground_count t a ys theta =
@@ -245,17 +328,22 @@ and eval_ground_count t a ys theta =
   let localized =
     if List.length ys > t.cfg.max_width then None
     else
-      match Locality.formula_radius theta with
+      match
+        Foc_obs.span ~name:"locality" (fun () ->
+            Locality.formula_radius theta)
+      with
       | Locality.Local r ->
-          Decompose.ground_count ~max_blocks:t.cfg.max_blocks ~r ~vars:ys
-            theta
+          Foc_obs.span ~name:"decompose" (fun () ->
+              Decompose.ground_count ~max_blocks:t.cfg.max_blocks ~r ~vars:ys
+                theta)
       | Locality.Nonlocal _ -> None
   in
   match localized with
   | Some cl -> eval_cl_ground t a cl
   | None ->
       fallback t "ground counting kernel outside the guarded fragment";
-      Foc_eval.Relalg.count t.cfg.preds a ys theta
+      Foc_obs.span ~name:"fallback" (fun () ->
+          Foc_eval.Relalg.count t.cfg.preds a ys theta)
 
 and eval_unary_term t a x (term : Ast.term) : int array =
   let n = Structure.order a in
@@ -266,29 +354,36 @@ and eval_unary_term t a x (term : Ast.term) : int array =
   | Ast.Mul (s, u) ->
       Array.map2 ( * ) (eval_unary_term t a x s) (eval_unary_term t a x u)
   | Ast.Count (ys, theta) ->
-      let a', theta' = elim_preds t a theta in
+      let a', theta' =
+        Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a theta)
+      in
       if not (Var.Set.mem x (Ast.free_formula theta')) then
         Array.make n (eval_ground_count t a' ys theta')
       else begin
         let localized =
           if 1 + List.length ys > t.cfg.max_width then None
           else
-            match Locality.formula_radius theta' with
+            match
+              Foc_obs.span ~name:"locality" (fun () ->
+                  Locality.formula_radius theta')
+            with
             | Locality.Local r ->
-                Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r
-                  ~vars:(x :: ys) theta'
+                Foc_obs.span ~name:"decompose" (fun () ->
+                    Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r
+                      ~vars:(x :: ys) theta')
             | Locality.Nonlocal _ -> None
         in
         match localized with
         | Some cl -> eval_cl_unary t a' cl
         | None ->
             fallback t "unary counting kernel outside the guarded fragment";
-            let counts =
-              Foc_eval.Relalg.term_counts t.cfg.preds a'
-                (Ast.Count (ys, theta'))
-            in
-            Array.init n (fun v ->
-                Foc_eval.Counts.get counts (Var.Map.singleton x v))
+            Foc_obs.span ~name:"fallback" (fun () ->
+                let counts =
+                  Foc_eval.Relalg.term_counts t.cfg.preds a'
+                    (Ast.Count (ys, theta'))
+                in
+                Array.init n (fun v ->
+                    Foc_eval.Counts.get counts (Var.Map.singleton x v)))
       end
 
 (* ---------------- sentences ---------------- *)
@@ -319,47 +414,66 @@ let rec model_check t a (phi : Ast.formula) : bool =
 let check t a phi =
   if not (Var.Set.is_empty (Ast.free_formula phi)) then
     invalid_arg "Engine.check: not a sentence";
-  let a', phi' = elim_preds t a phi in
-  model_check t a' phi'
+  let a', phi' =
+    Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a phi)
+  in
+  let v = model_check t a' phi' in
+  maybe_export t;
+  v
 
 let eval_ground t a term =
   if not (Var.Set.is_empty (Ast.free_term term)) then
     invalid_arg "Engine.eval_ground: not a ground term";
-  eval_ground_term t a term
+  let v = eval_ground_term t a term in
+  maybe_export t;
+  v
 
 let eval_unary t a x term =
   if not (Var.Set.subset (Ast.free_term term) (Var.Set.singleton x)) then
     invalid_arg "Engine.eval_unary: stray free variable";
-  eval_unary_term t a x term
+  let v = eval_unary_term t a x term in
+  maybe_export t;
+  v
 
-let holds_unary t a x phi =
-  if not (Var.Set.subset (Ast.free_formula phi) (Var.Set.singleton x)) then
-    invalid_arg "Engine.holds_unary: stray free variable";
-  let a', phi' = elim_preds t a phi in
+let holds_unary_inner t a x phi =
+  let a', phi' =
+    Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a phi)
+  in
   let localized =
-    match Locality.formula_radius phi' with
+    match
+      Foc_obs.span ~name:"locality" (fun () -> Locality.formula_radius phi')
+    with
     | Locality.Local r ->
         (* a unary cl-term with an empty counted tuple: the 0/1 indicator *)
-        Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r ~vars:[ x ]
-          phi'
+        Foc_obs.span ~name:"decompose" (fun () ->
+            Decompose.unary_count ~max_blocks:t.cfg.max_blocks ~r ~vars:[ x ]
+              phi')
     | Locality.Nonlocal _ -> None
   in
   match localized with
   | Some cl -> Array.map (fun v -> v >= 1) (eval_cl_unary t a' cl)
   | None ->
       fallback t "unary formula outside the guarded fragment";
-      let n = Structure.order a' in
-      let table = Foc_eval.Relalg.formula_table t.cfg.preds a' phi' in
-      let out = Array.make n false in
-      if Array.length (Foc_eval.Table.vars table) = 0 then begin
-        let v = not (Foc_eval.Table.is_empty table) in
-        Array.fill out 0 n v
-      end
-      else
-        Foc_data.Tuple.Set.iter
-          (fun row -> out.(row.(0)) <- true)
-          (Foc_eval.Table.rows (Foc_eval.Table.align table [| x |]));
-      out
+      Foc_obs.span ~name:"fallback" (fun () ->
+          let n = Structure.order a' in
+          let table = Foc_eval.Relalg.formula_table t.cfg.preds a' phi' in
+          let out = Array.make n false in
+          if Array.length (Foc_eval.Table.vars table) = 0 then begin
+            let v = not (Foc_eval.Table.is_empty table) in
+            Array.fill out 0 n v
+          end
+          else
+            Foc_data.Tuple.Set.iter
+              (fun row -> out.(row.(0)) <- true)
+              (Foc_eval.Table.rows (Foc_eval.Table.align table [| x |]));
+          out)
+
+let holds_unary t a x phi =
+  if not (Var.Set.subset (Ast.free_formula phi) (Var.Set.singleton x)) then
+    invalid_arg "Engine.holds_unary: stray free variable";
+  let v = holds_unary_inner t a x phi in
+  maybe_export t;
+  v
 
 let check_tuple t a (q : Query.t) tuple =
   if Array.length tuple <> List.length q.head_vars then None
@@ -377,7 +491,7 @@ let check_tuple t a (q : Query.t) tuple =
     end
   end
 
-let run_query t a (q : Query.t) =
+let run_query_inner t a (q : Query.t) =
   let n = Structure.order a in
   match q.head_vars with
   | [] ->
@@ -447,3 +561,8 @@ let run_query t a (q : Query.t) =
           (row, values) :: acc)
         (Foc_eval.Table.rows table) []
       |> List.sort (fun (r1, _) (r2, _) -> Foc_data.Tuple.compare r1 r2)
+
+let run_query t a q =
+  let v = run_query_inner t a q in
+  maybe_export t;
+  v

@@ -58,12 +58,24 @@ type config = {
           ({!Foc_local.Pattern_count.make_ctx}); [<= 0] degenerates to a
           one-entry cache. Counts are bit-identical for every setting —
           only memory and time change *)
+  trace_file : string option;
+      (** when set, {!create} enables {!Foc_obs.Trace} and every public
+          entry point exports the accumulated phase spans to this path as
+          Chrome trace_event JSON (chrome://tracing / Perfetto) on
+          completion. [None] (the default) records nothing and costs one
+          atomic read per would-be span. Never affects results *)
 }
 
 val default_config : config
 (** standard predicates, [Direct] back-end, width 4, fallback allowed,
-    [jobs = Foc_par.default_jobs ()], [ball_cache_mb = 64]. *)
+    [jobs = Foc_par.default_jobs ()], [ball_cache_mb = 64], no trace
+    file. *)
 
+(** A point-in-time snapshot of the engine's counters. Since the
+    observability layer this is a {e view}: the counters live in the
+    engine's {!Foc_obs.Metrics} registry (see {!metrics}) and [stats]
+    builds a fresh record on each call — mutating the returned record has
+    no effect on the engine. *)
 type stats = {
   mutable materialised : int;  (** fresh relations created (Theorem 6.10) *)
   mutable clterms_built : int;
@@ -89,6 +101,20 @@ type t
 val create : ?config:config -> unit -> t
 val stats : t -> stats
 val config : t -> config
+
+val metrics : t -> Foc_obs.Metrics.t
+(** The engine's metrics registry. Counter glossary:
+    [engine.materialised], [engine.clterms_built], [engine.basic_terms],
+    [engine.fallbacks], [engine.covers_built], [engine.removals],
+    [ball.computed], [ball.cache_hits], [ball.cache_evictions],
+    [bfs.visited]; gauges [ball.cache_peak_entries],
+    [ball.cache_peak_bytes]; histogram [sweep.ns] (per-sweep wall time in
+    nanoseconds, fed only when {!Foc_obs.timing_enabled}). *)
+
+val stats_line : t -> string
+(** All metrics as one logfmt line ({!Foc_obs.Metrics.line}) — the shared
+    emitter behind the CLI's and bench's [# stats:] output, so new
+    counters cannot drift out of the printout. *)
 
 (** [check t a φ] — model-checking for sentences ([free φ = ∅]). *)
 val check : t -> Foc_data.Structure.t -> Ast.formula -> bool

@@ -46,7 +46,7 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
       Array.of_list (Foc_bd.Hanf.classes ~jobs a ~r:(type_radius b))
     in
     let values, ctxs =
-      Foc_par.tabulate_ctx ~jobs
+      Foc_par.tabulate_ctx ~jobs ~label:"sweep.types"
         ~make_ctx:(fun () ->
           let ctx =
             Pattern_count.make_ctx ?cache_bytes preds a ~r:b.Clterm.radius

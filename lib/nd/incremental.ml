@@ -31,6 +31,12 @@ type t = {
   sentences : sentence array;
   skeleton : node;
   mutable values : int array;
+  (* observability: sentence re-checks and per-radius context memo hits
+     are the incremental engine's cost drivers that the affected-anchor
+     count does not show *)
+  m : Foc_obs.Metrics.t;
+  rechecks : Foc_obs.Metrics.Counter.t;
+  affected_h : Foc_obs.Metrics.Histogram.t;
 }
 
 let compile term =
@@ -77,6 +83,7 @@ let full_leaf ctx (l : leaf) n =
   l.per_anchor <- Array.init n (fun a -> eval_leaf_at ~plan ctx l a)
 
 let eval_sentences t =
+  Foc_obs.Metrics.Counter.add t.rechecks (Array.length t.sentences);
   Array.iter
     (fun s ->
       s.value <-
@@ -85,15 +92,26 @@ let eval_sentences t =
 
 (* One Pattern_count context per distinct radius, shared by every leaf of
    that radius within a single create/apply pass — the ball caches then
-   amortise across leaves instead of being rebuilt per leaf. *)
-let ctx_by_radius preds a =
+   amortise across leaves instead of being rebuilt per leaf. Memo hits are
+   counted per radius (the hit counter handle is memoised alongside the
+   context, so a hit costs one extra int store). *)
+let ctx_by_radius ?registry preds a =
   let tbl = Hashtbl.create 4 in
   fun r ->
     match Hashtbl.find_opt tbl r with
-    | Some ctx -> ctx
+    | Some (ctx, hits) ->
+        Option.iter Foc_obs.Metrics.Counter.inc hits;
+        ctx
     | None ->
         let ctx = Pattern_count.make_ctx preds a ~r in
-        Hashtbl.replace tbl r ctx;
+        let hits =
+          Option.map
+            (fun reg ->
+              Foc_obs.Metrics.counter reg
+                (Printf.sprintf "incr.ctx_memo_hits.r%d" r))
+            registry
+        in
+        Hashtbl.replace tbl r (ctx, hits);
         ctx
 
 (* recombine the polynomial into the value vector *)
@@ -119,50 +137,69 @@ let recombine t =
 
 let create preds a term =
   let leaves, sentences, skeleton = compile term in
-  let t = { preds; a; leaves; sentences; skeleton; values = [||] } in
-  let n = Structure.order a in
-  let ctx_for = ctx_by_radius preds a in
-  Array.iter
-    (fun l -> full_leaf (ctx_for l.basic.Clterm.radius) l n)
-    leaves;
-  eval_sentences t;
-  recombine t;
+  let m = Foc_obs.Metrics.create () in
+  let t =
+    {
+      preds;
+      a;
+      leaves;
+      sentences;
+      skeleton;
+      values = [||];
+      m;
+      rechecks = Foc_obs.Metrics.counter m "incr.sentence_rechecks";
+      affected_h = Foc_obs.Metrics.histogram m "incr.update.affected";
+    }
+  in
+  Foc_obs.span ~name:"incr.create" (fun () ->
+      let n = Structure.order a in
+      let ctx_for = ctx_by_radius ~registry:m preds a in
+      Array.iter
+        (fun l -> full_leaf (ctx_for l.basic.Clterm.radius) l n)
+        leaves;
+      eval_sentences t;
+      recombine t);
   t
 
 let values t = t.values
 let structure t = t.a
+let metrics t = t.m
+let stats_line t = Foc_obs.Metrics.line t.m
 
 let apply t name tup ~insert =
-  let before = t.a in
-  let after =
-    if insert then Structure.add_tuples before name [ tup ]
-    else Structure.remove_tuples before name [ tup ]
-  in
-  let centres = List.sort_uniq compare (Array.to_list tup) in
-  let affected = Hashtbl.create 64 in
-  let radius =
-    Array.fold_left (fun acc l -> max acc (leaf_radius l)) 1 t.leaves
-  in
-  List.iter
-    (fun structure ->
+  Foc_obs.span ~name:"incr.update" (fun () ->
+      let before = t.a in
+      let after =
+        if insert then Structure.add_tuples before name [ tup ]
+        else Structure.remove_tuples before name [ tup ]
+      in
+      let centres = List.sort_uniq compare (Array.to_list tup) in
+      let affected = Hashtbl.create 64 in
+      let radius =
+        Array.fold_left (fun acc l -> max acc (leaf_radius l)) 1 t.leaves
+      in
       List.iter
-        (fun v -> Hashtbl.replace affected v ())
-        (Structure.ball structure ~centres ~radius))
-    [ before; after ];
-  t.a <- after;
-  let ctx_for = ctx_by_radius t.preds after in
-  Array.iter
-    (fun l ->
-      let ctx = ctx_for l.basic.Clterm.radius in
-      let plan = leaf_plan ctx l in
-      Hashtbl.iter
-        (fun anchor () ->
-          l.per_anchor.(anchor) <- eval_leaf_at ~plan ctx l anchor)
-        affected)
-    t.leaves;
-  eval_sentences t;
-  recombine t;
-  Hashtbl.length affected
+        (fun structure ->
+          List.iter
+            (fun v -> Hashtbl.replace affected v ())
+            (Structure.ball structure ~centres ~radius))
+        [ before; after ];
+      t.a <- after;
+      let ctx_for = ctx_by_radius ~registry:t.m t.preds after in
+      Array.iter
+        (fun l ->
+          let ctx = ctx_for l.basic.Clterm.radius in
+          let plan = leaf_plan ctx l in
+          Hashtbl.iter
+            (fun anchor () ->
+              l.per_anchor.(anchor) <- eval_leaf_at ~plan ctx l anchor)
+            affected)
+        t.leaves;
+      eval_sentences t;
+      recombine t;
+      let k = Hashtbl.length affected in
+      Foc_obs.Metrics.Histogram.observe t.affected_h k;
+      k)
 
 let insert t name tup = apply t name tup ~insert:true
 let delete t name tup = apply t name tup ~insert:false

@@ -34,6 +34,16 @@ val values : t -> int array
 (** Current structure. *)
 val structure : t -> Foc_data.Structure.t
 
+val metrics : t -> Foc_obs.Metrics.t
+(** The instance's metrics registry: counter [incr.sentence_rechecks]
+    (sentence nodes re-checked across all updates), counters
+    [incr.ctx_memo_hits.r<r>] (per-radius {!Foc_local.Pattern_count}
+    context memo hits), histogram [incr.update.affected] (anchors
+    re-evaluated per update). *)
+
+val stats_line : t -> string
+(** All of the above as one logfmt line. *)
+
 (** [insert t name tup] / [delete t name tup] — apply the update and repair
     the maintained values. Returns the number of anchors re-evaluated. *)
 val insert : t -> string -> int array -> int

@@ -131,7 +131,10 @@ and eval_basic_unary ~removed_counter preds a ~rounds ~small
   else begin
     let k = Foc_graph.Pattern.k b.Clterm.pattern in
     let rc = max 1 (k * ((2 * b.Clterm.radius) + 1)) in
-    let cover = Foc_graph.Cover.make (Structure.gaifman a) ~r:rc in
+    let cover =
+      Foc_obs.span ~name:"cover" (fun () ->
+          Foc_graph.Cover.make (Structure.gaifman a) ~r:rc)
+    in
     let by_cluster = Hashtbl.create 16 in
     List.iter
       (fun e ->
@@ -173,6 +176,7 @@ and in_cluster ~removed_counter preds sub ~rounds ~small ~vars theta
         tbl_of_direct preds sub vars theta local_wanted
     | `At_removed gparts, `Elsewhere uparts ->
         removed_counter 1;
+        Foc_obs.span ~name:"splitter.recurse" (fun () ->
         let sub' = Foc_data.Removal_op.apply sub ~r:r_rm ~d in
         let out = Hashtbl.create (List.length local_wanted) in
         let survivors = List.filter (fun e -> e <> d) local_wanted in
@@ -207,7 +211,7 @@ and in_cluster ~removed_counter preds sub ~rounds ~small ~vars theta
           in
           Hashtbl.replace out d v
         end;
-        out
+        out)
   end
 
 (* ---------------- public polynomial evaluation ---------------- *)

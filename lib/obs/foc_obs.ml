@@ -1,0 +1,671 @@
+(* Observability layer: monotonic clock, nestable span tracing with
+   per-domain buffers, a metrics registry (counters / gauges / log-spaced
+   histograms), and machine-readable exporters (Chrome trace_event JSON,
+   logfmt). See the .mli for the contracts; the load-bearing ones are
+
+   - zero cost when disabled: [span] checks one atomic and calls [f]
+     directly, counters are plain int stores, and nothing here ever
+     changes an evaluation result (bit-identity on vs off is a test);
+   - per-domain buffers: spans recorded inside pool workers go to the
+     worker's own buffer (no locks on the record path) and are merged
+     deterministically when the trace is read, after the parallel joins. *)
+
+module Clock = struct
+  let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+  let timed f =
+    let t0 = now_ns () in
+    let v = f () in
+    (v, float_of_int (now_ns () - t0) /. 1e9)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Logfmt = struct
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  let needs_quotes s =
+    String.length s = 0
+    || String.exists
+         (fun c -> c = ' ' || c = '"' || c = '=' || c = '\n')
+         s
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let string_of_value = function
+    | Int i -> string_of_int i
+    | Float f -> Printf.sprintf "%.6f" f
+    | Bool b -> string_of_bool b
+    | Str s -> if needs_quotes s then "\"" ^ escape s ^ "\"" else s
+
+  let line fields =
+    String.concat " "
+      (List.map (fun (k, v) -> k ^ "=" ^ string_of_value v) fields)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Log = struct
+  type level = Quiet | Error | Info | Debug
+
+  let to_int = function Quiet -> 0 | Error -> 1 | Info -> 2 | Debug -> 3
+  let current = Atomic.make (to_int Error)
+  let set_level l = Atomic.set current (to_int l)
+
+  let level_of_string s =
+    match String.lowercase_ascii (String.trim s) with
+    | "quiet" | "off" -> Some Quiet
+    | "error" -> Some Error
+    | "info" -> Some Info
+    | "debug" -> Some Debug
+    | _ -> None
+
+  let emit tag msg = Printf.eprintf "foc[%s] %s\n%!" tag (msg ())
+  let error msg = if Atomic.get current >= 1 then emit "error" msg
+  let info msg = if Atomic.get current >= 2 then emit "info" msg
+  let debug msg = if Atomic.get current >= 3 then emit "debug" msg
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  module Counter = struct
+    type t = { mutable v : int }
+
+    let make () = { v = 0 }
+    let inc c = c.v <- c.v + 1
+    let add c n = c.v <- c.v + n
+    let value c = c.v
+  end
+
+  module Gauge = struct
+    type t = { mutable v : int }
+
+    let make () = { v = 0 }
+    let set g n = g.v <- n
+    let set_max g n = if n > g.v then g.v <- n
+    let value g = g.v
+  end
+
+  module Histogram = struct
+    (* 64 fixed log2-spaced buckets: bucket 0 holds v <= 0, bucket i in
+       1..63 holds the values of bit-length i, i.e. 2^(i-1) <= v < 2^i.
+       [observe] is two array/int stores — cheap enough for per-ball and
+       per-update call sites. *)
+    type t = { buckets : int array; mutable count : int; mutable sum : int }
+
+    let make () = { buckets = Array.make 64 0; count = 0; sum = 0 }
+
+    let bucket_of v =
+      if v <= 0 then 0
+      else begin
+        let i = ref 0 and x = ref v in
+        while !x > 0 do
+          incr i;
+          x := !x lsr 1
+        done;
+        !i
+      end
+
+    (* inclusive upper bound of bucket [i] *)
+    let bucket_upper i =
+      if i = 0 then 0 else if i >= 63 then max_int else (1 lsl i) - 1
+
+    let observe h v =
+      let i = bucket_of v in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum + v
+
+    let count h = h.count
+    let sum h = h.sum
+
+    let nonzero_buckets h =
+      let out = ref [] in
+      for i = 63 downto 0 do
+        if h.buckets.(i) > 0 then out := (bucket_upper i, h.buckets.(i)) :: !out
+      done;
+      !out
+  end
+
+  type metric =
+    | MCounter of Counter.t
+    | MGauge of Gauge.t
+    | MHistogram of Histogram.t
+
+  type t = { tbl : (string, metric) Hashtbl.t }
+
+  let create () = { tbl = Hashtbl.create 32 }
+
+  let counter t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (MCounter c) -> c
+    | Some _ -> invalid_arg ("Metrics.counter: name in use: " ^ name)
+    | None ->
+        let c = Counter.make () in
+        Hashtbl.replace t.tbl name (MCounter c);
+        c
+
+  let gauge t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (MGauge g) -> g
+    | Some _ -> invalid_arg ("Metrics.gauge: name in use: " ^ name)
+    | None ->
+        let g = Gauge.make () in
+        Hashtbl.replace t.tbl name (MGauge g);
+        g
+
+  let histogram t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (MHistogram h) -> h
+    | Some _ -> invalid_arg ("Metrics.histogram: name in use: " ^ name)
+    | None ->
+        let h = Histogram.make () in
+        Hashtbl.replace t.tbl name (MHistogram h);
+        h
+
+  let sorted_names t =
+    List.sort String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [])
+
+  (* one flat field list: counters/gauges as [name=v], histograms as
+     [name.count=…] and [name.sum=…] — what the single `# stats:` line
+     prints, so a newly registered metric can never drift out of it *)
+  let scalar_fields t =
+    List.concat_map
+      (fun name ->
+        match Hashtbl.find t.tbl name with
+        | MCounter c -> [ (name, Logfmt.Int (Counter.value c)) ]
+        | MGauge g -> [ (name, Logfmt.Int (Gauge.value g)) ]
+        | MHistogram h ->
+            [
+              (name ^ ".count", Logfmt.Int (Histogram.count h));
+              (name ^ ".sum", Logfmt.Int (Histogram.sum h));
+            ])
+      (sorted_names t)
+
+  let line t = Logfmt.line (scalar_fields t)
+
+  (* one line per metric, histograms with their nonzero buckets *)
+  let report t =
+    List.map
+      (fun name ->
+        match Hashtbl.find t.tbl name with
+        | MCounter c ->
+            Logfmt.line
+              [ ("counter", Logfmt.Str name);
+                ("value", Logfmt.Int (Counter.value c)) ]
+        | MGauge g ->
+            Logfmt.line
+              [ ("gauge", Logfmt.Str name);
+                ("value", Logfmt.Int (Gauge.value g)) ]
+        | MHistogram h ->
+            Logfmt.line
+              (("histogram", Logfmt.Str name)
+               :: ("count", Logfmt.Int (Histogram.count h))
+               :: ("sum", Logfmt.Int (Histogram.sum h))
+               :: List.map
+                    (fun (ub, k) ->
+                      ((if ub = max_int then "le_inf"
+                        else Printf.sprintf "le%d" ub),
+                       Logfmt.Int k))
+                    (Histogram.nonzero_buckets h)))
+      (sorted_names t)
+end
+
+(* ------------------------------------------------------------------ *)
+
+module Trace = struct
+  type event = { name : string; tid : int; depth : int; t0 : int; t1 : int }
+
+  (* One growable event buffer per domain. Appends happen only from the
+     owning domain (no lock); the registry of buffers is the only shared
+     state and is mutex-protected. Buffers live for the whole process —
+     pool domains never die before exit, and a dead domain's buffer stays
+     readable from the registry. *)
+  type buf = {
+    tid : int;
+    mutable names : string array;
+    mutable depths : int array;
+    mutable starts : int array;
+    mutable stops : int array;
+    mutable len : int;
+    mutable open_depth : int;
+  }
+
+  let registry : buf list ref = ref []
+  let reg_mutex = Mutex.create ()
+  let on = Atomic.make false
+  let logfmt_sink : (string -> unit) option ref = ref None
+
+  let enabled () = Atomic.get on
+  let enable () = Atomic.set on true
+  let disable () = Atomic.set on false
+  let set_logfmt_sink s = logfmt_sink := s
+
+  let make_buf tid =
+    {
+      tid;
+      names = Array.make 256 "";
+      depths = Array.make 256 0;
+      starts = Array.make 256 0;
+      stops = Array.make 256 0;
+      len = 0;
+      open_depth = 0;
+    }
+
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let b = make_buf (Domain.self () :> int) in
+        Mutex.lock reg_mutex;
+        registry := b :: !registry;
+        Mutex.unlock reg_mutex;
+        b)
+
+  let buffer () = Domain.DLS.get key
+
+  let push b name depth t0 t1 =
+    let cap = Array.length b.names in
+    if b.len = cap then begin
+      let grow a fill =
+        let a' = Array.make (2 * cap) fill in
+        Array.blit a 0 a' 0 cap;
+        a'
+      in
+      b.names <- grow b.names "";
+      b.depths <- grow b.depths 0;
+      b.starts <- grow b.starts 0;
+      b.stops <- grow b.stops 0
+    end;
+    b.names.(b.len) <- name;
+    b.depths.(b.len) <- depth;
+    b.starts.(b.len) <- t0;
+    b.stops.(b.len) <- t1;
+    b.len <- b.len + 1
+
+  let clear () =
+    Mutex.lock reg_mutex;
+    List.iter (fun b -> b.len <- 0) !registry;
+    Mutex.unlock reg_mutex
+
+  (* Deterministic merge: collect every buffer, then impose a total order
+     that depends only on the recorded data (start asc, end desc — so an
+     enclosing span sorts before its children — then tid, name, depth),
+     never on registry or scheduling order. *)
+  let compare_events a b =
+    let c = compare a.t0 b.t0 in
+    if c <> 0 then c
+    else
+      let c = compare b.t1 a.t1 in
+      if c <> 0 then c
+      else
+        let c = compare a.tid b.tid in
+        if c <> 0 then c
+        else
+          let c = String.compare a.name b.name in
+          if c <> 0 then c else compare a.depth b.depth
+
+  let events () =
+    Mutex.lock reg_mutex;
+    let bufs = !registry in
+    let out = ref [] in
+    List.iter
+      (fun b ->
+        for i = b.len - 1 downto 0 do
+          out :=
+            {
+              name = b.names.(i);
+              tid = b.tid;
+              depth = b.depths.(i);
+              t0 = b.starts.(i);
+              t1 = b.stops.(i);
+            }
+            :: !out
+        done)
+      bufs;
+    Mutex.unlock reg_mutex;
+    List.sort compare_events !out
+
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  (* Chrome trace_event JSON: an array of complete ("ph":"X") events with
+     microsecond timestamps relative to the first event — loadable in
+     chrome://tracing and Perfetto. *)
+  let export_chrome path =
+    let evs = events () in
+    let epoch = match evs with [] -> 0 | e :: _ -> e.t0 in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "[";
+    List.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n  ";
+        Printf.bprintf buf
+          "{\"name\": \"%s\", \"cat\": \"foc\", \"ph\": \"X\", \"ts\": \
+           %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
+          (json_escape e.name)
+          (float_of_int (e.t0 - epoch) /. 1e3)
+          (float_of_int (e.t1 - e.t0) /. 1e3)
+          e.tid)
+      evs;
+    Buffer.add_string buf "\n]\n";
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc
+
+  let by_tid (evs : event list) =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (e : event) ->
+        Hashtbl.replace tbl e.tid
+          (e :: Option.value ~default:[] (Hashtbl.find_opt tbl e.tid)))
+      evs;
+    Hashtbl.fold (fun _ l acc -> List.rev l :: acc) tbl []
+    |> List.sort (fun a b ->
+           match (a, b) with
+           | (e : event) :: _, (f : event) :: _ -> compare e.tid f.tid
+           | _ -> 0)
+
+  type totals = { spans : int; total_ns : int; self_ns : int }
+
+  (* Per-name totals with self time (duration minus nested children), by
+     replaying each domain's events through an interval stack. Spans are
+     recorded under stack discipline per domain, so the reconstruction is
+     exact. *)
+  let phase_totals () =
+    let acc = Hashtbl.create 16 in
+    let add name dur self =
+      let t =
+        Option.value
+          (Hashtbl.find_opt acc name)
+          ~default:{ spans = 0; total_ns = 0; self_ns = 0 }
+      in
+      Hashtbl.replace acc name
+        {
+          spans = t.spans + 1;
+          total_ns = t.total_ns + dur;
+          self_ns = t.self_ns + self;
+        }
+    in
+    List.iter
+      (fun seq ->
+        let stack : (event * int ref) list ref = ref [] in
+        let rec pop_until t0 =
+          match !stack with
+          | (e, kids) :: rest when e.t1 <= t0 ->
+              stack := rest;
+              let dur = e.t1 - e.t0 in
+              add e.name dur (dur - !kids);
+              (match rest with
+              | (_, pk) :: _ -> pk := !pk + dur
+              | [] -> ());
+              pop_until t0
+          | _ -> ()
+        in
+        List.iter
+          (fun e ->
+            pop_until e.t0;
+            stack := (e, ref 0) :: !stack)
+          seq;
+        pop_until max_int)
+      (by_tid (events ()));
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) acc []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* Spans within one domain must nest like a stack: no partial overlap. *)
+  let well_nested () =
+    List.for_all
+      (fun seq ->
+        let stack = ref [] in
+        let ok = ref true in
+        let rec pop_until t0 =
+          match !stack with
+          | e :: rest when e.t1 <= t0 ->
+              stack := rest;
+              pop_until t0
+          | _ -> ()
+        in
+        List.iter
+          (fun e ->
+            pop_until e.t0;
+            (match !stack with
+            | top :: _ when e.t1 > top.t1 -> ok := false
+            | _ -> ());
+            stack := e :: !stack)
+          seq;
+        !ok)
+      (by_tid (events ()))
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* Timing sinks beyond tracing (duration histograms): enabled explicitly
+   (CLI --metrics) or implied by tracing. Checked before taking clock
+   readings on paths that run per cl-term. *)
+let timing = Atomic.make false
+let set_timing b = Atomic.set timing b
+let timing_enabled () = Atomic.get timing || Trace.enabled ()
+
+let span ~name f =
+  if not (Trace.enabled ()) then f ()
+  else begin
+    let b = Trace.buffer () in
+    b.Trace.open_depth <- b.Trace.open_depth + 1;
+    let depth = b.Trace.open_depth in
+    let t0 = Clock.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = Clock.now_ns () in
+        b.Trace.open_depth <- depth - 1;
+        Trace.push b name depth t0 t1;
+        match !Trace.logfmt_sink with
+        | None -> ()
+        | Some k ->
+            k
+              (Logfmt.line
+                 [
+                   ("span", Logfmt.Str name);
+                   ("tid", Logfmt.Int b.Trace.tid);
+                   ("depth", Logfmt.Int depth);
+                   ("ns", Logfmt.Int (t1 - t0));
+                 ]))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+
+(* A minimal JSON reader — enough to validate exported traces (tests, the
+   CLI's trace-check) without external dependencies. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Fail of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some d when d = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+            advance ();
+            (match peek () with
+            | Some '"' -> Buffer.add_char b '"'; advance ()
+            | Some '\\' -> Buffer.add_char b '\\'; advance ()
+            | Some '/' -> Buffer.add_char b '/'; advance ()
+            | Some 'b' -> Buffer.add_char b '\b'; advance ()
+            | Some 'f' -> Buffer.add_char b '\012'; advance ()
+            | Some 'n' -> Buffer.add_char b '\n'; advance ()
+            | Some 'r' -> Buffer.add_char b '\r'; advance ()
+            | Some 't' -> Buffer.add_char b '\t'; advance ()
+            | Some 'u' ->
+                advance ();
+                if !pos + 4 > n then fail "bad \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let cp =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                (* encode the code point as UTF-8 (no surrogate pairing —
+                   our own traces are ASCII) *)
+                if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                else if cp < 0x800 then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                  Buffer.add_char b
+                    (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                end
+            | _ -> fail "bad escape");
+            go ()
+        | Some c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c -> num_char c | None -> false) do
+        advance ()
+      done;
+      if !pos = start then fail "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or }"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ]"
+            in
+            List (elements [])
+          end
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Fail m -> Error m
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end

@@ -1,0 +1,167 @@
+(** Observability: monotonic clock, span tracing, metrics registry,
+    exporters.
+
+    Design constraints (tested by [test_obs]):
+    - {b zero cost when disabled}: [span] checks one atomic flag and tail
+      calls its argument; counters are plain int stores.  Nothing here may
+      change an evaluation result — counts are bit-identical with
+      observability on or off.
+    - {b deterministic}: spans recorded inside {!Foc_par} worker domains
+      land in per-domain buffers (lock-free on the record path) and are
+      merged into a single total order that depends only on the recorded
+      timestamps/names, read after the parallel joins. *)
+
+module Clock : sig
+  val now_ns : unit -> int
+  (** Monotonic time in nanoseconds (not wall clock; origin unspecified). *)
+
+  val timed : (unit -> 'a) -> 'a * float
+  (** [timed f] runs [f] and returns its result with elapsed seconds. *)
+end
+
+module Logfmt : sig
+  type value = Int of int | Float of float | Str of string | Bool of bool
+
+  val line : (string * value) list -> string
+  (** Render [k=v] pairs space-separated; strings containing spaces,
+      quotes, [=] or newlines are quoted and escaped. *)
+end
+
+module Log : sig
+  type level = Quiet | Error | Info | Debug
+
+  val set_level : level -> unit
+  val level_of_string : string -> level option
+
+  val error : (unit -> string) -> unit
+  val info : (unit -> string) -> unit
+  val debug : (unit -> string) -> unit
+  (** Closure-taking emitters to stderr: the message is not built unless
+      the level is active. *)
+end
+
+module Metrics : sig
+  module Counter : sig
+    type t
+
+    val inc : t -> unit
+    val add : t -> int -> unit
+    val value : t -> int
+  end
+
+  module Gauge : sig
+    type t
+
+    val set : t -> int -> unit
+    val set_max : t -> int -> unit
+    (** Retain the maximum of all [set_max] calls (peak tracking). *)
+
+    val value : t -> int
+  end
+
+  module Histogram : sig
+    type t
+
+    val observe : t -> int -> unit
+    (** Record one value. 64 fixed log2-spaced buckets: bucket 0 holds
+        [v <= 0]; bucket [i] holds values of bit-length [i]
+        (2{^i-1} ≤ v < 2{^i}). *)
+
+    val count : t -> int
+    val sum : t -> int
+
+    val nonzero_buckets : t -> (int * int) list
+    (** [(inclusive_upper_bound, count)] for each nonempty bucket, in
+        increasing bound order; the last bucket's bound is [max_int]. *)
+
+    val bucket_of : int -> int
+    (** Exposed for tests. *)
+  end
+
+  type t
+  (** A registry: a named collection of metrics. Not domain-safe; each
+      engine owns one and mutates it from the calling domain only (worker
+      counters travel via snapshots, as before). *)
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  val gauge : t -> string -> Gauge.t
+  val histogram : t -> string -> Histogram.t
+  (** Get-or-create by name. Raise [Invalid_argument] if the name is
+      already registered with a different metric kind. *)
+
+  val line : t -> string
+  (** All metrics as one logfmt line, keys sorted; histograms contribute
+      [name.count] and [name.sum]. *)
+
+  val report : t -> string list
+  (** One logfmt line per metric; histograms include nonzero buckets as
+      [le<bound>=count] fields. *)
+end
+
+module Trace : sig
+  type event = {
+    name : string;
+    tid : int;  (** recording domain's id *)
+    depth : int;  (** nesting depth within its domain, 1 = outermost *)
+    t0 : int;  (** start, ns, monotonic *)
+    t1 : int;  (** end, ns *)
+  }
+
+  val enable : unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  val clear : unit -> unit
+  (** Drop all recorded events (all domains). *)
+
+  val events : unit -> event list
+  (** All recorded events merged across domains in a deterministic total
+      order (start asc, end desc, tid, name). Call after parallel joins. *)
+
+  val export_chrome : string -> unit
+  (** Write the events as Chrome [trace_event] JSON (an array of
+      ["ph":"X"] complete events, µs timestamps relative to the first
+      event) — loadable in chrome://tracing and Perfetto. *)
+
+  type totals = { spans : int; total_ns : int; self_ns : int }
+
+  val phase_totals : unit -> (string * totals) list
+  (** Aggregate per span name, sorted by name. [self_ns] excludes time
+      spent in nested child spans (per-phase attribution without double
+      counting). *)
+
+  val well_nested : unit -> bool
+  (** Within each domain, spans nest like a stack (no partial overlap). *)
+
+  val set_logfmt_sink : (string -> unit) option -> unit
+  (** Also emit each completed span as a logfmt line to this sink. *)
+end
+
+val span : name:string -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f]; when tracing is enabled, records a nested
+    span in the current domain's buffer (closed on exception too). When
+    disabled this is just [f ()]. *)
+
+val set_timing : bool -> unit
+
+val timing_enabled : unit -> bool
+(** True when duration histograms should be fed ([set_timing true] or
+    tracing enabled). Check before taking clock readings on hot paths. *)
+
+module Json : sig
+  (** Minimal JSON reader for validating exported traces (tests and the
+      CLI's [trace-check]) without external dependencies. *)
+
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val member : string -> t -> t option
+end

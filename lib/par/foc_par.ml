@@ -186,12 +186,21 @@ let sequential_only ~jobs n =
 
 (* ---------------- combinators ---------------- *)
 
-let parallel_for ~jobs ?chunks n f =
+(* Optional span labelling: when a call site names its sweep, the
+   sequential path records one span and the parallel path one span per
+   chunk (in the executing domain's buffer — that is what makes worker
+   activity visible in the merged trace). No label, no overhead; with a
+   label but tracing disabled, [Foc_obs.span] is one atomic read. *)
+let with_label label f =
+  match label with None -> f () | Some name -> Foc_obs.span ~name f
+
+let parallel_for ~jobs ?chunks ?label n f =
   if n <= 0 then ()
   else if sequential_only ~jobs n then
-    for i = 0 to n - 1 do
-      f i
-    done
+    with_label label (fun () ->
+        for i = 0 to n - 1 do
+          f i
+        done)
   else begin
     let nc =
       match chunks with
@@ -199,17 +208,18 @@ let parallel_for ~jobs ?chunks n f =
       | None -> default_chunks ~jobs n
     in
     run_batch ~jobs nc (fun _slot c ->
-        let lo, hi = chunk_bounds n nc c in
-        for i = lo to hi - 1 do
-          f i
-        done)
+        with_label label (fun () ->
+            let lo, hi = chunk_bounds n nc c in
+            for i = lo to hi - 1 do
+              f i
+            done))
   end
 
-let tabulate_ctx ~jobs ?chunks ~make_ctx n f =
+let tabulate_ctx ~jobs ?chunks ?label ~make_ctx n f =
   if n <= 0 then ([||], [])
   else if sequential_only ~jobs n then begin
     let ctx = make_ctx () in
-    (Array.init n (f ctx), [ ctx ])
+    (with_label label (fun () -> Array.init n (f ctx)), [ ctx ])
   end
   else begin
     let slots = Array.make jobs None in
@@ -232,26 +242,32 @@ let tabulate_ctx ~jobs ?chunks ~make_ctx n f =
         | None -> default_chunks ~jobs rest
       in
       run_batch ~jobs nc (fun slot c ->
-          let ctx = ctx_of slot in
-          let lo, hi = chunk_bounds rest nc c in
-          for i = lo + 1 to hi do
-            out.(i) <- f ctx i
-          done)
+          with_label label (fun () ->
+              let ctx = ctx_of slot in
+              let lo, hi = chunk_bounds rest nc c in
+              for i = lo + 1 to hi do
+                out.(i) <- f ctx i
+              done))
     end;
     (out, List.filter_map Fun.id (Array.to_list slots))
   end
 
-let tabulate ~jobs ?chunks n f =
-  fst (tabulate_ctx ~jobs ?chunks ~make_ctx:(fun () -> ()) n (fun () i -> f i))
+let tabulate ~jobs ?chunks ?label n f =
+  fst
+    (tabulate_ctx ~jobs ?chunks ?label
+       ~make_ctx:(fun () -> ())
+       n
+       (fun () i -> f i))
 
-let map_reduce_ctx ~jobs ?chunks ~make_ctx ~n ~map ~reduce init =
+let map_reduce_ctx ~jobs ?chunks ?label ~make_ctx ~n ~map ~reduce init =
   if n <= 0 then (init, [])
   else if sequential_only ~jobs n then begin
     let ctx = make_ctx () in
     let acc = ref init in
-    for i = 0 to n - 1 do
-      acc := reduce !acc (map ctx i)
-    done;
+    with_label label (fun () ->
+        for i = 0 to n - 1 do
+          acc := reduce !acc (map ctx i)
+        done);
     (!acc, [ ctx ])
   end
   else begin
@@ -271,13 +287,14 @@ let map_reduce_ctx ~jobs ?chunks ~make_ctx ~n ~map ~reduce init =
           c
     in
     run_batch ~jobs nc (fun slot c ->
-        let ctx = ctx_of slot in
-        let lo, hi = chunk_bounds n nc c in
-        let acc = ref (map ctx lo) in
-        for i = lo + 1 to hi - 1 do
-          acc := reduce !acc (map ctx i)
-        done;
-        partials.(c) <- Some !acc);
+        with_label label (fun () ->
+            let ctx = ctx_of slot in
+            let lo, hi = chunk_bounds n nc c in
+            let acc = ref (map ctx lo) in
+            for i = lo + 1 to hi - 1 do
+              acc := reduce !acc (map ctx i)
+            done;
+            partials.(c) <- Some !acc));
     let total =
       Array.fold_left
         (fun acc p ->
@@ -287,9 +304,9 @@ let map_reduce_ctx ~jobs ?chunks ~make_ctx ~n ~map ~reduce init =
     (total, List.filter_map Fun.id (Array.to_list slots))
   end
 
-let map_reduce ~jobs ?chunks ~n ~map ~reduce init =
+let map_reduce ~jobs ?chunks ?label ~n ~map ~reduce init =
   fst
-    (map_reduce_ctx ~jobs ?chunks
+    (map_reduce_ctx ~jobs ?chunks ?label
        ~make_ctx:(fun () -> ())
        ~n
        ~map:(fun () i -> map i)

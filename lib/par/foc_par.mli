@@ -41,12 +41,20 @@ val recommended_jobs : unit -> int
     [f] must only write to iteration-private locations (e.g. slot [i] of a
     result array). [?chunks] overrides the number of work chunks (default
     scales with [jobs]); it never affects results. Exceptions raised by
-    [f] are re-raised in the caller after the batch drains. *)
-val parallel_for : jobs:int -> ?chunks:int -> int -> (int -> unit) -> unit
+    [f] are re-raised in the caller after the batch drains.
+
+    [?label] names the sweep for tracing: when given and {!Foc_obs} tracing
+    is enabled, each chunk (or the whole loop on the sequential path) is
+    recorded as a span in the executing domain's buffer — this is how
+    per-domain sweep activity shows up in exported traces. It never
+    affects results; without a label there is no overhead at all. *)
+val parallel_for :
+  jobs:int -> ?chunks:int -> ?label:string -> int -> (int -> unit) -> unit
 
 (** [tabulate ~jobs n f] is [Array.init n f] computed in parallel. [f]
     must be safe to call concurrently from several domains. *)
-val tabulate : jobs:int -> ?chunks:int -> int -> (int -> 'a) -> 'a array
+val tabulate :
+  jobs:int -> ?chunks:int -> ?label:string -> int -> (int -> 'a) -> 'a array
 
 (** [tabulate_ctx ~jobs ~make_ctx n f] is
     [Array.init n (f ctx)] where each executor uses its own lazily-created
@@ -57,6 +65,7 @@ val tabulate : jobs:int -> ?chunks:int -> int -> (int -> 'a) -> 'a array
 val tabulate_ctx :
   jobs:int ->
   ?chunks:int ->
+  ?label:string ->
   make_ctx:(unit -> 'c) ->
   int ->
   ('c -> int -> 'a) ->
@@ -70,6 +79,7 @@ val tabulate_ctx :
 val map_reduce :
   jobs:int ->
   ?chunks:int ->
+  ?label:string ->
   n:int ->
   map:(int -> 'a) ->
   reduce:('a -> 'a -> 'a) ->
@@ -81,6 +91,7 @@ val map_reduce :
 val map_reduce_ctx :
   jobs:int ->
   ?chunks:int ->
+  ?label:string ->
   make_ctx:(unit -> 'c) ->
   n:int ->
   map:('c -> int -> 'a) ->

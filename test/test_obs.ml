@@ -1,0 +1,347 @@
+(* Tests for the observability layer (foc_obs): logfmt rendering,
+   histogram bucketing, the metrics registry, span nesting and the Chrome
+   trace export round-trip — plus the load-bearing property that turning
+   observability on cannot change an evaluation result, for every back-end
+   and for jobs=1 and jobs=4. *)
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+let engine backend jobs =
+  Foc.Engine.create
+    ~config:{ Foc.Engine.default_config with backend; jobs }
+    ()
+
+(* every test leaves the global observability state off *)
+let obs_off () =
+  Foc.Obs.Trace.disable ();
+  Foc.Obs.Trace.clear ();
+  Foc.Obs.set_timing false;
+  Foc.Obs.Trace.set_logfmt_sink None
+
+(* ---------------- logfmt ---------------- *)
+
+let test_logfmt () =
+  let open Foc.Obs.Logfmt in
+  Alcotest.(check string)
+    "plain" "a=1 b=ok c=true"
+    (line [ ("a", Int 1); ("b", Str "ok"); ("c", Bool true) ]);
+  Alcotest.(check string)
+    "float" "t=0.250000"
+    (line [ ("t", Float 0.25) ]);
+  Alcotest.(check string)
+    "spaces quoted" "msg=\"two words\""
+    (line [ ("msg", Str "two words") ]);
+  Alcotest.(check string)
+    "equals quoted" "msg=\"k=v\""
+    (line [ ("msg", Str "k=v") ]);
+  Alcotest.(check string)
+    "quotes escaped" "msg=\"say \\\"hi\\\"\""
+    (line [ ("msg", Str "say \"hi\"") ]);
+  Alcotest.(check string)
+    "newline escaped" "msg=\"a\\nb\""
+    (line [ ("msg", Str "a\nb") ])
+
+(* ---------------- histogram buckets ---------------- *)
+
+let test_histogram_buckets () =
+  let b = Foc.Obs.Metrics.Histogram.bucket_of in
+  List.iter
+    (fun (v, expect) ->
+      Alcotest.(check int) (Printf.sprintf "bucket_of %d" v) expect (b v))
+    [
+      (min_int, 0); (-1, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3);
+      (7, 3); (8, 4); (1023, 10); (1024, 11); (max_int, 62);
+    ]
+
+let test_histogram_observe () =
+  let open Foc.Obs.Metrics in
+  let r = create () in
+  let h = histogram r "h" in
+  List.iter (Histogram.observe h) [ 0; 1; 1; 3; 1000; -5 ];
+  Alcotest.(check int) "count" 6 (Histogram.count h);
+  Alcotest.(check int) "sum" 1000 (Histogram.sum h);
+  Alcotest.(check (list (pair int int)))
+    "nonzero buckets"
+    [ (0, 2); (1, 2); (3, 1); (1023, 1) ]
+    (Histogram.nonzero_buckets h)
+
+(* ---------------- registry ---------------- *)
+
+let test_registry () =
+  let open Foc.Obs.Metrics in
+  let r = create () in
+  let c = counter r "x.count" in
+  Counter.inc c;
+  Counter.add c 4;
+  (* get-or-create returns the same underlying cell *)
+  Counter.inc (counter r "x.count");
+  Alcotest.(check int) "counter" 6 (Counter.value c);
+  let g = gauge r "x.peak" in
+  Gauge.set_max g 10;
+  Gauge.set_max g 3;
+  Alcotest.(check int) "gauge keeps max" 10 (Gauge.value g);
+  let h = histogram r "x.ns" in
+  Histogram.observe h 100;
+  Alcotest.(check string)
+    "line sorted with histogram scalars"
+    "x.count=6 x.ns.count=1 x.ns.sum=100 x.peak=10" (line r);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics.gauge: name in use: x.count") (fun () ->
+      ignore (gauge r "x.count"));
+  Alcotest.(check int) "report has one line per metric" 3
+    (List.length (report r))
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  obs_off ();
+  Foc.Obs.Trace.enable ();
+  let v =
+    Foc.Obs.span ~name:"outer" (fun () ->
+        Foc.Obs.span ~name:"inner" (fun () -> 21) * 2)
+  in
+  (* a span closed by an exception must still be recorded *)
+  (try
+     Foc.Obs.span ~name:"raises" (fun () -> raise Exit)
+   with Exit -> ());
+  Alcotest.(check int) "value passes through" 42 v;
+  let evs = Foc.Obs.Trace.events () in
+  Alcotest.(check (list string))
+    "merged order: outer first (earlier start), inner nested"
+    [ "outer"; "inner"; "raises" ]
+    (List.map (fun (e : Foc.Obs.Trace.event) -> e.name) evs);
+  Alcotest.(check (list int))
+    "depths" [ 1; 2; 1 ]
+    (List.map (fun (e : Foc.Obs.Trace.event) -> e.depth) evs);
+  Alcotest.(check bool) "well nested" true (Foc.Obs.Trace.well_nested ());
+  let totals = Foc.Obs.Trace.phase_totals () in
+  let outer = List.assoc "outer" totals in
+  let inner = List.assoc "inner" totals in
+  Alcotest.(check bool)
+    "outer self excludes inner" true
+    (outer.Foc.Obs.Trace.self_ns
+     = outer.Foc.Obs.Trace.total_ns - inner.Foc.Obs.Trace.total_ns);
+  obs_off ();
+  Alcotest.(check int) "clear drops events" 0
+    (List.length (Foc.Obs.Trace.events ()));
+  (* disabled spans record nothing and cost nothing observable *)
+  Alcotest.(check int) "disabled span is transparent" 7
+    (Foc.Obs.span ~name:"ghost" (fun () -> 7));
+  Alcotest.(check int) "no ghost event" 0
+    (List.length (Foc.Obs.Trace.events ()))
+
+let test_span_parallel_labels () =
+  obs_off ();
+  Foc.Obs.Trace.enable ();
+  let out =
+    Foc.Par.tabulate ~jobs:4 ~label:"work" 200 (fun i -> i + 1)
+  in
+  Alcotest.(check (array int))
+    "values" (Array.init 200 (fun i -> i + 1)) out;
+  let evs = Foc.Obs.Trace.events () in
+  Alcotest.(check bool) "at least one labelled span" true
+    (List.exists (fun (e : Foc.Obs.Trace.event) -> e.name = "work") evs);
+  Alcotest.(check bool) "all spans labelled" true
+    (List.for_all (fun (e : Foc.Obs.Trace.event) -> e.name = "work") evs);
+  Alcotest.(check bool) "well nested across domains" true
+    (Foc.Obs.Trace.well_nested ());
+  obs_off ()
+
+(* ---------------- trace export round-trip ---------------- *)
+
+let test_export_round_trip () =
+  obs_off ();
+  Foc.Obs.Trace.enable ();
+  Foc.Obs.span ~name:"alpha" (fun () ->
+      Foc.Obs.span ~name:"beta \"q\"" ignore);
+  let n_events = List.length (Foc.Obs.Trace.events ()) in
+  let path = Filename.temp_file "foc_trace" ".json" in
+  Foc.Obs.Trace.export_chrome path;
+  obs_off ();
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  match Foc.Obs.Json.parse s with
+  | Error e -> Alcotest.failf "exported trace does not parse: %s" e
+  | Ok (Foc.Obs.Json.List evs) ->
+      Alcotest.(check int) "event count survives" n_events (List.length evs);
+      let names =
+        List.map
+          (fun ev ->
+            (match Foc.Obs.Json.member "ph" ev with
+            | Some (Foc.Obs.Json.Str "X") -> ()
+            | _ -> Alcotest.fail "ph must be \"X\"");
+            List.iter
+              (fun k ->
+                match Foc.Obs.Json.member k ev with
+                | Some (Foc.Obs.Json.Num f) when f >= 0. -> ()
+                | _ -> Alcotest.failf "bad field %s" k)
+              [ "ts"; "dur"; "pid"; "tid" ];
+            match Foc.Obs.Json.member "name" ev with
+            | Some (Foc.Obs.Json.Str s) -> s
+            | _ -> Alcotest.fail "missing name")
+          evs
+      in
+      Alcotest.(check bool) "escaped name survives round-trip" true
+        (List.mem "beta \"q\"" names)
+  | Ok _ -> Alcotest.fail "exported trace is not a JSON array"
+
+let test_json_parser () =
+  let open Foc.Obs.Json in
+  (match parse "{\"a\": [1, 2.5, true, null, \"x\\n\"]}" with
+  | Ok (Obj [ ("a", List [ Num 1.; Num 2.5; Bool true; Null; Str "x\n" ]) ])
+    ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong parse"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" bad)
+    [ ""; "{"; "[1,]"; "[1] trailing"; "\"unterminated"; "nul" ]
+
+(* ---------------- engine metrics as a view ---------------- *)
+
+let test_engine_stats_view () =
+  obs_off ();
+  let a =
+    coloured 5 (Foc.Gen.random_bounded_degree (Random.State.make [| 5 |]) 60 3)
+  in
+  let eng = engine Foc.Engine.Cover 1 in
+  ignore
+    (Foc.Engine.eval_ground eng a
+       (Foc.parse_term "#(x,y). (R(x) & E(x,y))"));
+  let st = Foc.Engine.stats eng in
+  Alcotest.(check bool) "basic terms counted" true (st.basic_terms > 0);
+  Alcotest.(check bool) "covers counted" true (st.covers_built > 0);
+  (* the registry view and the record view agree *)
+  Alcotest.(check int)
+    "registry backs the record" st.basic_terms
+    Foc.Obs.Metrics.(
+      Counter.value (counter (Foc.Engine.metrics eng) "engine.basic_terms"));
+  let line = Foc.Engine.stats_line eng in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "stats_line mentions covers" true
+    (contains line "engine.covers_built=")
+
+let test_incremental_metrics () =
+  obs_off ();
+  let a =
+    coloured 7 (Foc.Gen.random_tree (Random.State.make [| 7 |]) 50)
+  in
+  let cl =
+    match
+      Foc.Decompose.unary_count ~r:1 ~vars:[ "x"; "y" ]
+        (Foc.parse_formula "E(x,y) & B(y)")
+    with
+    | Some cl -> cl
+    | None -> Alcotest.fail "decomposition failed"
+  in
+  let inc = Foc.Incremental.create Foc.predicates a cl in
+  let affected = Foc.Incremental.insert inc "E" [| 0; 49 |] in
+  Alcotest.(check bool) "some anchors re-evaluated" true (affected > 0);
+  let m = Foc.Incremental.metrics inc in
+  let h = Foc.Obs.Metrics.histogram m "incr.update.affected" in
+  Alcotest.(check int) "one update observed" 1
+    (Foc.Obs.Metrics.Histogram.count h);
+  Alcotest.(check int) "histogram sums the affected counts" affected
+    (Foc.Obs.Metrics.Histogram.sum h);
+  Alcotest.(check bool) "stats_line renders" true
+    (String.length (Foc.Incremental.stats_line inc) > 0)
+
+(* ---------------- obs on/off invariance ---------------- *)
+
+let body_gen =
+  let open QCheck.Gen in
+  let atom = oneofl [ "E(x,y)"; "E(y,x)"; "B(y)"; "R(y)"; "G(y)"; "R(x)" ] in
+  let literal = map2 (fun neg a -> if neg then "!" ^ a else a) bool atom in
+  let connective = oneofl [ " & "; " | " ] in
+  map3
+    (fun l1 op l2 -> "(" ^ l1 ^ op ^ l2 ^ ")")
+    literal connective literal
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (n, seed, body) ->
+      Printf.sprintf "n=%d seed=%d %s" n seed body)
+    QCheck.Gen.(triple (int_range 8 40) (int_range 0 10000) body_gen)
+
+let prop_invariant backend name =
+  QCheck.Test.make ~name ~count:20 arb_case (fun (n, seed, body) ->
+      let rng = Random.State.make [| n; seed |] in
+      let a = coloured seed (Foc.Gen.random_bounded_degree rng n 3) in
+      let ground = Foc.parse_term (Printf.sprintf "#(x,y). %s" body) in
+      let unary = Foc.parse_term (Printf.sprintf "#(y). %s" body) in
+      let sentence =
+        Foc.parse_formula (Printf.sprintf "#(x,y). %s >= 3" body)
+      in
+      let run jobs =
+        let eng = engine backend jobs in
+        let g = Foc.Engine.eval_ground eng a ground in
+        let u = Foc.Engine.eval_unary eng a "x" unary in
+        let c = Foc.Engine.check eng a sentence in
+        (g, u, c)
+      in
+      let results jobs =
+        obs_off ();
+        let off = run jobs in
+        Foc.Obs.Trace.enable ();
+        Foc.Obs.set_timing true;
+        let on = run jobs in
+        obs_off ();
+        off = on
+      in
+      results 1 && results 4)
+
+let () =
+  obs_off ();
+  Alcotest.run "observability"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "logfmt escaping" `Quick test_logfmt;
+          Alcotest.test_case "histogram buckets" `Quick
+            test_histogram_buckets;
+          Alcotest.test_case "histogram observe" `Quick
+            test_histogram_observe;
+          Alcotest.test_case "metrics registry" `Quick test_registry;
+          Alcotest.test_case "json parser" `Quick test_json_parser;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting + self time" `Quick test_span_nesting;
+          Alcotest.test_case "parallel labels" `Quick
+            test_span_parallel_labels;
+          Alcotest.test_case "chrome export round-trip" `Quick
+            test_export_round_trip;
+        ] );
+      ( "engine integration",
+        [
+          Alcotest.test_case "stats is a registry view" `Quick
+            test_engine_stats_view;
+          Alcotest.test_case "incremental counters" `Quick
+            test_incremental_metrics;
+        ] );
+      ( "obs on = obs off",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_invariant Foc.Engine.Direct "direct: obs on = off");
+          QCheck_alcotest.to_alcotest
+            (prop_invariant Foc.Engine.Cover "cover: obs on = off");
+          QCheck_alcotest.to_alcotest
+            (prop_invariant Foc.Engine.Hanf "hanf: obs on = off");
+          QCheck_alcotest.to_alcotest
+            (prop_invariant
+               (Foc.Engine.Splitter { max_rounds = 3; small = 64 })
+               "splitter: obs on = off");
+        ] );
+    ]
