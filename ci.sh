@@ -9,6 +9,10 @@ dune build
 dune runtest
 dune exec bench/main.exe -- --only E11 --smoke
 dune exec bench/main.exe -- --only E12 --smoke
+# E13 exits non-zero if the planned and unplanned relational engines
+# disagree or the planner takes a full n^k complement on conjunctive
+# negation — the agreement gate for the columnar kernel + planner.
+dune exec bench/main.exe -- --only E13 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \

@@ -48,6 +48,7 @@ module Structure_io = Foc_data.Io
 module Var = Foc_logic.Var
 module Pred = Foc_logic.Pred
 module Ast = Foc_logic.Ast
+module Planner = Foc_logic.Planner
 module Measure = Foc_logic.Measure
 module Pp = Foc_logic.Pp
 module Simplify = Foc_logic.Simplify
@@ -61,6 +62,7 @@ module Naive = Foc_eval.Naive
 module Table = Foc_eval.Table
 module Counts = Foc_eval.Counts
 module Relalg = Foc_eval.Relalg
+module Eval_obs = Foc_eval.Eval_obs
 
 (* the paper's machinery *)
 module Locality = Foc_local.Locality

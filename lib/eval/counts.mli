@@ -1,7 +1,12 @@
 (** Valuations of counting terms with free variables: a term [t(x̄)] denotes
     the function [ā ↦ t^A(ā)]; this module represents such functions
     extensionally-on-demand (a variable list plus an evaluation closure over
-    assignments). Used by {!Relalg} to evaluate [Pred] formulas. *)
+    assignments). Used by {!Relalg} to evaluate [Pred] formulas.
+
+    Two reading modes: {!get} takes a [Var.Map] assignment (the convenient
+    external interface), {!row} compiles a reader against a fixed column
+    order once and then reads raw table rows with no per-row allocation
+    (the {!Relalg} hot path). *)
 
 open Foc_logic
 
@@ -14,6 +19,12 @@ val vars : t -> Var.Set.t
     [vars v]; raises [Naive.Unbound] otherwise. *)
 val get : t -> int Var.Map.t -> int
 
+(** [row v cols] compiles a reader for rows laid out as [cols]: the
+    returned closure maps a row array (values of [cols], in order) to the
+    valuation's value. Raises [Naive.Unbound] at compile time if [cols]
+    misses a needed variable. The row array is read, never retained. *)
+val row : t -> Var.t array -> int array -> int
+
 (** Constant valuation. *)
 val const : int -> t
 
@@ -22,8 +33,11 @@ val add : t -> t -> t
 
 val mul : t -> t -> t
 
-(** [of_groups ~vars ~multiplier tbl] — valuation reading the hash table
-    keyed by the projection of the assignment onto [vars] (in order),
-    defaulting to 0, times [multiplier]. *)
-val of_groups :
-  vars:Var.t array -> multiplier:int -> (int array, int) Hashtbl.t -> t
+(** [of_sorted_groups ~vars ~multiplier keys counts] — valuation reading a
+    group-count result (e.g. {!Table.group_count}): [keys] holds
+    [Array.length counts] group keys row-major ([Array.length vars] ints
+    each, sorted lexicographically), and the value is [multiplier *
+    count] for the group matching the projection of the assignment onto
+    [vars], or 0 when absent (binary search). *)
+val of_sorted_groups :
+  vars:Var.t array -> multiplier:int -> int array -> int array -> t

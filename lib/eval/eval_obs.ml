@@ -1,0 +1,85 @@
+module M = Foc_obs.Metrics
+
+type s = {
+  registry : M.t;
+  tables_built : M.Counter.t;
+  rows_built : M.Counter.t;
+  joins : M.Counter.t;
+  join_build_rows : M.Counter.t;
+  join_probe_rows : M.Counter.t;
+  semijoins : M.Counter.t;
+  antijoins : M.Counter.t;
+  complements : M.Counter.t;
+  complement_rows : M.Counter.t;
+  complements_avoided : M.Counter.t;
+  selections_pushed : M.Counter.t;
+  divisions : M.Counter.t;
+  neg_extensions : M.Counter.t;
+  peak_table_bytes : M.Gauge.t;
+}
+
+let make () =
+  let registry = M.create () in
+  {
+    registry;
+    tables_built = M.counter registry "table.built";
+    rows_built = M.counter registry "table.rows_built";
+    joins = M.counter registry "join.count";
+    join_build_rows = M.counter registry "join.build_rows";
+    join_probe_rows = M.counter registry "join.probe_rows";
+    semijoins = M.counter registry "join.semijoins";
+    antijoins = M.counter registry "join.antijoins";
+    complements = M.counter registry "complement.full_materialisations";
+    complement_rows = M.counter registry "complement.rows";
+    complements_avoided = M.counter registry "planner.complements_avoided";
+    selections_pushed = M.counter registry "planner.selections_pushed";
+    divisions = M.counter registry "planner.divisions";
+    neg_extensions = M.counter registry "planner.neg_extensions";
+    peak_table_bytes = M.gauge registry "table.peak_bytes";
+  }
+
+let cur = ref (make ())
+let reset () = cur := make ()
+
+(* record side *)
+
+let note_table ~rows ~words =
+  M.Counter.inc !cur.tables_built;
+  M.Counter.add !cur.rows_built rows;
+  M.Gauge.set_max !cur.peak_table_bytes (8 * words)
+
+let note_join ~build ~probe =
+  M.Counter.inc !cur.joins;
+  M.Counter.add !cur.join_build_rows build;
+  M.Counter.add !cur.join_probe_rows probe
+
+let note_semijoin () = M.Counter.inc !cur.semijoins
+let note_antijoin () = M.Counter.inc !cur.antijoins
+
+let note_complement ~rows =
+  M.Counter.inc !cur.complements;
+  M.Counter.add !cur.complement_rows rows
+
+let note_complement_avoided () = M.Counter.inc !cur.complements_avoided
+let note_selection_pushed () = M.Counter.inc !cur.selections_pushed
+let note_division () = M.Counter.inc !cur.divisions
+let note_neg_extension () = M.Counter.inc !cur.neg_extensions
+
+(* read side *)
+
+let tables_built () = M.Counter.value !cur.tables_built
+let rows_built () = M.Counter.value !cur.rows_built
+let joins () = M.Counter.value !cur.joins
+let join_build_rows () = M.Counter.value !cur.join_build_rows
+let join_probe_rows () = M.Counter.value !cur.join_probe_rows
+let semijoins () = M.Counter.value !cur.semijoins
+let antijoins () = M.Counter.value !cur.antijoins
+let complements () = M.Counter.value !cur.complements
+let complement_rows () = M.Counter.value !cur.complement_rows
+let complements_avoided () = M.Counter.value !cur.complements_avoided
+let selections_pushed () = M.Counter.value !cur.selections_pushed
+let divisions () = M.Counter.value !cur.divisions
+let neg_extensions () = M.Counter.value !cur.neg_extensions
+let peak_table_bytes () = M.Gauge.value !cur.peak_table_bytes
+let line () = M.line !cur.registry
+let report () = M.report !cur.registry

@@ -1,0 +1,74 @@
+(** Observability for the relational-algebra baseline: one process-wide
+    {!Foc_obs.Metrics} registry fed by the columnar {!Table} kernels and the
+    {!Relalg} conjunction planner.
+
+    The counters never change an evaluation result — they exist so tests and
+    the E13 benchmark can verify planner behaviour (e.g. that negation in
+    conjunctive context is compiled into anti-joins and {e never} into a
+    full [n^k] complement).
+
+    The registry is owned by the calling domain (the baseline engine is
+    sequential); {!reset} swaps in a fresh registry so a benchmark or test
+    can measure a single run without interference. *)
+
+(** Drop all counters (fresh registry). *)
+val reset : unit -> unit
+
+(** {2 Recording (called by the kernels; not for users)} *)
+
+val note_table : rows:int -> words:int -> unit
+val note_join : build:int -> probe:int -> unit
+val note_semijoin : unit -> unit
+val note_antijoin : unit -> unit
+val note_complement : rows:int -> unit
+val note_complement_avoided : unit -> unit
+val note_selection_pushed : unit -> unit
+val note_division : unit -> unit
+val note_neg_extension : unit -> unit
+
+(** {2 Reading} *)
+
+val tables_built : unit -> int
+
+(** Total rows materialised across all tables built since {!reset}. *)
+val rows_built : unit -> int
+
+val joins : unit -> int
+
+(** Rows on the build (hash-indexed) side of every join — with the
+    cardinality-guided build-side choice this is the sum of the {e smaller}
+    operand sizes. *)
+val join_build_rows : unit -> int
+
+val join_probe_rows : unit -> int
+val semijoins : unit -> int
+val antijoins : unit -> int
+
+(** Number of full [n^k] complement materialisations (the top-level escape
+    hatch). Zero on formulas whose negations all occur in conjunctive
+    context. *)
+val complements : unit -> int
+
+val complement_rows : unit -> int
+
+(** Negations compiled into anti-joins instead of complements. *)
+val complements_avoided : unit -> int
+
+(** [Eq] atoms applied as selections/column-copies instead of joins. *)
+val selections_pushed : unit -> int
+
+(** [Forall] quantifiers compiled as group-count division. *)
+val divisions : unit -> int
+
+(** Negated conjuncts whose variables were not covered by any positive
+    conjunct: the current table had to be padded with full columns before
+    the anti-join (degenerates towards the complement cost). *)
+val neg_extensions : unit -> int
+
+(** High-water mark of a single table's payload, in bytes. *)
+val peak_table_bytes : unit -> int
+
+(** All counters as one logfmt line (keys sorted). *)
+val line : unit -> string
+
+val report : unit -> string list

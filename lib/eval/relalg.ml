@@ -9,92 +9,105 @@ let all_elements_table a x =
   let n = Foc_data.Structure.order a in
   Table.full n [| x |]
 
+(* the n-row identity table {(v, v)} over two distinct columns *)
+let eq_table n x y =
+  let b = Table.Builder.create ~hint:n 2 in
+  let row = Array.make 2 0 in
+  for v = 0 to n - 1 do
+    row.(0) <- v;
+    row.(1) <- v;
+    Table.Builder.add b row
+  done;
+  Table.Builder.build_sorted b [| x; y |]
+
 (* Relation atoms may repeat variables, e.g. E(x,x): keep the tuples that
    are constant on the repeated positions and project to the distinct
-   variables in first-occurrence order. *)
+   variables in first-occurrence order. The representative index of every
+   position is computed once, not per tuple. *)
 let rel_table a name xs =
-  let distinct =
-    Array.to_list xs
-    |> List.fold_left
-         (fun acc x -> if List.mem x acc then acc else x :: acc)
-         []
-    |> List.rev |> Array.of_list
+  let k = Array.length xs in
+  let rep =
+    Array.init k (fun i ->
+        let rec first j = if Var.equal xs.(j) xs.(i) then j else first (j + 1) in
+        first 0)
   in
   let positions =
-    Array.map
-      (fun x ->
-        let rec first i = if Var.equal xs.(i) x then i else first (i + 1) in
-        first 0)
-      distinct
+    Array.of_list
+      (List.filter (fun i -> rep.(i) = i) (List.init k (fun i -> i)))
   in
-  let consistent tup =
-    let ok = ref true in
-    Array.iteri
-      (fun i x ->
-        let rep =
-          let rec first j = if Var.equal xs.(j) x then j else first (j + 1) in
-          first 0
-        in
-        if tup.(i) <> tup.(rep) then ok := false)
-      xs;
-    !ok
-  in
-  let rows =
-    TS.fold
-      (fun tup acc ->
-        if consistent tup then
-          TS.add (Array.map (fun p -> tup.(p)) positions) acc
-        else acc)
-      (Foc_data.Structure.rel a name)
-      TS.empty
-  in
-  Table.create distinct rows
+  let distinct = Array.map (fun p -> xs.(p)) positions in
+  let kd = Array.length positions in
+  let tuples = Foc_data.Structure.rel a name in
+  let b = Table.Builder.create ~hint:(TS.cardinal tuples) kd in
+  let scratch = Array.make (max 1 kd) 0 in
+  TS.iter
+    (fun tup ->
+      let ok = ref true in
+      for i = 0 to k - 1 do
+        if tup.(i) <> tup.(rep.(i)) then ok := false
+      done;
+      if !ok then begin
+        for i = 0 to kd - 1 do
+          scratch.(i) <- tup.(positions.(i))
+        done;
+        Table.Builder.add b scratch
+      end)
+    tuples;
+  Table.Builder.build b distinct
 
+(* one arena BFS per centre instead of a fresh hash table each *)
 let dist_table a x y d =
   let n = Foc_data.Structure.order a in
   if Var.equal x y then all_elements_table a x
   else begin
     let g = Foc_data.Structure.gaifman a in
-    let rows = ref TS.empty in
+    let s = Foc_graph.Bfs.searcher g in
+    let b = Table.Builder.create ~hint:n 2 in
+    let row = Array.make 2 0 in
     for u = 0 to n - 1 do
-      let ball = Foc_graph.Bfs.ball_tbl g ~centres:[ u ] ~radius:d in
-      Hashtbl.iter (fun v _ -> rows := TS.add [| u; v |] !rows) ball
+      let cnt = Foc_graph.Bfs.run s ~centres:[ u ] ~radius:d in
+      row.(0) <- u;
+      for i = 0 to cnt - 1 do
+        row.(1) <- Foc_graph.Bfs.visited s i;
+        Table.Builder.add b row
+      done
     done;
-    Table.create [| x; y |] !rows
+    Table.Builder.build b [| x; y |]
   end
 
-let rec formula_table preds a (phi : Ast.formula) =
+let rec ft ~plan preds a (phi : Ast.formula) =
   check_universe a;
   let n = Foc_data.Structure.order a in
   match phi with
   | True -> Table.unit
   | False -> Table.zero
   | Eq (x, y) ->
-      if Var.equal x y then all_elements_table a x
-      else begin
-        let rows = ref TS.empty in
-        for v = 0 to n - 1 do
-          rows := TS.add [| v; v |] !rows
-        done;
-        Table.create [| x; y |] !rows
-      end
+      if Var.equal x y then all_elements_table a x else eq_table n x y
   | Rel (r, xs) -> rel_table a r xs
   | Dist (x, y, d) -> dist_table a x y d
-  | Neg f -> Table.complement (formula_table preds a f) n
+  | Neg f when not plan -> Table.complement (ft ~plan preds a f) n
+  | Neg (Neg f) -> ft ~plan preds a f
+  | Neg (Or _) ->
+      (* ¬(f ∨ g) ≡ ¬f ∧ ¬g: route through the conjunction planner so each
+         negation becomes an anti-join rather than one wide complement *)
+      plan_and ~plan preds a (Planner.conjuncts phi)
+  | Neg f -> Table.complement (ft ~plan preds a f) n
   | Or (f, g) ->
-      let tf = formula_table preds a f and tg = formula_table preds a g in
+      let tf = ft ~plan preds a f and tg = ft ~plan preds a g in
       let missing_of t other =
         Array.to_list (Table.vars other)
-        |> List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars t)))
+        |> List.filter (fun x -> not (Table.has_column t x))
         |> Array.of_list
       in
       let tf = Table.extend_full tf n (missing_of tf tg) in
       let tg = Table.extend_full tg n (missing_of tg tf) in
       Table.union tf tg
-  | And (f, g) -> Table.join (formula_table preds a f) (formula_table preds a g)
+  | And (f, g) ->
+      if plan then plan_and ~plan preds a (Planner.conjuncts phi)
+      else Table.join (ft ~plan preds a f) (ft ~plan preds a g)
   | Exists (y, f) ->
-      let t = formula_table preds a f in
-      if Array.exists (Var.equal y) (Table.vars t) then begin
+      let t = ft ~plan preds a f in
+      if Table.has_column t y then begin
         let target =
           Array.to_list (Table.vars t)
           |> List.filter (fun x -> not (Var.equal x y))
@@ -104,36 +117,133 @@ let rec formula_table preds a (phi : Ast.formula) =
       end
       else t
   | Forall (y, f) ->
-      formula_table preds a (Ast.Neg (Exists (y, Ast.Neg f)))
+      if plan then begin
+        (* relational division: one group-count pass instead of the
+           double-negation complement pair *)
+        let t = ft ~plan preds a f in
+        if Table.has_column t y then Table.divide t y n else t
+      end
+      else ft ~plan preds a (Ast.Neg (Exists (y, Ast.Neg f)))
   | Pred (p, ts) ->
-      let counts = List.map (term_counts preds a) ts in
+      let counts = List.map (tc ~plan preds a) ts in
       let free =
         List.fold_left
           (fun acc c -> Var.Set.union acc (Counts.vars c))
           Var.Set.empty counts
       in
       let vars = Array.of_list (Var.Set.elements free) in
-      let rows = ref TS.empty in
+      (* readers compiled once against the column order; the tuple and
+         values arrays are reused across all n^k candidate rows *)
+      let readers =
+        Array.of_list (List.map (fun c -> Counts.row c vars) counts)
+      in
+      let values = Array.make (Array.length readers) 0 in
+      let b = Table.Builder.create (Array.length vars) in
       Foc_util.Combi.iter_tuples n (Array.length vars) (fun tup ->
-          let env =
-            ref Var.Map.empty
-          in
-          Array.iteri (fun i x -> env := Var.Map.add x tup.(i) !env) vars;
-          let values =
-            Array.of_list (List.map (fun c -> Counts.get c !env) counts)
-          in
-          if Pred.holds preds p values then rows := TS.add (Array.copy tup) !rows);
-      Table.create vars !rows
+          for i = 0 to Array.length readers - 1 do
+            values.(i) <- readers.(i) tup
+          done;
+          if Pred.holds preds p values then Table.Builder.add b tup);
+      Table.Builder.build_sorted b vars
 
-and term_counts preds a (t : Ast.term) =
+(* Evaluate a flattened conjunction: materialise the positive conjuncts,
+   join them greedily by estimated output size, and eagerly settle Eq
+   atoms as selections and negated conjuncts as anti-joins the moment the
+   current table covers their variables. *)
+and plan_and ~plan preds a cs =
+  let n = Foc_data.Structure.order a in
+  let eqs = ref [] and neg_fs = ref [] and pos = ref [] in
+  List.iter
+    (fun (c : Ast.formula) ->
+      match c with
+      | Eq (x, y) when not (Var.equal x y) -> eqs := (x, y) :: !eqs
+      | Neg f -> neg_fs := f :: !neg_fs
+      | f -> pos := f :: !pos)
+    cs;
+  let negs = ref (List.rev_map (fun f -> ft ~plan preds a f) !neg_fs) in
+  let settle cur0 =
+    let cur = ref cur0 in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      eqs :=
+        List.filter
+          (fun (x, y) ->
+            let hx = Table.has_column !cur x
+            and hy = Table.has_column !cur y in
+            if hx || hy then begin
+              (if hx && hy then cur := Table.select_eq !cur x y
+               else if hx then cur := Table.duplicate_column !cur ~src:x ~dst:y
+               else cur := Table.duplicate_column !cur ~src:y ~dst:x);
+              Eval_obs.note_selection_pushed ();
+              changed := true;
+              false
+            end
+            else true)
+          !eqs;
+      negs :=
+        List.filter
+          (fun tg ->
+            if Array.for_all (Table.has_column !cur) (Table.vars tg) then begin
+              cur := Table.antijoin !cur tg;
+              Eval_obs.note_complement_avoided ();
+              changed := true;
+              false
+            end
+            else true)
+          !negs
+    done;
+    !cur
+  in
+  let tables = Array.of_list (List.rev_map (ft ~plan preds a) !pos) in
+  let inputs =
+    Array.map
+      (fun t ->
+        (Var.Set.of_list (Array.to_list (Table.vars t)), Table.cardinal t))
+      tables
+  in
+  let cur =
+    match Planner.greedy_order ~n inputs with
+    | [] -> ref Table.unit
+    | i0 :: rest ->
+        let cur = ref (settle tables.(i0)) in
+        List.iter (fun i -> cur := settle (Table.join !cur tables.(i))) rest;
+        cur
+  in
+  (* Eq atoms with neither side bound: seed them from the identity table *)
+  let rec drain_eqs () =
+    match !eqs with
+    | [] -> ()
+    | (x, y) :: rest ->
+        eqs := rest;
+        cur := settle (Table.join !cur (eq_table n x y));
+        drain_eqs ()
+  in
+  drain_eqs ();
+  (* negations over variables no positive conjunct bounds: pad with full
+     columns first (degenerates towards the complement, and is counted) *)
+  List.iter
+    (fun tg ->
+      let missing =
+        Array.to_list (Table.vars tg)
+        |> List.filter (fun x -> not (Table.has_column !cur x))
+        |> Array.of_list
+      in
+      Eval_obs.note_neg_extension ();
+      Eval_obs.note_complement_avoided ();
+      cur := Table.antijoin (Table.extend_full !cur n missing) tg)
+    !negs;
+  !cur
+
+and tc ~plan preds a (t : Ast.term) =
   check_universe a;
   let n = Foc_data.Structure.order a in
   match t with
   | Int i -> Counts.const i
-  | Add (s, t') -> Counts.add (term_counts preds a s) (term_counts preds a t')
-  | Mul (s, t') -> Counts.mul (term_counts preds a s) (term_counts preds a t')
+  | Add (s, t') -> Counts.add (tc ~plan preds a s) (tc ~plan preds a t')
+  | Mul (s, t') -> Counts.mul (tc ~plan preds a s) (tc ~plan preds a t')
   | Count (ys, f) ->
-      let tf = formula_table preds a f in
+      let tf = ft ~plan preds a f in
       let ctx =
         Array.to_list (Table.vars tf)
         |> List.filter (fun x -> not (List.mem x ys))
@@ -148,60 +258,52 @@ and term_counts preds a (t : Ast.term) =
         let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
         pow 1 silent
       in
-      let ctx_idx = Array.map (fun x -> Table.column_index tf x) ctx in
-      let tbl = Hashtbl.create 64 in
-      TS.iter
-        (fun row ->
-          let key = Array.map (fun i -> row.(i)) ctx_idx in
-          Hashtbl.replace tbl key
-            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
-        (Table.rows tf);
-      Counts.of_groups ~vars:ctx ~multiplier tbl
+      let keys, cnts = Table.group_count tf ctx in
+      Counts.of_sorted_groups ~vars:ctx ~multiplier keys cnts
 
-let holds preds a binding phi =
-  let t = formula_table preds a phi in
+let formula_table ?(plan = true) preds a phi = ft ~plan preds a phi
+let term_counts ?(plan = true) preds a t = tc ~plan preds a t
+
+let holds ?(plan = true) preds a binding phi =
+  let t = ft ~plan preds a phi in
   not (Table.is_empty (Table.bind t binding))
 
-let term_value preds a binding t =
-  let c = term_counts preds a t in
+let term_value ?(plan = true) preds a binding t =
+  let c = tc ~plan preds a t in
   Counts.get c (Naive.env_of_list binding)
 
-let count preds a vars phi =
-  let t = formula_table preds a phi in
+let count ?(plan = true) preds a vars phi =
+  let t = ft ~plan preds a phi in
   Array.iter
     (fun x ->
       if not (List.mem x vars) then
         invalid_arg "Relalg.count: free variable not listed")
     (Table.vars t);
   let n = Foc_data.Structure.order a in
-  let missing =
-    List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars t))) vars
-  in
+  let missing = List.filter (fun x -> not (Table.has_column t x)) vars in
   let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
   Table.cardinal t * pow 1 (List.length missing)
 
-let query preds a (q : Query.t) =
+let query ?(plan = true) preds a (q : Query.t) =
   check_universe a;
   let n = Foc_data.Structure.order a in
-  let body = formula_table preds a q.body in
+  let body = ft ~plan preds a q.body in
   let head = Array.of_list q.head_vars in
   let missing =
     Array.to_list head
-    |> List.filter (fun x -> not (Array.exists (Var.equal x) (Table.vars body)))
+    |> List.filter (fun x -> not (Table.has_column body x))
     |> Array.of_list
   in
   let body = Table.extend_full body n missing in
   let body = Table.align body head in
-  let term_vals = List.map (term_counts preds a) q.head_terms in
-  TS.fold
-    (fun row acc ->
-      let env =
-        ref Var.Map.empty
-      in
-      Array.iteri (fun i x -> env := Var.Map.add x row.(i) !env) head;
-      let values =
-        Array.of_list (List.map (fun c -> Counts.get c !env) term_vals)
-      in
-      (row, values) :: acc)
-    (Table.rows body) []
-  |> List.sort (fun (r1, _) (r2, _) -> Foc_data.Tuple.compare r1 r2)
+  (* head-term readers are compiled once against the head column order *)
+  let readers =
+    Array.of_list
+      (List.map (fun t -> Counts.row (tc ~plan preds a t) head) q.head_terms)
+  in
+  let out = ref [] in
+  Table.iter body (fun row ->
+      let values = Array.map (fun rd -> rd row) readers in
+      out := (Array.copy row, values) :: !out);
+  (* Table.iter runs in ascending lexicographic = Tuple.compare order *)
+  List.rev !out

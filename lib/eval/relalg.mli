@@ -7,6 +7,16 @@
     contribution (implemented in [foc_nd.Engine]) beats it on sparse
     structures, which experiment E3 demonstrates.
 
+    With [?plan] left at its default ([true]) conjunctions go through the
+    {!Foc_logic.Planner}: [And]-chains are flattened, joins ordered
+    greedily by estimated output cardinality, [Eq] atoms pushed down as
+    selections, negated conjuncts compiled into anti-joins (the full
+    [n^k] complement remains only as the escape hatch for top-level
+    negation), and [Forall] becomes relational division. [~plan:false]
+    reproduces the historical left-to-right, complement-based strategy —
+    the "unplanned" side of experiment E13. Both modes return the same
+    tables; {!Eval_obs} counts what the planner did.
+
     All functions raise [Invalid_argument] on an empty universe. *)
 
 open Foc_logic
@@ -14,15 +24,16 @@ open Foc_logic
 (** [formula_table preds a φ] — the table of satisfying assignments over
     exactly [free φ] (column order unspecified). *)
 val formula_table :
-  Pred.collection -> Foc_data.Structure.t -> Ast.formula -> Table.t
+  ?plan:bool -> Pred.collection -> Foc_data.Structure.t -> Ast.formula -> Table.t
 
 (** [term_counts preds a t] — the valuation of a counting term. *)
 val term_counts :
-  Pred.collection -> Foc_data.Structure.t -> Ast.term -> Counts.t
+  ?plan:bool -> Pred.collection -> Foc_data.Structure.t -> Ast.term -> Counts.t
 
 (** [holds preds a binding φ] — truth under the given assignment (which must
     cover [free φ]). *)
 val holds :
+  ?plan:bool ->
   Pred.collection ->
   Foc_data.Structure.t ->
   (Var.t * int) list ->
@@ -31,6 +42,7 @@ val holds :
 
 (** [term_value preds a binding t]. *)
 val term_value :
+  ?plan:bool ->
   Pred.collection ->
   Foc_data.Structure.t ->
   (Var.t * int) list ->
@@ -40,11 +52,13 @@ val term_value :
 (** [count preds a vars φ] is [|{ā ∈ A^|vars| : A ⊨ φ(ā)}|] — the counting
     problem of Corollary 5.6. [vars] must contain [free φ]. *)
 val count :
+  ?plan:bool ->
   Pred.collection -> Foc_data.Structure.t -> Var.t list -> Ast.formula -> int
 
 (** [query preds a q] evaluates a Definition 5.2 query; rows in lexicographic
     order of the head tuple. *)
 val query :
+  ?plan:bool ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Query.t ->

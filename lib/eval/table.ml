@@ -1,33 +1,145 @@
 open Foc_logic
 module TS = Foc_data.Tuple.Set
 
-type t = { vars : Var.t array; rows : TS.t }
+(* Columnar row store: rows live in one flat [int array], [width] ints per
+   row, sorted lexicographically and deduplicated. Every kernel below
+   preserves (or restores) that invariant, so membership is binary search,
+   union/diff are linear merges, and equality is one array sweep. *)
+
+type t = {
+  vars : Var.t array;
+  width : int;
+  nrows : int;
+  data : int array; (* row-major; logical length nrows*width *)
+}
 
 let vars t = t.vars
-let rows t = t.rows
+let cardinal t = t.nrows
+let is_empty t = t.nrows = 0
 
-let create vars rows =
+(* ---- row primitives ---- *)
+
+(* compare row at [bi] of [a] with row at [bj] of [b] (strided offsets) *)
+let cmp2 (a : int array) bi (b : int array) bj width =
+  let rec go k =
+    if k = width then 0
+    else
+      let c = Int.compare a.(bi + k) b.(bj + k) in
+      if c <> 0 then c else go (k + 1)
+  in
+  go 0
+
+let is_sorted_distinct data width nrows =
+  let r = ref 1 in
+  let ok = ref true in
+  while !ok && !r < nrows do
+    if cmp2 data ((!r - 1) * width) data (!r * width) width >= 0 then
+      ok := false;
+    incr r
+  done;
+  !ok
+
+let noted vars width nrows data =
+  Eval_obs.note_table ~rows:nrows ~words:(nrows * width);
+  { vars; width; nrows; data }
+
+(* rows already sorted+distinct by construction *)
+let of_sorted vars data nrows = noted vars (Array.length vars) nrows data
+
+(* [of_dense vars data nrows] takes ownership of [data] (logical size
+   [nrows * width], possibly over-allocated), sorts and deduplicates. *)
+let of_dense vars data nrows =
+  let width = Array.length vars in
+  if width = 0 then of_sorted vars [||] (min nrows 1)
+  else if is_sorted_distinct data width nrows then of_sorted vars data nrows
+  else begin
+    let idx = Array.init nrows (fun i -> i) in
+    Array.sort (fun i j -> cmp2 data (i * width) data (j * width) width) idx;
+    let out = Array.make (nrows * width) 0 in
+    let m = ref 0 in
+    for r = 0 to nrows - 1 do
+      let src = idx.(r) * width in
+      if !m = 0 || cmp2 out ((!m - 1) * width) data src width <> 0 then begin
+        Array.blit data src out (!m * width) width;
+        incr m
+      end
+    done;
+    of_sorted vars out !m
+  end
+
+(* ---- growable row buffer ---- *)
+
+module Builder = struct
+  type b = { width : int; mutable data : int array; mutable rows : int }
+
+  let create ?(hint = 16) width =
+    { width; data = Array.make (max 1 (hint * width)) 0; rows = 0 }
+
+  let ensure b =
+    let need = (b.rows + 1) * b.width in
+    if need > Array.length b.data then begin
+      let data = Array.make (max need (2 * Array.length b.data)) 0 in
+      Array.blit b.data 0 data 0 (b.rows * b.width);
+      b.data <- data
+    end
+
+  (* copy [width] ints of [row] starting at [ofs] *)
+  let add_sub b row ofs =
+    if b.width > 0 then begin
+      ensure b;
+      Array.blit row ofs b.data (b.rows * b.width) b.width
+    end;
+    b.rows <- b.rows + 1
+
+  let add b row = add_sub b row 0
+  let rows b = b.rows
+  let build b vars = of_dense vars b.data b.rows
+  let build_sorted b vars = of_sorted vars b.data b.rows
+end
+
+(* ---- constructors ---- *)
+
+let validate_vars vars =
   let k = Array.length vars in
-  if
-    List.length (List.sort_uniq Var.compare (Array.to_list vars)) <> k
-  then invalid_arg "Table.create: repeated column";
-  TS.iter
-    (fun r ->
-      if Array.length r <> k then invalid_arg "Table.create: row arity")
-    rows;
-  { vars; rows }
+  if List.length (List.sort_uniq Var.compare (Array.to_list vars)) <> k then
+    invalid_arg "Table.create: repeated column"
 
-let of_rows vars row_list = create vars (TS.of_list row_list)
-let unit = { vars = [||]; rows = TS.singleton [||] }
-let zero = { vars = [||]; rows = TS.empty }
-let cardinal t = TS.cardinal t.rows
-let is_empty t = TS.is_empty t.rows
+let of_rows vars row_list =
+  validate_vars vars;
+  let k = Array.length vars in
+  let b = Builder.create ~hint:(max 1 (List.length row_list)) k in
+  List.iter
+    (fun r ->
+      if Array.length r <> k then invalid_arg "Table.create: row arity";
+      Builder.add b r)
+    row_list;
+  Builder.build b vars
+
+let create vars rows = of_rows vars (TS.elements rows)
+
+let rows t =
+  let acc = ref TS.empty in
+  for r = 0 to t.nrows - 1 do
+    acc := TS.add (Array.sub t.data (r * t.width) t.width) !acc
+  done;
+  !acc
+
+let unit = { vars = [||]; width = 0; nrows = 1; data = [||] }
+let zero = { vars = [||]; width = 0; nrows = 0; data = [||] }
+let empty_like vars = of_sorted vars [||] 0
 
 let full n vars =
+  validate_vars vars;
   let k = Array.length vars in
-  let acc = ref TS.empty in
-  Foc_util.Combi.iter_tuples n k (fun tup -> acc := TS.add (Array.copy tup) !acc);
-  create vars !acc
+  let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+  let total = pow 1 k in
+  let data = Array.make (max 1 (total * k)) 0 in
+  let r = ref 0 in
+  Foc_util.Combi.iter_tuples n k (fun tup ->
+      Array.blit tup 0 data (!r * k) k;
+      incr r);
+  (* lexicographic enumeration: sorted and distinct by construction *)
+  of_sorted vars data total
 
 let column_index t x =
   let rec go i =
@@ -37,101 +149,474 @@ let column_index t x =
   in
   go 0
 
+let has_column t x = Array.exists (Var.equal x) t.vars
+
+(* ---- iteration ---- *)
+
+let iter t f =
+  if t.width = 0 then begin
+    if t.nrows = 1 then f [||]
+  end
+  else begin
+    let scratch = Array.make t.width 0 in
+    for r = 0 to t.nrows - 1 do
+      Array.blit t.data (r * t.width) scratch 0 t.width;
+      f scratch
+    done
+  end
+
+(* ---- projection / alignment ---- *)
+
 let project t target =
   let idx = Array.map (fun x -> column_index t x) target in
-  let rows =
-    TS.fold
-      (fun r acc -> TS.add (Array.map (fun i -> r.(i)) idx) acc)
-      t.rows TS.empty
-  in
-  create target rows
+  let k = Array.length target in
+  if k = 0 then if t.nrows = 0 then empty_like target else of_sorted target [||] 1
+  else begin
+    let out = Array.make (max 1 (t.nrows * k)) 0 in
+    for r = 0 to t.nrows - 1 do
+      let src = r * t.width and dst = r * k in
+      for i = 0 to k - 1 do
+        out.(dst + i) <- t.data.(src + idx.(i))
+      done
+    done;
+    of_dense target out t.nrows
+  end
 
 let align t target =
-  if Array.length target <> Array.length t.vars then
-    invalid_arg "Table.align: not a permutation";
+  if
+    Array.length target <> Array.length t.vars
+    || not (Array.for_all (fun x -> has_column t x) target)
+  then invalid_arg "Table.align: not a permutation";
   project t target
 
+(* ---- filters (order-preserving, no re-sort needed) ---- *)
+
+let filter_rows t keep =
+  let b = Builder.create ~hint:(max 1 t.nrows) t.width in
+  if t.width = 0 then begin
+    if t.nrows = 1 && keep 0 then Builder.add b [||]
+  end
+  else
+    for r = 0 to t.nrows - 1 do
+      if keep r then Builder.add_sub b t.data (r * t.width)
+    done;
+  Builder.build_sorted b t.vars
+
+let filter t f =
+  if t.width = 0 then filter_rows t (fun _ -> f [||])
+  else begin
+    let scratch = Array.make t.width 0 in
+    filter_rows t (fun r ->
+        Array.blit t.data (r * t.width) scratch 0 t.width;
+        f scratch)
+  end
+
+(* keep the rows whose column [x] equals column [y] *)
+let select_eq t x y =
+  let ix = column_index t x and iy = column_index t y in
+  if ix = iy then t
+  else
+    filter_rows t (fun r ->
+        t.data.(r * t.width + ix) = t.data.(r * t.width + iy))
+
+(* append a column [dst] duplicating [src]; comparing two rows first differs
+   on an original column, so sortedness and distinctness are preserved *)
+let duplicate_column t ~src ~dst =
+  if has_column t dst then invalid_arg "Table.duplicate_column: column exists";
+  let is = column_index t src in
+  let k = t.width + 1 in
+  let out = Array.make (max 1 (t.nrows * k)) 0 in
+  for r = 0 to t.nrows - 1 do
+    Array.blit t.data (r * t.width) out (r * k) t.width;
+    out.((r * k) + t.width) <- t.data.((r * t.width) + is)
+  done;
+  of_sorted (Array.append t.vars [| dst |]) out t.nrows
+
+(* ---- key packing ----
+
+   Shared-column keys are packed into a single tagless int when the value
+   range allows it (base^k < 2^62): hash joins and anti-joins then run on
+   unboxed int keys with zero per-row allocation. *)
+
+let packable base k =
+  base > 0
+  &&
+  let lim = max_int / 4 in
+  let rec go acc i =
+    if i = 0 then true else if acc > lim / base then false else go (acc * base) (i - 1)
+  in
+  go 1 k
+
+let max_on_columns t cols =
+  let m = ref 0 in
+  for r = 0 to t.nrows - 1 do
+    let base = r * t.width in
+    Array.iter (fun c -> if t.data.(base + c) > !m then m := t.data.(base + c)) cols
+  done;
+  !m
+
+let pack_key data base_ofs (cols : int array) base =
+  let k = Array.length cols in
+  let key = ref 0 in
+  for i = k - 1 downto 0 do
+    key := (!key * base) + data.(base_ofs + cols.(i))
+  done;
+  !key
+
+(* ---- join ---- *)
+
+let shared_columns t1 t2 =
+  (* shared vars in t2 order, as (index in t1, index in t2) column pairs *)
+  let pairs = ref [] in
+  Array.iteri
+    (fun j x -> if has_column t1 x then pairs := (column_index t1 x, j) :: !pairs)
+    t2.vars;
+  let pairs = Array.of_list (List.rev !pairs) in
+  (Array.map fst pairs, Array.map snd pairs)
+
+let fresh_columns t1 t2 =
+  let idx = ref [] in
+  Array.iteri
+    (fun j x -> if not (has_column t1 x) then idx := j :: !idx)
+    t2.vars;
+  Array.of_list (List.rev !idx)
+
+(* generic hash index over the key columns of [t]: returns a lookup
+   function row-offset-consumer… represented as (find : int array -> int ->
+   int) giving the head of a chain into [next], or -1. Falls back to boxed
+   int-array keys when packing overflows. *)
+type index = {
+  find : int array -> int -> int; (* (data, row_ofs) of the probe side -> chain head *)
+  next : int array;
+}
+
+let build_index build (bcols : int array) (pcols : int array) pdata_max =
+  let k = Array.length bcols in
+  let base = 1 + max (max_on_columns build bcols) pdata_max in
+  let next = Array.make (max 1 build.nrows) (-1) in
+  if packable base k then begin
+    let tbl = Hashtbl.create (max 16 (2 * build.nrows)) in
+    for r = 0 to build.nrows - 1 do
+      let key = pack_key build.data (r * build.width) bcols base in
+      (match Hashtbl.find_opt tbl key with
+      | Some h -> next.(r) <- h
+      | None -> ());
+      Hashtbl.replace tbl key r
+    done;
+    let find data ofs =
+      let key = pack_key data ofs pcols base in
+      match Hashtbl.find_opt tbl key with Some h -> h | None -> -1
+    in
+    { find; next }
+  end
+  else begin
+    (* boxed fallback: key is a fresh int array per build row (rare) *)
+    let tbl = Hashtbl.create (max 16 (2 * build.nrows)) in
+    let extract data ofs (cols : int array) =
+      Array.map (fun c -> data.(ofs + c)) cols
+    in
+    for r = 0 to build.nrows - 1 do
+      let key = extract build.data (r * build.width) bcols in
+      (match Hashtbl.find_opt tbl key with
+      | Some h -> next.(r) <- h
+      | None -> ());
+      Hashtbl.replace tbl key r
+    done;
+    let find data ofs =
+      match Hashtbl.find_opt tbl (extract data ofs pcols) with
+      | Some h -> h
+      | None -> -1
+    in
+    { find; next }
+  end
+
+(* keep (semijoin) or drop (antijoin) the rows of [t1] that have a match in
+   [t2] on the shared columns; the output is a filtered [t1], still sorted *)
+let membership_filter ~keep t1 t2 =
+  let c1, c2 = shared_columns t1 t2 in
+  if Array.length c1 = 0 then
+    if (t2.nrows > 0) = keep then t1 else empty_like t1.vars
+  else if t2.nrows = 0 then if keep then empty_like t1.vars else t1
+  else begin
+    let idx = build_index t2 c2 c1 (max_on_columns t1 c1) in
+    filter_rows t1 (fun r -> idx.find t1.data (r * t1.width) >= 0 = keep)
+  end
+
+let semijoin t1 t2 =
+  Eval_obs.note_semijoin ();
+  membership_filter ~keep:true t1 t2
+
+let antijoin t1 t2 =
+  Eval_obs.note_antijoin ();
+  membership_filter ~keep:false t1 t2
+
 let join t1 t2 =
-  let shared =
-    Array.to_list t2.vars
-    |> List.filter (fun x -> Array.exists (Var.equal x) t1.vars)
-  in
-  let fresh =
-    Array.of_list
-      (Array.to_list t2.vars
-      |> List.filter (fun x -> not (Array.exists (Var.equal x) t1.vars)))
-  in
-  let out_vars = Array.append t1.vars fresh in
-  let key1 = List.map (fun x -> column_index t1 x) shared in
-  let key2 = List.map (fun x -> column_index t2 x) shared in
-  let fresh_idx = Array.map (fun x -> column_index t2 x) fresh in
-  (* hash join: index t2 by its key *)
-  let index = Hashtbl.create (max 16 (TS.cardinal t2.rows)) in
-  TS.iter
-    (fun r ->
-      let key = Array.of_list (List.map (fun i -> r.(i)) key2) in
-      let prev = Option.value ~default:[] (Hashtbl.find_opt index key) in
-      Hashtbl.replace index key (r :: prev))
-    t2.rows;
-  let out = ref TS.empty in
-  TS.iter
-    (fun r1 ->
-      let key = Array.of_list (List.map (fun i -> r1.(i)) key1) in
-      match Hashtbl.find_opt index key with
-      | None -> ()
-      | Some matches ->
-          List.iter
-            (fun r2 ->
-              let row =
-                Array.append r1 (Array.map (fun i -> r2.(i)) fresh_idx)
-              in
-              out := TS.add row !out)
-            matches)
-    t1.rows;
-  create out_vars !out
+  let fresh2 = fresh_columns t1 t2 in
+  let out_vars = Array.append t1.vars (Array.map (fun j -> t2.vars.(j)) fresh2) in
+  if t1.nrows = 0 || t2.nrows = 0 then empty_like out_vars
+  else if Array.length fresh2 = 0 then
+    (* no fresh columns: the join is a semijoin filter on t1 *)
+    { (semijoin t1 t2) with vars = out_vars }
+  else begin
+    let c1, c2 = shared_columns t1 t2 in
+    let kf = Array.length fresh2 in
+    let width_out = t1.width + kf in
+    let b = Builder.create ~hint:(max t1.nrows t2.nrows) width_out in
+    let scratch = Array.make (max 1 width_out) 0 in
+    let emit r1 r2 =
+      Array.blit t1.data (r1 * t1.width) scratch 0 t1.width;
+      for i = 0 to kf - 1 do
+        scratch.(t1.width + i) <- t2.data.((r2 * t2.width) + fresh2.(i))
+      done;
+      Builder.add b scratch
+    in
+    if Array.length c1 = 0 then begin
+      (* cross product; r1-major emission keeps the output sorted *)
+      Eval_obs.note_join ~build:(min t1.nrows t2.nrows)
+        ~probe:(max t1.nrows t2.nrows);
+      for r1 = 0 to t1.nrows - 1 do
+        for r2 = 0 to t2.nrows - 1 do
+          emit r1 r2
+        done
+      done;
+      Builder.build_sorted b out_vars
+    end
+    else begin
+      (* hash join, building on the smaller side *)
+      if t1.nrows <= t2.nrows then begin
+        Eval_obs.note_join ~build:t1.nrows ~probe:t2.nrows;
+        let idx = build_index t1 c1 c2 (max_on_columns t2 c2) in
+        for r2 = 0 to t2.nrows - 1 do
+          let h = ref (idx.find t2.data (r2 * t2.width)) in
+          while !h >= 0 do
+            emit !h r2;
+            h := idx.next.(!h)
+          done
+        done
+      end
+      else begin
+        Eval_obs.note_join ~build:t2.nrows ~probe:t1.nrows;
+        let idx = build_index t2 c2 c1 (max_on_columns t1 c1) in
+        for r1 = 0 to t1.nrows - 1 do
+          let h = ref (idx.find t1.data (r1 * t1.width)) in
+          while !h >= 0 do
+            emit r1 !h;
+            h := idx.next.(!h)
+          done
+        done
+      end;
+      (* distinct inputs give distinct outputs; order needs restoring *)
+      Builder.build b out_vars
+    end
+  end
+
+(* ---- cross-product extension / complement ---- *)
 
 let extend_full t n extra =
   Array.iter
     (fun x ->
-      if Array.exists (Var.equal x) t.vars then
-        invalid_arg "Table.extend_full: column exists")
+      if has_column t x then invalid_arg "Table.extend_full: column exists")
     extra;
   let k = Array.length extra in
   if k = 0 then t
   else begin
-    let out = ref TS.empty in
-    TS.iter
-      (fun r ->
-        Foc_util.Combi.iter_tuples n k (fun tup ->
-            out := TS.add (Array.append r tup) !out))
-      t.rows;
-    create (Array.append t.vars extra) !out
+    let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+    let reps = pow 1 k in
+    let width_out = t.width + k in
+    let out = Array.make (max 1 (t.nrows * reps * width_out)) 0 in
+    let r = ref 0 in
+    for r1 = 0 to t.nrows - 1 do
+      Foc_util.Combi.iter_tuples n k (fun tup ->
+          Array.blit t.data (r1 * t.width) out (!r * width_out) t.width;
+          Array.blit tup 0 out ((!r * width_out) + t.width) k;
+          incr r)
+    done;
+    (* appended columns cycle fastest: sorted and distinct by construction *)
+    of_sorted (Array.append t.vars extra) out (t.nrows * reps)
   end
+
+let complement t n =
+  (* merge-scan against the lexicographic enumeration of the full product —
+     the n^k escape hatch; the planner's anti-joins exist to avoid this *)
+  let k = t.width in
+  let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+  let total = pow 1 k in
+  Eval_obs.note_complement ~rows:(total - t.nrows);
+  if k = 0 then if t.nrows = 0 then unit else zero
+  else begin
+    let out = Array.make (max 1 ((total - t.nrows) * k)) 0 in
+    let p = ref 0 (* next unmatched row of t *)
+    and r = ref 0 in
+    Foc_util.Combi.iter_tuples n k (fun tup ->
+        if !p < t.nrows && cmp2 tup 0 t.data (!p * k) k = 0 then incr p
+        else begin
+          Array.blit tup 0 out (!r * k) k;
+          incr r
+        end);
+    of_sorted t.vars out !r
+  end
+
+(* ---- union / diff (sorted merges) ---- *)
+
+let merge keep_right t1 t2 =
+  (* both over the same columns in the same order *)
+  let w = t1.width in
+  let out = Array.make (max 1 ((t1.nrows + t2.nrows) * w)) 0 in
+  let i = ref 0 and j = ref 0 and r = ref 0 in
+  let emit data ofs =
+    Array.blit data ofs out (!r * w) w;
+    incr r
+  in
+  while !i < t1.nrows || !j < t2.nrows do
+    if !i = t1.nrows then begin
+      if keep_right then emit t2.data (!j * w);
+      incr j
+    end
+    else if !j = t2.nrows then begin
+      emit t1.data (!i * w);
+      incr i
+    end
+    else begin
+      let c = cmp2 t1.data (!i * w) t2.data (!j * w) w in
+      if c < 0 then begin
+        emit t1.data (!i * w);
+        incr i
+      end
+      else if c > 0 then begin
+        if keep_right then emit t2.data (!j * w);
+        incr j
+      end
+      else begin
+        if keep_right then emit t1.data (!i * w);
+        incr i;
+        incr j
+      end
+    end
+  done;
+  of_sorted t1.vars out !r
 
 let union t1 t2 =
   let t2 = align t2 t1.vars in
-  create t1.vars (TS.union t1.rows t2.rows)
+  if t1.width = 0 then if t1.nrows + t2.nrows > 0 then unit else zero
+  else merge true t1 t2
 
 let diff t1 t2 =
   let t2 = align t2 t1.vars in
-  create t1.vars (TS.diff t1.rows t2.rows)
+  if t1.width = 0 then if t1.nrows = 1 && t2.nrows = 0 then unit else zero
+  else begin
+    (* same merge with equal rows dropped and right-only rows skipped *)
+    let w = t1.width in
+    let out = Array.make (max 1 (t1.nrows * w)) 0 in
+    let i = ref 0 and j = ref 0 and r = ref 0 in
+    while !i < t1.nrows do
+      let c =
+        if !j = t2.nrows then -1
+        else cmp2 t1.data (!i * w) t2.data (!j * w) w
+      in
+      if c < 0 then begin
+        Array.blit t1.data (!i * w) out (!r * w) w;
+        incr r;
+        incr i
+      end
+      else if c > 0 then incr j
+      else begin
+        incr i;
+        incr j
+      end
+    done;
+    of_sorted t1.vars out !r
+  end
 
-let complement t n = diff (full n t.vars) t
+(* ---- grouping ---- *)
 
-let filter t f = { t with rows = TS.filter f t.rows }
+let group_count t target =
+  (* project [t] onto [target] and count the rows behind each distinct
+     projection; keys come back sorted lexicographically *)
+  let idx = Array.map (fun x -> column_index t x) target in
+  let k = Array.length target in
+  if k = 0 then ([||], if t.nrows = 0 then [||] else [| t.nrows |])
+  else begin
+    let buf = Array.make (max 1 (t.nrows * k)) 0 in
+    for r = 0 to t.nrows - 1 do
+      let src = r * t.width and dst = r * k in
+      for i = 0 to k - 1 do
+        buf.(dst + i) <- t.data.(src + idx.(i))
+      done
+    done;
+    let order = Array.init t.nrows (fun i -> i) in
+    Array.sort (fun i j -> cmp2 buf (i * k) buf (j * k) k) order;
+    let keys = Array.make (max 1 (t.nrows * k)) 0 in
+    let counts = Array.make (max 1 t.nrows) 0 in
+    let g = ref 0 in
+    for r = 0 to t.nrows - 1 do
+      let src = order.(r) * k in
+      if !g = 0 || cmp2 keys ((!g - 1) * k) buf src k <> 0 then begin
+        Array.blit buf src keys (!g * k) k;
+        counts.(!g) <- 1;
+        incr g
+      end
+      else counts.(!g - 1) <- counts.(!g - 1) + 1
+    done;
+    (Array.sub keys 0 (!g * k), Array.sub counts 0 !g)
+  end
+
+let divide t y n =
+  (* relational division by the full domain: the rows over vars∖{y} whose
+     group in [t] contains all [n] values of [y] — [Forall y] in one pass *)
+  Eval_obs.note_division ();
+  let target =
+    Array.of_list
+      (List.filter (fun x -> not (Var.equal x y)) (Array.to_list t.vars))
+  in
+  let keys, counts = group_count t target in
+  let k = Array.length target in
+  if k = 0 then if Array.length counts = 1 && counts.(0) = n then unit else zero
+  else begin
+    let g = Array.length counts in
+    let out = Array.make (max 1 (g * k)) 0 in
+    let r = ref 0 in
+    for i = 0 to g - 1 do
+      if counts.(i) = n then begin
+        Array.blit keys (i * k) out (!r * k) k;
+        incr r
+      end
+    done;
+    of_sorted target out !r
+  end
+
+(* ---- binding / equality / printing ---- *)
 
 let bind t binding =
-  let bound, rest =
-    Array.to_list t.vars
-    |> List.partition (fun x -> List.mem_assoc x binding)
-  in
   let checks =
-    List.map (fun x -> (column_index t x, List.assoc x binding)) bound
+    List.filter_map
+      (fun (x, v) ->
+        if has_column t x then Some (column_index t x, v) else None)
+      binding
+  in
+  let rest =
+    Array.of_list
+      (List.filter
+         (fun x -> not (List.mem_assoc x binding))
+         (Array.to_list t.vars))
   in
   let keep =
-    TS.filter (fun r -> List.for_all (fun (i, v) -> r.(i) = v) checks) t.rows
+    filter_rows t (fun r ->
+        List.for_all (fun (i, v) -> t.data.((r * t.width) + i) = v) checks)
   in
-  project { t with rows = keep } (Array.of_list rest)
+  (* bound columns are constant over [keep]: projecting them away keeps the
+     remaining rows sorted and distinct *)
+  let idx = Array.map (fun x -> column_index keep x) rest in
+  let k = Array.length rest in
+  if k = 0 then if keep.nrows = 0 then zero else unit
+  else begin
+    let out = Array.make (max 1 (keep.nrows * k)) 0 in
+    for r = 0 to keep.nrows - 1 do
+      for i = 0 to k - 1 do
+        out.((r * k) + i) <- keep.data.((r * keep.width) + idx.(i))
+      done
+    done;
+    of_sorted rest out keep.nrows
+  end
 
 let equal t1 t2 =
   let s1 = List.sort Var.compare (Array.to_list t1.vars) in
@@ -139,10 +624,19 @@ let equal t1 t2 =
   s1 = s2
   &&
   let t2 = align t2 t1.vars in
-  TS.equal t1.rows t2.rows
+  t1.nrows = t2.nrows
+  &&
+  let rec go i =
+    i >= t1.nrows * t1.width || (t1.data.(i) = t2.data.(i) && go (i + 1))
+  in
+  go 0
 
 let pp ppf t =
+  let elems = ref [] in
+  for r = t.nrows - 1 downto 0 do
+    elems := Array.sub t.data (r * t.width) t.width :: !elems
+  done;
   Format.fprintf ppf "@[<v>cols: %s@,%a@]"
     (String.concat ", " (Array.to_list t.vars))
     (Format.pp_print_list Foc_data.Tuple.pp)
-    (TS.elements t.rows)
+    !elems

@@ -2,11 +2,18 @@
     baseline evaluator {!Relalg}.
 
     A table has a column list (distinct variables) and a set of rows; row
-    [i] holds the value of column [i]. The algebra is the classical one —
-    natural join, projection, union/difference after column alignment,
-    complement against the full product — with no query optimisation: this
-    engine is the "textbook" poly-time baseline the paper's almost-linear
-    algorithm is compared against in experiment E3. *)
+    [i] holds the value of column [i]. Rows are stored columnar-style in a
+    single flat [int array] ([width] ints per row), kept sorted
+    lexicographically and deduplicated — so membership is binary search,
+    union/difference are linear merges, and natural join is a hash join on
+    packed integer keys with the build side chosen by cardinality. The
+    algebra is the classical one — natural join, projection,
+    union/difference after column alignment, complement against the full
+    product — extended with the planner-facing kernels (semijoin, anti-join,
+    division, group-count) that let {!Relalg} avoid [n^k]
+    materialisations. This engine is the "textbook" poly-time baseline the
+    paper's almost-linear algorithm is compared against in experiments E3
+    and E13. *)
 
 open Foc_logic
 
@@ -15,7 +22,8 @@ type t
 (** Columns, in order. *)
 val vars : t -> Var.t array
 
-(** Rows (arity = number of columns). *)
+(** Rows (arity = number of columns). This builds a fresh balanced set on
+    every call — use {!iter} on hot paths. *)
 val rows : t -> Foc_data.Tuple.Set.t
 
 (** [create vars rows] — columns must be distinct, rows of matching arity. *)
@@ -23,6 +31,12 @@ val create : Var.t array -> Foc_data.Tuple.Set.t -> t
 
 (** [of_rows vars row_list]. *)
 val of_rows : Var.t array -> int array list -> t
+
+(** [of_dense vars data nrows] takes ownership of [data] — a row-major
+    buffer of logical size [nrows * Array.length vars], possibly
+    over-allocated — and sorts + deduplicates it in place. The cheapest way
+    to build a table from a generator. *)
+val of_dense : Var.t array -> int array -> int -> t
 
 (** The 0-column table with one (empty) row — "true". *)
 val unit : t
@@ -36,13 +50,28 @@ val is_empty : t -> bool
 (** [full n vars] is the [n^k]-row product table over [vars]. *)
 val full : int -> Var.t array -> t
 
+(** [iter t f] calls [f] on every row in lexicographic order. The argument
+    array is a scratch buffer reused between calls — [Array.copy] it to
+    retain. *)
+val iter : t -> (int array -> unit) -> unit
+
 (** [project t target] keeps the [target] columns (a subset of [vars t],
     any order), deduplicating rows. *)
 val project : t -> Var.t array -> t
 
 (** [join t1 t2] — natural join on the shared columns; result columns are
-    [vars t1] followed by the fresh columns of [t2]. *)
+    [vars t1] followed by the fresh columns of [t2]. Hash join on packed
+    int keys; the smaller operand is the build side. *)
 val join : t -> t -> t
+
+(** [semijoin t1 t2] keeps the rows of [t1] with at least one match in
+    [t2] on the shared columns. Columns are [vars t1]. *)
+val semijoin : t -> t -> t
+
+(** [antijoin t1 t2] keeps the rows of [t1] with {e no} match in [t2] on
+    the shared columns — [t1 ∧ ¬t2] without materialising a complement
+    (when the shared columns cover [vars t2]). *)
+val antijoin : t -> t -> t
 
 (** [align t target] reorders columns to [target]; [target] must be a
     permutation of [vars t]. *)
@@ -53,16 +82,60 @@ val align : t -> Var.t array -> t
 val extend_full : t -> int -> Var.t array -> t
 
 (** [union t1 t2] / [diff t1 t2] — same column sets, aligned
-    automatically. *)
+    automatically. Linear sorted merges. *)
 val union : t -> t -> t
 
 val diff : t -> t -> t
 
-(** [complement t n] is [full n (vars t)] minus [t]. *)
+(** [complement t n] is [full n (vars t)] minus [t] — the [n^k] escape
+    hatch the planner exists to avoid (counted by {!Eval_obs}). *)
 val complement : t -> int -> t
 
-(** [filter t f] keeps rows satisfying [f]; the callback receives the row. *)
+(** [filter t f] keeps rows satisfying [f]; the callback receives the row
+    (a scratch buffer — copy to retain). *)
 val filter : t -> (int array -> bool) -> t
+
+(** [select_eq t x y] keeps the rows where columns [x] and [y] agree. *)
+val select_eq : t -> Var.t -> Var.t -> t
+
+(** [duplicate_column t ~src ~dst] appends a column [dst] (must be fresh)
+    that copies [src] — how the planner applies an [Eq (x, y)] atom when
+    only one side is bound. *)
+val duplicate_column : t -> src:Var.t -> dst:Var.t -> t
+
+(** [divide t y n] — relational division by the full domain: the
+    projections of [t] onto [vars t ∖ {y}] whose group contains all [n]
+    values of [y]. Compiles [Forall y] in one group-count pass. *)
+val divide : t -> Var.t -> int -> t
+
+(** [group_count t target] projects onto [target] and counts the rows of
+    [t] behind each distinct key. Returns [(keys, counts)]: [keys] is
+    row-major ([Array.length target] ints per group, lexicographically
+    sorted) and [counts.(i)] the multiplicity of group [i]. *)
+val group_count : t -> Var.t array -> int array * int array
+
+(** Growable row buffer for building tables without an intermediate list
+    or set. *)
+module Builder : sig
+  type b
+
+  (** [create ?hint width] — a buffer for rows of [width] ints, initially
+      sized for [hint] rows. *)
+  val create : ?hint:int -> int -> b
+
+  (** [add b row] copies [row] (its first [width] ints) into the buffer. *)
+  val add : b -> int array -> unit
+
+  (** Rows added so far. *)
+  val rows : b -> int
+
+  (** [build b vars] — sort + deduplicate and seal into a table. *)
+  val build : b -> Var.t array -> t
+
+  (** [build_sorted b vars] — seal rows already added in strictly
+      increasing lexicographic order (unchecked). *)
+  val build_sorted : b -> Var.t array -> t
+end
 
 (** [bind t binding] selects the rows matching the (variable, value) pairs
     (variables not among the columns are ignored) and then projects those
@@ -71,6 +144,8 @@ val bind : t -> (Var.t * int) list -> t
 
 (** [column_index t x] — position of column [x], or raises [Not_found]. *)
 val column_index : t -> Var.t -> int
+
+val has_column : t -> Var.t -> bool
 
 val equal : t -> t -> bool
 (** Same column set and same rows (after alignment). *)

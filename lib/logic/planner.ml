@@ -1,0 +1,65 @@
+(* Conjunction-planning helpers for the relational baseline: flattening of
+   And-chains into conjunct lists (with the negation push-downs that expose
+   anti-join opportunities) and a greedy join ordering on estimated output
+   cardinalities. Pure syntax/arithmetic — the tables live in Foc_eval. *)
+
+let rec conjuncts (phi : Ast.formula) =
+  match phi with
+  | Ast.And (f, g) -> conjuncts f @ conjuncts g
+  | Ast.True -> []
+  | Ast.Neg (Ast.Neg f) -> conjuncts f
+  | Ast.Neg (Ast.Or (f, g)) ->
+      (* De Morgan: ¬(f ∨ g) ≡ ¬f ∧ ¬g — two independent anti-joins
+         instead of one wider complement *)
+      conjuncts (Ast.Neg f) @ conjuncts (Ast.Neg g)
+  | Ast.Neg Ast.True -> [ Ast.False ]
+  | Ast.Neg Ast.False -> []
+  | f -> [ f ]
+
+(* |t1 ⋈ t2| estimate under independence: |t1|·|t2| / n^#shared. Computed
+   in floats to dodge overflow; only used to rank alternatives. *)
+let join_estimate ~n (v1, c1) (v2, c2) =
+  let shared = Var.Set.cardinal (Var.Set.inter v1 v2) in
+  let sel = float_of_int n ** float_of_int shared in
+  float_of_int c1 *. float_of_int c2 /. sel
+
+let greedy_order ~n (inputs : (Var.Set.t * int) array) =
+  let m = Array.length inputs in
+  if m = 0 then []
+  else begin
+    let used = Array.make m false in
+    (* seed with the smallest input *)
+    let first = ref 0 in
+    for i = 1 to m - 1 do
+      if snd inputs.(i) < snd inputs.(!first) then first := i
+    done;
+    used.(!first) <- true;
+    let acc_vars = ref (fst inputs.(!first))
+    and acc_card = ref (snd inputs.(!first))
+    and order = ref [ !first ] in
+    for _ = 2 to m do
+      let best = ref (-1) and best_est = ref infinity and best_conn = ref false in
+      for i = 0 to m - 1 do
+        if not used.(i) then begin
+          let conn = not (Var.Set.disjoint !acc_vars (fst inputs.(i))) in
+          let est = join_estimate ~n (!acc_vars, !acc_card) inputs.(i) in
+          (* connected joins beat cross products regardless of estimate *)
+          let better =
+            !best < 0
+            || (conn && not !best_conn)
+            || (conn = !best_conn && est < !best_est)
+          in
+          if better then begin
+            best := i;
+            best_est := est;
+            best_conn := conn
+          end
+        end
+      done;
+      used.(!best) <- true;
+      acc_vars := Var.Set.union !acc_vars (fst inputs.(!best));
+      acc_card := int_of_float (Float.min !best_est 1e18);
+      order := !best :: !order
+    done;
+    List.rev !order
+  end

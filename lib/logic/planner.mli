@@ -1,0 +1,20 @@
+(** Conjunction-planning helpers for the relational baseline evaluator
+    ({!Foc_eval.Relalg}): syntactic flattening of conjunctions and a greedy
+    join order. Lives next to {!Simplify} because it is pure formula
+    manipulation — no tables, no structures. *)
+
+(** [conjuncts phi] flattens [phi] into a list whose conjunction is
+    equivalent to [phi]: [And] chains are flattened, [True] conjuncts
+    dropped, [¬¬f] collapsed, and [¬(f ∨ g)] split by De Morgan into
+    [¬f] and [¬g] — exposing each negation to the anti-join compilation
+    instead of hiding it behind a wider complement. Never returns an empty
+    list for unsatisfiable inputs — [Neg True] becomes [False]. *)
+val conjuncts : Ast.formula -> Ast.formula list
+
+(** [greedy_order ~n inputs] orders the conjunct tables for joining.
+    [inputs.(i)] is the variable set and cardinality of table [i]; [n] the
+    universe size. Starts from the smallest table and repeatedly appends
+    the input minimising the estimated intermediate size
+    [|acc|·|t| / n^(#shared vars)], preferring variable-connected joins
+    over cross products. Returns a permutation of [0 .. length-1]. *)
+val greedy_order : n:int -> (Var.Set.t * int) array -> int list

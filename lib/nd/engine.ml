@@ -463,9 +463,9 @@ let holds_unary_inner t a x phi =
             Array.fill out 0 n v
           end
           else
-            Foc_data.Tuple.Set.iter
-              (fun row -> out.(row.(0)) <- true)
-              (Foc_eval.Table.rows (Foc_eval.Table.align table [| x |]));
+            Foc_eval.Table.iter
+              (Foc_eval.Table.align table [| x |])
+              (fun row -> out.(row.(0)) <- true);
           out)
 
 let holds_unary t a x phi =
@@ -533,34 +533,32 @@ let run_query_inner t a (q : Query.t) =
         | _ ->
             (* FOC1 allows head terms over several head variables (only
                predicate applications are restricted); evaluate them with
-               the baseline counts *)
-            `Counts (Foc_eval.Relalg.term_counts t.cfg.preds a term)
+               the baseline counts, read via a row reader compiled once
+               against the head column order *)
+            `Counts
+              (Foc_eval.Counts.row
+                 (Foc_eval.Relalg.term_counts t.cfg.preds a term)
+                 head)
       in
       let vectors = List.map term_vector q.head_terms in
       let index_of x =
         let rec go i = if Var.equal head.(i) x then i else go (i + 1) in
         go 0
       in
-      Foc_data.Tuple.Set.fold
-        (fun row acc ->
+      let out = ref [] in
+      Foc_eval.Table.iter table (fun row ->
           let values =
             Array.of_list
               (List.map
                  (function
                    | `Const c -> c
                    | `Vec (x, vec) -> vec.(row.(index_of x))
-                   | `Counts counts ->
-                       let env =
-                         Array.to_seq
-                           (Array.mapi (fun i x -> (x, row.(i))) head)
-                         |> Var.Map.of_seq
-                       in
-                       Foc_eval.Counts.get counts env)
+                   | `Counts read -> read row)
                  vectors)
           in
-          (row, values) :: acc)
-        (Foc_eval.Table.rows table) []
-      |> List.sort (fun (r1, _) (r2, _) -> Foc_data.Tuple.compare r1 r2)
+          out := (Array.copy row, values) :: !out);
+      (* Table.iter runs in ascending Tuple.compare order already *)
+      List.rev !out
 
 let run_query t a q =
   let v = run_query_inner t a q in

@@ -119,7 +119,11 @@ let to_query schema ~consts (q : Sql_query.t) =
       if head_terms = [] then fail "nothing selected" else Ast.True
     else Ast.exists (others ~excluding:[]) conj
   in
-  Query.make ~head_vars ~head_terms body
+  (* simplification can only shrink the free variables, so the head-vars
+     validation of Query.make is unaffected *)
+  Query.make ~head_vars
+    ~head_terms:(List.map Simplify.term head_terms)
+    (Simplify.formula body)
 
 let scalar_counts schema tables =
   let terms =

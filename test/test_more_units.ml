@@ -55,11 +55,10 @@ let test_table_bind_semantics () =
 
 let test_counts () =
   let open Foc_eval.Counts in
-  let tbl = Hashtbl.create 4 in
-  Hashtbl.replace tbl [| 3 |] 7;
-  let v = of_groups ~vars:[| "x" |] ~multiplier:2 tbl in
+  let v = of_sorted_groups ~vars:[| "x" |] ~multiplier:2 [| 3 |] [| 7 |] in
   Alcotest.(check int) "hit" 14 (get v (Var.Map.singleton "x" 3));
   Alcotest.(check int) "miss -> 0" 0 (get v (Var.Map.singleton "x" 9));
+  Alcotest.(check int) "row reader" 14 (row v [| "y"; "x" |] [| 9; 3 |]);
   let w = add (const 5) v in
   Alcotest.(check int) "add" 19 (get w (Var.Map.singleton "x" 3));
   let m = mul v v in

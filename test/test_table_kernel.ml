@@ -1,0 +1,290 @@
+(* The columnar table kernel and the conjunction planner against the
+   reference evaluator: random (unguarded) formulas — repeated-variable
+   atoms, Neg under And, Forall, Eq chains, empty relations — must give
+   the same counts through the planned Relalg, the unplanned (seed
+   strategy) Relalg and brute-force Naive enumeration; plus unit tests
+   for the kernels themselves (join build-side choice, anti-join vs
+   complement, division, merges) and the planner helpers. *)
+
+open Foc_logic
+open QCheck.Gen
+module Table = Foc_eval.Table
+
+let preds = Pred.standard
+let sign = Foc_data.Signature.of_list [ ("E", 2); ("B", 1); ("R", 1) ]
+
+(* small random structures, allowing empty relations and n = 1 *)
+let gen_structure =
+  pair (int_range 1 7) (int_range 0 1_000_000) >>= fun (n, seed) ->
+  let rng = Random.State.make [| n; seed; 42 |] in
+  let pick p xs = List.filter (fun _ -> Random.State.float rng 1.0 < p) xs in
+  let p_edge = Random.State.float rng 0.6 in
+  let pairs =
+    List.concat_map
+      (fun u -> List.map (fun v -> (u, v)) (List.init n (fun i -> i)))
+      (List.init n (fun i -> i))
+  in
+  let edges = List.map (fun (u, v) -> [| u; v |]) (pick p_edge pairs) in
+  let colour p = List.map (fun v -> [| v |]) (pick p (List.init n (fun i -> i))) in
+  return
+    (Foc_data.Structure.create sign ~order:n
+       [ ("E", edges); ("B", colour 0.5); ("R", colour 0.4) ])
+
+(* random formulas over a fixed pool, deliberately outside the guarded
+   fragment: repeated-variable atoms E(v,v), Eq chains, Neg in all
+   positions, Forall *)
+let pool = [ "x"; "y"; "z" ]
+
+let rec gen_formula ~depth =
+  let v = oneofl pool in
+  let atom =
+    oneof
+      [
+        map2 (fun u w -> Ast.Rel ("E", [| u; w |])) v v;
+        map (fun u -> Ast.Rel ("B", [| u |])) v;
+        map (fun u -> Ast.Rel ("R", [| u |])) v;
+        map2 (fun u w -> Ast.Eq (u, w)) v v;
+        return Ast.True;
+        return Ast.False;
+      ]
+  in
+  if depth <= 0 then atom
+  else
+    frequency
+      [
+        (2, atom);
+        ( 3,
+          map2
+            (fun f g -> Ast.And (f, g))
+            (gen_formula ~depth:(depth - 1))
+            (gen_formula ~depth:(depth - 1)) );
+        ( 2,
+          map2
+            (fun f g -> Ast.Or (f, g))
+            (gen_formula ~depth:(depth - 1))
+            (gen_formula ~depth:(depth - 1)) );
+        (2, map (fun f -> Ast.Neg f) (gen_formula ~depth:(depth - 1)));
+        (1, map2 (fun x f -> Ast.Exists (x, f)) v (gen_formula ~depth:(depth - 1)));
+        (1, map2 (fun x f -> Ast.Forall (x, f)) v (gen_formula ~depth:(depth - 1)));
+      ]
+
+let print_case (phi, a) =
+  Format.asprintf "%s@.on order-%d structure" (Pp.formula_to_string phi)
+    (Foc_data.Structure.order a)
+
+(* brute-force count of satisfying assignments over the listed variables *)
+let naive_count a phi vars =
+  let n = Foc_data.Structure.order a in
+  let vs = Array.of_list vars in
+  let count = ref 0 in
+  Foc_util.Combi.iter_tuples n (Array.length vs) (fun tup ->
+      let env =
+        Array.to_seq (Array.mapi (fun i x -> (x, tup.(i))) vs)
+        |> Var.Map.of_seq
+      in
+      if Foc_eval.Naive.formula preds a env phi then incr count);
+  !count
+
+let prop_planned_vs_naive =
+  QCheck.Test.make ~name:"planned Relalg = Naive on random formulas"
+    ~count:300
+    (QCheck.make ~print:print_case (pair (gen_formula ~depth:3) gen_structure))
+    (fun (phi, a) ->
+      let vars = Var.Set.elements (Ast.free_formula phi) in
+      Foc_eval.Relalg.count preds a vars phi = naive_count a phi vars)
+
+let prop_planned_vs_unplanned =
+  QCheck.Test.make ~name:"planned Relalg = unplanned (seed) Relalg"
+    ~count:300
+    (QCheck.make ~print:print_case (pair (gen_formula ~depth:4) gen_structure))
+    (fun (phi, a) ->
+      let vars = Var.Set.elements (Ast.free_formula phi) in
+      Foc_eval.Relalg.count preds a vars phi
+      = Foc_eval.Relalg.count ~plan:false preds a vars phi)
+
+let prop_tables_equal =
+  QCheck.Test.make
+    ~name:"planned and unplanned formula tables are equal as tables"
+    ~count:200
+    (QCheck.make ~print:print_case (pair (gen_formula ~depth:3) gen_structure))
+    (fun (phi, a) ->
+      Table.equal
+        (Foc_eval.Relalg.formula_table preds a phi)
+        (Foc_eval.Relalg.formula_table ~plan:false preds a phi))
+
+(* ---------------- kernel unit tests ---------------- *)
+
+let t_of vars rows = Table.of_rows vars rows
+
+let test_build_side () =
+  let small = t_of [| "x"; "z" |] [ [| 0; 7 |]; [| 2; 9 |] ] in
+  let big =
+    t_of [| "x"; "y" |]
+      [ [| 0; 1 |]; [| 0; 2 |]; [| 2; 0 |]; [| 3; 1 |]; [| 4; 4 |] ]
+  in
+  Foc_eval.Eval_obs.reset ();
+  let j = Table.join big small in
+  Alcotest.(check int) "join rows" 3 (Table.cardinal j);
+  Alcotest.(check int) "build side is the smaller table" 2
+    (Foc_eval.Eval_obs.join_build_rows ());
+  Alcotest.(check int) "probe side is the bigger table" 5
+    (Foc_eval.Eval_obs.join_probe_rows ());
+  Foc_eval.Eval_obs.reset ();
+  let j' = Table.join small big in
+  Alcotest.(check int) "same choice from the other argument order" 2
+    (Foc_eval.Eval_obs.join_build_rows ());
+  Alcotest.(check bool) "same rows either way" true
+    (Table.equal j (Table.align j' (Table.vars j)))
+
+let test_antijoin_vs_complement () =
+  (* t1 ▷ t2 must equal t1 ⋈ complement(t2) for every n that covers the
+     values *)
+  let t1 =
+    t_of [| "x"; "y" |] [ [| 0; 0 |]; [| 0; 3 |]; [| 1; 2 |]; [| 2; 1 |] ]
+  in
+  let t2 = t_of [| "y" |] [ [| 0 |]; [| 2 |] ] in
+  let anti = Table.antijoin t1 t2 in
+  let via_complement = Table.join t1 (Table.complement t2 4) in
+  Alcotest.(check bool) "antijoin = join with complement" true
+    (Table.equal anti via_complement);
+  Alcotest.(check int) "kept rows" 2 (Table.cardinal anti);
+  (* empty right side: keep everything / drop nothing symmetric checks *)
+  let none = t_of [| "y" |] [] in
+  Alcotest.(check bool) "antijoin with empty keeps all" true
+    (Table.equal (Table.antijoin t1 none) t1);
+  Alcotest.(check bool) "semijoin with empty drops all" true
+    (Table.is_empty (Table.semijoin t1 none))
+
+let test_divide () =
+  let t =
+    t_of [| "x"; "y" |]
+      [ [| 0; 0 |]; [| 0; 1 |]; [| 0; 2 |]; [| 1; 0 |]; [| 1; 2 |] ]
+  in
+  let d = Table.divide t "y" 3 in
+  Alcotest.(check int) "only x=0 has all three y" 1 (Table.cardinal d);
+  Alcotest.(check (list string)) "columns" [ "x" ]
+    (Array.to_list (Table.vars d));
+  (* division by a larger domain keeps nothing *)
+  Alcotest.(check bool) "n=4 empty" true (Table.is_empty (Table.divide t "y" 4))
+
+let test_group_count () =
+  let t =
+    t_of [| "x"; "y" |]
+      [ [| 0; 0 |]; [| 0; 1 |]; [| 2; 1 |]; [| 2; 5 |]; [| 2; 7 |] ]
+  in
+  let keys, counts = Table.group_count t [| "x" |] in
+  Alcotest.(check (list int)) "keys sorted" [ 0; 2 ] (Array.to_list keys);
+  Alcotest.(check (list int)) "counts" [ 2; 3 ] (Array.to_list counts)
+
+let test_select_and_duplicate () =
+  let t = t_of [| "x"; "y" |] [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 1 |] ] in
+  let s = Table.select_eq t "x" "y" in
+  Alcotest.(check int) "diagonal rows" 2 (Table.cardinal s);
+  let d = Table.duplicate_column t ~src:"x" ~dst:"z" in
+  Alcotest.(check (list string)) "columns extended" [ "x"; "y"; "z" ]
+    (Array.to_list (Table.vars d));
+  Alcotest.(check bool) "z copies x" true
+    (Table.equal (Table.select_eq d "x" "z") d)
+
+let test_iter_sorted () =
+  let t = t_of [| "x" |] [ [| 4 |]; [| 1 |]; [| 3 |]; [| 1 |] ] in
+  let seen = ref [] in
+  Table.iter t (fun row -> seen := row.(0) :: !seen);
+  Alcotest.(check (list int)) "iter deduplicates and sorts" [ 1; 3; 4 ]
+    (List.rev !seen)
+
+(* ---------------- planner unit tests ---------------- *)
+
+let test_conjuncts () =
+  let f = Ast.Rel ("B", [| "x" |]) and g = Ast.Rel ("R", [| "y" |]) in
+  let h = Ast.Eq ("x", "y") in
+  Alcotest.(check int) "flattens nested And" 3
+    (List.length (Planner.conjuncts (Ast.And (Ast.And (f, g), h))));
+  Alcotest.(check int) "drops True" 1
+    (List.length (Planner.conjuncts (Ast.And (Ast.True, f))));
+  Alcotest.(check int) "collapses double negation" 2
+    (List.length (Planner.conjuncts (Ast.Neg (Ast.Neg (Ast.And (f, g))))));
+  (* De Morgan exposes both negations as separate conjuncts *)
+  (match Planner.conjuncts (Ast.Neg (Ast.Or (f, g))) with
+  | [ Ast.Neg f'; Ast.Neg g' ] ->
+      Alcotest.(check bool) "de morgan" true (f' = f && g' = g)
+  | other ->
+      Alcotest.failf "expected two negated conjuncts, got %d"
+        (List.length other))
+
+let test_greedy_order () =
+  let vs l = Var.Set.of_list l in
+  (* three tables: tiny disconnected, medium connected, huge connected *)
+  let inputs =
+    [| (vs [ "a" ], 1000); (vs [ "a"; "b" ], 10); (vs [ "c" ], 3) |]
+  in
+  match Planner.greedy_order ~n:100 inputs with
+  | [ first; second; third ] ->
+      Alcotest.(check int) "starts from the smallest" 2 first;
+      (* after {c}, both others are disconnected; the estimate picks the
+         10-row table before the 1000-row one *)
+      Alcotest.(check int) "then the cheaper join" 1 second;
+      Alcotest.(check int) "largest last" 0 third
+  | other -> Alcotest.failf "expected 3 indices, got %d" (List.length other)
+
+let test_planner_avoids_complement () =
+  (* R(x) ∧ ¬E(x,y) ∧ B(y): negation only in conjunctive context, so the
+     planned evaluation must not materialise any full n^k complement *)
+  let phi =
+    Ast.And
+      ( Ast.Rel ("R", [| "x" |]),
+        Ast.And (Ast.Neg (Ast.Rel ("E", [| "x"; "y" |])), Ast.Rel ("B", [| "y" |]))
+      )
+  in
+  let rng = Random.State.make [| 7 |] in
+  let a =
+    let g = Foc_graph.Gen.random_tree rng 30 in
+    let edges =
+      List.concat_map
+        (fun (u, v) -> [ [| u; v |]; [| v; u |] ])
+        (Foc_graph.Graph.edges g)
+    in
+    Foc_data.Structure.create sign ~order:30
+      [ ("E", edges);
+        ("B", List.map (fun v -> [| v |]) [ 0; 2; 4; 6 ]);
+        ("R", List.map (fun v -> [| v |]) [ 1; 3; 5 ]) ]
+  in
+  Foc_eval.Eval_obs.reset ();
+  let planned = Foc_eval.Relalg.count preds a [ "x"; "y" ] phi in
+  Alcotest.(check int) "no full complement" 0 (Foc_eval.Eval_obs.complements ());
+  Alcotest.(check bool) "negation became an anti-join" true
+    (Foc_eval.Eval_obs.antijoins () > 0);
+  Foc_eval.Eval_obs.reset ();
+  let unplanned = Foc_eval.Relalg.count ~plan:false preds a [ "x"; "y" ] phi in
+  Alcotest.(check bool) "seed strategy does take the complement" true
+    (Foc_eval.Eval_obs.complements () > 0);
+  Alcotest.(check int) "same count either way" unplanned planned
+
+let () =
+  Alcotest.run "table kernel & planner"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_planned_vs_naive;
+          QCheck_alcotest.to_alcotest prop_planned_vs_unplanned;
+          QCheck_alcotest.to_alcotest prop_tables_equal;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "join build side" `Quick test_build_side;
+          Alcotest.test_case "antijoin vs complement" `Quick
+            test_antijoin_vs_complement;
+          Alcotest.test_case "division" `Quick test_divide;
+          Alcotest.test_case "group count" `Quick test_group_count;
+          Alcotest.test_case "select/duplicate" `Quick
+            test_select_and_duplicate;
+          Alcotest.test_case "iter order" `Quick test_iter_sorted;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "greedy order" `Quick test_greedy_order;
+          Alcotest.test_case "complement avoidance" `Quick
+            test_planner_avoids_complement;
+        ] );
+    ]
