@@ -990,6 +990,171 @@ let e13 () =
   Printf.printf
     "(QA-plan vs QA-seed is the headline: anti-join vs n^2 complement)\n"
 
+(* ================= E14: query sessions ================= *)
+
+let e14 () =
+  header "E14  Query sessions: cross-query artifact caching + batching"
+    "claim: a warm session answers a repeated sentence >= 2x faster than \
+     a fresh engine per query (the compiled-sentence cache skips the \
+     stratification sweeps; covers and ball contexts amortise across \
+     queries), and a 32-sentence batch returns byte-identical results to \
+     per-query fresh engines at every jobs setting";
+  let agree_all = ref true in
+  let note_agree tag ok =
+    if not ok then begin
+      agree_all := false;
+      Printf.printf "!! DISAGREEMENT: %s\n" tag
+    end
+  in
+  let ctr s name =
+    Foc.Obs.Metrics.Counter.value
+      (Foc.Obs.Metrics.counter (Foc.Session.metrics s) name)
+  in
+  let classes = [ Foc.Classes.random_trees; Foc.Classes.bounded_degree 3 ] in
+  let sizes =
+    if !smoke then [ 300 ]
+    else if !quick then [ 1000 ]
+    else [ 1000; 4000 ]
+  in
+  let reps = if !smoke then 3 else 8 in
+  (* --- repeated query: warm session vs fresh engine per call --- *)
+  let q_rep = parse "exists x. prime(#(y). (E(x,y) | E(y,x)))" in
+  let q_cov = parse "exists x. (#(y). (E(x,y) & B(y))) >= 2" in
+  let cfg backend = { Foc.Engine.default_config with backend; jobs = 1 } in
+  Printf.printf
+    "\n-- repeated query, warm session vs fresh engine (x%d, jobs=1)\n" reps;
+  Printf.printf "%-16s %8s %-8s | %10s %10s %8s | %6s %6s\n" "class" "n"
+    "backend" "fresh" "warm" "speedup" "hits" "agree";
+  List.iter
+    (fun (cls : Foc.Classes.t) ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun (bname, backend, q, hit_counter) ->
+              let a = coloured_structure 14 (cls.generate ~seed:14 ~n) in
+              let fresh_results = ref [] in
+              let t_fresh =
+                time_only (fun () ->
+                    for _ = 1 to reps do
+                      let eng = Foc.Engine.create ~config:(cfg backend) () in
+                      fresh_results := Foc.Engine.check eng a q :: !fresh_results
+                    done)
+              in
+              let s = Foc.Session.create ~config:(cfg backend) a in
+              ignore (Foc.Session.check s q) (* pay compilation once *);
+              let warm_results = ref [] in
+              let t_warm =
+                time_only (fun () ->
+                    for _ = 1 to reps do
+                      warm_results := Foc.Session.check s q :: !warm_results
+                    done)
+              in
+              let agree = !warm_results = !fresh_results in
+              let hits = ctr s hit_counter in
+              let speedup = t_fresh /. Float.max t_warm 1e-9 in
+              note_agree
+                (Printf.sprintf "E14 repeated %s %s n=%d" cls.name bname n)
+                agree;
+              note_agree
+                (Printf.sprintf "E14 %s %s n=%d: %s stayed zero" cls.name
+                   bname n hit_counter)
+                (hits > 0);
+              note_agree
+                (Printf.sprintf "E14 %s %s n=%d: no compiled hits" cls.name
+                   bname n)
+                (ctr s "session.compiled_hits" > 0);
+              record "E14"
+                [ ("workload", S "repeated"); ("class", S cls.name);
+                  ("n", I n); ("backend", S bname); ("reps", I reps);
+                  ("seconds_fresh", F t_fresh); ("seconds_warm", F t_warm);
+                  ("speedup", F speedup); ("hits", I hits);
+                  ("compiled_hits", I (ctr s "session.compiled_hits"));
+                  ("agree", B agree) ];
+              Printf.printf
+                "%-16s %8d %-8s | %9.4fs %9.4fs %7.1fx | %6d %6b\n" cls.name
+                n bname t_fresh t_warm speedup hits agree)
+            [
+              ("direct", Foc.Engine.Direct, q_rep, "session.ctx_hits");
+              ("cover", Foc.Engine.Cover, q_cov, "session.cover_hits");
+            ])
+        sizes)
+    classes;
+  (* --- 32-sentence batch vs per-query fresh engines --- *)
+  let bodies =
+    [
+      "(E(x,y) & B(y))";
+      "(E(y,x) & R(y))";
+      "(E(x,y) | E(y,x))";
+      "(E(x,y) & G(y))";
+    ]
+  in
+  let batch =
+    List.concat_map
+      (fun b ->
+        [
+          Printf.sprintf "exists x. (#(y). %s) >= 1" b;
+          Printf.sprintf "exists x. (#(y). %s) >= 2" b;
+          Printf.sprintf "exists x. (#(y). %s) >= 3" b;
+          Printf.sprintf "exists x. (#(y). %s) >= 4" b;
+          Printf.sprintf "exists x. prime(#(y). %s)" b;
+          Printf.sprintf "#(x). prime(#(y). %s) >= 1" b;
+          Printf.sprintf "forall x. (#(y). %s) <= 3" b;
+          Printf.sprintf "#(x,y). %s >= 10" b;
+        ])
+      bodies
+    |> List.map parse
+  in
+  Printf.printf "\n-- 32-sentence batch, one session vs fresh engines\n";
+  Printf.printf "%-16s %8s %5s | %10s %10s %8s | %6s\n" "class" "n" "jobs"
+    "fresh" "session" "speedup" "agree";
+  List.iter
+    (fun (cls : Foc.Classes.t) ->
+      List.iter
+        (fun n ->
+          let a = coloured_structure 14 (cls.generate ~seed:14 ~n) in
+          let expected = ref [] in
+          let t_fresh =
+            time_only (fun () ->
+                expected :=
+                  List.map
+                    (fun q ->
+                      let eng =
+                        Foc.Engine.create ~config:(cfg Foc.Engine.Direct) ()
+                      in
+                      Foc.Engine.check eng a q)
+                    batch)
+          in
+          List.iter
+            (fun jobs ->
+              let s = Foc.Session.create ~config:(cfg Foc.Engine.Direct) a in
+              let got = ref [] in
+              let t_sess =
+                time_only (fun () ->
+                    got := Foc.Session.run_batch ~jobs s batch)
+              in
+              let agree = !got = !expected in
+              let speedup = t_fresh /. Float.max t_sess 1e-9 in
+              note_agree
+                (Printf.sprintf "E14 batch %s n=%d jobs=%d" cls.name n jobs)
+                agree;
+              record "E14"
+                [ ("workload", S "batch32"); ("class", S cls.name);
+                  ("n", I n); ("jobs", I jobs);
+                  ("seconds_fresh", F t_fresh); ("seconds_session", F t_sess);
+                  ("speedup", F speedup); ("agree", B agree) ];
+              Printf.printf "%-16s %8d %5d | %9.4fs %9.4fs %7.1fx | %6b\n"
+                cls.name n jobs t_fresh t_sess speedup agree)
+            [ 1; 4 ])
+        sizes)
+    classes;
+  if not !agree_all then begin
+    Printf.printf "E14: FAILED agreement assertions\n";
+    exit 1
+  end;
+  Printf.printf
+    "(warm/fresh is the headline: the compiled cache removes the per-query \
+     stratification sweep)\n"
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -1081,6 +1246,7 @@ let () =
         ("E11", e11);
         ("E12", e12);
         ("E13", e13);
+        ("E14", e14);
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments

@@ -592,6 +592,110 @@ let sql_cmd =
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src $ limit)
 
+(* ---------------- batch ---------------- *)
+
+let batch_cmd =
+  let run structure engine jobs ball_cache_mb budget_mb repeat stats trace
+      metrics log_level queries_file =
+    setup_obs ~trace ~metrics ~log_level;
+    let a = load_structure structure in
+    let srcs =
+      (* a line is a comment when it starts with '#' not followed by '(' —
+         counting sentences legitimately begin with "#(x,y)." *)
+      let comment l =
+        String.length l > 0
+        && l.[0] = '#'
+        && (String.length l = 1 || l.[1] <> '(')
+      in
+      In_channel.with_open_text queries_file In_channel.input_lines
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && not (comment l))
+    in
+    let phis =
+      List.map
+        (fun src ->
+          try Foc.parse_formula src
+          with Foc.Parser.Error (m, p) ->
+            Printf.eprintf "parse error in %S at %d: %s\n" src p m;
+            exit 2)
+        srcs
+    in
+    let backend =
+      match engine with
+      | `Direct -> Foc.Engine.Direct
+      | `Cover -> Foc.Engine.Cover
+      | `Splitter -> Foc.Engine.Splitter { max_rounds = 4; small = 32 }
+      | `Hanf -> Foc.Engine.Hanf
+      | `Relalg | `Naive ->
+          Printf.eprintf
+            "error: batch runs on a session engine \
+             (direct|cover|splitter|hanf)\n";
+          exit 2
+    in
+    let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
+    let config =
+      {
+        Foc.Engine.default_config with
+        backend;
+        jobs;
+        ball_cache_mb;
+        trace_file = trace;
+      }
+    in
+    let sess = Foc.Session.create ~budget_mb ~config a in
+    let results, seconds =
+      timed (fun () ->
+          let r = ref [] in
+          for _ = 1 to max 1 repeat do
+            r := Foc.Session.run_batch sess phis
+          done;
+          !r)
+    in
+    finish_obs ~trace ~metrics (Some (Foc.Session.engine sess));
+    List.iter (fun b -> Printf.printf "%b\n" b) results;
+    if stats then
+      Printf.printf "# stats: %s\n" (Foc.Session.stats_line sess);
+    Printf.printf "# %d sentences x%d, %.6fs\n" (List.length phis)
+      (max 1 repeat) seconds
+  in
+  let queries_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"QUERIES"
+          ~doc:
+            "File of FOC(P) sentences, one per line; blank lines and \
+             comment lines ($(b,#) not followed by $(b,\\()) are skipped.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "budget-mb" ] ~docv:"MB"
+          ~doc:
+            "Session artifact-cache budget (MiB): covers, ball contexts, \
+             Hanf partitions and compiled sentences share this bound. \
+             $(b,0) keeps only the most recent artifact. Never changes \
+             results.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Run the whole batch $(docv) times through the same session \
+             (warm-path demonstration; results are identical each round).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Evaluate a file of sentences in one query session, sharing \
+          covers, ball caches, Hanf partitions and compiled sentences \
+          across the batch.")
+    Term.(
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ budget_arg $ repeat_arg $ stats_arg $ trace_arg $ metrics_arg
+      $ log_level_arg $ queries_file)
+
 let () =
   let info =
     Cmd.info "foc" ~version:"1.0.0"
@@ -605,6 +709,7 @@ let () =
           [
             check_cmd;
             count_cmd;
+            batch_cmd;
             query_cmd;
             gen_cmd;
             gendb_cmd;

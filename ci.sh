@@ -13,9 +13,31 @@ dune exec bench/main.exe -- --only E12 --smoke
 # disagree or the planner takes a full n^k complement on conjunctive
 # negation — the agreement gate for the columnar kernel + planner.
 dune exec bench/main.exe -- --only E13 --smoke
+# E14 exits non-zero if a warm session or a batch (jobs 1 and 4) ever
+# disagrees with a fresh engine, or if the session hit counters stay
+# zero — the agreement gate for the session layer.
+dune exec bench/main.exe -- --only E14 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
   "#(x,y). (R(x) & E(x,y))" -e cover --jobs 2 \
   --trace /tmp/ci_trace.json --stats --metrics
 dune exec bin/foc_cli.exe -- trace-check /tmp/ci_trace.json
+# CLI batch round-trip: session answers must match per-sentence checks
+printf 'exists x. (#(y). E(x,y)) >= 1\n#(x,y). (E(x,y) & R(x)) >= 5\n' \
+  > /tmp/ci_batch.txt
+dune exec bin/foc_cli.exe -- batch -s /tmp/ci_tree.foc --repeat 2 --stats \
+  /tmp/ci_batch.txt | tee /tmp/ci_batch_out.txt
+a=$(dune exec bin/foc_cli.exe -- check -s /tmp/ci_tree.foc \
+  "exists x. (#(y). E(x,y)) >= 1" | head -1)
+b=$(dune exec bin/foc_cli.exe -- check -s /tmp/ci_tree.foc \
+  "#(x,y). (E(x,y) & R(x)) >= 5" | head -1)
+batch_got=$(grep -E '^(true|false)$' /tmp/ci_batch_out.txt | tr '\n' ' ')
+[ "$batch_got" = "$a $b " ] || {
+  echo "ci: batch round-trip mismatch: got '$batch_got' want '$a $b'"
+  exit 1
+}
+grep -q 'session.compiled_hits=2' /tmp/ci_batch_out.txt || {
+  echo "ci: warm batch reported no compiled hits"
+  exit 1
+}

@@ -84,6 +84,7 @@ module Hanf = Foc_bd.Hanf
 module Classes = Foc_nd.Classes
 module Incremental = Foc_nd.Incremental
 module Plan = Foc_nd.Plan
+module Session = Foc_serve.Session
 
 (* hardness reductions (Section 4) *)
 module Tree_encoding = Foc_hardness.Tree_encoding

@@ -68,6 +68,14 @@ let tuples_with a name ~pos ~value =
     invalid_arg "Structure.tuples_with: position out of range";
   Option.value ~default:[] (Hashtbl.find_opt (position_index a name pos) value)
 
+(* Tuples of arity <= 1 contribute no Gaifman edges (the edge emitter below
+   needs two distinct positions), so updates touching only unary/0-ary
+   relations carry the memoised graph over — the new structure then shares
+   it *physically* with the old one, which lets graph-keyed artifacts
+   (covers, ball caches) survive stratification expansions and unary
+   database updates (see Foc_serve.Session). *)
+let keep_gaifman a arity = if arity <= 1 then a.gaifman else None
+
 let add_tuples a name tuples =
   let arity = Signature.arity a.sign name in
   List.iter (check_tuple a.order arity name) tuples;
@@ -75,7 +83,7 @@ let add_tuples a name tuples =
   {
     a with
     rels = M.add name (Tuple.Set.add_seq (List.to_seq tuples) existing) a.rels;
-    gaifman = None;
+    gaifman = keep_gaifman a arity;
     indexes = Hashtbl.create 8;
   }
 
@@ -89,7 +97,7 @@ let remove_tuples a name tuples =
   {
     a with
     rels = M.add name pruned a.rels;
-    gaifman = None;
+    gaifman = keep_gaifman a arity;
     indexes = Hashtbl.create 8;
   }
 
@@ -198,7 +206,14 @@ let expand a extra =
         M.add n (Tuple.Set.add_seq (List.to_seq tuples) existing) m)
       a.rels extra
   in
-  { sign; order = a.order; rels; gaifman = None; indexes = Hashtbl.create 8 }
+  let max_arity = List.fold_left (fun m (_, ar, _) -> max m ar) 0 extra in
+  {
+    sign;
+    order = a.order;
+    rels;
+    gaifman = keep_gaifman a max_arity;
+    indexes = Hashtbl.create 8;
+  }
 
 let reduct a sign =
   if not (Signature.subset sign a.sign) then

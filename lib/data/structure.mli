@@ -37,7 +37,11 @@ val mem : t -> string -> int array -> bool
     matching tuples rather than to neighbourhood balls. *)
 val tuples_with : t -> string -> pos:int -> value:int -> int array list
 
-(** [add_tuples a name tups] is [a] with the tuples added (functional). *)
+(** [add_tuples a name tups] is [a] with the tuples added (functional).
+    Updates touching only relations of arity ≤ 1 preserve the memoised
+    Gaifman graph {e physically} (unary/0-ary tuples contribute no edges),
+    so graph-keyed artifacts remain valid across such updates; the same
+    holds for {!remove_tuples} and {!expand}. *)
 val add_tuples : t -> string -> int array list -> t
 
 (** [remove_tuples a name tups] is [a] with the tuples removed (absent

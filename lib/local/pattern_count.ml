@@ -94,6 +94,20 @@ let empty_snapshot =
     bfs_visited = 0;
   }
 
+(* Counter delta between two snapshots of one long-lived context: counters
+   subtract, peaks pass through as [now]'s values (the consumer folds them
+   with max anyway). This is how a persistent session context reports
+   per-evaluation statistics without double counting. *)
+let diff_snapshot now before =
+  {
+    balls_computed = now.balls_computed - before.balls_computed;
+    cache_hits = now.cache_hits - before.cache_hits;
+    cache_evictions = now.cache_evictions - before.cache_evictions;
+    cache_peak_entries = now.cache_peak_entries;
+    cache_peak_bytes = now.cache_peak_bytes;
+    bfs_visited = now.bfs_visited - before.bfs_visited;
+  }
+
 (* counters add; peaks combine as max (each context's residency was
    separate in time or in a separate domain) *)
 let add_snapshot a b =
@@ -176,6 +190,52 @@ let clone_ctx ctx =
     seen_epoch = 0;
     st = fresh_stats ();
   }
+
+let cache_resident_bytes ctx = ctx.cache.bytes_used
+
+(* Re-point a context at an updated structure of the same order, keeping
+   every cached ball whose centre the caller does not [drop]. Sound
+   whenever the kept balls are unchanged in the new structure's Gaifman
+   graph: ball contents depend only on the graph, so for unary updates
+   (graph preserved) nothing need be dropped, and for edge updates only
+   centres within the 2r+1 threshold of the touched elements are affected
+   (exactly the invalidation radius of {!Foc_nd.Incremental}). The BFS
+   searcher is rebuilt lazily against the new graph; statistics carry
+   over (the live searcher's visit counter is folded in first, keeping
+   snapshots monotone). Returns the rebound context and the number of
+   balls dropped. The old context must not be used afterwards. *)
+let rebind_ctx ctx structure ~drop =
+  if Foc_data.Structure.order structure <> order ctx then
+    invalid_arg "Pattern_count.rebind_ctx: order changed";
+  (match ctx.searcher with
+  | Some s ->
+      ctx.st.merged_bfs_visited <-
+        ctx.st.merged_bfs_visited + Foc_graph.Bfs.total_visited s
+  | None -> ());
+  let c = ctx.cache in
+  let tbl = Hashtbl.create (max 16 (Hashtbl.length c.tbl)) in
+  let fifo = Queue.create () in
+  let bytes = ref 0 in
+  let dropped = ref 0 in
+  Queue.iter
+    (fun key ->
+      match Hashtbl.find_opt c.tbl key with
+      | Some e when not (Hashtbl.mem tbl key) ->
+          if drop key then incr dropped
+          else begin
+            Hashtbl.replace tbl key e;
+            Queue.add key fifo;
+            bytes := !bytes + e.bytes
+          end
+      | _ -> ())
+    c.fifo;
+  ( {
+      ctx with
+      structure;
+      cache = { tbl; fifo; capacity = c.capacity; bytes_used = !bytes };
+      searcher = None;
+    },
+    !dropped )
 
 let merge_ctx_stats ~into clones =
   List.iter

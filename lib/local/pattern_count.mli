@@ -54,6 +54,25 @@ val empty_snapshot : snapshot
     contexts' residencies were separate in time or in separate domains). *)
 val add_snapshot : snapshot -> snapshot -> snapshot
 
+(** [diff_snapshot now before] — the per-evaluation delta of a long-lived
+    context: counters subtract, peaks pass through as [now]'s values.
+    Lets a persistent (session) context report each evaluation's work
+    without double counting. *)
+val diff_snapshot : snapshot -> snapshot -> snapshot
+
+(** Approximate bytes currently retained by the ball cache. *)
+val cache_resident_bytes : ctx -> int
+
+(** [rebind_ctx ctx a' ~drop] — re-point the context at an updated
+    structure of the same order, keeping every cached ball except those
+    whose centre satisfies [drop] (the caller supplies the invalidation
+    predicate: nothing for unary updates, centres within the [2r+1]
+    threshold of the touched elements for edge updates). Returns the new
+    context and the number of balls dropped; the old context must not be
+    used afterwards. *)
+val rebind_ctx :
+  ctx -> Foc_data.Structure.t -> drop:(int -> bool) -> ctx * int
+
 (** Order of the underlying structure. *)
 val order : ctx -> int
 

@@ -128,8 +128,139 @@ and rename_term subst = function
   | Add (s, t) -> Add (rename_term subst s, rename_term subst t)
   | Mul (s, t) -> Mul (rename_term subst s, rename_term subst t)
 
-let equal_formula (a : formula) (b : formula) = a = b
-let equal_term (a : term) (b : term) = a = b
+(* Physical equality short-circuits the structural walk — the common case
+   for hash-consed / cached formulas (see {!Key}). *)
+let equal_formula (a : formula) (b : formula) = a == b || a = b
+let equal_term (a : term) (b : term) = a == b || a = b
+
+(* ------------------------------------------------------------------ *)
+(* Structural hashing. [Hashtbl.hash] only inspects a bounded prefix of
+   the term graph, so deep formulas collide systematically; this walk
+   covers every node. Equal formulas hash equally by construction. *)
+
+let hc h x = (h * 0x1000193) lxor x
+let hs h (s : string) = hc h (Hashtbl.hash s)
+
+let rec hash_formula = function
+  | True -> 0x11
+  | False -> 0x13
+  | Eq (x, y) -> hs (hs 0x17 x) y
+  | Rel (r, xs) -> Array.fold_left hs (hs 0x1d r) xs
+  | Dist (x, y, d) -> hc (hs (hs 0x1f x) y) d
+  | Neg f -> hc 0x25 (hash_formula f)
+  | Or (f, g) -> hc (hc 0x29 (hash_formula f)) (hash_formula g)
+  | And (f, g) -> hc (hc 0x2b (hash_formula f)) (hash_formula g)
+  | Exists (y, f) -> hc (hs 0x2f y) (hash_formula f)
+  | Forall (y, f) -> hc (hs 0x35 y) (hash_formula f)
+  | Pred (p, ts) -> List.fold_left (fun h t -> hc h (hash_term t)) (hs 0x3b p) ts
+
+and hash_term = function
+  | Int i -> hc 0x41 i
+  | Count (ys, f) -> hc (List.fold_left hs 0x43 ys) (hash_formula f)
+  | Add (s, t) -> hc (hc 0x47 (hash_term s)) (hash_term t)
+  | Mul (s, t) -> hc (hc 0x49 (hash_term s)) (hash_term t)
+
+(* ------------------------------------------------------------------ *)
+(* α-canonicalization: bound variables are renamed to "%<depth>" (the
+   parser rejects '%' in variable names and generated fresh variables
+   start with '_', so canonical names can never collide with real ones)
+   and ∧/∨ chains are flattened and sorted, so α-equivalent formulas —
+   and commutative/associative rearrangements of conjunctions and
+   disjunctions — share one canonical form. Used as a cache key:
+   α-equivalent sentences have identical semantics. *)
+
+let canon_var depth = "%" ^ string_of_int depth
+
+let rec canon_formula depth env f =
+  let lookup x = Option.value ~default:x (Var.Map.find_opt x env) in
+  match f with
+  | True | False -> f
+  | Eq (x, y) -> Eq (lookup x, lookup y)
+  | Rel (r, xs) -> Rel (r, Array.map lookup xs)
+  | Dist (x, y, d) -> Dist (lookup x, lookup y, d)
+  | Neg g -> Neg (canon_formula depth env g)
+  | Or _ ->
+      let rec collect acc = function
+        | Or (g, h) -> collect (collect acc h) g
+        | g -> g :: acc
+      in
+      rebuild (fun a b -> Or (a, b)) (collect [] f) depth env
+  | And _ ->
+      let rec collect acc = function
+        | And (g, h) -> collect (collect acc h) g
+        | g -> g :: acc
+      in
+      rebuild (fun a b -> And (a, b)) (collect [] f) depth env
+  | Exists (y, g) ->
+      let y' = canon_var depth in
+      Exists (y', canon_formula (depth + 1) (Var.Map.add y y' env) g)
+  | Forall (y, g) ->
+      let y' = canon_var depth in
+      Forall (y', canon_formula (depth + 1) (Var.Map.add y y' env) g)
+  | Pred (p, ts) -> Pred (p, List.map (canon_term depth env) ts)
+
+(* children arrive non-[op] at the head (collect descends through [op]);
+   canonicalization preserves head constructors, so sorting canonical
+   children and folding right-associatively is itself canonical *)
+and rebuild op children depth env =
+  let children = List.map (canon_formula depth env) children in
+  let children = List.sort compare children in
+  match children with
+  | [] -> assert false
+  | first :: rest -> List.fold_left op first rest
+
+and canon_term depth env = function
+  | Int i -> Int i
+  | Count (ys, f) ->
+      let n = List.length ys in
+      let ys' = List.mapi (fun i _ -> canon_var (depth + i)) ys in
+      let env =
+        List.fold_left2 (fun e y y' -> Var.Map.add y y' e) env ys ys'
+      in
+      Count (ys', canon_formula (depth + n) env f)
+  | Add (s, t) -> Add (canon_term depth env s, canon_term depth env t)
+  | Mul (s, t) -> Mul (canon_term depth env s, canon_term depth env t)
+
+let canonical f = canon_formula 0 Var.Map.empty f
+let canonical_term t = canon_term 0 Var.Map.empty t
+
+(* ------------------------------------------------------------------ *)
+(* Hash-consed canonical keys: interning canonicalizes once, and all later
+   comparisons are on dense int ids (or the [==] fast path of
+   [equal_formula]). The table is a plain value — callers own it, so there
+   is no hidden global state to race on. *)
+
+module Key = struct
+  type t = { form : formula; hash : int; id : int }
+  type table = { tbl : (int, t list ref) Hashtbl.t; mutable next : int }
+
+  let create_table () = { tbl = Hashtbl.create 64; next = 0 }
+
+  let intern table f =
+    let c = canonical f in
+    let h = hash_formula c in
+    let bucket =
+      match Hashtbl.find_opt table.tbl h with
+      | Some b -> b
+      | None ->
+          let b = ref [] in
+          Hashtbl.add table.tbl h b;
+          b
+    in
+    match List.find_opt (fun k -> equal_formula k.form c) !bucket with
+    | Some k -> k
+    | None ->
+        let k = { form = c; hash = h; id = table.next } in
+        table.next <- table.next + 1;
+        bucket := k :: !bucket;
+        k
+
+  let form k = k.form
+  let hash k = k.hash
+  let id k = k.id
+  let equal a b = a.id = b.id
+  let interned table = table.next
+end
 
 let rec strictify expand_dist f =
   let s = strictify expand_dist in

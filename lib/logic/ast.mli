@@ -78,9 +78,53 @@ val rename_term : Var.t Var.Map.t -> term -> term
 (** {1 Structure } *)
 
 val equal_formula : formula -> formula -> bool
-(** Structural (not α-) equality. *)
+(** Structural (not α-) equality, with a physical-equality fast path. *)
 
 val equal_term : term -> term -> bool
+
+val hash_formula : formula -> int
+(** Structural hash visiting every node (unlike [Hashtbl.hash], which
+    stops after a bounded prefix). Agrees with {!equal_formula}: equal
+    formulas hash equally. *)
+
+val hash_term : term -> int
+
+val canonical : formula -> formula
+(** α-canonical form: bound variables renamed to ["%<depth>"] (a name the
+    parser and the fresh-variable generators can never produce) and ∧/∨
+    chains flattened and sorted. α-equivalent formulas — and
+    associative/commutative rearrangements of conjunctions and
+    disjunctions — have equal canonical forms; [canonical] is idempotent.
+    Canonical forms are semantically equivalent to the original, so they
+    are safe cache keys for sentence-level memoisation. *)
+
+val canonical_term : term -> term
+
+(** Hash-consed canonical keys ({!canonical} + {!hash_formula} interned to
+    dense int ids). A [table] is an explicit value owned by the caller —
+    e.g. one per {!Foc_serve} session — so there is no global state. *)
+module Key : sig
+  type t
+  type table
+
+  val create_table : unit -> table
+
+  val intern : table -> formula -> t
+  (** Canonicalize, hash, and return the unique key for the formula's
+      α-equivalence (+ ∧/∨-AC) class within this table. *)
+
+  val form : t -> formula
+  (** The canonical representative. *)
+
+  val hash : t -> int
+  val id : t -> int
+  (** Dense id, assigned in first-intern order. *)
+
+  val equal : t -> t -> bool
+
+  val interned : table -> int
+  (** Number of distinct keys interned so far. *)
+end
 
 val strictify : (Var.t -> Var.t -> int -> formula) -> formula -> formula
 (** [strictify expand_dist φ] rewrites into the strict grammar of

@@ -91,13 +91,34 @@ let make_handles () =
     sweep_ns = Foc_obs.Metrics.histogram r "sweep.ns";
   }
 
-type t = { cfg : config; m : handles; mutable fresh : int }
+(* Artifact injection points: a session layer (or the per-call memo
+   installed by default, see [with_artifacts]) supplies expensive
+   per-structure artifacts — neighbourhood covers, ball-cache contexts,
+   Hanf class partitions — instead of the engine rebuilding them at every
+   cl-term call site. All three artifacts are result-neutral: covers and
+   class partitions are deterministic functions of the structure, and ball
+   caches only trade memory for time. *)
+type artifacts = {
+  art_cover : Foc_data.Structure.t -> rc:int -> Foc_graph.Cover.t;
+  art_ctx : (Foc_data.Structure.t -> r:int -> Pattern_count.ctx) option;
+  art_hanf :
+    (Foc_data.Structure.t -> tr:int -> (string * int list) list) option;
+}
+
+type t = {
+  cfg : config;
+  m : handles;
+  mutable fresh : int;
+  mutable art : artifacts option;
+}
 
 let create ?(config = default_config) () =
   (match config.trace_file with
   | Some _ -> Foc_obs.Trace.enable ()
   | None -> ());
-  { cfg = config; m = make_handles (); fresh = 0 }
+  { cfg = config; m = make_handles (); fresh = 0; art = None }
+
+let set_artifacts t art = t.art <- art
 
 let stats t =
   let cv = Foc_obs.Metrics.Counter.value
@@ -180,7 +201,10 @@ let count_cl t cl =
   Foc_obs.Metrics.Counter.inc t.m.clterms_built;
   Foc_obs.Metrics.Counter.add t.m.basic_terms (Clterm.basic_count cl)
 
-let build_cover t a ~rc =
+(* raw builders: [engine.covers_built] counts *actual* constructions, so
+   artifact-cache hit rates are visible as the gap between call sites
+   reached and covers built *)
+let make_cover t a ~rc =
   let cover =
     Foc_obs.span ~name:"cover" (fun () ->
         Foc_graph.Cover.make (Structure.gaifman a) ~r:rc)
@@ -188,21 +212,88 @@ let build_cover t a ~rc =
   Foc_obs.Metrics.Counter.inc t.m.covers_built;
   cover
 
+let make_pattern_ctx t a ~r =
+  Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a ~r
+
+let cover_for t a ~rc =
+  match t.art with
+  | Some art -> art.art_cover a ~rc
+  | None -> make_cover t a ~rc
+
+let ctx_for t a ~r =
+  match t.art with
+  | Some { art_ctx = Some f; _ } -> f a ~r
+  | _ -> make_pattern_ctx t a ~r
+
+let hanf_classes_for t a =
+  match t.art with
+  | Some { art_hanf = Some f; _ } -> Some (fun ~r -> f a ~tr:r)
+  | _ -> None
+
+(* Per-call artifact memo, installed around every public entry point when
+   no session supplied its own artifacts: covers are keyed by (Gaifman
+   graph, radius) — by *physical* graph identity, so the stratification
+   strata (which share the graph, see {!Foc_data.Structure.expand}) share
+   covers too — and contexts by (structure, radius). This in particular
+   deduplicates the cover the Direct and Cover paths used to rebuild at
+   both cl-term call sites of a single evaluation. *)
+let default_artifacts t =
+  let covers = ref [] in
+  let ctxs = ref [] in
+  let tbl_for cell key =
+    match List.assq_opt key !cell with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        cell := (key, tbl) :: !cell;
+        tbl
+  in
+  let memo tbl key build =
+    match Hashtbl.find_opt tbl key with
+    | Some v -> v
+    | None ->
+        let v = build () in
+        Hashtbl.add tbl key v;
+        v
+  in
+  {
+    art_cover =
+      (fun a ~rc ->
+        memo (tbl_for covers (Structure.gaifman a)) rc (fun () ->
+            make_cover t a ~rc));
+    art_ctx =
+      Some
+        (fun a ~r -> memo (tbl_for ctxs a) r (fun () -> make_pattern_ctx t a ~r));
+    art_hanf = None;
+  }
+
+let with_artifacts t f =
+  match t.art with
+  | Some _ -> f () (* a session (or an enclosing entry point) provides them *)
+  | None ->
+      t.art <- Some (default_artifacts t);
+      Fun.protect ~finally:(fun () -> t.art <- None) f
+
+(* Direct sweeps run on a context that may be long-lived (per-call memo or
+   session cache), so the engine absorbs the per-evaluation *delta* of its
+   counters — a fresh context degenerates to the full snapshot. *)
+let with_ctx_delta t ctx f =
+  let before = Pattern_count.snapshot ctx in
+  let v = f ctx in
+  absorb t (Pattern_count.diff_snapshot (Pattern_count.snapshot ctx) before);
+  v
+
 let eval_cl_ground t a cl =
   count_cl t cl;
   let jobs = t.cfg.jobs in
   match t.cfg.backend with
   | Direct ->
       sweep t (fun () ->
-          let ctx =
-            Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
-              ~r:(cl_radius cl)
-          in
-          let v = Clterm.eval_ground ~jobs ctx cl in
-          absorb t (Pattern_count.snapshot ctx);
-          v)
+          with_ctx_delta t
+            (ctx_for t a ~r:(cl_radius cl))
+            (fun ctx -> Clterm.eval_ground ~jobs ctx cl))
   | Cover ->
-      let cover = build_cover t a ~rc:(Cover_term.required_cover_radius cl) in
+      let cover = cover_for t a ~rc:(Cover_term.required_cover_radius cl) in
       sweep t (fun () ->
           Cover_term.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
             ~stats_sink:(absorb t) t.cfg.preds a cover cl)
@@ -215,7 +306,8 @@ let eval_cl_ground t a cl =
   | Hanf ->
       sweep t (fun () ->
           Hanf_backend.eval_ground ~jobs ~cache_bytes:(cache_bytes t)
-            ~stats_sink:(absorb t) t.cfg.preds a cl)
+            ?classes_for:(hanf_classes_for t a) ~stats_sink:(absorb t)
+            t.cfg.preds a cl)
 
 let eval_cl_unary t a cl =
   count_cl t cl;
@@ -223,15 +315,11 @@ let eval_cl_unary t a cl =
   match t.cfg.backend with
   | Direct ->
       sweep t (fun () ->
-          let ctx =
-            Pattern_count.make_ctx ~cache_bytes:(cache_bytes t) t.cfg.preds a
-              ~r:(cl_radius cl)
-          in
-          let v = Clterm.eval_unary ~jobs ctx cl in
-          absorb t (Pattern_count.snapshot ctx);
-          v)
+          with_ctx_delta t
+            (ctx_for t a ~r:(cl_radius cl))
+            (fun ctx -> Clterm.eval_unary ~jobs ctx cl))
   | Cover ->
-      let cover = build_cover t a ~rc:(Cover_term.required_cover_radius cl) in
+      let cover = cover_for t a ~rc:(Cover_term.required_cover_radius cl) in
       sweep t (fun () ->
           Cover_term.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
             ~stats_sink:(absorb t) t.cfg.preds a cover cl)
@@ -243,7 +331,8 @@ let eval_cl_unary t a cl =
   | Hanf ->
       sweep t (fun () ->
           Hanf_backend.eval_unary ~jobs ~cache_bytes:(cache_bytes t)
-            ~stats_sink:(absorb t) t.cfg.preds a cl)
+            ?classes_for:(hanf_classes_for t a) ~stats_sink:(absorb t)
+            t.cfg.preds a cl)
 
 (* ---------------- stratification (Theorem 6.10) ---------------- *)
 
@@ -323,27 +412,31 @@ and eval_ground_term t a (term : Ast.term) : int =
       in
       eval_ground_count t a' ys theta'
 
-and eval_ground_count t a ys theta =
-  (* theta is Pred-free *)
-  let localized =
-    if List.length ys > t.cfg.max_width then None
-    else
-      match
-        Foc_obs.span ~name:"locality" (fun () ->
-            Locality.formula_radius theta)
-      with
-      | Locality.Local r ->
-          Foc_obs.span ~name:"decompose" (fun () ->
-              Decompose.ground_count ~max_blocks:t.cfg.max_blocks ~r ~vars:ys
-                theta)
-      | Locality.Nonlocal _ -> None
-  in
-  match localized with
+(* certify locality and cl-decompose a Pred-free ground counting kernel;
+   [None] means the baseline fallback (shared by direct evaluation and
+   sentence compilation) *)
+and localize_ground t ys theta =
+  if List.length ys > t.cfg.max_width then None
+  else
+    match
+      Foc_obs.span ~name:"locality" (fun () -> Locality.formula_radius theta)
+    with
+    | Locality.Local r ->
+        Foc_obs.span ~name:"decompose" (fun () ->
+            Decompose.ground_count ~max_blocks:t.cfg.max_blocks ~r ~vars:ys
+              theta)
+    | Locality.Nonlocal _ -> None
+
+and run_ground_count t a ys theta = function
   | Some cl -> eval_cl_ground t a cl
   | None ->
       fallback t "ground counting kernel outside the guarded fragment";
       Foc_obs.span ~name:"fallback" (fun () ->
           Foc_eval.Relalg.count t.cfg.preds a ys theta)
+
+and eval_ground_count t a ys theta =
+  (* theta is Pred-free *)
+  run_ground_count t a ys theta (localize_ground t ys theta)
 
 and eval_unary_term t a x (term : Ast.term) : int array =
   let n = Structure.order a in
@@ -414,26 +507,29 @@ let rec model_check t a (phi : Ast.formula) : bool =
 let check t a phi =
   if not (Var.Set.is_empty (Ast.free_formula phi)) then
     invalid_arg "Engine.check: not a sentence";
-  let a', phi' =
-    Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a phi)
-  in
-  let v = model_check t a' phi' in
-  maybe_export t;
-  v
+  with_artifacts t (fun () ->
+      let a', phi' =
+        Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a phi)
+      in
+      let v = model_check t a' phi' in
+      maybe_export t;
+      v)
 
 let eval_ground t a term =
   if not (Var.Set.is_empty (Ast.free_term term)) then
     invalid_arg "Engine.eval_ground: not a ground term";
-  let v = eval_ground_term t a term in
-  maybe_export t;
-  v
+  with_artifacts t (fun () ->
+      let v = eval_ground_term t a term in
+      maybe_export t;
+      v)
 
 let eval_unary t a x term =
   if not (Var.Set.subset (Ast.free_term term) (Var.Set.singleton x)) then
     invalid_arg "Engine.eval_unary: stray free variable";
-  let v = eval_unary_term t a x term in
-  maybe_export t;
-  v
+  with_artifacts t (fun () ->
+      let v = eval_unary_term t a x term in
+      maybe_export t;
+      v)
 
 let holds_unary_inner t a x phi =
   let a', phi' =
@@ -471,25 +567,26 @@ let holds_unary_inner t a x phi =
 let holds_unary t a x phi =
   if not (Var.Set.subset (Ast.free_formula phi) (Var.Set.singleton x)) then
     invalid_arg "Engine.holds_unary: stray free variable";
-  let v = holds_unary_inner t a x phi in
-  maybe_export t;
-  v
+  with_artifacts t (fun () ->
+      let v = holds_unary_inner t a x phi in
+      maybe_export t;
+      v)
 
 let check_tuple t a (q : Query.t) tuple =
   if Array.length tuple <> List.length q.head_vars then None
-  else begin
-    let elim = Query.eliminate q in
-    let bound = Query.bind_structure a elim tuple in
-    let truth = check t bound elim.sentence in
-    if not truth then Some (false, [||])
-    else begin
-      let values =
-        Array.of_list
-          (List.map (fun g -> eval_ground t bound g) elim.ground_terms)
-      in
-      Some (true, values)
-    end
-  end
+  else
+    with_artifacts t (fun () ->
+        let elim = Query.eliminate q in
+        let bound = Query.bind_structure a elim tuple in
+        let truth = check t bound elim.sentence in
+        if not truth then Some (false, [||])
+        else begin
+          let values =
+            Array.of_list
+              (List.map (fun g -> eval_ground t bound g) elim.ground_terms)
+          in
+          Some (true, values)
+        end)
 
 let run_query_inner t a (q : Query.t) =
   let n = Structure.order a in
@@ -561,6 +658,96 @@ let run_query_inner t a (q : Query.t) =
       List.rev !out
 
 let run_query t a q =
-  let v = run_query_inner t a q in
-  maybe_export t;
-  v
+  with_artifacts t (fun () ->
+      let v = run_query_inner t a q in
+      maybe_export t;
+      v)
+
+(* ---------------- compiled sentences ---------------- *)
+
+(* The per-sentence work of [check] split into a reusable prefix and a
+   cheap suffix: compilation runs stratification (including all inner
+   counting-term sweeps that materialise the fresh $P relations — the
+   dominant amortizable cost), locality certification and
+   cl-decomposition once, and stores the expanded structure plus a
+   skeleton mirroring [model_check] exactly. Running the compiled form
+   replays only the skeleton (short-circuiting ∧/∨/¬ like [model_check])
+   with each quantifier block decided through its pre-decomposed cl-term
+   — or the recorded baseline fallback. A compiled sentence is immutable
+   and valid as long as the structure it was compiled against (and, for
+   graph-radius artifacts, its Gaifman graph) is semantically unchanged;
+   the session layer tracks that invalidation. *)
+type cnode =
+  | CBool of bool
+  | CRel0 of string
+  | CNeg of cnode
+  | CAnd of cnode * cnode
+  | COr of cnode * cnode
+  | CCount of { ys : Var.t list; body : Ast.formula; cl : Clterm.t option }
+
+type compiled = { expanded : Structure.t; root : cnode }
+
+let compiled_structure c = c.expanded
+
+let compile_sentence t a phi =
+  if not (Var.Set.is_empty (Ast.free_formula phi)) then
+    invalid_arg "Engine.compile_sentence: not a sentence";
+  with_artifacts t (fun () ->
+      let a', phi' =
+        Foc_obs.span ~name:"stratify" (fun () -> elim_preds t a phi)
+      in
+      let rec comp phi =
+        match phi with
+        | Ast.True -> CBool true
+        | Ast.False -> CBool false
+        | Ast.Rel (r, [||]) -> CRel0 r
+        | Ast.Neg f -> CNeg (comp f)
+        | Ast.And (f, g) -> CAnd (comp f, comp g)
+        | Ast.Or (f, g) -> COr (comp f, comp g)
+        | Ast.Forall (y, f) -> CNeg (comp (Ast.Exists (y, Ast.neg f)))
+        | Ast.Exists _ ->
+            let rec peel acc = function
+              | Ast.Exists (y, f) -> peel (y :: acc) f
+              | f -> (List.rev acc, f)
+            in
+            let ys, body = peel [] phi in
+            CCount { ys; body; cl = localize_ground t ys body }
+        | Ast.Eq _ | Ast.Rel _ | Ast.Dist _ ->
+            invalid_arg "Engine.compile_sentence: open formula"
+        | Ast.Pred _ -> assert false (* eliminated by stratification *)
+      in
+      let v = { expanded = a'; root = comp phi' } in
+      maybe_export t;
+      v)
+
+let run_sentence t comp =
+  with_artifacts t (fun () ->
+      let a = comp.expanded in
+      let rec go = function
+        | CBool b -> b
+        | CRel0 r -> Structure.mem a r [||]
+        | CNeg c -> not (go c)
+        | CAnd (c, d) -> go c && go d
+        | COr (c, d) -> go c || go d
+        | CCount { ys; body; cl } -> run_ground_count t a ys body cl >= 1
+      in
+      let v = go comp.root in
+      maybe_export t;
+      v)
+
+(* fold another engine's counters into this one — how a session merges the
+   per-domain worker engines of a parallel batch after the join *)
+let add_stats t (s : stats) =
+  let open Foc_obs.Metrics in
+  Counter.add t.m.materialised s.materialised;
+  Counter.add t.m.clterms_built s.clterms_built;
+  Counter.add t.m.basic_terms s.basic_terms;
+  Counter.add t.m.fallbacks s.fallbacks;
+  Counter.add t.m.covers_built s.covers_built;
+  Counter.add t.m.removals s.removals;
+  Counter.add t.m.balls_computed s.balls_computed;
+  Counter.add t.m.ball_cache_hits s.ball_cache_hits;
+  Counter.add t.m.ball_cache_evictions s.ball_cache_evictions;
+  Gauge.set_max t.m.ball_cache_peak_entries s.ball_cache_peak_entries;
+  Gauge.set_max t.m.ball_cache_peak_bytes s.ball_cache_peak_bytes;
+  Counter.add t.m.bfs_visited s.bfs_visited

@@ -102,6 +102,50 @@ val create : ?config:config -> unit -> t
 val stats : t -> stats
 val config : t -> config
 
+val add_stats : t -> stats -> unit
+(** Fold another engine's counter snapshot into this engine's registry
+    (counters add, peak gauges combine as max) — used by
+    {!Foc_serve.Session} to merge per-domain worker engines after a
+    parallel batch joins. *)
+
+(** {1 Artifact injection}
+
+    Expensive per-structure artifacts — neighbourhood covers, ball-cache
+    contexts, Hanf class partitions — are obtained through replaceable
+    hooks. With no hooks installed, every public entry point installs a
+    {e per-call} memo (covers keyed by physical Gaifman graph and radius,
+    contexts by structure and radius), which already deduplicates the
+    cover the Direct and Cover paths used to rebuild at both cl-term call
+    sites of one evaluation. A session layer ({!Foc_serve.Session})
+    installs cross-query hooks instead. All artifacts are result-neutral:
+    injection can never change counts, only time and memory. *)
+
+type artifacts = {
+  art_cover : Foc_data.Structure.t -> rc:int -> Foc_graph.Cover.t;
+      (** must return [Foc_graph.Cover.make (gaifman a) ~r:rc] (memoised
+          however the provider likes) *)
+  art_ctx :
+    (Foc_data.Structure.t -> r:int -> Foc_local.Pattern_count.ctx) option;
+      (** a context for Direct sweeps over the given structure at the given
+          radius; may be long-lived — the engine absorbs per-evaluation
+          statistic deltas *)
+  art_hanf :
+    (Foc_data.Structure.t -> tr:int -> (string * int list) list) option;
+      (** must return [Foc_bd.Hanf.classes a ~r:tr] *)
+}
+
+val set_artifacts : t -> artifacts option -> unit
+(** Install (or clear) cross-call artifact hooks. While hooks are
+    installed the per-call memo is not used. *)
+
+val make_cover : t -> Foc_data.Structure.t -> rc:int -> Foc_graph.Cover.t
+(** Build a cover the way the engine would (span + [engine.covers_built]
+    counter) — the raw builder artifact providers should delegate to. *)
+
+val make_pattern_ctx :
+  t -> Foc_data.Structure.t -> r:int -> Foc_local.Pattern_count.ctx
+(** Fresh Direct-sweep context with this engine's ball-cache budget. *)
+
 val metrics : t -> Foc_obs.Metrics.t
 (** The engine's metrics registry. Counter glossary:
     [engine.materialised], [engine.clterms_built], [engine.basic_terms],
@@ -144,3 +188,27 @@ val check_tuple :
     tuple. *)
 val run_query :
   t -> Foc_data.Structure.t -> Query.t -> (int array * int array) list
+
+(** {1 Compiled sentences}
+
+    {!check} split into a reusable prefix and a cheap suffix.
+    {!compile_sentence} runs stratification (including the inner
+    counting-term sweeps that materialise the fresh [$P] relations — the
+    dominant amortizable cost), locality certification and
+    cl-decomposition once; {!run_sentence} replays only the final
+    skeleton, whose quantifier blocks evaluate their pre-decomposed
+    cl-terms (or the recorded baseline fallback).
+    [run_sentence t (compile_sentence t a φ) = check t a φ], and a
+    compiled sentence can be re-run any number of times. It stays valid
+    while [a] is semantically unchanged; {!Foc_serve.Session} tracks
+    invalidation under updates. *)
+
+type compiled
+
+val compile_sentence : t -> Foc_data.Structure.t -> Ast.formula -> compiled
+val run_sentence : t -> compiled -> bool
+
+val compiled_structure : compiled -> Foc_data.Structure.t
+(** The stratification-expanded structure the compiled skeleton runs
+    against (needed by session layers for artifact keying, concurrent
+    preparation, and invalidation bookkeeping). *)

@@ -5,7 +5,7 @@ let type_radius (b : Clterm.basic) =
   let k = Foc_graph.Pattern.k b.Clterm.pattern in
   max 1 (k * ((2 * b.Clterm.radius) + 1))
 
-let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
+let basic_vector ?(jobs = 1) ?cache_bytes ?classes_for ?stats_sink preds a
     (b : Clterm.basic) =
   let k = Foc_graph.Pattern.k b.Clterm.pattern in
   let deliver snaps =
@@ -15,6 +15,15 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
         sink
           (List.fold_left Pattern_count.add_snapshot
              Pattern_count.empty_snapshot snaps)
+  in
+  (* the class partition either comes from the caller (a session layer
+     caching Hanf keyings per radius) or is computed here; Hanf.classes is
+     deterministic and identical for every jobs setting, so the two routes
+     agree bit for bit *)
+  let classes ~jobs =
+    match classes_for with
+    | Some f -> f ~r:(type_radius b)
+    | None -> Foc_bd.Hanf.classes ~jobs a ~r:(type_radius b)
   in
   if k = 0 then begin
     let v =
@@ -29,11 +38,18 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
       Pattern_count.make_plan ctx ~pattern:b.Clterm.pattern
         ~vars:b.Clterm.vars ~body:b.Clterm.body
     in
-    let out =
-      Foc_bd.Hanf.eval_by_type a ~r:(type_radius b) (fun rep ->
-          Pattern_count.at ~plan ctx ~pattern:b.Clterm.pattern
-            ~vars:b.Clterm.vars ~body:b.Clterm.body ~anchor:rep)
-    in
+    let out = Array.make (Structure.order a) 0 in
+    List.iter
+      (fun (_, members) ->
+        match members with
+        | [] -> ()
+        | rep :: _ ->
+            let value =
+              Pattern_count.at ~plan ctx ~pattern:b.Clterm.pattern
+                ~vars:b.Clterm.vars ~body:b.Clterm.body ~anchor:rep
+            in
+            List.iter (fun v -> out.(v) <- value) members)
+      (classes ~jobs:1);
     deliver [ Pattern_count.snapshot ctx ];
     out
   end
@@ -42,9 +58,7 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
        representative per class with a per-domain context (and a per-domain
        evaluation plan, hoisted out of the per-class calls) *)
     Structure.prepare a;
-    let cls =
-      Array.of_list (Foc_bd.Hanf.classes ~jobs a ~r:(type_radius b))
-    in
+    let cls = Array.of_list (classes ~jobs) in
     let values, ctxs =
       Foc_par.tabulate_ctx ~jobs ~label:"sweep.types"
         ~make_ctx:(fun () ->
@@ -72,11 +86,11 @@ let basic_vector ?(jobs = 1) ?cache_bytes ?stats_sink preds a
     out
   end
 
-let rec eval_unary ?jobs ?cache_bytes ?stats_sink preds a = function
+let rec eval_unary ?jobs ?cache_bytes ?classes_for ?stats_sink preds a = function
   | Clterm.Const i -> Array.make (Structure.order a) i
-  | Clterm.Unary b -> basic_vector ?jobs ?cache_bytes ?stats_sink preds a b
+  | Clterm.Unary b -> basic_vector ?jobs ?cache_bytes ?classes_for ?stats_sink preds a b
   | Clterm.Ground b ->
-      let per = basic_vector ?jobs ?cache_bytes ?stats_sink preds a b in
+      let per = basic_vector ?jobs ?cache_bytes ?classes_for ?stats_sink preds a b in
       let total =
         if Foc_graph.Pattern.k b.Clterm.pattern = 0 then
           if Structure.order a > 0 && per.(0) > 0 then 1 else 0
@@ -85,14 +99,14 @@ let rec eval_unary ?jobs ?cache_bytes ?stats_sink preds a = function
       Array.make (Structure.order a) total
   | Clterm.Add (s, t) ->
       Array.map2 ( + )
-        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a s)
-        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a t)
+        (eval_unary ?jobs ?cache_bytes ?classes_for ?stats_sink preds a s)
+        (eval_unary ?jobs ?cache_bytes ?classes_for ?stats_sink preds a t)
   | Clterm.Mul (s, t) ->
       Array.map2 ( * )
-        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a s)
-        (eval_unary ?jobs ?cache_bytes ?stats_sink preds a t)
+        (eval_unary ?jobs ?cache_bytes ?classes_for ?stats_sink preds a s)
+        (eval_unary ?jobs ?cache_bytes ?classes_for ?stats_sink preds a t)
 
-let rec eval_ground ?jobs ?cache_bytes ?stats_sink preds a = function
+let rec eval_ground ?jobs ?cache_bytes ?classes_for ?stats_sink preds a = function
   | Clterm.Const i -> i
   | Clterm.Unary _ -> invalid_arg "Hanf_backend.eval_ground: unary leaf"
   | Clterm.Ground b ->
@@ -104,10 +118,10 @@ let rec eval_ground ?jobs ?cache_bytes ?stats_sink preds a = function
         else 0
       else
         Array.fold_left ( + ) 0
-          (basic_vector ?jobs ?cache_bytes ?stats_sink preds a b)
+          (basic_vector ?jobs ?cache_bytes ?classes_for ?stats_sink preds a b)
   | Clterm.Add (s, t) ->
-      eval_ground ?jobs ?cache_bytes ?stats_sink preds a s
-      + eval_ground ?jobs ?cache_bytes ?stats_sink preds a t
+      eval_ground ?jobs ?cache_bytes ?classes_for ?stats_sink preds a s
+      + eval_ground ?jobs ?cache_bytes ?classes_for ?stats_sink preds a t
   | Clterm.Mul (s, t) ->
-      eval_ground ?jobs ?cache_bytes ?stats_sink preds a s
-      * eval_ground ?jobs ?cache_bytes ?stats_sink preds a t
+      eval_ground ?jobs ?cache_bytes ?classes_for ?stats_sink preds a s
+      * eval_ground ?jobs ?cache_bytes ?classes_for ?stats_sink preds a t

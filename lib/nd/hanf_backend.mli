@@ -17,13 +17,21 @@
     [cache_bytes] bounds each context's ball cache
     ({!Foc_local.Pattern_count.make_ctx}); [stats_sink] receives the summed
     ball-cache snapshot of each basic leaf's contexts, delivered on the
-    calling domain after the parallel sweeps join. *)
+    calling domain after the parallel sweeps join.
+
+    [classes_for ~r] lets a caller supply the r-ball class partition
+    instead of recomputing it per leaf — the session layer caches
+    {!Foc_bd.Hanf.classes} results keyed by type radius. The supplied
+    partition must equal [Foc_bd.Hanf.classes a ~r] (which is
+    deterministic and identical for every [jobs]), so injection never
+    changes results. *)
 
 open Foc_logic
 
 val eval_ground :
   ?jobs:int ->
   ?cache_bytes:int ->
+  ?classes_for:(r:int -> (string * int list) list) ->
   ?stats_sink:(Foc_local.Pattern_count.snapshot -> unit) ->
   Pred.collection ->
   Foc_data.Structure.t ->
@@ -33,6 +41,7 @@ val eval_ground :
 val eval_unary :
   ?jobs:int ->
   ?cache_bytes:int ->
+  ?classes_for:(r:int -> (string * int list) list) ->
   ?stats_sink:(Foc_local.Pattern_count.snapshot -> unit) ->
   Pred.collection ->
   Foc_data.Structure.t ->

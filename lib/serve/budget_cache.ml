@@ -1,0 +1,96 @@
+(* One bounded-memory cache for every session artifact, with the
+   second-chance eviction policy of the Pattern_count ball cache (PR 2):
+   entries queue in insertion order, a hit sets a reference bit, the
+   evictor pops the oldest entry and requeues it once if the bit is set.
+   The cache never shrinks below one entry, so a capacity of 0 degenerates
+   to a one-entry cache instead of thrashing to nothing.
+
+   Entry sizes are dynamic — a cached ball context keeps growing after
+   insertion — so byte accounting is refreshed (entry count is small: one
+   per artifact, not per ball) before every trim pass. *)
+
+type ('k, 'v) entry = {
+  value : 'v;
+  mutable bytes : int;
+  mutable referenced : bool;
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+  fifo : 'k Queue.t;
+  capacity : int;  (* bytes *)
+  size : 'v -> int;
+  on_evict : 'k -> 'v -> unit;
+  mutable bytes_used : int;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~capacity ~size () =
+  {
+    tbl = Hashtbl.create 64;
+    fifo = Queue.create ();
+    capacity = max capacity 0;
+    size;
+    on_evict;
+    bytes_used = 0;
+  }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.capacity
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      e.referenced <- true;
+      Some e.value
+  | None -> None
+
+let refresh t =
+  t.bytes_used <- 0;
+  Hashtbl.iter
+    (fun _ e ->
+      e.bytes <- t.size e.value;
+      t.bytes_used <- t.bytes_used + e.bytes)
+    t.tbl
+
+let bytes_used t =
+  refresh t;
+  t.bytes_used
+
+let trim t =
+  refresh t;
+  let continue = ref true in
+  while !continue && t.bytes_used > t.capacity && Hashtbl.length t.tbl > 1 do
+    match Queue.take_opt t.fifo with
+    | None -> continue := false
+    | Some key -> (
+        match Hashtbl.find_opt t.tbl key with
+        | None -> () (* stale fifo key: removed or replaced earlier *)
+        | Some e when e.referenced && not (Queue.is_empty t.fifo) ->
+            e.referenced <- false;
+            Queue.add key t.fifo
+        | Some e ->
+            Hashtbl.remove t.tbl key;
+            t.bytes_used <- t.bytes_used - e.bytes;
+            t.on_evict key e.value)
+  done
+
+let insert t k v =
+  (match Hashtbl.find_opt t.tbl k with
+  | Some old -> t.bytes_used <- t.bytes_used - old.bytes
+  | None -> ());
+  let bytes = t.size v in
+  Hashtbl.replace t.tbl k { value = v; bytes; referenced = false };
+  Queue.add k t.fifo;
+  t.bytes_used <- t.bytes_used + bytes;
+  trim t
+
+(* explicit invalidation — not an eviction, so [on_evict] is not called *)
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some e ->
+      Hashtbl.remove t.tbl k;
+      t.bytes_used <- t.bytes_used - e.bytes
+  | None -> ()
+
+let fold t ~init ~f =
+  Hashtbl.fold (fun k e acc -> f k e.value acc) t.tbl init

@@ -1,0 +1,462 @@
+open Foc_logic
+module Engine = Foc_nd.Engine
+module Structure = Foc_data.Structure
+module Pattern_count = Foc_local.Pattern_count
+module Cover = Foc_graph.Cover
+module Metrics = Foc_obs.Metrics
+module Counter = Foc_obs.Metrics.Counter
+
+let word = Sys.word_size / 8
+
+(* ------------------------------------------------------------------ *)
+(* Artifact keys and values. Structures and Gaifman graphs are identified
+   by *physical* identity through small registries (an artifact is only
+   valid for the exact object it was built from); compiled sentences by
+   the canonical-AST intern id, so α-equivalent sentences share one
+   entry. Covers key on the graph, not the structure: stratification
+   strata share the base's Gaifman graph physically (materialised [$P]
+   relations are at most unary), so base and strata share covers too. *)
+
+type akey =
+  | KCover of int * int  (* graph id, cover radius *)
+  | KCtx of int * int  (* structure id, term radius *)
+  | KHanf of int * int  (* structure id, type radius *)
+  | KCompiled of int  (* Ast.Key id *)
+
+type aval =
+  | VCover of Cover.t
+  | VCtx of Pattern_count.ctx
+  | VHanf of (string * int list) list
+  | VCompiled of centry
+
+and centry = {
+  ckey : Ast.Key.t;
+  comp : Engine.compiled;
+  cbytes : int;  (* size estimate, fixed at compile time *)
+}
+
+let aval_bytes = function
+  | VCover c ->
+      (Cover.total_weight c + (4 * Cover.cluster_count c) + 16) * word
+  | VCtx ctx ->
+      Pattern_count.cache_resident_bytes ctx
+      + (((3 * Pattern_count.order ctx) + 16) * word)
+  | VHanf cls ->
+      List.fold_left
+        (fun acc (key, members) ->
+          acc + String.length key + (word * List.length members) + 48)
+        64 cls
+  | VCompiled e -> e.cbytes
+
+type t = {
+  eng : Engine.t;
+  mutable structure : Structure.t;
+  cache : (akey, aval) Budget_cache.t;
+  keys : Ast.Key.table;
+  mutable struct_ids : (Structure.t * int) list;
+  mutable graph_ids : (Foc_graph.Graph.t * int) list;
+  mutable next_id : int;
+  compiled_hits : Counter.t;
+  compiled_misses : Counter.t;
+  cover_hits : Counter.t;
+  cover_misses : Counter.t;
+  ctx_hits : Counter.t;
+  ctx_misses : Counter.t;
+  hanf_hits : Counter.t;
+  hanf_misses : Counter.t;
+  invalidated : Counter.t;
+  balls_dropped : Counter.t;
+}
+
+type result = bool
+
+let engine t = t.eng
+let structure t = t.structure
+let metrics t = Engine.metrics t.eng
+let stats_line t = Engine.stats_line t.eng
+let cached_artifacts t = Budget_cache.length t.cache
+let cache_bytes t = Budget_cache.bytes_used t.cache
+
+(* ------------------------------------------------------------------ *)
+(* identity registries *)
+
+let struct_id t a =
+  match List.assq_opt a t.struct_ids with
+  | Some i -> i
+  | None ->
+      let i = t.next_id in
+      t.next_id <- i + 1;
+      t.struct_ids <- (a, i) :: t.struct_ids;
+      i
+
+let graph_id t g =
+  match List.assq_opt g t.graph_ids with
+  | Some i -> i
+  | None ->
+      let i = t.next_id in
+      t.next_id <- i + 1;
+      t.graph_ids <- (g, i) :: t.graph_ids;
+      i
+
+(* Registry entries are only needed while a cache key references their id
+   (a pruned object that resurfaces just mints a fresh id — no stale cache
+   key can match it). Pruning after invalidation keeps the registries
+   O(cache entries) across long update sequences. *)
+let prune_registries t =
+  let live_sids = Hashtbl.create 16 and live_gids = Hashtbl.create 16 in
+  Budget_cache.fold t.cache ~init:() ~f:(fun k _ () ->
+      match k with
+      | KCover (g, _) -> Hashtbl.replace live_gids g ()
+      | KCtx (s, _) | KHanf (s, _) -> Hashtbl.replace live_sids s ()
+      | KCompiled _ -> ());
+  t.struct_ids <-
+    List.filter
+      (fun (a, i) -> a == t.structure || Hashtbl.mem live_sids i)
+      t.struct_ids;
+  t.graph_ids <-
+    List.filter (fun (_, i) -> Hashtbl.mem live_gids i) t.graph_ids
+
+(* ------------------------------------------------------------------ *)
+(* artifact getters — the engine's injection hooks *)
+
+let cover_for t a ~rc =
+  let key = KCover (graph_id t (Structure.gaifman a), rc) in
+  match Budget_cache.find t.cache key with
+  | Some (VCover c) ->
+      Counter.inc t.cover_hits;
+      c
+  | _ ->
+      Counter.inc t.cover_misses;
+      let c = Engine.make_cover t.eng a ~rc in
+      Budget_cache.insert t.cache key (VCover c);
+      c
+
+let ctx_for t a ~r =
+  let key = KCtx (struct_id t a, r) in
+  match Budget_cache.find t.cache key with
+  | Some (VCtx ctx) ->
+      Counter.inc t.ctx_hits;
+      ctx
+  | _ ->
+      Counter.inc t.ctx_misses;
+      let ctx = Engine.make_pattern_ctx t.eng a ~r in
+      Budget_cache.insert t.cache key (VCtx ctx);
+      ctx
+
+let hanf_for t a ~tr =
+  let key = KHanf (struct_id t a, tr) in
+  match Budget_cache.find t.cache key with
+  | Some (VHanf cls) ->
+      Counter.inc t.hanf_hits;
+      cls
+  | _ ->
+      Counter.inc t.hanf_misses;
+      let cls = Foc_bd.Hanf.classes ~jobs:1 a ~r:tr in
+      Budget_cache.insert t.cache key (VHanf cls);
+      cls
+
+let install_hooks t =
+  Engine.set_artifacts t.eng
+    (Some
+       {
+         Engine.art_cover = (fun a ~rc -> cover_for t a ~rc);
+         art_ctx = Some (fun a ~r -> ctx_for t a ~r);
+         art_hanf = Some (fun a ~tr -> hanf_for t a ~tr);
+       })
+
+let create ?(budget_mb = 256) ?config a =
+  let eng = Engine.create ?config () in
+  let m = Engine.metrics eng in
+  let counter name = Metrics.counter m name in
+  let evictions = counter "session.evictions" in
+  let cache =
+    Budget_cache.create
+      ~on_evict:(fun _ _ -> Counter.inc evictions)
+      ~capacity:(budget_mb * 1024 * 1024)
+      ~size:aval_bytes ()
+  in
+  let t =
+    {
+      eng;
+      structure = a;
+      cache;
+      keys = Ast.Key.create_table ();
+      struct_ids = [];
+      graph_ids = [];
+      next_id = 0;
+      compiled_hits = counter "session.compiled_hits";
+      compiled_misses = counter "session.compiled_misses";
+      cover_hits = counter "session.cover_hits";
+      cover_misses = counter "session.cover_misses";
+      ctx_hits = counter "session.ctx_hits";
+      ctx_misses = counter "session.ctx_misses";
+      hanf_hits = counter "session.hanf_hits";
+      hanf_misses = counter "session.hanf_misses";
+      invalidated = counter "session.invalidated";
+      balls_dropped = counter "session.balls_dropped";
+    }
+  in
+  install_hooks t;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* compiled sentences *)
+
+let compiled_for t phi =
+  let k = Ast.Key.intern t.keys phi in
+  let key = KCompiled (Ast.Key.id k) in
+  match Budget_cache.find t.cache key with
+  | Some (VCompiled e) ->
+      Counter.inc t.compiled_hits;
+      e
+  | _ ->
+      Counter.inc t.compiled_misses;
+      (* compile the canonical representative: which α-variant arrived
+         first then never matters *)
+      let comp = Engine.compile_sentence t.eng t.structure (Ast.Key.form k) in
+      let delta =
+        Structure.size (Engine.compiled_structure comp)
+        - Structure.size t.structure
+      in
+      let e = { ckey = k; comp; cbytes = (max delta 0 * 4 * word) + 1024 } in
+      Budget_cache.insert t.cache key (VCompiled e);
+      e
+
+let check t phi = Engine.run_sentence t.eng (compiled_for t phi).comp
+
+(* ------------------------------------------------------------------ *)
+(* batched evaluation *)
+
+type worker = {
+  weng : Engine.t;
+  w_cover_hits : int ref;
+  w_ctx_hits : int ref;
+  w_hanf_hits : int ref;
+  mutable w_ctxs : (Structure.t * (int, Pattern_count.ctx) Hashtbl.t) list;
+}
+
+(* Frozen read-only views for worker domains: covers and Hanf partitions
+   are immutable once built, so workers share them directly; ball
+   contexts are mutable (cache table, BFS scratch) and stay per-worker.
+   Workers never insert into the session cache and never touch the
+   session's counters — hits are tallied in plain per-worker refs and
+   merged on the calling domain after the join. *)
+let make_worker t gids sids covers hanfs () =
+  let cfg = { (Engine.config t.eng) with Engine.trace_file = None } in
+  let weng = Engine.create ~config:cfg () in
+  let w =
+    {
+      weng;
+      w_cover_hits = ref 0;
+      w_ctx_hits = ref 0;
+      w_hanf_hits = ref 0;
+      w_ctxs = [];
+    }
+  in
+  Engine.set_artifacts weng
+    (Some
+       {
+         Engine.art_cover =
+           (fun a ~rc ->
+             let frozen =
+               match List.assq_opt (Structure.gaifman a) gids with
+               | Some g -> List.assoc_opt (g, rc) covers
+               | None -> None
+             in
+             match frozen with
+             | Some c ->
+                 incr w.w_cover_hits;
+                 c
+             | None -> Engine.make_cover weng a ~rc);
+         art_ctx =
+           Some
+             (fun a ~r ->
+               let tbl =
+                 match List.assq_opt a w.w_ctxs with
+                 | Some tbl -> tbl
+                 | None ->
+                     let tbl = Hashtbl.create 4 in
+                     w.w_ctxs <- (a, tbl) :: w.w_ctxs;
+                     tbl
+               in
+               match Hashtbl.find_opt tbl r with
+               | Some ctx ->
+                   incr w.w_ctx_hits;
+                   ctx
+               | None ->
+                   let ctx = Engine.make_pattern_ctx weng a ~r in
+                   Hashtbl.add tbl r ctx;
+                   ctx);
+         art_hanf =
+           Some
+             (fun a ~tr ->
+               let frozen =
+                 match List.assq_opt a sids with
+                 | Some s -> List.assoc_opt (s, tr) hanfs
+                 | None -> None
+               in
+               match frozen with
+               | Some cls ->
+                   incr w.w_hanf_hits;
+                   cls
+               | None -> Foc_bd.Hanf.classes ~jobs:1 a ~r:tr);
+       });
+  w
+
+let run_batch ?jobs t phis =
+  Foc_obs.span ~name:"session.batch" (fun () ->
+      let n_jobs =
+        match jobs with
+        | Some j -> j
+        | None -> (Engine.config t.eng).Engine.jobs
+      in
+      (* phase 1: sequential compilation — repeats and α-variants hit the
+         compiled cache, and the inner stratification sweeps warm the
+         shared cover/context caches *)
+      let entries = List.map (fun phi -> compiled_for t phi) phis in
+      let arr = Array.of_list entries in
+      let n = Array.length arr in
+      if n_jobs <= 1 || n <= 1 then
+        List.map (fun e -> Engine.run_sentence t.eng e.comp) entries
+      else begin
+        (* phase 2: parallel across queries. Force every lazily-memoised
+           index sequentially first — workers then only read. *)
+        Structure.prepare t.structure;
+        Array.iter
+          (fun e -> Structure.prepare (Engine.compiled_structure e.comp))
+          arr;
+        let covers, hanfs =
+          Budget_cache.fold t.cache ~init:([], []) ~f:(fun k v (cov, hf) ->
+              match (k, v) with
+              | KCover (g, rc), VCover c -> (((g, rc), c) :: cov, hf)
+              | KHanf (s, tr), VHanf cls -> (cov, ((s, tr), cls) :: hf)
+              | _ -> (cov, hf))
+        in
+        let gids = t.graph_ids and sids = t.struct_ids in
+        let results, workers =
+          Foc_par.tabulate_ctx ~jobs:n_jobs ~label:"session.batch"
+            ~make_ctx:(make_worker t gids sids covers hanfs) n
+            (fun w i -> Engine.run_sentence w.weng arr.(i).comp)
+        in
+        List.iter
+          (fun w ->
+            Engine.add_stats t.eng (Engine.stats w.weng);
+            Counter.add t.cover_hits !(w.w_cover_hits);
+            Counter.add t.ctx_hits !(w.w_ctx_hits);
+            Counter.add t.hanf_hits !(w.w_hanf_hits))
+          workers;
+        Array.to_list results
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* updates and invalidation *)
+
+let mentions phi name =
+  Ast.exists_subformula
+    (function Ast.Rel (r, _) -> String.equal r name | _ -> false)
+    phi
+
+let update t name tup ~insert:ins =
+  Foc_obs.span ~name:"session.update" (fun () ->
+      let before = t.structure in
+      let arity =
+        Foc_data.Signature.arity (Structure.signature before) name
+      in
+      if Array.length tup <> arity then
+        invalid_arg
+          (Printf.sprintf "Session: %s expects arity %d, got %d" name arity
+             (Array.length tup));
+      (* Force the Gaifman memo before a unary update so the updated
+         structure physically shares it ([Structure.add_tuples] preserves
+         the memo for arity <= 1) — every cover then stays valid. *)
+      if arity <= 1 then ignore (Structure.gaifman before);
+      let after =
+        if ins then Structure.add_tuples before name [ tup ]
+        else Structure.remove_tuples before name [ tup ]
+      in
+      t.structure <- after;
+      let bid = struct_id t before in
+      let aid = struct_id t after in
+      let graph_changed = arity >= 2 in
+      (* 1. compiled sentences: an edge update invalidates everything
+         (covers, distances and Hanf types all depend on the graph); a
+         unary update only invalidates sentences that mention the touched
+         relation — a survivor's expanded structure keeps a stale copy of
+         it, but the sentence never reads it, so its answers still agree
+         with the updated structure. *)
+      let dead_compiled, dead_structs =
+        Budget_cache.fold t.cache ~init:([], []) ~f:(fun k v acc ->
+            match (k, v) with
+            | KCompiled _, VCompiled e
+              when graph_changed || mentions (Ast.Key.form e.ckey) name ->
+                let dc, ds = acc in
+                let exp = Engine.compiled_structure e.comp in
+                (k :: dc, (if exp == before then ds else exp :: ds))
+            | _ -> acc)
+      in
+      let dead_sids =
+        List.filter_map (fun s -> List.assq_opt s t.struct_ids) dead_structs
+      in
+      let kill k =
+        Budget_cache.remove t.cache k;
+        Counter.inc t.invalidated
+      in
+      List.iter kill dead_compiled;
+      (* 2. affected-centre predicate for ball contexts: a cached ball is
+         a BFS sphere of radius 2r+1, so it changes exactly when a touched
+         element lies within 2r+1 of its centre in the old or new graph
+         (the invalidation radius of Incremental.apply) *)
+      let affected =
+        if not graph_changed then fun ~r:_ _ -> false
+        else begin
+          let centres = List.sort_uniq compare (Array.to_list tup) in
+          let memo = Hashtbl.create 4 in
+          fun ~r v ->
+            let set =
+              match Hashtbl.find_opt memo r with
+              | Some s -> s
+              | None ->
+                  let radius = (2 * r) + 1 in
+                  let s = Hashtbl.create 64 in
+                  List.iter
+                    (fun st ->
+                      List.iter
+                        (fun u -> Hashtbl.replace s u ())
+                        (Structure.ball st ~centres ~radius))
+                    [ before; after ];
+                  Hashtbl.add memo r s;
+                  s
+            in
+            Hashtbl.mem set v
+        end
+      in
+      (* 3. sweep the remaining artifacts *)
+      let removals = ref [] and rebinds = ref [] in
+      Budget_cache.fold t.cache ~init:() ~f:(fun k v () ->
+          match (k, v) with
+          | KCover _, _ -> if graph_changed then removals := k :: !removals
+          | KHanf (sid, _), _ ->
+              (* Hanf types read relations, so the base partition dies on
+                 every update; partitions of surviving expanded structures
+                 stay consistent with their compiled sentences *)
+              if graph_changed || sid = bid || List.mem sid dead_sids then
+                removals := k :: !removals
+          | KCtx (sid, r), VCtx ctx ->
+              if sid = bid then rebinds := (k, r, ctx) :: !rebinds
+              else if List.mem sid dead_sids then removals := k :: !removals
+          | _ -> ());
+      List.iter kill !removals;
+      List.iter
+        (fun (k, r, ctx) ->
+          Budget_cache.remove t.cache k;
+          let ctx', dropped =
+            Pattern_count.rebind_ctx ctx after ~drop:(affected ~r)
+          in
+          Counter.add t.balls_dropped dropped;
+          Budget_cache.insert t.cache (KCtx (aid, r)) (VCtx ctx'))
+        !rebinds;
+      prune_registries t;
+      Budget_cache.trim t.cache)
+
+let insert t name tup = update t name tup ~insert:true
+let delete t name tup = update t name tup ~insert:false

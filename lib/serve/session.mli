@@ -1,0 +1,98 @@
+(** Query sessions: cross-query artifact caching and batched evaluation.
+
+    A session binds an {!Foc_nd.Engine} to one structure and amortises the
+    expensive, result-neutral artifacts across queries instead of
+    rebuilding them per call:
+
+    + {b prepared-structure artifacts} — neighbourhood covers (keyed by
+      physical Gaifman graph and radius, so stratification strata that
+      share the graph share the cover), Direct-sweep ball-cache contexts
+      (keyed by structure and radius), and Hanf r-ball class partitions;
+    + {b compiled sentences} — keyed by a canonical hash of the normalised
+      AST ({!Foc_logic.Ast.Key}), storing the stratification output
+      (materialised [$P] relations), locality certificates and
+      cl-decompositions, so α-equivalent or repeated sentences skip
+      straight to the cheap skeleton replay ({!Foc_nd.Engine.run_sentence}).
+
+    Everything lives behind {e one} bounded memory budget with the
+    second-chance eviction policy of the PR-2 ball cache. Caching is
+    result-neutral by construction: [check s φ] always equals
+    [Engine.check (engine s) (structure s) φ] on a fresh engine, for every
+    budget, batch size and jobs setting.
+
+    {!insert}/{!delete} keep the session sound under unit updates by
+    evicting exactly the radius-affected artifacts (the invalidation logic
+    of {!Foc_nd.Incremental}): a unary update preserves the Gaifman graph
+    (and thus every cover) and rebinds ball contexts wholesale, while an
+    edge update drops covers and Hanf partitions and rebinds ball contexts
+    dropping only centres within the [2r+1] threshold of the touched
+    elements.
+
+    Sessions are single-domain objects: one domain drives the session;
+    {!run_batch} parallelises {e across} queries internally with
+    per-worker engines and read-only frozen artifact views. *)
+
+type t
+
+type result = bool
+(** Batch results are sentence truth values. *)
+
+val create :
+  ?budget_mb:int -> ?config:Foc_nd.Engine.config -> Foc_data.Structure.t -> t
+(** [create ?budget_mb ?config a] — a session over [a]. [budget_mb]
+    (default 256) bounds the artifact cache; [<= 0] degenerates to a
+    one-entry cache. [config] is the engine configuration (default
+    {!Foc_nd.Engine.default_config}). *)
+
+val engine : t -> Foc_nd.Engine.t
+(** The session's engine, with the session's artifact hooks installed.
+    Calling it directly is fine — its entry points share the session's
+    caches. *)
+
+val structure : t -> Foc_data.Structure.t
+(** The current structure (reflects {!insert}/{!delete}). *)
+
+val check : t -> Foc_logic.Ast.formula -> bool
+(** Model-check a sentence, reusing every cached artifact and the compiled
+    form of any α-equivalent sentence seen before. *)
+
+val run_batch : ?jobs:int -> t -> Foc_logic.Ast.formula list -> result list
+(** Evaluate a batch of sentences, sharing one artifact build across all
+    of them. Phase 1 compiles each sentence sequentially (cache hits for
+    repeats); phase 2 runs the compiled skeletons — sequentially for
+    [jobs <= 1], else across [jobs] domains ({!Foc_par}) with per-worker
+    engines reading frozen snapshots of the session's covers and Hanf
+    partitions (ball contexts are per-worker; the session's mutable caches
+    are never shared across domains). [jobs] defaults to the engine
+    config's [jobs]. Results are bit-identical for every [jobs] and equal
+    to evaluating each sentence on a fresh engine. Worker engine counters
+    are merged into the session engine after the join. *)
+
+val insert : t -> string -> int array -> unit
+(** [insert s r tup] adds a tuple and invalidates exactly the affected
+    artifacts (see the module description). Raises [Not_found] for an
+    unknown relation, [Invalid_argument] on an arity mismatch. *)
+
+val delete : t -> string -> int array -> unit
+(** Tuple removal, same invalidation contract as {!insert}. *)
+
+val metrics : t -> Foc_obs.Metrics.t
+(** The session engine's registry. Session counters:
+    [session.compiled_hits]/[session.compiled_misses],
+    [session.cover_hits]/[session.cover_misses],
+    [session.ctx_hits]/[session.ctx_misses],
+    [session.hanf_hits]/[session.hanf_misses], [session.evictions]
+    (budget-pressure evictions), [session.invalidated] (artifacts dropped
+    by {!insert}/{!delete}), [session.balls_dropped] (cached balls
+    invalidated inside rebound contexts). *)
+
+val stats_line : t -> string
+(** One logfmt line with all engine and session metrics
+    ({!Foc_nd.Engine.stats_line} on the session engine). *)
+
+val cached_artifacts : t -> int
+(** Number of artifacts currently resident (diagnostic). *)
+
+val cache_bytes : t -> int
+(** Approximate bytes resident in the artifact cache (diagnostic;
+    recomputes dynamic entry sizes). *)

@@ -86,6 +86,50 @@ let test_sql_pipeline () =
        db_file)
     [ "FOC1>"; "rows" ]
 
+let test_batch () =
+  (* batch answers must round-trip against individual check runs, and the
+     warm session must report cache hits *)
+  let queries_file = Filename.temp_file "foc_cli_batch" ".txt" in
+  let srcs =
+    [
+      "exists x. (#(y). E(x,y)) >= 1";
+      "exists x. prime(#(y). (E(x,y) | E(y,x)))";
+      "#(x,y). (E(x,y) & B(y)) >= 40";
+    ]
+  in
+  let oc = open_out queries_file in
+  output_string oc "# batch smoke queries\n\n";
+  List.iter (fun s -> output_string oc (s ^ "\n")) srcs;
+  close_out oc;
+  let rc, out =
+    run
+      (Printf.sprintf "batch -s %s --repeat 2 --stats -j 1 %s" structure_file
+         queries_file)
+  in
+  Sys.remove queries_file;
+  Alcotest.(check int) "batch exit code" 0 rc;
+  let expected =
+    List.map
+      (fun src ->
+        let _, one = run (Printf.sprintf "check -s %s \"%s\"" structure_file src) in
+        contains one "true")
+      srcs
+  in
+  let batch_lines =
+    String.split_on_char '\n' out
+    |> List.filter (fun l -> l = "true" || l = "false")
+    |> List.map (fun l -> l = "true")
+  in
+  Alcotest.(check (list bool)) "batch = per-query check" expected batch_lines;
+  Alcotest.(check bool)
+    ("warm session reports compiled hits: " ^ out)
+    true
+    (contains out "session.compiled_hits=3");
+  Alcotest.(check bool)
+    ("stats include session counters: " ^ out)
+    true
+    (contains out "session.evictions=")
+
 let test_parse_error_exit () =
   let rc, _ = run (Printf.sprintf "check -s %s \"E(x\"" structure_file) in
   Alcotest.(check bool) "nonzero exit on parse error" true (rc <> 0)
@@ -101,6 +145,7 @@ let () =
           Alcotest.test_case "query" `Quick test_query;
           Alcotest.test_case "explain" `Quick test_explain;
           Alcotest.test_case "gendb + sql" `Quick test_sql_pipeline;
+          Alcotest.test_case "batch round-trip" `Quick test_batch;
           Alcotest.test_case "parse error exit" `Quick test_parse_error_exit;
         ] );
     ]

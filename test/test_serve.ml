@@ -1,0 +1,302 @@
+(* Tests for the session layer (lib/serve): cross-query artifact caching,
+   batched evaluation, budget eviction and update invalidation — plus the
+   canonical-AST machinery (Ast.canonical / Ast.hash_formula / Ast.Key)
+   compiled sentences are keyed by, and the engine's per-call cover memo.
+
+   The master property throughout: a session is a pure performance layer —
+   every answer must be identical to a fresh engine evaluating the same
+   sentence on the session's current structure. *)
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+let structure n seed =
+  let rng = Random.State.make [| n; seed |] in
+  coloured seed (Foc.Gen.random_bounded_degree rng n 3)
+
+let config backend jobs =
+  { Foc.Engine.default_config with Foc.Engine.backend; jobs }
+
+let fresh_check backend a phi =
+  Foc.Engine.check (Foc.Engine.create ~config:(config backend 1) ()) a phi
+
+let counter_value s name =
+  Foc.Obs.Metrics.Counter.value
+    (Foc.Obs.Metrics.counter (Foc.Session.metrics s) name)
+
+(* ---------------- generators ---------------- *)
+
+(* random r-local bodies over the coloured-digraph signature, as in
+   test_par *)
+let body_gen =
+  let open QCheck.Gen in
+  let atom = oneofl [ "E(x,y)"; "E(y,x)"; "B(y)"; "R(y)"; "G(y)"; "R(x)" ] in
+  let literal = map2 (fun neg a -> if neg then "!" ^ a else a) bool atom in
+  let connective = oneofl [ " & "; " | " ] in
+  map3
+    (fun l1 op l2 -> "(" ^ l1 ^ op ^ l2 ^ ")")
+    literal connective literal
+
+(* closed FOC(P) sentences exercising quantifier peeling, numeric
+   predicates and stratification (the inner prime(..) forms materialise a
+   fresh $P relation at compile time) *)
+let sentence_gen =
+  let open QCheck.Gen in
+  body_gen >>= fun body ->
+  int_range 1 3 >>= fun k ->
+  oneofl
+    [
+      Printf.sprintf "exists x. #(y). %s >= %d" body k;
+      Printf.sprintf "#(x,y). %s >= %d" body (3 * k);
+      Printf.sprintf "exists x. prime(#(y). %s)" body;
+      Printf.sprintf "#(x). prime(#(y). %s) >= %d" body k;
+      Printf.sprintf "forall x. #(y). %s <= %d" body (k + 3);
+    ]
+
+let parse src = Foc.parse_formula src
+
+(* ---------------- sessions agree with fresh engines ---------------- *)
+
+let arb_batch_case =
+  QCheck.make
+    ~print:(fun (n, seed, srcs) ->
+      Printf.sprintf "n=%d seed=%d [%s]" n seed (String.concat "; " srcs))
+    QCheck.Gen.(
+      triple (int_range 8 24) (int_range 0 10000)
+        (list_size (return 3) sentence_gen))
+
+let prop_session backend name =
+  QCheck.Test.make ~name ~count:12 arb_batch_case (fun (n, seed, srcs) ->
+      let a = structure n seed in
+      let phis = List.map parse srcs in
+      let expected = List.map (fun phi -> fresh_check backend a phi) phis in
+      let s = Foc.Session.create ~config:(config backend 1) a in
+      let cold = Foc.Session.run_batch ~jobs:1 s phis in
+      let par = Foc.Session.run_batch ~jobs:4 s phis in
+      let warm = List.map (fun phi -> Foc.Session.check s phi) phis in
+      cold = expected && par = expected && warm = expected)
+
+(* ---------------- warm-path hit counters ---------------- *)
+
+(* bound-variable renaming for α-variants (test sentences never shadow) *)
+let rec rn_f m = function
+  | (Foc.Ast.True | Foc.Ast.False) as f -> f
+  | Foc.Ast.Eq (a, b) -> Foc.Ast.Eq (rn m a, rn m b)
+  | Foc.Ast.Rel (r, xs) -> Foc.Ast.Rel (r, Array.map (rn m) xs)
+  | Foc.Ast.Dist (a, b, d) -> Foc.Ast.Dist (rn m a, rn m b, d)
+  | Foc.Ast.Neg g -> Foc.Ast.Neg (rn_f m g)
+  | Foc.Ast.Or (g, h) -> Foc.Ast.Or (rn_f m g, rn_f m h)
+  | Foc.Ast.And (g, h) -> Foc.Ast.And (rn_f m g, rn_f m h)
+  | Foc.Ast.Exists (y, g) -> Foc.Ast.Exists (rn m y, rn_f m g)
+  | Foc.Ast.Forall (y, g) -> Foc.Ast.Forall (rn m y, rn_f m g)
+  | Foc.Ast.Pred (p, ts) -> Foc.Ast.Pred (p, List.map (rn_t m) ts)
+
+and rn_t m = function
+  | Foc.Ast.Int i -> Foc.Ast.Int i
+  | Foc.Ast.Count (ys, g) -> Foc.Ast.Count (List.map (rn m) ys, rn_f m g)
+  | Foc.Ast.Add (s, u) -> Foc.Ast.Add (rn_t m s, rn_t m u)
+  | Foc.Ast.Mul (s, u) -> Foc.Ast.Mul (rn_t m s, rn_t m u)
+
+and rn m x = match List.assoc_opt x m with Some y -> y | None -> x
+
+let alpha = rn_f [ ("x", "u"); ("y", "v") ]
+
+let test_warm_hits () =
+  let a = structure 30 11 in
+  let phi = parse "exists x. prime(#(y). (E(x,y) | E(y,x)))" in
+  let s = Foc.Session.create ~config:(config Foc.Engine.Direct 1) a in
+  let r1 = Foc.Session.check s phi in
+  let r2 = Foc.Session.check s phi in
+  let r3 = Foc.Session.check s (alpha phi) in
+  Alcotest.(check bool) "repeat agrees" r1 r2;
+  Alcotest.(check bool) "alpha-variant agrees" r1 r3;
+  Alcotest.(check bool)
+    "matches fresh engine" r1
+    (fresh_check Foc.Engine.Direct a phi);
+  Alcotest.(check int) "one compile" 1
+    (counter_value s "session.compiled_misses");
+  Alcotest.(check int) "two compiled hits" 2
+    (counter_value s "session.compiled_hits");
+  Alcotest.(check bool) "ctx reused across queries" true
+    (counter_value s "session.ctx_hits" > 0)
+
+(* ---------------- budget pressure ---------------- *)
+
+let test_zero_budget () =
+  let a = structure 24 5 in
+  let srcs =
+    [
+      "exists x. #(y). (E(x,y) | E(y,x)) >= 2";
+      "exists x. prime(#(y). (B(y) & E(x,y)))";
+      "#(x,y). (E(x,y) & G(y)) >= 4";
+      "forall x. #(y). E(y,x) <= 3";
+    ]
+  in
+  let phis = List.map parse srcs in
+  let expected =
+    List.map (fun phi -> fresh_check Foc.Engine.Direct a phi) phis
+  in
+  let s = Foc.Session.create ~budget_mb:0 ~config:(config Foc.Engine.Direct 1) a in
+  let got = Foc.Session.run_batch ~jobs:1 s phis in
+  let again = Foc.Session.run_batch ~jobs:1 s phis in
+  Alcotest.(check (list bool)) "zero-budget batch agrees" expected got;
+  Alcotest.(check (list bool)) "second round still agrees" expected again;
+  Alcotest.(check bool) "budget evicted something" true
+    (counter_value s "session.evictions" > 0);
+  Alcotest.(check bool) "cache stayed near-empty" true
+    (Foc.Session.cached_artifacts s <= 2)
+
+(* ---------------- update invalidation ---------------- *)
+
+let arb_update_case =
+  let op =
+    QCheck.Gen.(
+      quad bool bool (int_range 0 1000) (int_range 0 1000))
+  in
+  QCheck.make
+    ~print:(fun (n, seed, body, ops) ->
+      Printf.sprintf "n=%d seed=%d %s ops=%s" n seed body
+        (String.concat ","
+           (List.map
+              (fun (ins, unary, u, v) ->
+                Printf.sprintf "%c%c(%d,%d)"
+                  (if ins then '+' else '-')
+                  (if unary then 'R' else 'E')
+                  u v)
+              ops)))
+    QCheck.Gen.(
+      quad (int_range 8 20) (int_range 0 10000) body_gen
+        (list_size (int_range 2 5) op))
+
+let prop_invalidation backend name =
+  QCheck.Test.make ~name ~count:10 arb_update_case
+    (fun (n, seed, body, ops) ->
+      let a = structure n seed in
+      let phi1 = parse (Printf.sprintf "exists x. #(y). %s >= 2" body) in
+      let phi2 = parse (Printf.sprintf "exists x. prime(#(y). %s)" body) in
+      let s = Foc.Session.create ~config:(config backend 1) a in
+      (* warm every cache before the first update *)
+      ignore (Foc.Session.run_batch ~jobs:1 s [ phi1; phi2 ]);
+      List.for_all
+        (fun (ins, unary, u, v) ->
+          let name = if unary then "R" else "E" in
+          let tup =
+            if unary then [| u mod n |] else [| u mod n; v mod n |]
+          in
+          if ins then Foc.Session.insert s name tup
+          else Foc.Session.delete s name tup;
+          let b = Foc.Session.structure s in
+          Foc.Session.check s phi1 = fresh_check backend b phi1
+          && Foc.Session.check s phi2 = fresh_check backend b phi2)
+        ops)
+
+(* ---------------- engine cover memo (satellite a) ---------------- *)
+
+let test_cover_dedup () =
+  let a = structure 40 3 in
+  let eng = Foc.Engine.create ~config:(config Foc.Engine.Cover 1) () in
+  (* one evaluation, two same-radius counting terms: before the per-call
+     artifact memo the Cover back-end built the cover once per term *)
+  let t =
+    Foc.parse_term "(#(x,y). (E(x,y) & B(y))) + (#(x,y). (E(x,y) & G(y)))"
+  in
+  ignore (Foc.Engine.eval_ground eng a t);
+  let st = Foc.Engine.stats eng in
+  Alcotest.(check int) "cover built exactly once" 1
+    st.Foc.Engine.covers_built
+
+(* ---------------- canonical AST properties ---------------- *)
+
+let arb_sentence = QCheck.make ~print:Fun.id sentence_gen
+
+let prop_canonical_idempotent =
+  QCheck.Test.make ~name:"canonical idempotent" ~count:100 arb_sentence
+    (fun src ->
+      let f = parse src in
+      Foc.Ast.equal_formula
+        (Foc.Ast.canonical (Foc.Ast.canonical f))
+        (Foc.Ast.canonical f))
+
+let prop_alpha_invariant =
+  QCheck.Test.make ~name:"alpha-variants share canonical form and hash"
+    ~count:100 arb_sentence (fun src ->
+      let f = parse src in
+      let g = alpha f in
+      Foc.Ast.equal_formula (Foc.Ast.canonical f) (Foc.Ast.canonical g)
+      && Foc.Ast.hash_formula (Foc.Ast.canonical f)
+         = Foc.Ast.hash_formula (Foc.Ast.canonical g))
+
+let prop_commutative =
+  QCheck.Test.make ~name:"and/or commute under canonicalization" ~count:100
+    (QCheck.pair arb_sentence arb_sentence) (fun (s1, s2) ->
+      let f = parse s1 and g = parse s2 in
+      Foc.Ast.equal_formula
+        (Foc.Ast.canonical (Foc.Ast.And (f, g)))
+        (Foc.Ast.canonical (Foc.Ast.And (g, f)))
+      && Foc.Ast.equal_formula
+           (Foc.Ast.canonical (Foc.Ast.Or (f, g)))
+           (Foc.Ast.canonical (Foc.Ast.Or (g, f))))
+
+let prop_hash_agrees =
+  QCheck.Test.make ~name:"hash agrees with equality on canonical forms"
+    ~count:100
+    (QCheck.pair arb_sentence arb_sentence) (fun (s1, s2) ->
+      let a = Foc.Ast.canonical (parse s1)
+      and b = Foc.Ast.canonical (parse s2) in
+      (not (Foc.Ast.equal_formula a b))
+      || Foc.Ast.hash_formula a = Foc.Ast.hash_formula b)
+
+let prop_key_interning =
+  QCheck.Test.make ~name:"Key.intern identifies alpha-variants" ~count:100
+    arb_sentence (fun src ->
+      let f = parse src in
+      let tbl = Foc.Ast.Key.create_table () in
+      let k1 = Foc.Ast.Key.intern tbl f in
+      let k2 = Foc.Ast.Key.intern tbl (alpha f) in
+      Foc.Ast.Key.equal k1 k2
+      && Foc.Ast.Key.id k1 = Foc.Ast.Key.id k2
+      && Foc.Ast.Key.interned tbl = 1)
+
+let () =
+  Alcotest.run "session layer"
+    [
+      ( "session = fresh engine",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_session Foc.Engine.Direct "direct: batch/warm/parallel");
+          QCheck_alcotest.to_alcotest
+            (prop_session Foc.Engine.Cover "cover: batch/warm/parallel");
+          QCheck_alcotest.to_alcotest
+            (prop_session
+               (Foc.Engine.Splitter { max_rounds = 4; small = 32 })
+               "splitter: batch/warm/parallel");
+          QCheck_alcotest.to_alcotest
+            (prop_session Foc.Engine.Hanf "hanf: batch/warm/parallel");
+        ] );
+      ( "caching behaviour",
+        [
+          Alcotest.test_case "warm-path hit counters" `Quick test_warm_hits;
+          Alcotest.test_case "zero budget stays correct" `Quick
+            test_zero_budget;
+          Alcotest.test_case "per-call cover memo" `Quick test_cover_dedup;
+        ] );
+      ( "update invalidation",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_invalidation Foc.Engine.Direct "direct: updates agree");
+          QCheck_alcotest.to_alcotest
+            (prop_invalidation Foc.Engine.Cover "cover: updates agree");
+          QCheck_alcotest.to_alcotest
+            (prop_invalidation Foc.Engine.Hanf "hanf: updates agree");
+        ] );
+      ( "canonical AST",
+        [
+          QCheck_alcotest.to_alcotest prop_canonical_idempotent;
+          QCheck_alcotest.to_alcotest prop_alpha_invariant;
+          QCheck_alcotest.to_alcotest prop_commutative;
+          QCheck_alcotest.to_alcotest prop_hash_agrees;
+          QCheck_alcotest.to_alcotest prop_key_interning;
+        ] );
+    ]
