@@ -1155,6 +1155,194 @@ let e14 () =
     "(warm/fresh is the headline: the compiled cache removes the per-query \
      stratification sweep)\n"
 
+(* ================= E15: the query-server daemon ================= *)
+
+(* A closed-loop load generator against a real [foc serve] daemon on a
+   unix socket: N reader clients re-issue checks as fast as answers come
+   back while one writer client applies inserts/deletes. Every response
+   carries the structure version it was evaluated on and the single
+   writer makes versions dense, so afterwards the write log is replayed
+   into one structure per version and every recorded answer is checked
+   against a fresh sequential engine — the bit-identical-under-load gate
+   (exit 1 on any disagreement). *)
+let e15 () =
+  header "E15  foc serve: concurrent clients, mixed read/write"
+    "claim: the daemon multiplexes concurrent clients onto one shared \
+     session with every answer bit-identical to a fresh sequential engine \
+     at the version it was served; batching consecutive checks keeps \
+     per-request latency flat as readers are added";
+  let module P = Foc.Server_protocol in
+  let agree_all = ref true in
+  let note_agree tag ok =
+    if not ok then begin
+      agree_all := false;
+      Printf.printf "!! DISAGREEMENT: %s\n" tag
+    end
+  in
+  let n = if !smoke then 150 else if !quick then 400 else 800 in
+  let reads_per_client = if !smoke then 25 else if !quick then 60 else 120 in
+  let writes_total = if !smoke then 8 else if !quick then 24 else 48 in
+  let client_counts =
+    if !smoke then [ 8 ] else if !quick then [ 2; 8 ] else [ 1; 2; 4; 8 ]
+  in
+  let queries =
+    [|
+      "exists x. #(y). E(x,y) >= 2";
+      "exists x. prime(#(y). (E(x,y) | E(y,x)))";
+      "#(x,y). (E(x,y) & B(y)) >= 3";
+      "forall x. #(y). E(y,x) <= 3";
+      "exists x. (#(y). (E(x,y) & R(y))) >= 1";
+      "#(x). prime(#(y). E(x,y)) >= 2";
+    |]
+  in
+  let parsed = Array.map parse queries in
+  let rng = Random.State.make [| 15; n |] in
+  let a = coloured_structure 15 (Foc.Gen.random_bounded_degree rng n 3) in
+  let fresh_check b phi =
+    Foc.Engine.check
+      (Foc.Engine.create
+         ~config:{ Foc.Engine.default_config with jobs = 1 }
+         ())
+      b phi
+  in
+  let writes =
+    List.init writes_total (fun i ->
+        let u = ((7 * i) + 1) mod n and v = ((11 * i) + 3) mod n in
+        (i mod 3 <> 2, [| u; v |]))
+  in
+  let percentile sorted q =
+    let m = Array.length sorted in
+    if m = 0 then 0.
+    else sorted.(int_of_float (q *. float_of_int (m - 1)))
+  in
+  Printf.printf "\n-- closed-loop load, %d reads/client + %d writes (n=%d)\n"
+    reads_per_client writes_total n;
+  Printf.printf "%8s | %10s %10s | %9s %9s %9s | %6s\n" "clients" "wall"
+    "req/s" "p50 ms" "p95 ms" "p99 ms" "agree";
+  List.iter
+    (fun clients ->
+      let path =
+        Printf.sprintf "/tmp/foc-e15-%d-%d.sock" (Unix.getpid ()) clients
+      in
+      let cfg =
+        { (Foc.Server.default_config (Foc.Server.Unix_sock path)) with
+          jobs = 2 }
+      in
+      let srv = Foc.Server.start cfg a in
+      let errors = ref [] in
+      let fail_m = Mutex.create () in
+      let failed msg =
+        Mutex.lock fail_m;
+        errors := msg :: !errors;
+        Mutex.unlock fail_m
+      in
+      let write_log = ref [] in
+      let writer () =
+        let c = Foc.Server_client.connect (Foc.Server.address srv) in
+        List.iter
+          (fun (ins, tup) ->
+            let req = if ins then P.Insert ("E", tup) else P.Delete ("E", tup) in
+            match Foc.Server_client.rpc c req with
+            | P.Done v -> write_log := (v, ins, tup) :: !write_log
+            | r -> failed ("write failed: " ^ P.response_line r))
+          writes;
+        Foc.Server_client.close c
+      in
+      let reader_results =
+        Array.init clients (fun _ -> ref ([] : (int * int * bool) list))
+      in
+      let latencies = Array.init clients (fun _ -> ref ([] : float list)) in
+      let reader k () =
+        let c = Foc.Server_client.connect (Foc.Server.address srv) in
+        for i = 0 to reads_per_client - 1 do
+          let qi = (k + (3 * i)) mod Array.length queries in
+          let resp, dt =
+            time (fun () -> Foc.Server_client.rpc c (P.Check queries.(qi)))
+          in
+          latencies.(k) := dt :: !(latencies.(k));
+          match resp with
+          | P.Bool (b, v) -> reader_results.(k) := (qi, v, b) :: !(reader_results.(k))
+          | r -> failed ("read failed: " ^ P.response_line r)
+        done;
+        Foc.Server_client.close c
+      in
+      let wall =
+        time_only (fun () ->
+            let threads =
+              Thread.create writer ()
+              :: List.init clients (fun k -> Thread.create (reader k) ())
+            in
+            List.iter Thread.join threads)
+      in
+      Foc.Server.stop srv;
+      List.iter (fun m -> note_agree (Printf.sprintf "E15 c=%d %s" clients m) false)
+        !errors;
+      (* replay the write log and verify every (query, version, answer) *)
+      let log = List.sort compare !write_log in
+      note_agree
+        (Printf.sprintf "E15 c=%d: all %d writes applied" clients writes_total)
+        (List.length log = writes_total);
+      let structures = Array.make (List.length log + 1) a in
+      List.iteri
+        (fun i (v, ins, tup) ->
+          note_agree
+            (Printf.sprintf "E15 c=%d: dense versions (%d at %d)" clients v
+               (i + 1))
+            (v = i + 1);
+          structures.(i + 1) <-
+            (if ins then Foc.Structure.add_tuples structures.(i) "E" [ tup ]
+             else Foc.Structure.remove_tuples structures.(i) "E" [ tup ]))
+        log;
+      let expected = Hashtbl.create 64 in
+      let total_reads = ref 0 in
+      Array.iter
+        (fun out ->
+          List.iter
+            (fun (qi, v, got) ->
+              incr total_reads;
+              let want =
+                match Hashtbl.find_opt expected (qi, v) with
+                | Some w -> w
+                | None ->
+                    let w = fresh_check structures.(v) parsed.(qi) in
+                    Hashtbl.add expected (qi, v) w;
+                    w
+              in
+              if got <> want then
+                note_agree
+                  (Printf.sprintf "E15 c=%d: q%d at version %d" clients qi v)
+                  false)
+            !out)
+        reader_results;
+      note_agree
+        (Printf.sprintf "E15 c=%d: every read answered" clients)
+        (!total_reads = clients * reads_per_client);
+      let lat =
+        Array.of_list (List.concat_map (fun l -> !l) (Array.to_list latencies))
+      in
+      Array.sort compare lat;
+      let reqs = !total_reads + List.length log in
+      let rps = float_of_int reqs /. Float.max wall 1e-9 in
+      let p50 = percentile lat 0.50 *. 1e3
+      and p95 = percentile lat 0.95 *. 1e3
+      and p99 = percentile lat 0.99 *. 1e3 in
+      record "E15"
+        [ ("class", S "bounded_degree_3"); ("n", I n);
+          ("clients", I clients); ("reads_per_client", I reads_per_client);
+          ("writes", I writes_total); ("seconds", F wall);
+          ("requests_per_second", F rps); ("p50_ms", F p50);
+          ("p95_ms", F p95); ("p99_ms", F p99); ("agree", B !agree_all) ];
+      Printf.printf "%8d | %9.3fs %10.0f | %9.2f %9.2f %9.2f | %6b\n" clients
+        wall rps p50 p95 p99 !agree_all)
+    client_counts;
+  if not !agree_all then begin
+    Printf.printf "E15: FAILED agreement assertions\n";
+    exit 1
+  end;
+  Printf.printf
+    "(the gate: every answer re-checked offline against a fresh sequential \
+     engine at its exact version)\n"
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -1247,6 +1435,7 @@ let () =
         ("E12", e12);
         ("E13", e13);
         ("E14", e14);
+        ("E15", e15);
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments

@@ -592,6 +592,183 @@ let sql_cmd =
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src $ limit)
 
+let budget_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "budget-mb" ] ~docv:"MB"
+        ~doc:
+          "Session artifact-cache budget (MiB): covers, ball contexts, \
+           Hanf partitions and compiled sentences share this bound. \
+           $(b,0) keeps only the most recent artifact. Never changes \
+           results.")
+
+(* ---------------- serve / call ---------------- *)
+
+(* --socket PATH (Unix domain) wins over --tcp [HOST:]PORT *)
+let parse_address socket tcp =
+  match (socket, tcp) with
+  | Some path, _ -> Some (Foc.Server.Unix_sock path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p -> Some (Foc.Server.Tcp (host, p))
+          | None -> None)
+      | None -> (
+          match int_of_string_opt spec with
+          | Some p -> Some (Foc.Server.Tcp ("127.0.0.1", p))
+          | None -> None))
+  | None, None -> None
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a Unix-domain socket.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"[HOST:]PORT"
+        ~doc:"Serve on TCP (default host 127.0.0.1; port 0 picks a free one).")
+
+let serve_cmd =
+  let run structure engine jobs ball_cache_mb budget_mb socket tcp max_queue
+      client_budget max_batch log_level =
+    setup_obs ~trace:None ~metrics:false ~log_level;
+    let a = load_structure structure in
+    let address =
+      match parse_address socket tcp with
+      | Some addr -> addr
+      | None ->
+          Printf.eprintf
+            "error: serve needs --socket PATH or --tcp [HOST:]PORT\n";
+          exit 2
+    in
+    let backend =
+      match engine with
+      | `Direct -> Foc.Engine.Direct
+      | `Cover -> Foc.Engine.Cover
+      | `Splitter -> Foc.Engine.Splitter { max_rounds = 4; small = 32 }
+      | `Hanf -> Foc.Engine.Hanf
+      | `Relalg | `Naive ->
+          Printf.eprintf
+            "error: serve runs on a session engine \
+             (direct|cover|splitter|hanf)\n";
+          exit 2
+    in
+    let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
+    let cfg =
+      {
+        (Foc.Server.default_config address) with
+        Foc.Server.engine =
+          { Foc.Engine.default_config with backend; jobs = 1; ball_cache_mb };
+        budget_mb;
+        jobs;
+        max_queue;
+        client_budget;
+        max_batch;
+      }
+    in
+    let srv = Foc.Server.start cfg a in
+    (* stop gracefully on ctrl-C / TERM: drain in-flight, then exit *)
+    let on_signal _ = Thread.create (fun () -> Foc.Server.stop srv) () |> ignore in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ -> ());
+    (match Foc.Server.address srv with
+    | Foc.Server.Unix_sock path -> Printf.printf "listening on unix:%s\n%!" path
+    | Foc.Server.Tcp (host, port) ->
+        Printf.printf "listening on tcp:%s:%d\n%!" host port);
+    Foc.Server.wait srv;
+    Printf.printf "server stopped after %d writes\n" (Foc.Server.version srv)
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued requests; submissions beyond it are shed with \
+             an $(b,overloaded) error (admission control).")
+  in
+  let client_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "client-budget" ] ~docv:"N"
+          ~doc:
+            "Requests allowed per connection; once spent, requests are \
+             rejected ($(b,ping) stays free). $(b,0) = unlimited.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 32
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:
+            "Most consecutive $(b,check) requests grouped into one \
+             parallel session batch.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent query-server daemon: line-oriented JSON over \
+          a Unix or TCP socket, many clients multiplexed onto one query \
+          session (try: socat - UNIX-CONNECT:/tmp/foc.sock).")
+    Term.(
+      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      $ budget_arg $ socket_arg $ tcp_arg $ max_queue $ client_budget
+      $ max_batch $ log_level_arg)
+
+let call_cmd =
+  let run socket tcp requests =
+    let address =
+      match parse_address socket tcp with
+      | Some addr -> addr
+      | None ->
+          Printf.eprintf
+            "error: call needs --socket PATH or --tcp [HOST:]PORT\n";
+          exit 2
+    in
+    let c =
+      try Foc.Server_client.connect address
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "error: cannot connect: %s\n" (Unix.error_message e);
+        exit 1
+    in
+    let failed = ref false in
+    List.iter
+      (fun line ->
+        Foc.Server_client.send_raw c line;
+        match Foc.Server_client.recv_raw c with
+        | resp ->
+            print_endline resp;
+            (match Foc.Server_protocol.parse_response resp with
+            | Ok (_, Foc.Server_protocol.Error _) | Error _ -> failed := true
+            | Ok _ -> ())
+        | exception End_of_file ->
+            Printf.eprintf "error: server closed the connection\n";
+            exit 1)
+      requests;
+    Foc.Server_client.close c;
+    if !failed then exit 1
+  in
+  let requests =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request line(s) to send, e.g. $(b,{\"op\":\"ping\"}) — sent \
+             verbatim, one response line printed per request. Exits \
+             non-zero if any response is an error.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Send raw protocol request lines to a running $(b,foc serve).")
+    Term.(const run $ socket_arg $ tcp_arg $ requests)
+
 (* ---------------- batch ---------------- *)
 
 let batch_cmd =
@@ -667,16 +844,6 @@ let batch_cmd =
             "File of FOC(P) sentences, one per line; blank lines and \
              comment lines ($(b,#) not followed by $(b,\\()) are skipped.")
   in
-  let budget_arg =
-    Arg.(
-      value & opt int 256
-      & info [ "budget-mb" ] ~docv:"MB"
-          ~doc:
-            "Session artifact-cache budget (MiB): covers, ball contexts, \
-             Hanf partitions and compiled sentences share this bound. \
-             $(b,0) keeps only the most recent artifact. Never changes \
-             results.")
-  in
   let repeat_arg =
     Arg.(
       value & opt int 1
@@ -697,6 +864,10 @@ let batch_cmd =
       $ log_level_arg $ queries_file)
 
 let () =
+  (* a client disconnecting mid-response (or `foc ... | head`) must not
+     kill the process: surface EPIPE per-descriptor instead *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let info =
     Cmd.info "foc" ~version:"1.0.0"
       ~doc:
@@ -710,6 +881,8 @@ let () =
             check_cmd;
             count_cmd;
             batch_cmd;
+            serve_cmd;
+            call_cmd;
             query_cmd;
             gen_cmd;
             gendb_cmd;

@@ -17,6 +17,10 @@ dune exec bench/main.exe -- --only E13 --smoke
 # disagrees with a fresh engine, or if the session hit counters stay
 # zero — the agreement gate for the session layer.
 dune exec bench/main.exe -- --only E14 --smoke
+# E15 drives a real foc-serve daemon with 8 concurrent clients under
+# mixed read/write and exits non-zero if any answer disagrees with a
+# fresh sequential engine at the version it was served on.
+dune exec bench/main.exe -- --only E15 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
@@ -41,3 +45,29 @@ grep -q 'session.compiled_hits=2' /tmp/ci_batch_out.txt || {
   echo "ci: warm batch reported no compiled hits"
   exit 1
 }
+# serve/call round-trip: daemon on a unix socket, queried over the wire.
+# The binary is built above; run it directly so the daemon is a plain
+# background process we can wait on.
+FOC=_build/default/bin/foc_cli.exe
+SOCK=/tmp/ci_serve.sock
+rm -f "$SOCK"
+"$FOC" serve -s /tmp/ci_tree.foc --socket "$SOCK" &
+SERVE_PID=$!
+# poll until the daemon answers a ping (or give up after ~5s)
+i=0
+until "$FOC" call --socket "$SOCK" '{"op":"ping"}' >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "ci: serve daemon never came up"; exit 1; }
+  sleep 0.1
+done
+"$FOC" call --socket "$SOCK" \
+  '{"op":"check","query":"exists x. (#(y). E(x,y)) >= 1"}' \
+  | tee /tmp/ci_serve_out.txt
+served=$(grep -o '"result":[a-z]*' /tmp/ci_serve_out.txt | cut -d: -f2)
+[ "$served" = "$a" ] || {
+  echo "ci: served answer '$served' disagrees with direct check '$a'"
+  exit 1
+}
+"$FOC" call --socket "$SOCK" '{"op":"insert","rel":"E","tuple":[0,1]}' \
+  '{"op":"stats"}' '{"op":"shutdown"}' >/dev/null
+wait "$SERVE_PID" || { echo "ci: serve daemon exited non-zero"; exit 1; }

@@ -85,6 +85,12 @@ module Classes = Foc_nd.Classes
 module Incremental = Foc_nd.Incremental
 module Plan = Foc_nd.Plan
 module Session = Foc_serve.Session
+module Budget_cache = Foc_serve.Budget_cache
+
+(* the query-server daemon *)
+module Server = Foc_server.Server
+module Server_protocol = Foc_server.Protocol
+module Server_client = Foc_server.Client
 
 (* hardness reductions (Section 4) *)
 module Tree_encoding = Foc_hardness.Tree_encoding

@@ -25,7 +25,7 @@ type pool = {
   tasks : (int -> unit) Queue.t;
   mutable active_limit : int;
   mutable pending : int;
-  mutable failed : exn option;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
   mutable in_batch : bool;
   mutable stop : bool;
   mutable domains : unit Domain.t list;
@@ -55,9 +55,12 @@ let pool_size () =
    sequential path instead of touching the pool. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
-let record_failure e =
+(* The backtrace must be captured on the failing executor, before any
+   other OCaml code runs there — [raise e] at the join point would
+   otherwise report the submitter's stack instead of the task's. *)
+let record_failure e bt =
   Mutex.lock pool.mutex;
-  if pool.failed = None then pool.failed <- Some e;
+  if pool.failed = None then pool.failed <- Some (e, bt);
   Mutex.unlock pool.mutex
 
 let finish_task () =
@@ -80,7 +83,8 @@ let worker_loop wid () =
     else begin
       let task = Queue.pop pool.tasks in
       Mutex.unlock pool.mutex;
-      (try task wid with e -> record_failure e);
+      (try task wid
+       with e -> record_failure e (Printexc.get_raw_backtrace ()));
       finish_task ();
       loop ()
     end
@@ -135,6 +139,15 @@ let register_exit_hook () =
 let run_batch ~jobs nc (task : int -> int -> unit) =
   register_exit_hook ();
   ensure_workers (jobs - 1);
+  (* backtrace recording is per-domain: carry the submitter's setting into
+     every executor, or a failure landing on a worker spawned before
+     [Printexc.record_backtrace true] would capture an empty trace *)
+  let bt_on = Printexc.backtrace_status () in
+  let task slot c =
+    if Printexc.backtrace_status () <> bt_on then
+      Printexc.record_backtrace bt_on;
+    task slot c
+  in
   Mutex.lock pool.mutex;
   pool.in_batch <- true;
   pool.failed <- None;
@@ -149,7 +162,7 @@ let run_batch ~jobs nc (task : int -> int -> unit) =
     match Queue.take_opt pool.tasks with
     | Some t ->
         Mutex.unlock pool.mutex;
-        (try t 0 with e -> record_failure e);
+        (try t 0 with e -> record_failure e (Printexc.get_raw_backtrace ()));
         finish_task ();
         Mutex.lock pool.mutex;
         drain ()
@@ -164,7 +177,9 @@ let run_batch ~jobs nc (task : int -> int -> unit) =
   let failed = pool.failed in
   pool.failed <- None;
   Mutex.unlock pool.mutex;
-  match failed with Some e -> raise e | None -> ()
+  match failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 (* ---------------- chunking ---------------- *)
 

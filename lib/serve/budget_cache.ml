@@ -7,21 +7,32 @@
 
    Entry sizes are dynamic — a cached ball context keeps growing after
    insertion — so byte accounting is refreshed (entry count is small: one
-   per artifact, not per ball) before every trim pass. *)
+   per artifact, not per ball) before every trim pass.
+
+   Re-inserting a live key replaces its entry but cannot remove the old
+   FIFO node in O(1), so every entry carries an insertion stamp and the
+   FIFO holds (key, stamp) pairs: a popped node whose stamp no longer
+   matches the live entry is a leftover of a replaced insertion and is
+   skipped, never evicted. (Without the stamp, trim could pop the *older*
+   copy of a just-refreshed hot key and evict it while colder entries
+   survive.) A long run of replacements piles up stale nodes, so insert
+   compacts the queue when it grows well past the live entry count. *)
 
 type ('k, 'v) entry = {
   value : 'v;
   mutable bytes : int;
   mutable referenced : bool;
+  stamp : int;  (* matches the live FIFO node for this key *)
 }
 
 type ('k, 'v) t = {
   tbl : ('k, ('k, 'v) entry) Hashtbl.t;
-  fifo : 'k Queue.t;
+  fifo : ('k * int) Queue.t;
   capacity : int;  (* bytes *)
   size : 'v -> int;
   on_evict : 'k -> 'v -> unit;
   mutable bytes_used : int;
+  mutable tick : int;  (* insertion stamp source *)
 }
 
 let create ?(on_evict = fun _ _ -> ()) ~capacity ~size () =
@@ -32,6 +43,7 @@ let create ?(on_evict = fun _ _ -> ()) ~capacity ~size () =
     size;
     on_evict;
     bytes_used = 0;
+    tick = 0;
   }
 
 let length t = Hashtbl.length t.tbl
@@ -56,40 +68,63 @@ let bytes_used t =
   refresh t;
   t.bytes_used
 
+(* a FIFO node is live iff the table holds an entry with the same stamp *)
+let live t (key, stamp) =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> e.stamp = stamp
+  | None -> false
+
 let trim t =
   refresh t;
   let continue = ref true in
   while !continue && t.bytes_used > t.capacity && Hashtbl.length t.tbl > 1 do
     match Queue.take_opt t.fifo with
     | None -> continue := false
-    | Some key -> (
-        match Hashtbl.find_opt t.tbl key with
-        | None -> () (* stale fifo key: removed or replaced earlier *)
-        | Some e when e.referenced && not (Queue.is_empty t.fifo) ->
-            e.referenced <- false;
-            Queue.add key t.fifo
-        | Some e ->
-            Hashtbl.remove t.tbl key;
-            t.bytes_used <- t.bytes_used - e.bytes;
-            t.on_evict key e.value)
+    | Some ((key, _) as node) -> (
+        if live t node then
+          match Hashtbl.find t.tbl key with
+          | e when e.referenced && not (Queue.is_empty t.fifo) ->
+              e.referenced <- false;
+              Queue.add node t.fifo
+          | e ->
+              Hashtbl.remove t.tbl key;
+              t.bytes_used <- t.bytes_used - e.bytes;
+              t.on_evict key e.value)
   done
+
+(* drop stale FIFO nodes once they outnumber live entries 4:1 — keeps the
+   queue O(entries) under workloads that re-insert the same keys forever
+   (a server rebinding ball contexts on every write) *)
+let compact t =
+  if Queue.length t.fifo > 4 * (Hashtbl.length t.tbl + 1) then begin
+    let nodes = Queue.to_seq t.fifo |> List.of_seq in
+    Queue.clear t.fifo;
+    List.iter (fun n -> if live t n then Queue.add n t.fifo) nodes
+  end
 
 let insert t k v =
   (match Hashtbl.find_opt t.tbl k with
-  | Some old -> t.bytes_used <- t.bytes_used - old.bytes
+  | Some old -> t.bytes_used <- t.bytes_used - (t.size old.value)
   | None -> ());
   let bytes = t.size v in
-  Hashtbl.replace t.tbl k { value = v; bytes; referenced = false };
-  Queue.add k t.fifo;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.tbl k
+    { value = v; bytes; referenced = false; stamp = t.tick };
+  Queue.add (k, t.tick) t.fifo;
   t.bytes_used <- t.bytes_used + bytes;
+  compact t;
   trim t
 
-(* explicit invalidation — not an eviction, so [on_evict] is not called *)
+(* explicit invalidation — not an eviction, so [on_evict] is not called.
+   The byte estimate is refreshed before subtracting: a stale [e.bytes]
+   recorded at insert time could otherwise leave [bytes_used] drifting
+   (even negative) until the next trim. *)
 let remove t k =
   match Hashtbl.find_opt t.tbl k with
   | Some e ->
       Hashtbl.remove t.tbl k;
-      t.bytes_used <- t.bytes_used - e.bytes
+      e.bytes <- t.size e.value;
+      t.bytes_used <- max 0 (t.bytes_used - e.bytes)
   | None -> ()
 
 let fold t ~init ~f =

@@ -1,0 +1,32 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect (addr : Server.address) =
+  let fd, sockaddr =
+    match addr with
+    | Server.Unix_sock path ->
+        (Unix.socket PF_UNIX SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+        ( Unix.socket PF_INET SOCK_STREAM 0,
+          Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let send_raw t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_raw t = input_line t.ic
+
+let rpc ?id t req =
+  send_raw t (Protocol.request_line ?id req);
+  match Protocol.parse_response (recv_raw t) with
+  | Ok (_, resp) -> resp
+  | Error e -> failwith ("malformed response: " ^ e)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

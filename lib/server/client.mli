@@ -1,0 +1,22 @@
+(** A small blocking client for the {!Server} protocol — used by the
+    tests, the E15 load generator and the [foc call] subcommand. One
+    request in flight per client; not thread-safe (give each thread its
+    own client). *)
+
+type t
+
+val connect : Server.address -> t
+(** Raises [Unix.Unix_error] if the server is not reachable. *)
+
+val rpc : ?id:int -> t -> Protocol.request -> Protocol.response
+(** Send one request and block for its response. Raises [End_of_file] if
+    the server closes the connection, [Failure] on a malformed response
+    line. *)
+
+val send_raw : t -> string -> unit
+(** Write one raw line (malformed-input testing). *)
+
+val recv_raw : t -> string
+(** Read one raw response line. Raises [End_of_file]. *)
+
+val close : t -> unit

@@ -1,0 +1,227 @@
+(* Line-oriented JSON protocol. Reading reuses the dependency-free
+   [Foc_obs.Json] parser; writing goes through a small Buffer-based
+   emitter (ints are printed as ints, not floats, so tuples round-trip
+   exactly). *)
+
+module Json = Foc_obs.Json
+
+type request =
+  | Ping
+  | Check of string
+  | Count of string
+  | Insert of string * int array
+  | Delete of string * int array
+  | Stats
+  | Shutdown
+
+type stats = {
+  version : int;
+  connections : int;
+  served : int;
+  shed : int;
+  rejected : int;
+  disconnects : int;
+  session : string;
+}
+
+type response =
+  | Bool of bool * int
+  | Int of int * int
+  | Done of int
+  | Pong
+  | Stats_r of stats
+  | Bye
+  | Error of string
+
+(* ---------------- emit ---------------- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* fields are emitted in the order given: stable output for tests *)
+type jv = JStr of string | JInt of int | JBool of bool | JInts of int array
+        | JObj of (string * jv) list
+
+let rec emit buf = function
+  | JStr s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | JInt i -> Buffer.add_string buf (string_of_int i)
+  | JBool b -> Buffer.add_string buf (string_of_bool b)
+  | JInts a ->
+      Buffer.add_char buf '[';
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v))
+        a;
+      Buffer.add_char buf ']'
+  | JObj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          emit buf v)
+        fields
+      ;
+      Buffer.add_char buf '}'
+
+let obj_line fields =
+  let buf = Buffer.create 64 in
+  emit buf (JObj fields);
+  Buffer.contents buf
+
+let with_id id fields =
+  match id with None -> fields | Some i -> ("id", JInt i) :: fields
+
+let request_line ?id req =
+  obj_line
+    (with_id id
+       (match req with
+       | Ping -> [ ("op", JStr "ping") ]
+       | Check q -> [ ("op", JStr "check"); ("query", JStr q) ]
+       | Count t -> [ ("op", JStr "count"); ("term", JStr t) ]
+       | Insert (r, tup) ->
+           [ ("op", JStr "insert"); ("rel", JStr r); ("tuple", JInts tup) ]
+       | Delete (r, tup) ->
+           [ ("op", JStr "delete"); ("rel", JStr r); ("tuple", JInts tup) ]
+       | Stats -> [ ("op", JStr "stats") ]
+       | Shutdown -> [ ("op", JStr "shutdown") ]))
+
+let response_line ?id resp =
+  obj_line
+    (with_id id
+       (match resp with
+       | Bool (b, v) ->
+           [ ("ok", JBool true); ("result", JBool b); ("version", JInt v) ]
+       | Int (n, v) ->
+           [ ("ok", JBool true); ("result", JInt n); ("version", JInt v) ]
+       | Done v -> [ ("ok", JBool true); ("version", JInt v) ]
+       | Pong -> [ ("ok", JBool true); ("result", JStr "pong") ]
+       | Bye -> [ ("ok", JBool true); ("result", JStr "bye") ]
+       | Stats_r s ->
+           [ ("ok", JBool true);
+             ( "stats",
+               JObj
+                 [ ("version", JInt s.version);
+                   ("connections", JInt s.connections);
+                   ("served", JInt s.served);
+                   ("shed", JInt s.shed);
+                   ("rejected", JInt s.rejected);
+                   ("disconnects", JInt s.disconnects);
+                   ("session", JStr s.session) ] ) ]
+       | Error m -> [ ("ok", JBool false); ("error", JStr m) ]))
+
+(* ---------------- parse ---------------- *)
+
+let int_of_num f =
+  let i = int_of_float f in
+  if Float.of_int i = f then Some i else None
+
+let member_int k j =
+  match Json.member k j with
+  | Some (Json.Num f) -> int_of_num f
+  | _ -> None
+
+let member_str k j =
+  match Json.member k j with Some (Json.Str s) -> Some s | _ -> None
+
+let parse_id j = member_int "id" j
+
+let parse_tuple j =
+  match Json.member "tuple" j with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | Json.Num f :: rest -> (
+            match int_of_num f with
+            | Some i -> go (i :: acc) rest
+            | None -> None)
+        | _ -> None
+      in
+      go [] l
+  | _ -> None
+
+let parse_request line =
+  match Json.parse line with
+  | Error e -> Result.Error ("invalid JSON: " ^ e)
+  | Ok j -> (
+      let id = parse_id j in
+      let write mk =
+        match (member_str "rel" j, parse_tuple j) with
+        | Some r, Some tup -> Result.Ok (id, mk r tup)
+        | None, _ -> Result.Error "missing string field \"rel\""
+        | _, None -> Result.Error "missing integer-array field \"tuple\""
+      in
+      match member_str "op" j with
+      | None -> Result.Error "missing string field \"op\""
+      | Some "ping" -> Result.Ok (id, Ping)
+      | Some "check" -> (
+          match member_str "query" j with
+          | Some q -> Result.Ok (id, Check q)
+          | None -> Result.Error "missing string field \"query\"")
+      | Some "count" -> (
+          match member_str "term" j with
+          | Some t -> Result.Ok (id, Count t)
+          | None -> Result.Error "missing string field \"term\"")
+      | Some "insert" -> write (fun r tup -> Insert (r, tup))
+      | Some "delete" -> write (fun r tup -> Delete (r, tup))
+      | Some "stats" -> Result.Ok (id, Stats)
+      | Some "shutdown" -> Result.Ok (id, Shutdown)
+      | Some op -> Result.Error (Printf.sprintf "unknown op %S" op))
+
+let parse_response line =
+  match Json.parse line with
+  | Error e -> Result.Error ("invalid JSON: " ^ e)
+  | Ok j -> (
+      let id = parse_id j in
+      match Json.member "ok" j with
+      | Some (Json.Bool false) -> (
+          match member_str "error" j with
+          | Some m -> Result.Ok (id, Error m)
+          | None -> Result.Error "error response without \"error\"")
+      | Some (Json.Bool true) -> (
+          match
+            (Json.member "result" j, Json.member "stats" j,
+             member_int "version" j)
+          with
+          | Some (Json.Bool b), _, Some v -> Result.Ok (id, Bool (b, v))
+          | Some (Json.Num f), _, Some v -> (
+              match int_of_num f with
+              | Some n -> Result.Ok (id, Int (n, v))
+              | None -> Result.Error "non-integer result")
+          | Some (Json.Str "pong"), _, _ -> Result.Ok (id, Pong)
+          | Some (Json.Str "bye"), _, _ -> Result.Ok (id, Bye)
+          | None, Some stats, _ -> (
+              let geti k = member_int k stats and gets k = member_str k stats in
+              match
+                ( geti "version", geti "connections", geti "served",
+                  geti "shed", geti "rejected", geti "disconnects",
+                  gets "session" )
+              with
+              | ( Some version, Some connections, Some served, Some shed,
+                  Some rejected, Some disconnects, Some session ) ->
+                  Result.Ok
+                    ( id,
+                      Stats_r
+                        { version; connections; served; shed; rejected;
+                          disconnects; session } )
+              | _ -> Result.Error "malformed stats response")
+          | None, None, Some v -> Result.Ok (id, Done v)
+          | _ -> Result.Error "malformed ok response")
+      | _ -> Result.Error "missing boolean field \"ok\"")

@@ -1,0 +1,72 @@
+(** The wire protocol of [foc serve]: one JSON object per line, in both
+    directions. Requests carry an operation tag and its arguments;
+    responses echo the optional request [id] and carry either a result or
+    an error. The protocol is deliberately flat — no framing beyond the
+    newline, no pipelining state — so a session can be driven by hand with
+    [socat] or [nc].
+
+    Requests:
+    {v
+    {"op":"ping"}
+    {"op":"check","query":"exists x. #(y). E(x,y) >= 2","id":7}
+    {"op":"count","term":"#(x,y). E(x,y)"}
+    {"op":"insert","rel":"E","tuple":[3,4]}
+    {"op":"delete","rel":"R","tuple":[5]}
+    {"op":"stats"}
+    {"op":"shutdown"}
+    v}
+
+    Responses:
+    {v
+    {"id":7,"ok":true,"result":true,"version":3}
+    {"ok":true,"result":12,"version":3}
+    {"ok":true,"version":4}
+    {"ok":true,"result":"pong"}
+    {"ok":true,"result":"bye"}
+    {"ok":true,"stats":{...,"session":"<logfmt>"}}
+    {"ok":false,"error":"parse error at 4: ..."}
+    v}
+
+    [version] is the number of writes the server has applied; a read's
+    [version] names the exact structure snapshot it was evaluated on, which
+    is what lets a load generator replay the write log and verify every
+    answer against a fresh sequential engine. *)
+
+type request =
+  | Ping
+  | Check of string  (** FOC(P) sentence source *)
+  | Count of string  (** ground counting-term source *)
+  | Insert of string * int array  (** relation, tuple *)
+  | Delete of string * int array
+  | Stats
+  | Shutdown
+
+type stats = {
+  version : int;  (** writes applied since start *)
+  connections : int;  (** currently open client connections *)
+  served : int;  (** requests answered by the evaluator *)
+  shed : int;  (** requests rejected by queue overflow *)
+  rejected : int;  (** parse/budget/argument rejections *)
+  disconnects : int;  (** connections dropped mid-response *)
+  session : string;  (** the session's logfmt stats line *)
+}
+
+type response =
+  | Bool of bool * int  (** [check] result, structure version *)
+  | Int of int * int  (** [count] result, structure version *)
+  | Done of int  (** write applied; new version *)
+  | Pong
+  | Stats_r of stats
+  | Bye  (** shutdown acknowledged *)
+  | Error of string
+
+val request_line : ?id:int -> request -> string
+(** One JSON line (no trailing newline). *)
+
+val response_line : ?id:int -> response -> string
+
+val parse_request : string -> (int option * request, string) result
+(** Parse one request line. [Error] describes the malformation; the
+    connection is expected to survive it. *)
+
+val parse_response : string -> (int option * response, string) result

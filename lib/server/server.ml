@@ -1,0 +1,448 @@
+(* The daemon: listener + per-connection reader threads around one
+   dispatcher thread that owns the query session. See server.mli for the
+   architecture contract; the invariant to preserve everywhere is that
+   ONLY the dispatcher touches the session (its caches are single-domain
+   objects) — connection threads parse, submit, wait and write. *)
+
+module Session = Foc_serve.Session
+module Engine = Foc_nd.Engine
+
+type address = Unix_sock of string | Tcp of string * int
+
+type config = {
+  address : address;
+  engine : Engine.config;
+  budget_mb : int;
+  jobs : int;
+  max_queue : int;
+  client_budget : int;
+  max_batch : int;
+}
+
+let default_config address =
+  {
+    address;
+    engine = Engine.default_config;
+    budget_mb = 256;
+    jobs = 1;
+    max_queue = 256;
+    client_budget = 0;
+    max_batch = 32;
+  }
+
+(* a parsed request waiting for (or holding) its answer *)
+type job =
+  | JCheck of Foc_logic.Ast.formula
+  | JCount of Foc_logic.Ast.term
+  | JWrite of bool * string * int array  (* insert?, relation, tuple *)
+  | JStats
+  | JShutdown
+
+type pending = {
+  job : job;
+  mutable resp : Protocol.response option;
+  pm : Mutex.t;
+  pc : Condition.t;
+}
+
+type state = Running | Draining | Stopped
+
+type t = {
+  cfg : config;
+  sess : Session.t;
+  listen_fd : Unix.file_descr;
+  addr : address;
+  m : Mutex.t;  (* guards queue, state, counters, conns, threads *)
+  nonempty : Condition.t;
+  stopped_c : Condition.t;
+  queue : pending Queue.t;
+  mutable state : state;
+  mutable version : int;  (* writes applied; dispatcher-only writes *)
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_seq : int;
+  mutable served : int;
+  mutable shed : int;
+  mutable rejected : int;
+  mutable disconnects : int;
+  mutable conn_threads : Thread.t list;
+  mutable core_threads : Thread.t list;  (* listener + dispatcher *)
+  mutable cleaned : bool;
+}
+
+let address t = t.addr
+
+let version t =
+  Mutex.lock t.m;
+  let v = t.version in
+  Mutex.unlock t.m;
+  v
+
+(* SIGPIPE would kill the whole process when a client disconnects between
+   our write() calls; ignore it once and handle EPIPE per-connection. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ---------------- pending plumbing ---------------- *)
+
+let make_pending job =
+  { job; resp = None; pm = Mutex.create (); pc = Condition.create () }
+
+let reply p r =
+  Mutex.lock p.pm;
+  p.resp <- Some r;
+  Condition.signal p.pc;
+  Mutex.unlock p.pm
+
+let await p =
+  Mutex.lock p.pm;
+  while p.resp = None do
+    Condition.wait p.pc p.pm
+  done;
+  let r = Option.get p.resp in
+  Mutex.unlock p.pm;
+  r
+
+(* ---------------- dispatcher ---------------- *)
+
+let locked t f =
+  Mutex.lock t.m;
+  let r = f () in
+  Mutex.unlock t.m;
+  r
+
+let err_of_exn = function
+  | Not_found -> Protocol.Error "unknown relation"
+  | Invalid_argument m -> Protocol.Error m
+  | Failure m -> Protocol.Error m
+  | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e)
+
+let run_checks t group phis =
+  let v = t.version in
+  match Session.run_batch ~jobs:t.cfg.jobs t.sess phis with
+  | results ->
+      List.iter2 (fun p r -> reply p (Protocol.Bool (r, v))) group results;
+      locked t (fun () -> t.served <- t.served + List.length group)
+  | exception e ->
+      let r = err_of_exn e in
+      List.iter (fun p -> reply p r) group
+
+let run_one t p =
+  match p.job with
+  | JCheck _ -> assert false (* grouped by the caller *)
+  | JCount term ->
+      let v = t.version in
+      let r =
+        match
+          Engine.eval_ground (Session.engine t.sess)
+            (Session.structure t.sess) term
+        with
+        | n -> Protocol.Int (n, v)
+        | exception e -> err_of_exn e
+      in
+      reply p r;
+      locked t (fun () -> t.served <- t.served + 1)
+  | JWrite (ins, rel, tup) ->
+      let r =
+        match
+          if ins then Session.insert t.sess rel tup
+          else Session.delete t.sess rel tup
+        with
+        | () ->
+            t.version <- t.version + 1;
+            Protocol.Done t.version
+        | exception e ->
+            locked t (fun () -> t.rejected <- t.rejected + 1);
+            err_of_exn e
+      in
+      reply p r;
+      locked t (fun () -> t.served <- t.served + 1)
+  | JStats ->
+      let stats =
+        locked t (fun () ->
+            {
+              Protocol.version = t.version;
+              connections = Hashtbl.length t.conns;
+              served = t.served;
+              shed = t.shed;
+              rejected = t.rejected;
+              disconnects = t.disconnects;
+              session = "";
+            })
+      in
+      reply p (Protocol.Stats_r { stats with session = Session.stats_line t.sess });
+      locked t (fun () -> t.served <- t.served + 1)
+  | JShutdown ->
+      locked t (fun () -> if t.state = Running then t.state <- Draining);
+      reply p Protocol.Bye
+
+let rec dispatcher t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && t.state = Running do
+    Condition.wait t.nonempty t.m
+  done;
+  if Queue.is_empty t.queue then begin
+    (* draining and nothing left: serving is over *)
+    t.state <- Stopped;
+    Condition.broadcast t.stopped_c;
+    Mutex.unlock t.m
+  end
+  else begin
+    let p = Queue.pop t.queue in
+    match p.job with
+    | JCheck phi ->
+        (* group the run of consecutive checks behind [p] into one batch:
+           they all read the same structure version, so the session can
+           fan them out across the worker pool *)
+        let group = ref [ p ] and phis = ref [ phi ] and n = ref 1 in
+        let continue = ref true in
+        while !continue && !n < t.cfg.max_batch do
+          match Queue.peek_opt t.queue with
+          | Some { job = JCheck phi2; _ } ->
+              let p2 = Queue.pop t.queue in
+              group := p2 :: !group;
+              phis := phi2 :: !phis;
+              incr n
+          | _ -> continue := false
+        done;
+        Mutex.unlock t.m;
+        run_checks t (List.rev !group) (List.rev !phis);
+        dispatcher t
+    | _ ->
+        Mutex.unlock t.m;
+        run_one t p;
+        dispatcher t
+  end
+
+(* ---------------- admission ---------------- *)
+
+let submit t p =
+  locked t (fun () ->
+      match t.state with
+      | Running when Queue.length t.queue >= t.cfg.max_queue ->
+          t.shed <- t.shed + 1;
+          Result.Error "overloaded: request queue full"
+      | Running ->
+          Queue.add p t.queue;
+          Condition.signal t.nonempty;
+          Result.Ok ()
+      | Draining | Stopped -> Result.Error "server shutting down")
+
+(* ---------------- connections ---------------- *)
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let job_of_request = function
+  | Protocol.Ping -> assert false (* answered inline *)
+  | Protocol.Check src -> (
+      match Foc_logic.Parser.formula_result Foc_logic.Pred.standard src with
+      | Ok phi -> Result.Ok (JCheck phi)
+      | Error e -> Result.Error e)
+  | Protocol.Count src -> (
+      match Foc_logic.Parser.term_result Foc_logic.Pred.standard src with
+      | Ok term -> Result.Ok (JCount term)
+      | Error e -> Result.Error e)
+  | Protocol.Insert (r, tup) -> Result.Ok (JWrite (true, r, tup))
+  | Protocol.Delete (r, tup) -> Result.Ok (JWrite (false, r, tup))
+  | Protocol.Stats -> Result.Ok JStats
+  | Protocol.Shutdown -> Result.Ok JShutdown
+
+let handle_line t budget line =
+  match Protocol.parse_request line with
+  | Error e ->
+      locked t (fun () -> t.rejected <- t.rejected + 1);
+      (None, Protocol.Error e)
+  | Ok (id, Protocol.Ping) -> (id, Protocol.Pong)
+  | Ok (id, req) -> (
+      if t.cfg.client_budget > 0 && !budget <= 0 then begin
+        locked t (fun () -> t.rejected <- t.rejected + 1);
+        (id, Protocol.Error "client budget exhausted")
+      end
+      else begin
+        decr budget;
+        match job_of_request req with
+        | Error e ->
+            locked t (fun () -> t.rejected <- t.rejected + 1);
+            (id, Protocol.Error ("parse error: " ^ e))
+        | Ok job -> (
+            let p = make_pending job in
+            match submit t p with
+            | Error e -> (id, Protocol.Error e)
+            | Ok () -> (id, await p))
+      end)
+
+let conn_loop t cid fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let budget = ref t.cfg.client_budget in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then begin
+         let id, resp = handle_line t budget line in
+         send_line oc (Protocol.response_line ?id resp)
+       end
+     done
+   with
+  | End_of_file -> ()
+  | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) | Sys_error _ ->
+      (* client went away mid-request or mid-response *)
+      locked t (fun () -> t.disconnects <- t.disconnects + 1));
+  locked t (fun () -> Hashtbl.remove t.conns cid);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listener t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        locked t (fun () ->
+            if t.state <> Running then begin
+              (* draining: refuse the connection and retire the listener *)
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              continue := false
+            end
+            else begin
+              t.conn_seq <- t.conn_seq + 1;
+              let cid = t.conn_seq in
+              Hashtbl.replace t.conns cid fd;
+              t.conn_threads <-
+                Thread.create (fun () -> conn_loop t cid fd) ()
+                :: t.conn_threads
+            end)
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        (* listen socket closed: shutdown *)
+        continue := false
+  done
+
+(* ---------------- lifecycle ---------------- *)
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found -> raise (Unix.Unix_error (Unix.EADDRNOTAVAIL, "bind", host)))
+
+let bind_listen = function
+  | Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+      let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Unix_sock path)
+  | Tcp (host, port) ->
+      let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+      Unix.setsockopt fd SO_REUSEADDR true;
+      Unix.bind fd (ADDR_INET (resolve_host host, port));
+      Unix.listen fd 64;
+      let port =
+        match Unix.getsockname fd with
+        | ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      (fd, Tcp (host, port))
+
+let start cfg structure =
+  ignore_sigpipe ();
+  let listen_fd, addr = bind_listen cfg.address in
+  let sess =
+    Session.create ~budget_mb:cfg.budget_mb ~config:cfg.engine structure
+  in
+  let t =
+    {
+      cfg;
+      sess;
+      listen_fd;
+      addr;
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      stopped_c = Condition.create ();
+      queue = Queue.create ();
+      state = Running;
+      version = 0;
+      conns = Hashtbl.create 16;
+      conn_seq = 0;
+      served = 0;
+      shed = 0;
+      rejected = 0;
+      disconnects = 0;
+      conn_threads = [];
+      core_threads = [];
+      cleaned = false;
+    }
+  in
+  t.core_threads <-
+    [ Thread.create (fun () -> dispatcher t) ();
+      Thread.create (fun () -> listener t) () ];
+  t
+
+(* Waking a thread blocked in [accept] is the delicate part: on Linux,
+   closing the descriptor from another thread does NOT interrupt the
+   accept — the listener would sleep forever on the dead fd and the
+   join below would hang.  [shutdown] on the listening socket does wake
+   it (accept fails with EINVAL); a throwaway self-connection is the
+   belt-and-braces fallback for stacks where it does not. *)
+let wake_listener t =
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+   with Unix.Unix_error _ -> ());
+  try
+    let dom, sa =
+      match t.addr with
+      | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | Tcp (host, port) -> (Unix.PF_INET, Unix.ADDR_INET (resolve_host host, port))
+    in
+    let fd = Unix.socket dom SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> Unix.connect fd sa)
+  with Unix.Unix_error _ | Sys_error _ | Not_found -> ()
+
+(* After the dispatcher has stopped: wake and join the listener, nudge
+   every connection reader with a socket shutdown, join all threads,
+   then release descriptors and the socket file. Idempotent — stop and
+   wait may both run it. *)
+let cleanup t =
+  let already = locked t (fun () ->
+      let c = t.cleaned in
+      t.cleaned <- true;
+      c)
+  in
+  if not already then begin
+    wake_listener t;
+    (* join the listener (and dispatcher) first: once it is gone no new
+       connection threads can appear behind our back *)
+    List.iter Thread.join (locked t (fun () -> t.core_threads));
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let conn_fds =
+      locked t (fun () -> Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [])
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conn_fds;
+    List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    (match t.addr with
+    | Unix_sock path -> (
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | Tcp _ -> ())
+  end
+
+let wait t =
+  Mutex.lock t.m;
+  while t.state <> Stopped do
+    Condition.wait t.stopped_c t.m
+  done;
+  Mutex.unlock t.m;
+  cleanup t
+
+let stop t =
+  locked t (fun () ->
+      if t.state = Running then begin
+        t.state <- Draining;
+        Condition.broadcast t.nonempty
+      end);
+  wait t

@@ -1,0 +1,67 @@
+(** [foc serve]: a long-lived concurrent query-server daemon in front of
+    the PR-5 session layer.
+
+    {b Architecture.} One {!Foc_serve.Session} owns every artifact cache.
+    A listener thread accepts connections (Unix-domain or TCP); each
+    connection gets a reader thread that parses one JSON request per line
+    ({!Protocol}) and submits it to a {e bounded} request queue. A single
+    dispatcher thread owns the session: it groups runs of consecutive
+    [check] requests and evaluates them as one {!Foc_serve.Session.run_batch}
+    — the frozen prepared-structure snapshot is shared read-only across
+    the {!Foc_par} worker pool with per-worker mutable ball contexts —
+    while writes ([insert]/[delete]) are natural barriers that serialise
+    against readers through the session's §9.2 snapshot-swap invalidation.
+    Because the dispatcher is the only thread that touches the session,
+    every answer is bit-identical to a fresh sequential engine evaluated
+    on the structure version named in the response.
+
+    {b Admission control.} The request queue is bounded ([max_queue]):
+    submissions beyond the bound are shed immediately with an
+    [overloaded] error instead of queuing without limit. Each connection
+    additionally has a request budget ([client_budget]); once spent,
+    further requests are rejected (the connection stays open — [ping] is
+    always answered inline and free).
+
+    {b Shutdown.} [shutdown] (the request, or {!stop}) stops admission,
+    drains every in-flight request, then wakes {!wait}. The daemon
+    ignores [SIGPIPE]; a client vanishing mid-response only closes that
+    connection. *)
+
+type address =
+  | Unix_sock of string  (** path of a Unix-domain socket *)
+  | Tcp of string * int  (** IPv4 host, port; port [0] picks a free one *)
+
+type config = {
+  address : address;
+  engine : Foc_nd.Engine.config;
+      (** backend / ball cache / worker jobs of the underlying session *)
+  budget_mb : int;  (** session artifact-cache budget *)
+  jobs : int;  (** parallelism of grouped read batches *)
+  max_queue : int;  (** request-queue bound; overflow is shed *)
+  client_budget : int;  (** per-connection request budget; [<= 0] = unlimited *)
+  max_batch : int;  (** most [check]s grouped into one batch *)
+}
+
+val default_config : address -> config
+(** Direct backend, [jobs] = 1, 256 MiB budget, queue bound 256, unlimited
+    client budget, batches of at most 32. *)
+
+type t
+
+val start : config -> Foc_data.Structure.t -> t
+(** Bind, listen and return immediately; serving happens on background
+    threads. Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val address : t -> address
+(** The bound address — with [Tcp (_, 0)] the actual port. *)
+
+val version : t -> int
+(** Number of writes applied so far. *)
+
+val stop : t -> unit
+(** Initiate shutdown (idempotent), drain in-flight requests, join every
+    server thread and release the socket. *)
+
+val wait : t -> unit
+(** Block until a client [shutdown] request (or {!stop} from another
+    thread) completes, then clean up as {!stop} does. *)

@@ -86,6 +86,61 @@ let test_exception_propagates () =
   Alcotest.(check int) "pool survives" 4950
     (Foc.Par.map_reduce ~jobs:4 ~n:100 ~map:Fun.id ~reduce:( + ) 0)
 
+exception Probe of int
+
+(* the exception — payload included — must come back identical at every
+   jobs setting (sequential path, submitter slot, worker domains), and
+   each failed batch must leave the pool reusable for the next one *)
+let test_exception_every_jobs () =
+  List.iter
+    (fun jobs ->
+      (match
+         Foc.Par.tabulate ~jobs 64 (fun i ->
+             if i = 37 then raise (Probe (1000 + i)) else i)
+       with
+      | _ -> Alcotest.failf "jobs=%d: no exception raised" jobs
+      | exception Probe p ->
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d payload intact" jobs)
+            1037 p);
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d pool reusable after failure" jobs)
+        2016
+        (Foc.Par.map_reduce ~jobs ~n:64 ~map:Fun.id ~reduce:( + ) 0))
+    [ 1; 2; 4; 8 ]
+
+(* regression: the join point must re-raise with the backtrace captured on
+   the failing executor. Before the fix it did a plain [raise], so the
+   trace pointed at Foc_par.run_batch instead of the task's raise site. *)
+let test_exception_backtrace () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace prev)
+    (fun () ->
+      match
+        Foc.Par.parallel_for ~jobs:4 256 (fun i ->
+            if i mod 64 = 63 then failwith "kaboom")
+      with
+      | () -> Alcotest.fail "no exception raised"
+      | exception Failure _ ->
+          let bt =
+            Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+          in
+          (* the preserved trace starts at Stdlib.failwith; a trace
+             starting inside Foc_par means the capture was lost. An empty
+             trace (no debug info) is accepted. *)
+          let mentions needle =
+            let ln = String.length needle and lb = String.length bt in
+            let rec go i =
+              i + ln <= lb && (String.sub bt i ln = needle || go (i + 1))
+            in
+            go 0
+          in
+          Alcotest.(check bool)
+            "backtrace names the raise site, not the join" true
+            (bt = "" || mentions "failwith" || mentions "stdlib.ml"))
+
 let test_nested_degrades () =
   (* a parallel call from inside a worker must degrade to sequential
      instead of deadlocking *)
@@ -141,6 +196,10 @@ let () =
           Alcotest.test_case "per-executor contexts" `Quick test_tabulate_ctx;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "exceptions at every jobs setting" `Quick
+            test_exception_every_jobs;
+          Alcotest.test_case "backtrace survives the join" `Quick
+            test_exception_backtrace;
           Alcotest.test_case "nested calls degrade" `Quick
             test_nested_degrades;
         ] );

@@ -192,6 +192,91 @@ let prop_invalidation backend name =
           && Foc.Session.check s phi2 = fresh_check backend b phi2)
         ops)
 
+(* ---------------- budget cache eviction policy ---------------- *)
+
+(* Unit tests against Budget_cache directly, with [size = Fun.id] so an
+   int value is its own byte count. The first two are regressions for the
+   duplicate-FIFO-node bug: re-inserting (or removing and re-adding) a key
+   used to leave the key's old queue node behind, and the next trim would
+   pop that stale node and evict the *fresh* copy of the hot key while
+   colder entries survived. *)
+
+let make_cache ?(capacity = 300) evicted =
+  Foc.Budget_cache.create
+    ~on_evict:(fun k _ -> evicted := k :: !evicted)
+    ~capacity ~size:Fun.id ()
+
+let test_cache_reinsert_stays_hot () =
+  let evicted = ref [] in
+  let c = make_cache evicted in
+  Foc.Budget_cache.insert c "A" 100;
+  Foc.Budget_cache.insert c "B" 100;
+  (* refresh the hot key: this must not leave an evictable older node *)
+  Foc.Budget_cache.insert c "A" 100;
+  Foc.Budget_cache.insert c "C" 150 (* 350 > 300: forces one eviction *);
+  Alcotest.(check (option int))
+    "re-inserted hot key survives" (Some 100)
+    (Foc.Budget_cache.find c "A");
+  Alcotest.(check (option int))
+    "oldest cold key evicted" None
+    (Foc.Budget_cache.find c "B");
+  Alcotest.(check (option int))
+    "new key present" (Some 150)
+    (Foc.Budget_cache.find c "C");
+  Alcotest.(check (list string)) "exactly one eviction" [ "B" ] !evicted
+
+let test_cache_remove_then_reinsert () =
+  let evicted = ref [] in
+  let c = make_cache evicted in
+  Foc.Budget_cache.insert c "A" 100;
+  Foc.Budget_cache.insert c "B" 100;
+  Foc.Budget_cache.remove c "A";
+  Alcotest.(check (option int)) "removed key gone" None
+    (Foc.Budget_cache.find c "A");
+  Alcotest.(check int) "bytes track the removal" 100
+    (Foc.Budget_cache.bytes_used c);
+  Alcotest.(check (list string)) "remove is not an eviction" [] !evicted;
+  (* the removed key comes back as the NEWEST entry; its leftover queue
+     node from the first insert must not make it first in line again *)
+  Foc.Budget_cache.insert c "A" 100;
+  Foc.Budget_cache.insert c "C" 150;
+  Alcotest.(check (option int))
+    "re-added key survives the trim" (Some 100)
+    (Foc.Budget_cache.find c "A");
+  Alcotest.(check (option int)) "cold key evicted instead" None
+    (Foc.Budget_cache.find c "B");
+  Alcotest.(check int) "two live entries" 2 (Foc.Budget_cache.length c)
+
+let test_cache_second_chance () =
+  let evicted = ref [] in
+  let c = make_cache ~capacity:200 evicted in
+  Foc.Budget_cache.insert c "A" 100;
+  Foc.Budget_cache.insert c "B" 100;
+  ignore (Foc.Budget_cache.find c "A") (* sets A's reference bit *);
+  Foc.Budget_cache.insert c "C" 100;
+  Alcotest.(check (option int))
+    "referenced key gets a second chance" (Some 100)
+    (Foc.Budget_cache.find c "A");
+  Alcotest.(check (list string)) "unreferenced key evicted" [ "B" ] !evicted
+
+let test_cache_reinsert_churn () =
+  (* a server rebinding the same artifact key on every write: the queue
+     must stay consistent through compaction and still evict correctly *)
+  let evicted = ref [] in
+  let c = make_cache ~capacity:250 evicted in
+  for i = 1 to 50 do
+    Foc.Budget_cache.insert c "A" (100 + (i mod 2))
+  done;
+  Foc.Budget_cache.insert c "B" 100;
+  Foc.Budget_cache.insert c "C" 100;
+  Alcotest.(check (option int)) "churned key evicted first" None
+    (Foc.Budget_cache.find c "A");
+  Alcotest.(check (option int)) "B survives" (Some 100)
+    (Foc.Budget_cache.find c "B");
+  Alcotest.(check (option int)) "C survives" (Some 100)
+    (Foc.Budget_cache.find c "C");
+  Alcotest.(check (list string)) "A evicted exactly once" [ "A" ] !evicted
+
 (* ---------------- engine cover memo (satellite a) ---------------- *)
 
 let test_cover_dedup () =
@@ -281,6 +366,16 @@ let () =
           Alcotest.test_case "zero budget stays correct" `Quick
             test_zero_budget;
           Alcotest.test_case "per-call cover memo" `Quick test_cover_dedup;
+        ] );
+      ( "budget cache",
+        [
+          Alcotest.test_case "re-inserted key stays hot" `Quick
+            test_cache_reinsert_stays_hot;
+          Alcotest.test_case "remove then re-insert" `Quick
+            test_cache_remove_then_reinsert;
+          Alcotest.test_case "second-chance policy" `Quick
+            test_cache_second_chance;
+          Alcotest.test_case "re-insert churn" `Quick test_cache_reinsert_churn;
         ] );
       ( "update invalidation",
         [

@@ -1,0 +1,422 @@
+(* Tests for the query-server daemon (lib/server): protocol round-trips,
+   malformed-input resilience, concurrent clients under mixed read/write
+   load (every answer verified against a fresh sequential engine on the
+   exact structure version the server reports), admission control, a
+   client killed mid-stream, and graceful shutdown. *)
+
+module P = Foc.Server_protocol
+
+let coloured seed g =
+  let rng = Random.State.make [| seed |] in
+  Foc.Db_gen.colored_digraph rng ~graph:g ~orient:`Both ~p_red:0.3
+    ~p_blue:0.4 ~p_green:0.3
+
+let structure n seed =
+  let rng = Random.State.make [| n; seed |] in
+  coloured seed (Foc.Gen.random_bounded_degree rng n 3)
+
+let fresh_check a phi =
+  let config =
+    { Foc.Engine.default_config with backend = Foc.Engine.Direct; jobs = 1 }
+  in
+  Foc.Engine.check (Foc.Engine.create ~config ()) a (Foc.parse_formula phi)
+
+let sock_counter = ref 0
+
+let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0) ?(n = 24)
+    ?(seed = 7) f =
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "foc_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let a = structure n seed in
+  let cfg =
+    {
+      (Foc.Server.default_config (Foc.Server.Unix_sock path)) with
+      Foc.Server.engine =
+        { Foc.Engine.default_config with
+          backend = Foc.Engine.Direct;
+          jobs = 1 };
+      jobs;
+      max_queue;
+      client_budget;
+    }
+  in
+  let srv = Foc.Server.start cfg a in
+  Fun.protect ~finally:(fun () -> Foc.Server.stop srv) (fun () -> f srv a)
+
+let connect srv = Foc.Server_client.connect (Foc.Server.address srv)
+
+(* ---------------- protocol round-trip (pure) ---------------- *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      P.Ping;
+      P.Check "exists x. #(y). E(x,y) >= 2";
+      P.Count "#(x,y). E(x,y)";
+      P.Insert ("E", [| 3; 4 |]);
+      P.Delete ("R", [| 5 |]);
+      P.Stats;
+      P.Shutdown;
+    ]
+  in
+  List.iteri
+    (fun i req ->
+      let line = P.request_line ~id:i req in
+      match P.parse_request line with
+      | Ok (Some id, req') ->
+          Alcotest.(check int) "id round-trips" i id;
+          Alcotest.(check string)
+            (Printf.sprintf "request %d round-trips" i)
+            line
+            (P.request_line ~id req')
+      | Ok (None, _) -> Alcotest.fail "id lost"
+      | Error e -> Alcotest.fail e)
+    reqs;
+  let resps =
+    [
+      P.Bool (true, 3);
+      P.Int (42, 0);
+      P.Done 7;
+      P.Pong;
+      P.Bye;
+      P.Stats_r
+        {
+          P.version = 1;
+          connections = 2;
+          served = 3;
+          shed = 4;
+          rejected = 5;
+          disconnects = 6;
+          session = "a=1 b=\"two words\"";
+        };
+      P.Error "bad \"quoted\" thing\nsecond line";
+    ]
+  in
+  List.iteri
+    (fun i resp ->
+      let line = P.response_line ~id:i resp in
+      match P.parse_response line with
+      | Ok (Some id, resp') ->
+          Alcotest.(check string)
+            (Printf.sprintf "response %d round-trips" i)
+            line
+            (P.response_line ~id resp')
+      | Ok (None, _) -> Alcotest.fail "id lost"
+      | Error e -> Alcotest.fail e)
+    resps;
+  List.iter
+    (fun bad ->
+      match P.parse_request bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed request: " ^ bad))
+    [
+      "";
+      "not json";
+      "{\"op\":\"frobnicate\"}";
+      "{\"query\":\"no op\"}";
+      "{\"op\":\"check\"}";
+      "{\"op\":\"insert\",\"rel\":\"E\"}";
+      "{\"op\":\"insert\",\"rel\":\"E\",\"tuple\":[1,\"x\"]}";
+    ]
+
+(* ---------------- basic serving ---------------- *)
+
+let test_basic_ops () =
+  with_server (fun srv a ->
+      let c = connect srv in
+      Alcotest.(check bool) "ping" true (Foc.Server_client.rpc c P.Ping = P.Pong);
+      let q = "exists x. #(y). E(x,y) >= 2" in
+      (match Foc.Server_client.rpc ~id:5 c (P.Check q) with
+      | P.Bool (b, v) ->
+          Alcotest.(check bool) "check agrees" (fresh_check a q) b;
+          Alcotest.(check int) "pre-write version" 0 v
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c (P.Count "#(x,y). E(x,y)") with
+      | P.Int (count, 0) ->
+          let expected =
+            Foc.Engine.eval_ground
+              (Foc.Engine.create ())
+              a
+              (Foc.parse_term "#(x,y). E(x,y)")
+          in
+          Alcotest.(check int) "count agrees" expected count
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c (P.Insert ("E", [| 0; 1 |])) with
+      | P.Done 1 -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      let b = Foc.Structure.add_tuples a "E" [ [| 0; 1 |] ] in
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Bool (got, 1) ->
+          Alcotest.(check bool) "post-write check agrees" (fresh_check b q) got
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c (P.Delete ("E", [| 0; 1 |])) with
+      | P.Done 2 -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c P.Stats with
+      | P.Stats_r s ->
+          Alcotest.(check int) "stats version" 2 s.P.version;
+          Alcotest.(check bool) "served some" true (s.P.served >= 4);
+          Alcotest.(check bool)
+            "session line present" true
+            (String.length s.P.session > 0)
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+(* ---------------- malformed input never kills a connection ------------ *)
+
+let test_malformed_survives () =
+  with_server (fun srv _ ->
+      let c = connect srv in
+      let expect_error raw =
+        Foc.Server_client.send_raw c raw;
+        match P.parse_response (Foc.Server_client.recv_raw c) with
+        | Ok (_, P.Error _) -> ()
+        | Ok (_, r) ->
+            Alcotest.fail ("expected an error, got " ^ P.response_line r)
+        | Error e -> Alcotest.fail e
+      in
+      expect_error "this is not json";
+      expect_error "{\"op\":\"frobnicate\"}";
+      expect_error "{\"op\":\"check\",\"query\":\"exists x. ((((\"}";
+      expect_error "{\"op\":\"insert\",\"rel\":\"NoSuchRel\",\"tuple\":[1]}";
+      expect_error "{\"op\":\"insert\",\"rel\":\"E\",\"tuple\":[1]}";
+      Alcotest.(check bool)
+        "connection still alive" true
+        (Foc.Server_client.rpc c P.Ping = P.Pong);
+      (match Foc.Server_client.rpc c (P.Check "exists x. #(y). E(x,y) >= 1") with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+(* ---------------- concurrent clients, mixed read/write ---------------- *)
+
+(* One writer + [readers] reader threads hammer the server concurrently.
+   Every response names the structure version it was evaluated on, and the
+   single writer's write log reconstructs each version, so after the join
+   every recorded answer is verified against a fresh sequential engine —
+   the bit-identical-under-concurrency gate. *)
+let test_concurrent_agree () =
+  let readers = 8 and reads_per_client = 12 in
+  let queries =
+    [|
+      "exists x. #(y). E(x,y) >= 2";
+      "exists x. prime(#(y). (E(x,y) | E(y,x)))";
+      "#(x,y). (E(x,y) & B(y)) >= 3";
+      "forall x. #(y). E(y,x) <= 3";
+      "exists x. (#(y). (E(x,y) & R(y))) >= 1";
+      "#(x). prime(#(y). E(x,y)) >= 2";
+    |]
+  in
+  with_server ~n:30 ~seed:11 (fun srv a ->
+      let writes =
+        [ (true, [| 1; 2 |]); (true, [| 3; 4 |]); (false, [| 1; 2 |]);
+          (true, [| 5; 6 |]); (false, [| 3; 4 |]); (true, [| 7; 8 |]) ]
+      in
+      let write_log = ref [] in
+      let writer () =
+        let c = connect srv in
+        List.iter
+          (fun (ins, tup) ->
+            let req =
+              if ins then P.Insert ("E", tup) else P.Delete ("E", tup)
+            in
+            match Foc.Server_client.rpc c req with
+            | P.Done v -> write_log := (v, ins, tup) :: !write_log
+            | r -> Alcotest.fail ("write failed: " ^ P.response_line r))
+          writes;
+        Foc.Server_client.close c
+      in
+      let reader_results =
+        Array.init readers (fun _ -> ref ([] : (int * int * bool) list))
+      in
+      let reader k () =
+        let c = connect srv in
+        let out = reader_results.(k) in
+        for i = 0 to reads_per_client - 1 do
+          let qi = (k + (3 * i)) mod Array.length queries in
+          match Foc.Server_client.rpc c (P.Check queries.(qi)) with
+          | P.Bool (b, v) -> out := (qi, v, b) :: !out
+          | r -> Alcotest.fail ("read failed: " ^ P.response_line r)
+        done;
+        Foc.Server_client.close c
+      in
+      let threads =
+        Thread.create writer ()
+        :: List.init readers (fun k -> Thread.create (reader k) ())
+      in
+      List.iter Thread.join threads;
+      (* exceptions in client threads don't propagate through join: assert
+         every thread completed its full schedule *)
+      Array.iteri
+        (fun k out ->
+          Alcotest.(check int)
+            (Printf.sprintf "reader %d completed" k)
+            reads_per_client (List.length !out))
+        reader_results;
+      (* replay the write log into one structure per version *)
+      let log = List.sort compare !write_log in
+      Alcotest.(check int) "all writes applied" (List.length writes)
+        (List.length log);
+      let structures = Array.make (List.length log + 1) a in
+      List.iteri
+        (fun i (v, ins, tup) ->
+          Alcotest.(check int) "single writer => dense versions" (i + 1) v;
+          structures.(i + 1) <-
+            (if ins then Foc.Structure.add_tuples structures.(i) "E" [ tup ]
+             else Foc.Structure.remove_tuples structures.(i) "E" [ tup ]))
+        log;
+      (* verify every recorded answer on the exact version it was read at *)
+      let expected = Hashtbl.create 64 in
+      Array.iter
+        (fun out ->
+          List.iter
+            (fun (qi, v, got) ->
+              let key = (qi, v) in
+              let want =
+                match Hashtbl.find_opt expected key with
+                | Some w -> w
+                | None ->
+                    let w = fresh_check structures.(v) queries.(qi) in
+                    Hashtbl.add expected key w;
+                    w
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "q%d at version %d" qi v)
+                want got)
+            !out)
+        reader_results;
+      Alcotest.(check int) "every reader answered" readers
+        (Array.length reader_results))
+
+(* ---------------- admission control ---------------- *)
+
+let test_admission_shed () =
+  (* a zero-length queue sheds every queued op; ping is answered inline *)
+  with_server ~max_queue:0 (fun srv _ ->
+      let c = connect srv in
+      Alcotest.(check bool) "ping bypasses the queue" true
+        (Foc.Server_client.rpc c P.Ping = P.Pong);
+      (match Foc.Server_client.rpc c (P.Check "exists x. #(y). E(x,y) >= 1") with
+      | P.Error m ->
+          Alcotest.(check bool)
+            ("overload error mentions overload: " ^ m)
+            true
+            (String.length m >= 10 && String.sub m 0 10 = "overloaded")
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+let test_admission_budget () =
+  with_server ~client_budget:2 (fun srv _ ->
+      let q = "exists x. #(y). E(x,y) >= 1" in
+      let c = connect srv in
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Error _ -> ()
+      | r -> Alcotest.fail ("expected budget rejection: " ^ P.response_line r));
+      Alcotest.(check bool) "ping still free" true
+        (Foc.Server_client.rpc c P.Ping = P.Pong);
+      Foc.Server_client.close c;
+      (* a fresh connection gets a fresh budget *)
+      let c2 = connect srv in
+      (match Foc.Server_client.rpc c2 (P.Check q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail ("fresh connection: " ^ P.response_line r));
+      Foc.Server_client.close c2)
+
+(* ---------------- client killed mid-stream ---------------- *)
+
+let test_client_killed_mid_stream () =
+  (* Before the SIGPIPE fix this test killed the whole test binary: the
+     server's response write to a vanished client raised the signal. *)
+  with_server (fun srv _ ->
+      let q = "exists x. prime(#(y). (E(x,y) | E(y,x)))" in
+      for _ = 1 to 3 do
+        let c = connect srv in
+        (* leave requests in flight and vanish without reading *)
+        Foc.Server_client.send_raw c (P.request_line (P.Check q));
+        Foc.Server_client.send_raw c (P.request_line (P.Check q));
+        Foc.Server_client.close c
+      done;
+      Thread.yield ();
+      let c = connect srv in
+      Alcotest.(check bool) "server survives" true
+        (Foc.Server_client.rpc c P.Ping = P.Pong);
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail ("next request: " ^ P.response_line r));
+      Foc.Server_client.close c)
+
+(* ---------------- graceful shutdown ---------------- *)
+
+let test_graceful_shutdown () =
+  with_server (fun srv a ->
+      let q = "exists x. #(y). E(x,y) >= 2" in
+      (* several clients get answers, then one asks for shutdown *)
+      let answers = Array.make 4 None in
+      let threads =
+        List.init 4 (fun k ->
+            Thread.create
+              (fun () ->
+                let c = connect srv in
+                (match Foc.Server_client.rpc c (P.Check q) with
+                | P.Bool (b, _) -> answers.(k) <- Some b
+                | _ -> ());
+                Foc.Server_client.close c)
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun k got ->
+          Alcotest.(check (option bool))
+            (Printf.sprintf "client %d answered" k)
+            (Some (fresh_check a q))
+            got)
+        answers;
+      let c = connect srv in
+      Alcotest.(check bool) "shutdown acknowledged" true
+        (Foc.Server_client.rpc c P.Shutdown = P.Bye);
+      (* post-shutdown requests are rejected or the connection closes *)
+      (match Foc.Server_client.rpc c (P.Check q) with
+      | P.Error _ -> ()
+      | exception End_of_file -> ()
+      | r -> Alcotest.fail ("expected rejection: " ^ P.response_line r));
+      Foc.Server_client.close c;
+      (* wait returns: the daemon drained and stopped *)
+      Foc.Server.wait srv)
+
+let () =
+  Alcotest.run "query server"
+    [
+      ( "protocol",
+        [ Alcotest.test_case "request/response round-trip" `Quick
+            test_protocol_roundtrip ] );
+      ( "serving",
+        [
+          Alcotest.test_case "basic ops + versions" `Quick test_basic_ops;
+          Alcotest.test_case "malformed input survives" `Quick
+            test_malformed_survives;
+          Alcotest.test_case "concurrent clients agree" `Quick
+            test_concurrent_agree;
+        ] );
+      ( "admission control",
+        [
+          Alcotest.test_case "queue overflow sheds" `Quick test_admission_shed;
+          Alcotest.test_case "per-client budget" `Quick test_admission_budget;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "client killed mid-stream" `Quick
+            test_client_killed_mid_stream;
+          Alcotest.test_case "graceful shutdown drains" `Quick
+            test_graceful_shutdown;
+        ] );
+    ]
