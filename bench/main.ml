@@ -1343,6 +1343,176 @@ let e15 () =
     "(the gate: every answer re-checked offline against a fresh sequential \
      engine at its exact version)\n"
 
+(* ========== E16: statistics-driven adaptive planning ========== *)
+
+let e16 () =
+  header "E16  Statistics-driven adaptive planning on skewed data"
+    "claim: per-column equi-depth histograms catch the hub values that \
+     break the uniform-domain independence model, flipping the greedy \
+     join order away from a hub-squared blow-up (with a measured \
+     wall-clock win); without statistics, the Eval_obs feedback loop \
+     observes the blow-up and re-plans the second run; both paths \
+     return answers bit-identical to the unplanned baseline and to \
+     Naive, and incrementally-maintained statistics stay equal to \
+     recollection from scratch";
+  let agree_all = ref true in
+  let note_agree tag ok =
+    if not ok then begin
+      agree_all := false;
+      Printf.printf "!! DISAGREEMENT: %s\n" tag
+    end
+  in
+  (* Hub-skewed instance over domain [0, n): A(x,y) has m edges whose
+     y-column is 80% the hub 0 (Zipf-ish tail on the rest), B(y,z) has k
+     edges with the same skew on y and a distinct z per row, C(x,z) is a
+     uniform random function on the same x-range as A, S(x) selects s
+     sources. The conjunction
+
+       S(x) & A(x,y) & C(x,z) & B(y,z)
+
+     looks best joined S-A-B-C under the uniform 1/n model (B is the
+     smaller relation), but A.y and B.y are correlated through the hub,
+     so that order materialises ~0.64*s*k rows; the histogram-aware
+     planner sees the hub product in eq_sel(A.y, B.y) and joins C first,
+     keeping the prefix at ~s rows. *)
+  let skew_structure ~seed n =
+    let rng = Random.State.make [| 16; seed; n |] in
+    let m = n / 2 and k = n / 4 in
+    let s = max 8 (n / 200) in
+    let tail = max 1 (min 999 (n - 1)) in
+    let skew_y j =
+      (* planted witnesses: the first 50 B rows keep y = 0 so the final
+         count is comfortably nonzero *)
+      if j < 50 || Random.State.float rng 1.0 < 0.8 then 0
+      else 1 + Random.State.int rng tail
+    in
+    let a_edges = List.init m (fun i -> [| i + 1; skew_y (50 + i) |]) in
+    let b_edges = List.init k (fun j -> [| skew_y j; j |]) in
+    let c_edges =
+      List.init m (fun i ->
+          [| i + 1; (if i < 50 then i else Random.State.int rng n) |])
+    in
+    let sources = List.init s (fun i ->
+        [| (if i < 50 then i + 1 else 1 + Random.State.int rng m) |])
+    in
+    let sg =
+      Foc.Signature.of_list [ ("S", 1); ("A", 2); ("B", 2); ("C", 2) ]
+    in
+    Foc.Structure.create sg ~order:n
+      [ ("S", sources); ("A", a_edges); ("B", b_edges); ("C", c_edges) ]
+  in
+  let phi =
+    Foc.Ast.And
+      ( Foc.Ast.And
+          ( Foc.Ast.And
+              (Foc.Ast.Rel ("S", [| "x" |]), Foc.Ast.Rel ("A", [| "x"; "y" |])),
+            Foc.Ast.Rel ("C", [| "x"; "z" |]) ),
+        Foc.Ast.Rel ("B", [| "y"; "z" |]) )
+  in
+  let fvars = [ "x"; "y"; "z" ] in
+  let stats_ctx buckets =
+    (* one-structure memo: collect once, reuse across the repeated runs *)
+    let memo = ref [] in
+    let stats_for a =
+      match List.assq_opt a !memo with
+      | Some st -> st
+      | None ->
+          let st = Foc.Stats.collect ~buckets a in
+          memo := (a, st) :: !memo;
+          st
+    in
+    Foc.Relalg.make_ctx ~stats_for ~buckets ()
+  in
+  let n = if !smoke then 4_000 else if !quick then 10_000 else 40_000 in
+  let a = skew_structure ~seed:1 n in
+  (* -- stats-off (uniform model) vs stats-on (histograms): the plan flip *)
+  Foc.Eval_obs.reset ();
+  let ctx_off = Foc.Relalg.make_ctx ~buckets:0 () in
+  let v_off, t_off = time (fun () -> Foc.Relalg.count ~ctx:ctx_off preds a fvars phi) in
+  let rows_off = Foc.Eval_obs.rows_built () in
+  let act_off = Foc.Eval_obs.actual_rows () in
+  let orders_off = Foc.Eval_obs.plan_orders () in
+  Foc.Eval_obs.reset ();
+  let ctx_on = stats_ctx 64 in
+  let v_on, t_on = time (fun () -> Foc.Relalg.count ~ctx:ctx_on preds a fvars phi) in
+  let rows_on = Foc.Eval_obs.rows_built () in
+  let orders_on = Foc.Eval_obs.plan_orders () in
+  let est_on = Foc.Eval_obs.est_rows () and act_on = Foc.Eval_obs.actual_rows () in
+  let last l = List.nth l (List.length l - 1) in
+  note_agree "stats-on disagrees with stats-off" (v_on = v_off);
+  note_agree "no plan recorded" (orders_off <> [] && orders_on <> []);
+  note_agree "histograms did not flip the join order"
+    (orders_off = [] || orders_on = [] || last orders_off <> last orders_on);
+  (* join output rows, not total rows built: base-table materialisation
+     is identical on both sides and would drown the signal at small n *)
+  note_agree "stats-on plan joined more rows than the uniform plan"
+    (act_on * 10 < act_off);
+  (* -- adaptive feedback: same uniform ctx, second run must re-plan -- *)
+  Foc.Eval_obs.reset ();
+  let ctx_ad = Foc.Relalg.make_ctx ~buckets:0 () in
+  let v_ad1, t_ad1 = time (fun () -> Foc.Relalg.count ~ctx:ctx_ad preds a fvars phi) in
+  let v_ad2, t_ad2 = time (fun () -> Foc.Relalg.count ~ctx:ctx_ad preds a fvars phi) in
+  let replans = Foc.Eval_obs.replans () in
+  let err = Foc.Eval_obs.err_max_x100 () in
+  note_agree "adaptive runs disagree" (v_ad1 = v_off && v_ad2 = v_off);
+  note_agree "feedback loop never re-planned" (replans > 0);
+  note_agree "no estimation error was observed" (err > 800);
+  (* -- ground truth: unplanned baseline at the bench size, Naive small -- *)
+  let v_seed, t_seed =
+    time (fun () -> Foc.Relalg.count ~plan:false preds a fvars phi)
+  in
+  note_agree "planned vs unplanned" (v_on = v_seed);
+  let small = skew_structure ~seed:2 60 in
+  let v_small = Foc.Relalg.count ~ctx:(stats_ctx 8) preds small fvars phi in
+  let v_naive =
+    Foc.Naive.ground_term preds small (Foc.Ast.Count (fvars, phi))
+  in
+  note_agree "small instance vs Naive" (v_small = v_naive);
+  (* -- incremental statistics = recollection from scratch -- *)
+  let st = Foc.Stats.collect ~buckets:64 a in
+  let rng = Random.State.make [| 16; 99 |] in
+  let cur = ref a in
+  for _ = 1 to 200 do
+    let rel = if Random.State.bool rng then "A" else "B" in
+    let tup = [| Random.State.int rng n; Random.State.int rng n |] in
+    let ins = Random.State.bool rng in
+    let changed =
+      if ins then not (Foc.Structure.mem !cur rel tup)
+      else Foc.Structure.mem !cur rel tup
+    in
+    cur :=
+      (if ins then Foc.Structure.add_tuples !cur rel [ tup ]
+       else Foc.Structure.remove_tuples !cur rel [ tup ]);
+    if changed then
+      if ins then Foc.Stats.insert st rel tup else Foc.Stats.delete st rel tup
+  done;
+  note_agree "incremental stats drifted from scratch recollection"
+    (Foc.Stats.equal st (Foc.Stats.collect ~buckets:64 !cur));
+  record "E16"
+    [ ("class", S "hub-skew"); ("n", I n); ("query", S "SACB");
+      ("count", I v_on); ("seconds_stats", F t_on);
+      ("seconds_uniform", F t_off); ("speedup", F (t_off /. t_on));
+      ("rows_built_uniform", I rows_off); ("rows_built_stats", I rows_on);
+      ("join_rows_uniform", I act_off); ("join_rows_stats", I act_on);
+      ("est_rows", I est_on); ("actual_rows", I act_on);
+      ("seconds_adaptive_run1", F t_ad1); ("seconds_adaptive_run2", F t_ad2);
+      ("replans", I replans); ("err_max_x100", I err);
+      ("seconds_unplanned", F t_seed); ("agree", B !agree_all) ];
+  Printf.printf "%8s | %10s %10s %8s | %10s %10s | %7s %6s\n" "n" "uniform"
+    "stats" "speedup" "adapt-r1" "adapt-r2" "replans" "agree";
+  Printf.printf "%8d | %9.3fs %9.3fs %7.1fx | %9.3fs %9.3fs | %7d %6b\n" n
+    t_off t_on (t_off /. t_on) t_ad1 t_ad2 replans !agree_all;
+  Printf.printf
+    "   rows built: uniform=%d stats=%d | planner err_max=%.1fx | count=%d\n"
+    rows_off rows_on (float_of_int err /. 100.) v_on;
+  if not !agree_all then begin
+    Printf.printf "E16: FAILED agreement/planner assertions\n";
+    exit 1
+  end;
+  Printf.printf
+    "(the gate: histogram plan != uniform plan, >=10x fewer rows built, \
+     adaptive re-plan fired, all counts bit-identical)\n"
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -1436,6 +1606,7 @@ let () =
         ("E13", e13);
         ("E14", e14);
         ("E15", e15);
+        ("E16", e16);
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments

@@ -58,6 +58,25 @@ let ball_cache_arg =
            back-ends. $(b,0) keeps only the most recent ball. All settings \
            return identical counts; only memory and time change.")
 
+let stats_buckets_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "stats-buckets" ] ~docv:"N"
+        ~doc:
+          "Equi-depth histogram resolution of the join-planning statistics \
+           (relalg baseline and engine fallbacks). $(b,0) disables \
+           histograms; row and distinct counts remain. Never changes \
+           results.")
+
+let no_adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "no-adaptive" ]
+        ~doc:
+          "Disable the adaptive re-planning loop that compares the \
+           planner's estimated join cardinalities against the actual ones \
+           and re-orders repeated conjunctions. Never changes results.")
+
 let trace_arg =
   Arg.(
     value
@@ -119,7 +138,8 @@ let finish_obs ~trace ~metrics eng =
   | Some path -> Foc.Obs.Trace.export_chrome path
   | None -> ()
 
-let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) ?trace_file engine =
+let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) ?(stats_buckets = 64)
+    ?(adaptive = true) ?trace_file engine =
   let jobs = if jobs <= 0 then Foc.Par.default_jobs () else jobs in
   let with_backend backend =
     Some
@@ -131,6 +151,8 @@ let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) ?trace_file engine =
              jobs;
              ball_cache_mb;
              trace_file;
+             stats_buckets;
+             adaptive;
            }
          ())
   in
@@ -147,13 +169,32 @@ let make_engine ?(jobs = 0) ?(ball_cache_mb = 64) ?trace_file engine =
 let print_stats eng =
   Printf.printf "# stats: %s\n" (Foc.Engine.stats_line eng)
 
+(* the relalg baseline plans with the same statistics layer as the engine
+   fallbacks: one collect per structure, memoised across a query's
+   sub-evaluations *)
+let make_relalg_ctx ~stats_buckets ~adaptive () =
+  let memo = ref [] in
+  let stats_for a =
+    match List.assq_opt a !memo with
+    | Some st -> st
+    | None ->
+        let st = Foc.Stats.collect ~buckets:stats_buckets a in
+        memo := (a, st) :: !memo;
+        st
+  in
+  Foc.Relalg.make_ctx ~stats_for ~buckets:stats_buckets ~adaptive ()
+
+let print_baseline_stats () =
+  Printf.printf "# stats: %s\n" (Foc.Eval_obs.line ())
+
 (* wall clock: with --jobs > 1, CPU time would sum across domains *)
 let timed = Foc.Obs.Clock.timed
 
 (* ---------------- check ---------------- *)
 
 let check_cmd =
-  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+  let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
+      stats trace metrics log_level
       src =
     setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
@@ -163,7 +204,8 @@ let check_cmd =
         Printf.eprintf "parse error at %d: %s\n" p m;
         exit 2
     in
-    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
+    let eng = make_engine ~jobs ~ball_cache_mb ~stats_buckets
+        ~adaptive:(not no_adaptive) ?trace_file:trace engine in
     let result, seconds =
       match eng with
       | Some eng ->
@@ -175,10 +217,18 @@ let check_cmd =
             timed (fun () ->
                 Foc.Obs.span ~name:"naive" (fun () ->
                     Foc.Naive.sentence Foc.predicates a phi))
-          else
-            timed (fun () ->
-                Foc.Obs.span ~name:"fallback" (fun () ->
-                    Foc.Relalg.holds Foc.predicates a [] phi))
+          else begin
+            let ctx =
+              make_relalg_ctx ~stats_buckets ~adaptive:(not no_adaptive) ()
+            in
+            let r =
+              timed (fun () ->
+                  Foc.Obs.span ~name:"fallback" (fun () ->
+                      Foc.Relalg.holds ~ctx Foc.predicates a [] phi))
+            in
+            if stats then print_baseline_stats ();
+            r
+          end
     in
     finish_obs ~trace ~metrics eng;
     Printf.printf "%b\n" result;
@@ -194,12 +244,13 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Model-check a FOC(P) sentence on a structure.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
+      $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
 
 (* ---------------- count ---------------- *)
 
 let count_cmd =
-  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+  let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
+      stats trace metrics log_level
       src =
     setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
@@ -209,7 +260,8 @@ let count_cmd =
         Printf.eprintf "parse error at %d: %s\n" p m;
         exit 2
     in
-    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
+    let eng = make_engine ~jobs ~ball_cache_mb ~stats_buckets
+        ~adaptive:(not no_adaptive) ?trace_file:trace engine in
     let result, seconds =
       match eng with
       | Some eng ->
@@ -221,10 +273,18 @@ let count_cmd =
             timed (fun () ->
                 Foc.Obs.span ~name:"naive" (fun () ->
                     Foc.Naive.ground_term Foc.predicates a term))
-          else
-            timed (fun () ->
-                Foc.Obs.span ~name:"fallback" (fun () ->
-                    Foc.Relalg.term_value Foc.predicates a [] term))
+          else begin
+            let ctx =
+              make_relalg_ctx ~stats_buckets ~adaptive:(not no_adaptive) ()
+            in
+            let r =
+              timed (fun () ->
+                  Foc.Obs.span ~name:"fallback" (fun () ->
+                      Foc.Relalg.term_value ~ctx Foc.predicates a [] term))
+            in
+            if stats then print_baseline_stats ();
+            r
+          end
     in
     finish_obs ~trace ~metrics eng;
     Printf.printf "%d\n" result;
@@ -240,12 +300,13 @@ let count_cmd =
     (Cmd.info "count" ~doc:"Evaluate a ground counting term on a structure.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
+      $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
 
 (* ---------------- query ---------------- *)
 
 let query_cmd =
-  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+  let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
+      stats trace metrics log_level
       head terms body limit =
     setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
@@ -270,7 +331,8 @@ let query_cmd =
         Printf.eprintf "bad query: %s\n" m;
         exit 2
     in
-    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
+    let eng = make_engine ~jobs ~ball_cache_mb ~stats_buckets
+        ~adaptive:(not no_adaptive) ?trace_file:trace engine in
     let rows, seconds =
       match eng with
       | Some eng ->
@@ -282,10 +344,18 @@ let query_cmd =
             timed (fun () ->
                 Foc.Obs.span ~name:"naive" (fun () ->
                     Foc.Naive.query Foc.predicates a q))
-          else
-            timed (fun () ->
-                Foc.Obs.span ~name:"fallback" (fun () ->
-                    Foc.Relalg.query Foc.predicates a q))
+          else begin
+            let ctx =
+              make_relalg_ctx ~stats_buckets ~adaptive:(not no_adaptive) ()
+            in
+            let r =
+              timed (fun () ->
+                  Foc.Obs.span ~name:"fallback" (fun () ->
+                      Foc.Relalg.query ~ctx Foc.predicates a q))
+            in
+            if stats then print_baseline_stats ();
+            r
+          end
     in
     finish_obs ~trace ~metrics eng;
     Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
@@ -324,7 +394,7 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ head $ terms
+      $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ head $ terms
       $ body $ limit)
 
 (* ---------------- gen ---------------- *)
@@ -529,7 +599,8 @@ let gendb_cmd =
     Term.(const run $ customers $ orders $ countries $ cities $ seed $ output)
 
 let sql_cmd =
-  let run structure engine jobs ball_cache_mb stats trace metrics log_level
+  let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
+      stats trace metrics log_level
       src limit =
     setup_obs ~trace ~metrics ~log_level;
     let a = load_structure structure in
@@ -543,7 +614,8 @@ let sql_cmd =
         exit 2
     in
     Printf.printf "FOC1> %s\n" (Format.asprintf "%a" Foc.Query.pp q);
-    let eng = make_engine ~jobs ~ball_cache_mb ?trace_file:trace engine in
+    let eng = make_engine ~jobs ~ball_cache_mb ~stats_buckets
+        ~adaptive:(not no_adaptive) ?trace_file:trace engine in
     let rows, seconds =
       match eng with
       | Some eng ->
@@ -555,10 +627,18 @@ let sql_cmd =
             timed (fun () ->
                 Foc.Obs.span ~name:"naive" (fun () ->
                     Foc.Naive.query Foc.predicates a q))
-          else
-            timed (fun () ->
-                Foc.Obs.span ~name:"fallback" (fun () ->
-                    Foc.Relalg.query Foc.predicates a q))
+          else begin
+            let ctx =
+              make_relalg_ctx ~stats_buckets ~adaptive:(not no_adaptive) ()
+            in
+            let r =
+              timed (fun () ->
+                  Foc.Obs.span ~name:"fallback" (fun () ->
+                      Foc.Relalg.query ~ctx Foc.predicates a q))
+            in
+            if stats then print_baseline_stats ();
+            r
+          end
     in
     finish_obs ~trace ~metrics eng;
     Printf.printf "# %d rows, %.6fs\n" (List.length rows) seconds;
@@ -590,7 +670,7 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Run an SQL COUNT statement compiled to FOC1.")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src $ limit)
+      $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src $ limit)
 
 let budget_arg =
   Arg.(
@@ -636,8 +716,8 @@ let tcp_arg =
         ~doc:"Serve on TCP (default host 127.0.0.1; port 0 picks a free one).")
 
 let serve_cmd =
-  let run structure engine jobs ball_cache_mb budget_mb socket tcp max_queue
-      client_budget max_batch log_level =
+  let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
+      budget_mb socket tcp max_queue client_budget max_batch log_level =
     setup_obs ~trace:None ~metrics:false ~log_level;
     let a = load_structure structure in
     let address =
@@ -665,7 +745,14 @@ let serve_cmd =
       {
         (Foc.Server.default_config address) with
         Foc.Server.engine =
-          { Foc.Engine.default_config with backend; jobs = 1; ball_cache_mb };
+          {
+            Foc.Engine.default_config with
+            backend;
+            jobs = 1;
+            ball_cache_mb;
+            stats_buckets;
+            adaptive = not no_adaptive;
+          };
         budget_mb;
         jobs;
         max_queue;
@@ -719,8 +806,8 @@ let serve_cmd =
           session (try: socat - UNIX-CONNECT:/tmp/foc.sock).")
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
-      $ budget_arg $ socket_arg $ tcp_arg $ max_queue $ client_budget
-      $ max_batch $ log_level_arg)
+      $ stats_buckets_arg $ no_adaptive_arg $ budget_arg $ socket_arg
+      $ tcp_arg $ max_queue $ client_budget $ max_batch $ log_level_arg)
 
 let call_cmd =
   let run socket tcp requests =

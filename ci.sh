@@ -21,6 +21,12 @@ dune exec bench/main.exe -- --only E14 --smoke
 # mixed read/write and exits non-zero if any answer disagrees with a
 # fresh sequential engine at the version it was served on.
 dune exec bench/main.exe -- --only E15 --smoke
+# E16 exits non-zero if histograms fail to flip the join order on
+# hub-skewed data, the adaptive feedback loop never re-plans, any count
+# deviates from the unplanned baseline / Naive, or incrementally
+# maintained statistics drift from recollection — the agreement gate
+# for the statistics layer and the adaptive planner.
+dune exec bench/main.exe -- --only E16 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \

@@ -57,6 +57,10 @@ module Fragment = Foc_logic.Fragment
 module Dist_formula = Foc_logic.Dist_formula
 module Query = Foc_logic.Query
 
+(* statistics for cost-based planning *)
+module Stats = Foc_stats.Stats
+module Stat_summary = Foc_stats.Summary
+
 (* reference evaluation *)
 module Naive = Foc_eval.Naive
 module Table = Foc_eval.Table

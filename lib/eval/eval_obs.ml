@@ -15,7 +15,13 @@ type s = {
   selections_pushed : M.Counter.t;
   divisions : M.Counter.t;
   neg_extensions : M.Counter.t;
+  neg_complements : M.Counter.t;
+  est_rows : M.Counter.t;
+  actual_rows : M.Counter.t;
+  replans : M.Counter.t;
+  err_max_x100 : M.Gauge.t;
   peak_table_bytes : M.Gauge.t;
+  mutable orders : int list list;  (* recent plan orders, newest first *)
 }
 
 let make () =
@@ -35,7 +41,13 @@ let make () =
     selections_pushed = M.counter registry "planner.selections_pushed";
     divisions = M.counter registry "planner.divisions";
     neg_extensions = M.counter registry "planner.neg_extensions";
+    neg_complements = M.counter registry "planner.neg_complements";
+    est_rows = M.counter registry "planner.est_rows";
+    actual_rows = M.counter registry "planner.actual_rows";
+    replans = M.counter registry "planner.replans";
+    err_max_x100 = M.gauge registry "planner.err_max_x100";
     peak_table_bytes = M.gauge registry "table.peak_bytes";
+    orders = [];
   }
 
 let cur = ref (make ())
@@ -64,6 +76,30 @@ let note_complement_avoided () = M.Counter.inc !cur.complements_avoided
 let note_selection_pushed () = M.Counter.inc !cur.selections_pushed
 let note_division () = M.Counter.inc !cur.divisions
 let note_neg_extension () = M.Counter.inc !cur.neg_extensions
+let note_neg_complement () = M.Counter.inc !cur.neg_complements
+
+(* saturating float -> int for the estimate counters *)
+let int_of_est e =
+  if Float.is_nan e || e <= 0. then 0
+  else if e >= 1e18 then 1_000_000_000_000_000_000
+  else int_of_float e
+
+let note_op_card ~est ~actual =
+  M.Counter.add !cur.est_rows (int_of_est est);
+  M.Counter.add !cur.actual_rows actual
+
+let note_replan () = M.Counter.inc !cur.replans
+
+let note_plan_error ~ratio =
+  M.Gauge.set_max !cur.err_max_x100 (int_of_est (ratio *. 100.))
+
+let note_plan_order order =
+  let s = !cur in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  s.orders <- order :: take 63 s.orders
 
 (* read side *)
 
@@ -80,6 +116,12 @@ let complements_avoided () = M.Counter.value !cur.complements_avoided
 let selections_pushed () = M.Counter.value !cur.selections_pushed
 let divisions () = M.Counter.value !cur.divisions
 let neg_extensions () = M.Counter.value !cur.neg_extensions
+let neg_complements () = M.Counter.value !cur.neg_complements
+let est_rows () = M.Counter.value !cur.est_rows
+let actual_rows () = M.Counter.value !cur.actual_rows
+let replans () = M.Counter.value !cur.replans
+let err_max_x100 () = M.Gauge.value !cur.err_max_x100
+let plan_orders () = List.rev !cur.orders
 let peak_table_bytes () = M.Gauge.value !cur.peak_table_bytes
 let line () = M.line !cur.registry
 let report () = M.report !cur.registry

@@ -25,6 +25,22 @@ val note_complement_avoided : unit -> unit
 val note_selection_pushed : unit -> unit
 val note_division : unit -> unit
 val note_neg_extension : unit -> unit
+val note_neg_complement : unit -> unit
+
+(** [note_op_card ~est ~actual] — one planned operator (join or anti-join)
+    produced [actual] rows where the planner predicted [est] (saturated
+    into the [planner.est_rows]/[planner.actual_rows] counters). *)
+val note_op_card : est:float -> actual:int -> unit
+
+(** A conjunction was re-planned with observed selectivities. *)
+val note_replan : unit -> unit
+
+(** [note_plan_error ~ratio] — worst per-step estimation error ratio of a
+    finished plan (gauge [planner.err_max_x100], peak-tracked). *)
+val note_plan_error : ratio:float -> unit
+
+(** Record the join order a [plan_and] chose (diagnostic ring, last 64). *)
+val note_plan_order : int list -> unit
 
 (** {2 Reading} *)
 
@@ -64,6 +80,31 @@ val divisions : unit -> int
     conjunct: the current table had to be padded with full columns before
     the anti-join (degenerates towards the complement cost). *)
 val neg_extensions : unit -> int
+
+(** Uncovered negations where the cost model picked the [n^arity]
+    complement + join over padding the current table (chosen only when a
+    planning context makes the comparison possible and the complement is
+    estimated cheaper). *)
+val neg_complements : unit -> int
+
+(** Sum of predicted output rows across planned joins/anti-joins… *)
+val est_rows : unit -> int
+
+(** …and the matching sum of actual output rows — the pair the bench uses
+    to assert estimation quality. *)
+val actual_rows : unit -> int
+
+(** Conjunctions re-planned with observed selectivities (the adaptive
+    feedback loop). *)
+val replans : unit -> int
+
+(** Peak per-plan worst-step estimation error ratio, ×100. *)
+val err_max_x100 : unit -> int
+
+(** Join orders chosen by recent [plan_and] calls, oldest first (at most
+    64 retained) — lets the bench assert a plan {e flip} between two
+    configurations. *)
+val plan_orders : unit -> int list list
 
 (** High-water mark of a single table's payload, in bytes. *)
 val peak_table_bytes : unit -> int

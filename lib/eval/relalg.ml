@@ -1,5 +1,80 @@
 open Foc_logic
 module TS = Foc_data.Tuple.Set
+module Summary = Foc_stats.Summary
+module Stats = Foc_stats.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Planning context: base-relation statistics, histogram resolution, and
+   the adaptive feedback state. [None] everywhere reproduces the PR-4
+   uniform-domain planner bit-for-bit (and its metrics). A ctx is a
+   mutable single-domain object meant to live as long as an engine or a
+   session, so per-plan observations survive across queries. *)
+
+type feedback_entry = {
+  (* observed selectivity of appending input [next] to the joined prefix
+     set (sorted indices) — recorded when a run's worst per-step error
+     exceeded [replan_ratio], consumed by the next planning of the same
+     conjunct list *)
+  mutable corrections : ((int list * int) * float) list;
+  mutable last_order : int list;
+}
+
+type ctx = {
+  stats_for : (Foc_data.Structure.t -> Stats.t) option;
+  buckets : int;
+  adaptive : bool;
+  replan_ratio : float;
+  feedback : (Ast.formula list, feedback_entry) Hashtbl.t;
+}
+
+let make_ctx ?stats_for ?(buckets = 64) ?(adaptive = true)
+    ?(replan_ratio = 8.) () =
+  { stats_for; buckets; adaptive; replan_ratio; feedback = Hashtbl.create 16 }
+
+(* column summaries for one materialised conjunct table: O(1) from the
+   relation statistics for a plain [Rel] atom, otherwise one O(rows) scan
+   of the (already materialised) table — skipped above a size cap where
+   the scan would no longer be noise next to the joins it informs *)
+let scan_cap = 1_000_000
+
+let conjunct_input ctx a form table =
+  let vars = Var.Set.of_list (Array.to_list (Table.vars table)) in
+  let card = Table.cardinal table in
+  let cols =
+    if ctx.buckets <= 0 then []
+    else begin
+      let from_stats =
+        match (form, ctx.stats_for) with
+        | Ast.Rel (r, xs), Some sf
+          when Array.length xs = Var.Set.cardinal vars ->
+            let st = sf a in
+            if Stats.row_count st r = card then
+              Some
+                (Array.to_list (Array.mapi (fun i x -> (x, Stats.summary st r i)) xs))
+            else None (* stale stats: fall through to the scan *)
+        | _ -> None
+      in
+      match from_stats with
+      | Some cols -> cols
+      | None ->
+          if card > scan_cap then []
+          else
+            List.map
+              (fun x ->
+                (x, Summary.of_counts ~buckets:ctx.buckets (Table.column_counts table x)))
+              (Var.Set.elements vars)
+    end
+  in
+  Planner.input ~cols vars card
+
+let table_input t =
+  Planner.input
+    (Var.Set.of_list (Array.to_list (Table.vars t)))
+    (Table.cardinal t)
+
+let error_ratio ~est ~actual =
+  let e = Float.max est 0. +. 1. and a = float_of_int actual +. 1. in
+  Float.max (e /. a) (a /. e)
 
 let check_universe a =
   if Foc_data.Structure.order a = 0 then
@@ -75,7 +150,7 @@ let dist_table a x y d =
     Table.Builder.build b [| x; y |]
   end
 
-let rec ft ~plan preds a (phi : Ast.formula) =
+let rec ft ~plan ~pctx preds a (phi : Ast.formula) =
   check_universe a;
   let n = Foc_data.Structure.order a in
   match phi with
@@ -85,15 +160,15 @@ let rec ft ~plan preds a (phi : Ast.formula) =
       if Var.equal x y then all_elements_table a x else eq_table n x y
   | Rel (r, xs) -> rel_table a r xs
   | Dist (x, y, d) -> dist_table a x y d
-  | Neg f when not plan -> Table.complement (ft ~plan preds a f) n
-  | Neg (Neg f) -> ft ~plan preds a f
+  | Neg f when not plan -> Table.complement (ft ~plan ~pctx preds a f) n
+  | Neg (Neg f) -> ft ~plan ~pctx preds a f
   | Neg (Or _) ->
       (* ¬(f ∨ g) ≡ ¬f ∧ ¬g: route through the conjunction planner so each
          negation becomes an anti-join rather than one wide complement *)
-      plan_and ~plan preds a (Planner.conjuncts phi)
-  | Neg f -> Table.complement (ft ~plan preds a f) n
+      plan_and ~plan ~pctx preds a (Planner.conjuncts phi)
+  | Neg f -> Table.complement (ft ~plan ~pctx preds a f) n
   | Or (f, g) ->
-      let tf = ft ~plan preds a f and tg = ft ~plan preds a g in
+      let tf = ft ~plan ~pctx preds a f and tg = ft ~plan ~pctx preds a g in
       let missing_of t other =
         Array.to_list (Table.vars other)
         |> List.filter (fun x -> not (Table.has_column t x))
@@ -103,10 +178,10 @@ let rec ft ~plan preds a (phi : Ast.formula) =
       let tg = Table.extend_full tg n (missing_of tg tf) in
       Table.union tf tg
   | And (f, g) ->
-      if plan then plan_and ~plan preds a (Planner.conjuncts phi)
-      else Table.join (ft ~plan preds a f) (ft ~plan preds a g)
+      if plan then plan_and ~plan ~pctx preds a (Planner.conjuncts phi)
+      else Table.join (ft ~plan ~pctx preds a f) (ft ~plan ~pctx preds a g)
   | Exists (y, f) ->
-      let t = ft ~plan preds a f in
+      let t = ft ~plan ~pctx preds a f in
       if Table.has_column t y then begin
         let target =
           Array.to_list (Table.vars t)
@@ -120,12 +195,12 @@ let rec ft ~plan preds a (phi : Ast.formula) =
       if plan then begin
         (* relational division: one group-count pass instead of the
            double-negation complement pair *)
-        let t = ft ~plan preds a f in
+        let t = ft ~plan ~pctx preds a f in
         if Table.has_column t y then Table.divide t y n else t
       end
-      else ft ~plan preds a (Ast.Neg (Exists (y, Ast.Neg f)))
+      else ft ~plan ~pctx preds a (Ast.Neg (Exists (y, Ast.Neg f)))
   | Pred (p, ts) ->
-      let counts = List.map (tc ~plan preds a) ts in
+      let counts = List.map (tc ~plan ~pctx preds a) ts in
       let free =
         List.fold_left
           (fun acc c -> Var.Set.union acc (Counts.vars c))
@@ -150,7 +225,7 @@ let rec ft ~plan preds a (phi : Ast.formula) =
    join them greedily by estimated output size, and eagerly settle Eq
    atoms as selections and negated conjuncts as anti-joins the moment the
    current table covers their variables. *)
-and plan_and ~plan preds a cs =
+and plan_and ~plan ~pctx preds a cs =
   let n = Foc_data.Structure.order a in
   let eqs = ref [] and neg_fs = ref [] and pos = ref [] in
   List.iter
@@ -160,7 +235,7 @@ and plan_and ~plan preds a cs =
       | Neg f -> neg_fs := f :: !neg_fs
       | f -> pos := f :: !pos)
     cs;
-  let negs = ref (List.rev_map (fun f -> ft ~plan preds a f) !neg_fs) in
+  let negs = ref (List.rev_map (fun f -> ft ~plan ~pctx preds a f) !neg_fs) in
   let settle cur0 =
     let cur = ref cur0 in
     let changed = ref true in
@@ -185,7 +260,18 @@ and plan_and ~plan preds a cs =
         List.filter
           (fun tg ->
             if Array.for_all (Table.has_column !cur) (Table.vars tg) then begin
-              cur := Table.antijoin !cur tg;
+              (match pctx with
+              | Some _ ->
+                  (* predicted anti-join output: |cur|·(1 - semijoin sel) *)
+                  let sel =
+                    Planner.semijoin_sel ~n (table_input !cur) (table_input tg)
+                  in
+                  let est =
+                    float_of_int (Table.cardinal !cur) *. (1. -. sel)
+                  in
+                  cur := Table.antijoin !cur tg;
+                  Eval_obs.note_op_card ~est ~actual:(Table.cardinal !cur)
+              | None -> cur := Table.antijoin !cur tg);
               Eval_obs.note_complement_avoided ();
               changed := true;
               false
@@ -195,21 +281,87 @@ and plan_and ~plan preds a cs =
     done;
     !cur
   in
-  let tables = Array.of_list (List.rev_map (ft ~plan preds a) !pos) in
+  let pos_forms = Array.of_list (List.rev !pos) in
+  let tables = Array.map (fun f -> ft ~plan ~pctx preds a f) pos_forms in
   let inputs =
-    Array.map
-      (fun t ->
-        (Var.Set.of_list (Array.to_list (Table.vars t)), Table.cardinal t))
-      tables
+    match pctx with
+    | Some c -> Array.mapi (fun i t -> conjunct_input c a pos_forms.(i) t) tables
+    | None -> Array.map table_input tables
   in
+  (* Re-planning: once a previous run of this conjunct list recorded
+     observed selectivities (because its estimates were off by more than
+     the ctx ratio), plan with them — and count an actual order change. *)
+  let fb =
+    match pctx with
+    | Some c when c.adaptive -> Hashtbl.find_opt c.feedback cs
+    | _ -> None
+  in
+  let correct =
+    match fb with
+    | Some e when e.corrections <> [] ->
+        Some (fun ~joined ~next -> List.assoc_opt (joined, next) e.corrections)
+    | _ -> None
+  in
+  let jplan = Planner.plan_joins ~n ?correct inputs in
+  Eval_obs.note_plan_order jplan.Planner.order;
+  (match (fb, correct) with
+  | Some e, Some _ ->
+      if e.last_order <> [] && e.last_order <> jplan.Planner.order then
+        Eval_obs.note_replan ();
+      e.last_order <- jplan.Planner.order
+  | Some e, None -> e.last_order <- jplan.Planner.order
+  | None, _ -> ());
+  (* execute the order, comparing each join's predicted cardinality with
+     the observed one; observations feed the per-plan feedback entry *)
+  let observed = ref [] and max_err = ref 1. in
   let cur =
-    match Planner.greedy_order ~n inputs with
+    match jplan.Planner.order with
     | [] -> ref Table.unit
     | i0 :: rest ->
+        let prefix = ref [ i0 ] in
         let cur = ref (settle tables.(i0)) in
-        List.iter (fun i -> cur := settle (Table.join !cur tables.(i))) rest;
+        List.iteri
+          (fun k i ->
+            let before = Table.cardinal !cur in
+            let right = Table.cardinal tables.(i) in
+            let joined = Table.join !cur tables.(i) in
+            let actual = Table.cardinal joined in
+            let sel_pred = jplan.Planner.step_sel.(k + 1) in
+            let est = float_of_int before *. float_of_int right *. sel_pred in
+            Eval_obs.note_op_card ~est ~actual;
+            max_err := Float.max !max_err (error_ratio ~est ~actual);
+            let pairs = before * right in
+            if pairs > 0 then
+              observed :=
+                ( (List.sort compare !prefix, i),
+                  float_of_int actual /. float_of_int pairs )
+                :: !observed;
+            prefix := i :: !prefix;
+            cur := settle joined)
+          rest;
         cur
   in
+  (match pctx with
+  | Some c when c.adaptive && List.length jplan.Planner.order > 1 ->
+      Eval_obs.note_plan_error ~ratio:!max_err;
+      if !max_err > c.replan_ratio && !observed <> [] then begin
+        if Hashtbl.length c.feedback > 512 then Hashtbl.reset c.feedback;
+        let e =
+          match Hashtbl.find_opt c.feedback cs with
+          | Some e -> e
+          | None ->
+              let e = { corrections = []; last_order = jplan.Planner.order } in
+              Hashtbl.replace c.feedback cs e;
+              e
+        in
+        e.last_order <- jplan.Planner.order;
+        e.corrections <-
+          !observed
+          @ List.filter
+              (fun (key, _) -> not (List.mem_assoc key !observed))
+              e.corrections
+      end
+  | _ -> ());
   (* Eq atoms with neither side bound: seed them from the identity table *)
   let rec drain_eqs () =
     match !eqs with
@@ -220,8 +372,10 @@ and plan_and ~plan preds a cs =
         drain_eqs ()
   in
   drain_eqs ();
-  (* negations over variables no positive conjunct bounds: pad with full
-     columns first (degenerates towards the complement, and is counted) *)
+  (* negations over variables no positive conjunct bounds: pad the current
+     table with full columns before the anti-join, or — when a planning
+     context can price both sides and the n^arity complement is cheaper
+     than the padded intermediate — take the complement and join it *)
   List.iter
     (fun tg ->
       let missing =
@@ -229,21 +383,41 @@ and plan_and ~plan preds a cs =
         |> List.filter (fun x -> not (Table.has_column !cur x))
         |> Array.of_list
       in
-      Eval_obs.note_neg_extension ();
-      Eval_obs.note_complement_avoided ();
-      cur := Table.antijoin (Table.extend_full !cur n missing) tg)
+      let nf = float_of_int n in
+      let padded_cost =
+        float_of_int (Table.cardinal !cur)
+        *. (nf ** float_of_int (Array.length missing))
+      in
+      let complement_cost =
+        nf ** float_of_int (Array.length (Table.vars tg))
+      in
+      match pctx with
+      | Some _ when complement_cost < padded_cost ->
+          Eval_obs.note_neg_complement ();
+          cur := Table.join !cur (Table.complement tg n)
+      | _ ->
+          Eval_obs.note_neg_extension ();
+          Eval_obs.note_complement_avoided ();
+          let padded = Table.extend_full !cur n missing in
+          let est =
+            float_of_int (Table.cardinal padded)
+            *. (1. -. Planner.semijoin_sel ~n (table_input padded) (table_input tg))
+          in
+          cur := Table.antijoin padded tg;
+          if Option.is_some pctx then
+            Eval_obs.note_op_card ~est ~actual:(Table.cardinal !cur))
     !negs;
   !cur
 
-and tc ~plan preds a (t : Ast.term) =
+and tc ~plan ~pctx preds a (t : Ast.term) =
   check_universe a;
   let n = Foc_data.Structure.order a in
   match t with
   | Int i -> Counts.const i
-  | Add (s, t') -> Counts.add (tc ~plan preds a s) (tc ~plan preds a t')
-  | Mul (s, t') -> Counts.mul (tc ~plan preds a s) (tc ~plan preds a t')
+  | Add (s, t') -> Counts.add (tc ~plan ~pctx preds a s) (tc ~plan ~pctx preds a t')
+  | Mul (s, t') -> Counts.mul (tc ~plan ~pctx preds a s) (tc ~plan ~pctx preds a t')
   | Count (ys, f) ->
-      let tf = ft ~plan preds a f in
+      let tf = ft ~plan ~pctx preds a f in
       let ctx =
         Array.to_list (Table.vars tf)
         |> List.filter (fun x -> not (List.mem x ys))
@@ -261,19 +435,20 @@ and tc ~plan preds a (t : Ast.term) =
       let keys, cnts = Table.group_count tf ctx in
       Counts.of_sorted_groups ~vars:ctx ~multiplier keys cnts
 
-let formula_table ?(plan = true) preds a phi = ft ~plan preds a phi
-let term_counts ?(plan = true) preds a t = tc ~plan preds a t
+let formula_table ?(plan = true) ?ctx preds a phi =
+  ft ~plan ~pctx:ctx preds a phi
+let term_counts ?(plan = true) ?ctx preds a t = tc ~plan ~pctx:ctx preds a t
 
-let holds ?(plan = true) preds a binding phi =
-  let t = ft ~plan preds a phi in
+let holds ?(plan = true) ?ctx preds a binding phi =
+  let t = ft ~plan ~pctx:ctx preds a phi in
   not (Table.is_empty (Table.bind t binding))
 
-let term_value ?(plan = true) preds a binding t =
-  let c = tc ~plan preds a t in
+let term_value ?(plan = true) ?ctx preds a binding t =
+  let c = tc ~plan ~pctx:ctx preds a t in
   Counts.get c (Naive.env_of_list binding)
 
-let count ?(plan = true) preds a vars phi =
-  let t = ft ~plan preds a phi in
+let count ?(plan = true) ?ctx preds a vars phi =
+  let t = ft ~plan ~pctx:ctx preds a phi in
   Array.iter
     (fun x ->
       if not (List.mem x vars) then
@@ -284,10 +459,11 @@ let count ?(plan = true) preds a vars phi =
   let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
   Table.cardinal t * pow 1 (List.length missing)
 
-let query ?(plan = true) preds a (q : Query.t) =
+let query ?(plan = true) ?ctx preds a (q : Query.t) =
   check_universe a;
   let n = Foc_data.Structure.order a in
-  let body = ft ~plan preds a q.body in
+  let pctx = ctx in
+  let body = ft ~plan ~pctx preds a q.body in
   let head = Array.of_list q.head_vars in
   let missing =
     Array.to_list head
@@ -299,7 +475,7 @@ let query ?(plan = true) preds a (q : Query.t) =
   (* head-term readers are compiled once against the head column order *)
   let readers =
     Array.of_list
-      (List.map (fun t -> Counts.row (tc ~plan preds a t) head) q.head_terms)
+      (List.map (fun t -> Counts.row (tc ~plan ~pctx preds a t) head) q.head_terms)
   in
   let out = ref [] in
   Table.iter body (fun row ->

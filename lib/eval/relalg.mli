@@ -17,23 +17,77 @@
     the "unplanned" side of experiment E13. Both modes return the same
     tables; {!Eval_obs} counts what the planner did.
 
+    A {!ctx} upgrades the planner from the uniform-domain cardinality
+    model to real statistics and closes the adaptive loop:
+
+    - join orders use per-column distinct counts and equi-depth
+      histograms ({!Foc_stats}) — from the supplied per-structure
+      statistics for relation atoms in O(1), from one linear scan for
+      other materialised conjuncts;
+    - uncovered negated conjuncts get a cost-based choice between
+      padding the current table ([|cur|·n^missing]) and materialising
+      the [n^arity] complement, instead of always padding;
+    - after every planned conjunction the predicted per-step
+      cardinalities are compared against the actual join outputs
+      ({!Eval_obs} [planner.est_rows]/[planner.actual_rows]); when the
+      worst step is off by more than [replan_ratio], the observed
+      selectivities are recorded against the conjunct list and the next
+      evaluation of the same conjunction re-plans with them
+      ([planner.replans] counts actual order changes).
+
+    Everything a ctx changes is {e result-neutral}: for every ctx, plans
+    flag and structure, the returned tables are bit-identical to the
+    default ones.
+
     All functions raise [Invalid_argument] on an empty universe. *)
 
 open Foc_logic
 
+(** Planning context: optional per-structure statistics provider,
+    histogram resolution, and the adaptive feedback state (mutable,
+    single-domain; meant to live as long as an engine or session). *)
+type ctx
+
+(** [make_ctx ?stats_for ?buckets ?adaptive ?replan_ratio ()].
+    [stats_for] maps a structure to its (cached) statistics — e.g.
+    [Foc_stats.Stats.collect] or a session's per-version cache; omitted,
+    conjunct tables are still scanned for summaries. [buckets] (default
+    64) is the histogram resolution, [<= 0] disables summaries entirely.
+    [adaptive] (default [true]) enables the estimate-vs-actual feedback
+    loop; [replan_ratio] (default 8.) is the worst-step error ratio
+    beyond which observed selectivities are recorded for re-planning. *)
+val make_ctx :
+  ?stats_for:(Foc_data.Structure.t -> Foc_stats.Stats.t) ->
+  ?buckets:int ->
+  ?adaptive:bool ->
+  ?replan_ratio:float ->
+  unit ->
+  ctx
+
 (** [formula_table preds a φ] — the table of satisfying assignments over
     exactly [free φ] (column order unspecified). *)
 val formula_table :
-  ?plan:bool -> Pred.collection -> Foc_data.Structure.t -> Ast.formula -> Table.t
+  ?plan:bool ->
+  ?ctx:ctx ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Ast.formula ->
+  Table.t
 
 (** [term_counts preds a t] — the valuation of a counting term. *)
 val term_counts :
-  ?plan:bool -> Pred.collection -> Foc_data.Structure.t -> Ast.term -> Counts.t
+  ?plan:bool ->
+  ?ctx:ctx ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Ast.term ->
+  Counts.t
 
 (** [holds preds a binding φ] — truth under the given assignment (which must
     cover [free φ]). *)
 val holds :
   ?plan:bool ->
+  ?ctx:ctx ->
   Pred.collection ->
   Foc_data.Structure.t ->
   (Var.t * int) list ->
@@ -43,6 +97,7 @@ val holds :
 (** [term_value preds a binding t]. *)
 val term_value :
   ?plan:bool ->
+  ?ctx:ctx ->
   Pred.collection ->
   Foc_data.Structure.t ->
   (Var.t * int) list ->
@@ -53,12 +108,18 @@ val term_value :
     problem of Corollary 5.6. [vars] must contain [free φ]. *)
 val count :
   ?plan:bool ->
-  Pred.collection -> Foc_data.Structure.t -> Var.t list -> Ast.formula -> int
+  ?ctx:ctx ->
+  Pred.collection ->
+  Foc_data.Structure.t ->
+  Var.t list ->
+  Ast.formula ->
+  int
 
 (** [query preds a q] evaluates a Definition 5.2 query; rows in lexicographic
     order of the head tuple. *)
 val query :
   ?plan:bool ->
+  ?ctx:ctx ->
   Pred.collection ->
   Foc_data.Structure.t ->
   Query.t ->

@@ -151,6 +151,19 @@ let column_index t x =
 
 let has_column t x = Array.exists (Var.equal x) t.vars
 
+(* value frequencies of one column, sorted by value — the raw material of
+   a planner {!Foc_stats.Summary} for an intermediate table *)
+let column_counts t x =
+  let j = column_index t x in
+  let tbl = Hashtbl.create (min 1024 (t.nrows + 1)) in
+  for r = 0 to t.nrows - 1 do
+    let v = t.data.((r * t.width) + j) in
+    Hashtbl.replace tbl v
+      (1 + Option.value ~default:0 (Hashtbl.find_opt tbl v))
+  done;
+  let pairs = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
+  Array.of_list (List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs)
+
 (* ---- iteration ---- *)
 
 let iter t f =

@@ -147,6 +147,11 @@ val column_index : t -> Var.t -> int
 
 val has_column : t -> Var.t -> bool
 
+(** [column_counts t x] — the distinct values of column [x] with their row
+    counts, sorted by value: the input {!Foc_stats.Summary.of_counts}
+    expects. One O(rows) scan. *)
+val column_counts : t -> Var.t -> (int * int) array
+
 val equal : t -> t -> bool
 (** Same column set and same rows (after alignment). *)
 

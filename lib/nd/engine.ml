@@ -17,6 +17,8 @@ type config = {
   jobs : int;
   ball_cache_mb : int;
   trace_file : string option;
+  stats_buckets : int;
+  adaptive : bool;
 }
 
 let default_config =
@@ -29,6 +31,8 @@ let default_config =
     jobs = Foc_par.default_jobs ();
     ball_cache_mb = 64;
     trace_file = None;
+    stats_buckets = 64;
+    adaptive = true;
   }
 
 type stats = {
@@ -103,6 +107,7 @@ type artifacts = {
   art_ctx : (Foc_data.Structure.t -> r:int -> Pattern_count.ctx) option;
   art_hanf :
     (Foc_data.Structure.t -> tr:int -> (string * int list) list) option;
+  art_stats : (Foc_data.Structure.t -> Foc_stats.Stats.t) option;
 }
 
 type t = {
@@ -110,13 +115,44 @@ type t = {
   m : handles;
   mutable fresh : int;
   mutable art : artifacts option;
+  mutable rctx : Foc_eval.Relalg.ctx option;
 }
 
 let create ?(config = default_config) () =
   (match config.trace_file with
   | Some _ -> Foc_obs.Trace.enable ()
   | None -> ());
-  { cfg = config; m = make_handles (); fresh = 0; art = None }
+  { cfg = config; m = make_handles (); fresh = 0; art = None; rctx = None }
+
+(* The planning context handed to every baseline fallback. Statistics
+   resolve through the [art_stats] hook when a session installed one;
+   otherwise a two-entry physical-identity memo amortises one
+   [Stats.collect] per structure (the per-atom row-count guard inside
+   [Relalg] falls back to scanning whenever a memoised entry went stale,
+   so a mutated structure can cost plan quality, never correctness). *)
+let relalg_ctx t =
+  match t.rctx with
+  | Some c -> c
+  | None ->
+      let memo = ref [] in
+      let stats_for a =
+        match t.art with
+        | Some { art_stats = Some f; _ } -> f a
+        | _ -> (
+            match List.assq_opt a !memo with
+            | Some s -> s
+            | None ->
+                let s = Foc_stats.Stats.collect ~buckets:t.cfg.stats_buckets a in
+                (memo :=
+                   (a, s) :: (match !memo with e :: _ -> [ e ] | [] -> []));
+                s)
+      in
+      let c =
+        Foc_eval.Relalg.make_ctx ~stats_for ~buckets:t.cfg.stats_buckets
+          ~adaptive:t.cfg.adaptive ()
+      in
+      t.rctx <- Some c;
+      c
 
 let set_artifacts t art = t.art <- art
 
@@ -265,6 +301,7 @@ let default_artifacts t =
       Some
         (fun a ~r -> memo (tbl_for ctxs a) r (fun () -> make_pattern_ctx t a ~r));
     art_hanf = None;
+    art_stats = None;
   }
 
 let with_artifacts t f =
@@ -432,7 +469,7 @@ and run_ground_count t a ys theta = function
   | None ->
       fallback t "ground counting kernel outside the guarded fragment";
       Foc_obs.span ~name:"fallback" (fun () ->
-          Foc_eval.Relalg.count t.cfg.preds a ys theta)
+          Foc_eval.Relalg.count ~ctx:(relalg_ctx t) t.cfg.preds a ys theta)
 
 and eval_ground_count t a ys theta =
   (* theta is Pred-free *)
@@ -472,7 +509,7 @@ and eval_unary_term t a x (term : Ast.term) : int array =
             fallback t "unary counting kernel outside the guarded fragment";
             Foc_obs.span ~name:"fallback" (fun () ->
                 let counts =
-                  Foc_eval.Relalg.term_counts t.cfg.preds a'
+                  Foc_eval.Relalg.term_counts ~ctx:(relalg_ctx t) t.cfg.preds a'
                     (Ast.Count (ys, theta'))
                 in
                 Array.init n (fun v ->
@@ -552,7 +589,7 @@ let holds_unary_inner t a x phi =
       fallback t "unary formula outside the guarded fragment";
       Foc_obs.span ~name:"fallback" (fun () ->
           let n = Structure.order a' in
-          let table = Foc_eval.Relalg.formula_table t.cfg.preds a' phi' in
+          let table = Foc_eval.Relalg.formula_table ~ctx:(relalg_ctx t) t.cfg.preds a' phi' in
           let out = Array.make n false in
           if Array.length (Foc_eval.Table.vars table) = 0 then begin
             let v = not (Foc_eval.Table.is_empty table) in
@@ -613,7 +650,7 @@ let run_query_inner t a (q : Query.t) =
          problem (3) — candidates come from the baseline body table, term
          values from the localized per-variable vectors *)
       fallback t "query head with two or more variables";
-      let table = Foc_eval.Relalg.formula_table t.cfg.preds a q.body in
+      let table = Foc_eval.Relalg.formula_table ~ctx:(relalg_ctx t) t.cfg.preds a q.body in
       let head = Array.of_list head_vars in
       let missing =
         Array.to_list head
@@ -634,7 +671,7 @@ let run_query_inner t a (q : Query.t) =
                against the head column order *)
             `Counts
               (Foc_eval.Counts.row
-                 (Foc_eval.Relalg.term_counts t.cfg.preds a term)
+                 (Foc_eval.Relalg.term_counts ~ctx:(relalg_ctx t) t.cfg.preds a term)
                  head)
       in
       let vectors = List.map term_vector q.head_terms in

@@ -22,12 +22,14 @@ type akey =
   | KCtx of int * int  (* structure id, term radius *)
   | KHanf of int * int  (* structure id, type radius *)
   | KCompiled of int  (* Ast.Key id *)
+  | KStats of int  (* structure id *)
 
 type aval =
   | VCover of Cover.t
   | VCtx of Pattern_count.ctx
   | VHanf of (string * int list) list
   | VCompiled of centry
+  | VStats of Foc_stats.Stats.t
 
 and centry = {
   ckey : Ast.Key.t;
@@ -47,6 +49,7 @@ let aval_bytes = function
           acc + String.length key + (word * List.length members) + 48)
         64 cls
   | VCompiled e -> e.cbytes
+  | VStats s -> Foc_stats.Stats.approx_bytes s
 
 type t = {
   eng : Engine.t;
@@ -64,6 +67,8 @@ type t = {
   ctx_misses : Counter.t;
   hanf_hits : Counter.t;
   hanf_misses : Counter.t;
+  stats_hits : Counter.t;
+  stats_misses : Counter.t;
   invalidated : Counter.t;
   balls_dropped : Counter.t;
 }
@@ -107,7 +112,8 @@ let prune_registries t =
   Budget_cache.fold t.cache ~init:() ~f:(fun k _ () ->
       match k with
       | KCover (g, _) -> Hashtbl.replace live_gids g ()
-      | KCtx (s, _) | KHanf (s, _) -> Hashtbl.replace live_sids s ()
+      | KCtx (s, _) | KHanf (s, _) | KStats s ->
+          Hashtbl.replace live_sids s ()
       | KCompiled _ -> ());
   t.struct_ids <-
     List.filter
@@ -155,6 +161,21 @@ let hanf_for t a ~tr =
       Budget_cache.insert t.cache key (VHanf cls);
       cls
 
+let stats_for t a =
+  let key = KStats (struct_id t a) in
+  match Budget_cache.find t.cache key with
+  | Some (VStats s) ->
+      Counter.inc t.stats_hits;
+      s
+  | _ ->
+      Counter.inc t.stats_misses;
+      let s =
+        Foc_stats.Stats.collect
+          ~buckets:(Engine.config t.eng).Engine.stats_buckets a
+      in
+      Budget_cache.insert t.cache key (VStats s);
+      s
+
 let install_hooks t =
   Engine.set_artifacts t.eng
     (Some
@@ -162,6 +183,7 @@ let install_hooks t =
          Engine.art_cover = (fun a ~rc -> cover_for t a ~rc);
          art_ctx = Some (fun a ~r -> ctx_for t a ~r);
          art_hanf = Some (fun a ~tr -> hanf_for t a ~tr);
+         art_stats = Some (fun a -> stats_for t a);
        })
 
 let create ?(budget_mb = 256) ?config a =
@@ -192,6 +214,8 @@ let create ?(budget_mb = 256) ?config a =
       ctx_misses = counter "session.ctx_misses";
       hanf_hits = counter "session.hanf_hits";
       hanf_misses = counter "session.hanf_misses";
+      stats_hits = counter "session.stats_hits";
+      stats_misses = counter "session.stats_misses";
       invalidated = counter "session.invalidated";
       balls_dropped = counter "session.balls_dropped";
     }
@@ -300,6 +324,10 @@ let make_worker t gids sids covers hanfs () =
                    incr w.w_hanf_hits;
                    cls
                | None -> Foc_bd.Hanf.classes ~jobs:1 a ~r:tr);
+         (* statistics are mutable (count tables, summaries rebuilt on
+            demand) — never shared across domains; each worker engine
+            collects its own through its per-engine memo *)
+         art_stats = None;
        });
   w
 
@@ -370,6 +398,12 @@ let update t name tup ~insert:ins =
          structure physically shares it ([Structure.add_tuples] preserves
          the memo for arity <= 1) — every cover then stays valid. *)
       if arity <= 1 then ignore (Structure.gaifman before);
+      (* set-semantic delta: [Stats.insert]/[delete] must only see tuples
+         that actually change the relation *)
+      let membership_changed =
+        if ins then not (Structure.mem before name tup)
+        else Structure.mem before name tup
+      in
       let after =
         if ins then Structure.add_tuples before name [ tup ]
         else Structure.remove_tuples before name [ tup ]
@@ -431,7 +465,7 @@ let update t name tup ~insert:ins =
         end
       in
       (* 3. sweep the remaining artifacts *)
-      let removals = ref [] and rebinds = ref [] in
+      let removals = ref [] and rebinds = ref [] and stats_rebind = ref None in
       Budget_cache.fold t.cache ~init:() ~f:(fun k v () ->
           match (k, v) with
           | KCover _, _ -> if graph_changed then removals := k :: !removals
@@ -444,7 +478,22 @@ let update t name tup ~insert:ins =
           | KCtx (sid, r), VCtx ctx ->
               if sid = bid then rebinds := (k, r, ctx) :: !rebinds
               else if List.mem sid dead_sids then removals := k :: !removals
+          | KStats sid, VStats s ->
+              (* the base structure's statistics follow the update
+                 incrementally; statistics of stratification-expanded
+                 structures are dropped — they may share the touched
+                 relation, and recollecting on next fallback is cheap *)
+              if sid = bid then stats_rebind := Some s
+              else removals := k :: !removals
           | _ -> ());
+      (match !stats_rebind with
+      | Some s ->
+          Budget_cache.remove t.cache (KStats bid);
+          if membership_changed then
+            if ins then Foc_stats.Stats.insert s name tup
+            else Foc_stats.Stats.delete s name tup;
+          Budget_cache.insert t.cache (KStats aid) (VStats s)
+      | None -> ());
       List.iter kill !removals;
       List.iter
         (fun (k, r, ctx) ->

@@ -81,9 +81,13 @@ val metrics : t -> Foc_obs.Metrics.t
     [session.compiled_hits]/[session.compiled_misses],
     [session.cover_hits]/[session.cover_misses],
     [session.ctx_hits]/[session.ctx_misses],
-    [session.hanf_hits]/[session.hanf_misses], [session.evictions]
-    (budget-pressure evictions), [session.invalidated] (artifacts dropped
-    by {!insert}/{!delete}), [session.balls_dropped] (cached balls
+    [session.hanf_hits]/[session.hanf_misses],
+    [session.stats_hits]/[session.stats_misses] (per-structure statistics
+    for baseline-fallback join planning, {!Foc_stats}; the base
+    structure's statistics are maintained incrementally across
+    {!insert}/{!delete}), [session.evictions] (budget-pressure
+    evictions), [session.invalidated] (artifacts dropped by
+    {!insert}/{!delete}), [session.balls_dropped] (cached balls
     invalidated inside rebound contexts). *)
 
 val stats_line : t -> string

@@ -22,6 +22,7 @@ type stats = {
   rejected : int;
   disconnects : int;
   session : string;
+  planner : string;
 }
 
 type response =
@@ -124,7 +125,8 @@ let response_line ?id resp =
                    ("shed", JInt s.shed);
                    ("rejected", JInt s.rejected);
                    ("disconnects", JInt s.disconnects);
-                   ("session", JStr s.session) ] ) ]
+                   ("session", JStr s.session);
+                   ("planner", JStr s.planner) ] ) ]
        | Error m -> [ ("ok", JBool false); ("error", JStr m) ]))
 
 (* ---------------- parse ---------------- *)
@@ -216,11 +218,14 @@ let parse_response line =
               with
               | ( Some version, Some connections, Some served, Some shed,
                   Some rejected, Some disconnects, Some session ) ->
+                  (* "planner" arrived with the adaptive-planning release:
+                     tolerate its absence so new clients read old servers *)
+                  let planner = Option.value (gets "planner") ~default:"" in
                   Result.Ok
                     ( id,
                       Stats_r
                         { version; connections; served; shed; rejected;
-                          disconnects; session } )
+                          disconnects; session; planner } )
               | _ -> Result.Error "malformed stats response")
           | None, None, Some v -> Result.Ok (id, Done v)
           | _ -> Result.Error "malformed ok response")

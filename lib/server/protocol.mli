@@ -49,6 +49,11 @@ type stats = {
   rejected : int;  (** parse/budget/argument rejections *)
   disconnects : int;  (** connections dropped mid-response *)
   session : string;  (** the session's logfmt stats line *)
+  planner : string;
+      (** the process-wide planner/baseline observability line
+          ({!Foc_eval.Eval_obs.line}) — join orders, complement avoidance,
+          estimated-vs-actual cardinalities, re-plans. Empty when talking
+          to a pre-adaptive-planning server *)
 }
 
 type response =

@@ -168,9 +168,16 @@ let run_one t p =
               rejected = t.rejected;
               disconnects = t.disconnects;
               session = "";
+              planner = "";
             })
       in
-      reply p (Protocol.Stats_r { stats with session = Session.stats_line t.sess });
+      reply p
+        (Protocol.Stats_r
+           {
+             stats with
+             session = Session.stats_line t.sess;
+             planner = Foc_eval.Eval_obs.line ();
+           });
       locked t (fun () -> t.served <- t.served + 1)
   | JShutdown ->
       locked t (fun () -> if t.state = Running then t.state <- Draining);
@@ -420,9 +427,17 @@ let cleanup t =
     let conn_fds =
       locked t (fun () -> Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [])
     in
+    (* Receive side only: the reader blocked in [input_line] sees EOF and
+       the thread exits, but the send side stays open so a response the
+       dispatcher completed moments before the stop (the [bye] to the very
+       client that requested shutdown, or any in-flight answer on another
+       connection) still reaches its client.  SHUTDOWN_ALL here raced
+       those last writes and clients saw the connection die before their
+       final reply. *)
     List.iter
       (fun fd ->
-        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
       conn_fds;
     List.iter Thread.join (locked t (fun () -> t.conn_threads));
     (match t.addr with

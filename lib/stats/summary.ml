@@ -1,0 +1,107 @@
+type bucket = { lo : int; hi : int; brows : int; bdistinct : int }
+type t = { rows : int; distinct : int; hist : bucket array }
+
+let empty = { rows = 0; distinct = 0; hist = [||] }
+
+let of_counts ~buckets (pairs : (int * int) array) =
+  let m = Array.length pairs in
+  let rows = Array.fold_left (fun acc (_, c) -> acc + c) 0 pairs in
+  if m = 0 then empty
+  else if buckets <= 0 then { rows; distinct = m; hist = [||] }
+  else begin
+    (* equi-depth: close a bucket as soon as it carries >= depth rows, so a
+       single heavy value closes its own bucket and keeps its frequency *)
+    let depth = max 1 ((rows + buckets - 1) / buckets) in
+    let out = ref [] in
+    let lo = ref (fst pairs.(0)) and brows = ref 0 and bdistinct = ref 0 in
+    let flush hi =
+      if !bdistinct > 0 then begin
+        out :=
+          { lo = !lo; hi; brows = !brows; bdistinct = !bdistinct } :: !out;
+        brows := 0;
+        bdistinct := 0
+      end
+    in
+    for i = 0 to m - 1 do
+      let v, c = pairs.(i) in
+      (* a heavy value gets a bucket of its own: close the partial bucket
+         first, so lighter neighbours never dilute its frequency *)
+      if c >= depth && i > 0 then flush (fst pairs.(i - 1));
+      if !bdistinct = 0 then lo := v;
+      brows := !brows + c;
+      incr bdistinct;
+      if !brows >= depth || i = m - 1 then flush v
+    done;
+    { rows; distinct = m; hist = Array.of_list (List.rev !out) }
+  end
+
+(* bucket containing v, by binary search on [lo] *)
+let bucket_of s v =
+  let h = s.hist in
+  let n = Array.length h in
+  if n = 0 || v < h.(0).lo || v > h.(n - 1).hi then None
+  else begin
+    let l = ref 0 and r = ref (n - 1) in
+    while !l < !r do
+      let mid = (!l + !r + 1) / 2 in
+      if h.(mid).lo <= v then l := mid else r := mid - 1
+    done;
+    let b = h.(!l) in
+    if v >= b.lo && v <= b.hi then Some b else None
+  end
+
+let eq_rows s v =
+  if s.rows = 0 then 0.
+  else if Array.length s.hist = 0 then
+    float_of_int s.rows /. float_of_int (max 1 s.distinct)
+  else
+    match bucket_of s v with
+    | Some b -> float_of_int b.brows /. float_of_int (max 1 b.bdistinct)
+    | None -> 0.
+
+(* Σ_v f1(v)·f2(v) by a linear merge over the bucket lists: an overlap
+   segment takes a width-proportional share of each bucket's rows and
+   distinct values (uniformity within the bucket), and contributes
+   r1·r2/max(d1,d2) matches (containment of the smaller value set). *)
+let join_rows_hist h1 h2 =
+  let n1 = Array.length h1 and n2 = Array.length h2 in
+  let i = ref 0 and j = ref 0 and acc = ref 0. in
+  while !i < n1 && !j < n2 do
+    let b1 = h1.(!i) and b2 = h2.(!j) in
+    let a = max b1.lo b2.lo and b = min b1.hi b2.hi in
+    if a <= b then begin
+      let seg = float_of_int (b - a + 1) in
+      let w1 = float_of_int (b1.hi - b1.lo + 1)
+      and w2 = float_of_int (b2.hi - b2.lo + 1) in
+      let r1 = float_of_int b1.brows *. seg /. w1
+      and d1 = float_of_int b1.bdistinct *. seg /. w1
+      and r2 = float_of_int b2.brows *. seg /. w2
+      and d2 = float_of_int b2.bdistinct *. seg /. w2 in
+      let d = Float.max (Float.max d1 d2) 1e-9 in
+      acc := !acc +. (r1 *. r2 /. d)
+    end;
+    if b1.hi <= b2.hi then incr i else incr j
+  done;
+  !acc
+
+let join_rows s1 s2 =
+  if s1.rows = 0 || s2.rows = 0 then 0.
+  else if Array.length s1.hist = 0 || Array.length s2.hist = 0 then
+    float_of_int s1.rows *. float_of_int s2.rows
+    /. float_of_int (max 1 (max s1.distinct s2.distinct))
+  else join_rows_hist s1.hist s2.hist
+
+let eq_sel s1 s2 =
+  if s1.rows = 0 || s2.rows = 0 then 0.
+  else
+    Float.min 1.
+      (Float.max 0.
+         (join_rows s1 s2 /. (float_of_int s1.rows *. float_of_int s2.rows)))
+
+let pp fmt s =
+  Format.fprintf fmt "@[<h>{rows=%d distinct=%d" s.rows s.distinct;
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt " [%d..%d]r%dd%d" b.lo b.hi b.brows b.bdistinct)
+    s.hist;
+  Format.fprintf fmt "}@]"

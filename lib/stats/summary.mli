@@ -1,0 +1,57 @@
+(** Per-column data summaries: exact row/distinct counts plus a small
+    equi-depth histogram over the (integer) column values.
+
+    A summary is the planner-facing distillation of one column of one
+    relation (or of a materialised intermediate table): how many rows, how
+    many distinct values, and how the rows distribute over the value range.
+    Buckets are equi-{e depth} — boundaries are chosen so every bucket
+    carries roughly [rows/buckets] rows — so a heavily skewed value (a
+    Zipfian hub) ends up isolated in a narrow bucket of its own and its
+    true frequency survives into the estimates, which is exactly what the
+    uniform-domain model loses.
+
+    All estimators return floats and never raise; a zero-row summary
+    estimates zero. Summaries are immutable. *)
+
+type bucket = {
+  lo : int;  (** smallest value in the bucket (inclusive) *)
+  hi : int;  (** largest value in the bucket (inclusive) *)
+  brows : int;  (** rows whose value falls in [lo..hi] *)
+  bdistinct : int;  (** distinct values present in [lo..hi] *)
+}
+
+type t = private {
+  rows : int;
+  distinct : int;
+  hist : bucket array;  (** increasing, disjoint; may be [[||]] *)
+}
+
+val empty : t
+
+val of_counts : buckets:int -> (int * int) array -> t
+(** [of_counts ~buckets pairs] builds a summary from [(value, count)]
+    pairs sorted by strictly increasing value with positive counts.
+    [buckets <= 0] yields counts only (no histogram). A value whose count
+    alone exceeds the target depth closes its bucket immediately, so heavy
+    hitters occupy (near-)singleton buckets. *)
+
+val eq_rows : t -> int -> float
+(** [eq_rows s v] — estimated number of rows with value [v]: the exact
+    per-bucket frequency [brows/bdistinct] of the bucket containing [v]
+    (assuming uniformity {e within} the bucket), [rows/distinct] without a
+    histogram, [0.] outside every bucket. *)
+
+val join_rows : t -> t -> float
+(** [join_rows s1 s2] — estimated number of matching {e pairs} when
+    equi-joining the two columns: [Σ_v f1(v)·f2(v)], computed by a linear
+    merge over the two bucket lists splitting overlaps proportionally;
+    falls back to [rows1·rows2 / max(distinct1, distinct2)] (the
+    containment assumption) when either histogram is absent. *)
+
+val eq_sel : t -> t -> float
+(** [eq_sel s1 s2] — probability that independently drawn rows of the two
+    columns agree: [join_rows s1 s2 / (rows1·rows2)], clamped to [0,1].
+    The selectivity of a [select_eq] between two columns of one table
+    under independence. *)
+
+val pp : Format.formatter -> t -> unit

@@ -92,6 +92,7 @@ let test_protocol_roundtrip () =
           rejected = 5;
           disconnects = 6;
           session = "a=1 b=\"two words\"";
+          planner = "planner.replans=1";
         };
       P.Error "bad \"quoted\" thing\nsecond line";
     ]
@@ -393,6 +394,38 @@ let test_graceful_shutdown () =
       (* wait returns: the daemon drained and stopped *)
       Foc.Server.wait srv)
 
+(* Regression: the final replies of a draining server used to race the
+   stop path.  [cleanup] shut each connection socket in BOTH directions,
+   and on a busy scheduler it won the race against the connection
+   thread's last [send_line] — the very client that asked for shutdown
+   saw EOF instead of its [bye] (likewise any in-flight answer on
+   another connection).  Receive-side-only shutdown keeps the write path
+   open.  The race was timing-dependent (~50% on one core), so run the
+   round-trip several times. *)
+let test_shutdown_reply_delivered () =
+  for round = 1 to 6 do
+    with_server (fun srv _ ->
+        let c = connect srv in
+        (match Foc.Server_client.rpc c (P.Insert ("E", [| 1; 2 |])) with
+        | P.Done _ -> ()
+        | r -> Alcotest.fail ("insert: " ^ P.response_line r));
+        (match Foc.Server_client.rpc c P.Stats with
+        | P.Stats_r _ -> ()
+        | r -> Alcotest.fail ("stats: " ^ P.response_line r));
+        (match Foc.Server_client.rpc c P.Shutdown with
+        | P.Bye -> ()
+        | r ->
+            Alcotest.fail
+              (Printf.sprintf "round %d: expected bye, got %s" round
+                 (P.response_line r))
+        | exception End_of_file ->
+            Alcotest.fail
+              (Printf.sprintf
+                 "round %d: connection closed before the bye reply" round));
+        Foc.Server_client.close c;
+        Foc.Server.wait srv)
+  done
+
 let () =
   Alcotest.run "query server"
     [
@@ -418,5 +451,7 @@ let () =
             test_client_killed_mid_stream;
           Alcotest.test_case "graceful shutdown drains" `Quick
             test_graceful_shutdown;
+          Alcotest.test_case "shutdown reply reaches the client" `Quick
+            test_shutdown_reply_delivered;
         ] );
     ]
