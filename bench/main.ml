@@ -1513,6 +1513,274 @@ let e16 () =
     "(the gate: histogram plan != uniform plan, >=10x fewer rows built, \
      adaptive re-plan fired, all counts bit-identical)\n"
 
+(* ========== E17: request-scoped observability overhead ========== *)
+
+(* The E15 load shape run twice against identical daemons: once plain,
+   once with the full observability stack on — per-request timing
+   breakdowns, a (deliberately always-firing) slow-query log to a
+   rotating file, span tracing into bounded rings with a Chrome export on
+   shutdown. Both runs are replay-verified against fresh sequential
+   engines, the (query, version) → answer maps must be bit-identical
+   across runs, every timing breakdown must sum to at most its own
+   total, and the wall-clock ratio is recorded as the overhead. *)
+let e17 () =
+  header "E17  Request observability: overhead and bit-identity under load"
+    "claim: per-request scopes, slow-query logging and bounded-ring \
+     tracing never change an answer and cost little; every timing \
+     breakdown is a decomposition of its request's wall time";
+  let module P = Foc.Server_protocol in
+  let agree_all = ref true in
+  let note tag ok =
+    if not ok then begin
+      agree_all := false;
+      Printf.printf "!! E17: %s\n" tag
+    end
+  in
+  let n = if !smoke then 150 else if !quick then 300 else 600 in
+  let reads_per_client = if !smoke then 20 else if !quick then 40 else 80 in
+  let writes_total = if !smoke then 6 else if !quick then 12 else 24 in
+  let clients = 4 in
+  let queries =
+    [|
+      "exists x. #(y). E(x,y) >= 2";
+      "exists x. prime(#(y). (E(x,y) | E(y,x)))";
+      "#(x,y). (E(x,y) & B(y)) >= 3";
+      "forall x. #(y). E(y,x) <= 3";
+      "#(v,w,x,y). (E(v,w) & E(w,x) & E(x,y)) >= 1";
+      "#(x). prime(#(y). E(x,y)) >= 2";
+    |]
+  in
+  let parsed = Array.map parse queries in
+  let rng = Random.State.make [| 17; n |] in
+  let a = coloured_structure 17 (Foc.Gen.random_bounded_degree rng n 3) in
+  let fresh_check b phi =
+    Foc.Engine.check
+      (Foc.Engine.create
+         ~config:{ Foc.Engine.default_config with jobs = 1 }
+         ())
+      b phi
+  in
+  let writes =
+    List.init writes_total (fun i ->
+        let u = ((7 * i) + 1) mod n and v = ((11 * i) + 3) mod n in
+        (i mod 3 <> 2, [| u; v |]))
+  in
+  let timing_ok = ref true in
+  let timing_note tag ok =
+    if not ok then begin
+      timing_ok := false;
+      agree_all := false;
+      Printf.printf "!! E17 timing: %s\n" tag
+    end
+  in
+  (* one full E15-style closed loop; [observed] turns the whole stack on *)
+  let run_load label observed =
+    let path =
+      Printf.sprintf "/tmp/foc-e17-%d-%s.sock" (Unix.getpid ()) label
+    in
+    let slow_path =
+      if observed then Some (Filename.temp_file "foc_e17_slow" ".log")
+      else None
+    in
+    let trace_path =
+      if observed then Some (Filename.temp_file "foc_e17_trace" ".json")
+      else None
+    in
+    let cfg =
+      {
+        (Foc.Server.default_config (Foc.Server.Unix_sock path)) with
+        jobs = 2;
+        slow_ms = (if observed then 1e-6 else 0.);
+        slow_log = slow_path;
+        trace_file = trace_path;
+        trace_cap = (if observed then Some 4096 else None);
+      }
+    in
+    let srv = Foc.Server.start cfg a in
+    let errors = ref [] in
+    let fail_m = Mutex.create () in
+    let failed msg =
+      Mutex.lock fail_m;
+      errors := msg :: !errors;
+      Mutex.unlock fail_m
+    in
+    let write_log = ref [] in
+    let writer () =
+      let c = Foc.Server_client.connect (Foc.Server.address srv) in
+      List.iter
+        (fun (ins, tup) ->
+          let req =
+            if ins then P.Insert ("E", tup) else P.Delete ("E", tup)
+          in
+          match Foc.Server_client.rpc c req with
+          | P.Done v -> write_log := (v, ins, tup) :: !write_log
+          | r -> failed ("write failed: " ^ P.response_line r))
+        writes;
+      Foc.Server_client.close c
+    in
+    let reader_results =
+      Array.init clients (fun _ -> ref ([] : (int * int * bool) list))
+    in
+    let reader k () =
+      let c = Foc.Server_client.connect (Foc.Server.address srv) in
+      for i = 0 to reads_per_client - 1 do
+        let qi = (k + (3 * i)) mod Array.length queries in
+        let (meta, resp), dt =
+          time (fun () ->
+              Foc.Server_client.rpc_full ~timing:observed c
+                (P.Check queries.(qi)))
+        in
+        (match (observed, meta.P.rtiming) with
+        | true, Some tm ->
+            let phases =
+              tm.P.queue_ns + tm.P.batch_wait_ns + tm.P.artifact_ns
+              + tm.P.plan_ns + tm.P.eval_ns + tm.P.write_ns
+            in
+            if not (phases <= tm.P.total_ns) then
+              failed
+                (Printf.sprintf "phases %d exceed total %d" phases
+                   tm.P.total_ns);
+            (* the server's total is measured inside the client's wall
+               time; allow generous scheduling slack *)
+            if not (float_of_int tm.P.total_ns <= (dt *. 1e9) +. 1e7) then
+              failed
+                (Printf.sprintf "total %d ns exceeds client wall %.0f ns"
+                   tm.P.total_ns (dt *. 1e9))
+        | true, None -> failed "timing requested but absent"
+        | false, Some _ -> failed "unsolicited timing breakdown"
+        | false, None -> ());
+        match resp with
+        | P.Bool (b, v) ->
+            reader_results.(k) := (qi, v, b) :: !(reader_results.(k))
+        | r -> failed ("read failed: " ^ P.response_line r)
+      done;
+      Foc.Server_client.close c
+    in
+    let wall =
+      time_only (fun () ->
+          let threads =
+            Thread.create writer ()
+            :: List.init clients (fun k -> Thread.create (reader k) ())
+          in
+          List.iter Thread.join threads)
+    in
+    Foc.Server.stop srv;
+    List.iter
+      (fun m -> timing_note (Printf.sprintf "%s: %s" label m) false)
+      !errors;
+    (* the observability side-channels must actually have fired *)
+    (match slow_path with
+    | Some p ->
+        let lines = In_channel.with_open_text p In_channel.input_lines in
+        note
+          (Printf.sprintf "%s: slow log captured slow queries" label)
+          (List.exists
+             (fun l ->
+               String.length l >= 14 && String.sub l 0 14 = "msg=slow_query")
+             lines);
+        Sys.remove p
+    | None -> ());
+    (match trace_path with
+    | Some p ->
+        let contents =
+          In_channel.with_open_bin p In_channel.input_all
+        in
+        note
+          (Printf.sprintf "%s: trace export parses" label)
+          (match Foc.Obs.Json.parse contents with
+          | Ok (Foc.Obs.Json.List _) -> true
+          | _ -> false);
+        Sys.remove p
+    | None -> ());
+    (* replay the write log; verify every read against a fresh engine *)
+    let log = List.sort compare !write_log in
+    note
+      (Printf.sprintf "%s: all %d writes applied" label writes_total)
+      (List.length log = writes_total);
+    let structures = Array.make (List.length log + 1) a in
+    List.iteri
+      (fun i (v, ins, tup) ->
+        note
+          (Printf.sprintf "%s: dense versions (%d at %d)" label v (i + 1))
+          (v = i + 1);
+        structures.(i + 1) <-
+          (if ins then Foc.Structure.add_tuples structures.(i) "E" [ tup ]
+           else Foc.Structure.remove_tuples structures.(i) "E" [ tup ]))
+      log;
+    let answers = Hashtbl.create 64 in
+    let expected = Hashtbl.create 64 in
+    let total_reads = ref 0 in
+    Array.iter
+      (fun out ->
+        List.iter
+          (fun (qi, v, got) ->
+            incr total_reads;
+            Hashtbl.replace answers (qi, v) got;
+            let want =
+              match Hashtbl.find_opt expected (qi, v) with
+              | Some w -> w
+              | None ->
+                  let w = fresh_check structures.(v) parsed.(qi) in
+                  Hashtbl.add expected (qi, v) w;
+                  w
+            in
+            if got <> want then
+              note (Printf.sprintf "%s: q%d at version %d" label qi v) false)
+          !out)
+      reader_results;
+    note
+      (Printf.sprintf "%s: every read answered" label)
+      (!total_reads = clients * reads_per_client);
+    (wall, answers, !total_reads + List.length log)
+  in
+  Printf.printf "\n-- %d readers x %d + %d writes (n=%d), plain vs observed\n"
+    clients reads_per_client writes_total n;
+  let wall_off, ans_off, reqs_off = run_load "off" false in
+  let wall_on, ans_on, reqs_on = run_load "on" true in
+  (* bit-identity across the two runs on every shared (query, version) *)
+  let shared = ref 0 in
+  Hashtbl.iter
+    (fun key b_on ->
+      match Hashtbl.find_opt ans_off key with
+      | Some b_off ->
+          incr shared;
+          if b_on <> b_off then
+            note
+              (Printf.sprintf "answers diverge at q%d version %d" (fst key)
+                 (snd key))
+              false
+      | None -> ())
+    ans_on;
+  note "runs share comparable (query, version) pairs" (!shared > 0);
+  let rps_off = float_of_int reqs_off /. Float.max wall_off 1e-9 in
+  let rps_on = float_of_int reqs_on /. Float.max wall_on 1e-9 in
+  let overhead = wall_on /. Float.max wall_off 1e-9 in
+  (* scheduling noise on a loaded CI box dwarfs the real cost; only a
+     gross regression (2x) fails the gate *)
+  note
+    (Printf.sprintf "observability overhead %.2fx within bound" overhead)
+    (overhead <= 2.0);
+  record "E17"
+    [ ("class", S "bounded_degree_3"); ("n", I n); ("clients", I clients);
+      ("reads_per_client", I reads_per_client); ("writes", I writes_total);
+      ("seconds_off", F wall_off); ("seconds_on", F wall_on);
+      ("requests_per_second_off", F rps_off);
+      ("requests_per_second_on", F rps_on); ("overhead_ratio", F overhead);
+      ("shared_answers", I !shared); ("timing_sound", B !timing_ok);
+      ("agree", B !agree_all) ];
+  Printf.printf "%8s | %10s %10s | %10s %10s | %8s %6s\n" "" "wall off"
+    "wall on" "req/s off" "req/s on" "overhead" "agree";
+  Printf.printf "%8s | %9.3fs %9.3fs | %10.0f %10.0f | %7.2fx %6b\n" ""
+    wall_off wall_on rps_off rps_on overhead !agree_all;
+  if not !agree_all then begin
+    Printf.printf "E17: FAILED observability assertions\n";
+    exit 1
+  end;
+  Printf.printf
+    "(the gate: both runs replay-verified, answers bit-identical across \
+     runs, every breakdown sums within its total, slow log + trace export \
+     fired)\n"
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -1607,6 +1875,7 @@ let () =
         ("E14", e14);
         ("E15", e15);
         ("E16", e16);
+        ("E17", e17);
       ]
     in
     List.iter (fun (id, f) -> if should_run id then f ()) experiments

@@ -450,47 +450,6 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Generate a workload structure.")
     Term.(const run $ cls $ n $ seed $ colours $ output)
 
-(* ---------------- explain ---------------- *)
-
-let explain_cmd =
-  let run kind src =
-    match kind with
-    | `Term -> begin
-        match Foc.Parser.term_result Foc.predicates src with
-        | Error e ->
-            Printf.eprintf "%s\n" e;
-            exit 2
-        | Ok t ->
-            Format.printf "%a@." Foc.Plan.pp (Foc.Plan.term_plan t)
-      end
-    | `Formula -> begin
-        match Foc.Parser.formula_result Foc.predicates src with
-        | Error e ->
-            Printf.eprintf "%s\n" e;
-            exit 2
-        | Ok f ->
-            Format.printf "%a@." Foc.Plan.pp (Foc.Plan.formula_plan f)
-      end
-  in
-  let kind =
-    Arg.(
-      value
-      & opt (enum [ ("term", `Term); ("formula", `Formula) ]) `Formula
-      & info [ "kind" ] ~docv:"KIND" ~doc:"Parse as $(b,term) or $(b,formula).")
-  in
-  let src =
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"EXPR" ~doc:"Expression to explain.")
-  in
-  Cmd.v
-    (Cmd.info "explain"
-       ~doc:
-         "Show the evaluation plan: kernels, certified radii, decomposition \
-          sizes, fallbacks.")
-    Term.(const run $ kind $ src)
-
 (* ---------------- trace-check ---------------- *)
 
 (* Validate a --trace output: parseable JSON, an array of complete
@@ -717,7 +676,8 @@ let tcp_arg =
 
 let serve_cmd =
   let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
-      budget_mb socket tcp max_queue client_budget max_batch log_level =
+      budget_mb socket tcp max_queue client_budget max_batch slow_ms
+      slow_log trace trace_cap log_level =
     setup_obs ~trace:None ~metrics:false ~log_level;
     let a = load_structure structure in
     let address =
@@ -758,6 +718,10 @@ let serve_cmd =
         max_queue;
         client_budget;
         max_batch;
+        slow_ms;
+        slow_log;
+        trace_file = trace;
+        trace_cap;
       }
     in
     let srv = Foc.Server.start cfg a in
@@ -798,6 +762,45 @@ let serve_cmd =
             "Most consecutive $(b,check) requests grouped into one \
              parallel session batch.")
   in
+  let slow_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query threshold: any request whose total latency exceeds \
+             $(docv) milliseconds emits one logfmt line (timing breakdown \
+             + plan summary) to the slow-query sink. $(b,0) (default) \
+             disables the log.")
+  in
+  let slow_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slow-log" ] ~docv:"FILE"
+          ~doc:
+            "Slow-query sink: a size-rotated file at $(docv) (FILE.1..3 \
+             kept). Default: stderr.")
+  in
+  let serve_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record phase spans (including session worker domains) for the \
+             daemon's lifetime and export them to $(docv) as Chrome \
+             trace_event JSON on shutdown. Never changes results.")
+  in
+  let trace_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-cap" ] ~docv:"N"
+          ~doc:
+            "Bound each per-domain span buffer to $(docv) events; the \
+             oldest events are overwritten and counted as drops (surfaced \
+             in $(b,stats) and $(b,metrics)). Default 262144.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -807,24 +810,43 @@ let serve_cmd =
     Term.(
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_buckets_arg $ no_adaptive_arg $ budget_arg $ socket_arg
-      $ tcp_arg $ max_queue $ client_budget $ max_batch $ log_level_arg)
+      $ tcp_arg $ max_queue $ client_budget $ max_batch $ slow_ms
+      $ slow_log $ serve_trace $ trace_cap $ log_level_arg)
+
+(* distinct exit codes so scripts can tell failure modes apart:
+   2 = usage, 3 = cannot connect, 4 = timeout / connection lost,
+   1 = the server answered with an error (or a malformed line) *)
+let require_address ~cmd socket tcp =
+  match parse_address socket tcp with
+  | Some addr -> addr
+  | None ->
+      Printf.eprintf "error: %s needs --socket PATH or --tcp [HOST:]PORT\n"
+        cmd;
+      exit 2
+
+let connect_or_die ?timeout address =
+  try Foc.Server_client.connect ?timeout address with
+  | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect: %s\n" (Unix.error_message e);
+      exit 3
+  | Foc.Server_client.Timeout ->
+      Printf.eprintf "error: connect timed out\n";
+      exit 3
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Deadline (seconds) on connecting and on each response; without \
+           it a hung server blocks forever. Exit code $(b,3) = cannot \
+           connect, $(b,4) = timed out or connection lost.")
 
 let call_cmd =
-  let run socket tcp requests =
-    let address =
-      match parse_address socket tcp with
-      | Some addr -> addr
-      | None ->
-          Printf.eprintf
-            "error: call needs --socket PATH or --tcp [HOST:]PORT\n";
-          exit 2
-    in
-    let c =
-      try Foc.Server_client.connect address
-      with Unix.Unix_error (e, _, _) ->
-        Printf.eprintf "error: cannot connect: %s\n" (Unix.error_message e);
-        exit 1
-    in
+  let run socket tcp timeout requests =
+    let address = require_address ~cmd:"call" socket tcp in
+    let c = connect_or_die ?timeout address in
     let failed = ref false in
     List.iter
       (fun line ->
@@ -837,7 +859,10 @@ let call_cmd =
             | Ok _ -> ())
         | exception End_of_file ->
             Printf.eprintf "error: server closed the connection\n";
-            exit 1)
+            exit 4
+        | exception Foc.Server_client.Timeout ->
+            Printf.eprintf "error: no response within the deadline\n";
+            exit 4)
       requests;
     Foc.Server_client.close c;
     if !failed then exit 1
@@ -854,7 +879,206 @@ let call_cmd =
   Cmd.v
     (Cmd.info "call"
        ~doc:"Send raw protocol request lines to a running $(b,foc serve).")
-    Term.(const run $ socket_arg $ tcp_arg $ requests)
+    Term.(const run $ socket_arg $ tcp_arg $ timeout_arg $ requests)
+
+(* ---------------- explain ---------------- *)
+
+(* run one request against a live server, mapping failure modes to the
+   same exit codes as [foc call] *)
+let remote_rpc ?timeout address req =
+  let c = connect_or_die ?timeout address in
+  Fun.protect
+    ~finally:(fun () -> Foc.Server_client.close c)
+    (fun () ->
+      match Foc.Server_client.rpc c req with
+      | resp -> resp
+      | exception End_of_file ->
+          Printf.eprintf "error: server closed the connection\n";
+          exit 4
+      | exception Foc.Server_client.Timeout ->
+          Printf.eprintf "error: no response within the deadline\n";
+          exit 4)
+
+let print_remote_explain (e : Foc.Server_protocol.explain) =
+  Printf.printf "result:  %b (structure version %d)\n" e.result e.version;
+  Printf.printf "cached:  %b\n" e.cached;
+  Printf.printf "replans: %d (process-wide)\n" e.replans;
+  if e.plans = [] then
+    print_endline
+      "plans:   none — no baseline conjunction planning ran (cached \
+       answer, or handled entirely by locality kernels)"
+  else
+    List.iteri
+      (fun i (p : Foc.Server_protocol.plan_info) ->
+        Printf.printf "plan %d:  join order [%s]%s\n" i
+          (String.concat " "
+             (List.map string_of_int p.order))
+          (if p.replanned then "  (adaptive replan)" else "");
+        List.iteri
+          (fun j (est, act) ->
+            Printf.printf "  step %d: predicted %d rows, actual %d\n" j est
+              act)
+          p.steps)
+      e.plans
+
+let explain_cmd =
+  let run kind socket tcp timeout src =
+    match parse_address socket tcp with
+    | Some address ->
+        (* remote: evaluate on the server and report the planner's story *)
+        if kind = `Term then begin
+          Printf.eprintf
+            "error: remote explain takes a sentence (no --kind term)\n";
+          exit 2
+        end;
+        (match remote_rpc ?timeout address (Foc.Server_protocol.Explain src)
+         with
+        | Foc.Server_protocol.Explain_r e -> print_remote_explain e
+        | Foc.Server_protocol.Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        | _ ->
+            Printf.eprintf "error: unexpected response\n";
+            exit 1)
+    | None -> (
+        (* local: static evaluation plan, no structure needed *)
+        match kind with
+        | `Term -> begin
+            match Foc.Parser.term_result Foc.predicates src with
+            | Error e ->
+                Printf.eprintf "%s\n" e;
+                exit 2
+            | Ok t ->
+                Format.printf "%a@." Foc.Plan.pp (Foc.Plan.term_plan t)
+          end
+        | `Formula -> begin
+            match Foc.Parser.formula_result Foc.predicates src with
+            | Error e ->
+                Printf.eprintf "%s\n" e;
+                exit 2
+            | Ok f ->
+                Format.printf "%a@." Foc.Plan.pp (Foc.Plan.formula_plan f)
+          end)
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("term", `Term); ("formula", `Formula) ]) `Formula
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Parse as $(b,term) or $(b,formula).")
+  in
+  let src =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPR" ~doc:"Expression to explain.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the evaluation plan. Without an address: the static plan \
+          (kernels, certified radii, decomposition sizes, fallbacks). With \
+          $(b,--socket)/$(b,--tcp): evaluate on a running $(b,foc serve) \
+          and report the join order, predicted vs actual rows per step, \
+          and replan events.")
+    Term.(const run $ kind $ socket_arg $ tcp_arg $ timeout_arg $ src)
+
+(* ---------------- metrics / top ---------------- *)
+
+let metrics_cmd =
+  let run socket tcp timeout =
+    let address = require_address ~cmd:"metrics" socket tcp in
+    match remote_rpc ?timeout address Foc.Server_protocol.Metrics with
+    | Foc.Server_protocol.Metrics_r page -> print_string page
+    | Foc.Server_protocol.Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | _ ->
+        Printf.eprintf "error: unexpected response\n";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Fetch the Prometheus text exposition (request latency \
+          histograms, cache counters, planner estimates) from a running \
+          $(b,foc serve).")
+    Term.(const run $ socket_arg $ tcp_arg $ timeout_arg)
+
+let top_cmd =
+  let run socket tcp timeout interval count =
+    let address = require_address ~cmd:"top" socket tcp in
+    let c = connect_or_die ?timeout address in
+    let tty = Unix.isatty Unix.stdout in
+    let prev_served = ref 0 and prev_version = ref 0 and polls = ref 0 in
+    let show (s : Foc.Server_protocol.stats) =
+      incr polls;
+      let d_served = s.served - !prev_served
+      and d_writes = s.version - !prev_version in
+      let rate =
+        if !polls = 1 || interval <= 0. then 0.
+        else float_of_int d_served /. interval
+      in
+      if tty then print_string "\027[H\027[2J";
+      Printf.printf "foc top — poll %d (every %.1fs)\n\n" !polls interval;
+      Printf.printf "served       %d  (+%d, %.1f/s)\n" s.served d_served rate;
+      Printf.printf "writes       %d  (+%d)\n" s.version d_writes;
+      Printf.printf "connections  %d\n" s.connections;
+      Printf.printf "shed         %d    rejected %d    disconnects %d\n"
+        s.shed s.rejected s.disconnects;
+      Printf.printf "read latency p50 %dµs   p95 %dµs   p99 %dµs\n" s.p50_us
+        s.p95_us s.p99_us;
+      if s.trace_dropped > 0 then
+        Printf.printf "trace drops  %d\n" s.trace_dropped;
+      if s.session <> "" then Printf.printf "session      %s\n" s.session;
+      if s.planner <> "" then Printf.printf "planner      %s\n" s.planner;
+      flush stdout;
+      prev_served := s.served;
+      prev_version := s.version
+    in
+    let rec loop remaining =
+      if remaining <> 0 then begin
+        (match Foc.Server_client.rpc c Foc.Server_protocol.Stats with
+        | Foc.Server_protocol.Stats_r s -> show s
+        | Foc.Server_protocol.Error m ->
+            Printf.eprintf "error: %s\n" m;
+            exit 1
+        | _ ->
+            Printf.eprintf "error: unexpected response\n";
+            exit 1
+        | exception End_of_file ->
+            Printf.eprintf "error: server closed the connection\n";
+            exit 4
+        | exception Foc.Server_client.Timeout ->
+            Printf.eprintf "error: no response within the deadline\n";
+            exit 4);
+        let remaining = if remaining > 0 then remaining - 1 else remaining in
+        if remaining <> 0 then begin
+          Unix.sleepf (max 0.05 interval);
+          loop remaining
+        end
+      end
+    in
+    loop (if count <= 0 then -1 else count);
+    Foc.Server_client.close c
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls; $(b,0) polls until interrupted.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running $(b,foc serve): throughput, latency \
+          percentiles, admission-control and cache counters, refreshed \
+          every $(b,--interval) seconds.")
+    Term.(const run $ socket_arg $ tcp_arg $ timeout_arg $ interval $ count)
 
 (* ---------------- batch ---------------- *)
 
@@ -970,6 +1194,8 @@ let () =
             batch_cmd;
             serve_cmd;
             call_cmd;
+            metrics_cmd;
+            top_cmd;
             query_cmd;
             gen_cmd;
             gendb_cmd;

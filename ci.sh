@@ -27,6 +27,12 @@ dune exec bench/main.exe -- --only E15 --smoke
 # maintained statistics drift from recollection — the agreement gate
 # for the statistics layer and the adaptive planner.
 dune exec bench/main.exe -- --only E16 --smoke
+# E17 runs the E15 load twice — plain and with the full observability
+# stack (per-request timing, slow-query log, bounded-ring tracing) — and
+# exits non-zero if any answer differs between the runs or from a fresh
+# engine, a timing breakdown exceeds its own total, the slow log or
+# trace export fails to fire, or the overhead passes 2x.
+dune exec bench/main.exe -- --only E17 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
@@ -56,17 +62,25 @@ grep -q 'session.compiled_hits=2' /tmp/ci_batch_out.txt || {
 # background process we can wait on.
 FOC=_build/default/bin/foc_cli.exe
 SOCK=/tmp/ci_serve.sock
-rm -f "$SOCK"
-"$FOC" serve -s /tmp/ci_tree.foc --socket "$SOCK" &
+SLOWLOG=/tmp/ci_slow.log
+rm -f "$SOCK" "$SLOWLOG"
+# --slow-ms 0.000001 forces every request over the slow threshold, so the
+# round-trip below must leave slow-query lines behind
+"$FOC" serve -s /tmp/ci_tree.foc --socket "$SOCK" \
+  --slow-ms 0.000001 --slow-log "$SLOWLOG" \
+  > /tmp/ci_serve_daemon.log 2>&1 &
 SERVE_PID=$!
+# a failed gate below must not leave the daemon running
+trap '[ -z "$SERVE_PID" ] || kill "$SERVE_PID" 2>/dev/null || true' EXIT
 # poll until the daemon answers a ping (or give up after ~5s)
 i=0
-until "$FOC" call --socket "$SOCK" '{"op":"ping"}' >/dev/null 2>&1; do
+until "$FOC" call --socket "$SOCK" --timeout 5 '{"op":"ping"}' \
+  >/dev/null 2>&1; do
   i=$((i + 1))
   [ "$i" -lt 50 ] || { echo "ci: serve daemon never came up"; exit 1; }
   sleep 0.1
 done
-"$FOC" call --socket "$SOCK" \
+"$FOC" call --socket "$SOCK" --timeout 10 \
   '{"op":"check","query":"exists x. (#(y). E(x,y)) >= 1"}' \
   | tee /tmp/ci_serve_out.txt
 served=$(grep -o '"result":[a-z]*' /tmp/ci_serve_out.txt | cut -d: -f2)
@@ -74,6 +88,39 @@ served=$(grep -o '"result":[a-z]*' /tmp/ci_serve_out.txt | cut -d: -f2)
   echo "ci: served answer '$served' disagrees with direct check '$a'"
   exit 1
 }
-"$FOC" call --socket "$SOCK" '{"op":"insert","rel":"E","tuple":[0,1]}' \
+# a timing-enabled check must answer with a per-phase breakdown
+"$FOC" call --socket "$SOCK" --timeout 10 \
+  '{"op":"check","query":"exists x. (#(y). E(x,y)) >= 1","timing":true}' \
+  | grep -q '"timing":{"queue_ns":' || {
+  echo "ci: timing-enabled check returned no breakdown"
+  exit 1
+}
+# remote explain must tell the planner's story (width 5 exceeds the
+# engine's max decomposition width, forcing the baseline join planner)
+"$FOC" explain --socket "$SOCK" --timeout 10 \
+  '#(v,w,x,y,z). (E(v,w) & E(w,x) & E(x,y) & E(y,z)) >= 1' \
+  | tee /tmp/ci_explain_out.txt
+grep -q 'join order' /tmp/ci_explain_out.txt || {
+  echo "ci: remote explain reported no join order"
+  exit 1
+}
+# the metrics exposition must carry the per-op latency histograms
+"$FOC" metrics --socket "$SOCK" --timeout 10 > /tmp/ci_metrics_out.txt
+grep -q '# TYPE foc_req_check_ns histogram' /tmp/ci_metrics_out.txt || {
+  echo "ci: metrics page missing request histograms"
+  exit 1
+}
+# one top snapshot over the wire keeps the stats op parsing honest
+"$FOC" top --socket "$SOCK" --timeout 10 --interval 0.1 --count 1 \
+  | grep -q 'read latency' || { echo "ci: foc top produced no view"; exit 1; }
+"$FOC" call --socket "$SOCK" --timeout 10 \
+  '{"op":"insert","rel":"E","tuple":[0,1]}' \
   '{"op":"stats"}' '{"op":"shutdown"}' >/dev/null
 wait "$SERVE_PID" || { echo "ci: serve daemon exited non-zero"; exit 1; }
+SERVE_PID=""
+# every request ran over the forced threshold: the slow log must exist
+# and hold properly shaped logfmt lines
+grep -q '^msg=slow_query .*total_ms=' "$SLOWLOG" || {
+  echo "ci: slow-query log never fired"
+  exit 1
+}

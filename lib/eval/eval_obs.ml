@@ -1,5 +1,12 @@
 module M = Foc_obs.Metrics
 
+type plan_record = {
+  pseq : int;  (* monotonically increasing since the last reset *)
+  order : int list;
+  steps : (float * int) list;  (* per executed join step: est, actual *)
+  replanned : bool;
+}
+
 type s = {
   registry : M.t;
   tables_built : M.Counter.t;
@@ -22,6 +29,8 @@ type s = {
   err_max_x100 : M.Gauge.t;
   peak_table_bytes : M.Gauge.t;
   mutable orders : int list list;  (* recent plan orders, newest first *)
+  mutable plans : plan_record list;  (* recent executed plans, newest first *)
+  mutable pseq : int;  (* plans ever recorded since reset *)
 }
 
 let make () =
@@ -48,6 +57,8 @@ let make () =
     err_max_x100 = M.gauge registry "planner.err_max_x100";
     peak_table_bytes = M.gauge registry "table.peak_bytes";
     orders = [];
+    plans = [];
+    pseq = 0;
   }
 
 let cur = ref (make ())
@@ -93,13 +104,20 @@ let note_replan () = M.Counter.inc !cur.replans
 let note_plan_error ~ratio =
   M.Gauge.set_max !cur.err_max_x100 (int_of_est (ratio *. 100.))
 
+let rec take k = function
+  | x :: rest when k > 0 -> x :: take (k - 1) rest
+  | _ -> []
+
 let note_plan_order order =
   let s = !cur in
-  let rec take k = function
-    | x :: rest when k > 0 -> x :: take (k - 1) rest
-    | _ -> []
-  in
   s.orders <- order :: take 63 s.orders
+
+(* the structured record behind the server's [explain] op: the executed
+   join order with each step's predicted vs actual rows *)
+let note_plan_exec ~order ~steps ~replanned =
+  let s = !cur in
+  s.pseq <- s.pseq + 1;
+  s.plans <- { pseq = s.pseq; order; steps; replanned } :: take 63 s.plans
 
 (* read side *)
 
@@ -122,6 +140,12 @@ let actual_rows () = M.Counter.value !cur.actual_rows
 let replans () = M.Counter.value !cur.replans
 let err_max_x100 () = M.Gauge.value !cur.err_max_x100
 let plan_orders () = List.rev !cur.orders
+let plan_seq () = !cur.pseq
+
+let plans_since seq =
+  List.rev (List.filter (fun (p : plan_record) -> p.pseq > seq) !cur.plans)
+
+let registry () = !cur.registry
 let peak_table_bytes () = M.Gauge.value !cur.peak_table_bytes
 let line () = M.line !cur.registry
 let report () = M.report !cur.registry

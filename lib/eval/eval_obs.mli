@@ -42,6 +42,15 @@ val note_plan_error : ratio:float -> unit
 (** Record the join order a [plan_and] chose (diagnostic ring, last 64). *)
 val note_plan_order : int list -> unit
 
+(** [note_plan_exec ~order ~steps ~replanned] — one executed conjunction
+    plan: its join order, each executed join step's (predicted, actual)
+    output rows in execution order, and whether the order came from the
+    adaptive feedback loop re-planning an earlier misestimate. Ring of the
+    last 64, sequence-numbered so a caller can ask for the plans recorded
+    during one evaluation ({!plans_since}). *)
+val note_plan_exec :
+  order:int list -> steps:(float * int) list -> replanned:bool -> unit
+
 (** {2 Reading} *)
 
 val tables_built : unit -> int
@@ -105,6 +114,25 @@ val err_max_x100 : unit -> int
     64 retained) — lets the bench assert a plan {e flip} between two
     configurations. *)
 val plan_orders : unit -> int list list
+
+type plan_record = {
+  pseq : int;  (** position in the sequence of plans since {!reset} *)
+  order : int list;
+  steps : (float * int) list;  (** per join step: predicted, actual rows *)
+  replanned : bool;
+}
+
+(** Number of plans recorded by {!note_plan_exec} since {!reset} — capture
+    before an evaluation, pass to {!plans_since} after. *)
+val plan_seq : unit -> int
+
+(** The retained plans with sequence number strictly greater than the
+    argument, oldest first (ring of 64: plans may have been dropped). *)
+val plans_since : int -> plan_record list
+
+(** The backing registry — lets the server merge these counters into a
+    combined Prometheus exposition. *)
+val registry : unit -> Foc_obs.Metrics.t
 
 (** High-water mark of a single table's payload, in bytes. *)
 val peak_table_bytes : unit -> int

@@ -284,9 +284,11 @@ and plan_and ~plan ~pctx preds a cs =
   let pos_forms = Array.of_list (List.rev !pos) in
   let tables = Array.map (fun f -> ft ~plan ~pctx preds a f) pos_forms in
   let inputs =
-    match pctx with
-    | Some c -> Array.mapi (fun i t -> conjunct_input c a pos_forms.(i) t) tables
-    | None -> Array.map table_input tables
+    Foc_obs.Scope.cue Foc_obs.Scope.Plan (fun () ->
+        match pctx with
+        | Some c ->
+            Array.mapi (fun i t -> conjunct_input c a pos_forms.(i) t) tables
+        | None -> Array.map table_input tables)
   in
   (* Re-planning: once a previous run of this conjunct list recorded
      observed selectivities (because its estimates were off by more than
@@ -302,18 +304,24 @@ and plan_and ~plan ~pctx preds a cs =
         Some (fun ~joined ~next -> List.assoc_opt (joined, next) e.corrections)
     | _ -> None
   in
-  let jplan = Planner.plan_joins ~n ?correct inputs in
+  let jplan =
+    Foc_obs.Scope.cue Foc_obs.Scope.Plan (fun () ->
+        Planner.plan_joins ~n ?correct inputs)
+  in
   Eval_obs.note_plan_order jplan.Planner.order;
+  let replanned = ref false in
   (match (fb, correct) with
   | Some e, Some _ ->
-      if e.last_order <> [] && e.last_order <> jplan.Planner.order then
+      if e.last_order <> [] && e.last_order <> jplan.Planner.order then begin
         Eval_obs.note_replan ();
+        replanned := true
+      end;
       e.last_order <- jplan.Planner.order
   | Some e, None -> e.last_order <- jplan.Planner.order
   | None, _ -> ());
   (* execute the order, comparing each join's predicted cardinality with
      the observed one; observations feed the per-plan feedback entry *)
-  let observed = ref [] and max_err = ref 1. in
+  let observed = ref [] and max_err = ref 1. and steps = ref [] in
   let cur =
     match jplan.Planner.order with
     | [] -> ref Table.unit
@@ -329,6 +337,7 @@ and plan_and ~plan ~pctx preds a cs =
             let sel_pred = jplan.Planner.step_sel.(k + 1) in
             let est = float_of_int before *. float_of_int right *. sel_pred in
             Eval_obs.note_op_card ~est ~actual;
+            steps := (est, actual) :: !steps;
             max_err := Float.max !max_err (error_ratio ~est ~actual);
             let pairs = before * right in
             if pairs > 0 then
@@ -341,6 +350,8 @@ and plan_and ~plan ~pctx preds a cs =
           rest;
         cur
   in
+  Eval_obs.note_plan_exec ~order:jplan.Planner.order
+    ~steps:(List.rev !steps) ~replanned:!replanned;
   (match pctx with
   | Some c when c.adaptive && List.length jplan.Planner.order > 1 ->
       Eval_obs.note_plan_error ~ratio:!max_err;

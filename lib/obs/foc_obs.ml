@@ -135,6 +135,41 @@ module Metrics = struct
         if h.buckets.(i) > 0 then out := (bucket_upper i, h.buckets.(i)) :: !out
       done;
       !out
+
+    (* inclusive lower bound of bucket [i], as a float for interpolation *)
+    let bucket_lower i = if i = 0 then 0. else float_of_int (1 lsl (i - 1))
+
+    (* upper bound clamped to 2^62 so the top bucket interpolates finitely *)
+    let bucket_upper_f i =
+      if i = 0 then 0.
+      else if i >= 62 then float_of_int (1 lsl 62)
+      else float_of_int ((1 lsl i) - 1)
+
+    (* Quantile estimate by linear interpolation inside the log2 bucket
+       containing the target rank. Exact semantics (unit-tested):
+       [q <= 0] returns the lower bound of the first nonempty bucket,
+       [q >= 1] the (clamped) upper bound of the last; a rank landing on a
+       bucket edge interpolates to that edge. Empty histogram: 0. *)
+    let quantile h q =
+      if h.count = 0 then 0.
+      else begin
+        let q = Float.max 0. (Float.min 1. q) in
+        let target = q *. float_of_int h.count in
+        let rec find i cum =
+          if i >= 63 then (63, cum)
+          else
+            let c = h.buckets.(i) in
+            if c > 0 && cum +. float_of_int c >= target then (i, cum)
+            else find (i + 1) (cum +. float_of_int c)
+        in
+        (* skip to the first nonempty bucket when target = 0 *)
+        let rec first i = if h.buckets.(i) > 0 || i >= 63 then i else first (i + 1) in
+        let i, cum = if target <= 0. then (first 0, 0.) else find 0 0. in
+        let c = float_of_int (max 1 h.buckets.(i)) in
+        let frac = Float.max 0. (Float.min 1. ((target -. cum) /. c)) in
+        let lo = bucket_lower i and hi = bucket_upper_f i in
+        lo +. (frac *. (hi -. lo))
+      end
   end
 
   type metric =
@@ -220,6 +255,55 @@ module Metrics = struct
                        Logfmt.Int k))
                     (Histogram.nonzero_buckets h)))
       (sorted_names t)
+
+  (* Prometheus text exposition. Metric names are sanitised ([a-zA-Z0-9_])
+     and prefixed [foc_]; histograms emit cumulative [_bucket{le="..."}]
+     series plus [_sum]/[_count]. Several registries can be merged into
+     one page; on a name clash the first registry wins. *)
+  let prom_name name =
+    "foc_"
+    ^ String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        name
+
+  let prometheus ts =
+    let buf = Buffer.create 1024 in
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun t ->
+        List.iter
+          (fun name ->
+            let pn = prom_name name in
+            if not (Hashtbl.mem seen pn) then begin
+              Hashtbl.replace seen pn ();
+              match Hashtbl.find t.tbl name with
+              | MCounter c ->
+                  Printf.bprintf buf "# TYPE %s counter\n%s %d\n" pn pn
+                    (Counter.value c)
+              | MGauge g ->
+                  Printf.bprintf buf "# TYPE %s gauge\n%s %d\n" pn pn
+                    (Gauge.value g)
+              | MHistogram h ->
+                  Printf.bprintf buf "# TYPE %s histogram\n" pn;
+                  let cum = ref 0 in
+                  List.iter
+                    (fun (ub, k) ->
+                      cum := !cum + k;
+                      if ub < max_int then
+                        Printf.bprintf buf "%s_bucket{le=\"%d\"} %d\n" pn ub
+                          !cum)
+                    (Histogram.nonzero_buckets h);
+                  Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" pn
+                    (Histogram.count h);
+                  Printf.bprintf buf "%s_sum %d\n" pn (Histogram.sum h);
+                  Printf.bprintf buf "%s_count %d\n" pn (Histogram.count h)
+            end)
+          (sorted_names t))
+      ts;
+    Buffer.contents buf
 end
 
 (* ------------------------------------------------------------------ *)
@@ -227,18 +311,23 @@ end
 module Trace = struct
   type event = { name : string; tid : int; depth : int; t0 : int; t1 : int }
 
-  (* One growable event buffer per domain. Appends happen only from the
+  (* One bounded ring of events per domain. Appends happen only from the
      owning domain (no lock); the registry of buffers is the only shared
      state and is mutex-protected. Buffers live for the whole process —
      pool domains never die before exit, and a dead domain's buffer stays
-     readable from the registry. *)
+     readable from the registry. Arrays grow by doubling up to the global
+     cap; past the cap the ring overwrites its oldest event and counts the
+     drop, so a long-lived daemon with tracing enabled holds at most
+     [cap] spans per domain instead of growing forever. *)
   type buf = {
     tid : int;
     mutable names : string array;
     mutable depths : int array;
     mutable starts : int array;
     mutable stops : int array;
+    mutable start : int;  (* ring head: index of the oldest event *)
     mutable len : int;
+    mutable dropped : int;  (* events overwritten since the last clear *)
     mutable open_depth : int;
   }
 
@@ -246,6 +335,11 @@ module Trace = struct
   let reg_mutex = Mutex.create ()
   let on = Atomic.make false
   let logfmt_sink : (string -> unit) option ref = ref None
+
+  let default_cap = 262_144
+  let cap_ref = Atomic.make default_cap
+  let set_cap n = Atomic.set cap_ref (max 1 n)
+  let cap () = Atomic.get cap_ref
 
   let enabled () = Atomic.get on
   let enable () = Atomic.set on true
@@ -259,7 +353,9 @@ module Trace = struct
       depths = Array.make 256 0;
       starts = Array.make 256 0;
       stops = Array.make 256 0;
+      start = 0;
       len = 0;
+      dropped = 0;
       open_depth = 0;
     }
 
@@ -274,28 +370,67 @@ module Trace = struct
   let buffer () = Domain.DLS.get key
 
   let push b name depth t0 t1 =
-    let cap = Array.length b.names in
-    if b.len = cap then begin
-      let grow a fill =
-        let a' = Array.make (2 * cap) fill in
-        Array.blit a 0 a' 0 cap;
-        a'
-      in
-      b.names <- grow b.names "";
-      b.depths <- grow b.depths 0;
-      b.starts <- grow b.starts 0;
-      b.stops <- grow b.stops 0
+    let cap = max 1 (Atomic.get cap_ref) in
+    let size = Array.length b.names in
+    (* a lowered cap logically drops the oldest surplus first *)
+    if b.len > cap then begin
+      let excess = b.len - cap in
+      b.dropped <- b.dropped + excess;
+      b.start <- (b.start + excess) mod size;
+      b.len <- cap
     end;
-    b.names.(b.len) <- name;
-    b.depths.(b.len) <- depth;
-    b.starts.(b.len) <- t0;
-    b.stops.(b.len) <- t1;
-    b.len <- b.len + 1
+    if b.len = cap then begin
+      (* ring full: append at the tail, slide the window off the oldest
+         (the same slot when the backing array is exactly cap-sized) *)
+      let j = (b.start + b.len) mod size in
+      b.names.(j) <- name;
+      b.depths.(j) <- depth;
+      b.starts.(j) <- t0;
+      b.stops.(j) <- t1;
+      b.start <- (b.start + 1) mod size;
+      b.dropped <- b.dropped + 1
+    end
+    else begin
+      (if b.len = size then begin
+         (* grow (unwrapping the ring) by doubling, up to the cap *)
+         let nsize = min (max (2 * size) 256) cap in
+         let unwrap a fill =
+           let a' = Array.make nsize fill in
+           for i = 0 to b.len - 1 do
+             a'.(i) <- a.((b.start + i) mod size)
+           done;
+           a'
+         in
+         b.names <- unwrap b.names "";
+         b.depths <- unwrap b.depths 0;
+         b.starts <- unwrap b.starts 0;
+         b.stops <- unwrap b.stops 0;
+         b.start <- 0
+       end);
+      let size = Array.length b.names in
+      let j = (b.start + b.len) mod size in
+      b.names.(j) <- name;
+      b.depths.(j) <- depth;
+      b.starts.(j) <- t0;
+      b.stops.(j) <- t1;
+      b.len <- b.len + 1
+    end
 
   let clear () =
     Mutex.lock reg_mutex;
-    List.iter (fun b -> b.len <- 0) !registry;
+    List.iter
+      (fun b ->
+        b.len <- 0;
+        b.start <- 0;
+        b.dropped <- 0)
+      !registry;
     Mutex.unlock reg_mutex
+
+  let dropped_events () =
+    Mutex.lock reg_mutex;
+    let n = List.fold_left (fun acc b -> acc + b.dropped) 0 !registry in
+    Mutex.unlock reg_mutex;
+    n
 
   (* Deterministic merge: collect every buffer, then impose a total order
      that depends only on the recorded data (start asc, end desc — so an
@@ -320,14 +455,16 @@ module Trace = struct
     let out = ref [] in
     List.iter
       (fun b ->
+        let size = Array.length b.names in
         for i = b.len - 1 downto 0 do
+          let j = (b.start + i) mod size in
           out :=
             {
-              name = b.names.(i);
+              name = b.names.(j);
               tid = b.tid;
-              depth = b.depths.(i);
-              t0 = b.starts.(i);
-              t1 = b.stops.(i);
+              depth = b.depths.(j);
+              t0 = b.starts.(j);
+              t1 = b.stops.(j);
             }
             :: !out
         done)
@@ -492,6 +629,204 @@ let span ~name f =
                  ]))
       f
   end
+
+(* ------------------------------------------------------------------ *)
+
+(* Request-scoped phase accounting. A scope is a cheap per-request context
+   (an id, six self-time accumulators, a phase stack): the server creates
+   one per request, stamps queue/batch-wait deltas directly, and installs
+   it as the domain's ambient scope around evaluation so call sites deep in
+   the session/planner ([cue]) can attribute their time without threading a
+   value through every signature. Phases nest with self-time semantics —
+   entering [Artifact] inside an open [Eval] pauses the eval accumulator —
+   so the six numbers are disjoint and sum to covered wall time. Scopes
+   are single-domain objects (worker domains see no ambient scope and
+   [cue] is a no-op there); they never change an evaluation result. *)
+module Scope = struct
+  type phase = Queue | Batch_wait | Artifact | Plan | Eval | Write
+
+  let phase_index = function
+    | Queue -> 0
+    | Batch_wait -> 1
+    | Artifact -> 2
+    | Plan -> 3
+    | Eval -> 4
+    | Write -> 5
+
+  let phase_label = function
+    | Queue -> "queue"
+    | Batch_wait -> "batch_wait"
+    | Artifact -> "artifact"
+    | Plan -> "plan"
+    | Eval -> "eval"
+    | Write -> "write"
+
+  type t = {
+    id : int;
+    t0 : int;  (* creation time; [finish] measures total against it *)
+    ns : int array;  (* one self-time accumulator per phase *)
+    mutable stack : int list;  (* open phase indices, innermost first *)
+    mutable last : int;  (* clock reading at the last enter/exit *)
+    mutable total : int;  (* set by [finish] *)
+  }
+
+  let create ?(id = 0) () =
+    {
+      id;
+      t0 = Clock.now_ns ();
+      ns = Array.make 6 0;
+      stack = [];
+      last = 0;
+      total = 0;
+    }
+
+  let id s = s.id
+  let add_ns s ph n = s.ns.(phase_index ph) <- s.ns.(phase_index ph) + n
+
+  let enter s ph =
+    let now = Clock.now_ns () in
+    (match s.stack with
+    | top :: _ -> s.ns.(top) <- s.ns.(top) + (now - s.last)
+    | [] -> ());
+    s.stack <- phase_index ph :: s.stack;
+    s.last <- now
+
+  let exit s =
+    let now = Clock.now_ns () in
+    match s.stack with
+    | top :: rest ->
+        s.ns.(top) <- s.ns.(top) + (now - s.last);
+        s.stack <- rest;
+        s.last <- now
+    | [] -> ()
+
+  let time s ph f =
+    enter s ph;
+    Fun.protect ~finally:(fun () -> exit s) f
+
+  let finish s =
+    s.total <- Clock.now_ns () - s.t0;
+    s.total
+
+  let total_ns s = s.total
+  let phase_ns s ph = s.ns.(phase_index ph)
+
+  let merge_phases dst src =
+    for i = 0 to 5 do
+      dst.ns.(i) <- dst.ns.(i) + src.ns.(i)
+    done
+
+  (* ambient per-domain current scope *)
+  let current_key = Domain.DLS.new_key (fun () -> ref None)
+  let current () = !(Domain.DLS.get current_key)
+
+  let with_scope s f =
+    let r = Domain.DLS.get current_key in
+    let saved = !r in
+    r := Some s;
+    Fun.protect ~finally:(fun () -> r := saved) f
+
+  let cue ph f =
+    match current () with None -> f () | Some s -> time s ph f
+
+  let breakdown s =
+    [
+      ("queue_ns", s.ns.(0));
+      ("batch_wait_ns", s.ns.(1));
+      ("artifact_ns", s.ns.(2));
+      ("plan_ns", s.ns.(3));
+      ("eval_ns", s.ns.(4));
+      ("write_ns", s.ns.(5));
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+
+(* A line sink with size-based rotation — the slow-query log's backing.
+   [write] appends one line and flushes; when the active file would exceed
+   [max_bytes] it is rotated ([path] -> [path.1] -> ... -> [path.keep],
+   oldest deleted). Mutex-protected so any thread may write. *)
+module Sink = struct
+  type dest =
+    | Stderr
+    | File of {
+        path : string;
+        max_bytes : int;
+        keep : int;
+        mutable oc : out_channel option;
+        mutable written : int;
+      }
+
+  type t = { dest : dest; m : Mutex.t }
+
+  let stderr_sink = { dest = Stderr; m = Mutex.create () }
+
+  let create ?(max_bytes = 8 * 1024 * 1024) ?(keep = 3) path =
+    let written =
+      (* current size without a unix dependency *)
+      match open_in_bin path with
+      | ic ->
+          let n = in_channel_length ic in
+          close_in_noerr ic;
+          n
+      | exception Sys_error _ -> 0
+    in
+    {
+      dest =
+        File { path; max_bytes = max max_bytes 4096; keep = max keep 1;
+               oc = None; written };
+      m = Mutex.create ();
+    }
+
+  let rotate path keep =
+    (try Sys.remove (Printf.sprintf "%s.%d" path keep)
+     with Sys_error _ -> ());
+    for i = keep - 1 downto 1 do
+      try Sys.rename (Printf.sprintf "%s.%d" path i)
+            (Printf.sprintf "%s.%d" path (i + 1))
+      with Sys_error _ -> ()
+    done;
+    try Sys.rename path (path ^ ".1") with Sys_error _ -> ()
+
+  let write t line =
+    Mutex.lock t.m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.m)
+      (fun () ->
+        match t.dest with
+        | Stderr -> Printf.eprintf "%s\n%!" line
+        | File f ->
+            let len = String.length line + 1 in
+            if f.written + len > f.max_bytes then begin
+              (match f.oc with Some oc -> close_out_noerr oc | None -> ());
+              f.oc <- None;
+              rotate f.path f.keep;
+              f.written <- 0
+            end;
+            let oc =
+              match f.oc with
+              | Some oc -> oc
+              | None ->
+                  let oc =
+                    open_out_gen [ Open_append; Open_creat ] 0o644 f.path
+                  in
+                  f.oc <- Some oc;
+                  oc
+            in
+            output_string oc line;
+            output_char oc '\n';
+            flush oc;
+            f.written <- f.written + len)
+
+  let close t =
+    Mutex.lock t.m;
+    (match t.dest with
+    | Stderr -> ()
+    | File f ->
+        (match f.oc with Some oc -> close_out_noerr oc | None -> ());
+        f.oc <- None);
+    Mutex.unlock t.m
+end
 
 (* ------------------------------------------------------------------ *)
 

@@ -74,6 +74,14 @@ module Metrics : sig
     (** [(inclusive_upper_bound, count)] for each nonempty bucket, in
         increasing bound order; the last bucket's bound is [max_int]. *)
 
+    val quantile : t -> float -> float
+    (** [quantile h q] estimates the [q]-quantile ([0..1], clamped) by
+        linear interpolation inside the log2 bucket containing the target
+        rank [q * count]. [q <= 0] returns the lower bound of the first
+        nonempty bucket, [q >= 1] the upper bound of the last (clamped to
+        2{^62}); a rank landing exactly on a bucket edge interpolates to
+        that edge. Returns [0.] on an empty histogram. *)
+
     val bucket_of : int -> int
     (** Exposed for tests. *)
   end
@@ -98,6 +106,12 @@ module Metrics : sig
   val report : t -> string list
   (** One logfmt line per metric; histograms include nonzero buckets as
       [le<bound>=count] fields. *)
+
+  val prometheus : t list -> string
+  (** Prometheus text exposition of several registries merged into one
+      page. Names are sanitised to [a-zA-Z0-9_] and prefixed [foc_];
+      histograms emit cumulative [_bucket{le="..."}] series plus [_sum]
+      and [_count]. On a sanitised-name clash the earliest registry wins. *)
 end
 
 module Trace : sig
@@ -113,8 +127,22 @@ module Trace : sig
   val disable : unit -> unit
   val enabled : unit -> bool
 
+  val set_cap : int -> unit
+  (** Bound every per-domain span buffer to at most [n] events (clamped to
+      ≥ 1; default 262144). Once a buffer is full it becomes a ring: each
+      new span overwrites the oldest and increments the drop counter, so a
+      long-lived daemon with tracing enabled uses bounded memory.
+      {!export_chrome} and {!well_nested} stay correct on wrapped buffers
+      (dropping oldest-closed spans cannot introduce a partial overlap). *)
+
+  val cap : unit -> int
+
+  val dropped_events : unit -> int
+  (** Total spans overwritten by ring wrap-around (all domains) since the
+      last {!clear}. *)
+
   val clear : unit -> unit
-  (** Drop all recorded events (all domains). *)
+  (** Drop all recorded events and reset drop counters (all domains). *)
 
   val events : unit -> event list
   (** All recorded events merged across domains in a deterministic total
@@ -149,6 +177,83 @@ val set_timing : bool -> unit
 val timing_enabled : unit -> bool
 (** True when duration histograms should be fed ([set_timing true] or
     tracing enabled). Check before taking clock readings on hot paths. *)
+
+module Scope : sig
+  (** Request-scoped phase accounting: a cheap per-request context (id +
+      six self-time accumulators) the server threads from its dispatcher
+      through {!Foc_serve} into engine/planner phases. Phases nest with
+      self-time semantics — entering {!phase.Artifact} inside an open
+      {!phase.Eval} pauses the eval accumulator — so the six numbers are
+      disjoint and together cover wall time without double counting.
+      A scope is a single-domain object; recording into one never changes
+      an evaluation result. *)
+
+  type phase = Queue | Batch_wait | Artifact | Plan | Eval | Write
+
+  type t
+
+  val create : ?id:int -> unit -> t
+  (** A fresh scope; its creation instant anchors {!finish}. *)
+
+  val id : t -> int
+
+  val add_ns : t -> phase -> int -> unit
+  (** Directly credit [n] nanoseconds to a phase (externally measured
+      intervals: queue wait, batch formation). *)
+
+  val time : t -> phase -> (unit -> 'a) -> 'a
+  (** Run [f] with the phase open on this scope's stack (closed on
+      exception); elapsed time is credited to the {e innermost} open
+      phase only. *)
+
+  val finish : t -> int
+  (** Record and return total wall nanoseconds since {!create}. *)
+
+  val total_ns : t -> int
+  (** The value recorded by the last {!finish} (0 before it). *)
+
+  val phase_ns : t -> phase -> int
+
+  val breakdown : t -> (string * int) list
+  (** The six accumulators as [("queue_ns", n); ...] in protocol order. *)
+
+  val phase_label : phase -> string
+
+  val merge_phases : t -> t -> unit
+  (** [merge_phases dst src] adds every accumulator of [src] into [dst] —
+      how each member of a grouped batch inherits the batch's shared
+      artifact/plan/eval time. *)
+
+  val with_scope : t -> (unit -> 'a) -> 'a
+  (** Install as the calling domain's ambient scope for the extent of [f]
+      (restored on exit, exception-safe). *)
+
+  val current : unit -> t option
+
+  val cue : phase -> (unit -> 'a) -> 'a
+  (** [time] on the ambient scope, or plain [f ()] when none is installed
+      (one domain-local read — cheap enough for per-artifact call sites). *)
+end
+
+module Sink : sig
+  (** A line sink with size-based rotation (the slow-query log's backing).
+      Mutex-protected; any thread may write. *)
+
+  type t
+
+  val stderr_sink : t
+
+  val create : ?max_bytes:int -> ?keep:int -> string -> t
+  (** Rotating file sink: when the active file would exceed [max_bytes]
+      (default 8 MiB, min 4 KiB) it is renamed [path.1] (shifting up to
+      [path.keep], oldest deleted) and a fresh file is opened. An existing
+      file is appended to. *)
+
+  val write : t -> string -> unit
+  (** Append one line (newline added) and flush. *)
+
+  val close : t -> unit
+end
 
 module Json : sig
   (** Minimal JSON reader for validating exported traces (tests and the

@@ -133,7 +133,10 @@ let cover_for t a ~rc =
       c
   | _ ->
       Counter.inc t.cover_misses;
-      let c = Engine.make_cover t.eng a ~rc in
+      let c =
+        Foc_obs.Scope.cue Foc_obs.Scope.Artifact (fun () ->
+            Engine.make_cover t.eng a ~rc)
+      in
       Budget_cache.insert t.cache key (VCover c);
       c
 
@@ -145,7 +148,10 @@ let ctx_for t a ~r =
       ctx
   | _ ->
       Counter.inc t.ctx_misses;
-      let ctx = Engine.make_pattern_ctx t.eng a ~r in
+      let ctx =
+        Foc_obs.Scope.cue Foc_obs.Scope.Artifact (fun () ->
+            Engine.make_pattern_ctx t.eng a ~r)
+      in
       Budget_cache.insert t.cache key (VCtx ctx);
       ctx
 
@@ -157,7 +163,10 @@ let hanf_for t a ~tr =
       cls
   | _ ->
       Counter.inc t.hanf_misses;
-      let cls = Foc_bd.Hanf.classes ~jobs:1 a ~r:tr in
+      let cls =
+        Foc_obs.Scope.cue Foc_obs.Scope.Artifact (fun () ->
+            Foc_bd.Hanf.classes ~jobs:1 a ~r:tr)
+      in
       Budget_cache.insert t.cache key (VHanf cls);
       cls
 
@@ -170,8 +179,9 @@ let stats_for t a =
   | _ ->
       Counter.inc t.stats_misses;
       let s =
-        Foc_stats.Stats.collect
-          ~buckets:(Engine.config t.eng).Engine.stats_buckets a
+        Foc_obs.Scope.cue Foc_obs.Scope.Artifact (fun () ->
+            Foc_stats.Stats.collect
+              ~buckets:(Engine.config t.eng).Engine.stats_buckets a)
       in
       Budget_cache.insert t.cache key (VStats s);
       s
@@ -237,7 +247,10 @@ let compiled_for t phi =
       Counter.inc t.compiled_misses;
       (* compile the canonical representative: which α-variant arrived
          first then never matters *)
-      let comp = Engine.compile_sentence t.eng t.structure (Ast.Key.form k) in
+      let comp =
+        Foc_obs.Scope.cue Foc_obs.Scope.Artifact (fun () ->
+            Engine.compile_sentence t.eng t.structure (Ast.Key.form k))
+      in
       let delta =
         Structure.size (Engine.compiled_structure comp)
         - Structure.size t.structure

@@ -1,6 +1,17 @@
-type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+exception Timeout
 
-let connect (addr : Server.address) =
+(* The read side buffers bytes from [Unix.read] and scans for newlines
+   instead of going through an [in_channel]: a deadline needs [select]
+   between reads, and channel buffering would hide bytes from it. *)
+type t = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received but not yet returned as a line *)
+  mutable timeout : float option;  (* seconds; None = block forever *)
+}
+
+let set_timeout t sec = t.timeout <- sec
+
+let connect ?timeout (addr : Server.address) =
   let fd, sockaddr =
     match addr with
     | Server.Unix_sock path ->
@@ -9,24 +20,83 @@ let connect (addr : Server.address) =
         ( Unix.socket PF_INET SOCK_STREAM 0,
           Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
   in
-  (match Unix.connect fd sockaddr with
-  | () -> ()
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e);
-  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  (match timeout with
+  | None -> (
+      match Unix.connect fd sockaddr with
+      | () -> ()
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+  | Some sec -> (
+      (* bounded connect: non-blocking connect, then select for
+         writability and read back the socket error *)
+      Unix.set_nonblock fd;
+      match
+        (try Unix.connect fd sockaddr
+         with Unix.Unix_error ((EINPROGRESS | EWOULDBLOCK | EAGAIN), _, _) ->
+           let _, w, _ = Unix.select [] [ fd ] [] sec in
+           if w = [] then raise Timeout;
+           match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some err -> raise (Unix.Unix_error (err, "connect", "")));
+        Unix.clear_nonblock fd
+      with
+      | () -> ()
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e));
+  { fd; buf = Buffer.create 256; timeout }
 
 let send_raw t line =
-  output_string t.oc line;
-  output_char t.oc '\n';
-  flush t.oc
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let off = ref 0 in
+  while !off < len do
+    off := !off + Unix.write t.fd payload !off (len - !off)
+  done
 
-let recv_raw t = input_line t.ic
+(* one line from the buffer, or None if no full line has arrived yet *)
+let take_line t =
+  let s = Buffer.contents t.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
 
-let rpc ?id t req =
-  send_raw t (Protocol.request_line ?id req);
+let recv_raw t =
+  let deadline =
+    Option.map (fun sec -> Unix.gettimeofday () +. sec) t.timeout
+  in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match take_line t with
+    | Some line -> line
+    | None ->
+        (match deadline with
+        | None -> ()
+        | Some d ->
+            let left = d -. Unix.gettimeofday () in
+            if left <= 0. then raise Timeout;
+            let r, _, _ = Unix.select [ t.fd ] [] [] left in
+            if r = [] then raise Timeout);
+        let n = Unix.read t.fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then
+          (* peer closed; a dangling partial line is a protocol breach *)
+          raise End_of_file
+        else begin
+          Buffer.add_subbytes t.buf chunk 0 n;
+          go ()
+        end
+  in
+  go ()
+
+let rpc_full ?id ?timing t req =
+  send_raw t (Protocol.request_line ?id ?timing req);
   match Protocol.parse_response (recv_raw t) with
-  | Ok (_, resp) -> resp
+  | Ok (meta, resp) -> (meta, resp)
   | Error e -> failwith ("malformed response: " ^ e)
 
+let rpc ?id ?timing t req = snd (rpc_full ?id ?timing t req)
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

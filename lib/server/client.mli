@@ -1,22 +1,39 @@
 (** A small blocking client for the {!Server} protocol — used by the
-    tests, the E15 load generator and the [foc call] subcommand. One
+    tests, the E15/E17 load generators and the [foc call] subcommand. One
     request in flight per client; not thread-safe (give each thread its
     own client). *)
 
+exception Timeout
+(** A deadline given to {!connect} or {!set_timeout} expired. *)
+
 type t
 
-val connect : Server.address -> t
-(** Raises [Unix.Unix_error] if the server is not reachable. *)
+val connect : ?timeout:float -> Server.address -> t
+(** Raises [Unix.Unix_error] if the server is not reachable. With
+    [timeout] the connect itself is bounded to that many seconds (raising
+    {!Timeout}) and the deadline also applies to every later receive. *)
 
-val rpc : ?id:int -> t -> Protocol.request -> Protocol.response
+val set_timeout : t -> float option -> unit
+(** Change the per-receive deadline ([None] = block forever). *)
+
+val rpc : ?id:int -> ?timing:bool -> t -> Protocol.request -> Protocol.response
 (** Send one request and block for its response. Raises [End_of_file] if
-    the server closes the connection, [Failure] on a malformed response
-    line. *)
+    the server closes the connection, {!Timeout} past the deadline,
+    [Failure] on a malformed response line. *)
+
+val rpc_full :
+  ?id:int ->
+  ?timing:bool ->
+  t ->
+  Protocol.request ->
+  Protocol.resp_meta * Protocol.response
+(** Like {!rpc} but also return the response envelope — the echoed id and
+    the timing breakdown when the request asked for one. *)
 
 val send_raw : t -> string -> unit
 (** Write one raw line (malformed-input testing). *)
 
 val recv_raw : t -> string
-(** Read one raw response line. Raises [End_of_file]. *)
+(** Read one raw response line. Raises [End_of_file] or {!Timeout}. *)
 
 val close : t -> unit

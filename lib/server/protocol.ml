@@ -11,8 +11,20 @@ type request =
   | Count of string
   | Insert of string * int array
   | Delete of string * int array
+  | Explain of string
   | Stats
+  | Metrics
   | Shutdown
+
+type timing = {
+  queue_ns : int;
+  batch_wait_ns : int;
+  artifact_ns : int;
+  plan_ns : int;
+  eval_ns : int;
+  write_ns : int;
+  total_ns : int;
+}
 
 type stats = {
   version : int;
@@ -21,8 +33,26 @@ type stats = {
   shed : int;
   rejected : int;
   disconnects : int;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  trace_dropped : int;
   session : string;
   planner : string;
+}
+
+type plan_info = {
+  order : int list;
+  steps : (int * int) list;
+  replanned : bool;
+}
+
+type explain = {
+  result : bool;
+  version : int;
+  cached : bool;
+  replans : int;
+  plans : plan_info list;
 }
 
 type response =
@@ -31,8 +61,13 @@ type response =
   | Done of int
   | Pong
   | Stats_r of stats
+  | Explain_r of explain
+  | Metrics_r of string
   | Bye
   | Error of string
+
+type req_meta = { rid : int option; timing : bool }
+type resp_meta = { mid : int option; rtiming : timing option }
 
 (* ---------------- emit ---------------- *)
 
@@ -52,7 +87,7 @@ let escape buf s =
 
 (* fields are emitted in the order given: stable output for tests *)
 type jv = JStr of string | JInt of int | JBool of bool | JInts of int array
-        | JObj of (string * jv) list
+        | JList of jv list | JObj of (string * jv) list
 
 let rec emit buf = function
   | JStr s ->
@@ -68,6 +103,14 @@ let rec emit buf = function
           if i > 0 then Buffer.add_char buf ',';
           Buffer.add_string buf (string_of_int v))
         a;
+      Buffer.add_char buf ']'
+  | JList l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit buf v)
+        l;
       Buffer.add_char buf ']'
   | JObj fields ->
       Buffer.add_char buf '{';
@@ -90,44 +133,85 @@ let obj_line fields =
 let with_id id fields =
   match id with None -> fields | Some i -> ("id", JInt i) :: fields
 
-let request_line ?id req =
-  obj_line
-    (with_id id
-       (match req with
-       | Ping -> [ ("op", JStr "ping") ]
-       | Check q -> [ ("op", JStr "check"); ("query", JStr q) ]
-       | Count t -> [ ("op", JStr "count"); ("term", JStr t) ]
-       | Insert (r, tup) ->
-           [ ("op", JStr "insert"); ("rel", JStr r); ("tuple", JInts tup) ]
-       | Delete (r, tup) ->
-           [ ("op", JStr "delete"); ("rel", JStr r); ("tuple", JInts tup) ]
-       | Stats -> [ ("op", JStr "stats") ]
-       | Shutdown -> [ ("op", JStr "shutdown") ]))
+let request_line ?id ?(timing = false) req =
+  let fields =
+    match req with
+    | Ping -> [ ("op", JStr "ping") ]
+    | Check q -> [ ("op", JStr "check"); ("query", JStr q) ]
+    | Count t -> [ ("op", JStr "count"); ("term", JStr t) ]
+    | Insert (r, tup) ->
+        [ ("op", JStr "insert"); ("rel", JStr r); ("tuple", JInts tup) ]
+    | Delete (r, tup) ->
+        [ ("op", JStr "delete"); ("rel", JStr r); ("tuple", JInts tup) ]
+    | Explain q -> [ ("op", JStr "explain"); ("query", JStr q) ]
+    | Stats -> [ ("op", JStr "stats") ]
+    | Metrics -> [ ("op", JStr "metrics") ]
+    | Shutdown -> [ ("op", JStr "shutdown") ]
+  in
+  let fields = if timing then fields @ [ ("timing", JBool true) ] else fields in
+  obj_line (with_id id fields)
 
-let response_line ?id resp =
-  obj_line
-    (with_id id
-       (match resp with
-       | Bool (b, v) ->
-           [ ("ok", JBool true); ("result", JBool b); ("version", JInt v) ]
-       | Int (n, v) ->
-           [ ("ok", JBool true); ("result", JInt n); ("version", JInt v) ]
-       | Done v -> [ ("ok", JBool true); ("version", JInt v) ]
-       | Pong -> [ ("ok", JBool true); ("result", JStr "pong") ]
-       | Bye -> [ ("ok", JBool true); ("result", JStr "bye") ]
-       | Stats_r s ->
-           [ ("ok", JBool true);
-             ( "stats",
-               JObj
-                 [ ("version", JInt s.version);
-                   ("connections", JInt s.connections);
-                   ("served", JInt s.served);
-                   ("shed", JInt s.shed);
-                   ("rejected", JInt s.rejected);
-                   ("disconnects", JInt s.disconnects);
-                   ("session", JStr s.session);
-                   ("planner", JStr s.planner) ] ) ]
-       | Error m -> [ ("ok", JBool false); ("error", JStr m) ]))
+let timing_fields t =
+  [ ("queue_ns", JInt t.queue_ns);
+    ("batch_wait_ns", JInt t.batch_wait_ns);
+    ("artifact_ns", JInt t.artifact_ns);
+    ("plan_ns", JInt t.plan_ns);
+    ("eval_ns", JInt t.eval_ns);
+    ("write_ns", JInt t.write_ns);
+    ("total_ns", JInt t.total_ns) ]
+
+let plan_info_jv p =
+  JObj
+    [ ("order", JInts (Array.of_list p.order));
+      ( "steps",
+        JList
+          (List.map (fun (est, actual) -> JInts [| est; actual |]) p.steps) );
+      ("replanned", JBool p.replanned) ]
+
+let response_line ?id ?timing resp =
+  let fields =
+    match resp with
+    | Bool (b, v) ->
+        [ ("ok", JBool true); ("result", JBool b); ("version", JInt v) ]
+    | Int (n, v) ->
+        [ ("ok", JBool true); ("result", JInt n); ("version", JInt v) ]
+    | Done v -> [ ("ok", JBool true); ("version", JInt v) ]
+    | Pong -> [ ("ok", JBool true); ("result", JStr "pong") ]
+    | Bye -> [ ("ok", JBool true); ("result", JStr "bye") ]
+    | Stats_r s ->
+        [ ("ok", JBool true);
+          ( "stats",
+            JObj
+              [ ("version", JInt s.version);
+                ("connections", JInt s.connections);
+                ("served", JInt s.served);
+                ("shed", JInt s.shed);
+                ("rejected", JInt s.rejected);
+                ("disconnects", JInt s.disconnects);
+                ("p50_us", JInt s.p50_us);
+                ("p95_us", JInt s.p95_us);
+                ("p99_us", JInt s.p99_us);
+                ("trace_dropped", JInt s.trace_dropped);
+                ("session", JStr s.session);
+                ("planner", JStr s.planner) ] ) ]
+    | Explain_r e ->
+        [ ("ok", JBool true);
+          ("result", JBool e.result);
+          ("version", JInt e.version);
+          ( "explain",
+            JObj
+              [ ("cached", JBool e.cached);
+                ("replans", JInt e.replans);
+                ("plans", JList (List.map plan_info_jv e.plans)) ] ) ]
+    | Metrics_r text -> [ ("ok", JBool true); ("metrics", JStr text) ]
+    | Error m -> [ ("ok", JBool false); ("error", JStr m) ]
+  in
+  let fields =
+    match timing with
+    | Some t -> fields @ [ ("timing", JObj (timing_fields t)) ]
+    | None -> fields
+  in
+  obj_line (with_id id fields)
 
 (* ---------------- parse ---------------- *)
 
@@ -163,70 +247,169 @@ let parse_request line =
   match Json.parse line with
   | Error e -> Result.Error ("invalid JSON: " ^ e)
   | Ok j -> (
-      let id = parse_id j in
+      let timing =
+        match Json.member "timing" j with
+        | Some (Json.Bool b) -> b
+        | _ -> false
+      in
+      let meta = { rid = parse_id j; timing } in
       let write mk =
         match (member_str "rel" j, parse_tuple j) with
-        | Some r, Some tup -> Result.Ok (id, mk r tup)
+        | Some r, Some tup -> Result.Ok (meta, mk r tup)
         | None, _ -> Result.Error "missing string field \"rel\""
         | _, None -> Result.Error "missing integer-array field \"tuple\""
       in
+      let with_query mk =
+        match member_str "query" j with
+        | Some q -> Result.Ok (meta, mk q)
+        | None -> Result.Error "missing string field \"query\""
+      in
       match member_str "op" j with
       | None -> Result.Error "missing string field \"op\""
-      | Some "ping" -> Result.Ok (id, Ping)
-      | Some "check" -> (
-          match member_str "query" j with
-          | Some q -> Result.Ok (id, Check q)
-          | None -> Result.Error "missing string field \"query\"")
+      | Some "ping" -> Result.Ok (meta, Ping)
+      | Some "check" -> with_query (fun q -> Check q)
       | Some "count" -> (
           match member_str "term" j with
-          | Some t -> Result.Ok (id, Count t)
+          | Some t -> Result.Ok (meta, Count t)
           | None -> Result.Error "missing string field \"term\"")
       | Some "insert" -> write (fun r tup -> Insert (r, tup))
       | Some "delete" -> write (fun r tup -> Delete (r, tup))
-      | Some "stats" -> Result.Ok (id, Stats)
-      | Some "shutdown" -> Result.Ok (id, Shutdown)
+      | Some "explain" -> with_query (fun q -> Explain q)
+      | Some "stats" -> Result.Ok (meta, Stats)
+      | Some "metrics" -> Result.Ok (meta, Metrics)
+      | Some "shutdown" -> Result.Ok (meta, Shutdown)
       | Some op -> Result.Error (Printf.sprintf "unknown op %S" op))
+
+let parse_timing j =
+  match Json.member "timing" j with
+  | Some tj ->
+      let g k = Option.value (member_int k tj) ~default:0 in
+      Some
+        { queue_ns = g "queue_ns";
+          batch_wait_ns = g "batch_wait_ns";
+          artifact_ns = g "artifact_ns";
+          plan_ns = g "plan_ns";
+          eval_ns = g "eval_ns";
+          write_ns = g "write_ns";
+          total_ns = g "total_ns" }
+  | None -> None
+
+let parse_int_list = function
+  | Json.List l ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Num f :: rest -> (
+            match int_of_num f with
+            | Some i -> go (i :: acc) rest
+            | None -> None)
+        | _ -> None
+      in
+      go [] l
+  | _ -> None
+
+let parse_plan_info j =
+  let order =
+    match Json.member "order" j with
+    | Some l -> parse_int_list l
+    | None -> None
+  in
+  let steps =
+    match Json.member "steps" j with
+    | Some (Json.List l) ->
+        let rec go acc = function
+          | [] -> Some (List.rev acc)
+          | s :: rest -> (
+              match parse_int_list s with
+              | Some [ est; actual ] -> go ((est, actual) :: acc) rest
+              | _ -> None)
+        in
+        go [] l
+    | _ -> None
+  in
+  let replanned =
+    match Json.member "replanned" j with
+    | Some (Json.Bool b) -> b
+    | _ -> false
+  in
+  match (order, steps) with
+  | Some order, Some steps -> Some { order; steps; replanned }
+  | _ -> None
+
+let parse_explain ~result ~version ex =
+  let cached =
+    match Json.member "cached" ex with Some (Json.Bool b) -> b | _ -> false
+  in
+  let replans = Option.value (member_int "replans" ex) ~default:0 in
+  match Json.member "plans" ex with
+  | Some (Json.List l) ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match parse_plan_info p with
+            | Some pi -> go (pi :: acc) rest
+            | None -> None)
+      in
+      Option.map
+        (fun plans -> { result; version; cached; replans; plans })
+        (go [] l)
+  | _ -> None
 
 let parse_response line =
   match Json.parse line with
   | Error e -> Result.Error ("invalid JSON: " ^ e)
   | Ok j -> (
-      let id = parse_id j in
+      let meta = { mid = parse_id j; rtiming = parse_timing j } in
       match Json.member "ok" j with
       | Some (Json.Bool false) -> (
           match member_str "error" j with
-          | Some m -> Result.Ok (id, Error m)
+          | Some m -> Result.Ok (meta, Error m)
           | None -> Result.Error "error response without \"error\"")
       | Some (Json.Bool true) -> (
-          match
-            (Json.member "result" j, Json.member "stats" j,
-             member_int "version" j)
-          with
-          | Some (Json.Bool b), _, Some v -> Result.Ok (id, Bool (b, v))
-          | Some (Json.Num f), _, Some v -> (
-              match int_of_num f with
-              | Some n -> Result.Ok (id, Int (n, v))
-              | None -> Result.Error "non-integer result")
-          | Some (Json.Str "pong"), _, _ -> Result.Ok (id, Pong)
-          | Some (Json.Str "bye"), _, _ -> Result.Ok (id, Bye)
-          | None, Some stats, _ -> (
-              let geti k = member_int k stats and gets k = member_str k stats in
+          match member_str "metrics" j with
+          | Some text -> Result.Ok (meta, Metrics_r text)
+          | None -> (
               match
-                ( geti "version", geti "connections", geti "served",
-                  geti "shed", geti "rejected", geti "disconnects",
-                  gets "session" )
+                (Json.member "result" j, Json.member "stats" j,
+                 member_int "version" j)
               with
-              | ( Some version, Some connections, Some served, Some shed,
-                  Some rejected, Some disconnects, Some session ) ->
-                  (* "planner" arrived with the adaptive-planning release:
-                     tolerate its absence so new clients read old servers *)
-                  let planner = Option.value (gets "planner") ~default:"" in
-                  Result.Ok
-                    ( id,
-                      Stats_r
-                        { version; connections; served; shed; rejected;
-                          disconnects; session; planner } )
-              | _ -> Result.Error "malformed stats response")
-          | None, None, Some v -> Result.Ok (id, Done v)
-          | _ -> Result.Error "malformed ok response")
+              | Some (Json.Bool b), _, Some v -> (
+                  match Json.member "explain" j with
+                  | Some ex -> (
+                      match parse_explain ~result:b ~version:v ex with
+                      | Some e -> Result.Ok (meta, Explain_r e)
+                      | None -> Result.Error "malformed explain response")
+                  | None -> Result.Ok (meta, Bool (b, v)))
+              | Some (Json.Num f), _, Some v -> (
+                  match int_of_num f with
+                  | Some n -> Result.Ok (meta, Int (n, v))
+                  | None -> Result.Error "non-integer result")
+              | Some (Json.Str "pong"), _, _ -> Result.Ok (meta, Pong)
+              | Some (Json.Str "bye"), _, _ -> Result.Ok (meta, Bye)
+              | None, Some stats, _ -> (
+                  let geti k = member_int k stats
+                  and gets k = member_str k stats in
+                  match
+                    ( geti "version", geti "connections", geti "served",
+                      geti "shed", geti "rejected", geti "disconnects",
+                      gets "session" )
+                  with
+                  | ( Some version, Some connections, Some served, Some shed,
+                      Some rejected, Some disconnects, Some session ) ->
+                      (* "planner" arrived with the adaptive-planning
+                         release, the quantile and trace-drop fields with
+                         the observability one: tolerate their absence so
+                         new clients read old servers *)
+                      let planner = Option.value (gets "planner") ~default:"" in
+                      let gi0 k = Option.value (geti k) ~default:0 in
+                      Result.Ok
+                        ( meta,
+                          Stats_r
+                            { version; connections; served; shed; rejected;
+                              disconnects; p50_us = gi0 "p50_us";
+                              p95_us = gi0 "p95_us"; p99_us = gi0 "p99_us";
+                              trace_dropped = gi0 "trace_dropped"; session;
+                              planner } )
+                  | _ -> Result.Error "malformed stats response")
+              | None, None, Some v -> Result.Ok (meta, Done v)
+              | _ -> Result.Error "malformed ok response"))
       | _ -> Result.Error "missing boolean field \"ok\"")

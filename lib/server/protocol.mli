@@ -9,10 +9,13 @@
     {v
     {"op":"ping"}
     {"op":"check","query":"exists x. #(y). E(x,y) >= 2","id":7}
+    {"op":"check","query":"...","timing":true}
     {"op":"count","term":"#(x,y). E(x,y)"}
     {"op":"insert","rel":"E","tuple":[3,4]}
     {"op":"delete","rel":"R","tuple":[5]}
+    {"op":"explain","query":"..."}
     {"op":"stats"}
+    {"op":"metrics"}
     {"op":"shutdown"}
     v}
 
@@ -20,10 +23,13 @@
     {v
     {"id":7,"ok":true,"result":true,"version":3}
     {"ok":true,"result":12,"version":3}
+    {"ok":true,"result":true,"version":3,"timing":{"queue_ns":..,"total_ns":..}}
     {"ok":true,"version":4}
     {"ok":true,"result":"pong"}
     {"ok":true,"result":"bye"}
     {"ok":true,"stats":{...,"session":"<logfmt>"}}
+    {"ok":true,"result":true,"version":3,"explain":{"cached":false,...}}
+    {"ok":true,"metrics":"# TYPE foc_req_check_ns histogram\n..."}
     {"ok":false,"error":"parse error at 4: ..."}
     v}
 
@@ -38,8 +44,25 @@ type request =
   | Count of string  (** ground counting-term source *)
   | Insert of string * int array  (** relation, tuple *)
   | Delete of string * int array
+  | Explain of string
+      (** evaluate like [Check] but return the planner's story too *)
   | Stats
+  | Metrics  (** Prometheus text exposition of all server registries *)
   | Shutdown
+
+type timing = {
+  queue_ns : int;  (** admission to dispatcher pop *)
+  batch_wait_ns : int;  (** dispatcher pop to batch execution start *)
+  artifact_ns : int;  (** cover/context/Hanf/stats/compile cache misses *)
+  plan_ns : int;  (** baseline-planner join ordering *)
+  eval_ns : int;  (** evaluation proper (excludes artifact/plan) *)
+  write_ns : int;  (** structure update + invalidation *)
+  total_ns : int;  (** admission to reply; ≥ the sum of the phases *)
+}
+(** Per-request latency decomposition, attached to a response when the
+    request carried ["timing":true]. The six phases are disjoint
+    sub-intervals of the total (self-time semantics), so they sum to at
+    most [total_ns]; the remainder is untracked dispatcher overhead. *)
 
 type stats = {
   version : int;  (** writes applied since start *)
@@ -48,6 +71,10 @@ type stats = {
   shed : int;  (** requests rejected by queue overflow *)
   rejected : int;  (** parse/budget/argument rejections *)
   disconnects : int;  (** connections dropped mid-response *)
+  p50_us : int;  (** read-latency quantiles, µs, over all served reads *)
+  p95_us : int;
+  p99_us : int;
+  trace_dropped : int;  (** spans lost to trace ring wrap-around *)
   session : string;  (** the session's logfmt stats line *)
   planner : string;
       (** the process-wide planner/baseline observability line
@@ -56,22 +83,49 @@ type stats = {
           to a pre-adaptive-planning server *)
 }
 
+type plan_info = {
+  order : int list;  (** conjunct indices in execution order *)
+  steps : (int * int) list;
+      (** per executed join step: (predicted, actual) output rows *)
+  replanned : bool;  (** order came from the adaptive feedback loop *)
+}
+
+type explain = {
+  result : bool;
+  version : int;
+  cached : bool;  (** answered from the compiled-sentence cache *)
+  replans : int;  (** process-wide replan count at answer time *)
+  plans : plan_info list;
+      (** conjunction plans executed by this evaluation, oldest first —
+          empty when the evaluation ran no baseline conjunction planning
+          (e.g. fully cached or a non-conjunctive sentence) *)
+}
+
 type response =
   | Bool of bool * int  (** [check] result, structure version *)
   | Int of int * int  (** [count] result, structure version *)
   | Done of int  (** write applied; new version *)
   | Pong
   | Stats_r of stats
+  | Explain_r of explain
+  | Metrics_r of string  (** Prometheus text page *)
   | Bye  (** shutdown acknowledged *)
   | Error of string
 
-val request_line : ?id:int -> request -> string
-(** One JSON line (no trailing newline). *)
+type req_meta = { rid : int option; timing : bool }
+(** Request envelope: optional client-chosen [id] echoed in the response,
+    and whether the client asked for a timing breakdown. *)
 
-val response_line : ?id:int -> response -> string
+type resp_meta = { mid : int option; rtiming : timing option }
 
-val parse_request : string -> (int option * request, string) result
+val request_line : ?id:int -> ?timing:bool -> request -> string
+(** One JSON line (no trailing newline). [timing] (default false) adds
+    ["timing":true]. *)
+
+val response_line : ?id:int -> ?timing:timing -> response -> string
+
+val parse_request : string -> (req_meta * request, string) result
 (** Parse one request line. [Error] describes the malformation; the
     connection is expected to survive it. *)
 
-val parse_response : string -> (int option * response, string) result
+val parse_response : string -> (resp_meta * response, string) result

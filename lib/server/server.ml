@@ -6,6 +6,8 @@
 
 module Session = Foc_serve.Session
 module Engine = Foc_nd.Engine
+module Scope = Foc_obs.Scope
+module Metrics = Foc_obs.Metrics
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -17,6 +19,10 @@ type config = {
   max_queue : int;
   client_budget : int;
   max_batch : int;
+  slow_ms : float;
+  slow_log : string option;
+  trace_file : string option;
+  trace_cap : int option;
 }
 
 let default_config address =
@@ -28,6 +34,10 @@ let default_config address =
     max_queue = 256;
     client_budget = 0;
     max_batch = 32;
+    slow_ms = 0.;
+    slow_log = None;
+    trace_file = None;
+    trace_cap = None;
   }
 
 (* a parsed request waiting for (or holding) its answer *)
@@ -35,14 +45,28 @@ type job =
   | JCheck of Foc_logic.Ast.formula
   | JCount of Foc_logic.Ast.term
   | JWrite of bool * string * int array  (* insert?, relation, tuple *)
+  | JExplain of Foc_logic.Ast.formula
   | JStats
+  | JMetrics
   | JShutdown
 
+(* Every dispatched request carries a {!Foc_obs.Scope}: the conn thread
+   creates it at admission (anchoring queue wait), the dispatcher stamps
+   pop/batch times into it and threads it (as the ambient scope) through
+   the session so artifact/plan cues land in the right accumulators. The
+   reply always carries the finished timing; the conn thread attaches it
+   to the wire response only when the client asked. *)
 type pending = {
   job : job;
-  mutable resp : Protocol.response option;
+  mutable resp : (Protocol.response * Protocol.timing option) option;
   pm : Mutex.t;
   pc : Condition.t;
+  scope : Scope.t;
+  sub_ns : int;  (* admission instant *)
+  mutable deq_ns : int;  (* dispatcher pop instant *)
+  mutable pseq0 : int;  (* Eval_obs plan sequence at execution start *)
+  opname : string;
+  qsrc : string;  (* query/term/relation text, for the slow log *)
 }
 
 type state = Running | Draining | Stopped
@@ -67,6 +91,14 @@ type t = {
   mutable conn_threads : Thread.t list;
   mutable core_threads : Thread.t list;  (* listener + dispatcher *)
   mutable cleaned : bool;
+  obs : Metrics.t;  (* dispatcher-owned: request histograms, slow count *)
+  h_check : Metrics.Histogram.t;
+  h_count : Metrics.Histogram.t;
+  h_write : Metrics.Histogram.t;
+  h_explain : Metrics.Histogram.t;
+  h_read : Metrics.Histogram.t;  (* check + count + explain combined *)
+  slow_logged : Metrics.Counter.t;
+  slow : Foc_obs.Sink.t option;
 }
 
 let address t = t.addr
@@ -85,8 +117,25 @@ let ignore_sigpipe () =
 
 (* ---------------- pending plumbing ---------------- *)
 
-let make_pending job =
-  { job; resp = None; pm = Mutex.create (); pc = Condition.create () }
+let req_seq = Atomic.make 0
+
+let make_pending ?(opname = "") ?(qsrc = "") job =
+  (* scope first: its creation instant anchors [total_ns], so taking
+     [sub_ns] after it keeps every stamped interval inside [t0, finish]
+     and the six phases summing to at most the total *)
+  let scope = Scope.create ~id:(Atomic.fetch_and_add req_seq 1) () in
+  {
+    job;
+    resp = None;
+    pm = Mutex.create ();
+    pc = Condition.create ();
+    scope;
+    sub_ns = Foc_obs.Clock.now_ns ();
+    deq_ns = 0;
+    pseq0 = 0;
+    opname;
+    qsrc;
+  }
 
 let reply p r =
   Mutex.lock p.pm;
@@ -117,36 +166,138 @@ let err_of_exn = function
   | Failure m -> Protocol.Error m
   | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e)
 
+let timing_of_scope s =
+  let p ph = Scope.phase_ns s ph in
+  {
+    Protocol.queue_ns = p Scope.Queue;
+    batch_wait_ns = p Scope.Batch_wait;
+    artifact_ns = p Scope.Artifact;
+    plan_ns = p Scope.Plan;
+    eval_ns = p Scope.Eval;
+    write_ns = p Scope.Write;
+    total_ns = Scope.total_ns s;
+  }
+
+(* saturating round for the explain wire format (ints round-trip exactly) *)
+let est_int e =
+  if Float.is_nan e || e <= 0. then 0
+  else if e >= 1e18 then 1_000_000_000_000_000_000
+  else int_of_float (e +. 0.5)
+
+let plans_recorded_since seq =
+  List.map
+    (fun (pr : Foc_eval.Eval_obs.plan_record) ->
+      {
+        Protocol.order = pr.order;
+        steps = List.map (fun (est, actual) -> (est_int est, actual)) pr.steps;
+        replanned = pr.replanned;
+      })
+    (Foc_eval.Eval_obs.plans_since seq)
+
+(* Close a request's scope, feed the latency histograms, emit a slow-query
+   line when over threshold, and hand the answer (with its breakdown) back
+   to the waiting connection thread. Dispatcher-thread only. *)
+let finalize t p resp =
+  let total = Scope.finish p.scope in
+  (match p.job with
+  | JCheck _ ->
+      Metrics.Histogram.observe t.h_check total;
+      Metrics.Histogram.observe t.h_read total
+  | JCount _ ->
+      Metrics.Histogram.observe t.h_count total;
+      Metrics.Histogram.observe t.h_read total
+  | JExplain _ ->
+      Metrics.Histogram.observe t.h_explain total;
+      Metrics.Histogram.observe t.h_read total
+  | JWrite _ -> Metrics.Histogram.observe t.h_write total
+  | JStats | JMetrics | JShutdown -> ());
+  (match t.slow with
+  | Some sink when t.cfg.slow_ms > 0. && float_of_int total /. 1e6 >= t.cfg.slow_ms ->
+      Metrics.Counter.inc t.slow_logged;
+      let open Foc_obs.Logfmt in
+      let ms ns = Float.of_int ns /. 1e6 in
+      let ph name phase = (name, Float (ms (Scope.phase_ns p.scope phase))) in
+      let order =
+        match List.rev (Foc_eval.Eval_obs.plans_since p.pseq0) with
+        | (last : Foc_eval.Eval_obs.plan_record) :: _ ->
+            String.concat "," (List.map string_of_int last.order)
+        | [] -> ""
+      in
+      Foc_obs.Sink.write sink
+        (line
+           [ ("msg", Str "slow_query");
+             ("req", Int (Scope.id p.scope));
+             ("op", Str p.opname);
+             ("total_ms", Float (ms total));
+             ph "queue_ms" Scope.Queue;
+             ph "batch_wait_ms" Scope.Batch_wait;
+             ph "artifact_ms" Scope.Artifact;
+             ph "plan_ms" Scope.Plan;
+             ph "eval_ms" Scope.Eval;
+             ph "write_ms" Scope.Write;
+             ("plan", Str order);
+             ("replans", Int (Foc_eval.Eval_obs.replans ()));
+             ("query", Str p.qsrc) ])
+  | _ -> ());
+  reply p (resp, Some (timing_of_scope p.scope))
+
 let run_checks t group phis =
   let v = t.version in
-  match Session.run_batch ~jobs:t.cfg.jobs t.sess phis with
+  let now = Foc_obs.Clock.now_ns () in
+  let seq0 = Foc_eval.Eval_obs.plan_seq () in
+  List.iter
+    (fun p ->
+      Scope.add_ns p.scope Scope.Batch_wait (now - p.deq_ns);
+      p.pseq0 <- seq0)
+    group;
+  (* one scope for the shared batch work; each member inherits the whole
+     batch's artifact/plan/eval time (it waited for all of it anyway) *)
+  let bscope = Scope.create () in
+  match
+    Scope.with_scope bscope (fun () ->
+        Scope.time bscope Scope.Eval (fun () ->
+            Session.run_batch ~jobs:t.cfg.jobs t.sess phis))
+  with
   | results ->
-      List.iter2 (fun p r -> reply p (Protocol.Bool (r, v))) group results;
+      List.iter2
+        (fun p r ->
+          Scope.merge_phases p.scope bscope;
+          finalize t p (Protocol.Bool (r, v)))
+        group results;
       locked t (fun () -> t.served <- t.served + List.length group)
   | exception e ->
       let r = err_of_exn e in
-      List.iter (fun p -> reply p r) group
+      List.iter
+        (fun p ->
+          Scope.merge_phases p.scope bscope;
+          finalize t p r)
+        group
 
 let run_one t p =
+  p.pseq0 <- Foc_eval.Eval_obs.plan_seq ();
   match p.job with
   | JCheck _ -> assert false (* grouped by the caller *)
   | JCount term ->
       let v = t.version in
       let r =
         match
-          Engine.eval_ground (Session.engine t.sess)
-            (Session.structure t.sess) term
+          Scope.with_scope p.scope (fun () ->
+              Scope.time p.scope Scope.Eval (fun () ->
+                  Engine.eval_ground (Session.engine t.sess)
+                    (Session.structure t.sess) term))
         with
         | n -> Protocol.Int (n, v)
         | exception e -> err_of_exn e
       in
-      reply p r;
+      finalize t p r;
       locked t (fun () -> t.served <- t.served + 1)
   | JWrite (ins, rel, tup) ->
       let r =
         match
-          if ins then Session.insert t.sess rel tup
-          else Session.delete t.sess rel tup
+          Scope.with_scope p.scope (fun () ->
+              Scope.time p.scope Scope.Write (fun () ->
+                  if ins then Session.insert t.sess rel tup
+                  else Session.delete t.sess rel tup))
         with
         | () ->
             t.version <- t.version + 1;
@@ -155,7 +306,37 @@ let run_one t p =
             locked t (fun () -> t.rejected <- t.rejected + 1);
             err_of_exn e
       in
-      reply p r;
+      finalize t p r;
+      locked t (fun () -> t.served <- t.served + 1)
+  | JExplain phi ->
+      let v = t.version in
+      let hits0 =
+        Metrics.Counter.value
+          (Metrics.counter (Session.metrics t.sess) "session.compiled_hits")
+      in
+      let r =
+        match
+          Scope.with_scope p.scope (fun () ->
+              Scope.time p.scope Scope.Eval (fun () ->
+                  Session.check t.sess phi))
+        with
+        | b ->
+            let hits1 =
+              Metrics.Counter.value
+                (Metrics.counter (Session.metrics t.sess)
+                   "session.compiled_hits")
+            in
+            Protocol.Explain_r
+              {
+                result = b;
+                version = v;
+                cached = hits1 > hits0;
+                replans = Foc_eval.Eval_obs.replans ();
+                plans = plans_recorded_since p.pseq0;
+              }
+        | exception e -> err_of_exn e
+      in
+      finalize t p r;
       locked t (fun () -> t.served <- t.served + 1)
   | JStats ->
       let stats =
@@ -167,21 +348,42 @@ let run_one t p =
               shed = t.shed;
               rejected = t.rejected;
               disconnects = t.disconnects;
+              p50_us = 0;
+              p95_us = 0;
+              p99_us = 0;
+              trace_dropped = 0;
               session = "";
               planner = "";
             })
       in
-      reply p
+      let q x =
+        int_of_float (Metrics.Histogram.quantile t.h_read x /. 1e3)
+      in
+      finalize t p
         (Protocol.Stats_r
            {
              stats with
+             p50_us = q 0.5;
+             p95_us = q 0.95;
+             p99_us = q 0.99;
+             trace_dropped = Foc_obs.Trace.dropped_events ();
              session = Session.stats_line t.sess;
              planner = Foc_eval.Eval_obs.line ();
            });
       locked t (fun () -> t.served <- t.served + 1)
+  | JMetrics ->
+      Metrics.Gauge.set
+        (Metrics.gauge t.obs "trace.dropped_events")
+        (Foc_obs.Trace.dropped_events ());
+      let text =
+        Metrics.prometheus
+          [ t.obs; Session.metrics t.sess; Foc_eval.Eval_obs.registry () ]
+      in
+      finalize t p (Protocol.Metrics_r text);
+      locked t (fun () -> t.served <- t.served + 1)
   | JShutdown ->
       locked t (fun () -> if t.state = Running then t.state <- Draining);
-      reply p Protocol.Bye
+      finalize t p Protocol.Bye
 
 let rec dispatcher t =
   Mutex.lock t.m;
@@ -195,7 +397,13 @@ let rec dispatcher t =
     Mutex.unlock t.m
   end
   else begin
+    let stamp_pop p =
+      let now = Foc_obs.Clock.now_ns () in
+      Scope.add_ns p.scope Scope.Queue (now - p.sub_ns);
+      p.deq_ns <- now
+    in
     let p = Queue.pop t.queue in
+    stamp_pop p;
     match p.job with
     | JCheck phi ->
         (* group the run of consecutive checks behind [p] into one batch:
@@ -207,6 +415,7 @@ let rec dispatcher t =
           match Queue.peek_opt t.queue with
           | Some { job = JCheck phi2; _ } ->
               let p2 = Queue.pop t.queue in
+              stamp_pop p2;
               group := p2 :: !group;
               phis := phi2 :: !phis;
               incr n
@@ -254,31 +463,57 @@ let job_of_request = function
       | Error e -> Result.Error e)
   | Protocol.Insert (r, tup) -> Result.Ok (JWrite (true, r, tup))
   | Protocol.Delete (r, tup) -> Result.Ok (JWrite (false, r, tup))
+  | Protocol.Explain src -> (
+      match Foc_logic.Parser.formula_result Foc_logic.Pred.standard src with
+      | Ok phi -> Result.Ok (JExplain phi)
+      | Error e -> Result.Error e)
   | Protocol.Stats -> Result.Ok JStats
+  | Protocol.Metrics -> Result.Ok JMetrics
   | Protocol.Shutdown -> Result.Ok JShutdown
+
+let opname_of = function
+  | Protocol.Ping -> "ping"
+  | Protocol.Check _ -> "check"
+  | Protocol.Count _ -> "count"
+  | Protocol.Insert _ -> "insert"
+  | Protocol.Delete _ -> "delete"
+  | Protocol.Explain _ -> "explain"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Shutdown -> "shutdown"
+
+let qsrc_of = function
+  | Protocol.Check src | Protocol.Count src | Protocol.Explain src -> src
+  | Protocol.Insert (r, _) | Protocol.Delete (r, _) -> r
+  | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown -> ""
 
 let handle_line t budget line =
   match Protocol.parse_request line with
   | Error e ->
       locked t (fun () -> t.rejected <- t.rejected + 1);
-      (None, Protocol.Error e)
-  | Ok (id, Protocol.Ping) -> (id, Protocol.Pong)
-  | Ok (id, req) -> (
+      (None, Protocol.Error e, None)
+  | Ok (meta, Protocol.Ping) -> (meta.Protocol.rid, Protocol.Pong, None)
+  | Ok (meta, req) -> (
+      let id = meta.Protocol.rid in
       if t.cfg.client_budget > 0 && !budget <= 0 then begin
         locked t (fun () -> t.rejected <- t.rejected + 1);
-        (id, Protocol.Error "client budget exhausted")
+        (id, Protocol.Error "client budget exhausted", None)
       end
       else begin
         decr budget;
         match job_of_request req with
         | Error e ->
             locked t (fun () -> t.rejected <- t.rejected + 1);
-            (id, Protocol.Error ("parse error: " ^ e))
+            (id, Protocol.Error ("parse error: " ^ e), None)
         | Ok job -> (
-            let p = make_pending job in
+            let p =
+              make_pending ~opname:(opname_of req) ~qsrc:(qsrc_of req) job
+            in
             match submit t p with
-            | Error e -> (id, Protocol.Error e)
-            | Ok () -> (id, await p))
+            | Error e -> (id, Protocol.Error e, None)
+            | Ok () ->
+                let resp, tim = await p in
+                (id, resp, if meta.Protocol.timing then tim else None))
       end)
 
 let conn_loop t cid fd =
@@ -289,8 +524,8 @@ let conn_loop t cid fd =
      while true do
        let line = String.trim (input_line ic) in
        if line <> "" then begin
-         let id, resp = handle_line t budget line in
-         send_line oc (Protocol.response_line ?id resp)
+         let id, resp, timing = handle_line t budget line in
+         send_line oc (Protocol.response_line ?id ?timing resp)
        end
      done
    with
@@ -355,9 +590,22 @@ let bind_listen = function
 
 let start cfg structure =
   ignore_sigpipe ();
+  (match cfg.trace_cap with
+  | Some n -> Foc_obs.Trace.set_cap n
+  | None -> ());
+  if cfg.trace_file <> None then Foc_obs.Trace.enable ();
   let listen_fd, addr = bind_listen cfg.address in
   let sess =
     Session.create ~budget_mb:cfg.budget_mb ~config:cfg.engine structure
+  in
+  let obs = Metrics.create () in
+  let slow =
+    if cfg.slow_ms > 0. then
+      Some
+        (match cfg.slow_log with
+        | Some path -> Foc_obs.Sink.create path
+        | None -> Foc_obs.Sink.stderr_sink)
+    else None
   in
   let t =
     {
@@ -380,6 +628,14 @@ let start cfg structure =
       conn_threads = [];
       core_threads = [];
       cleaned = false;
+      obs;
+      h_check = Metrics.histogram obs "req.check.ns";
+      h_count = Metrics.histogram obs "req.count.ns";
+      h_write = Metrics.histogram obs "req.write.ns";
+      h_explain = Metrics.histogram obs "req.explain.ns";
+      h_read = Metrics.histogram obs "req.read.ns";
+      slow_logged = Metrics.counter obs "req.slow";
+      slow;
     }
   in
   t.core_threads <-
@@ -440,6 +696,15 @@ let cleanup t =
         with Unix.Unix_error _ -> ())
       conn_fds;
     List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    (match t.cfg.trace_file with
+    | Some f ->
+        (try Foc_obs.Trace.export_chrome f with Sys_error _ -> ());
+        Foc_obs.Trace.disable ()
+    | None -> ());
+    (match t.slow with
+    | Some sink when sink != Foc_obs.Sink.stderr_sink ->
+        Foc_obs.Sink.close sink
+    | _ -> ());
     (match t.addr with
     | Unix_sock path -> (
         try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())

@@ -40,11 +40,23 @@ type config = {
   max_queue : int;  (** request-queue bound; overflow is shed *)
   client_budget : int;  (** per-connection request budget; [<= 0] = unlimited *)
   max_batch : int;  (** most [check]s grouped into one batch *)
+  slow_ms : float;
+      (** requests slower than this emit one logfmt line to the slow-query
+          sink; [<= 0] disables the log *)
+  slow_log : string option;
+      (** slow-query sink: a rotating file at this path, or stderr when
+          [None] *)
+  trace_file : string option;
+      (** enable span tracing for the daemon's lifetime and export a
+          Chrome trace here on shutdown *)
+  trace_cap : int option;
+      (** bound each per-domain span buffer ({!Foc_obs.Trace.set_cap});
+          [None] keeps the current/default cap *)
 }
 
 val default_config : address -> config
 (** Direct backend, [jobs] = 1, 256 MiB budget, queue bound 256, unlimited
-    client budget, batches of at most 32. *)
+    client budget, batches of at most 32; slow-query log and tracing off. *)
 
 type t
 

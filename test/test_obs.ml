@@ -68,6 +68,40 @@ let test_histogram_observe () =
     [ (0, 2); (1, 2); (3, 1); (1023, 1) ]
     (Histogram.nonzero_buckets h)
 
+let test_histogram_quantiles () =
+  let open Foc.Obs.Metrics in
+  let r = create () in
+  let empty = histogram r "empty" in
+  Alcotest.(check (float 0.)) "empty histogram" 0. (Histogram.quantile empty 0.5);
+  (* 100 observations in one bucket [4,7]: interpolation walks the bucket *)
+  let single = histogram r "single" in
+  for _ = 1 to 100 do
+    Histogram.observe single 5
+  done;
+  Alcotest.(check (float 1e-9)) "single-bucket p50" 5.5
+    (Histogram.quantile single 0.5);
+  Alcotest.(check (float 1e-9)) "q<=0 is the bucket floor" 4.
+    (Histogram.quantile single 0.);
+  Alcotest.(check (float 1e-9)) "q>=1 is the bucket ceiling" 7.
+    (Histogram.quantile single 1.);
+  (* 50 ones + 50 at 1024: the median rank lands exactly on the edge of
+     the first bucket, p95 interpolates inside the second *)
+  let split = histogram r "split" in
+  for _ = 1 to 50 do
+    Histogram.observe split 1;
+    Histogram.observe split 1024
+  done;
+  Alcotest.(check (float 1e-9)) "edge-rank p50" 1.
+    (Histogram.quantile split 0.5);
+  let p95 = Histogram.quantile split 0.95 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p95 inside [1024,2047], got %f" p95)
+    true
+    (p95 >= 1024. && p95 <= 2047.);
+  (* monotone in q *)
+  Alcotest.(check bool) "monotone" true
+    (Histogram.quantile split 0.2 <= Histogram.quantile split 0.8)
+
 (* ---------------- registry ---------------- *)
 
 let test_registry () =
@@ -93,6 +127,42 @@ let test_registry () =
       ignore (gauge r "x.count"));
   Alcotest.(check int) "report has one line per metric" 3
     (List.length (report r))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_prometheus () =
+  let open Foc.Obs.Metrics in
+  let r1 = create () and r2 = create () in
+  Counter.add (counter r1 "req.slow") 3;
+  Gauge.set (gauge r1 "cache.bytes") 512;
+  let h = histogram r1 "req.read.ns" in
+  Histogram.observe h 5;
+  Histogram.observe h 1000;
+  (* same sanitised name in a later registry: first wins, no dup series *)
+  Counter.add (counter r2 "req.slow") 99;
+  Counter.add (counter r2 "other.count") 7;
+  let page = prometheus [ r1; r2 ] in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("page has " ^ needle) true (contains page needle))
+    [
+      "# TYPE foc_req_slow counter";
+      "foc_req_slow 3";
+      "# TYPE foc_cache_bytes gauge";
+      "foc_cache_bytes 512";
+      "# TYPE foc_req_read_ns histogram";
+      "foc_req_read_ns_bucket{le=\"7\"} 1";
+      "foc_req_read_ns_bucket{le=\"1023\"} 2";
+      "foc_req_read_ns_bucket{le=\"+Inf\"} 2";
+      "foc_req_read_ns_sum 1005";
+      "foc_req_read_ns_count 2";
+      "foc_other_count 7";
+    ];
+  Alcotest.(check bool) "first registry wins on a clash" false
+    (contains page "foc_req_slow 99")
 
 (* ---------------- spans ---------------- *)
 
@@ -149,6 +219,106 @@ let test_span_parallel_labels () =
   Alcotest.(check bool) "well nested across domains" true
     (Foc.Obs.Trace.well_nested ());
   obs_off ()
+
+(* ---------------- bounded trace rings ---------------- *)
+
+let test_trace_ring_cap () =
+  obs_off ();
+  let default = Foc.Obs.Trace.cap () in
+  Fun.protect
+    ~finally:(fun () ->
+      Foc.Obs.Trace.set_cap default;
+      obs_off ())
+    (fun () ->
+      Foc.Obs.Trace.set_cap 8;
+      Alcotest.(check int) "cap taken" 8 (Foc.Obs.Trace.cap ());
+      Foc.Obs.Trace.enable ();
+      (* 50 nested-pair spans: far beyond the cap, the ring wraps *)
+      for i = 1 to 50 do
+        Foc.Obs.span
+          ~name:(Printf.sprintf "outer%d" i)
+          (fun () -> Foc.Obs.span ~name:(Printf.sprintf "inner%d" i) ignore)
+      done;
+      let evs = Foc.Obs.Trace.events () in
+      Alcotest.(check int) "ring holds exactly the cap" 8 (List.length evs);
+      Alcotest.(check int) "drop counter accounts for the rest" (100 - 8)
+        (Foc.Obs.Trace.dropped_events ());
+      (* the survivors are the newest-closed spans *)
+      Alcotest.(check bool) "latest span survives" true
+        (List.exists
+           (fun (e : Foc.Obs.Trace.event) -> e.name = "outer50")
+           evs);
+      (* a subset of a well-nested event set stays well nested, and the
+         exporter still produces valid JSON on a wrapped buffer *)
+      Alcotest.(check bool) "wrapped buffer well nested" true
+        (Foc.Obs.Trace.well_nested ());
+      let path = Filename.temp_file "foc_ring" ".json" in
+      Foc.Obs.Trace.export_chrome path;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Sys.remove path;
+      (match Foc.Obs.Json.parse s with
+      | Ok (Foc.Obs.Json.List l) ->
+          Alcotest.(check int) "export matches ring contents" 8
+            (List.length l)
+      | Ok _ -> Alcotest.fail "wrapped export is not an array"
+      | Error e -> Alcotest.failf "wrapped export does not parse: %s" e);
+      (* clear resets the drop counter too *)
+      Foc.Obs.Trace.clear ();
+      Alcotest.(check int) "clear resets drops" 0
+        (Foc.Obs.Trace.dropped_events ()))
+
+(* ---------------- request scopes ---------------- *)
+
+let test_scope_phases () =
+  let open Foc.Obs.Scope in
+  let s = create ~id:7 () in
+  Alcotest.(check int) "id kept" 7 (id s);
+  (* nested phases use self-time: the inner Artifact interval is excluded
+     from the surrounding Eval accumulator *)
+  let spin ns =
+    let t0 = ref (Foc.Obs.Clock.now_ns ()) in
+    let stop = !t0 + ns in
+    while Foc.Obs.Clock.now_ns () < stop do
+      ()
+    done
+  in
+  time s Eval (fun () ->
+      spin 2_000_000;
+      time s Artifact (fun () -> spin 2_000_000);
+      spin 1_000_000);
+  add_ns s Queue 500;
+  let total = finish s in
+  Alcotest.(check int) "total_ns matches finish" total (total_ns s);
+  let e = phase_ns s Eval and a = phase_ns s Artifact in
+  Alcotest.(check bool) "eval ≈ its own spinning only" true
+    (e >= 3_000_000 && e < 5_000_000);
+  Alcotest.(check bool) "artifact holds the nested interval" true
+    (a >= 2_000_000);
+  Alcotest.(check bool) "phases sum within total" true
+    (e + a + 500 <= total);
+  Alcotest.(check int) "add_ns credits directly" 500 (phase_ns s Queue);
+  (* breakdown is the six accumulators in protocol order *)
+  Alcotest.(check (list string))
+    "breakdown keys"
+    [ "queue_ns"; "batch_wait_ns"; "artifact_ns"; "plan_ns"; "eval_ns";
+      "write_ns" ]
+    (List.map fst (breakdown s));
+  (* merge adds accumulators *)
+  let d = create () in
+  add_ns d Eval 10;
+  merge_phases d s;
+  Alcotest.(check int) "merge adds eval" (10 + e) (phase_ns d Eval);
+  (* ambient scope: cue reaches the installed scope, and is a no-op
+     without one *)
+  Alcotest.(check int) "cue without scope is transparent" 9
+    (cue Plan (fun () -> 9));
+  with_scope s (fun () -> cue Plan (fun () -> spin 1_000_000));
+  Alcotest.(check bool) "cue credited the ambient scope" true
+    (phase_ns s Plan >= 1_000_000);
+  Alcotest.(check bool) "no ambient scope outside with_scope" true
+    (current () = None)
 
 (* ---------------- trace export round-trip ---------------- *)
 
@@ -296,7 +466,13 @@ let prop_invariant backend name =
         let off = run jobs in
         Foc.Obs.Trace.enable ();
         Foc.Obs.set_timing true;
-        let on = run jobs in
+        (* an installed ambient request scope must also be invisible to
+           the answers — this is the path [foc serve] runs on *)
+        let on =
+          Foc.Obs.Scope.with_scope
+            (Foc.Obs.Scope.create ())
+            (fun () -> run jobs)
+        in
         obs_off ();
         off = on
       in
@@ -313,12 +489,17 @@ let () =
             test_histogram_buckets;
           Alcotest.test_case "histogram observe" `Quick
             test_histogram_observe;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
           Alcotest.test_case "metrics registry" `Quick test_registry;
+          Alcotest.test_case "prometheus exposition" `Quick test_prometheus;
           Alcotest.test_case "json parser" `Quick test_json_parser;
         ] );
       ( "spans",
         [
           Alcotest.test_case "nesting + self time" `Quick test_span_nesting;
+          Alcotest.test_case "bounded ring wraps" `Quick test_trace_ring_cap;
+          Alcotest.test_case "request scope phases" `Quick test_scope_phases;
           Alcotest.test_case "parallel labels" `Quick
             test_span_parallel_labels;
           Alcotest.test_case "chrome export round-trip" `Quick

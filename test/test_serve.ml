@@ -292,6 +292,64 @@ let test_cover_dedup () =
   Alcotest.(check int) "cover built exactly once" 1
     st.Foc.Engine.covers_built
 
+(* ---------------- worker spans reach the merged trace ------------- *)
+
+(* Regression for the server-context span loss: spans recorded on pool
+   worker domains must appear in the merged event stream, with their own
+   domain ids, and the merged stream must stay well nested. [foc serve
+   --trace] depends on this — the per-chunk "session.batch" spans used to
+   vanish because nothing on the server path ever enabled tracing. *)
+let test_worker_spans () =
+  Fun.protect
+    ~finally:(fun () ->
+      Foc.Obs.Trace.clear ();
+      Foc.Obs.Trace.disable ())
+    (fun () ->
+      Foc.Obs.Trace.clear ();
+      Foc.Obs.Trace.enable ();
+      let a = structure 40 7 in
+      let phis =
+        List.map parse
+          [
+            "exists x. #(y). (E(x,y) | E(y,x)) >= 2";
+            "#(x,y). (E(x,y) & B(y)) >= 3";
+            "exists x. prime(#(y). (E(x,y) & G(y)))";
+            "forall x. #(y). E(y,x) <= 4";
+            "#(x,y). (E(x,y) | B(y)) >= 6";
+            "exists x. #(y). (R(y) & E(x,y)) >= 1";
+            "#(x). prime(#(y). (E(x,y) | R(y))) >= 1";
+            "forall x. #(y). (E(x,y) & !B(y)) <= 5";
+            "exists x. #(y). (G(y) | E(y,x)) >= 2";
+            "#(x,y). (E(y,x) & R(x)) >= 2";
+            "exists x. prime(#(y). (B(y) | E(y,x)))";
+            "#(x,y). (E(x,y) & !G(y)) >= 4";
+          ]
+      in
+      let s = Foc.Session.create ~config:(config Foc.Engine.Direct 1) a in
+      let self = (Domain.self () :> int) in
+      let worker_span (e : Foc.Obs.Trace.event) =
+        e.name = "session.batch" && e.tid <> self
+      in
+      (* scheduling may let the submitter drain every chunk on a tiny
+         batch; retry until a pool worker demonstrably ran one *)
+      let saw_worker = ref false in
+      let attempts = ref 0 in
+      while (not !saw_worker) && !attempts < 20 do
+        incr attempts;
+        ignore (Foc.Session.run_batch ~jobs:4 s phis);
+        saw_worker := List.exists worker_span (Foc.Obs.Trace.events ())
+      done;
+      let evs = Foc.Obs.Trace.events () in
+      Alcotest.(check bool) "submitter recorded batch spans" true
+        (List.exists
+           (fun (e : Foc.Obs.Trace.event) ->
+             e.name = "session.batch" && e.tid = self)
+           evs);
+      Alcotest.(check bool) "worker spans reach the merged stream" true
+        !saw_worker;
+      Alcotest.(check bool) "merged stream stays well nested" true
+        (Foc.Obs.Trace.well_nested ()))
+
 (* ---------------- canonical AST properties ---------------- *)
 
 let arb_sentence = QCheck.make ~print:Fun.id sentence_gen
@@ -366,6 +424,11 @@ let () =
           Alcotest.test_case "zero budget stays correct" `Quick
             test_zero_budget;
           Alcotest.test_case "per-call cover memo" `Quick test_cover_dedup;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "worker spans reach the merged trace" `Quick
+            test_worker_spans;
         ] );
       ( "budget cache",
         [

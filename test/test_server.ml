@@ -23,8 +23,8 @@ let fresh_check a phi =
 
 let sock_counter = ref 0
 
-let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0) ?(n = 24)
-    ?(seed = 7) f =
+let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0)
+    ?(slow_ms = 0.) ?slow_log ?(n = 24) ?(seed = 7) f =
   incr sock_counter;
   let path =
     Filename.concat
@@ -42,6 +42,8 @@ let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0) ?(n = 24)
       jobs;
       max_queue;
       client_budget;
+      slow_ms;
+      slow_log;
     }
   in
   let srv = Foc.Server.start cfg a in
@@ -59,21 +61,25 @@ let test_protocol_roundtrip () =
       P.Count "#(x,y). E(x,y)";
       P.Insert ("E", [| 3; 4 |]);
       P.Delete ("R", [| 5 |]);
+      P.Explain "exists x. #(y). E(x,y) >= 2";
       P.Stats;
+      P.Metrics;
       P.Shutdown;
     ]
   in
   List.iteri
     (fun i req ->
-      let line = P.request_line ~id:i req in
+      let timing = i mod 2 = 0 in
+      let line = P.request_line ~id:i ~timing req in
       match P.parse_request line with
-      | Ok (Some id, req') ->
+      | Ok ({ P.rid = Some id; timing = timing' }, req') ->
           Alcotest.(check int) "id round-trips" i id;
+          Alcotest.(check bool) "timing flag round-trips" timing timing';
           Alcotest.(check string)
             (Printf.sprintf "request %d round-trips" i)
             line
-            (P.request_line ~id req')
-      | Ok (None, _) -> Alcotest.fail "id lost"
+            (P.request_line ~id ~timing:timing' req')
+      | Ok ({ P.rid = None; _ }, _) -> Alcotest.fail "id lost"
       | Error e -> Alcotest.fail e)
     reqs;
   let resps =
@@ -91,22 +97,52 @@ let test_protocol_roundtrip () =
           shed = 4;
           rejected = 5;
           disconnects = 6;
+          p50_us = 120;
+          p95_us = 4500;
+          p99_us = 9000;
+          trace_dropped = 17;
           session = "a=1 b=\"two words\"";
           planner = "planner.replans=1";
         };
+      P.Explain_r
+        {
+          P.result = true;
+          version = 9;
+          cached = false;
+          replans = 2;
+          plans =
+            [
+              { P.order = [ 0; 2; 1 ]; steps = [ (12, 9); (40, 37) ];
+                replanned = true };
+              { P.order = []; steps = []; replanned = false };
+            ];
+        };
+      P.Metrics_r "# TYPE foc_req_check_ns histogram\nfoc_req_check_ns_count 3\n";
       P.Error "bad \"quoted\" thing\nsecond line";
     ]
   in
+  let some_timing =
+    { P.queue_ns = 10; batch_wait_ns = 2; artifact_ns = 300; plan_ns = 4;
+      eval_ns = 5000; write_ns = 0; total_ns = 5400 }
+  in
   List.iteri
     (fun i resp ->
-      let line = P.response_line ~id:i resp in
+      let timing = if i mod 2 = 0 then Some some_timing else None in
+      let line = P.response_line ~id:i ?timing resp in
       match P.parse_response line with
-      | Ok (Some id, resp') ->
+      | Ok ({ P.mid = Some id; rtiming }, resp') ->
+          Alcotest.(check bool)
+            "timing presence round-trips" (timing <> None) (rtiming <> None);
+          (match (timing, rtiming) with
+          | Some want, Some got ->
+              Alcotest.(check int) "total_ns" want.P.total_ns got.P.total_ns;
+              Alcotest.(check int) "eval_ns" want.P.eval_ns got.P.eval_ns
+          | _ -> ());
           Alcotest.(check string)
             (Printf.sprintf "response %d round-trips" i)
             line
-            (P.response_line ~id resp')
-      | Ok (None, _) -> Alcotest.fail "id lost"
+            (P.response_line ~id ?timing:rtiming resp')
+      | Ok ({ P.mid = None; _ }, _) -> Alcotest.fail "id lost"
       | Error e -> Alcotest.fail e)
     resps;
   List.iter
@@ -120,9 +156,27 @@ let test_protocol_roundtrip () =
       "{\"op\":\"frobnicate\"}";
       "{\"query\":\"no op\"}";
       "{\"op\":\"check\"}";
+      "{\"op\":\"explain\"}";
       "{\"op\":\"insert\",\"rel\":\"E\"}";
       "{\"op\":\"insert\",\"rel\":\"E\",\"tuple\":[1,\"x\"]}";
     ]
+
+(* A stats response from a server that predates the quantile fields must
+   still parse (tolerance mirrors the "planner" field's introduction). *)
+let test_stats_parse_tolerance () =
+  let old =
+    "{\"ok\":true,\"stats\":{\"version\":3,\"connections\":1,\"served\":9,"
+    ^ "\"shed\":0,\"rejected\":0,\"disconnects\":0,\"session\":\"x=1\"}}"
+  in
+  match P.parse_response old with
+  | Ok (_, P.Stats_r s) ->
+      Alcotest.(check int) "version" 3 s.P.version;
+      Alcotest.(check int) "p50 defaults" 0 s.P.p50_us;
+      Alcotest.(check int) "p99 defaults" 0 s.P.p99_us;
+      Alcotest.(check int) "trace_dropped defaults" 0 s.P.trace_dropped;
+      Alcotest.(check string) "planner defaults" "" s.P.planner
+  | Ok (_, r) -> Alcotest.fail ("expected stats, got " ^ P.response_line r)
+  | Error e -> Alcotest.fail e
 
 (* ---------------- basic serving ---------------- *)
 
@@ -191,6 +245,186 @@ let test_malformed_survives () =
       (match Foc.Server_client.rpc c (P.Check "exists x. #(y). E(x,y) >= 1") with
       | P.Bool _ -> ()
       | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+(* ---------------- request-scoped observability ---------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* a conjunctive counting sentence too wide for the decomposition kernels
+   (5 counted variables > max_width): the engine falls back to the
+   relational-algebra baseline, so plan_and runs and Eval_obs records a
+   join order with per-step predicted/actual rows *)
+let planned_q =
+  "#(v,w,x,y,z). (E(v,w) & E(w,x) & E(x,y) & E(y,z)) >= 1"
+
+let test_timing_breakdown () =
+  with_server (fun srv _ ->
+      let c = connect srv in
+      (match Foc.Server_client.rpc_full ~timing:true c (P.Check planned_q) with
+      | meta, P.Bool _ -> (
+          match meta.P.rtiming with
+          | None -> Alcotest.fail "timing requested but absent"
+          | Some tm ->
+              let phases =
+                [ tm.P.queue_ns; tm.P.batch_wait_ns; tm.P.artifact_ns;
+                  tm.P.plan_ns; tm.P.eval_ns; tm.P.write_ns ]
+              in
+              List.iter
+                (fun ns ->
+                  Alcotest.(check bool) "phase nonnegative" true (ns >= 0))
+                phases;
+              let sum = List.fold_left ( + ) 0 phases in
+              Alcotest.(check bool) "phases sum within total" true
+                (sum <= tm.P.total_ns);
+              Alcotest.(check bool) "eval time observed" true (tm.P.eval_ns > 0))
+      | _, r -> Alcotest.fail (P.response_line r));
+      (* not requested -> not attached *)
+      (match Foc.Server_client.rpc_full c (P.Check planned_q) with
+      | meta, P.Bool _ ->
+          Alcotest.(check bool) "no unsolicited timing" true
+            (meta.P.rtiming = None)
+      | _, r -> Alcotest.fail (P.response_line r));
+      (* a write lands in write_ns *)
+      (match
+         Foc.Server_client.rpc_full ~timing:true c (P.Insert ("E", [| 0; 1 |]))
+       with
+      | meta, P.Done _ -> (
+          match meta.P.rtiming with
+          | Some tm ->
+              Alcotest.(check bool) "write time observed" true
+                (tm.P.write_ns > 0)
+          | None -> Alcotest.fail "timing absent on write")
+      | _, r -> Alcotest.fail (P.response_line r));
+      (* stats now exposes read-latency quantiles *)
+      (match Foc.Server_client.rpc c P.Stats with
+      | P.Stats_r s ->
+          Alcotest.(check bool) "quantiles ordered" true
+            (0 <= s.P.p50_us && s.P.p50_us <= s.P.p95_us
+            && s.P.p95_us <= s.P.p99_us)
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+let test_explain_roundtrip () =
+  with_server (fun srv a ->
+      let c = connect srv in
+      (* evaluate the reference answer BEFORE capturing the plan sequence:
+         the fresh engine feeds the same process-wide Eval_obs registry *)
+      let want = fresh_check a planned_q in
+      let seq0 = Foc.Eval_obs.plan_seq () in
+      (match Foc.Server_client.rpc c (P.Explain planned_q) with
+      | P.Explain_r e ->
+          Alcotest.(check bool) "explain agrees with a fresh engine" want
+            e.P.result;
+          Alcotest.(check bool) "first sight is a compile miss" false
+            e.P.cached;
+          Alcotest.(check bool) "at least one plan reported" true
+            (e.P.plans <> []);
+          (* the wire plans mirror exactly what Eval_obs recorded (same
+             process: the server dispatcher feeds the same registry) *)
+          let recorded = Foc.Eval_obs.plans_since seq0 in
+          Alcotest.(check int) "plan count matches" (List.length recorded)
+            (List.length e.P.plans);
+          List.iter2
+            (fun (pr : Foc.Eval_obs.plan_record) (pi : P.plan_info) ->
+              Alcotest.(check (list int)) "join order matches" pr.order
+                pi.P.order;
+              Alcotest.(check int) "step count matches"
+                (List.length pr.steps)
+                (List.length pi.P.steps);
+              List.iter2
+                (fun (_, actual) (_, actual') ->
+                  Alcotest.(check int) "actual rows match" actual actual')
+                pr.steps pi.P.steps;
+              Alcotest.(check bool) "order covers its steps" true
+                (List.length pi.P.order = List.length pi.P.steps + 1
+                || pi.P.order = []))
+            recorded e.P.plans
+      | r -> Alcotest.fail (P.response_line r));
+      (* same sentence again: answered through the compiled cache *)
+      (match Foc.Server_client.rpc c (P.Explain planned_q) with
+      | P.Explain_r e ->
+          Alcotest.(check bool) "second sight hits the cache" true e.P.cached
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+let test_slow_log () =
+  let path = Filename.temp_file "foc_slow" ".log" in
+  (* threshold of 1ns: every request is slow *)
+  with_server ~slow_ms:1e-6 ~slow_log:path (fun srv _ ->
+      let c = connect srv in
+      (match Foc.Server_client.rpc c (P.Check planned_q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c);
+  (* server stopped: the sink is closed and flushed *)
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let slow_lines = List.filter (fun l -> contains l "msg=slow_query") !lines in
+  Alcotest.(check bool) "a slow line was logged" true (slow_lines <> []);
+  let l = List.hd slow_lines in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("slow line has " ^ needle) true (contains l needle))
+    [ "op=check"; "total_ms="; "queue_ms="; "eval_ms="; "query=" ]
+
+let test_metrics_op () =
+  with_server (fun srv _ ->
+      let c = connect srv in
+      (match Foc.Server_client.rpc c (P.Check planned_q) with
+      | P.Bool _ -> ()
+      | r -> Alcotest.fail (P.response_line r));
+      (match Foc.Server_client.rpc c P.Metrics with
+      | P.Metrics_r text ->
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool)
+                ("metrics page has " ^ needle)
+                true (contains text needle))
+            [ "# TYPE foc_req_check_ns histogram";
+              "foc_req_check_ns_count 1";
+              "foc_req_read_ns_sum";
+              "le=\"+Inf\"";
+              "foc_session_compiled_misses";
+              "foc_planner_est_rows" ]
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+let test_client_timeout () =
+  (* a socket that listens but never accepts or answers *)
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "foc_dead_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  Unix.bind fd (ADDR_UNIX path);
+  Unix.listen fd 1;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let c =
+        Foc.Server_client.connect ~timeout:0.25 (Foc.Server.Unix_sock path)
+      in
+      (match Foc.Server_client.rpc c P.Ping with
+      | _ -> Alcotest.fail "expected a timeout"
+      | exception Foc.Server_client.Timeout -> ());
+      Alcotest.(check bool) "timed out promptly" true
+        (Unix.gettimeofday () -. t0 < 5.);
       Foc.Server_client.close c)
 
 (* ---------------- concurrent clients, mixed read/write ---------------- *)
@@ -430,8 +664,12 @@ let () =
   Alcotest.run "query server"
     [
       ( "protocol",
-        [ Alcotest.test_case "request/response round-trip" `Quick
-            test_protocol_roundtrip ] );
+        [
+          Alcotest.test_case "request/response round-trip" `Quick
+            test_protocol_roundtrip;
+          Alcotest.test_case "stats parse tolerance" `Quick
+            test_stats_parse_tolerance;
+        ] );
       ( "serving",
         [
           Alcotest.test_case "basic ops + versions" `Quick test_basic_ops;
@@ -439,6 +677,15 @@ let () =
             test_malformed_survives;
           Alcotest.test_case "concurrent clients agree" `Quick
             test_concurrent_agree;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "timing breakdown" `Quick test_timing_breakdown;
+          Alcotest.test_case "explain round-trip" `Quick
+            test_explain_roundtrip;
+          Alcotest.test_case "slow-query log" `Quick test_slow_log;
+          Alcotest.test_case "metrics exposition" `Quick test_metrics_op;
+          Alcotest.test_case "client timeout" `Quick test_client_timeout;
         ] );
       ( "admission control",
         [
