@@ -12,13 +12,19 @@
      dune exec bench/main.exe -- --micro      -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- --json BENCH.json
                                               -- also write per-experiment
-                                                 timings as JSON *)
+                                                 timings as JSON
+     dune exec bench/main.exe -- --only E18 --json BENCH.json --merge
+                                              -- update only the re-run
+                                                 experiments, keeping the
+                                                 committed records of the
+                                                 others *)
 
 let quick = ref false
 let smoke = ref false
 let only : string option ref = ref None
 let micro = ref false
 let json_file : string option ref = ref None
+let merge = ref false
 
 (* Wall-clock (monotonic), not [Sys.time]: CPU time sums over domains,
    which would make a perfect jobs=4 speedup look like no speedup at all.
@@ -36,7 +42,49 @@ let record experiment fields =
   if !json_file <> None then
     records := (("experiment", S experiment) :: fields) :: !records
 
-let write_json path =
+(* --merge: start from the committed file and replace only the records of
+   experiments re-run in this invocation (keyed by experiment id), so
+   `--only E18 --json BENCH.json --merge` refreshes E18 without discarding
+   every other experiment's numbers. *)
+let merged_records ~ran path =
+  if not !merge then []
+  else
+    let jfield_of_json (k, v) =
+      match v with
+      | Foc.Obs.Json.Str s -> Some (k, S s)
+      | Foc.Obs.Json.Bool b -> Some (k, B b)
+      | Foc.Obs.Json.Num f ->
+          if Float.is_integer f && Float.abs f < 1e15 then
+            Some (k, I (int_of_float f))
+          else Some (k, F f)
+      | _ -> None
+    in
+    match In_channel.with_open_bin path In_channel.input_all with
+    | exception Sys_error _ -> []
+    | contents -> (
+        match Foc.Obs.Json.parse contents with
+        | Ok (Foc.Obs.Json.List objs) ->
+            List.filter_map
+              (function
+                | Foc.Obs.Json.Obj fields ->
+                    let keep =
+                      match List.assoc_opt "experiment" fields with
+                      | Some (Foc.Obs.Json.Str id) -> not (List.mem id ran)
+                      | _ -> false
+                    in
+                    if keep then Some (List.filter_map jfield_of_json fields)
+                    else None
+                | _ -> None)
+              objs
+        | Ok _ | Error _ ->
+            Printf.eprintf
+              "warning: --merge: %s is not a JSON record list; rewriting \
+               it\n"
+              path;
+            [])
+
+let write_json ~ran path =
+  let all = merged_records ~ran path @ List.rev !records in
   let buf = Buffer.create 4096 in
   let escape s =
     String.concat ""
@@ -60,14 +108,15 @@ let write_json path =
       Buffer.add_string buf "  { ";
       Buffer.add_string buf (String.concat ", " (List.map field fields));
       Buffer.add_string buf " }")
-    (List.rev !records);
+    all;
   Buffer.add_string buf "\n]\n";
   match open_out path with
   | oc ->
       output_string oc (Buffer.contents buf);
       close_out oc;
-      Printf.printf "\nwrote %d timing records to %s\n" (List.length !records)
-        path
+      Printf.printf "\nwrote %d timing records to %s (%d new)\n"
+        (List.length all) path
+        (List.length !records)
   | exception Sys_error msg -> Printf.eprintf "error: --json: %s\n" msg
 let preds = Foc.predicates
 let parse = Foc.parse_formula
@@ -1781,6 +1830,138 @@ let e17 () =
      runs, every breakdown sums within its total, slow log + trace export \
      fired)\n"
 
+(* ============ E18: persistent store — snapshot cold start ============ *)
+
+let e18 () =
+  header "E18  Persistent store: snapshot cold start vs full rebuild"
+    "claim: loading a prepared-structure snapshot (+WAL replay) is >=5x \
+     faster than rebuilding covers, Hanf partitions and statistics from \
+     the raw structure, and every post-load answer is bit-identical to a \
+     fresh engine";
+  let agree_all = ref true in
+  let note tag ok =
+    if not ok then begin
+      agree_all := false;
+      Printf.printf "!! E18: %s\n" tag
+    end
+  in
+  let sizes =
+    if !smoke then [ 500 ]
+    else if !quick then [ 1000; 4000 ]
+    else [ 1000; 4000; 16000 ]
+  in
+  let radii = [ 1; 2 ] in
+  let queries =
+    [|
+      "exists x. #(y). E(x,y) >= 2";
+      "exists x. prime(#(y). (E(x,y) | E(y,x)))";
+      "#(x,y). (E(x,y) & B(y)) >= 3";
+      "forall x. #(y). E(y,x) <= 3";
+    |]
+  in
+  let parsed = Array.map parse queries in
+  let config = { Foc.Engine.default_config with jobs = 1 } in
+  let fresh_check b phi = Foc.Engine.check (Foc.Engine.create ~config ()) b phi in
+  let writes_total = if !smoke then 6 else 12 in
+  let last_speedup = ref infinity in
+  Printf.printf "%8s | %10s %10s %8s | %10s %8s | %6s\n" "n" "rebuild"
+    "load" "speedup" "load+wal" "replayed" "agree";
+  List.iter
+    (fun n ->
+      let rng = Random.State.make [| 18; n |] in
+      let a = coloured_structure 18 (Foc.Gen.random_bounded_degree rng n 3) in
+      let dir = Filename.temp_file "foc_e18" ".store" in
+      Sys.remove dir;
+      (* the cold-rebuild baseline: a fresh session building every
+         base-structure artifact the snapshot will carry *)
+      let sess, rebuild_s =
+        time (fun () ->
+            let s = Foc.Session.create ~config a in
+            Foc.Session.prewarm ~radii s;
+            s)
+      in
+      ignore (Foc.Session.save sess ~dir ~version:0);
+      let load () =
+        match Foc.Session.load ~config ~dir () with
+        | Ok l -> l
+        | Error e ->
+            note (Printf.sprintf "n=%d: load failed: %s" n e) false;
+            exit 1
+      in
+      let loaded, load_s = time load in
+      note
+        (Printf.sprintf "n=%d: clean snapshot load" n)
+        (loaded.Foc.Session.snapshot_version = 0
+        && loaded.Foc.Session.wal_replayed = 0
+        && not loaded.Foc.Session.wal_torn);
+      (* every post-load answer replay-verified against a fresh engine *)
+      Array.iteri
+        (fun i phi ->
+          if Foc.Session.check loaded.Foc.Session.session phi
+             <> fresh_check a phi
+          then note (Printf.sprintf "n=%d: q%d post-load" n i) false)
+        parsed;
+      (* append writes to the snapshot's WAL out-of-band (what a serving
+         daemon does between checkpoints) and reload: replay goes through
+         the live §9.2 invalidation path and must land on the updated
+         structure *)
+      let writes =
+        List.init writes_total (fun i ->
+            let u = ((7 * i) + 1) mod n and v = ((11 * i) + 3) mod n in
+            (i mod 3 <> 2, [| u; v |]))
+      in
+      let w = Foc.Wal.append_to (Foc.Store.wal_path ~dir ~version:0) in
+      List.iter
+        (fun (ins, tup) -> Foc.Wal.append w ~insert:ins ~rel:"E" ~tuple:tup)
+        writes;
+      Foc.Wal.close w;
+      let reloaded, wal_s = time load in
+      note
+        (Printf.sprintf "n=%d: WAL fully replayed" n)
+        (reloaded.Foc.Session.wal_replayed = writes_total
+        && reloaded.Foc.Session.version = writes_total
+        && not reloaded.Foc.Session.wal_torn);
+      let b =
+        List.fold_left
+          (fun acc (ins, tup) ->
+            if ins then Foc.Structure.add_tuples acc "E" [ tup ]
+            else Foc.Structure.remove_tuples acc "E" [ tup ])
+          a writes
+      in
+      Array.iteri
+        (fun i phi ->
+          if Foc.Session.check reloaded.Foc.Session.session phi
+             <> fresh_check b phi
+          then note (Printf.sprintf "n=%d: q%d post-WAL-replay" n i) false)
+        parsed;
+      let speedup = rebuild_s /. Float.max load_s 1e-9 in
+      last_speedup := speedup;
+      record "E18"
+        [ ("class", S "bounded_degree_3"); ("n", I n);
+          ("radii", S (String.concat "," (List.map string_of_int radii)));
+          ("rebuild_seconds", F rebuild_s); ("load_seconds", F load_s);
+          ("speedup", F speedup); ("load_wal_seconds", F wal_s);
+          ("wal_replayed", I writes_total); ("agree", B !agree_all) ];
+      Printf.printf "%8d | %9.3fs %9.3fs %7.1fx | %9.3fs %8d | %6b\n" n
+        rebuild_s load_s speedup wal_s writes_total !agree_all;
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ())
+    sizes;
+  note
+    (Printf.sprintf "cold-start speedup %.1fx >= 5x at the largest size"
+       !last_speedup)
+    (!last_speedup >= 5.0);
+  if not !agree_all then begin
+    Printf.printf "E18: FAILED persistence assertions\n";
+    exit 1
+  end;
+  Printf.printf
+    "(the gate: every post-load and post-WAL-replay answer bit-identical \
+     to a fresh engine; snapshot load >=5x faster than the rebuild at the \
+     largest size)\n"
+
 (* ================= Bechamel micro-benchmarks ================= *)
 
 let micro_suite () =
@@ -1850,34 +2031,41 @@ let () =
           only := Some Sys.argv.(i + 1)
       | "--json" when i + 1 < Array.length Sys.argv ->
           json_file := Some Sys.argv.(i + 1)
+      | "--merge" -> merge := true
       | _ -> ())
     Sys.argv;
   Printf.printf
     "foc benchmark harness -- Grohe & Schweikardt, PODS 2018 (see \
      EXPERIMENTS.md)\n";
+  let experiments =
+    [
+      ("E1", e1);
+      ("E2", e2);
+      ("E3", e3);
+      ("E4", e4);
+      ("E5", e5);
+      ("E6", e6);
+      ("E7", e7);
+      ("E8", e8);
+      ("E9", e9);
+      ("E10", e10);
+      ("E11", e11);
+      ("E12", e12);
+      ("E13", e13);
+      ("E14", e14);
+      ("E15", e15);
+      ("E16", e16);
+      ("E17", e17);
+      ("E18", e18);
+    ]
+  in
   if !micro then micro_suite ()
-  else begin
-    let experiments =
-      [
-        ("E1", e1);
-        ("E2", e2);
-        ("E3", e3);
-        ("E4", e4);
-        ("E5", e5);
-        ("E6", e6);
-        ("E7", e7);
-        ("E8", e8);
-        ("E9", e9);
-        ("E10", e10);
-        ("E11", e11);
-        ("E12", e12);
-        ("E13", e13);
-        ("E14", e14);
-        ("E15", e15);
-        ("E16", e16);
-        ("E17", e17);
-      ]
-    in
-    List.iter (fun (id, f) -> if should_run id then f ()) experiments
-  end;
-  match !json_file with None -> () | Some path -> write_json path
+  else List.iter (fun (id, f) -> if should_run id then f ()) experiments;
+  match !json_file with
+  | None -> ()
+  | Some path ->
+      let ran =
+        if !micro then []
+        else List.filter (fun (id, _) -> should_run id) experiments |> List.map fst
+      in
+      write_json ~ran path

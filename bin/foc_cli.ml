@@ -677,7 +677,7 @@ let tcp_arg =
 let serve_cmd =
   let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
       budget_mb socket tcp max_queue client_budget max_batch slow_ms
-      slow_log trace trace_cap log_level =
+      slow_log trace trace_cap store checkpoint_every log_level =
     setup_obs ~trace:None ~metrics:false ~log_level;
     let a = load_structure structure in
     let address =
@@ -722,6 +722,8 @@ let serve_cmd =
         slow_log;
         trace_file = trace;
         trace_cap;
+        store;
+        checkpoint_every;
       }
     in
     let srv = Foc.Server.start cfg a in
@@ -801,6 +803,29 @@ let serve_cmd =
              oldest events are overwritten and counted as drops (surfaced \
              in $(b,stats) and $(b,metrics)). Default 262144.")
   in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent prepared-structure store: load the newest valid \
+             snapshot from $(docv) on start (replaying its write-ahead \
+             log) instead of rebuilding covers and partitions from \
+             scratch — falling back to a full rebuild if the store is \
+             missing or damaged — then log every accepted write to the \
+             WAL and checkpoint on graceful shutdown.")
+  in
+  let checkpoint_every_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "With $(b,--store): also write a fresh snapshot (compacting \
+             the WAL) after every $(docv) accepted writes. $(b,0) \
+             disables periodic checkpoints; graceful shutdown still \
+             checkpoints.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -811,7 +836,8 @@ let serve_cmd =
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_buckets_arg $ no_adaptive_arg $ budget_arg $ socket_arg
       $ tcp_arg $ max_queue $ client_budget $ max_batch $ slow_ms
-      $ slow_log $ serve_trace $ trace_cap $ log_level_arg)
+      $ slow_log $ serve_trace $ trace_cap $ store_arg
+      $ checkpoint_every_arg $ log_level_arg)
 
 (* distinct exit codes so scripts can tell failure modes apart:
    2 = usage, 3 = cannot connect, 4 = timeout / connection lost,
@@ -1031,6 +1057,8 @@ let top_cmd =
         Printf.printf "trace drops  %d\n" s.trace_dropped;
       if s.session <> "" then Printf.printf "session      %s\n" s.session;
       if s.planner <> "" then Printf.printf "planner      %s\n" s.planner;
+      if s.source <> "" then
+        Printf.printf "cold start   %s in %dms\n" s.source s.load_ms;
       flush stdout;
       prev_served := s.served;
       prev_version := s.version
@@ -1079,6 +1107,185 @@ let top_cmd =
           percentiles, admission-control and cache counters, refreshed \
           every $(b,--interval) seconds.")
     Term.(const run $ socket_arg $ tcp_arg $ timeout_arg $ interval $ count)
+
+(* ---------------- snapshot ---------------- *)
+
+(* `foc snapshot` manages the persistent prepared-structure store offline:
+   save prewarms a session and snapshots it, info describes a store
+   directory, load verify-restores one (exit 1 on a damaged store, exit 5
+   on an answer mismatch so CI can gate on bit-identity). *)
+
+let session_backend ~cmd engine =
+  match engine with
+  | `Direct -> Foc.Engine.Direct
+  | `Cover -> Foc.Engine.Cover
+  | `Splitter -> Foc.Engine.Splitter { max_rounds = 4; small = 32 }
+  | `Hanf -> Foc.Engine.Hanf
+  | `Relalg | `Naive ->
+      Printf.eprintf
+        "error: %s runs on a session engine (direct|cover|splitter|hanf)\n"
+        cmd;
+      exit 2
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Store directory.")
+
+let radii_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1 ]
+    & info [ "radii" ] ~docv:"R,..."
+        ~doc:
+          "Locality radii to prewarm and persist: for each radius the \
+           neighbourhood cover and Hanf class partition are built \
+           eagerly and written into the snapshot.")
+
+let snapshot_queries_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "query" ] ~docv:"SENTENCE"
+        ~doc:
+          "FOC(P) sentence evaluated after the operation (repeatable). \
+           $(b,snapshot load) also re-evaluates it on a fresh engine and \
+           fails (exit 5) unless the answers are bit-identical.")
+
+let parse_sentences srcs =
+  List.map
+    (fun src ->
+      try (src, Foc.parse_formula src)
+      with Foc.Parser.Error (m, p) ->
+        Printf.eprintf "parse error in %S at %d: %s\n" src p m;
+        exit 2)
+    srcs
+
+let snapshot_save_cmd =
+  let run structure engine ball_cache_mb stats_buckets budget_mb radii
+      queries log_level dir =
+    setup_obs ~trace:None ~metrics:false ~log_level;
+    let a = load_structure structure in
+    let config =
+      {
+        Foc.Engine.default_config with
+        backend = session_backend ~cmd:"snapshot save" engine;
+        jobs = 1;
+        ball_cache_mb;
+        stats_buckets;
+      }
+    in
+    let sess = Foc.Session.create ~budget_mb ~config a in
+    let (), warm_s =
+      timed (fun () ->
+          Foc.Session.prewarm ~radii sess;
+          List.iter
+            (fun (_, phi) -> ignore (Foc.Session.check sess phi))
+            (parse_sentences queries))
+    in
+    let path, save_s = timed (fun () -> Foc.Session.save sess ~dir ~version:0) in
+    Printf.printf "saved %s  (%d artifacts; prewarm %.3fs, write %.3fs)\n"
+      path
+      (Foc.Session.cached_artifacts sess)
+      warm_s save_s
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:
+         "Prewarm a session over a structure (Gaifman graph, statistics, \
+          covers and Hanf partitions at $(b,--radii)) and snapshot it \
+          into a store directory for instant cold starts.")
+    Term.(
+      const run $ structure_arg $ engine_arg $ ball_cache_arg
+      $ stats_buckets_arg $ budget_arg $ radii_arg $ snapshot_queries_arg
+      $ log_level_arg $ store_dir_arg)
+
+let snapshot_info_cmd =
+  let run dir =
+    print_string (Foc.Store.describe dir);
+    flush stdout
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:
+         "Describe a store directory: every snapshot's section table with \
+          sizes and checksum status, plus WAL record counts and torn-tail \
+          flags.")
+    Term.(const run $ store_dir_arg)
+
+let snapshot_load_cmd =
+  let run engine ball_cache_mb stats_buckets budget_mb queries log_level dir
+      =
+    setup_obs ~trace:None ~metrics:false ~log_level;
+    let config =
+      {
+        Foc.Engine.default_config with
+        backend = session_backend ~cmd:"snapshot load" engine;
+        jobs = 1;
+        ball_cache_mb;
+        stats_buckets;
+      }
+    in
+    let loaded, load_s =
+      timed (fun () -> Foc.Session.load ~budget_mb ~config ~dir ())
+    in
+    match loaded with
+    | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        exit 1
+    | Ok l ->
+        Printf.printf
+          "loaded snapshot v%d + %d WAL record%s%s -> version %d  (%d \
+           artifacts, %.3fs)\n"
+          l.snapshot_version l.wal_replayed
+          (if l.wal_replayed = 1 then "" else "s")
+          (if l.wal_torn then " [torn tail discarded]" else "")
+          l.version
+          (Foc.Session.cached_artifacts l.session)
+          load_s;
+        let mismatches = ref 0 in
+        List.iter
+          (fun (src, phi) ->
+            let got = Foc.Session.check l.session phi in
+            let want =
+              Foc.Engine.check
+                (Foc.Engine.create ~config ())
+                (Foc.Session.structure l.session)
+                phi
+            in
+            if got = want then Printf.printf "%b  %s\n" got src
+            else begin
+              incr mismatches;
+              Printf.printf "MISMATCH loaded=%b fresh=%b  %s\n" got want src
+            end)
+          (parse_sentences queries);
+        if !mismatches > 0 then begin
+          Printf.eprintf "error: %d answer mismatch(es) against a fresh \
+                          engine\n"
+            !mismatches;
+          exit 5
+        end
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Verify-restore a session from a store directory: report the \
+          snapshot version, WAL records replayed and load time, then \
+          check each $(b,--query) answer against a fresh engine on the \
+          restored structure (exit 5 on any mismatch).")
+    Term.(
+      const run $ engine_arg $ ball_cache_arg $ stats_buckets_arg
+      $ budget_arg $ snapshot_queries_arg $ log_level_arg $ store_dir_arg)
+
+let snapshot_cmd =
+  Cmd.group
+    (Cmd.info "snapshot"
+       ~doc:
+         "Manage the persistent prepared-structure store: $(b,save) a \
+          prewarmed session, $(b,info) on a store directory, \
+          verify-$(b,load) a snapshot (+WAL).")
+    [ snapshot_save_cmd; snapshot_info_cmd; snapshot_load_cmd ]
 
 (* ---------------- batch ---------------- *)
 
@@ -1193,6 +1400,7 @@ let () =
             count_cmd;
             batch_cmd;
             serve_cmd;
+            snapshot_cmd;
             call_cmd;
             metrics_cmd;
             top_cmd;

@@ -33,6 +33,11 @@ dune exec bench/main.exe -- --only E16 --smoke
 # engine, a timing breakdown exceeds its own total, the slow log or
 # trace export fails to fire, or the overhead passes 2x.
 dune exec bench/main.exe -- --only E17 --smoke
+# E18 exits non-zero if a session restored from a snapshot (+WAL replay)
+# ever disagrees with a fresh engine on the updated structure, or if the
+# snapshot cold start fails to beat the full artifact rebuild by >=5x —
+# the agreement and performance gate for the persistent store.
+dune exec bench/main.exe -- --only E18 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
@@ -122,5 +127,70 @@ SERVE_PID=""
 # and hold properly shaped logfmt lines
 grep -q '^msg=slow_query .*total_ms=' "$SLOWLOG" || {
   echo "ci: slow-query log never fired"
+  exit 1
+}
+# persistent-store round trip: serve with --store, apply writes, kill -9
+# (no drain, so recovery runs from the startup checkpoint + WAL), restart
+# from the store and verify the version and answers survived.
+STOREDIR=/tmp/ci_store
+Q='exists x. (#(y). E(x,y)) >= 3'
+rm -rf "$STOREDIR"
+"$FOC" serve -s /tmp/ci_tree.foc --socket "$SOCK" --store "$STOREDIR" \
+  --log-level info > /tmp/ci_store_daemon1.log 2>&1 &
+SERVE_PID=$!
+i=0
+until "$FOC" call --socket "$SOCK" --timeout 5 '{"op":"ping"}' \
+  >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "ci: store daemon never came up"; exit 1; }
+  sleep 0.1
+done
+"$FOC" call --socket "$SOCK" --timeout 10 \
+  '{"op":"insert","rel":"E","tuple":[0,7]}' \
+  '{"op":"insert","rel":"E","tuple":[0,9]}' \
+  "{\"op\":\"check\",\"query\":\"$Q\"}" > /tmp/ci_store_live.txt
+live=$(grep -o '"result":[a-z]*' /tmp/ci_store_live.txt | cut -d: -f2)
+kill -9 "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -f "$SOCK"
+"$FOC" serve -s /tmp/ci_tree.foc --socket "$SOCK" --store "$STOREDIR" \
+  --log-level info > /tmp/ci_store_daemon2.log 2>&1 &
+SERVE_PID=$!
+i=0
+until "$FOC" call --socket "$SOCK" --timeout 5 '{"op":"ping"}' \
+  >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -lt 50 ] || { echo "ci: restarted store daemon never came up"; exit 1; }
+  sleep 0.1
+done
+"$FOC" call --socket "$SOCK" --timeout 10 '{"op":"stats"}' \
+  "{\"op\":\"check\",\"query\":\"$Q\"}" > /tmp/ci_store_restart.txt
+grep -q '"version":2' /tmp/ci_store_restart.txt || {
+  echo "ci: restarted daemon lost the pre-kill writes"
+  exit 1
+}
+grep -Eq '"source":"(snapshot|snapshot\+wal n=[0-9]+)"' \
+  /tmp/ci_store_restart.txt || {
+  echo "ci: restarted daemon did not start from the store"
+  exit 1
+}
+restarted=$(grep -o '"result":[a-z]*' /tmp/ci_store_restart.txt | cut -d: -f2)
+[ "$restarted" = "$live" ] || {
+  echo "ci: answer changed across kill -9 + store restart:" \
+    "'$restarted' vs '$live'"
+  exit 1
+}
+"$FOC" call --socket "$SOCK" --timeout 10 '{"op":"shutdown"}' >/dev/null
+wait "$SERVE_PID" || { echo "ci: store daemon exited non-zero"; exit 1; }
+SERVE_PID=""
+# offline verify-load: answers from the restored session must be
+# bit-identical to a fresh engine (foc snapshot load exits 5 otherwise)
+"$FOC" snapshot info "$STOREDIR" | grep -q 'crc ok' || {
+  echo "ci: snapshot info reported no valid sections"
+  exit 1
+}
+"$FOC" snapshot load --query "$Q" "$STOREDIR" >/dev/null || {
+  echo "ci: offline snapshot verify-load failed"
   exit 1
 }

@@ -91,6 +91,10 @@ module Plan = Foc_nd.Plan
 module Session = Foc_serve.Session
 module Budget_cache = Foc_serve.Budget_cache
 
+(* persistent prepared-structure store *)
+module Store = Foc_store.Store
+module Wal = Foc_store.Wal
+
 (* the query-server daemon *)
 module Server = Foc_server.Server
 module Server_protocol = Foc_server.Protocol

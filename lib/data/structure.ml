@@ -127,6 +127,20 @@ let gaifman a =
       a.gaifman <- Some g;
       g
 
+(* Install a pre-built Gaifman graph into the memo — the snapshot-load
+   fast path (Foc_store): a CSR graph decoded from a checksummed snapshot
+   replaces the count-then-fill rebuild. The caller asserts [g] really is
+   this structure's Gaifman graph (ours was written next to the relations
+   in the same checksummed container); only the order is re-checked here,
+   because a full recomputation would defeat the point. A wrong graph
+   cannot corrupt memory (Graph.of_flat validated the CSR invariants) but
+   would change answers — which is exactly what the store's replay
+   verification gates on. *)
+let set_gaifman a g =
+  if Foc_graph.Graph.order g <> a.order then
+    invalid_arg "Structure.set_gaifman: order mismatch";
+  a.gaifman <- Some g
+
 (* Force every lazily-built cache (Gaifman graph, position indexes) so the
    structure can be read concurrently from several domains: after [prepare],
    [gaifman] and [tuples_with] only perform read-only lookups. *)

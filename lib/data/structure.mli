@@ -51,6 +51,13 @@ val remove_tuples : t -> string -> int array list -> t
 (** The Gaifman graph G_A (cached). *)
 val gaifman : t -> Foc_graph.Graph.t
 
+(** [set_gaifman a g] installs a pre-built graph into the Gaifman memo —
+    the snapshot-load fast path of {!Foc_store}, skipping the
+    count-then-fill rebuild. The caller asserts [g] is the Gaifman graph
+    of [a]; only [Foc_graph.Graph.order g = order a] is checked (raises
+    [Invalid_argument] otherwise). *)
+val set_gaifman : t -> Foc_graph.Graph.t -> unit
+
 (** Force every lazily-built cache (the Gaifman graph and all position
     indexes). Afterwards the structure is safe to read concurrently from
     several domains — required before handing [t] to parallel sweeps

@@ -38,6 +38,68 @@ let make g ~r =
     clusters;
   { r; clusters; assign; centres; containing }
 
+(* ------------------------------------------------------------------ *)
+(* Flat core for the persistent store. [containing] is derived state
+   (recomputed from [clusters] in O(total weight), the same loop [make]
+   runs) and is deliberately absent from the flat form. [of_flat]
+   re-validates the cover invariants — membership bounds, sortedness,
+   every vertex assigned to a cluster that really contains it — before
+   the binary-searching accessors ever see the arrays. *)
+
+type flat = {
+  fr : int;
+  fclusters : int array array;
+  fassign : int array;
+  fcentres : int array;
+}
+
+let to_flat t =
+  { fr = t.r; fclusters = t.clusters; fassign = t.assign;
+    fcentres = t.centres }
+
+let member_sorted members v =
+  let lo = ref 0 and hi = ref (Array.length members) in
+  let found = ref false in
+  while (not !found) && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if members.(mid) = v then found := true
+    else if members.(mid) < v then lo := mid + 1
+    else hi := mid
+  done;
+  !found
+
+let of_flat f =
+  let fail msg = invalid_arg ("Cover.of_flat: " ^ msg) in
+  if f.fr < 0 then fail "negative radius";
+  let n = Array.length f.fassign in
+  let k = Array.length f.fclusters in
+  if Array.length f.fcentres <> k then fail "centres length <> cluster count";
+  Array.iter
+    (fun c -> if c < 0 || c >= n then fail "centre out of range")
+    f.fcentres;
+  Array.iter
+    (fun members ->
+      Array.iteri
+        (fun i v ->
+          if v < 0 || v >= n then fail "cluster member out of range";
+          if i > 0 && members.(i - 1) >= v then
+            fail "cluster not sorted strictly")
+        members)
+    f.fclusters;
+  Array.iteri
+    (fun v id ->
+      if id < 0 || id >= k then fail "assignment out of range";
+      if not (member_sorted f.fclusters.(id) v) then
+        fail "vertex assigned to a cluster not containing it")
+    f.fassign;
+  let containing = Array.make n [] in
+  Array.iteri
+    (fun id members ->
+      Array.iter (fun v -> containing.(v) <- id :: containing.(v)) members)
+    f.fclusters;
+  { r = f.fr; clusters = f.fclusters; assign = f.fassign;
+    centres = f.fcentres; containing }
+
 let radius_param t = t.r
 let cluster_count t = Array.length t.clusters
 let cluster t i = t.clusters.(i)

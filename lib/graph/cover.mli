@@ -20,6 +20,26 @@ type t
     Raises [Invalid_argument] if [r < 0]. *)
 val make : Graph.t -> r:int -> t
 
+(** The pointer-free core, for serialisation ({!Foc_store}): radius,
+    clusters, per-vertex assignment and centres. The [containing]
+    reverse index is derived state and is rebuilt by {!of_flat}.
+    [to_flat] shares the arrays without copying — treat them as
+    read-only. *)
+type flat = {
+  fr : int;
+  fclusters : int array array;
+  fassign : int array;
+  fcentres : int array;
+}
+
+val to_flat : t -> flat
+
+(** Re-wrap a flat core, validating the cover invariants (sorted
+    clusters, in-range members/centres, every vertex assigned to a
+    cluster containing it) and rebuilding the containing index. Raises
+    [Invalid_argument] on any violation. *)
+val of_flat : flat -> t
+
 (** The [r] the cover was built for. *)
 val radius_param : t -> int
 

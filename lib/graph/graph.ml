@@ -151,6 +151,47 @@ let union g1 g2 =
         done
       done)
 
+(* ------------------------------------------------------------------ *)
+(* Flat (pointer-free) core for the persistent store: the CSR arrays are
+   already the whole graph, so [to_flat] just exposes them (shared, not
+   copied — callers must treat them as read-only) and [of_flat] validates
+   every invariant [build] guarantees before re-wrapping them. Validation
+   is what keeps a checksummed-but-wrong snapshot (e.g. written by a
+   buggy encoder) from turning into out-of-bounds reads in the unsafe
+   adjacency accessors. *)
+
+type flat = { fn : int; foffsets : int array; ftargets : int array }
+
+let to_flat g = { fn = g.n; foffsets = g.offsets; ftargets = g.targets }
+
+let of_flat { fn; foffsets; ftargets } =
+  let fail msg = invalid_arg ("Graph.of_flat: " ^ msg) in
+  if fn < 0 then fail "negative order";
+  if Array.length foffsets <> fn + 1 then fail "offsets length <> n + 1";
+  let half = Array.length ftargets in
+  if foffsets.(0) <> 0 || foffsets.(fn) <> half then
+    fail "offsets do not span the target array";
+  if half mod 2 <> 0 then fail "odd half-edge count";
+  let g = { n = fn; offsets = foffsets; targets = ftargets; m = half / 2 } in
+  for v = 0 to fn - 1 do
+    if foffsets.(v + 1) < foffsets.(v) then fail "offsets not monotone";
+    for i = foffsets.(v) to foffsets.(v + 1) - 1 do
+      let w = ftargets.(i) in
+      if w < 0 || w >= fn then fail "target out of range";
+      if w = v then fail "self-loop";
+      if i > foffsets.(v) && ftargets.(i - 1) >= w then
+        fail "adjacency segment not sorted strictly"
+    done
+  done;
+  (* symmetry: every half-edge must have its mirror, or [m] (and every
+     undirected traversal) would be wrong *)
+  for v = 0 to fn - 1 do
+    for i = foffsets.(v) to foffsets.(v + 1) - 1 do
+      if not (mem_edge g ftargets.(i) v) then fail "asymmetric adjacency"
+    done
+  done;
+  g
+
 let equal g1 g2 =
   g1.n = g2.n && g1.m = g2.m && g1.offsets = g2.offsets
   && g1.targets = g2.targets

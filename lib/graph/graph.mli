@@ -72,6 +72,20 @@ val remove_vertex : t -> int -> t * int array
     [order g1]. *)
 val union : t -> t -> t
 
+(** The pointer-free CSR core, for serialisation ({!Foc_store}): order
+    plus the raw offsets/targets arrays. [to_flat] shares the arrays
+    without copying — treat them as read-only. *)
+type flat = { fn : int; foffsets : int array; ftargets : int array }
+
+val to_flat : t -> flat
+
+(** [of_flat f] re-wraps a flat core after validating every CSR invariant
+    ([offsets] spanning [targets], sorted strictly-increasing loop-free
+    segments, symmetry). Raises [Invalid_argument] on any violation, so a
+    decoded-but-inconsistent snapshot can never reach the unchecked
+    adjacency accessors. *)
+val of_flat : flat -> t
+
 (** [equal g1 g2] is structural equality (same order, same edge set). *)
 val equal : t -> t -> bool
 

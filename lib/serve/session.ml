@@ -522,3 +522,108 @@ let update t name tup ~insert:ins =
 
 let insert t name tup = update t name tup ~insert:true
 let delete t name tup = update t name tup ~insert:false
+
+(* ------------------------------------------------------------------ *)
+(* persistence (Foc_store): snapshot the base structure and its cache
+   state, restore it, replay the WAL through the invalidation logic
+   above. Ball contexts and compiled sentences are deliberately not
+   persisted — contexts are mutable BFS caches that rebuild lazily, and
+   compiled sentences hold closures; both re-warm on first use. *)
+
+module Store = Foc_store.Store
+module Wal = Foc_store.Wal
+
+(* build the expensive base-structure artifacts eagerly — what a cold
+   server would otherwise pay lazily on the first queries, and what
+   [save] then persists *)
+let prewarm ?(radii = [ 1 ]) t =
+  ignore (Structure.gaifman t.structure);
+  ignore (stats_for t t.structure);
+  List.iter
+    (fun r ->
+      if r >= 0 then begin
+        ignore (cover_for t t.structure ~rc:r);
+        ignore (hanf_for t t.structure ~tr:r)
+      end)
+    radii
+
+let save t ~dir ~version =
+  let a = t.structure in
+  let g = Structure.gaifman a in
+  let gid = graph_id t g and sid = struct_id t a in
+  let covers, hanfs, stats =
+    Budget_cache.fold t.cache ~init:([], [], None)
+      ~f:(fun k v ((cov, hf, st) as acc) ->
+        match (k, v) with
+        | KCover (gi, rc), VCover c when gi = gid -> ((rc, c) :: cov, hf, st)
+        | KHanf (si, tr), VHanf cls when si = sid ->
+            (cov, (tr, cls) :: hf, st)
+        | KStats si, VStats s when si = sid -> (cov, hf, Some s)
+        | _ -> acc)
+  in
+  Store.save ~dir
+    { Store.version; structure = a; graph = Some g; covers; hanfs; stats }
+
+type loaded = {
+  session : t;
+  version : int;  (** snapshot version + WAL records replayed *)
+  snapshot_version : int;
+  wal_replayed : int;
+  wal_torn : bool;  (** a torn WAL tail was discarded during replay *)
+}
+
+let load ?budget_mb ?config ~dir () =
+  match Store.load ~dir with
+  | Error e -> Error e
+  | Ok snap -> (
+      match
+        (* install the persisted Gaifman CSR before anything can trigger
+           a rebuild — this is the cold-start fast path *)
+        (match snap.Store.graph with
+        | Some g -> Structure.set_gaifman snap.Store.structure g
+        | None -> ());
+        let t = create ?budget_mb ?config snap.Store.structure in
+        let gid = graph_id t (Structure.gaifman t.structure) in
+        List.iter
+          (fun (rc, c) ->
+            if rc >= 0 then
+              Budget_cache.insert t.cache (KCover (gid, rc)) (VCover c))
+          snap.Store.covers;
+        let sid = struct_id t t.structure in
+        List.iter
+          (fun (tr, cls) ->
+            if tr >= 0 then
+              Budget_cache.insert t.cache (KHanf (sid, tr)) (VHanf cls))
+          snap.Store.hanfs;
+        (match snap.Store.stats with
+        (* a snapshot written under a different histogram resolution
+           would poison the planner's summaries; drop it and recollect *)
+        | Some s
+          when Foc_stats.Stats.buckets s
+               = (Engine.config t.eng).Engine.stats_buckets ->
+            Budget_cache.insert t.cache (KStats sid) (VStats s)
+        | _ -> ());
+        Budget_cache.trim t.cache;
+        let records, torn =
+          Wal.replay (Store.wal_path ~dir ~version:snap.Store.version)
+        in
+        (* replay through the §9.2 invalidation radii: each record takes
+           the same insert/delete path a live write would *)
+        List.iter
+          (fun { Wal.insert = ins; rel; tuple } ->
+            update t rel tuple ~insert:ins)
+          records;
+        {
+          session = t;
+          version = snap.Store.version + List.length records;
+          snapshot_version = snap.Store.version;
+          wal_replayed = List.length records;
+          wal_torn = torn;
+        }
+      with
+      | l -> Ok l
+      | exception Invalid_argument e ->
+          (* a WAL record (or artifact) inconsistent with the snapshot's
+             signature — treat the whole store as unusable *)
+          Error e
+      | exception Not_found -> Error "snapshot/WAL references unknown relation")

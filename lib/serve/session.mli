@@ -76,6 +76,45 @@ val insert : t -> string -> int array -> unit
 val delete : t -> string -> int array -> unit
 (** Tuple removal, same invalidation contract as {!insert}. *)
 
+val prewarm : ?radii:int list -> t -> unit
+(** Build the expensive base-structure artifacts eagerly — Gaifman
+    graph, planning statistics, and for each radius in [radii] (default
+    [[1]]) the neighbourhood cover and Hanf class partition. This is
+    what a cold engine would otherwise pay lazily on its first queries,
+    and what {!save} persists. *)
+
+val save : t -> dir:string -> version:int -> string
+(** Snapshot the current structure and the cached base-structure
+    artifacts (covers, Hanf partitions, statistics; ball contexts and
+    compiled sentences rebuild lazily and are not persisted) into the
+    store directory as version [version] ({!Foc_store.Store.save}:
+    atomic write, older snapshots pruned). Returns the written path.
+    Raises [Sys_error] on I/O failure. *)
+
+type loaded = {
+  session : t;
+  version : int;  (** snapshot version + WAL records replayed *)
+  snapshot_version : int;
+  wal_replayed : int;
+  wal_torn : bool;  (** a torn WAL tail was discarded during replay *)
+}
+
+val load :
+  ?budget_mb:int ->
+  ?config:Foc_nd.Engine.config ->
+  dir:string ->
+  unit ->
+  (loaded, string) Stdlib.result
+(** Restore a session from the newest valid snapshot of [dir]: the
+    persisted Gaifman graph is installed into the structure's memo, the
+    persisted artifacts are seeded into the cache under fresh identity
+    registrations, and the accompanying WAL's valid record prefix is
+    replayed through {!insert}/{!delete} — i.e. through the same
+    invalidation radii a live write takes, so every answer afterwards is
+    bit-identical to a freshly built engine on the updated structure.
+    [Error] (never an exception) on missing/corrupt stores; the caller
+    falls back to a full rebuild. *)
+
 val metrics : t -> Foc_obs.Metrics.t
 (** The session engine's registry. Session counters:
     [session.compiled_hits]/[session.compiled_misses],

@@ -39,6 +39,10 @@ type stats = {
   trace_dropped : int;
   session : string;
   planner : string;
+  source : string;
+      (** cold-start artifact provenance: [snapshot], [snapshot+wal n=K]
+          or [rebuild]; [""] on servers without a store *)
+  load_ms : int;  (** startup load/rebuild time in milliseconds *)
 }
 
 type plan_info = {
@@ -193,7 +197,9 @@ let response_line ?id ?timing resp =
                 ("p99_us", JInt s.p99_us);
                 ("trace_dropped", JInt s.trace_dropped);
                 ("session", JStr s.session);
-                ("planner", JStr s.planner) ] ) ]
+                ("planner", JStr s.planner);
+                ("source", JStr s.source);
+                ("load_ms", JInt s.load_ms) ] ) ]
     | Explain_r e ->
         [ ("ok", JBool true);
           ("result", JBool e.result);
@@ -397,9 +403,10 @@ let parse_response line =
                       Some rejected, Some disconnects, Some session ) ->
                       (* "planner" arrived with the adaptive-planning
                          release, the quantile and trace-drop fields with
-                         the observability one: tolerate their absence so
+                         the observability one, "source"/"load_ms" with
+                         the persistent store: tolerate their absence so
                          new clients read old servers *)
-                      let planner = Option.value (gets "planner") ~default:"" in
+                      let gs0 k = Option.value (gets k) ~default:"" in
                       let gi0 k = Option.value (geti k) ~default:0 in
                       Result.Ok
                         ( meta,
@@ -408,7 +415,9 @@ let parse_response line =
                               disconnects; p50_us = gi0 "p50_us";
                               p95_us = gi0 "p95_us"; p99_us = gi0 "p99_us";
                               trace_dropped = gi0 "trace_dropped"; session;
-                              planner } )
+                              planner = gs0 "planner";
+                              source = gs0 "source";
+                              load_ms = gi0 "load_ms" } )
                   | _ -> Result.Error "malformed stats response")
               | None, None, Some v -> Result.Ok (meta, Done v)
               | _ -> Result.Error "malformed ok response"))

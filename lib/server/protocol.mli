@@ -81,6 +81,12 @@ type stats = {
           ({!Foc_eval.Eval_obs.line}) — join orders, complement avoidance,
           estimated-vs-actual cardinalities, re-plans. Empty when talking
           to a pre-adaptive-planning server *)
+  source : string;
+      (** cold-start artifact provenance: ["snapshot"],
+          ["snapshot+wal n=K"] or ["rebuild"]; empty when talking to a
+          pre-store server *)
+  load_ms : int;
+      (** startup artifact load/rebuild wall time, milliseconds *)
 }
 
 type plan_info = {

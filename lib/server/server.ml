@@ -8,6 +8,8 @@ module Session = Foc_serve.Session
 module Engine = Foc_nd.Engine
 module Scope = Foc_obs.Scope
 module Metrics = Foc_obs.Metrics
+module Store = Foc_store.Store
+module Wal = Foc_store.Wal
 
 type address = Unix_sock of string | Tcp of string * int
 
@@ -23,6 +25,8 @@ type config = {
   slow_log : string option;
   trace_file : string option;
   trace_cap : int option;
+  store : string option;
+  checkpoint_every : int;
 }
 
 let default_config address =
@@ -38,6 +42,8 @@ let default_config address =
     slow_log = None;
     trace_file = None;
     trace_cap = None;
+    store = None;
+    checkpoint_every = 1024;
   }
 
 (* a parsed request waiting for (or holding) its answer *)
@@ -91,6 +97,10 @@ type t = {
   mutable conn_threads : Thread.t list;
   mutable core_threads : Thread.t list;  (* listener + dispatcher *)
   mutable cleaned : bool;
+  source : string;  (* cold-start provenance: snapshot/snapshot+wal/rebuild *)
+  load_ms : int;  (* startup artifact load/rebuild wall time *)
+  mutable wal : Wal.writer option;  (* dispatcher-only (cleanup after join) *)
+  mutable writes_since_ckpt : int;  (* dispatcher-only *)
   obs : Metrics.t;  (* dispatcher-owned: request histograms, slow count *)
   h_check : Metrics.Histogram.t;
   h_count : Metrics.Histogram.t;
@@ -159,6 +169,31 @@ let locked t f =
   let r = f () in
   Mutex.unlock t.m;
   r
+
+let store_log fields =
+  Foc_obs.Sink.write Foc_obs.Sink.stderr_sink (Foc_obs.Logfmt.line fields)
+
+(* Snapshot the session at the current version and start a fresh WAL for
+   it — the compaction point: Store.save prunes superseded snapshot/WAL
+   pairs. Called from the dispatcher thread (and from cleanup after the
+   dispatcher has been joined), so the session is never touched
+   concurrently. A failed save keeps the current WAL: the store simply
+   stays at the previous checkpoint. *)
+let checkpoint t =
+  match t.cfg.store with
+  | None -> ()
+  | Some dir -> (
+      match Session.save t.sess ~dir ~version:t.version with
+      | exception Sys_error e ->
+          store_log
+            [ ("msg", Foc_obs.Logfmt.Str "checkpoint_failed");
+              ("error", Foc_obs.Logfmt.Str e) ]
+      | _path ->
+          (match t.wal with Some w -> Wal.close w | None -> ());
+          t.wal <-
+            (try Some (Wal.create (Store.wal_path ~dir ~version:t.version))
+             with Sys_error _ -> None);
+          t.writes_since_ckpt <- 0)
 
 let err_of_exn = function
   | Not_found -> Protocol.Error "unknown relation"
@@ -301,6 +336,22 @@ let run_one t p =
         with
         | () ->
             t.version <- t.version + 1;
+            (* WAL before acknowledging: a crash after the reply cannot
+               lose an acknowledged write (append flushes) *)
+            (match t.wal with
+            | Some w -> (
+                try Wal.append w ~insert:ins ~rel ~tuple:tup
+                with Sys_error e ->
+                  store_log
+                    [ ("msg", Foc_obs.Logfmt.Str "wal_append_failed");
+                      ("error", Foc_obs.Logfmt.Str e) ])
+            | None -> ());
+            t.writes_since_ckpt <- t.writes_since_ckpt + 1;
+            if
+              t.cfg.store <> None
+              && t.cfg.checkpoint_every > 0
+              && t.writes_since_ckpt >= t.cfg.checkpoint_every
+            then checkpoint t;
             Protocol.Done t.version
         | exception e ->
             locked t (fun () -> t.rejected <- t.rejected + 1);
@@ -354,6 +405,8 @@ let run_one t p =
               trace_dropped = 0;
               session = "";
               planner = "";
+              source = t.source;
+              load_ms = t.load_ms;
             })
       in
       let q x =
@@ -595,8 +648,40 @@ let start cfg structure =
   | None -> ());
   if cfg.trace_file <> None then Foc_obs.Trace.enable ();
   let listen_fd, addr = bind_listen cfg.address in
-  let sess =
-    Session.create ~budget_mb:cfg.budget_mb ~config:cfg.engine structure
+  (* cold start: restore from the newest valid snapshot (+WAL) when a
+     store is configured, fall back to a full rebuild on ANY store
+     problem — a torn or corrupt file must never stop the daemon *)
+  let load0 = Foc_obs.Clock.now_ns () in
+  let sess, version0, source =
+    match cfg.store with
+    | None ->
+        ( Session.create ~budget_mb:cfg.budget_mb ~config:cfg.engine
+            structure,
+          0, "rebuild" )
+    | Some dir -> (
+        match
+          Session.load ~budget_mb:cfg.budget_mb ~config:cfg.engine ~dir ()
+        with
+        | Ok l ->
+            if l.Session.wal_torn then
+              store_log
+                [ ("msg", Foc_obs.Logfmt.Str "wal_torn_tail_discarded");
+                  ("replayed", Foc_obs.Logfmt.Int l.Session.wal_replayed) ];
+            ( l.Session.session,
+              l.Session.version,
+              if l.Session.wal_replayed > 0 then
+                Printf.sprintf "snapshot+wal n=%d" l.Session.wal_replayed
+              else "snapshot" )
+        | Error e ->
+            store_log
+              [ ("msg", Foc_obs.Logfmt.Str "store_load_failed_rebuilding");
+                ("error", Foc_obs.Logfmt.Str e) ];
+            ( Session.create ~budget_mb:cfg.budget_mb ~config:cfg.engine
+                structure,
+              0, "rebuild" ))
+  in
+  let load_ms =
+    (Foc_obs.Clock.now_ns () - load0 + 500_000) / 1_000_000
   in
   let obs = Metrics.create () in
   let slow =
@@ -618,7 +703,7 @@ let start cfg structure =
       stopped_c = Condition.create ();
       queue = Queue.create ();
       state = Running;
-      version = 0;
+      version = version0;
       conns = Hashtbl.create 16;
       conn_seq = 0;
       served = 0;
@@ -628,6 +713,10 @@ let start cfg structure =
       conn_threads = [];
       core_threads = [];
       cleaned = false;
+      source;
+      load_ms;
+      wal = None;
+      writes_since_ckpt = 0;
       obs;
       h_check = Metrics.histogram obs "req.check.ns";
       h_count = Metrics.histogram obs "req.count.ns";
@@ -638,6 +727,18 @@ let start cfg structure =
       slow;
     }
   in
+  (* anchor the store before serving: the rebuild case writes its first
+     snapshot (so a later kill -9 restarts from it), the snapshot+wal
+     case compacts the just-replayed WAL into a fresh snapshot; both
+     leave an open WAL at the current version *)
+  checkpoint t;
+  store_log
+    [ ("msg", Foc_obs.Logfmt.Str "serve_start");
+      ("source", Foc_obs.Logfmt.Str t.source);
+      ("load_ms", Foc_obs.Logfmt.Int t.load_ms);
+      ("version", Foc_obs.Logfmt.Int t.version);
+      ( "store",
+        Foc_obs.Logfmt.Str (Option.value cfg.store ~default:"") ) ];
   t.core_threads <-
     [ Thread.create (fun () -> dispatcher t) ();
       Thread.create (fun () -> listener t) () ];
@@ -696,6 +797,15 @@ let cleanup t =
         with Unix.Unix_error _ -> ())
       conn_fds;
     List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    (* graceful-drain checkpoint: every thread is joined, so the
+       dispatcher is gone and the session is safe to snapshot; warm
+       artifacts built while serving are persisted for the next start *)
+    checkpoint t;
+    (match t.wal with
+    | Some w ->
+        Wal.close w;
+        t.wal <- None
+    | None -> ());
     (match t.cfg.trace_file with
     | Some f ->
         (try Foc_obs.Trace.export_chrome f with Sys_error _ -> ());

@@ -52,11 +52,22 @@ type config = {
   trace_cap : int option;
       (** bound each per-domain span buffer ({!Foc_obs.Trace.set_cap});
           [None] keeps the current/default cap *)
+  store : string option;
+      (** persistent store directory ({!Foc_store}): on start, load the
+          newest valid snapshot (+WAL replay) instead of rebuilding —
+          falling back to a full rebuild on any checksum/version/torn-file
+          problem, never crashing — then append every accepted write to
+          the WAL and checkpoint on graceful drain *)
+  checkpoint_every : int;
+      (** also checkpoint (snapshot + fresh WAL, pruning superseded
+          files) after this many writes; [<= 0] disables periodic
+          compaction (drain still checkpoints) *)
 }
 
 val default_config : address -> config
 (** Direct backend, [jobs] = 1, 256 MiB budget, queue bound 256, unlimited
-    client budget, batches of at most 32; slow-query log and tracing off. *)
+    client budget, batches of at most 32; slow-query log and tracing off;
+    no store; checkpoint every 1024 writes (once a store is set). *)
 
 type t
 

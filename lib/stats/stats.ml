@@ -88,6 +88,60 @@ let update t name tup delta =
 let insert t name tup = update t name tup 1
 let delete t name tup = update t name tup (-1)
 
+(* ------------------------------------------------------------------ *)
+(* Flat core for the persistent store: bucket budget plus, per relation,
+   the row count and each column's exact (value, count) pairs sorted by
+   value. Summaries are derived state (rebuilt lazily on threshold) and
+   never serialised. Relations sorted by name so the encoding — and any
+   checksum over it — is deterministic. *)
+
+type flat = {
+  fbuckets : int;
+  frels : (string * int * (int * int) array array) list;
+}
+
+let to_flat t =
+  let frels =
+    Hashtbl.fold
+      (fun name r acc ->
+        let cols =
+          Array.map
+            (fun c ->
+              Hashtbl.fold (fun v k acc -> (v, k) :: acc) c.counts []
+              |> List.sort (fun (v1, _) (v2, _) -> Int.compare v1 v2)
+              |> Array.of_list)
+            r.cols
+        in
+        (name, r.rows, cols) :: acc)
+      t.rels []
+    |> List.sort (fun (n1, _, _) (n2, _, _) -> String.compare n1 n2)
+  in
+  { fbuckets = t.buckets; frels }
+
+let of_flat f =
+  let fail msg = invalid_arg ("Stats.of_flat: " ^ msg) in
+  let rels = Hashtbl.create 16 in
+  List.iter
+    (fun (name, rows, cols) ->
+      if rows < 0 then fail "negative row count";
+      if Hashtbl.mem rels name then fail "duplicate relation";
+      let cols =
+        Array.map
+          (fun pairs ->
+            let counts = Hashtbl.create (max 16 (Array.length pairs)) in
+            Array.iter
+              (fun (v, k) ->
+                if k <= 0 then fail "non-positive value count";
+                if Hashtbl.mem counts v then fail "duplicate value";
+                Hashtbl.replace counts v k)
+              pairs;
+            { counts; summ = None; stale = 0 })
+          cols
+      in
+      Hashtbl.replace rels name { rows; cols })
+    f.frels;
+  { buckets = f.fbuckets; rels }
+
 let equal t1 t2 =
   let cols_equal c1 c2 =
     Hashtbl.length c1.counts = Hashtbl.length c2.counts

@@ -44,6 +44,23 @@ val insert : t -> string -> int array -> unit
 val delete : t -> string -> int array -> unit
 (** Mirror of {!insert} for an actually-removed tuple. *)
 
+type flat = {
+  fbuckets : int;
+  frels : (string * int * (int * int) array array) list;
+      (** relation name, row count, per-column (value, count) pairs
+          sorted by value; relations sorted by name *)
+}
+(** The pointer-free core for serialisation ({!Foc_store}): exact counts
+    only — histogram summaries are derived state, rebuilt lazily after
+    {!of_flat}. *)
+
+val to_flat : t -> flat
+
+val of_flat : flat -> t
+(** Rebuild the mutable count tables from a flat core. Raises
+    [Invalid_argument] on malformed input (negative or duplicate
+    counts). [equal (of_flat (to_flat t)) t] always holds. *)
+
 val equal : t -> t -> bool
 (** Same exact counts everywhere (row counts and per-column value
     frequencies; cached summaries are derived state and not compared). *)

@@ -1,0 +1,48 @@
+(** Persistent prepared-structure store: versioned binary snapshots of a
+    structure and its derived evaluation artifacts (Gaifman CSR,
+    neighbourhood covers, Hanf class partitions, planning statistics),
+    written as self-describing containers — magic, format version,
+    section table, per-section CRC-32 — next to a write-ahead log of
+    accepted updates ({!Wal}).
+
+    Robustness contract: {!load} returns the newest snapshot whose every
+    section checksums and re-validates cleanly, falls back to older
+    snapshots otherwise, and returns [Error] (never raises on file
+    content) when none survives — the caller rebuilds from source.
+    {!save} writes through a temp file + rename, so a crash mid-save
+    cannot destroy the previous snapshot, and prunes superseded
+    snapshot/WAL pairs (compaction). *)
+
+type snapshot = {
+  version : int;  (** structure version (writes applied) at save time *)
+  structure : Foc_data.Structure.t;
+  graph : Foc_graph.Graph.t option;
+      (** the memoised Gaifman graph, if built *)
+  covers : (int * Foc_graph.Cover.t) list;  (** keyed by cover radius *)
+  hanfs : (int * (string * int list) list) list;
+      (** Hanf class partitions, keyed by type radius *)
+  stats : Foc_stats.Stats.t option;
+}
+
+val save : ?keep:int -> dir:string -> snapshot -> string
+(** Write [snap-<version>.foc] into [dir] (created if missing)
+    atomically, prune all but the [keep] (default 2) newest
+    snapshot/WAL pairs, and return the written path. Raises [Sys_error]
+    on I/O failure. *)
+
+val load : dir:string -> (snapshot, string) result
+(** The newest snapshot of [dir] that decodes, checksums and
+    re-validates cleanly (older ones are tried on failure). [Error]
+    carries every per-file reason. Never raises on file content. *)
+
+val snap_path : dir:string -> version:int -> string
+val wal_path : dir:string -> version:int -> string
+(** The WAL that accompanies the snapshot of the given version. *)
+
+val list_snapshots : string -> int list
+(** Snapshot versions present in a directory, newest first. *)
+
+val describe : string -> string
+(** Human-readable report of a store directory: every snapshot's section
+    table with sizes and checksum status, plus WAL record counts and
+    torn-tail flags — the backing of [foc snapshot info]. *)

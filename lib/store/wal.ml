@@ -1,0 +1,94 @@
+(* Write-ahead log for accepted [insert]/[delete] writes.
+
+   One record per write, appended and flushed before the server
+   acknowledges:
+
+     length (int) | crc32 of payload (int) | payload
+
+   with payload = op (int, 1 = insert / 0 = delete), relation name
+   (string), tuple (int array). Replay scans from the start and stops at
+   the FIRST record whose length field is implausible, whose checksum
+   fails, or whose payload is malformed: everything before it is the
+   durable prefix, everything after is a torn tail from a crash
+   mid-append (or corruption) and is discarded. Replay therefore never
+   raises on file content — a damaged WAL degrades to fewer replayed
+   writes, exactly like a missing one degrades to zero. *)
+
+type writer = { oc : out_channel }
+
+type record = { insert : bool; rel : string; tuple : int array }
+
+let encode_record ~insert ~rel ~tuple =
+  let p = Wire.writer () in
+  Wire.put_int p (if insert then 1 else 0);
+  Wire.put_string p rel;
+  Wire.put_int_array p tuple;
+  let payload = Wire.contents p in
+  let w = Wire.writer () in
+  Wire.put_int w (String.length payload);
+  Wire.put_int w (Wire.crc32 payload ~pos:0 ~len:(String.length payload));
+  Buffer.add_string w payload;
+  Wire.contents w
+
+let create path = { oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path }
+let append_to path = { oc = open_out_gen [ Open_wronly; Open_creat; Open_append; Open_binary ] 0o644 path }
+
+let append w ~insert ~rel ~tuple =
+  output_string w.oc (encode_record ~insert ~rel ~tuple);
+  flush w.oc
+
+let close w = close_out_noerr w.oc
+
+(* [replay path] — the valid record prefix plus whether a torn/corrupt
+   tail was discarded. A missing file is an empty, clean log. *)
+let replay path =
+  if not (Sys.file_exists path) then ([], false)
+  else
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> ([], true)
+    | data ->
+        let records = ref [] and torn = ref false and pos = ref 0 in
+        let total = String.length data in
+        let continue = ref true in
+        while !continue do
+          if !pos = total then continue := false
+          else if total - !pos < 16 then begin
+            torn := true;
+            continue := false
+          end
+          else begin
+            match
+              let r = Wire.reader ~pos:!pos data in
+              let len = Wire.get_int r in
+              if len < 0 || len > Wire.remaining r - 8 then
+                Wire.corrupt "implausible record length";
+              let crc = Wire.get_int r in
+              let start = r.Wire.pos in
+              if Wire.crc32 data ~pos:start ~len <> crc then
+                Wire.corrupt "record checksum mismatch";
+              let pr = Wire.reader ~pos:start ~len data in
+              let insert =
+                match Wire.get_int pr with
+                | 1 -> true
+                | 0 -> false
+                | _ -> Wire.corrupt "bad op"
+              in
+              let rel = Wire.get_string pr in
+              let tuple = Wire.get_int_array pr in
+              Wire.expect_end pr;
+              ({ insert; rel; tuple }, start + len)
+            with
+            | record, next ->
+                records := record :: !records;
+                pos := next
+            | exception Wire.Corrupt _ ->
+                torn := true;
+                continue := false
+          end
+        done;
+        (List.rev !records, !torn)

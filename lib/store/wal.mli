@@ -1,0 +1,28 @@
+(** Write-ahead log of accepted [insert]/[delete] writes: length-prefixed,
+    CRC-32-guarded records appended and flushed per write.
+
+    {!replay} returns the longest valid record prefix and stops at the
+    first torn or corrupt record — a crash mid-append (or later file
+    damage) costs the tail, never a crash of the loader. *)
+
+type writer
+
+type record = { insert : bool; rel : string; tuple : int array }
+
+val create : string -> writer
+(** Open for writing, truncating any existing log (a fresh WAL after a
+    snapshot). Raises [Sys_error] on I/O failure. *)
+
+val append_to : string -> writer
+(** Open for appending, keeping existing records (resuming an existing
+    WAL after a restart). *)
+
+val append : writer -> insert:bool -> rel:string -> tuple:int array -> unit
+(** Append one record and flush it to the OS before returning. *)
+
+val close : writer -> unit
+
+val replay : string -> record list * bool
+(** [replay path] — the valid record prefix, in append order, plus
+    [true] when a torn/corrupt tail was discarded. A missing file is an
+    empty, clean log. Never raises on file content. *)

@@ -1,0 +1,105 @@
+(* Low-level binary codec for the persistent store: a Buffer-based writer
+   and a bounds-checked string reader, plus the CRC-32 every container
+   section and WAL record is guarded by.
+
+   All integers are fixed 8-byte little-endian two's complement (OCaml
+   ints round-trip exactly; fixed width keeps offsets computable without
+   a varint scan and the flat int arrays zero-copy-friendly). Strings and
+   arrays are length-prefixed. Decoding NEVER trusts a length field: every
+   read is checked against the remaining bytes and malformed input raises
+   {!Corrupt}, which the container/WAL layers turn into a clean fallback
+   (rebuild / replay-up-to-last-valid-record) — a torn or bit-flipped file
+   must not be able to crash or over-allocate the loader. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* ---------------- CRC-32 (IEEE 802.3, poly 0xEDB88320) ---------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* [crc32 s ~pos ~len] of a substring; the running value stays within 32
+   bits (63-bit native ints make the masks cheap). *)
+let crc32 s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+         lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+(* ---------------- writer ---------------- *)
+
+type writer = Buffer.t
+
+let writer () = Buffer.create 4096
+let contents (w : writer) = Buffer.contents w
+let put_int w v = Buffer.add_int64_le w (Int64.of_int v)
+
+let put_string w s =
+  put_int w (String.length s);
+  Buffer.add_string w s
+
+let put_int_array w a =
+  put_int w (Array.length a);
+  Array.iter (put_int w) a
+
+let put_int_list w l =
+  put_int w (List.length l);
+  List.iter (put_int w) l
+
+(* ---------------- reader ---------------- *)
+
+type reader = { data : string; mutable pos : int; limit : int }
+
+let reader ?(pos = 0) ?len data =
+  let limit =
+    match len with Some l -> pos + l | None -> String.length data
+  in
+  if pos < 0 || limit > String.length data || pos > limit then
+    corrupt "reader: window [%d, %d) outside %d bytes" pos limit
+      (String.length data);
+  { data; pos; limit }
+
+let remaining r = r.limit - r.pos
+
+let get_int r =
+  if remaining r < 8 then corrupt "truncated int at offset %d" r.pos;
+  let v = Int64.to_int (String.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+(* a length field for items of [per] bytes each: non-negative and small
+   enough that the payload could actually fit in the remaining window *)
+let get_len r ~per =
+  let n = get_int r in
+  if n < 0 || (per > 0 && n > remaining r / per) then
+    corrupt "implausible length %d at offset %d" n (r.pos - 8);
+  n
+
+let get_string r =
+  let n = get_len r ~per:1 in
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_int_array r =
+  let n = get_len r ~per:8 in
+  Array.init n (fun _ -> get_int r)
+
+let get_int_list r =
+  let n = get_len r ~per:8 in
+  List.init n (fun _ -> get_int r)
+
+let expect_end r =
+  if remaining r <> 0 then
+    corrupt "%d trailing bytes at offset %d" (remaining r) r.pos

@@ -103,6 +103,8 @@ let test_protocol_roundtrip () =
           trace_dropped = 17;
           session = "a=1 b=\"two words\"";
           planner = "planner.replans=1";
+          source = "snapshot+wal n=2";
+          load_ms = 12;
         };
       P.Explain_r
         {
