@@ -302,14 +302,110 @@ let count_cmd =
       const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ src)
 
+(* ---------------- socket plumbing (query/serve/call/...) ---------------- *)
+
+(* --socket PATH (Unix domain) wins over --tcp [HOST:]PORT *)
+let parse_address socket tcp =
+  match (socket, tcp) with
+  | Some path, _ -> Some (Foc.Server.Unix_sock path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some p -> Some (Foc.Server.Tcp (host, p))
+          | None -> None)
+      | None -> (
+          match int_of_string_opt spec with
+          | Some p -> Some (Foc.Server.Tcp ("127.0.0.1", p))
+          | None -> None))
+  | None, None -> None
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a Unix-domain socket.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"[HOST:]PORT"
+        ~doc:"Serve on TCP (default host 127.0.0.1; port 0 picks a free one).")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Deadline (seconds) on connecting and on each response; without \
+           it a hung server blocks forever. Exit code $(b,3) = cannot \
+           connect, $(b,4) = timed out or connection lost.")
+
 (* ---------------- query ---------------- *)
 
 let query_cmd =
   let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
       stats trace metrics log_level
-      head terms body limit =
+      head terms body limit page socket tcp timeout =
     setup_obs ~trace ~metrics ~log_level;
-    let a = load_structure structure in
+    (* remote: stream over a running foc serve (no structure file needed) *)
+    (match parse_address socket tcp with
+    | Some address ->
+        let c =
+          try Foc.Server_client.connect ?timeout address
+          with Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "cannot connect: %s\n" (Unix.error_message e);
+            exit 3
+        in
+        let nrows = ref 0 in
+        let t0 = Unix.gettimeofday () in
+        let req =
+          {
+            Foc.Server_protocol.q_head = head;
+            q_terms = terms;
+            q_body = body;
+            q_limit = Some limit;
+            q_chunk = page;
+            q_after = None;
+          }
+        in
+        (match
+           Foc.Server_client.query_iter c req (fun (tuple, values) ->
+               incr nrows;
+               Array.iter (Printf.printf "%d ") tuple;
+               print_string "| ";
+               Array.iter (Printf.printf "%d ") values;
+               print_newline ())
+         with
+        | Ok producer ->
+            Printf.printf "# %d rows, %.6fs (streamed, producer=%s)\n" !nrows
+              (Unix.gettimeofday () -. t0)
+              producer;
+            Foc.Server_client.close c;
+            exit 0
+        | Error e ->
+            Printf.eprintf "server error: %s\n" e;
+            exit 1
+        | exception Foc.Server_client.Timeout ->
+            Printf.eprintf "timeout\n";
+            exit 4
+        | exception End_of_file ->
+            Printf.eprintf "connection lost\n";
+            exit 4)
+    | None -> ());
+    let a =
+      match structure with
+      | Some path -> load_structure path
+      | None ->
+          Printf.eprintf
+            "error: query needs --structure FILE (or --socket/--tcp for a \
+             running server)\n";
+          exit 2
+    in
     let parse_t s =
       try Foc.parse_term s
       with Foc.Parser.Error (m, p) ->
@@ -333,6 +429,42 @@ let query_cmd =
     in
     let eng = make_engine ~jobs ~ball_cache_mb ~stats_buckets
         ~adaptive:(not no_adaptive) ?trace_file:trace engine in
+    (* --page: stream through a pull cursor instead of materialising;
+       rows print as they are produced and --limit caps production, not
+       just printing *)
+    (match (page, eng) with
+    | Some _, None ->
+        Printf.eprintf
+          "error: --page needs a localized engine \
+           (direct|cover|splitter|hanf)\n";
+        exit 2
+    | Some _, Some eng ->
+        let t0 = Unix.gettimeofday () in
+        let cur = Foc.Engine.enumerate eng ~limit a q in
+        let ttfr = ref 0. in
+        let nrows = ref 0 in
+        let rec drain () =
+          match cur.Foc.Enum.next () with
+          | None -> ()
+          | Some (tuple, values) ->
+              if !nrows = 0 then ttfr := Unix.gettimeofday () -. t0;
+              incr nrows;
+              Array.iter (Printf.printf "%d ") tuple;
+              print_string "| ";
+              Array.iter (Printf.printf "%d ") values;
+              print_newline ();
+              drain ()
+        in
+        drain ();
+        cur.Foc.Enum.close ();
+        if stats then print_stats eng;
+        finish_obs ~trace ~metrics (Some eng);
+        Printf.printf
+          "# %d rows, %.6fs (streamed, producer=%s, ttfr %.6fs)\n" !nrows
+          (Unix.gettimeofday () -. t0)
+          cur.Foc.Enum.producer !ttfr;
+        exit 0
+    | None, _ -> ());
     let rows, seconds =
       match eng with
       | Some eng ->
@@ -388,14 +520,36 @@ let query_cmd =
   let limit =
     Arg.(
       value & opt int 20
-      & info [ "limit" ] ~docv:"N" ~doc:"Print at most N rows.")
+      & info [ "limit" ] ~docv:"N"
+          ~doc:
+            "Print at most N rows (with $(b,--page) or a remote server, \
+             also stop producing after N rows).")
+  in
+  let page =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "page" ] ~docv:"N"
+          ~doc:
+            "Stream answers instead of materialising them: locally, pull \
+             rows one at a time from an enumeration cursor (needs a \
+             localized engine); remotely, fetch N rows per chunk.")
+  in
+  let structure_opt =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "structure" ] ~docv:"FILE"
+          ~doc:
+            "Structure file (required unless querying a remote server \
+             with $(b,--socket)/$(b,--tcp)).")
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Run a FOC1(P)-query (Definition 5.2).")
     Term.(
-      const run $ structure_arg $ engine_arg $ jobs_arg $ ball_cache_arg
+      const run $ structure_opt $ engine_arg $ jobs_arg $ ball_cache_arg
       $ stats_buckets_arg $ no_adaptive_arg $ stats_arg $ trace_arg $ metrics_arg $ log_level_arg $ head $ terms
-      $ body $ limit)
+      $ body $ limit $ page $ socket_arg $ tcp_arg $ timeout_arg)
 
 (* ---------------- gen ---------------- *)
 
@@ -643,41 +797,10 @@ let budget_arg =
 
 (* ---------------- serve / call ---------------- *)
 
-(* --socket PATH (Unix domain) wins over --tcp [HOST:]PORT *)
-let parse_address socket tcp =
-  match (socket, tcp) with
-  | Some path, _ -> Some (Foc.Server.Unix_sock path)
-  | None, Some spec -> (
-      match String.rindex_opt spec ':' with
-      | Some i -> (
-          let host = String.sub spec 0 i in
-          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
-          match int_of_string_opt port with
-          | Some p -> Some (Foc.Server.Tcp (host, p))
-          | None -> None)
-      | None -> (
-          match int_of_string_opt spec with
-          | Some p -> Some (Foc.Server.Tcp ("127.0.0.1", p))
-          | None -> None))
-  | None, None -> None
-
-let socket_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on a Unix-domain socket.")
-
-let tcp_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "tcp" ] ~docv:"[HOST:]PORT"
-        ~doc:"Serve on TCP (default host 127.0.0.1; port 0 picks a free one).")
-
 let serve_cmd =
   let run structure engine jobs ball_cache_mb stats_buckets no_adaptive
       budget_mb socket tcp max_queue client_budget max_batch slow_ms
-      slow_log trace trace_cap store checkpoint_every log_level =
+      slow_log trace trace_cap store checkpoint_every max_cursors log_level =
     setup_obs ~trace:None ~metrics:false ~log_level;
     let a = load_structure structure in
     let address =
@@ -724,6 +847,7 @@ let serve_cmd =
         trace_cap;
         store;
         checkpoint_every;
+        max_cursors;
       }
     in
     let srv = Foc.Server.start cfg a in
@@ -826,6 +950,14 @@ let serve_cmd =
              disables periodic checkpoints; graceful shutdown still \
              checkpoints.")
   in
+  let max_cursors_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-cursors" ] ~docv:"N"
+          ~doc:
+            "Most streaming query cursors one connection may hold open; \
+             a $(b,query) over the budget is rejected.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -837,7 +969,7 @@ let serve_cmd =
       $ stats_buckets_arg $ no_adaptive_arg $ budget_arg $ socket_arg
       $ tcp_arg $ max_queue $ client_budget $ max_batch $ slow_ms
       $ slow_log $ serve_trace $ trace_cap $ store_arg
-      $ checkpoint_every_arg $ log_level_arg)
+      $ checkpoint_every_arg $ max_cursors_arg $ log_level_arg)
 
 (* distinct exit codes so scripts can tell failure modes apart:
    2 = usage, 3 = cannot connect, 4 = timeout / connection lost,
@@ -858,16 +990,6 @@ let connect_or_die ?timeout address =
   | Foc.Server_client.Timeout ->
       Printf.eprintf "error: connect timed out\n";
       exit 3
-
-let timeout_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "timeout" ] ~docv:"SEC"
-        ~doc:
-          "Deadline (seconds) on connecting and on each response; without \
-           it a hung server blocks forever. Exit code $(b,3) = cannot \
-           connect, $(b,4) = timed out or connection lost.")
 
 let call_cmd =
   let run socket tcp timeout requests =

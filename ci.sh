@@ -38,6 +38,12 @@ dune exec bench/main.exe -- --only E17 --smoke
 # snapshot cold start fails to beat the full artifact rebuild by >=5x —
 # the agreement and performance gate for the persistent store.
 dune exec bench/main.exe -- --only E18 --smoke
+# E19 exits non-zero if a drained enumeration cursor is not bit-identical
+# (content and order) to the materialised Relalg answers, or if streaming
+# fails to beat materialisation by >=5x on time-to-first-row for the
+# output-heavy star workload — the agreement and performance gate for
+# constant-delay enumeration.
+dune exec bench/main.exe -- --only E19 --smoke
 dune exec bin/foc_cli.exe -- gen -n 300 --class random-tree --colours \
   -o /tmp/ci_tree.foc
 dune exec bin/foc_cli.exe -- count -s /tmp/ci_tree.foc \
@@ -118,6 +124,34 @@ grep -q '# TYPE foc_req_check_ns histogram' /tmp/ci_metrics_out.txt || {
 # one top snapshot over the wire keeps the stats op parsing honest
 "$FOC" top --socket "$SOCK" --timeout 10 --interval 0.1 --count 1 \
   | grep -q 'read latency' || { echo "ci: foc top produced no view"; exit 1; }
+# streaming round-trip: foc query --page drives a cursor over the wire in
+# multiple chunks (7 rows / page 3 = 3 fetches) and must report exactly
+# the limit, streamed
+"$FOC" query --socket "$SOCK" --timeout 10 --head x --head y \
+  --body "E(x,y)" --limit 7 --page 3 > /tmp/ci_stream_out.txt
+grep -q '^# 7 rows, .*(streamed, producer=' /tmp/ci_stream_out.txt || {
+  echo "ci: remote streamed query did not report 7 streamed rows"
+  exit 1
+}
+[ "$(grep -c '|' /tmp/ci_stream_out.txt)" = 7 ] || {
+  echo "ci: remote streamed query printed the wrong number of rows"
+  exit 1
+}
+# kill a client mid-stream: open a cursor (chunk 2 leaves it open with
+# more:true) and exit without close_cursor — the server must reap it on
+# disconnect, so stats settles back to zero open cursors
+"$FOC" call --socket "$SOCK" --timeout 10 \
+  '{"op":"query","head":["x","y"],"body":"E(x,y)","chunk":2}' \
+  | grep -q '"more":true' || {
+  echo "ci: streaming query op opened no cursor"
+  exit 1
+}
+sleep 0.3
+"$FOC" call --socket "$SOCK" --timeout 10 '{"op":"stats"}' \
+  | grep -q '"cursors":0' || {
+  echo "ci: abandoned cursor never reaped after client disconnect"
+  exit 1
+}
 "$FOC" call --socket "$SOCK" --timeout 10 \
   '{"op":"insert","rel":"E","tuple":[0,1]}' \
   '{"op":"stats"}' '{"op":"shutdown"}' >/dev/null

@@ -66,6 +66,7 @@ module Naive = Foc_eval.Naive
 module Table = Foc_eval.Table
 module Counts = Foc_eval.Counts
 module Relalg = Foc_eval.Relalg
+module Enum = Foc_eval.Enum
 module Eval_obs = Foc_eval.Eval_obs
 
 (* the paper's machinery *)

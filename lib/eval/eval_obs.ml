@@ -26,6 +26,10 @@ type s = {
   est_rows : M.Counter.t;
   actual_rows : M.Counter.t;
   replans : M.Counter.t;
+  cursors_opened : M.Counter.t;
+  enum_rows : M.Counter.t;
+  enum_delay : M.Histogram.t;
+  enum_ttfr : M.Histogram.t;
   err_max_x100 : M.Gauge.t;
   peak_table_bytes : M.Gauge.t;
   mutable orders : int list list;  (* recent plan orders, newest first *)
@@ -54,6 +58,10 @@ let make () =
     est_rows = M.counter registry "planner.est_rows";
     actual_rows = M.counter registry "planner.actual_rows";
     replans = M.counter registry "planner.replans";
+    cursors_opened = M.counter registry "enum.cursors_opened";
+    enum_rows = M.counter registry "enum.rows";
+    enum_delay = M.histogram registry "enum.delay.ns";
+    enum_ttfr = M.histogram registry "enum.ttfr.ns";
     err_max_x100 = M.gauge registry "planner.err_max_x100";
     peak_table_bytes = M.gauge registry "table.peak_bytes";
     orders = [];
@@ -100,6 +108,13 @@ let note_op_card ~est ~actual =
   M.Counter.add !cur.actual_rows actual
 
 let note_replan () = M.Counter.inc !cur.replans
+let note_cursor_opened () = M.Counter.inc !cur.cursors_opened
+
+let note_enum_row ~delay_ns =
+  M.Counter.inc !cur.enum_rows;
+  M.Histogram.observe !cur.enum_delay delay_ns
+
+let note_enum_first ~ns = M.Histogram.observe !cur.enum_ttfr ns
 
 let note_plan_error ~ratio =
   M.Gauge.set_max !cur.err_max_x100 (int_of_est (ratio *. 100.))
@@ -138,6 +153,10 @@ let neg_complements () = M.Counter.value !cur.neg_complements
 let est_rows () = M.Counter.value !cur.est_rows
 let actual_rows () = M.Counter.value !cur.actual_rows
 let replans () = M.Counter.value !cur.replans
+let cursors_opened () = M.Counter.value !cur.cursors_opened
+let enum_rows () = M.Counter.value !cur.enum_rows
+let enum_delay_quantile q = M.Histogram.quantile !cur.enum_delay q
+let enum_ttfr_quantile q = M.Histogram.quantile !cur.enum_ttfr q
 let err_max_x100 () = M.Gauge.value !cur.err_max_x100
 let plan_orders () = List.rev !cur.orders
 let plan_seq () = !cur.pseq

@@ -35,6 +35,18 @@ val note_op_card : est:float -> actual:int -> unit
 (** A conjunction was re-planned with observed selectivities. *)
 val note_replan : unit -> unit
 
+(** An {!Enum} cursor was opened ([enum.cursors_opened]). *)
+val note_cursor_opened : unit -> unit
+
+(** [note_enum_row ~delay_ns] — a cursor yielded one answer after
+    [delay_ns] nanoseconds spent inside [next] (counter [enum.rows],
+    histogram [enum.delay.ns]). *)
+val note_enum_row : delay_ns:int -> unit
+
+(** [note_enum_first ~ns] — time from cursor creation to its first yielded
+    row, including producer preprocessing (histogram [enum.ttfr.ns]). *)
+val note_enum_first : ns:int -> unit
+
 (** [note_plan_error ~ratio] — worst per-step estimation error ratio of a
     finished plan (gauge [planner.err_max_x100], peak-tracked). *)
 val note_plan_error : ratio:float -> unit
@@ -106,6 +118,17 @@ val actual_rows : unit -> int
 (** Conjunctions re-planned with observed selectivities (the adaptive
     feedback loop). *)
 val replans : unit -> int
+
+(** Cursors opened / rows yielded by {!Enum} since {!reset}. *)
+val cursors_opened : unit -> int
+
+val enum_rows : unit -> int
+
+(** Quantiles of the [enum.delay.ns] / [enum.ttfr.ns] histograms (see
+    {!Foc_obs.Metrics.Histogram.quantile}; [0.] when empty). *)
+val enum_delay_quantile : float -> float
+
+val enum_ttfr_quantile : float -> float
 
 (** Peak per-plan worst-step estimation error ratio, ×100. *)
 val err_max_x100 : unit -> int

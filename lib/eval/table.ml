@@ -178,6 +178,32 @@ let iter t f =
     done
   end
 
+(* ---- cursor kernels (streaming enumeration) ---- *)
+
+let blit_row t r dst = Array.blit t.data (r * t.width) dst 0 t.width
+let cell t r c = t.data.((r * t.width) + c)
+
+(* first row in [lo,hi) whose column [col] value is >= v. Callers maintain
+   the invariant that all rows of the range agree on columns < col, so the
+   column is non-decreasing over the range and binary search applies. *)
+let seek_col t ~lo ~hi ~col v =
+  let l = ref lo and h = ref hi in
+  while !l < !h do
+    let mid = (!l + !h) / 2 in
+    if t.data.((mid * t.width) + col) < v then l := mid + 1 else h := mid
+  done;
+  !l
+
+(* first row whose full row is lexicographically >= key *)
+let lower_bound t key =
+  let l = ref 0 and h = ref t.nrows in
+  while !l < !h do
+    let mid = (!l + !h) / 2 in
+    if cmp2 t.data (mid * t.width) key 0 t.width < 0 then l := mid + 1
+    else h := mid
+  done;
+  !l
+
 (* ---- projection / alignment ---- *)
 
 let project t target =

@@ -55,6 +55,30 @@ val full : int -> Var.t array -> t
     retain. *)
 val iter : t -> (int array -> unit) -> unit
 
+(** {2 Cursor kernels}
+
+    Random access into the sorted row store, the substrate of the
+    streaming {!Enum} producers: rows are addressed by index in the
+    canonical lexicographic order, and binary search gives O(log rows)
+    seeks for [?after] resumption and join continuations. *)
+
+(** [blit_row t r dst] copies row [r] (0-based, lexicographic position)
+    into [dst] (length ≥ width). *)
+val blit_row : t -> int -> int array -> unit
+
+(** [cell t r c] — the value of column [c] in row [r]. *)
+val cell : t -> int -> int -> int
+
+(** [seek_col t ~lo ~hi ~col v] — the first row index in [[lo,hi)] whose
+    column [col] value is ≥ [v], or [hi]. Only meaningful when all rows in
+    the range agree on the columns before [col] (then the column is
+    non-decreasing over the range); binary search. *)
+val seek_col : t -> lo:int -> hi:int -> col:int -> int -> int
+
+(** [lower_bound t key] — the index of the first row lexicographically
+    ≥ [key] (a full-width row), or [cardinal t]. Binary search. *)
+val lower_bound : t -> int array -> int
+
 (** [project t target] keeps the [target] columns (a subset of [vars t],
     any order), deduplicating rows. *)
 val project : t -> Var.t array -> t

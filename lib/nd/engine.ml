@@ -625,6 +625,41 @@ let check_tuple t a (q : Query.t) tuple =
           Some (true, values)
         end)
 
+(* Head-term evaluation for multi-variable heads, compiled once against the
+   head column order: ground terms become constants, single-variable terms
+   per-element vectors from the localized engine, and terms over several
+   head variables a baseline counts reader. The returned closure maps a
+   head-order row to the freshly-allocated values array — shared by
+   [run_query] and [enumerate] so both produce identical values. *)
+let head_values t a head (terms : Ast.term list) =
+  let term_vector term =
+    match Var.Set.elements (Ast.free_term term) with
+    | [] -> `Const (eval_ground t a term)
+    | [ x ] -> `Vec (x, eval_unary t a x term)
+    | _ ->
+        (* FOC1 allows head terms over several head variables (only
+           predicate applications are restricted); evaluate them with
+           the baseline counts, read via a row reader compiled once
+           against the head column order *)
+        `Counts
+          (Foc_eval.Counts.row
+             (Foc_eval.Relalg.term_counts ~ctx:(relalg_ctx t) t.cfg.preds a term)
+             head)
+  in
+  let vectors = List.map term_vector terms in
+  let index_of x =
+    let rec go i = if Var.equal head.(i) x then i else go (i + 1) in
+    go 0
+  in
+  fun row ->
+    Array.of_list
+      (List.map
+         (function
+           | `Const c -> c
+           | `Vec (x, vec) -> vec.(row.(index_of x))
+           | `Counts read -> read row)
+         vectors)
+
 let run_query_inner t a (q : Query.t) =
   let n = Structure.order a in
   match q.head_vars with
@@ -660,37 +695,10 @@ let run_query_inner t a (q : Query.t) =
       in
       let table = Foc_eval.Table.extend_full table n missing in
       let table = Foc_eval.Table.align table head in
-      let term_vector term =
-        match Var.Set.elements (Ast.free_term term) with
-        | [] -> `Const (eval_ground t a term)
-        | [ x ] -> `Vec (x, eval_unary t a x term)
-        | _ ->
-            (* FOC1 allows head terms over several head variables (only
-               predicate applications are restricted); evaluate them with
-               the baseline counts, read via a row reader compiled once
-               against the head column order *)
-            `Counts
-              (Foc_eval.Counts.row
-                 (Foc_eval.Relalg.term_counts ~ctx:(relalg_ctx t) t.cfg.preds a term)
-                 head)
-      in
-      let vectors = List.map term_vector q.head_terms in
-      let index_of x =
-        let rec go i = if Var.equal head.(i) x then i else go (i + 1) in
-        go 0
-      in
+      let values = head_values t a head q.head_terms in
       let out = ref [] in
       Foc_eval.Table.iter table (fun row ->
-          let values =
-            Array.of_list
-              (List.map
-                 (function
-                   | `Const c -> c
-                   | `Vec (x, vec) -> vec.(row.(index_of x))
-                   | `Counts read -> read row)
-                 vectors)
-          in
-          out := (Array.copy row, values) :: !out);
+          out := (Array.copy row, values row) :: !out);
       (* Table.iter runs in ascending Tuple.compare order already *)
       List.rev !out
 
@@ -699,6 +707,101 @@ let run_query t a q =
       let v = run_query_inner t a q in
       maybe_export t;
       v)
+
+(* ---------------- answer enumeration ---------------- *)
+
+(* A body is walkable when it is a conjunction of positive atoms
+   (relations, equalities, distance atoms) — then each conjunct
+   materialises to a small sorted table (linear-ish preprocessing) and
+   [Enum.walk] enumerates the join lazily. [Query.make] already guarantees
+   free(body) ⊆ head_vars, so the atoms are over head variables. *)
+let conjunctive_atoms body =
+  let rec go acc = function
+    | Ast.True -> Some acc
+    | Ast.And (f, g) -> ( match go acc f with Some acc -> go acc g | None -> None)
+    | (Ast.Eq _ | Ast.Rel _ | Ast.Dist _) as atom -> Some (atom :: acc)
+    | _ -> None
+  in
+  Option.map List.rev (go [] body)
+
+let enumerate_inner t a ?limit ?after (q : Query.t) =
+  let n = Structure.order a in
+  match q.head_vars with
+  | [] ->
+      (* zero or one answer: the empty tuple *)
+      Foc_eval.Enum.of_rows ?limit ?after ~producer:"ground"
+        (run_query_inner t a q)
+  | [ x ] ->
+      (* the localized path: one linear preprocessing sweep (per-element
+         truths and term vectors), then O(1) delay per answer — the
+         Kazana–Segoufin shape for FOC1 heads *)
+      let truths = holds_unary t a x q.body in
+      let vectors = List.map (eval_unary t a x) q.head_terms in
+      let start =
+        match after with
+        | None -> 0
+        | Some key ->
+            if Array.length key <> 1 then
+              invalid_arg "Engine.enumerate: after arity";
+            max 0 (key.(0) + 1)
+      in
+      let v = ref start in
+      let gen () =
+        while !v < n && not truths.(!v) do
+          incr v
+        done;
+        if !v >= n then None
+        else begin
+          let u = !v in
+          incr v;
+          Some ([| u |], Array.of_list (List.map (fun vec -> vec.(u)) vectors))
+        end
+      in
+      Foc_eval.Enum.make ?limit ~producer:"unary" ~next:gen
+        ~close:(fun () -> ())
+        ()
+  | head_vars -> (
+      let head = Array.of_list head_vars in
+      let values = head_values t a head q.head_terms in
+      match conjunctive_atoms q.body with
+      | Some atoms ->
+          (* per-conjunct tables (each a single atom: relation scan,
+             identity table, or distance balls), then a backtracking
+             leapfrog join with binary-search seeks — no output
+             materialisation *)
+          let tables =
+            List.map
+              (fun atom ->
+                Foc_eval.Relalg.formula_table ~ctx:(relalg_ctx t) t.cfg.preds
+                  a atom)
+              atoms
+          in
+          Foc_eval.Enum.walk ?limit ?after ~values ~n ~head tables
+      | None ->
+          (* outside the walkable fragment: materialise the planned body
+             table as [run_query] would and stream it *)
+          fallback t "query head with two or more variables";
+          let table =
+            Foc_eval.Relalg.formula_table ~ctx:(relalg_ctx t) t.cfg.preds a
+              q.body
+          in
+          let missing =
+            Array.to_list head
+            |> List.filter (fun v ->
+                   not (Array.exists (Var.equal v) (Foc_eval.Table.vars table)))
+            |> Array.of_list
+          in
+          let table = Foc_eval.Table.extend_full table n missing in
+          let table = Foc_eval.Table.align table head in
+          Foc_eval.Enum.of_table ?limit ?after ~values table)
+
+let enumerate t a ?limit ?after q =
+  with_artifacts t (fun () ->
+      (* all preprocessing (artifact access included) happens before the
+         cursor escapes; [next] only reads the prepared arrays/tables *)
+      let c = enumerate_inner t a ?limit ?after q in
+      maybe_export t;
+      c)
 
 (* ---------------- compiled sentences ---------------- *)
 

@@ -205,6 +205,28 @@ val check_tuple :
 val run_query :
   t -> Foc_data.Structure.t -> Query.t -> (int array * int array) list
 
+(** [enumerate t a q] — the answers of {!run_query} as a pull-based cursor
+    ({!Foc_eval.Enum.cursor}), bit-identical in content and order
+    (ascending lexicographic on the head tuple) but produced lazily.
+    Producer selection: empty heads yield their 0/1 answer directly;
+    single-variable heads run the localized per-element sweep once and
+    then emit with O(1) delay; wider heads over conjunctive bodies
+    (conjunctions of relation/equality/distance atoms) run a backtracking
+    leapfrog join over sorted per-atom tables with binary-search seeks
+    (bounded per-answer delay, no output materialisation); anything else
+    materialises the planned body table and streams it. [?limit] caps the
+    answer count; [?after] (a head tuple) resumes strictly after it.
+    Preprocessing happens before the cursor is returned — [next] never
+    touches engine artifacts, so the cursor stays valid as long as the
+    structure is unchanged. *)
+val enumerate :
+  t ->
+  Foc_data.Structure.t ->
+  ?limit:int ->
+  ?after:int array ->
+  Query.t ->
+  Foc_eval.Enum.cursor
+
 (** {1 Compiled sentences}
 
     {!check} split into a reusable prefix and a cheap suffix.

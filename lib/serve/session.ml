@@ -54,6 +54,7 @@ let aval_bytes = function
 type t = {
   eng : Engine.t;
   mutable structure : Structure.t;
+  mutable version : int;  (* updates applied; open cursors pin a version *)
   cache : (akey, aval) Budget_cache.t;
   keys : Ast.Key.table;
   mutable struct_ids : (Structure.t * int) list;
@@ -77,6 +78,7 @@ type result = bool
 
 let engine t = t.eng
 let structure t = t.structure
+let version t = t.version
 let metrics t = Engine.metrics t.eng
 let stats_line t = Engine.stats_line t.eng
 let cached_artifacts t = Budget_cache.length t.cache
@@ -211,6 +213,7 @@ let create ?(budget_mb = 256) ?config a =
     {
       eng;
       structure = a;
+      version = 0;
       cache;
       keys = Ast.Key.create_table ();
       struct_ids = [];
@@ -260,6 +263,28 @@ let compiled_for t phi =
       e
 
 let check t phi = Engine.run_sentence t.eng (compiled_for t phi).comp
+
+(* ------------------------------------------------------------------ *)
+(* answer enumeration *)
+
+exception Expired
+
+(* A cursor is pinned to the structure version it was opened on: all
+   preprocessing runs at open (through the session's artifact hooks), and
+   [next] first checks that no update has been applied since — a bumped
+   version raises [Expired] rather than silently mixing snapshots. The
+   old structure snapshot itself stays readable (structures are
+   functional), but serving stale answers after an acknowledged write
+   would be wrong for clients, so staleness is an error the caller can
+   turn into a restart. *)
+let enumerate t ?limit ?after q =
+  Foc_obs.span ~name:"session.enumerate" (fun () ->
+      let v0 = t.version in
+      let c = Engine.enumerate t.eng t.structure ?limit ?after q in
+      let next () =
+        if t.version <> v0 then raise Expired else c.Foc_eval.Enum.next ()
+      in
+      { c with Foc_eval.Enum.next })
 
 (* ------------------------------------------------------------------ *)
 (* batched evaluation *)
@@ -422,6 +447,7 @@ let update t name tup ~insert:ins =
         else Structure.remove_tuples before name [ tup ]
       in
       t.structure <- after;
+      t.version <- t.version + 1;
       let bid = struct_id t before in
       let aid = struct_id t after in
       let graph_changed = arity >= 2 in

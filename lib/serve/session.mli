@@ -52,6 +52,11 @@ val engine : t -> Foc_nd.Engine.t
 val structure : t -> Foc_data.Structure.t
 (** The current structure (reflects {!insert}/{!delete}). *)
 
+val version : t -> int
+(** Number of updates applied since {!create} (or {!load}, which counts
+    its WAL replay). Every {!insert}/{!delete} bumps it; open cursors are
+    pinned to the version they were opened on. *)
+
 val check : t -> Foc_logic.Ast.formula -> bool
 (** Model-check a sentence, reusing every cached artifact and the compiled
     form of any α-equivalent sentence seen before. *)
@@ -67,6 +72,27 @@ val run_batch : ?jobs:int -> t -> Foc_logic.Ast.formula list -> result list
     config's [jobs]. Results are bit-identical for every [jobs] and equal
     to evaluating each sentence on a fresh engine. Worker engine counters
     are merged into the session engine after the join. *)
+
+exception Expired
+(** Raised by an {!enumerate} cursor's [next] after a write bumped the
+    session {!version}: the cursor's preprocessed state describes the old
+    snapshot, so continuing would serve stale answers. Re-open the cursor
+    (with [?after] at the last seen tuple) to resume against the new
+    version. *)
+
+val enumerate :
+  t ->
+  ?limit:int ->
+  ?after:int array ->
+  Foc_logic.Query.t ->
+  Foc_eval.Enum.cursor
+(** Pull-based answer enumeration ({!Foc_nd.Engine.enumerate} through the
+    session's cached artifacts): answers stream in ascending lexicographic
+    head-tuple order, bit-identical to {!Foc_nd.Engine.run_query}. All
+    preprocessing happens at open; the returned cursor is pinned to the
+    current {!version} and its [next] raises {!Expired} once a write is
+    applied. Sessions are single-domain: drive the cursor from the same
+    domain that owns the session. *)
 
 val insert : t -> string -> int array -> unit
 (** [insert s r tup] adds a tuple and invalidates exactly the affected

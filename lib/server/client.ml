@@ -99,4 +99,19 @@ let rpc_full ?id ?timing t req =
   | Error e -> failwith ("malformed response: " ^ e)
 
 let rpc ?id ?timing t req = snd (rpc_full ?id ?timing t req)
+
+let query_iter t (qr : Protocol.query_req) f =
+  let rec drain = function
+    | Protocol.Rows_r r -> (
+        List.iter f r.Protocol.rrows;
+        match (r.Protocol.more, r.Protocol.cursor) with
+        | true, Some c ->
+            drain
+              (rpc t (Protocol.Fetch { f_cursor = c; f_chunk = qr.q_chunk }))
+        | _ -> Result.Ok r.Protocol.producer)
+    | Protocol.Error e -> Result.Error e
+    | _ -> Result.Error "unexpected response to query"
+  in
+  drain (rpc t (Protocol.Query qr))
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -30,6 +30,18 @@ val rpc_full :
 (** Like {!rpc} but also return the response envelope — the echoed id and
     the timing breakdown when the request asked for one. *)
 
+val query_iter :
+  t ->
+  Protocol.query_req ->
+  ((int array * int array) -> unit) ->
+  (string, string) result
+(** Drive one streaming query to completion: open the cursor, call [f]
+    on every answer row as its chunk arrives, fetch (with the request's
+    chunk size) until the server reports no more. [Ok producer] on
+    success; [Error] with the server's message if any step is refused
+    (e.g. [cursor expired] after a concurrent write). Raises like
+    {!rpc}. *)
+
 val send_raw : t -> string -> unit
 (** Write one raw line (malformed-input testing). *)
 

@@ -5,6 +5,15 @@
 
 module Json = Foc_obs.Json
 
+type query_req = {
+  q_head : string list;
+  q_terms : string list;
+  q_body : string;
+  q_limit : int option;
+  q_chunk : int option;
+  q_after : int array option;
+}
+
 type request =
   | Ping
   | Check of string
@@ -12,6 +21,9 @@ type request =
   | Insert of string * int array
   | Delete of string * int array
   | Explain of string
+  | Query of query_req
+  | Fetch of { f_cursor : int; f_chunk : int option }
+  | Close_cursor of int
   | Stats
   | Metrics
   | Shutdown
@@ -36,6 +48,7 @@ type stats = {
   p50_us : int;
   p95_us : int;
   p99_us : int;
+  cursors : int;  (** open streaming cursors, across all connections *)
   trace_dropped : int;
   session : string;
   planner : string;
@@ -59,11 +72,21 @@ type explain = {
   plans : plan_info list;
 }
 
+type rows = {
+  rrows : (int array * int array) list;  (** (head tuple, head-term values) *)
+  more : bool;
+  cursor : int option;  (** present exactly when [more] *)
+  rversion : int;
+  producer : string;
+}
+
 type response =
   | Bool of bool * int
   | Int of int * int
   | Done of int
   | Pong
+  | Rows_r of rows
+  | Closed
   | Stats_r of stats
   | Explain_r of explain
   | Metrics_r of string
@@ -148,6 +171,19 @@ let request_line ?id ?(timing = false) req =
     | Delete (r, tup) ->
         [ ("op", JStr "delete"); ("rel", JStr r); ("tuple", JInts tup) ]
     | Explain q -> [ ("op", JStr "explain"); ("query", JStr q) ]
+    | Query q ->
+        [ ("op", JStr "query");
+          ("head", JList (List.map (fun x -> JStr x) q.q_head));
+          ("body", JStr q.q_body) ]
+        @ (if q.q_terms = [] then []
+           else [ ("terms", JList (List.map (fun t -> JStr t) q.q_terms)) ])
+        @ (match q.q_limit with Some l -> [ ("limit", JInt l) ] | None -> [])
+        @ (match q.q_chunk with Some c -> [ ("chunk", JInt c) ] | None -> [])
+        @ (match q.q_after with Some a -> [ ("after", JInts a) ] | None -> [])
+    | Fetch { f_cursor; f_chunk } ->
+        [ ("op", JStr "fetch"); ("cursor", JInt f_cursor) ]
+        @ (match f_chunk with Some c -> [ ("chunk", JInt c) ] | None -> [])
+    | Close_cursor c -> [ ("op", JStr "close_cursor"); ("cursor", JInt c) ]
     | Stats -> [ ("op", JStr "stats") ]
     | Metrics -> [ ("op", JStr "metrics") ]
     | Shutdown -> [ ("op", JStr "shutdown") ]
@@ -181,7 +217,18 @@ let response_line ?id ?timing resp =
         [ ("ok", JBool true); ("result", JInt n); ("version", JInt v) ]
     | Done v -> [ ("ok", JBool true); ("version", JInt v) ]
     | Pong -> [ ("ok", JBool true); ("result", JStr "pong") ]
+    | Closed -> [ ("ok", JBool true); ("result", JStr "closed") ]
     | Bye -> [ ("ok", JBool true); ("result", JStr "bye") ]
+    | Rows_r r ->
+        [ ("ok", JBool true);
+          ( "rows",
+            JList
+              (List.map
+                 (fun (tup, vals) -> JList [ JInts tup; JInts vals ])
+                 r.rrows) );
+          ("more", JBool r.more) ]
+        @ (match r.cursor with Some c -> [ ("cursor", JInt c) ] | None -> [])
+        @ [ ("producer", JStr r.producer); ("version", JInt r.rversion) ]
     | Stats_r s ->
         [ ("ok", JBool true);
           ( "stats",
@@ -195,6 +242,7 @@ let response_line ?id ?timing resp =
                 ("p50_us", JInt s.p50_us);
                 ("p95_us", JInt s.p95_us);
                 ("p99_us", JInt s.p99_us);
+                ("cursors", JInt s.cursors);
                 ("trace_dropped", JInt s.trace_dropped);
                 ("session", JStr s.session);
                 ("planner", JStr s.planner);
@@ -249,6 +297,19 @@ let parse_tuple j =
       go [] l
   | _ -> None
 
+let parse_int_list = function
+  | Json.List l ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | Json.Num f :: rest -> (
+            match int_of_num f with
+            | Some i -> go (i :: acc) rest
+            | None -> None)
+        | _ -> None
+      in
+      go [] l
+  | _ -> None
+
 let parse_request line =
   match Json.parse line with
   | Error e -> Result.Error ("invalid JSON: " ^ e)
@@ -270,9 +331,48 @@ let parse_request line =
         | Some q -> Result.Ok (meta, mk q)
         | None -> Result.Error "missing string field \"query\""
       in
+      let str_list k =
+        match Json.member k j with
+        | Some (Json.List l) ->
+            let rec go acc = function
+              | [] -> Some (List.rev acc)
+              | Json.Str s :: rest -> go (s :: acc) rest
+              | _ -> None
+            in
+            go [] l
+        | _ -> None
+      in
       match member_str "op" j with
       | None -> Result.Error "missing string field \"op\""
       | Some "ping" -> Result.Ok (meta, Ping)
+      | Some "query" -> (
+          match (str_list "head", member_str "body" j) with
+          | Some q_head, Some q_body ->
+              let q_after =
+                match Json.member "after" j with
+                | Some l -> Option.map Array.of_list (parse_int_list l)
+                | None -> None
+              in
+              Result.Ok
+                ( meta,
+                  Query
+                    { q_head;
+                      q_terms = Option.value (str_list "terms") ~default:[];
+                      q_body;
+                      q_limit = member_int "limit" j;
+                      q_chunk = member_int "chunk" j;
+                      q_after } )
+          | None, _ -> Result.Error "missing string-list field \"head\""
+          | _, None -> Result.Error "missing string field \"body\"")
+      | Some "fetch" -> (
+          match member_int "cursor" j with
+          | Some f_cursor ->
+              Result.Ok (meta, Fetch { f_cursor; f_chunk = member_int "chunk" j })
+          | None -> Result.Error "missing integer field \"cursor\"")
+      | Some "close_cursor" -> (
+          match member_int "cursor" j with
+          | Some c -> Result.Ok (meta, Close_cursor c)
+          | None -> Result.Error "missing integer field \"cursor\"")
       | Some "check" -> with_query (fun q -> Check q)
       | Some "count" -> (
           match member_str "term" j with
@@ -299,19 +399,6 @@ let parse_timing j =
           write_ns = g "write_ns";
           total_ns = g "total_ns" }
   | None -> None
-
-let parse_int_list = function
-  | Json.List l ->
-      let rec go acc = function
-        | [] -> Some (List.rev acc)
-        | Json.Num f :: rest -> (
-            match int_of_num f with
-            | Some i -> go (i :: acc) rest
-            | None -> None)
-        | _ -> None
-      in
-      go [] l
-  | _ -> None
 
 let parse_plan_info j =
   let order =
@@ -373,6 +460,39 @@ let parse_response line =
       | Some (Json.Bool true) -> (
           match member_str "metrics" j with
           | Some text -> Result.Ok (meta, Metrics_r text)
+          | None when Json.member "rows" j <> None -> (
+              let rows =
+                match Json.member "rows" j with
+                | Some (Json.List l) ->
+                    let rec go acc = function
+                      | [] -> Some (List.rev acc)
+                      | Json.List [ tup; vals ] :: rest -> (
+                          match (parse_int_list tup, parse_int_list vals) with
+                          | Some t, Some v ->
+                              go ((Array.of_list t, Array.of_list v) :: acc)
+                                rest
+                          | _ -> None)
+                      | _ -> None
+                    in
+                    go [] l
+                | _ -> None
+              in
+              let more =
+                match Json.member "more" j with
+                | Some (Json.Bool b) -> b
+                | _ -> false
+              in
+              match (rows, member_int "version" j) with
+              | Some rrows, Some rversion ->
+                  Result.Ok
+                    ( meta,
+                      Rows_r
+                        { rrows; more; cursor = member_int "cursor" j;
+                          rversion;
+                          producer =
+                            Option.value (member_str "producer" j) ~default:"" }
+                    )
+              | _ -> Result.Error "malformed rows response")
           | None -> (
               match
                 (Json.member "result" j, Json.member "stats" j,
@@ -390,6 +510,7 @@ let parse_response line =
                   | Some n -> Result.Ok (meta, Int (n, v))
                   | None -> Result.Error "non-integer result")
               | Some (Json.Str "pong"), _, _ -> Result.Ok (meta, Pong)
+              | Some (Json.Str "closed"), _, _ -> Result.Ok (meta, Closed)
               | Some (Json.Str "bye"), _, _ -> Result.Ok (meta, Bye)
               | None, Some stats, _ -> (
                   let geti k = member_int k stats
@@ -414,6 +535,7 @@ let parse_response line =
                             { version; connections; served; shed; rejected;
                               disconnects; p50_us = gi0 "p50_us";
                               p95_us = gi0 "p95_us"; p99_us = gi0 "p99_us";
+                              cursors = gi0 "cursors";
                               trace_dropped = gi0 "trace_dropped"; session;
                               planner = gs0 "planner";
                               source = gs0 "source";

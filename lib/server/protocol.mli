@@ -14,6 +14,10 @@
     {"op":"insert","rel":"E","tuple":[3,4]}
     {"op":"delete","rel":"R","tuple":[5]}
     {"op":"explain","query":"..."}
+    {"op":"query","head":["x","y"],"body":"E(x,y)","limit":100,"chunk":32}
+    {"op":"query","head":["x"],"terms":["#(y). E(x,y)"],"body":"x = x","after":[5]}
+    {"op":"fetch","cursor":3,"chunk":64}
+    {"op":"close_cursor","cursor":3}
     {"op":"stats"}
     {"op":"metrics"}
     {"op":"shutdown"}
@@ -27,6 +31,10 @@
     {"ok":true,"version":4}
     {"ok":true,"result":"pong"}
     {"ok":true,"result":"bye"}
+    {"ok":true,"rows":[[[0,1],[2]],[[0,3],[1]]],"more":true,"cursor":3,
+     "producer":"walk","version":3}
+    {"ok":true,"rows":[],"more":false,"producer":"walk","version":3}
+    {"ok":true,"result":"closed"}
     {"ok":true,"stats":{...,"session":"<logfmt>"}}
     {"ok":true,"result":true,"version":3,"explain":{"cached":false,...}}
     {"ok":true,"metrics":"# TYPE foc_req_check_ns histogram\n..."}
@@ -38,6 +46,18 @@
     is what lets a load generator replay the write log and verify every
     answer against a fresh sequential engine. *)
 
+type query_req = {
+  q_head : string list;  (** head variable names, output order *)
+  q_terms : string list;  (** head counting-term sources (may be empty) *)
+  q_body : string;  (** FOC(P) body source *)
+  q_limit : int option;  (** cap on total answers across all chunks *)
+  q_chunk : int option;  (** rows per response chunk (server default/cap) *)
+  q_after : int array option;
+      (** resume strictly after this head tuple (exclusive) *)
+}
+(** Streaming query open: the server answers with a {!rows} chunk and, if
+    more answers remain, a cursor id for {!request.Fetch}. *)
+
 type request =
   | Ping
   | Check of string  (** FOC(P) sentence source *)
@@ -46,6 +66,10 @@ type request =
   | Delete of string * int array
   | Explain of string
       (** evaluate like [Check] but return the planner's story too *)
+  | Query of query_req  (** open a streaming answer cursor *)
+  | Fetch of { f_cursor : int; f_chunk : int option }
+      (** next chunk from an open cursor *)
+  | Close_cursor of int  (** release a cursor early *)
   | Stats
   | Metrics  (** Prometheus text exposition of all server registries *)
   | Shutdown
@@ -74,6 +98,9 @@ type stats = {
   p50_us : int;  (** read-latency quantiles, µs, over all served reads *)
   p95_us : int;
   p99_us : int;
+  cursors : int;
+      (** streaming cursors currently open, across all connections; [0]
+          when talking to a pre-streaming server *)
   trace_dropped : int;  (** spans lost to trace ring wrap-around *)
   session : string;  (** the session's logfmt stats line *)
   planner : string;
@@ -107,11 +134,27 @@ type explain = {
           (e.g. fully cached or a non-conjunctive sentence) *)
 }
 
+type rows = {
+  rrows : (int array * int array) list;
+      (** (head tuple, head-term values) pairs, ascending lexicographic on
+          the head tuple *)
+  more : bool;  (** further answers remain behind [cursor] *)
+  cursor : int option;  (** present iff [more] *)
+  rversion : int;  (** structure version the cursor is pinned to *)
+  producer : string;
+      (** which enumeration path produced the answers —
+          ["walk"]/["table"]/["unary"]/["ground"]
+          ({!Foc_eval.Enum.cursor}) *)
+}
+(** One chunk of streaming answers, for both [query] and [fetch]. *)
+
 type response =
   | Bool of bool * int  (** [check] result, structure version *)
   | Int of int * int  (** [count] result, structure version *)
   | Done of int  (** write applied; new version *)
   | Pong
+  | Rows_r of rows  (** streaming answer chunk *)
+  | Closed  (** [close_cursor] acknowledged *)
   | Stats_r of stats
   | Explain_r of explain
   | Metrics_r of string  (** Prometheus text page *)

@@ -27,6 +27,7 @@ type config = {
   trace_cap : int option;
   store : string option;
   checkpoint_every : int;
+  max_cursors : int;
 }
 
 let default_config address =
@@ -44,6 +45,7 @@ let default_config address =
     trace_cap = None;
     store = None;
     checkpoint_every = 1024;
+    max_cursors = 8;
   }
 
 (* a parsed request waiting for (or holding) its answer *)
@@ -52,9 +54,29 @@ type job =
   | JCount of Foc_logic.Ast.term
   | JWrite of bool * string * int array  (* insert?, relation, tuple *)
   | JExplain of Foc_logic.Ast.formula
+  | JQuery of Foc_logic.Query.t * Protocol.query_req * int
+    (* parsed query, raw request (limit/chunk/after), owning conn id *)
+  | JFetch of int * int option * int  (* cursor id, chunk, conn id *)
+  | JClose of int * int  (* cursor id, conn id *)
   | JStats
   | JMetrics
   | JShutdown
+
+(* An open streaming cursor. The cursor itself is pulled ONLY by the
+   dispatcher (Session.enumerate cursors read session snapshots); the
+   registry bookkeeping is guarded by [t.m]. [cu_pending] holds a one-row
+   lookahead so every chunk reports an exact [more] flag; an entry always
+   holds a lookahead — exhausted cursors are removed, never parked.
+   Fetch/close are owner-only, which makes disconnect reaping race-free:
+   a connection thread only exits its read loop with no request of its
+   own in flight, so nobody can be pulling the cursors it reaps (and
+   [Enum] close is pure bookkeeping — it never touches the session). *)
+type cursor_entry = {
+  cu_conn : int;
+  cu : Foc_eval.Enum.cursor;
+  cu_version : int;  (* server version the cursor is pinned to *)
+  mutable cu_pending : (int array * int array) option;
+}
 
 (* Every dispatched request carries a {!Foc_obs.Scope}: the conn thread
    creates it at admission (anchoring queue wait), the dispatcher stamps
@@ -90,6 +112,8 @@ type t = {
   mutable version : int;  (* writes applied; dispatcher-only writes *)
   conns : (int, Unix.file_descr) Hashtbl.t;
   mutable conn_seq : int;
+  cursors : (int, cursor_entry) Hashtbl.t;  (* bookkeeping under [m] *)
+  mutable cursor_seq : int;
   mutable served : int;
   mutable shed : int;
   mutable rejected : int;
@@ -104,6 +128,7 @@ type t = {
   obs : Metrics.t;  (* dispatcher-owned: request histograms, slow count *)
   h_check : Metrics.Histogram.t;
   h_count : Metrics.Histogram.t;
+  h_query : Metrics.Histogram.t;  (* query + fetch chunks *)
   h_write : Metrics.Histogram.t;
   h_explain : Metrics.Histogram.t;
   h_read : Metrics.Histogram.t;  (* check + count + explain combined *)
@@ -244,8 +269,11 @@ let finalize t p resp =
   | JExplain _ ->
       Metrics.Histogram.observe t.h_explain total;
       Metrics.Histogram.observe t.h_read total
+  | JQuery _ | JFetch _ ->
+      Metrics.Histogram.observe t.h_query total;
+      Metrics.Histogram.observe t.h_read total
   | JWrite _ -> Metrics.Histogram.observe t.h_write total
-  | JStats | JMetrics | JShutdown -> ());
+  | JClose _ | JStats | JMetrics | JShutdown -> ());
   (match t.slow with
   | Some sink when t.cfg.slow_ms > 0. && float_of_int total /. 1e6 >= t.cfg.slow_ms ->
       Metrics.Counter.inc t.slow_logged;
@@ -307,6 +335,57 @@ let run_checks t group phis =
           Scope.merge_phases p.scope bscope;
           finalize t p r)
         group
+
+(* ---------------- streaming cursors (dispatcher-only pulls) ---------- *)
+
+let default_chunk = 128
+let chunk_size = function Some c -> max 1 (min c 4096) | None -> default_chunk
+
+(* Pull up to [k] rows and one lookahead row; the lookahead is what makes
+   [more] exact instead of a guess that costs the client a final empty
+   fetch round-trip. *)
+let pull_chunk (cur : Foc_eval.Enum.cursor) k =
+  let rec go acc k =
+    if k = 0 then (List.rev acc, cur.Foc_eval.Enum.next ())
+    else
+      match cur.Foc_eval.Enum.next () with
+      | None -> (List.rev acc, None)
+      | Some row -> go (row :: acc) (k - 1)
+  in
+  go [] k
+
+let open_cursors_of t cid =
+  Hashtbl.fold
+    (fun _ e n -> if e.cu_conn = cid then n + 1 else n)
+    t.cursors 0
+
+(* Remove and close every cursor owned by connection [cid]. Called by the
+   connection thread on its way out (EOF, EPIPE, budget-free close) and
+   by [cleanup]; safe off the dispatcher because [Enum] close never
+   touches the session and owner-only fetch means nobody can be pulling
+   these cursors concurrently. *)
+let reap_cursors t cid =
+  let owned =
+    locked t (fun () ->
+        let acc =
+          Hashtbl.fold
+            (fun id e acc -> if e.cu_conn = cid then (id, e) :: acc else acc)
+            t.cursors []
+        in
+        List.iter (fun (id, _) -> Hashtbl.remove t.cursors id) acc;
+        acc)
+  in
+  List.iter (fun (_, e) -> e.cu.Foc_eval.Enum.close ()) owned
+
+let rows_resp ~rows ~cursor ~version ~producer =
+  Protocol.Rows_r
+    {
+      rrows = rows;
+      more = cursor <> None;
+      cursor;
+      rversion = version;
+      producer;
+    }
 
 let run_one t p =
   p.pseq0 <- Foc_eval.Eval_obs.plan_seq ();
@@ -389,6 +468,105 @@ let run_one t p =
       in
       finalize t p r;
       locked t (fun () -> t.served <- t.served + 1)
+  | JQuery (q, qr, cid) ->
+      let v = t.version in
+      let r =
+        if
+          locked t (fun () -> open_cursors_of t cid >= t.cfg.max_cursors)
+        then begin
+          locked t (fun () -> t.rejected <- t.rejected + 1);
+          Protocol.Error
+            (Printf.sprintf
+               "cursor budget exceeded (max %d open per connection)"
+               t.cfg.max_cursors)
+        end
+        else
+          match
+            Scope.with_scope p.scope (fun () ->
+                Scope.time p.scope Scope.Eval (fun () ->
+                    let cur =
+                      Session.enumerate t.sess ?limit:qr.Protocol.q_limit
+                        ?after:qr.Protocol.q_after q
+                    in
+                    let rows, pending =
+                      pull_chunk cur (chunk_size qr.Protocol.q_chunk)
+                    in
+                    (cur, rows, pending)))
+          with
+          | cur, rows, None ->
+              cur.Foc_eval.Enum.close ();
+              rows_resp ~rows ~cursor:None ~version:v
+                ~producer:cur.Foc_eval.Enum.producer
+          | cur, rows, (Some _ as pending) ->
+              let id =
+                locked t (fun () ->
+                    t.cursor_seq <- t.cursor_seq + 1;
+                    Hashtbl.replace t.cursors t.cursor_seq
+                      { cu_conn = cid; cu = cur; cu_version = v;
+                        cu_pending = pending };
+                    t.cursor_seq)
+              in
+              rows_resp ~rows ~cursor:(Some id) ~version:v
+                ~producer:cur.Foc_eval.Enum.producer
+          | exception e -> err_of_exn e
+      in
+      finalize t p r;
+      locked t (fun () -> t.served <- t.served + 1)
+  | JFetch (cur_id, chunk, cid) ->
+      let r =
+        match locked t (fun () -> Hashtbl.find_opt t.cursors cur_id) with
+        | Some e when e.cu_conn = cid -> (
+            let drop () =
+              locked t (fun () -> Hashtbl.remove t.cursors cur_id);
+              e.cu.Foc_eval.Enum.close ()
+            in
+            match
+              Scope.with_scope p.scope (fun () ->
+                  Scope.time p.scope Scope.Eval (fun () ->
+                      let first = Option.get e.cu_pending in
+                      pull_chunk e.cu (chunk_size chunk - 1)
+                      |> fun (rest, pending) -> (first :: rest, pending)))
+            with
+            | rows, None ->
+                drop ();
+                rows_resp ~rows ~cursor:None ~version:e.cu_version
+                  ~producer:e.cu.Foc_eval.Enum.producer
+            | rows, (Some _ as pending) ->
+                e.cu_pending <- pending;
+                rows_resp ~rows ~cursor:(Some cur_id) ~version:e.cu_version
+                  ~producer:e.cu.Foc_eval.Enum.producer
+            | exception Session.Expired ->
+                drop ();
+                locked t (fun () -> t.rejected <- t.rejected + 1);
+                Protocol.Error "cursor expired: structure version changed"
+            | exception ex ->
+                drop ();
+                err_of_exn ex)
+        | _ ->
+            (* unknown id, or a cursor another connection owns — same
+               answer, so ids don't leak across clients *)
+            locked t (fun () -> t.rejected <- t.rejected + 1);
+            Protocol.Error "unknown cursor"
+      in
+      finalize t p r;
+      locked t (fun () -> t.served <- t.served + 1)
+  | JClose (cur_id, cid) ->
+      let entry =
+        locked t (fun () ->
+            match Hashtbl.find_opt t.cursors cur_id with
+            | Some e when e.cu_conn = cid ->
+                Hashtbl.remove t.cursors cur_id;
+                Some e
+            | _ -> None)
+      in
+      (match entry with
+      | Some e ->
+          e.cu.Foc_eval.Enum.close ();
+          finalize t p Protocol.Closed
+      | None ->
+          locked t (fun () -> t.rejected <- t.rejected + 1);
+          finalize t p (Protocol.Error "unknown cursor"));
+      locked t (fun () -> t.served <- t.served + 1)
   | JStats ->
       let stats =
         locked t (fun () ->
@@ -402,6 +580,7 @@ let run_one t p =
               p50_us = 0;
               p95_us = 0;
               p99_us = 0;
+              cursors = Hashtbl.length t.cursors;
               trace_dropped = 0;
               session = "";
               planner = "";
@@ -504,7 +683,7 @@ let send_line oc line =
   output_char oc '\n';
   flush oc
 
-let job_of_request = function
+let job_of_request cid = function
   | Protocol.Ping -> assert false (* answered inline *)
   | Protocol.Check src -> (
       match Foc_logic.Parser.formula_result Foc_logic.Pred.standard src with
@@ -520,6 +699,34 @@ let job_of_request = function
       match Foc_logic.Parser.formula_result Foc_logic.Pred.standard src with
       | Ok phi -> Result.Ok (JExplain phi)
       | Error e -> Result.Error e)
+  | Protocol.Query qr -> (
+      match
+        Foc_logic.Parser.formula_result Foc_logic.Pred.standard
+          qr.Protocol.q_body
+      with
+      | Error e -> Result.Error e
+      | Ok body -> (
+          let rec parse_terms acc = function
+            | [] -> Result.Ok (List.rev acc)
+            | src :: rest -> (
+                match
+                  Foc_logic.Parser.term_result Foc_logic.Pred.standard src
+                with
+                | Ok tm -> parse_terms (tm :: acc) rest
+                | Error e -> Result.Error e)
+          in
+          match parse_terms [] qr.Protocol.q_terms with
+          | Error e -> Result.Error e
+          | Ok head_terms -> (
+              match
+                Foc_logic.Query.make ~head_vars:qr.Protocol.q_head
+                  ~head_terms body
+              with
+              | q -> Result.Ok (JQuery (q, qr, cid))
+              | exception Invalid_argument m -> Result.Error m)))
+  | Protocol.Fetch { f_cursor; f_chunk } ->
+      Result.Ok (JFetch (f_cursor, f_chunk, cid))
+  | Protocol.Close_cursor c -> Result.Ok (JClose (c, cid))
   | Protocol.Stats -> Result.Ok JStats
   | Protocol.Metrics -> Result.Ok JMetrics
   | Protocol.Shutdown -> Result.Ok JShutdown
@@ -531,16 +738,22 @@ let opname_of = function
   | Protocol.Insert _ -> "insert"
   | Protocol.Delete _ -> "delete"
   | Protocol.Explain _ -> "explain"
+  | Protocol.Query _ -> "query"
+  | Protocol.Fetch _ -> "fetch"
+  | Protocol.Close_cursor _ -> "close_cursor"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
   | Protocol.Shutdown -> "shutdown"
 
 let qsrc_of = function
   | Protocol.Check src | Protocol.Count src | Protocol.Explain src -> src
+  | Protocol.Query qr -> qr.Protocol.q_body
   | Protocol.Insert (r, _) | Protocol.Delete (r, _) -> r
-  | Protocol.Ping | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown -> ""
+  | Protocol.Ping | Protocol.Fetch _ | Protocol.Close_cursor _
+  | Protocol.Stats | Protocol.Metrics | Protocol.Shutdown ->
+      ""
 
-let handle_line t budget line =
+let handle_line t cid budget line =
   match Protocol.parse_request line with
   | Error e ->
       locked t (fun () -> t.rejected <- t.rejected + 1);
@@ -554,7 +767,7 @@ let handle_line t budget line =
       end
       else begin
         decr budget;
-        match job_of_request req with
+        match job_of_request cid req with
         | Error e ->
             locked t (fun () -> t.rejected <- t.rejected + 1);
             (id, Protocol.Error ("parse error: " ^ e), None)
@@ -577,7 +790,7 @@ let conn_loop t cid fd =
      while true do
        let line = String.trim (input_line ic) in
        if line <> "" then begin
-         let id, resp, timing = handle_line t budget line in
+         let id, resp, timing = handle_line t cid budget line in
          send_line oc (Protocol.response_line ?id ?timing resp)
        end
      done
@@ -587,6 +800,9 @@ let conn_loop t cid fd =
       (* client went away mid-request or mid-response *)
       locked t (fun () -> t.disconnects <- t.disconnects + 1));
   locked t (fun () -> Hashtbl.remove t.conns cid);
+  (* a client that vanished (or closed cleanly) must not pin its open
+     streaming cursors — and the rows they retain — until shutdown *)
+  reap_cursors t cid;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let listener t =
@@ -706,6 +922,8 @@ let start cfg structure =
       version = version0;
       conns = Hashtbl.create 16;
       conn_seq = 0;
+      cursors = Hashtbl.create 16;
+      cursor_seq = 0;
       served = 0;
       shed = 0;
       rejected = 0;
@@ -720,6 +938,7 @@ let start cfg structure =
       obs;
       h_check = Metrics.histogram obs "req.check.ns";
       h_count = Metrics.histogram obs "req.count.ns";
+      h_query = Metrics.histogram obs "req.query.ns";
       h_write = Metrics.histogram obs "req.write.ns";
       h_explain = Metrics.histogram obs "req.explain.ns";
       h_read = Metrics.histogram obs "req.read.ns";
@@ -797,6 +1016,15 @@ let cleanup t =
         with Unix.Unix_error _ -> ())
       conn_fds;
     List.iter Thread.join (locked t (fun () -> t.conn_threads));
+    (* belt-and-braces: every conn thread reaped its own cursors on the
+       way out, but close anything left so drain never leaks one *)
+    let leftover =
+      locked t (fun () ->
+          let es = Hashtbl.fold (fun _ e acc -> e :: acc) t.cursors [] in
+          Hashtbl.reset t.cursors;
+          es)
+    in
+    List.iter (fun e -> e.cu.Foc_eval.Enum.close ()) leftover;
     (* graceful-drain checkpoint: every thread is joined, so the
        dispatcher is gone and the session is safe to snapshot; warm
        artifacts built while serving are persisted for the next start *)

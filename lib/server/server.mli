@@ -22,6 +22,18 @@
     further requests are rejected (the connection stays open — [ping] is
     always answered inline and free).
 
+    {b Streaming cursors.} A [query] request opens a
+    {!Foc_serve.Session.enumerate} cursor and answers with the first
+    chunk of rows; while more answers remain the response names a cursor
+    id that [fetch] advances and [close_cursor] releases. Cursors are
+    pulled only by the dispatcher and are pinned to the structure version
+    they were opened on — a write expires every open cursor, and the next
+    [fetch] gets a [cursor expired] error instead of stale rows.
+    [fetch]/[close_cursor] are owner-only (another connection's cursor id
+    answers [unknown cursor]); each connection may hold at most
+    [max_cursors] open cursors, and a disconnect — clean or mid-stream —
+    reaps everything the connection owned.
+
     {b Shutdown.} [shutdown] (the request, or {!stop}) stops admission,
     drains every in-flight request, then wakes {!wait}. The daemon
     ignores [SIGPIPE]; a client vanishing mid-response only closes that
@@ -62,12 +74,16 @@ type config = {
       (** also checkpoint (snapshot + fresh WAL, pruning superseded
           files) after this many writes; [<= 0] disables periodic
           compaction (drain still checkpoints) *)
+  max_cursors : int;
+      (** most streaming cursors one connection may hold open; a [query]
+          over the budget is rejected without opening anything *)
 }
 
 val default_config : address -> config
 (** Direct backend, [jobs] = 1, 256 MiB budget, queue bound 256, unlimited
     client budget, batches of at most 32; slow-query log and tracing off;
-    no store; checkpoint every 1024 writes (once a store is set). *)
+    no store; checkpoint every 1024 writes (once a store is set); at most
+    8 open cursors per connection. *)
 
 type t
 

@@ -24,7 +24,7 @@ let fresh_check a phi =
 let sock_counter = ref 0
 
 let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0)
-    ?(slow_ms = 0.) ?slow_log ?(n = 24) ?(seed = 7) f =
+    ?(slow_ms = 0.) ?slow_log ?(max_cursors = 8) ?(n = 24) ?(seed = 7) f =
   incr sock_counter;
   let path =
     Filename.concat
@@ -44,6 +44,7 @@ let with_server ?(jobs = 2) ?(max_queue = 256) ?(client_budget = 0)
       client_budget;
       slow_ms;
       slow_log;
+      max_cursors;
     }
   in
   let srv = Foc.Server.start cfg a in
@@ -62,6 +63,27 @@ let test_protocol_roundtrip () =
       P.Insert ("E", [| 3; 4 |]);
       P.Delete ("R", [| 5 |]);
       P.Explain "exists x. #(y). E(x,y) >= 2";
+      P.Query
+        {
+          P.q_head = [ "x"; "y" ];
+          q_terms = [ "#(z). E(y,z)" ];
+          q_body = "E(x,y)";
+          q_limit = Some 100;
+          q_chunk = Some 32;
+          q_after = Some [| 3; 7 |];
+        };
+      P.Query
+        {
+          P.q_head = [ "x" ];
+          q_terms = [];
+          q_body = "R(x)";
+          q_limit = None;
+          q_chunk = None;
+          q_after = None;
+        };
+      P.Fetch { f_cursor = 5; f_chunk = Some 64 };
+      P.Fetch { f_cursor = 9; f_chunk = None };
+      P.Close_cursor 5;
       P.Stats;
       P.Metrics;
       P.Shutdown;
@@ -89,6 +111,23 @@ let test_protocol_roundtrip () =
       P.Done 7;
       P.Pong;
       P.Bye;
+      P.Rows_r
+        {
+          P.rrows = [ ([| 0; 1 |], [| 2 |]); ([| 0; 3 |], [||]) ];
+          more = true;
+          cursor = Some 3;
+          rversion = 5;
+          producer = "walk";
+        };
+      P.Rows_r
+        {
+          P.rrows = [];
+          more = false;
+          cursor = None;
+          rversion = 0;
+          producer = "table";
+        };
+      P.Closed;
       P.Stats_r
         {
           P.version = 1;
@@ -100,6 +139,7 @@ let test_protocol_roundtrip () =
           p50_us = 120;
           p95_us = 4500;
           p99_us = 9000;
+          cursors = 2;
           trace_dropped = 17;
           session = "a=1 b=\"two words\"";
           planner = "planner.replans=1";
@@ -161,6 +201,11 @@ let test_protocol_roundtrip () =
       "{\"op\":\"explain\"}";
       "{\"op\":\"insert\",\"rel\":\"E\"}";
       "{\"op\":\"insert\",\"rel\":\"E\",\"tuple\":[1,\"x\"]}";
+      "{\"op\":\"query\",\"body\":\"E(x,y)\"}";
+      "{\"op\":\"query\",\"head\":[\"x\",3],\"body\":\"E(x,y)\"}";
+      "{\"op\":\"query\",\"head\":[\"x\"]}";
+      "{\"op\":\"fetch\"}";
+      "{\"op\":\"close_cursor\"}";
     ]
 
 (* A stats response from a server that predates the quantile fields must
@@ -176,6 +221,7 @@ let test_stats_parse_tolerance () =
       Alcotest.(check int) "p50 defaults" 0 s.P.p50_us;
       Alcotest.(check int) "p99 defaults" 0 s.P.p99_us;
       Alcotest.(check int) "trace_dropped defaults" 0 s.P.trace_dropped;
+      Alcotest.(check int) "cursors defaults" 0 s.P.cursors;
       Alcotest.(check string) "planner defaults" "" s.P.planner
   | Ok (_, r) -> Alcotest.fail ("expected stats, got " ^ P.response_line r)
   | Error e -> Alcotest.fail e
@@ -569,6 +615,162 @@ let test_admission_budget () =
       | r -> Alcotest.fail ("fresh connection: " ^ P.response_line r));
       Foc.Server_client.close c2)
 
+(* ---------------- streaming queries ---------------- *)
+
+let mk_query ?limit ?chunk ?after ?(terms = []) head body =
+  P.Query
+    {
+      P.q_head = head;
+      q_terms = terms;
+      q_body = body;
+      q_limit = limit;
+      q_chunk = chunk;
+      q_after = after;
+    }
+
+(* the reference the streamed answers must be bit-identical to *)
+let materialised a ?(terms = []) head body =
+  let q =
+    Foc.Query.make ~head_vars:head
+      ~head_terms:(List.map Foc.parse_term terms)
+      (Foc.parse_formula body)
+  in
+  Foc.Relalg.query Foc.predicates a q
+
+let row_pair =
+  Alcotest.pair (Alcotest.array Alcotest.int) (Alcotest.array Alcotest.int)
+
+let open_cursors srv c =
+  match Foc.Server_client.rpc c P.Stats with
+  | P.Stats_r s -> s.P.cursors
+  | r ->
+      ignore srv;
+      Alcotest.fail (P.response_line r)
+
+let test_streaming_query () =
+  with_server (fun srv a ->
+      let c = connect srv in
+      let head = [ "x"; "y" ] and body = "E(x,y)" in
+      let terms = [ "#(z). E(y,z)" ] in
+      let want = materialised a ~terms head body in
+      Alcotest.(check bool) "workload is non-trivial" true
+        (List.length want > 8);
+      (* chunk of 3 forces several fetch round-trips *)
+      let got = ref [] in
+      (match
+         Foc.Server_client.query_iter c
+           { P.q_head = head; q_terms = terms; q_body = body;
+             q_limit = None; q_chunk = Some 3; q_after = None }
+           (fun row -> got := row :: !got)
+       with
+      | Ok producer ->
+          Alcotest.(check bool) "producer named" true (producer <> "")
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check (list row_pair))
+        "streamed = materialised (content and order)" want
+        (List.rev !got);
+      Alcotest.(check int) "drained cursor closed server-side" 0
+        (open_cursors srv c);
+      (* limit caps the stream; after resumes exactly behind a row *)
+      (match Foc.Server_client.rpc c (mk_query ~limit:4 ~chunk:2 head body) with
+      | P.Rows_r r ->
+          Alcotest.(check int) "limit chunk" 2 (List.length r.P.rrows);
+          (match r.P.cursor with
+          | Some id -> (
+              match Foc.Server_client.rpc c (P.Close_cursor id) with
+              | P.Closed -> ()
+              | r -> Alcotest.fail (P.response_line r))
+          | None -> ())
+      | r -> Alcotest.fail (P.response_line r));
+      let split = List.length want / 2 in
+      let after = fst (List.nth want (split - 1)) in
+      let tail = ref [] in
+      (match
+         Foc.Server_client.query_iter c
+           { P.q_head = head; q_terms = terms; q_body = body;
+             q_limit = None; q_chunk = Some 5; q_after = Some after }
+           (fun row -> tail := row :: !tail)
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e);
+      Alcotest.(check (list row_pair))
+        "after resumes mid-stream"
+        (List.filteri (fun i _ -> i >= split) (materialised a ~terms head body))
+        (List.rev !tail);
+      (* explicit close releases the cursor *)
+      (match Foc.Server_client.rpc c (mk_query ~chunk:1 head body) with
+      | P.Rows_r { P.cursor = Some id; more = true; _ } -> (
+          Alcotest.(check int) "open until closed" 1 (open_cursors srv c);
+          match Foc.Server_client.rpc c (P.Close_cursor id) with
+          | P.Closed ->
+              Alcotest.(check int) "closed" 0 (open_cursors srv c);
+              (match Foc.Server_client.rpc c (P.Close_cursor id) with
+              | P.Error _ -> ()
+              | r -> Alcotest.fail ("double close: " ^ P.response_line r))
+          | r -> Alcotest.fail (P.response_line r))
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+(* a write expires every open cursor: the next fetch errors instead of
+   serving rows from the superseded snapshot *)
+let test_cursor_expires_on_write () =
+  with_server (fun srv _ ->
+      let c = connect srv in
+      (match Foc.Server_client.rpc c (mk_query ~chunk:2 [ "x"; "y" ] "E(x,y)") with
+      | P.Rows_r { P.cursor = Some id; more = true; rversion; _ } -> (
+          Alcotest.(check int) "pinned to pre-write version" 0 rversion;
+          (match Foc.Server_client.rpc c (P.Insert ("E", [| 0; 1 |])) with
+          | P.Done 1 -> ()
+          | r -> Alcotest.fail (P.response_line r));
+          (match
+             Foc.Server_client.rpc c (P.Fetch { f_cursor = id; f_chunk = None })
+           with
+          | P.Error m ->
+              Alcotest.(check bool)
+                ("expiry error says so: " ^ m)
+                true
+                (String.length m >= 14
+                && String.sub m 0 14 = "cursor expired")
+          | r -> Alcotest.fail ("expected expiry: " ^ P.response_line r));
+          Alcotest.(check int) "expired cursor reaped" 0 (open_cursors srv c))
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
+let test_cursor_budget_and_ownership () =
+  with_server ~max_cursors:1 (fun srv _ ->
+      let c = connect srv in
+      (match Foc.Server_client.rpc c (mk_query ~chunk:1 [ "x"; "y" ] "E(x,y)") with
+      | P.Rows_r { P.cursor = Some id; _ } -> (
+          (* budget: a second open on the same connection is refused *)
+          (match Foc.Server_client.rpc c (mk_query ~chunk:1 [ "x" ] "R(x) | B(x) | G(x)") with
+          | P.Error m ->
+              Alcotest.(check bool)
+                ("budget error says so: " ^ m)
+                true
+                (String.length m >= 13
+                && String.sub m 0 13 = "cursor budget")
+          | r -> Alcotest.fail ("expected budget error: " ^ P.response_line r));
+          (* ownership: another connection can neither fetch nor close it *)
+          let c2 = connect srv in
+          (match
+             Foc.Server_client.rpc c2 (P.Fetch { f_cursor = id; f_chunk = None })
+           with
+          | P.Error "unknown cursor" -> ()
+          | r -> Alcotest.fail ("foreign fetch: " ^ P.response_line r));
+          (match Foc.Server_client.rpc c2 (P.Close_cursor id) with
+          | P.Error "unknown cursor" -> ()
+          | r -> Alcotest.fail ("foreign close: " ^ P.response_line r));
+          Foc.Server_client.close c2;
+          (* closing frees the budget *)
+          (match Foc.Server_client.rpc c (P.Close_cursor id) with
+          | P.Closed -> ()
+          | r -> Alcotest.fail (P.response_line r));
+          match Foc.Server_client.rpc c (mk_query ~chunk:1 [ "x"; "y" ] "E(x,y)") with
+          | P.Rows_r _ -> ()
+          | r -> Alcotest.fail ("after close: " ^ P.response_line r))
+      | r -> Alcotest.fail (P.response_line r));
+      Foc.Server_client.close c)
+
 (* ---------------- client killed mid-stream ---------------- *)
 
 let test_client_killed_mid_stream () =
@@ -578,7 +780,13 @@ let test_client_killed_mid_stream () =
       let q = "exists x. prime(#(y). (E(x,y) | E(y,x)))" in
       for _ = 1 to 3 do
         let c = connect srv in
-        (* leave requests in flight and vanish without reading *)
+        (* open a streaming cursor and leave it dangling, then leave
+           requests in flight and vanish without reading *)
+        (match
+           Foc.Server_client.rpc c (mk_query ~chunk:1 [ "x"; "y" ] "E(x,y)")
+         with
+        | P.Rows_r { P.cursor = Some _; more = true; _ } -> ()
+        | r -> Alcotest.fail ("cursor open: " ^ P.response_line r));
         Foc.Server_client.send_raw c (P.request_line (P.Check q));
         Foc.Server_client.send_raw c (P.request_line (P.Check q));
         Foc.Server_client.close c
@@ -590,6 +798,19 @@ let test_client_killed_mid_stream () =
       (match Foc.Server_client.rpc c (P.Check q) with
       | P.Bool _ -> ()
       | r -> Alcotest.fail ("next request: " ^ P.response_line r));
+      (* the vanished clients' cursors were reaped, not leaked — poll
+         briefly: reaping runs on each conn thread's exit path *)
+      let rec settle tries =
+        let open_now = open_cursors srv c in
+        if open_now = 0 then 0
+        else if tries = 0 then open_now
+        else begin
+          Thread.yield ();
+          Unix.sleepf 0.01;
+          settle (tries - 1)
+        end
+      in
+      Alcotest.(check int) "no cursor leaked by dead clients" 0 (settle 100);
       Foc.Server_client.close c)
 
 (* ---------------- graceful shutdown ---------------- *)
@@ -693,6 +914,15 @@ let () =
         [
           Alcotest.test_case "queue overflow sheds" `Quick test_admission_shed;
           Alcotest.test_case "per-client budget" `Quick test_admission_budget;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "query/fetch/close round-trip" `Quick
+            test_streaming_query;
+          Alcotest.test_case "cursor expires on write" `Quick
+            test_cursor_expires_on_write;
+          Alcotest.test_case "cursor budget and ownership" `Quick
+            test_cursor_budget_and_ownership;
         ] );
       ( "resilience",
         [
